@@ -1,0 +1,63 @@
+// Command defendplan computes a defensive-registration plan for an
+// email provider (Section 8): which typo domains to buy first, what each
+// protects, and the resulting coverage — plus a demonstration of the
+// proposed typo-correction input check.
+//
+// Usage:
+//
+//	defendplan [-budget 20] [-price 8.50] gmail.com
+//	defendplan -check gmial.com
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/alexa"
+	"repro/internal/defend"
+)
+
+func main() {
+	budget := flag.Int("budget", 20, "number of domains to register")
+	price := flag.Float64("price", 8.50, "registration price per domain-year (USD)")
+	checkMode := flag.Bool("check", false, "run the typo-correction input check on the argument instead")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: defendplan [flags] <domain>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	arg := flag.Arg(0)
+	uni := alexa.NewUniverse(4000, 20161105)
+
+	if *checkMode {
+		c := defend.NewCorrector(uni)
+		sug, ok := c.Check(arg)
+		if !ok {
+			fmt.Printf("%s: looks intentional, no correction suggested\n", arg)
+			return
+		}
+		fmt.Printf("%s: did you mean %s? (rank #%d, %s mistake, confidence %.2f)\n",
+			arg, sug.Suggested, sug.TargetRank, sug.Op, sug.Confidence)
+		return
+	}
+
+	target, ok := uni.Lookup(arg)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "defendplan: %s is not in the popularity universe\n", arg)
+		os.Exit(1)
+	}
+	plan := defend.Plan(target, *budget, *price, nil)
+	protected, total, frac := defend.Coverage(target, plan)
+	fmt.Printf("defensive registration plan for %s (rank #%d):\n", target.Name, target.Rank)
+	fmt.Printf("%-4s %-22s %14s %16s\n", "#", "domain", "protected/yr", "$/protected")
+	for i, r := range plan {
+		fmt.Printf("%-4d %-22s %14.0f %16.5f\n", i+1, r.Domain, r.ProtectedPerYear, r.CostPerProtected)
+	}
+	fmt.Printf("\n%d registrations ($%.2f/yr) protect %.0f of %.0f leaked emails/yr (%.1f%% coverage)\n",
+		len(plan), float64(len(plan))**price, protected, total, 100*frac)
+}

@@ -1,0 +1,116 @@
+// Command ecoscan performs the Section 5 ecosystem analysis over the
+// simulated registered-domain universe: ctypo enumeration, the Table 4
+// SMTP-support scan, WHOIS registrant clustering, MX concentration and
+// suspicious name servers.
+//
+// Usage:
+//
+//	ecoscan [-targets 400] [-universe 4000] [-seed 20161105] [-top 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"repro/internal/ecosys"
+	"repro/internal/probe"
+	"repro/internal/stats"
+	"repro/internal/whois"
+)
+
+func main() {
+	targets := flag.Int("targets", 400, "number of top domains to generate typos for")
+	universe := flag.Int("universe", 4000, "size of the synthetic Alexa list")
+	seed := flag.Int64("seed", 20161105, "generation seed")
+	top := flag.Int("top", 10, "rows to show per ranking")
+	flag.Parse()
+
+	cfg := ecosys.DefaultConfig()
+	cfg.Targets, cfg.UniverseSize, cfg.Seed = *targets, *universe, *seed
+	eco := ecosys.Generate(cfg)
+
+	ctypos := eco.Ctypos()
+	squat := eco.TyposquattingDomains()
+	fmt.Printf("universe %d domains, %d ctypos registered, %d typosquatting (taxonomy)\n\n",
+		eco.Universe.Len(), len(ctypos), len(squat))
+
+	// Table 4.
+	var names []string
+	for _, d := range ctypos {
+		names = append(names, d.Name)
+	}
+	table := probe.Table4(probe.Scan(names, &probe.EcoNet{Eco: eco}))
+	fmt.Println("SMTP support (Table 4):")
+	for sup := ecosys.SupportNoRecords; sup <= ecosys.SupportTLSOK; sup++ {
+		fmt.Printf("  %-28s %7d %5.1f%%\n", sup, table[sup], 100*float64(table[sup])/float64(len(ctypos)))
+	}
+
+	// Registrant clustering.
+	clusters := whois.Cluster(eco.WhoisRecords(), 4)
+	fmt.Printf("\nregistrant clusters (4-of-6 WHOIS fields): %d clusters\n", len(clusters))
+	for i, c := range clusters {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  #%-2d %5d domains (e.g. %s)\n", i+1, len(c), c[0])
+	}
+	var sizes []float64
+	for _, c := range clusters {
+		sizes = append(sizes, float64(len(c)))
+	}
+	if len(sizes) > 0 {
+		k := stats.TopShareCount(sizes, 0.5)
+		fmt.Printf("  top %d clusters (%.1f%%) own the majority of clustered domains\n",
+			k, 100*float64(k)/float64(len(sizes)))
+	}
+
+	// MX concentration.
+	mxCount := map[string]int{}
+	for _, d := range squat {
+		for _, mx := range d.MX {
+			mxCount[mx]++
+		}
+	}
+	type mxRow struct {
+		host string
+		n    int
+	}
+	var rows []mxRow
+	total := 0
+	for h, n := range mxCount {
+		rows = append(rows, mxRow{h, n})
+		total += n
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	fmt.Printf("\nMX concentration (%d mail-capable typosquatting domains):\n", total)
+	cum := 0.0
+	for i, r := range rows {
+		if i >= *top {
+			break
+		}
+		pct := 100 * float64(r.n) / float64(total)
+		cum += pct
+		fmt.Printf("  %-24s %6d %5.1f%% cum %5.1f%%\n", r.host, r.n, pct, cum)
+	}
+
+	// Suspicious name servers.
+	fmt.Println("\nname servers with outlying typo ratios:")
+	ratios := eco.NameServerTypoRatio()
+	type nsRow struct {
+		ns    string
+		ratio float64
+		n     int
+	}
+	var nsRows []nsRow
+	for ns, r := range ratios {
+		nsRows = append(nsRows, nsRow{ns, r, len(eco.NameServerDomains[ns])})
+	}
+	sort.Slice(nsRows, func(i, j int) bool { return nsRows[i].ratio > nsRows[j].ratio })
+	for i, r := range nsRows {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  %-28s ratio %.2f over %d domains\n", r.ns, r.ratio, r.n)
+	}
+}

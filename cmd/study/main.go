@@ -1,0 +1,101 @@
+// Command study runs the full reproduction: the seven-month collection
+// simulation, the ecosystem snapshot, and every table and figure of the
+// paper, printing each with its paper-vs-measured shape checks.
+//
+// Usage:
+//
+//	study [-seed 20160604] [-only "Table 4,Figure 5"]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 20160604, "simulation seed")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit results as JSON instead of text")
+	outDir := flag.String("out", "", "also write per-experiment artifacts (text + JSON) into this directory")
+	flag.Parse()
+
+	suite := experiments.NewSuite(*seed)
+	exps, err := suite.All()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "study: %v\n", err)
+		os.Exit(1)
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToLower(id)] = true
+		}
+	}
+
+	var selected []*experiments.Experiment
+	for _, e := range exps {
+		if len(want) > 0 && !want[strings.ToLower(e.ID)] {
+			continue
+		}
+		selected = append(selected, e)
+	}
+
+	if *outDir != "" {
+		if err := writeArtifacts(*outDir, selected); err != nil {
+			fmt.Fprintf(os.Stderr, "study: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := 0
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(selected); err != nil {
+			fmt.Fprintf(os.Stderr, "study: %v\n", err)
+			os.Exit(1)
+		}
+		for _, e := range selected {
+			if !e.OK() {
+				failed++
+			}
+		}
+	} else {
+		for _, e := range selected {
+			fmt.Println(e)
+			if !e.OK() {
+				failed++
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "study: %d experiments failed their shape checks\n", failed)
+		os.Exit(1)
+	}
+}
+
+// writeArtifacts saves each experiment as <id>.txt plus an all-in-one
+// results.json, so downstream tooling can diff runs.
+func writeArtifacts(dir string, exps []*experiments.Experiment) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, e := range exps {
+		name := strings.ToLower(strings.ReplaceAll(e.ID, " ", "")) + ".txt"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(e.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	blob, err := json.MarshalIndent(exps, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "results.json"), blob, 0o644)
+}

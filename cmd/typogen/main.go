@@ -1,0 +1,69 @@
+// Command typogen generates typo domains of a target (dnstwist-style):
+// every DL-1 gtypo with its edit class, position, fat-finger flag and
+// visual distance, optionally filtered the way the study filtered its
+// registrations.
+//
+// Usage:
+//
+//	typogen [-ff] [-maxvisual 0.3] [-ops add,del,sub,trans] [-prefixes] gmail.com
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/typogen"
+)
+
+func main() {
+	ff := flag.Bool("ff", false, "keep only fat-finger-1 typos")
+	maxVisual := flag.Float64("maxvisual", 0, "keep typos with visual distance <= this (0 = no cap)")
+	ops := flag.String("ops", "add,del,sub,trans", "comma-separated edit classes to generate")
+	prefixes := flag.Bool("prefixes", false, "also emit smtp/mail/webmail service-prefix typos")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: typogen [flags] <domain>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	target := strings.ToLower(flag.Arg(0))
+
+	opts := typogen.Options{FatFingerOnly: *ff, MaxVisual: *maxVisual}
+	for _, op := range strings.Split(*ops, ",") {
+		switch strings.TrimSpace(op) {
+		case "add":
+			opts.Additions = true
+		case "del":
+			opts.Deletions = true
+		case "sub":
+			opts.Substitutions = true
+		case "trans":
+			opts.Transpositions = true
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "typogen: unknown op %q (want add,del,sub,trans)\n", op)
+			os.Exit(2)
+		}
+	}
+
+	typos := typogen.Generate(target, opts)
+	if *prefixes {
+		typos = append(typos, typogen.ServicePrefixTypos(target, []string{"smtp", "mail", "webmail"})...)
+	}
+	fmt.Printf("# %d typo domains of %s\n", len(typos), target)
+	fmt.Printf("# %-24s %-14s pos ff    visual\n", "domain", "op")
+	for _, t := range typos {
+		fmt.Printf("%-26s %-14s %3d %-5v %.2f\n", t.Domain, t.Op, t.Position, t.FatFinger, t.Visual)
+	}
+	byOp := typogen.CountByOp(typos)
+	fmt.Printf("# per class:")
+	for op, n := range byOp {
+		fmt.Printf(" %s=%d", op, n)
+	}
+	fmt.Println()
+}

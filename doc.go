@@ -1,0 +1,12 @@
+// Package repro is a full reproduction of "Email Typosquatting"
+// (Szurdi and Christin, IMC 2017) as a Go library: typo-domain
+// generation and distance metrics, the DNS/SMTP collection
+// infrastructure, the five-layer spam/typo classification funnel, the
+// sensitive-information sanitizer, a simulated registered-domain
+// ecosystem with WHOIS and probing, the victim-side honey-email
+// experiment, and the regression projection — with one benchmark per
+// table and figure of the paper in bench_test.go.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,142 @@
+// Collection: a miniature Section 4 — a week of simulated traffic
+// (spam campaigns, reflection notifications, true typos) delivered over
+// real TCP to a live catch-all SMTP server, then classified corpus-wide
+// through the five-layer funnel, sanitized and vaulted.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/mailmsg"
+	"repro/internal/sanitize"
+	"repro/internal/smtpc"
+	"repro/internal/smtpd"
+	"repro/internal/spamfilter"
+	"repro/internal/users"
+	"repro/internal/vault"
+)
+
+const typoDomain = "gmial.com"
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rng := rand.New(rand.NewSource(42))
+
+	// Live catch-all server.
+	var mu sync.Mutex
+	var inbox []*smtpd.Envelope
+	srv, err := smtpd.NewServer(smtpd.Config{
+		Hostname: typoDomain,
+		Deliver: func(e *smtpd.Envelope) error {
+			mu.Lock()
+			defer mu.Unlock()
+			inbox = append(inbox, e)
+			return nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := make(chan net.Addr, 1)
+	go srv.ListenAndServe(ctx, "127.0.0.1:0", bound)
+	addr := (<-bound).String()
+	fmt.Printf("catch-all SMTP for %s on %s\n", typoDomain, addr)
+
+	// A week of traffic over the wire.
+	client := &smtpc.Client{HelloName: "sender.example", Timeout: 5 * time.Second}
+	send := func(from string, rcpt string, data []byte) {
+		if err := client.Send(ctx, addr, smtpc.ModePlain, from, []string{rcpt}, data); err != nil {
+			log.Fatalf("send: %v", err)
+		}
+	}
+	model := users.DefaultModel()
+	nSpam, nRefl, nTypo := 0, 0, 0
+	for i := 0; i < 120; i++ {
+		switch {
+		case i%3 != 2: // spam flood (scaled down)
+			m := corpus.CampaignMessage(rng, rng.Intn(10), 0.2)
+			rcpt := users.RandomLocalPart(rng) + "@" + typoDomain
+			m.SetHeader("To", rcpt)
+			send(mailmsg.Addr(m.From()), rcpt, m.Bytes())
+			nSpam++
+		case rng.Float64() < 0.3: // reflection notification
+			rcpt := users.RandomLocalPart(rng) + "@" + typoDomain
+			m := corpus.ReflectionMessage(rng, rcpt)
+			send(mailmsg.Addr(m.From()), rcpt, m.Bytes())
+			nRefl++
+		default: // a real person mistypes gmail.com
+			typed := model.SampleTypedDomain(rng, "gmail.com")
+			if typed == "gmail.com" {
+				typed = typoDomain // force the mistake for the demo
+			}
+			from := corpus.PersonAddr(rng, "yahoo.com")
+			rcpt := users.RandomLocalPart(rng) + "@" + typoDomain
+			kinds := []sanitize.Kind{sanitize.KindCreditCard}
+			if rng.Float64() < 0.7 {
+				kinds = nil
+			}
+			m := corpus.TypoEmail(rng, from, rcpt, kinds)
+			send(from, rcpt, m.Bytes())
+			nTypo++
+		}
+	}
+	fmt.Printf("sent over TCP: %d spam, %d reflection, %d true typos\n", nSpam, nRefl, nTypo)
+
+	// Classify the whole corpus (Layer 5 needs global frequencies).
+	mu.Lock()
+	var emails []*spamfilter.Email
+	for _, env := range inbox {
+		msg, err := mailmsg.Parse(env.Data)
+		if err != nil {
+			continue
+		}
+		emails = append(emails, &spamfilter.Email{
+			Msg: msg, ServerDomain: typoDomain, RcptAddr: env.Rcpts[0],
+			SenderAddr: env.MailFrom, Received: env.Received,
+		})
+	}
+	mu.Unlock()
+	classifier := spamfilter.NewClassifier(spamfilter.Config{
+		OurDomains:       map[string]bool{typoDomain: true},
+		ContentThreshold: 5, // scaled-down volumes need scaled thresholds
+		SenderThreshold:  5,
+	})
+	results := classifier.Classify(emails)
+	counts := spamfilter.CountByVerdict(results)
+	fmt.Println("funnel verdicts:")
+	for v := spamfilter.VerdictSpamHeader; v <= spamfilter.VerdictSMTPTypo; v++ {
+		if counts[v] > 0 {
+			fmt.Printf("  %-20s %d\n", v, counts[v])
+		}
+	}
+
+	// Sanitize and vault the survivors.
+	s := sanitize.New("example-salt")
+	v, err := vault.Open(vault.DeriveKey("example-passphrase"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sensitive := 0
+	for _, r := range results {
+		if !r.Verdict.IsTrueTypo() {
+			continue
+		}
+		clean, findings := s.Redact(r.Email.Msg.Body)
+		if len(findings) > 0 {
+			sensitive++
+		}
+		if _, err := v.Put(typoDomain, r.Verdict.String(), r.Email.Received, []byte(clean)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("vaulted %d surviving emails (%d carried sensitive identifiers)\n", v.Len(), sensitive)
+	srv.Close()
+}

@@ -1,0 +1,175 @@
+// Victim: a miniature Section 7 over real sockets — three "typosquatter"
+// SMTP servers with different behaviors (accept, bounce, stall), a live
+// HTTP beacon and a TCP honey shell account. Honey emails go out over
+// SMTP; one curious typosquatter opens the email (fetching the pixel),
+// extracts the DOCX beacon, and tries the shell credentials.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/extract"
+	"repro/internal/honey"
+	"repro/internal/mailmsg"
+	"repro/internal/smtpc"
+	"repro/internal/smtpd"
+)
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// Monitored infrastructure.
+	beacon := honey.NewBeacon(nil)
+	bBound := make(chan net.Addr, 1)
+	go beacon.ListenAndServe(ctx, "127.0.0.1:0", bBound)
+	beaconBase := "http://" + (<-bBound).String()
+	shell := honey.NewShellAccount(beacon)
+	sBound := make(chan net.Addr, 1)
+	go shell.ListenAndServe(ctx, "127.0.0.1:0", sBound)
+	shellAddr := (<-sBound).String()
+	fmt.Printf("beacon at %s, honey shell at %s\n", beaconBase, shellAddr)
+
+	// Three typosquatting domains with Table 5 behaviors.
+	type squatter struct {
+		domain   string
+		behavior smtpd.ConnAction
+		inbox    chan *smtpd.Envelope
+		addr     string
+	}
+	squatters := []*squatter{
+		{domain: "gmial.com", behavior: smtpd.ActProceed, inbox: make(chan *smtpd.Envelope, 8)},
+		{domain: "outlopk.com", behavior: smtpd.ActRejectAll},
+		{domain: "yahho.com", behavior: smtpd.ActStall},
+	}
+	for _, sq := range squatters {
+		sq := sq
+		cfg := smtpd.Config{
+			Hostname: sq.domain,
+			Behavior: func(string) smtpd.ConnAction { return sq.behavior },
+			Deliver: func(e *smtpd.Envelope) error {
+				if sq.inbox != nil {
+					sq.inbox <- e
+				}
+				return nil
+			},
+		}
+		srv, err := smtpd.NewServer(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bound := make(chan net.Addr, 1)
+		go srv.ListenAndServe(ctx, "127.0.0.1:0", bound)
+		sq.addr = (<-bound).String()
+	}
+
+	// Probe phase: which typosquatters accept our mail?
+	client := &smtpc.Client{HelloName: "victim.example", Timeout: 2 * time.Second}
+	var accepting []*squatter
+	for _, sq := range squatters {
+		probe := mailmsg.NewBuilder("probe@victim.example", "contact@"+sq.domain, "test").
+			Body("connectivity test\n").Build()
+		err := client.Send(ctx, sq.addr, smtpc.ModePlain, "probe@victim.example",
+			[]string{"contact@" + sq.domain}, probe.Bytes())
+		fmt.Printf("probe %-14s -> %s\n", sq.domain, smtpc.Classify(err))
+		if err == nil {
+			accepting = append(accepting, sq)
+		}
+	}
+
+	// Honey phase: one bait of each design to every accepting domain.
+	for _, sq := range accepting {
+		<-sq.inbox // drain the probe
+		for _, design := range honey.AllDesigns() {
+			bait := honey.Build("victim-key", beaconBase, "j.tailor@victim.example",
+				"contact@"+sq.domain, design)
+			if design == honey.DesignShellCreds {
+				shell.Arm(bait.Token)
+			}
+			if err := client.Send(ctx, sq.addr, smtpc.ModePlain, "j.tailor@victim.example",
+				[]string{"contact@" + sq.domain}, bait.Msg.Bytes()); err != nil {
+				log.Fatalf("honey send: %v", err)
+			}
+		}
+	}
+
+	// The typosquatter behind gmial.com reads their catch-all mailbox.
+	sq := accepting[0]
+	for i := 0; i < len(honey.AllDesigns()); i++ {
+		env := <-sq.inbox
+		msg, err := mailmsg.Parse(env.Data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// An HTML client fetches embedded images: the tracking pixel fires.
+		for _, u := range honey.ExtractURLs(msg) {
+			if resp, err := http.Get(u); err == nil {
+				resp.Body.Close()
+			}
+		}
+		// They open the attachment; the DOCX phones home.
+		for _, a := range msg.Attachments {
+			text, err := extract.Text(a.Filename, a.Data)
+			if err != nil {
+				continue
+			}
+			for _, f := range strings.Fields(text) {
+				if strings.HasPrefix(f, "http://") {
+					if resp, err := http.Get(f); err == nil {
+						resp.Body.Close()
+					}
+				}
+			}
+		}
+		// They try any credentials they find.
+		if user, pass, ok := scrapeCreds(msg.Body); ok {
+			conn, err := net.Dial("tcp", shellAddr)
+			if err == nil {
+				fmt.Fprintf(conn, "%s\n%s\n", user, pass)
+				buf := make([]byte, 64)
+				conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+				conn.Read(buf)
+				conn.Close()
+			}
+		}
+	}
+
+	time.Sleep(100 * time.Millisecond) // let the shell goroutine log
+	fmt.Println("\nbeacon log:")
+	kinds := map[honey.AccessKind]int{}
+	for _, h := range beacon.Hits() {
+		kinds[h.Kind]++
+		fmt.Printf("  %-13s token %s from %s\n", h.Kind, h.Token[:8], h.Remote)
+	}
+	fmt.Printf("\nsummary: %d pixel fetches, %d docx opens, %d shell logins\n",
+		kinds[honey.AccessPixel], kinds[honey.AccessDocx], kinds[honey.AccessShell])
+	if kinds[honey.AccessPixel] == 0 || kinds[honey.AccessShell] == 0 {
+		log.Fatal("expected the curious typosquatter to trip the monitors")
+	}
+}
+
+// scrapeCreds pulls "username: X ... password: Y" out of a body, the way
+// a credential-hunting typosquatter would.
+func scrapeCreds(body string) (user, pass string, ok bool) {
+	fields := strings.Fields(body)
+	for i, f := range fields {
+		if strings.HasPrefix(f, "username:") || f == "username:" {
+			if i+1 < len(fields) {
+				user = fields[i+1]
+			}
+		}
+		if f == "password:" && i+1 < len(fields) {
+			pass = fields[i+1]
+		}
+		if strings.HasPrefix(f, "ssh") && i+1 < len(fields) && strings.Contains(fields[i+1], "@") {
+			user = strings.SplitN(fields[i+1], "@", 2)[0]
+		}
+	}
+	return user, pass, user != "" && pass != ""
+}

@@ -1,0 +1,484 @@
+package repro
+
+// Integration tests exercising whole slices of the system across real
+// sockets: DNS (UDP) -> SMTP (TCP, with and without STARTTLS) -> funnel
+// -> sanitizer -> vault; WHOIS (TCP) -> clustering; honey emails ->
+// HTTP beacon -> TCP shell honeypot; plus concurrency stress on the
+// servers.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/dnsserve"
+	"repro/internal/dnswire"
+	"repro/internal/ecosys"
+	"repro/internal/honey"
+	"repro/internal/mailmsg"
+	"repro/internal/probe"
+	"repro/internal/resolve"
+	"repro/internal/sanitize"
+	"repro/internal/smtpc"
+	"repro/internal/smtpd"
+	"repro/internal/spamfilter"
+	"repro/internal/users"
+	"repro/internal/vault"
+	"repro/internal/whois"
+)
+
+// TestEndToEndCollectionPipeline drives the full §4 path over real
+// sockets: senders resolve the typo domain via UDP DNS, deliver over
+// TCP SMTP with STARTTLS, and the collection side classifies, sanitizes
+// and vaults.
+func TestEndToEndCollectionPipeline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	const typoDomain = "gmial.com"
+
+	// DNS.
+	store := dnsserve.NewStore()
+	store.Put(dnsserve.TypoZone(typoDomain, dnswire.IPv4(127, 0, 0, 1)))
+	dnsSrv := dnsserve.NewServer(store)
+	dnsBound := make(chan net.Addr, 1)
+	go dnsSrv.ListenAndServe(ctx, "127.0.0.1:0", dnsBound)
+	defer dnsSrv.Close()
+	resolver := resolve.New(&resolve.UDPExchanger{Server: (<-dnsBound).String()}, resolve.WithSeed(1))
+
+	// SMTP with STARTTLS.
+	tlsCfg, err := smtpd.SelfSignedTLS(typoDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var envelopes []*smtpd.Envelope
+	smtpSrv, err := smtpd.NewServer(smtpd.Config{
+		Hostname: typoDomain,
+		TLS:      tlsCfg,
+		Deliver: func(e *smtpd.Envelope) error {
+			mu.Lock()
+			defer mu.Unlock()
+			envelopes = append(envelopes, e)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smtpBound := make(chan net.Addr, 1)
+	go smtpSrv.ListenAndServe(ctx, "127.0.0.1:0", smtpBound)
+	defer smtpSrv.Close()
+	smtpAddr := (<-smtpBound).String()
+
+	// Senders resolve, then deliver.
+	hosts, implicit, err := resolver.MailHosts(ctx, typoDomain)
+	if err != nil || implicit || hosts[0] != typoDomain {
+		t.Fatalf("MailHosts = %v, %v, %v", hosts, implicit, err)
+	}
+	client := &smtpc.Client{HelloName: "mta.sender.example", Timeout: 5 * time.Second}
+	rng := rand.New(rand.NewSource(7))
+
+	sendMsgs := []struct {
+		msg  *mailmsg.Message
+		mode smtpc.Mode
+	}{
+		{corpus.TypoEmail(rng, "alice@gmail.com", "bob@"+typoDomain, []sanitize.Kind{sanitize.KindCreditCard}), smtpc.ModeSTARTTLS},
+		{corpus.SpamMessage(rng, 0), smtpc.ModePlain},
+		{corpus.ReflectionMessage(rng, "mistyped@"+typoDomain), smtpc.ModePlain},
+	}
+	for i, sm := range sendMsgs {
+		rcpt := mailmsg.Addr(sm.msg.To())
+		if mailmsg.AddrDomain(rcpt) != typoDomain {
+			rcpt = fmt.Sprintf("u%d@%s", i, typoDomain)
+			sm.msg.SetHeader("To", rcpt)
+		}
+		if err := client.Send(ctx, smtpAddr, sm.mode, mailmsg.Addr(sm.msg.From()), []string{rcpt}, sm.msg.Bytes()); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+
+	mu.Lock()
+	if len(envelopes) != 3 {
+		mu.Unlock()
+		t.Fatalf("delivered = %d", len(envelopes))
+	}
+	if !envelopes[0].TLS {
+		t.Error("STARTTLS delivery not flagged")
+	}
+	// Classify, sanitize, vault.
+	classifier := spamfilter.NewClassifier(spamfilter.Config{OurDomains: map[string]bool{typoDomain: true}})
+	sani := sanitize.New("integration-salt")
+	v, err := vault.Open(vault.DeriveKey("integration-pass"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := map[spamfilter.Verdict]int{}
+	for _, env := range envelopes {
+		parsed, err := mailmsg.Parse(env.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := classifier.ClassifyOne(&spamfilter.Email{
+			Msg: parsed, ServerDomain: typoDomain, RcptAddr: env.Rcpts[0],
+			SenderAddr: env.MailFrom, Received: env.Received,
+		})
+		verdicts[r.Verdict]++
+		if r.Verdict.IsTrueTypo() {
+			clean, findings := sani.Redact(parsed.Body)
+			if len(findings) == 0 {
+				t.Error("planted credit card not found")
+			}
+			if strings.Contains(clean, "371385") || bytes.Contains([]byte(clean), []byte("4111")) {
+				t.Error("card digits survived sanitization")
+			}
+			if _, err := v.Put(typoDomain, r.Verdict.String(), env.Received, []byte(clean)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	mu.Unlock()
+	if verdicts[spamfilter.VerdictReceiverTypo] != 1 {
+		t.Errorf("verdicts = %v, want one receiver typo", verdicts)
+	}
+	if verdicts[spamfilter.VerdictReflection] != 1 {
+		t.Errorf("verdicts = %v, want one reflection", verdicts)
+	}
+	spamCount := 0
+	for vd, n := range verdicts {
+		if vd.IsSpamVerdict() {
+			spamCount += n
+		}
+	}
+	if spamCount != 1 {
+		t.Errorf("verdicts = %v, want one spam", verdicts)
+	}
+	if v.Len() != 1 {
+		t.Errorf("vault = %d records", v.Len())
+	}
+}
+
+// TestWHOISOverTCPThenClustering serves the ecosystem's WHOIS directory
+// over port-43 protocol, queries a sample of domains like the paper's
+// PyWhois crawl, and clusters the retrieved records.
+func TestWHOISOverTCPThenClustering(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	eco := ecosys.Generate(ecosys.Config{Targets: 60, UniverseSize: 600, Seed: 4, BulkSquatters: 6, SharedMailHosts: 5})
+	srv := whois.NewServer(eco.WhoisDirectory())
+	bound := make(chan net.Addr, 1)
+	go srv.ListenAndServe(ctx, "127.0.0.1:0", bound)
+	defer srv.Close()
+	addr := (<-bound).String()
+
+	var fetched []whois.Record
+	n := 0
+	for _, d := range eco.Ctypos() {
+		if n >= 120 {
+			break
+		}
+		n++
+		rec, err := whois.Query(ctx, addr, d.Name)
+		if err != nil {
+			t.Fatalf("query %s: %v", d.Name, err)
+		}
+		if rec.Domain != d.Name {
+			t.Fatalf("got record for %q, want %q", rec.Domain, d.Name)
+		}
+		fetched = append(fetched, rec)
+	}
+	clusters := whois.Cluster(fetched, 4)
+	if len(clusters) == 0 {
+		t.Fatal("no clusters from crawled records")
+	}
+	// The biggest crawled cluster must map to one true registrant.
+	owners := map[int]bool{}
+	for _, domain := range clusters[0] {
+		owners[eco.Domains[domain].Registrant.ID] = true
+	}
+	if len(owners) != 1 {
+		t.Errorf("largest crawled cluster spans %d registrants", len(owners))
+	}
+}
+
+// TestProbeMatrixOverSockets probes live smtpd servers in each Table 4
+// configuration through real TCP connections.
+func TestProbeMatrixOverSockets(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := func(cfg smtpd.Config) (string, func()) {
+		srv, err := smtpd.NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := make(chan net.Addr, 1)
+		go srv.ListenAndServe(ctx, "127.0.0.1:0", bound)
+		return (<-bound).String(), srv.Close
+	}
+	nop := func(*smtpd.Envelope) error { return nil }
+
+	plainAddr, stop1 := start(smtpd.Config{Hostname: "plain.test", Deliver: nop})
+	defer stop1()
+	tlsCfg, err := smtpd.SelfSignedTLS("selfsigned.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlsAddr, stop2 := start(smtpd.Config{Hostname: "selfsigned.test", TLS: tlsCfg, Deliver: nop})
+	defer stop2()
+
+	if got := probe.ProbeAddr(ctx, plainAddr, "plain.test", 2*time.Second); got != ecosys.SupportPlain {
+		t.Errorf("plain probe = %v", got)
+	}
+	if got := probe.ProbeAddr(ctx, tlsAddr, "selfsigned.test", 2*time.Second); got != ecosys.SupportTLSErrors {
+		t.Errorf("self-signed probe = %v", got)
+	}
+}
+
+// TestHoneyEndToEndOverSockets sends a honey email over SMTP, "reads" it
+// by fetching its pixel over HTTP, and uses the credentials against the
+// TCP shell honeypot; the beacon must attribute all three events to the
+// same token.
+func TestHoneyEndToEndOverSockets(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	beacon := honey.NewBeacon(nil)
+	bBound := make(chan net.Addr, 1)
+	go beacon.ListenAndServe(ctx, "127.0.0.1:0", bBound)
+	defer beacon.Close()
+	base := "http://" + (<-bBound).String()
+
+	shell := honey.NewShellAccount(beacon)
+	sBound := make(chan net.Addr, 1)
+	go shell.ListenAndServe(ctx, "127.0.0.1:0", sBound)
+	shellAddr := (<-sBound).String()
+
+	inbox := make(chan *smtpd.Envelope, 1)
+	srv, err := smtpd.NewServer(smtpd.Config{
+		Hostname: "outfook.com",
+		Deliver:  func(e *smtpd.Envelope) error { inbox <- e; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mBound := make(chan net.Addr, 1)
+	go srv.ListenAndServe(ctx, "127.0.0.1:0", mBound)
+	defer srv.Close()
+	smtpAddr := (<-mBound).String()
+
+	bait := honey.Build("it-key", base, "victim@corp.example", "contact@outfook.com", honey.DesignShellCreds)
+	shell.Arm(bait.Token)
+	client := &smtpc.Client{Timeout: 5 * time.Second}
+	if err := client.Send(ctx, smtpAddr, smtpc.ModePlain, "victim@corp.example",
+		[]string{"contact@outfook.com"}, bait.Msg.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	env := <-inbox
+	msg, err := mailmsg.Parse(env.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Typosquatter opens the email (pixel) ...
+	for _, u := range honey.ExtractURLs(msg) {
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	// ... and tries the credentials.
+	conn, err := net.Dial("tcp", shellAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "%s\n%s\n", bait.Creds.Username, bait.Creds.Password)
+	buf := make([]byte, 64)
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	conn.Read(buf)
+	conn.Close()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(beacon.HitsFor(bait.Token)) >= 2 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	kinds := map[honey.AccessKind]bool{}
+	for _, h := range beacon.HitsFor(bait.Token) {
+		kinds[h.Kind] = true
+	}
+	if !kinds[honey.AccessPixel] || !kinds[honey.AccessShell] {
+		t.Fatalf("beacon kinds = %v, want pixel + shell", kinds)
+	}
+}
+
+// TestSMTPServerConcurrentSessions hammers one catch-all server with
+// parallel senders and verifies every message lands exactly once.
+func TestSMTPServerConcurrentSessions(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var mu sync.Mutex
+	got := map[string]bool{}
+	srv, err := smtpd.NewServer(smtpd.Config{
+		Hostname: "gmial.com",
+		Deliver: func(e *smtpd.Envelope) error {
+			parsed, err := mailmsg.Parse(e.Data)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			got[parsed.Subject()] = true
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := make(chan net.Addr, 1)
+	go srv.ListenAndServe(ctx, "127.0.0.1:0", bound)
+	defer srv.Close()
+	addr := (<-bound).String()
+
+	const workers, perWorker = 8, 10
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &smtpc.Client{Timeout: 10 * time.Second}
+			for i := 0; i < perWorker; i++ {
+				subject := fmt.Sprintf("msg-%d-%d", w, i)
+				msg := mailmsg.NewBuilder("a@b.com", "c@gmial.com", subject).
+					Body("concurrent delivery\n").Build()
+				if err := client.Send(ctx, addr, smtpc.ModePlain, "a@b.com",
+					[]string{"c@gmial.com"}, msg.Bytes()); err != nil {
+					errs <- fmt.Errorf("worker %d msg %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != workers*perWorker {
+		t.Fatalf("delivered %d unique messages, want %d", len(got), workers*perWorker)
+	}
+}
+
+// TestResolverConcurrentLookups checks the caching resolver under
+// parallel queries against a live DNS server.
+func TestResolverConcurrentLookups(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	store := dnsserve.NewStore()
+	for _, d := range []string{"gmial.com", "outlo0k.com", "hovmail.com"} {
+		store.Put(dnsserve.TypoZone(d, dnswire.IPv4(10, 0, 0, 1)))
+	}
+	srv := dnsserve.NewServer(store)
+	bound := make(chan net.Addr, 1)
+	go srv.ListenAndServe(ctx, "127.0.0.1:0", bound)
+	defer srv.Close()
+	r := resolve.New(&resolve.UDPExchanger{Server: (<-bound).String(), Timeout: 2 * time.Second}, resolve.WithSeed(9))
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for w := 0; w < 24; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			domain := []string{"gmial.com", "outlo0k.com", "hovmail.com"}[w%3]
+			hosts, _, err := r.MailHosts(ctx, domain)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(hosts) != 1 || hosts[0] != domain {
+				errs <- fmt.Errorf("hosts for %s = %v", domain, hosts)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	hits, misses := r.CacheStats()
+	if hits == 0 {
+		t.Errorf("no cache hits across %d parallel lookups (misses=%d)", 24, misses)
+	}
+}
+
+// TestTypingModelDrivesRealDelivery closes the loop between the user
+// model and the network: sample typed domains until one lands on a
+// registered typo domain, then actually deliver there.
+func TestTypingModelDrivesRealDelivery(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	model := users.DefaultModel()
+	model.CharErrorRate = 0.2 // accelerate mistakes for the test
+
+	registered := map[string]string{} // typo domain -> smtp addr
+	var servers []*smtpd.Server
+	delivered := make(chan string, 4)
+	for _, typo := range []string{"gmial.com", "gmal.com", "gmaill.com", "hmail.com", "gmial.net"} {
+		typo := typo
+		srv, err := smtpd.NewServer(smtpd.Config{
+			Hostname: typo,
+			Deliver:  func(e *smtpd.Envelope) error { delivered <- typo; return nil },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := make(chan net.Addr, 1)
+		go srv.ListenAndServe(ctx, "127.0.0.1:0", bound)
+		registered[typo] = (<-bound).String()
+		servers = append(servers, srv)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(11))
+	client := &smtpc.Client{Timeout: 5 * time.Second}
+	captured := 0
+	for attempt := 0; attempt < 4000 && captured == 0; attempt++ {
+		typed := model.SampleTypedDomain(rng, "gmail.com")
+		addr, isTrap := registered[typed]
+		if !isTrap {
+			continue // correct domain or unregistered typo: not our mail
+		}
+		msg := mailmsg.NewBuilder("sender@corp.example", "friend@"+typed, "hi").
+			Body("typed by a fallible human\n").Build()
+		if err := client.Send(ctx, addr, smtpc.ModePlain, "sender@corp.example",
+			[]string{"friend@" + typed}, msg.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		captured++
+	}
+	if captured == 0 {
+		t.Fatal("4000 sampled sends never hit a registered typo domain")
+	}
+	select {
+	case d := <-delivered:
+		t.Logf("captured at %s", d)
+	case <-time.After(2 * time.Second):
+		t.Fatal("delivery not observed")
+	}
+}

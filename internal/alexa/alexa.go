@@ -1,0 +1,224 @@
+// Package alexa is the stand-in for the Alexa Web Information Service
+// the paper leans on throughout: top-1M domain rankings (the gtypo
+// universe of Section 5.1), the email-category ranks that picked the
+// study's target domains, per-domain monthly visitor estimates (the
+// regression's E_i feature), and the relative traffic of registered typo
+// domains by mistake type (Figure 9's input).
+//
+// The universe is synthetic but shape-faithful: Zipf-ranked traffic, a
+// heavy tail, and per-mistake-type typo traffic weights in which deletion
+// and transposition mistakes dominate addition and substitution — the
+// paper's headline Figure 9 observation.
+package alexa
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/distance"
+)
+
+// Domain is one ranked domain.
+type Domain struct {
+	Name            string
+	Rank            int     // global rank, 1-based
+	EmailRank       int     // rank within the email category; 0 = not listed
+	MonthlyVisitors float64 // modeled unique visitors per month
+}
+
+// EmailProviders are the study's target domains with their synthetic
+// email-category ranks, mirroring Section 4.2.1's registration strategy:
+// top webmail providers, second-tier providers, disposable-address
+// services, ISPs with SMTP service, and financial domains.
+var EmailProviders = []struct {
+	Name      string
+	EmailRank int
+}{
+	{"gmail.com", 1},
+	{"outlook.com", 2},
+	{"hotmail.com", 3},
+	{"yahoo.com", 4},
+	{"aol.com", 5},
+	{"mail.com", 6},
+	{"icloud.com", 7},
+	{"gmx.com", 8},
+	{"zoho.com", 9},
+	{"rediffmail.com", 10},
+	{"hushmail.com", 11},
+	{"mailchimp.com", 12},
+	{"sendgrid.com", 13},
+	{"10minutemail.com", 14},
+	{"yopmail.com", 15},
+	{"comcast.com", 16},
+	{"verizon.com", 17},
+	{"att.com", 18},
+	{"cox.com", 19},
+	{"twc.com", 20},
+	{"paypal.com", 21},
+	{"chase.com", 22},
+}
+
+// Universe is the ranked domain list.
+type Universe struct {
+	domains []Domain
+	byName  map[string]*Domain
+}
+
+// zipfAlpha shapes the traffic distribution; ~1 matches web traffic.
+const zipfAlpha = 1.05
+
+// topVisitors anchors rank 1's monthly visitors.
+const topVisitors = 2.0e9
+
+// NewUniverse builds a deterministic n-domain universe. The email
+// providers above occupy their (synthetic) global ranks near the top;
+// remaining ranks get generated pronounceable names.
+func NewUniverse(n int, seed int64) *Universe {
+	rng := rand.New(rand.NewSource(seed))
+	u := &Universe{byName: make(map[string]*Domain, n)}
+	used := map[string]bool{}
+
+	// Pin the email providers to spread over the top ranks: provider with
+	// email rank k sits at global rank ~3k-2 (popular email services are
+	// popular sites, interleaved with non-email giants).
+	pinned := map[int]Domain{}
+	for _, p := range EmailProviders {
+		rank := 3*p.EmailRank - 2
+		if rank > n {
+			continue
+		}
+		pinned[rank] = Domain{Name: p.Name, Rank: rank, EmailRank: p.EmailRank}
+		used[p.Name] = true
+	}
+	for rank := 1; rank <= n; rank++ {
+		d, ok := pinned[rank]
+		if !ok {
+			name := genName(rng, used)
+			d = Domain{Name: name, Rank: rank}
+			used[name] = true
+		}
+		d.MonthlyVisitors = Visitors(rank)
+		u.domains = append(u.domains, d)
+	}
+	for i := range u.domains {
+		u.byName[u.domains[i].Name] = &u.domains[i]
+	}
+	return u
+}
+
+// Visitors models monthly unique visitors at a global rank.
+func Visitors(rank int) float64 {
+	if rank < 1 {
+		return 0
+	}
+	return topVisitors / math.Pow(float64(rank), zipfAlpha)
+}
+
+// Len returns the universe size.
+func (u *Universe) Len() int { return len(u.domains) }
+
+// Top returns the k highest-ranked domains.
+func (u *Universe) Top(k int) []Domain {
+	if k > len(u.domains) {
+		k = len(u.domains)
+	}
+	return append([]Domain(nil), u.domains[:k]...)
+}
+
+// Lookup finds a domain by name.
+func (u *Universe) Lookup(name string) (Domain, bool) {
+	d, ok := u.byName[strings.ToLower(name)]
+	if !ok {
+		return Domain{}, false
+	}
+	return *d, true
+}
+
+// EmailCategory returns domains listed in the email category, by email
+// rank — the list Section 4.2.1's registration strategy starts from.
+func (u *Universe) EmailCategory() []Domain {
+	var out []Domain
+	for _, d := range u.domains {
+		if d.EmailRank > 0 {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EmailRank < out[j].EmailRank })
+	return out
+}
+
+// All returns every domain in rank order.
+func (u *Universe) All() []Domain { return append([]Domain(nil), u.domains...) }
+
+// genName emits a pronounceable unused second-level name.
+func genName(rng *rand.Rand, used map[string]bool) string {
+	const consonants = "bcdfghjklmnpqrstvwz"
+	const vowels = "aeiou"
+	for {
+		var sb strings.Builder
+		syllables := 2 + rng.Intn(3)
+		for i := 0; i < syllables; i++ {
+			sb.WriteByte(consonants[rng.Intn(len(consonants))])
+			sb.WriteByte(vowels[rng.Intn(len(vowels))])
+			if rng.Float64() < 0.3 {
+				sb.WriteByte(consonants[rng.Intn(len(consonants))])
+			}
+		}
+		name := sb.String() + ".com"
+		if !used[name] {
+			return name
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Typo-domain traffic (Figure 9's substrate)
+
+// MistakeWeight is the relative frequency of each DL-1 mistake class, as
+// the paper measures from AWIS traffic of typo domains: deletion and
+// transposition mistakes are roughly an order of magnitude more frequent
+// than addition and substitution.
+func MistakeWeight(op distance.EditOp) float64 {
+	switch op {
+	case distance.OpDeletion:
+		return 1.00
+	case distance.OpTransposition:
+		return 0.75
+	case distance.OpSubstitution:
+		return 0.11
+	case distance.OpAddition:
+		return 0.07
+	default:
+		return 0.05
+	}
+}
+
+// TypoTraffic samples the AWIS-style relative popularity of a registered
+// typo domain: proportional to the target's traffic, scaled by the
+// mistake class, discounted by how visible the typo is, with log-normal
+// noise. Deterministic given rng.
+func TypoTraffic(target Domain, op distance.EditOp, visual float64, rng *rand.Rand) float64 {
+	base := target.MonthlyVisitors * 2e-6 // a few visits per million intended
+	w := MistakeWeight(op)
+	// Visible typos get corrected before the visit: exponential discount.
+	vis := math.Exp(-2.5 * visual)
+	noise := math.Exp(rng.NormFloat64() * 0.6)
+	return base * w * vis * noise
+}
+
+// RelativePopularity normalizes a typo domain's traffic against its
+// target's — AWIS's "relative popularity" that Figure 9 plots per
+// mistake class.
+func RelativePopularity(typoTraffic float64, target Domain) float64 {
+	if target.MonthlyVisitors == 0 {
+		return 0
+	}
+	return typoTraffic / (target.MonthlyVisitors * 2e-6)
+}
+
+func (d Domain) String() string {
+	return fmt.Sprintf("#%d %s (email #%d, %.3g visitors/mo)", d.Rank, d.Name, d.EmailRank, d.MonthlyVisitors)
+}

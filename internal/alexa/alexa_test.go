@@ -1,0 +1,176 @@
+package alexa
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/distance"
+	"repro/internal/stats"
+)
+
+func TestUniverseBasics(t *testing.T) {
+	u := NewUniverse(1000, 1)
+	if u.Len() != 1000 {
+		t.Fatalf("Len = %d", u.Len())
+	}
+	all := u.All()
+	for i, d := range all {
+		if d.Rank != i+1 {
+			t.Fatalf("rank %d at index %d", d.Rank, i)
+		}
+		if d.MonthlyVisitors <= 0 {
+			t.Fatalf("domain %s has no traffic", d.Name)
+		}
+		if i > 0 && all[i].MonthlyVisitors > all[i-1].MonthlyVisitors {
+			t.Fatalf("traffic not monotone at rank %d", d.Rank)
+		}
+	}
+}
+
+func TestUniverseDeterministic(t *testing.T) {
+	a, b := NewUniverse(500, 7), NewUniverse(500, 7)
+	for i := range a.All() {
+		if a.All()[i].Name != b.All()[i].Name {
+			t.Fatal("universe not deterministic")
+		}
+	}
+	c := NewUniverse(500, 8)
+	same := 0
+	for i := range a.All() {
+		if a.All()[i].Name == c.All()[i].Name {
+			same++
+		}
+	}
+	if same == 500 {
+		t.Error("different seeds gave identical universes")
+	}
+}
+
+func TestUniverseNoDuplicates(t *testing.T) {
+	u := NewUniverse(2000, 2)
+	seen := map[string]bool{}
+	for _, d := range u.All() {
+		if seen[d.Name] {
+			t.Fatalf("duplicate name %s", d.Name)
+		}
+		seen[d.Name] = true
+	}
+}
+
+func TestEmailProvidersPinned(t *testing.T) {
+	u := NewUniverse(1000, 1)
+	gmail, ok := u.Lookup("gmail.com")
+	if !ok {
+		t.Fatal("gmail.com not in universe")
+	}
+	if gmail.EmailRank != 1 || gmail.Rank != 1 {
+		t.Errorf("gmail = %+v", gmail)
+	}
+	cat := u.EmailCategory()
+	if len(cat) != len(EmailProviders) {
+		t.Fatalf("email category = %d, want %d", len(cat), len(EmailProviders))
+	}
+	for i := 1; i < len(cat); i++ {
+		if cat[i].EmailRank <= cat[i-1].EmailRank {
+			t.Fatal("email category not sorted")
+		}
+	}
+	if _, ok := u.Lookup("definitely-not-there.example"); ok {
+		t.Error("phantom lookup")
+	}
+}
+
+func TestVisitorsPowerLaw(t *testing.T) {
+	if Visitors(0) != 0 {
+		t.Error("rank 0 should have no visitors")
+	}
+	v1, v10, v100 := Visitors(1), Visitors(10), Visitors(100)
+	if !(v1 > v10 && v10 > v100) {
+		t.Fatalf("not decreasing: %g %g %g", v1, v10, v100)
+	}
+	// Power law: equal ratios per decade.
+	r1 := v1 / v10
+	r2 := v10 / v100
+	if r1/r2 < 0.99 || r1/r2 > 1.01 {
+		t.Errorf("not scale free: %g vs %g", r1, r2)
+	}
+}
+
+func TestTop(t *testing.T) {
+	u := NewUniverse(100, 3)
+	if got := len(u.Top(10)); got != 10 {
+		t.Errorf("Top(10) = %d", got)
+	}
+	if got := len(u.Top(1000)); got != 100 {
+		t.Errorf("Top(1000) = %d", got)
+	}
+}
+
+func TestMistakeWeightOrdering(t *testing.T) {
+	// Figure 9: deletion and transposition dominate addition and
+	// substitution by roughly an order of magnitude.
+	del, tr := MistakeWeight(distance.OpDeletion), MistakeWeight(distance.OpTransposition)
+	add, sub := MistakeWeight(distance.OpAddition), MistakeWeight(distance.OpSubstitution)
+	if !(del > sub && del > add && tr > sub && tr > add) {
+		t.Fatalf("weights: del=%v tr=%v sub=%v add=%v", del, tr, sub, add)
+	}
+	if del/sub < 5 || tr/add < 5 {
+		t.Errorf("separation less than the paper's order of magnitude: del/sub=%v tr/add=%v", del/sub, tr/add)
+	}
+}
+
+func TestTypoTrafficShape(t *testing.T) {
+	u := NewUniverse(100, 1)
+	gmail, _ := u.Lookup("gmail.com")
+	rng := rand.New(rand.NewSource(42))
+	sample := func(op distance.EditOp, visual float64) float64 {
+		var xs []float64
+		for i := 0; i < 400; i++ {
+			xs = append(xs, TypoTraffic(gmail, op, visual, rng))
+		}
+		return stats.Mean(xs)
+	}
+	delMean := sample(distance.OpDeletion, 0.3)
+	subMean := sample(distance.OpSubstitution, 0.3)
+	if delMean <= subMean {
+		t.Errorf("deletion mean %g <= substitution mean %g", delMean, subMean)
+	}
+	// Visual distance suppresses traffic.
+	closeMean := sample(distance.OpSubstitution, 0.05)
+	farMean := sample(distance.OpSubstitution, 0.9)
+	if closeMean <= farMean {
+		t.Errorf("visually close %g <= far %g", closeMean, farMean)
+	}
+	// More popular targets leak more.
+	low := u.All()[80]
+	lowMean := 0.0
+	for i := 0; i < 400; i++ {
+		lowMean += TypoTraffic(low, distance.OpDeletion, 0.3, rng)
+	}
+	lowMean /= 400
+	if delMean <= lowMean {
+		t.Errorf("popular target %g <= unpopular %g", delMean, lowMean)
+	}
+}
+
+func TestRelativePopularity(t *testing.T) {
+	u := NewUniverse(10, 1)
+	gmail, _ := u.Lookup("gmail.com")
+	rng := rand.New(rand.NewSource(1))
+	tt := TypoTraffic(gmail, distance.OpDeletion, 0, rng)
+	rp := RelativePopularity(tt, gmail)
+	if rp <= 0 || rp > 100 {
+		t.Errorf("relative popularity = %g", rp)
+	}
+	if RelativePopularity(1, Domain{}) != 0 {
+		t.Error("zero-traffic target should give 0")
+	}
+}
+
+func TestDomainString(t *testing.T) {
+	u := NewUniverse(10, 1)
+	d, _ := u.Lookup("gmail.com")
+	if s := d.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

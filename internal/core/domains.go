@@ -1,0 +1,186 @@
+// Package core orchestrates the paper end to end: the 76-domain
+// registration strategy of Section 4.2.1, the seven-month collection and
+// classification run of Sections 4.3–4.4, the ecosystem snapshot of
+// Section 5, the regression projection of Section 6, and the honey-email
+// experiment of Section 7.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/distance"
+)
+
+// DomainKind is why a study domain was registered.
+type DomainKind int
+
+// Registration intents from Section 4.2.1's strategy.
+const (
+	KindReceiver   DomainKind = iota // catch receiver + reflection typos
+	KindDisposable                   // typos of disposable-mail services (reflection-heavy)
+	KindSMTPTrap                     // catch SMTP-configuration typos
+)
+
+func (k DomainKind) String() string {
+	switch k {
+	case KindReceiver:
+		return "receiver"
+	case KindDisposable:
+		return "disposable"
+	default:
+		return "smtp-trap"
+	}
+}
+
+// StudyDomain is one of the domains the study registers.
+type StudyDomain struct {
+	Name   string
+	Target string // the legitimate domain it typosquats
+	Kind   DomainKind
+}
+
+// Op classifies the typo's DL-1 edit class.
+func (d StudyDomain) Op() distance.EditOp {
+	return distance.ClassifyEdit(distance.SLD(d.Target), distance.SLD(d.Name))
+}
+
+// Visual returns the typo's visual-distance heuristic.
+func (d StudyDomain) Visual() float64 {
+	return distance.Visual(distance.SLD(d.Target), distance.SLD(d.Name))
+}
+
+// ReceiverTypoDomains reconstructs the 27 provider-targeting receiver
+// typo domains of Figure 5, exactly as named in the paper.
+func ReceiverTypoDomains() []StudyDomain {
+	mk := func(name, target string) StudyDomain {
+		return StudyDomain{Name: name, Target: target, Kind: KindReceiver}
+	}
+	return []StudyDomain{
+		// outlook.com (8)
+		mk("ohtlook.com", "outlook.com"),
+		mk("outlo0k.com", "outlook.com"),
+		mk("outmook.com", "outlook.com"),
+		mk("ouulook.com", "outlook.com"),
+		mk("oetlook.com", "outlook.com"),
+		mk("ouvlook.com", "outlook.com"),
+		mk("o7tlook.com", "outlook.com"),
+		mk("ou6look.com", "outlook.com"),
+		// hotmail.com (2)
+		mk("hovmail.com", "hotmail.com"),
+		mk("ho6mail.com", "hotmail.com"),
+		// gmail.com (2)
+		mk("gmaiql.com", "gmail.com"),
+		mk("gmai-l.com", "gmail.com"),
+		// verizon.com (7)
+		mk("verizo0n.com", "verizon.com"),
+		mk("verhzon.com", "verizon.com"),
+		mk("evrizon.com", "verizon.com"),
+		mk("ve5izon.com", "verizon.com"),
+		mk("vebizon.com", "verizon.com"),
+		mk("vepizon.com", "verizon.com"),
+		mk("vermzon.com", "verizon.com"),
+		// comcast.com (6)
+		mk("comcasu.com", "comcast.com"),
+		mk("comcas5.com", "comcast.com"),
+		mk("comaast.com", "comcast.com"),
+		mk("coicast.com", "comcast.com"),
+		mk("comcawst.com", "comcast.com"),
+		mk("comca3t.com", "comcast.com"),
+		// zoho (2)
+		mk("zohomil.com", "zohomail.com"),
+		mk("zohomial.com", "zohomail.com"),
+	}
+}
+
+// DisposableTypoDomains are the four typos of disposable/bulk mail
+// services completing the 31 receiver-side registrations.
+func DisposableTypoDomains() []StudyDomain {
+	mk := func(name, target string) StudyDomain {
+		return StudyDomain{Name: name, Target: target, Kind: KindDisposable}
+	}
+	return []StudyDomain{
+		mk("yopail.com", "yopmail.com"),
+		mk("10minutemial.com", "10minutemail.com"),
+		mk("mailchmip.com", "mailchimp.com"),
+		mk("sendgird.com", "sendgrid.com"),
+	}
+}
+
+// SMTPTrapDomains are the 45 domains registered against SMTP-settings
+// typos on ISPs and financial institutions (Section 4.2.1): variants of
+// the provider's SMTP host names (smtpverizon.net for smtp.verizon.net,
+// mx4hotmail.com, and DL-1 typos of smtp.<isp> hostnames).
+func SMTPTrapDomains() []StudyDomain {
+	targets := []string{
+		"verizon.net", "comcast.net", "att.net", "cox.net", "twc.com",
+		"paypal.com", "chase.com", "hotmail.com", "gmail.com",
+	}
+	var out []StudyDomain
+	for _, target := range targets {
+		sld := distance.SLD(target)
+		tld := distance.TLD(target)
+		for _, name := range []string{
+			"smtp" + sld + "." + tld,  // missing-dot smtp.<target>
+			"mx4" + sld + ".com",      // mail-exchanger lookalike
+			"smtp-" + sld + ".com",    // hyphenated settings typo
+			"smtp" + sld + "mail.com", // verbose settings typo
+			"mail" + sld + ".net",     // webmail-style lookalike
+		} {
+			out = append(out, StudyDomain{Name: name, Target: target, Kind: KindSMTPTrap})
+		}
+	}
+	return out
+}
+
+// AllStudyDomains returns the full 76-domain registration.
+func AllStudyDomains() []StudyDomain {
+	var out []StudyDomain
+	out = append(out, ReceiverTypoDomains()...)
+	out = append(out, DisposableTypoDomains()...)
+	out = append(out, SMTPTrapDomains()...)
+	return out
+}
+
+// SeedDomains returns the 25 study domains targeting the five projection
+// targets of Section 6.1 (gmail, hotmail, outlook, comcast, verizon).
+func SeedDomains() []StudyDomain {
+	seedTargets := map[string]bool{
+		"gmail.com": true, "hotmail.com": true, "outlook.com": true,
+		"comcast.com": true, "verizon.com": true,
+	}
+	var out []StudyDomain
+	for _, d := range ReceiverTypoDomains() {
+		if seedTargets[d.Target] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// validateDomains sanity-checks the reconstruction against the paper's
+// stated counts; called from tests.
+func validateDomains() error {
+	recv, disp, traps := ReceiverTypoDomains(), DisposableTypoDomains(), SMTPTrapDomains()
+	if len(recv) != 27 {
+		return fmt.Errorf("receiver domains = %d, want 27", len(recv))
+	}
+	if len(recv)+len(disp) != 31 {
+		return fmt.Errorf("receiver-side registrations = %d, want 31", len(recv)+len(disp))
+	}
+	if total := len(recv) + len(disp) + len(traps); total != 76 {
+		return fmt.Errorf("total registrations = %d, want 76", total)
+	}
+	if len(SeedDomains()) != 25 {
+		return fmt.Errorf("seed domains = %d, want 25", len(SeedDomains()))
+	}
+	seen := map[string]bool{}
+	for _, d := range AllStudyDomains() {
+		name := strings.ToLower(d.Name)
+		if seen[name] {
+			return fmt.Errorf("duplicate study domain %s", name)
+		}
+		seen[name] = true
+	}
+	return nil
+}

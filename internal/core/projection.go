@@ -1,0 +1,252 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/alexa"
+	"repro/internal/distance"
+	"repro/internal/ecosys"
+	"repro/internal/regress"
+	"repro/internal/stats"
+)
+
+// ProjectionTargets are the five email domains the Section 6 projection
+// extrapolates from.
+var ProjectionTargets = []string{
+	"gmail.com", "hotmail.com", "outlook.com", "comcast.com", "verizon.com",
+}
+
+// projFeatures computes the paper's three regressors for a typo of a
+// target: log-transformed Alexa rank, square root of the visual
+// heuristic normalized by the target length, and the fat-finger
+// indicator.
+func projFeatures(target alexa.Domain, typoDomain string) []float64 {
+	ts, ys := distance.SLD(target.Name), distance.SLD(typoDomain)
+	ff := 0.0
+	if distance.IsFatFinger1(ts, ys) {
+		ff = 1
+	}
+	return []float64{
+		regress.LogRank(target.Rank),
+		math.Sqrt(distance.NormalizedVisual(target.Name, typoDomain)),
+		ff,
+	}
+}
+
+var projFeatureNames = []string{"log(alexa rank)", "sqrt(visual/len)", "fat-finger"}
+
+// Projection is the Section 6.2 output.
+type Projection struct {
+	Model   *regress.Model
+	LOOCVR2 float64
+
+	// DomainCount is the number of third-party typosquatting domains the
+	// projection covers (the paper: 1,211).
+	DomainCount int
+	// Total and its 95% interval, emails/year (paper: 260,514
+	// [22,577, 905,174]).
+	Total stats.Interval
+	// Corrected rescales per-mistake-class volumes by the measured
+	// Figure 9 popularity ratios (paper: 846,219 [58,460, 4,039,500]).
+	Corrected stats.Interval
+
+	// MistakePopularity is Figure 9's series: per edit class, the mean
+	// relative popularity of registered typo domains with its 95% CI.
+	MistakePopularity map[distance.EditOp]stats.Interval
+}
+
+// ErrNoSeeds indicates the collection produced no usable seed data.
+var ErrNoSeeds = errors.New("core: no seed observations for the projection")
+
+// Project runs the Section 6 analysis: fit the regression on the 25 seed
+// domains' observed yearly volumes, then predict every third-party
+// typosquatting domain of the five targets in the ecosystem.
+func Project(res *Result, uni *alexa.Universe, eco *ecosys.Ecosystem) (*Projection, error) {
+	// ---- Training set: the 25 seed domains.
+	var X [][]float64
+	var y []float64
+	for _, d := range SeedDomains() {
+		st, ok := res.PerDomain[d.Name]
+		if !ok {
+			continue
+		}
+		target, ok := uni.Lookup(d.Target)
+		if !ok {
+			continue
+		}
+		X = append(X, projFeatures(target, d.Name))
+		y = append(y, regress.SqrtSpace(st.ReceiverYearly+st.ReflectionYearly))
+	}
+	if len(y) < 8 {
+		return nil, ErrNoSeeds
+	}
+	model, err := regress.Fit(X, y, projFeatureNames)
+	if err != nil {
+		return nil, fmt.Errorf("core: fitting projection: %w", err)
+	}
+	cv, err := regress.LOOCV(X, y, projFeatureNames)
+	if err != nil {
+		return nil, fmt.Errorf("core: cross-validating: %w", err)
+	}
+
+	proj := &Projection{Model: model, LOOCVR2: cv}
+	proj.MistakePopularity = MistakePopularity(eco)
+
+	// ---- Prediction set: third-party typosquatting domains of the five
+	// targets (excluding the study's own registrations).
+	ours := map[string]bool{}
+	for _, d := range AllStudyDomains() {
+		ours[d.Name] = true
+	}
+	targetSet := map[string]bool{}
+	for _, t := range ProjectionTargets {
+		targetSet[t] = true
+	}
+	// The correction rescales each mistake class by its measured relative
+	// popularity against the class mix the model was trained on.
+	trainMix := seedMistakeBaseline(proj.MistakePopularity)
+
+	var totalMean, totalLo, totalHi float64
+	var corrMean, corrLo, corrHi float64
+	for _, info := range eco.TyposquattingDomains() {
+		if !targetSet[info.Target] || ours[info.Name] {
+			continue
+		}
+		target, ok := uni.Lookup(info.Target)
+		if !ok {
+			continue
+		}
+		proj.DomainCount++
+		iv := model.PredictionInterval(projFeatures(target, info.Name), 0.95)
+		mean := regress.FromSqrtSpace(iv.Mean)
+		lo := regress.FromSqrtSpace(iv.Low)
+		hi := regress.FromSqrtSpace(iv.High)
+		totalMean += mean
+		totalLo += lo
+		totalHi += hi
+
+		corr := mistakeCorrection(proj.MistakePopularity, info.Op, trainMix)
+		corrMean += mean * corr
+		corrLo += lo * corr
+		corrHi += hi * corr
+	}
+	proj.Total = stats.Interval{Mean: totalMean, Low: totalLo, High: totalHi, Level: 0.95}
+	proj.Corrected = stats.Interval{Mean: corrMean, Low: corrLo, High: corrHi, Level: 0.95}
+	return proj, nil
+}
+
+// MistakePopularity computes Figure 9 from the ecosystem: for the typo
+// domains of the 40 most popular targets, the mean AWIS relative
+// popularity per mistake class with a 95% CI, after MAD outlier removal
+// (accidentally-popular lexical neighbors are not typo traffic).
+func MistakePopularity(eco *ecosys.Ecosystem) map[distance.EditOp]stats.Interval {
+	top := map[string]alexa.Domain{}
+	for _, d := range eco.Universe.Top(40) {
+		top[d.Name] = d
+	}
+	samples := map[distance.EditOp][]float64{}
+	for _, info := range eco.Ctypos() {
+		target, ok := top[info.Target]
+		if !ok {
+			continue
+		}
+		switch info.Op {
+		case distance.OpAddition, distance.OpDeletion, distance.OpSubstitution, distance.OpTransposition:
+			rp := alexa.RelativePopularity(info.Traffic, target)
+			samples[info.Op] = append(samples[info.Op], rp)
+		}
+	}
+	out := make(map[distance.EditOp]stats.Interval, len(samples))
+	for op, xs := range samples {
+		trimmed := stats.TrimOutliersMAD(xs, 5)
+		if iv, err := stats.MeanCI(trimmed, 0.95); err == nil {
+			out[op] = iv
+		}
+	}
+	return out
+}
+
+// seedMistakeBaseline is the popularity of the mistake mix present in
+// the training seeds (dominated by substitutions), against which the
+// correction rescales.
+func seedMistakeBaseline(pop map[distance.EditOp]stats.Interval) float64 {
+	var sum float64
+	var n int
+	for _, d := range SeedDomains() {
+		if iv, ok := pop[d.Op()]; ok && iv.Mean > 0 {
+			sum += iv.Mean
+			n++
+		}
+	}
+	if n == 0 || sum == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// mistakeCorrection returns the volume multiplier for a predicted
+// domain's mistake class.
+func mistakeCorrection(pop map[distance.EditOp]stats.Interval, op distance.EditOp, baseline float64) float64 {
+	iv, ok := pop[op]
+	if !ok || baseline <= 0 || iv.Mean <= 0 {
+		return 1
+	}
+	return iv.Mean / baseline
+}
+
+// CostPerEmail computes the economics paragraph of Section 6.2: yearly
+// registration spend over yearly captured email.
+func CostPerEmail(domains int, yearlyEmails float64) float64 {
+	const registration = 8.5 // USD per .com domain and year
+	if yearlyEmails <= 0 {
+		return math.Inf(1)
+	}
+	return float64(domains) * registration / yearlyEmails
+}
+
+// TopDomainsCost reports the paper's "top five domains, under a penny"
+// variant: cost per email keeping only the best-performing k domains.
+func TopDomainsCost(res *Result, k int) float64 {
+	type pair struct {
+		name  string
+		count float64
+	}
+	var ps []pair
+	for name, st := range res.PerDomain {
+		ps = append(ps, pair{name, st.ReceiverYearly + st.ReflectionYearly})
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].count != ps[j].count {
+			return ps[i].count > ps[j].count
+		}
+		return ps[i].name < ps[j].name
+	})
+	if k > len(ps) {
+		k = len(ps)
+	}
+	var total float64
+	for _, p := range ps[:k] {
+		total += p.count
+	}
+	return CostPerEmail(k, total)
+}
+
+// FormatProjection renders the Section 6.2 numbers.
+func FormatProjection(p *Projection) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Regression R2=%.2f (LOOCV %.2f) over seed domains\n", p.Model.R2, p.LOOCVR2)
+	fmt.Fprintf(&sb, "%d third-party typosquatting domains of the 5 targets\n", p.DomainCount)
+	fmt.Fprintf(&sb, "Projected:  %.0f emails/yr [%.0f, %.0f]\n", p.Total.Mean, p.Total.Low, p.Total.High)
+	fmt.Fprintf(&sb, "Corrected:  %.0f emails/yr [%.0f, %.0f]\n", p.Corrected.Mean, p.Corrected.Low, p.Corrected.High)
+	ops := []distance.EditOp{distance.OpAddition, distance.OpTransposition, distance.OpDeletion, distance.OpSubstitution}
+	for _, op := range ops {
+		if iv, ok := p.MistakePopularity[op]; ok {
+			fmt.Fprintf(&sb, "  %-14s rel. popularity %s\n", op, iv)
+		}
+	}
+	return sb.String()
+}

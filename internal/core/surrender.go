@@ -1,0 +1,36 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dnsserve"
+)
+
+// Surrender implements the study's trademark commitment (Section 4.1):
+// "We agreed to surrender any domain we registered to the legitimate
+// owner of a trademark it could potentially infringe upon simple
+// request." Surrendering a domain removes it from the active
+// registration list, tears down its DNS zone if one is installed, and
+// destroys every vaulted record collected through it.
+//
+// It returns the number of destroyed records, and an error when the
+// domain was never part of the study.
+func (s *Study) Surrender(domain string, zones *dnsserve.Store) (int, error) {
+	domain = strings.ToLower(strings.TrimSuffix(domain, "."))
+	idx := -1
+	for i, d := range s.Domains {
+		if d.Name == domain {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0, fmt.Errorf("core: %s is not a study domain", domain)
+	}
+	s.Domains = append(s.Domains[:idx], s.Domains[idx+1:]...)
+	if zones != nil {
+		zones.Delete(domain)
+	}
+	return s.Vault.Surrender(domain), nil
+}

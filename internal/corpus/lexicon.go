@@ -1,0 +1,126 @@
+// Package corpus generates the labeled synthetic corpora the study's
+// evaluations run on, replacing datasets we cannot ship:
+//
+//   - an Enron-like business-email corpus with planted sensitive
+//     identifiers, ground truth known by construction (Table 2's
+//     evaluation substrate);
+//   - four spam/ham datasets standing in for TREC, CSDMC, the
+//     SpamAssassin public corpus and the Untroubled spam archive
+//     (Table 3), each with its own "evasion level" so the filter's
+//     recall varies across datasets the way the paper reports;
+//   - the word/name lexicons the user and spam generators draw from.
+//
+// All output is deterministic given a seed.
+package corpus
+
+import "math/rand"
+
+// Lexicons are intentionally small: the generators compose them
+// combinatorially, which is what matters for the bag-of-words and
+// frequency analyses downstream.
+
+// FirstNames used for senders and signatures.
+var FirstNames = []string{
+	"john", "dave", "rob", "barry", "alice", "carol", "erin", "frank",
+	"grace", "heidi", "ivan", "judy", "ken", "laura", "mallory", "niaz",
+	"olivia", "peggy", "quentin", "rupert", "sybil", "trent", "victor", "wendy",
+}
+
+// LastNames used for senders and signatures.
+var LastNames = []string{
+	"lavorato", "delainey", "milnthorp", "tycholiz", "smith", "jones",
+	"taylor", "brown", "williams", "wilson", "johnson", "davies", "patel",
+	"walker", "wright", "thompson", "white", "hughes", "edwards", "green",
+}
+
+// BusinessWords compose ham bodies.
+var BusinessWords = []string{
+	"meeting", "schedule", "contract", "pipeline", "capacity", "position",
+	"forecast", "quarter", "revenue", "desk", "trading", "counterparty",
+	"settlement", "invoice", "approval", "deadline", "review", "proposal",
+	"budget", "hedge", "delivery", "storage", "agreement", "summary",
+	"update", "report", "numbers", "spreadsheet", "conference", "travel",
+	"rooms", "booking", "flight", "agenda", "minutes", "follow", "team",
+	"project", "client", "vendor", "legal", "draft", "final", "attached",
+}
+
+// HamSubjects start ham subject lines.
+var HamSubjects = []string{
+	"meeting tomorrow", "re: contract draft", "travel plans", "q3 forecast",
+	"lunch?", "fw: pipeline capacity", "schedule update", "re: invoice",
+	"weekend plans", "conference registration", "re: proposal review",
+	"budget numbers", "team offsite", "re: settlement", "quick question",
+}
+
+// SpamSubjectsObvious trip many content rules.
+var SpamSubjectsObvious = []string{
+	"VIAGRA 80% OFF TODAY ONLY!!!", "You are a WINNER! Claim your prize",
+	"FREE money waiting for you", "Hot singles in your area!!!",
+	"URGENT: your account will be suspended", "Make $5000 a week from home",
+	"Cheap meds no prescription needed", "CONGRATULATIONS you have been selected",
+	"Lose 30 pounds in 30 days GUARANTEED", "Nigerian prince requires assistance",
+}
+
+// SpamSubjectsSubtle trip fewer rules (the Untroubled-archive style).
+var SpamSubjectsSubtle = []string{
+	"re: your inquiry", "document attached", "invoice 4451", "delivery status",
+	"account statement", "order confirmation", "scanned document", "payment advice",
+	"voicemail message", "fax received", "re: re: proposal",
+}
+
+// SpamPhrases compose spam bodies.
+var SpamPhrases = []string{
+	"click here now", "limited time offer", "act now", "no obligation",
+	"100% free", "risk free", "money back guarantee", "order now",
+	"unsubscribe here", "this is not spam", "dear friend", "winner winner",
+	"claim your prize", "exclusive deal", "lowest prices", "online pharmacy",
+	"work from home", "extra income", "no experience required", "be your own boss",
+}
+
+// SubtleSpamPhrases avoid the obvious keywords.
+var SubtleSpamPhrases = []string{
+	"please see the attached file", "kindly confirm receipt",
+	"your statement is ready", "view the document", "the file is attached",
+	"per our records", "reference number enclosed", "see attachment for details",
+}
+
+// NewsletterPhrases mark reflection-typo notification mail (Layer 4 cues).
+var NewsletterPhrases = []string{
+	"to unsubscribe from this list click here",
+	"you are receiving this because you signed up",
+	"remove yourself from future mailings",
+	"manage your email preferences",
+	"update your subscription settings",
+}
+
+// ServiceNames are the senders of reflection-typo notifications.
+var ServiceNames = []string{
+	"raffle-central", "shopfast", "jobhunt", "newsburst", "traveldeals",
+	"fitclub", "couponblast", "socialife", "gamezone", "learnly",
+}
+
+// pick returns a deterministic random element.
+func pick[T any](rng *rand.Rand, xs []T) T { return xs[rng.Intn(len(xs))] }
+
+// words returns n space-joined business words.
+func words(rng *rand.Rand, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += pick(rng, BusinessWords)
+	}
+	return out
+}
+
+// PersonName returns a deterministic "first last" pair.
+func PersonName(rng *rand.Rand) (string, string) {
+	return pick(rng, FirstNames), pick(rng, LastNames)
+}
+
+// PersonAddr builds an address like d.lavorato@domain.
+func PersonAddr(rng *rand.Rand, domain string) string {
+	f, l := PersonName(rng)
+	return f[:1] + "." + l + "@" + domain
+}

@@ -1,0 +1,102 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/extract"
+	"repro/internal/mailmsg"
+	"repro/internal/sanitize"
+)
+
+// SensitiveLine writes one sentence containing a planted identifier of
+// the given kind — the generator behind both the Enron-like evaluation
+// corpus and the sensitive payloads occasionally present in true typo
+// emails (Figure 6).
+func SensitiveLine(rng *rand.Rand, kind sanitize.Kind) string {
+	switch kind {
+	case sanitize.KindCreditCard:
+		return "Amex " + randomCard(rng) + " for the booking."
+	case sanitize.KindSSN:
+		return fmt.Sprintf("My ssn is %03d-%02d-%04d for the form.", 1+rng.Intn(665), 1+rng.Intn(99), 1+rng.Intn(9999))
+	case sanitize.KindEIN:
+		return fmt.Sprintf("The company EIN: %02d-%07d.", 10+rng.Intn(89), 1000000+rng.Intn(8999999))
+	case sanitize.KindPassword:
+		return "password: " + randomSecret(rng)
+	case sanitize.KindVIN:
+		return "Vehicle vin " + randomVIN(rng) + " needs registration."
+	case sanitize.KindUsername:
+		return "username: " + pick(rng, FirstNames) + fmt.Sprintf("%02d", rng.Intn(100))
+	case sanitize.KindZip:
+		return fmt.Sprintf("Ship to Houston, TX %05d please.", 10000+rng.Intn(89999))
+	case sanitize.KindIDNumber:
+		return fmt.Sprintf("Your account number is %s%04d.", pick(rng, FirstNames)[:2], rng.Intn(10000))
+	case sanitize.KindEmail:
+		return "Reach me at " + PersonAddr(rng, "enron.com") + " anytime."
+	case sanitize.KindPhone:
+		return fmt.Sprintf("Call me at %03d-%03d-%04d.", 200+rng.Intn(700), 200+rng.Intn(700), rng.Intn(10000))
+	default: // date
+		return fmt.Sprintf("The closing is on %02d/%02d/%d.", 1+rng.Intn(12), 1+rng.Intn(28), 2015+rng.Intn(3))
+	}
+}
+
+// attachmentExts approximates Figure 7's extension mix among true typo
+// emails (txt and office documents dominate; images frequent; a tail of
+// calendar and markup files).
+var attachmentExts = []struct {
+	ext    string
+	weight int
+}{
+	{"txt", 4571}, {"jpg", 1617}, {"pdf", 1113}, {"png", 335}, {"docx", 307},
+	{"xml", 146}, {"gif", 80}, {"doc", 65}, {"jpeg", 52}, {"xlsx", 19},
+	{"xls", 18}, {"ics", 11}, {"html", 10}, {"docm", 9}, {"pptx", 6}, {"rtf", 4},
+}
+
+// SampleAttachment draws an attachment with Figure 7's extension mix.
+// Office-document extensions carry real SDOC/SPDF containers so the
+// extraction pipeline has something to chew on.
+func SampleAttachment(rng *rand.Rand) mailmsg.Attachment {
+	total := 0
+	for _, e := range attachmentExts {
+		total += e.weight
+	}
+	x := rng.Intn(total)
+	ext := "txt"
+	for _, e := range attachmentExts {
+		x -= e.weight
+		if x < 0 {
+			ext = e.ext
+			break
+		}
+	}
+	name := fmt.Sprintf("%s-%d.%s", pick(rng, BusinessWords), rng.Intn(1000), ext)
+	content := words(rng, 20+rng.Intn(30))
+	switch ext {
+	case "docx", "doc", "docm", "rtf", "xlsx", "xls", "pptx":
+		return mailmsg.Attachment{Filename: name, ContentType: "application/octet-stream", Data: extract.BuildSDOC(content)}
+	case "pdf":
+		return mailmsg.Attachment{Filename: name, ContentType: "application/pdf", Data: extract.BuildSPDF(content)}
+	case "jpg", "jpeg", "png", "gif":
+		return mailmsg.Attachment{Filename: name, ContentType: "image/" + ext, Data: extract.BuildSIMG(words(rng, 6))}
+	default:
+		return mailmsg.Attachment{Filename: name, ContentType: "text/plain", Data: []byte(content)}
+	}
+}
+
+// TypoEmail builds one "true receiver typo" email: a personal message a
+// real sender meant for someone else, optionally carrying sensitive
+// lines and an attachment.
+func TypoEmail(rng *rand.Rand, from, rcpt string, kinds []sanitize.Kind) *mailmsg.Message {
+	doc := plainDoc(rng)
+	body := doc.Text
+	for _, k := range kinds {
+		body += "\n" + SensitiveLine(rng, k)
+	}
+	b := mailmsg.NewBuilder(from, rcpt, doc.Subject).Body(body)
+	b.MessageID(fmt.Sprintf("typo-%d@%s", rng.Int63(), mailmsg.AddrDomain(from)))
+	if rng.Float64() < 0.12 { // a minority of personal mail has attachments
+		a := SampleAttachment(rng)
+		b.Attach(a.Filename, a.ContentType, a.Data)
+	}
+	return b.Build()
+}

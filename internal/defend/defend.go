@@ -1,0 +1,166 @@
+// Package defend implements the countermeasures the paper proposes in
+// Section 8:
+//
+//   - typo correction "integrated into any input field: at SMTP setup
+//     phase, registrations, email recipient, or when giving contact
+//     information in online forms" — a suggester that catches a typed
+//     domain one mistake away from a popular domain before the email
+//     leaves;
+//   - defensive registration planning — "large providers registering
+//     their typosquatting domains defensively would have the biggest
+//     impact per defensive registration", so given a budget, which typo
+//     domains should a provider buy first?
+package defend
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/alexa"
+	"repro/internal/distance"
+	"repro/internal/typogen"
+	"repro/internal/users"
+)
+
+// Suggestion is a proposed correction for a typed domain.
+type Suggestion struct {
+	Typed      string
+	Suggested  string  // the popular domain the user probably meant
+	TargetRank int     // its popularity rank
+	Confidence float64 // 0..1; how sure the corrector is
+	Op         distance.EditOp
+}
+
+// Corrector checks typed domains against a popularity list.
+type Corrector struct {
+	uni *alexa.Universe
+	// MaxRank bounds which targets are worth suggesting; suggesting
+	// corrections toward unpopular domains produces noise.
+	MaxRank int
+	// MinConfidence suppresses weak suggestions.
+	MinConfidence float64
+
+	model users.Model
+}
+
+// NewCorrector builds a Corrector over a domain universe.
+func NewCorrector(uni *alexa.Universe) *Corrector {
+	return &Corrector{uni: uni, MaxRank: 500, MinConfidence: 0.25, model: users.DefaultModel()}
+}
+
+// Check inspects a typed domain. ok is false when the domain looks fine
+// (it is itself popular, or nothing plausible is nearby).
+func (c *Corrector) Check(typed string) (Suggestion, bool) {
+	typed = strings.ToLower(strings.TrimSuffix(typed, "."))
+	if typed == "" {
+		return Suggestion{}, false
+	}
+	// A domain that is itself well-ranked is presumed intentional.
+	if d, found := c.uni.Lookup(typed); found && d.Rank <= c.MaxRank {
+		return Suggestion{}, false
+	}
+	best := Suggestion{Typed: typed}
+	for _, cand := range c.uni.Top(c.MaxRank) {
+		if distance.TLD(cand.Name) != distance.TLD(typed) {
+			continue
+		}
+		ts, ys := distance.SLD(cand.Name), distance.SLD(typed)
+		if distance.DamerauLevenshtein(ts, ys) != 1 {
+			continue
+		}
+		conf := c.confidence(cand, typed)
+		if conf > best.Confidence {
+			best = Suggestion{
+				Typed: typed, Suggested: cand.Name, TargetRank: cand.Rank,
+				Confidence: conf, Op: distance.ClassifyEdit(ts, ys),
+			}
+		}
+	}
+	if best.Suggested == "" || best.Confidence < c.MinConfidence {
+		return Suggestion{}, false
+	}
+	return best, true
+}
+
+// confidence scores how likely `typed` is a typo of cand rather than a
+// deliberate name: the typing model's probability of producing exactly
+// this mistake, weighted by the target's popularity, squashed to 0..1
+// against the chance of any legitimate unknown domain.
+func (c *Corrector) confidence(cand alexa.Domain, typed string) float64 {
+	pt := c.model.TypoProbability(cand.Name, typed)
+	if pt == 0 {
+		// Reachable only as a rare slip the model prices at zero; still
+		// plausible if the target is extremely popular.
+		if cand.Rank <= 10 {
+			return 0.3
+		}
+		return 0
+	}
+	// Expected mistypes per year toward this exact string.
+	volume := users.YearlyEmailVolume(cand) * pt
+	// Squash: 10 expected hits/yr -> ~0.5; 1000 -> ~0.99.
+	return volume / (volume + 10)
+}
+
+// ---------------------------------------------------------------------
+// Defensive registration planning
+
+// Registration is one recommended defensive purchase.
+type Registration struct {
+	Domain string
+	// ProtectedPerYear is the expected number of misdirected emails this
+	// registration would keep out of typosquatters' hands yearly.
+	ProtectedPerYear float64
+	// CostPerProtected is dollars per protected email at the given
+	// registration price.
+	CostPerProtected float64
+}
+
+// Plan ranks the gtypos of a provider by expected protected volume and
+// returns the best `budgetDomains` registrations. Already-registered
+// names (which cannot be bought) are skipped via taken.
+func Plan(target alexa.Domain, budgetDomains int, pricePerYear float64, taken typogen.Registry) []Registration {
+	model := users.DefaultModel()
+	var regs []Registration
+	for _, typo := range typogen.GenerateAll(target.Name) {
+		if taken != nil && taken.Registered(typo.Domain) {
+			continue
+		}
+		vol := model.ExpectedYearlyTypoEmails(target, typo.Domain)
+		if vol <= 0 {
+			continue
+		}
+		regs = append(regs, Registration{
+			Domain:           typo.Domain,
+			ProtectedPerYear: vol,
+			CostPerProtected: pricePerYear / vol,
+		})
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].ProtectedPerYear != regs[j].ProtectedPerYear {
+			return regs[i].ProtectedPerYear > regs[j].ProtectedPerYear
+		}
+		return regs[i].Domain < regs[j].Domain
+	})
+	if budgetDomains < len(regs) {
+		regs = regs[:budgetDomains]
+	}
+	return regs
+}
+
+// Coverage sums the protected volume of a plan and reports it as a
+// fraction of the provider's total expected typo leakage — the paper's
+// "biggest impact per defensive registration" argument quantified.
+func Coverage(target alexa.Domain, plan []Registration) (protected, totalLeak, fraction float64) {
+	model := users.DefaultModel()
+	for _, typo := range typogen.GenerateAll(target.Name) {
+		totalLeak += model.ExpectedYearlyTypoEmails(target, typo.Domain)
+	}
+	for _, r := range plan {
+		protected += r.ProtectedPerYear
+	}
+	if totalLeak > 0 {
+		fraction = protected / totalLeak
+	}
+	return
+}

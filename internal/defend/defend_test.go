@@ -1,0 +1,155 @@
+package defend
+
+import (
+	"testing"
+
+	"repro/internal/alexa"
+	"repro/internal/distance"
+	"repro/internal/typogen"
+)
+
+func testUniverse() *alexa.Universe { return alexa.NewUniverse(2000, 1) }
+
+func TestCheckCatchesPrimeTypos(t *testing.T) {
+	c := NewCorrector(testUniverse())
+	tests := []struct {
+		typed string
+		want  string
+	}{
+		{"gmal.com", "gmail.com"},      // deletion
+		{"gmial.com", "gmail.com"},     // transposition
+		{"outlo0k.com", "outlook.com"}, // lookalike substitution
+		{"hotmial.com", "hotmail.com"},
+	}
+	for _, tc := range tests {
+		sug, ok := c.Check(tc.typed)
+		if !ok {
+			t.Errorf("Check(%q) found nothing", tc.typed)
+			continue
+		}
+		if sug.Suggested != tc.want {
+			t.Errorf("Check(%q) = %q, want %q", tc.typed, sug.Suggested, tc.want)
+		}
+		if sug.Confidence <= 0 || sug.Confidence > 1 {
+			t.Errorf("confidence = %v", sug.Confidence)
+		}
+	}
+}
+
+func TestCheckLeavesLegitimateDomainsAlone(t *testing.T) {
+	c := NewCorrector(testUniverse())
+	// Popular domains themselves must never be "corrected".
+	for _, d := range []string{"gmail.com", "outlook.com", "yahoo.com"} {
+		if sug, ok := c.Check(d); ok {
+			t.Errorf("Check(%q) suggested %q", d, sug.Suggested)
+		}
+	}
+	// A name far from everything popular is presumed intentional.
+	if sug, ok := c.Check("zqzqzqzqzq.com"); ok {
+		t.Errorf("Check(far name) suggested %q", sug.Suggested)
+	}
+	if _, ok := c.Check(""); ok {
+		t.Error("Check empty input")
+	}
+}
+
+func TestCheckConfidenceOrdering(t *testing.T) {
+	c := NewCorrector(testUniverse())
+	// A typo of rank-1 gmail should carry more confidence than the same
+	// class of typo on a mid-rank target.
+	top, ok1 := c.Check("gmal.com")
+	uni := testUniverse()
+	var midTarget alexa.Domain
+	for _, d := range uni.Top(300) {
+		if d.Rank > 150 && len(distance.SLD(d.Name)) > 4 {
+			midTarget = d
+			break
+		}
+	}
+	sld := distance.SLD(midTarget.Name)
+	midTypo := sld[:1] + sld[2:] + ".com" // delete 2nd char
+	mid, ok2 := c.Check(midTypo)
+	if !ok1 {
+		t.Fatal("gmal.com not caught")
+	}
+	if ok2 && mid.Confidence >= top.Confidence {
+		t.Errorf("mid-rank confidence %v >= gmail confidence %v", mid.Confidence, top.Confidence)
+	}
+}
+
+func TestCheckPrefersPopularTarget(t *testing.T) {
+	// A typed string at DL-1 from two targets should resolve to the more
+	// popular one. "gmail.com"(1) vs any synthetic neighbor.
+	c := NewCorrector(testUniverse())
+	sug, ok := c.Check("gmaik.com")
+	if !ok || sug.Suggested != "gmail.com" {
+		t.Errorf("Check(gmaik.com) = %+v, %v", sug, ok)
+	}
+	if sug.TargetRank != 1 {
+		t.Errorf("TargetRank = %d", sug.TargetRank)
+	}
+}
+
+func TestPlanRanksByProtectedVolume(t *testing.T) {
+	uni := testUniverse()
+	gmail, _ := uni.Lookup("gmail.com")
+	plan := Plan(gmail, 10, 8.50, nil)
+	if len(plan) != 10 {
+		t.Fatalf("plan = %d entries", len(plan))
+	}
+	for i := 1; i < len(plan); i++ {
+		if plan[i].ProtectedPerYear > plan[i-1].ProtectedPerYear {
+			t.Fatalf("plan not sorted at %d", i)
+		}
+	}
+	if plan[0].ProtectedPerYear <= 0 {
+		t.Fatal("top registration protects nothing")
+	}
+	if plan[0].CostPerProtected <= 0 {
+		t.Fatal("nonpositive cost")
+	}
+	// The best pick must beat the tenth by a wide margin: typo value is
+	// heavy-tailed, which is why defensive registration is cost-effective.
+	if plan[0].ProtectedPerYear < 3*plan[9].ProtectedPerYear {
+		t.Errorf("no concentration: top %v vs #10 %v", plan[0].ProtectedPerYear, plan[9].ProtectedPerYear)
+	}
+}
+
+func TestPlanSkipsTakenDomains(t *testing.T) {
+	uni := testUniverse()
+	gmail, _ := uni.Lookup("gmail.com")
+	full := Plan(gmail, 5, 8.50, nil)
+	taken := typogen.MapRegistry{full[0].Domain: true}
+	filtered := Plan(gmail, 5, 8.50, taken)
+	for _, r := range filtered {
+		if r.Domain == full[0].Domain {
+			t.Fatalf("taken domain %s still planned", r.Domain)
+		}
+	}
+}
+
+func TestCoverageConcentration(t *testing.T) {
+	// Section 8: a handful of registrations covers most of the leak.
+	uni := testUniverse()
+	gmail, _ := uni.Lookup("gmail.com")
+	plan := Plan(gmail, 20, 8.50, nil)
+	protected, total, frac := Coverage(gmail, plan)
+	if total <= 0 || protected <= 0 {
+		t.Fatalf("coverage = %v/%v", protected, total)
+	}
+	if frac < 0.5 {
+		t.Errorf("20 registrations cover only %.2f of the leak", frac)
+	}
+	if frac > 1.000001 {
+		t.Errorf("coverage fraction %v > 1", frac)
+	}
+	// Cost-effectiveness falls with rank (paper: impact per registration
+	// is highest for top providers).
+	mid := uni.All()[400]
+	midPlan := Plan(mid, 20, 8.50, nil)
+	if len(midPlan) > 0 && len(plan) > 0 {
+		if midPlan[0].ProtectedPerYear >= plan[0].ProtectedPerYear {
+			t.Errorf("mid-rank target protects more per registration than gmail")
+		}
+	}
+}

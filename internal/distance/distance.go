@@ -1,0 +1,290 @@
+package distance
+
+// DamerauLevenshtein returns the minimum number of insertions, deletions,
+// substitutions and transpositions of adjacent characters needed to turn a
+// into b (the restricted-edit / optimal-string-alignment variant commonly
+// used in the typosquatting literature, where each substring may be edited
+// at most once).
+func DamerauLevenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	// Three rolling rows: i-2, i-1, i.
+	prev2 := make([]int, lb+1)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			d := min3(
+				prev[j]+1,      // deletion
+				cur[j-1]+1,     // insertion
+				prev[j-1]+cost, // substitution / match
+			)
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
+				if t := prev2[j-2] + 1; t < d {
+					d = t // transposition
+				}
+			}
+			cur[j] = d
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	return prev[lb]
+}
+
+// EditOp labels the kind of single edit separating two strings at DL
+// distance one. The paper's Figure 9 compares typo-domain popularity
+// across exactly these four classes.
+type EditOp int
+
+const (
+	OpNone EditOp = iota // strings identical
+	OpAddition
+	OpDeletion
+	OpSubstitution
+	OpTransposition
+	OpOther // DL distance > 1
+)
+
+func (op EditOp) String() string {
+	switch op {
+	case OpNone:
+		return "none"
+	case OpAddition:
+		return "addition"
+	case OpDeletion:
+		return "deletion"
+	case OpSubstitution:
+		return "substitution"
+	case OpTransposition:
+		return "transposition"
+	default:
+		return "other"
+	}
+}
+
+// ClassifyEdit determines which single-edit operation turns target into
+// typo, from the typo-maker's perspective: OpAddition means the typist
+// added a character. Returns OpOther when the DL distance exceeds one.
+func ClassifyEdit(target, typo string) EditOp {
+	if target == typo {
+		return OpNone
+	}
+	rt, ry := []rune(target), []rune(typo)
+	switch {
+	case len(ry) == len(rt)+1:
+		if isInsertionOf(rt, ry) {
+			return OpAddition
+		}
+	case len(ry) == len(rt)-1:
+		if isInsertionOf(ry, rt) {
+			return OpDeletion
+		}
+	case len(ry) == len(rt):
+		if i, j := firstLastDiff(rt, ry); i == j {
+			return OpSubstitution
+		} else if j == i+1 && rt[i] == ry[j] && rt[j] == ry[i] {
+			return OpTransposition
+		}
+	}
+	return OpOther
+}
+
+// EditPosition returns the index in the target where the single edit
+// occurred and true, or 0,false when the strings are not at DL-1.
+// Position matters to the correction model: mistakes at the start of a
+// name are more salient and more likely to be caught.
+func EditPosition(target, typo string) (int, bool) {
+	op := ClassifyEdit(target, typo)
+	rt, ry := []rune(target), []rune(typo)
+	switch op {
+	case OpAddition:
+		for i := 0; i < len(rt); i++ {
+			if rt[i] != ry[i] {
+				return i, true
+			}
+		}
+		return len(rt), true
+	case OpDeletion, OpSubstitution, OpTransposition:
+		for i := 0; i < len(rt) && i < len(ry); i++ {
+			if rt[i] != ry[i] {
+				return i, true
+			}
+		}
+		return len(ry), true
+	default:
+		return 0, false
+	}
+}
+
+// isInsertionOf reports whether long is short with exactly one extra rune.
+func isInsertionOf(short, long []rune) bool {
+	i, j, used := 0, 0, false
+	for i < len(short) && j < len(long) {
+		if short[i] == long[j] {
+			i++
+			j++
+			continue
+		}
+		if used {
+			return false
+		}
+		used = true
+		j++
+	}
+	return true // any trailing extra rune in long is the insertion
+}
+
+// firstLastDiff returns the first and last indices at which two
+// equal-length rune slices differ.
+func firstLastDiff(a, b []rune) (int, int) {
+	first, last := -1, -1
+	for i := range a {
+		if a[i] != b[i] {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	return first, last
+}
+
+// FatFinger returns the fat-finger distance of Moore and Edelman: the
+// minimum number of insertions, deletions, substitutions or transpositions
+// *using letters adjacent on a QWERTY keyboard* to transform a into b.
+// Edits whose operand is not QWERTY-adjacent to the neighboring context
+// are charged an effectively infinite cost (represented by returning
+// ok=false when no all-adjacent edit path of length <= 2 exists).
+//
+// In practice the paper uses FF at distance one ("FF-1 implies DL-1"), so
+// this implementation answers the decision problems the study needs:
+// IsFatFinger1 for the common case and a bounded search for distance two.
+func FatFinger(a, b string) (int, bool) {
+	if a == b {
+		return 0, true
+	}
+	if IsFatFinger1(a, b) {
+		return 1, true
+	}
+	// Bounded distance-2 search: apply every FF-1 edit to a and test FF-1
+	// against b. Sufficient for the registration strategies in the paper.
+	for _, mid := range fatFinger1Set(a) {
+		if IsFatFinger1(mid, b) {
+			return 2, true
+		}
+	}
+	return 0, false
+}
+
+// IsFatFinger1 reports whether typo is exactly one fat-finger edit away
+// from target: a substitution by an adjacent key, an insertion of a key
+// adjacent to one of its new neighbors, a deletion, or a transposition of
+// two neighboring characters. Deletions and transpositions involve no
+// "wrong key" press and are always fat-finger per Moore and Edelman's
+// definition.
+func IsFatFinger1(target, typo string) bool {
+	op := ClassifyEdit(target, typo)
+	rt, ry := []rune(target), []rune(typo)
+	switch op {
+	case OpDeletion, OpTransposition:
+		return true
+	case OpSubstitution:
+		i, _ := firstLastDiff(rt, ry)
+		return Adjacent(rt[i], ry[i])
+	case OpAddition:
+		// Insertions of repeated characters are positionally ambiguous
+		// ("outlookk" can be an insert at index 6 or 7), so consider every
+		// index whose removal recovers the target. The inserted key is a
+		// fat-finger if it duplicates a neighboring intended key (double
+		// press) or is QWERTY-adjacent to one (finger slip en route).
+		for idx := 0; idx < len(ry); idx++ {
+			if string(ry[:idx])+string(ry[idx+1:]) != target {
+				continue
+			}
+			ins := ry[idx]
+			if idx > 0 && (rt[idx-1] == ins || Adjacent(rt[idx-1], ins)) {
+				return true
+			}
+			if idx < len(rt) && (rt[idx] == ins || Adjacent(rt[idx], ins)) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// fatFinger1Set enumerates all strings at FF-1 from s over the domain
+// charset.
+func fatFinger1Set(s string) []string {
+	rs := []rune(s)
+	var out []string
+	// deletions
+	for i := range rs {
+		out = append(out, string(rs[:i])+string(rs[i+1:]))
+	}
+	// transpositions
+	for i := 0; i+1 < len(rs); i++ {
+		if rs[i] == rs[i+1] {
+			continue
+		}
+		t := append([]rune(nil), rs...)
+		t[i], t[i+1] = t[i+1], t[i]
+		out = append(out, string(t))
+	}
+	// adjacent substitutions
+	for i, ch := range rs {
+		for _, n := range Neighbors(ch) {
+			t := append([]rune(nil), rs...)
+			t[i] = n
+			out = append(out, string(t))
+		}
+	}
+	// adjacent (and double-press) insertions
+	for i := 0; i <= len(rs); i++ {
+		seen := map[rune]bool{}
+		if i > 0 {
+			seen[rs[i-1]] = true
+			for _, n := range Neighbors(rs[i-1]) {
+				seen[n] = true
+			}
+		}
+		if i < len(rs) {
+			seen[rs[i]] = true
+			for _, n := range Neighbors(rs[i]) {
+				seen[n] = true
+			}
+		}
+		for _, r := range "abcdefghijklmnopqrstuvwxyz0123456789-" {
+			if seen[r] {
+				out = append(out, string(rs[:i])+string(r)+string(rs[i:]))
+			}
+		}
+	}
+	return out
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,143 @@
+// Package distance implements the string distance metrics the paper's
+// typosquatting taxonomy is built on (Section 3): the Damerau-Levenshtein
+// edit distance, Moore and Edelman's fat-finger distance (edits restricted
+// to QWERTY-adjacent keys), and a heuristic visual distance capturing how
+// easily the mistyped name is confused with the original at a glance.
+package distance
+
+import "strings"
+
+// qwertyRows is the physical layout used for adjacency and fat-finger
+// computations. Row offsets approximate the stagger of a standard QWERTY
+// keyboard.
+var qwertyRows = []struct {
+	keys   string
+	offset float64 // horizontal offset of the row, in key widths
+	row    int
+}{
+	{"1234567890-", 0.0, 0},
+	{"qwertyuiop", 0.5, 1},
+	{"asdfghjkl", 0.75, 2},
+	{"zxcvbnm", 1.25, 3},
+}
+
+type keyPos struct {
+	x, y float64
+	ok   bool
+}
+
+var keyPositions = buildKeyPositions()
+
+func buildKeyPositions() map[rune]keyPos {
+	m := make(map[rune]keyPos)
+	for _, r := range qwertyRows {
+		for i, ch := range r.keys {
+			m[ch] = keyPos{x: r.offset + float64(i), y: float64(r.row), ok: true}
+		}
+	}
+	return m
+}
+
+// KeyboardDistance returns the Euclidean distance between two keys on a
+// QWERTY keyboard, in key widths. Unknown characters (valid in domain
+// names but off the main key block, e.g. '.') report a large distance and
+// ok=false.
+func KeyboardDistance(a, b rune) (float64, bool) {
+	pa, oka := keyPositions[lower(a)]
+	pb, okb := keyPositions[lower(b)]
+	if !oka || !okb {
+		return 10, false
+	}
+	dx := pa.x - pb.x
+	dy := pa.y - pb.y
+	return sqrt(dx*dx + dy*dy), true
+}
+
+// Adjacent reports whether two keys are adjacent on a QWERTY keyboard —
+// the "fat finger" relation of Moore and Edelman. A key is not adjacent to
+// itself.
+func Adjacent(a, b rune) bool {
+	a, b = lower(a), lower(b)
+	if a == b {
+		return false
+	}
+	d, ok := KeyboardDistance(a, b)
+	return ok && d < 1.5
+}
+
+// Neighbors returns the set of keys adjacent to ch on a QWERTY keyboard,
+// in stable order.
+func Neighbors(ch rune) []rune {
+	ch = lower(ch)
+	if _, ok := keyPositions[ch]; !ok {
+		return nil
+	}
+	var out []rune
+	for _, r := range qwertyRows {
+		for _, cand := range r.keys {
+			if Adjacent(ch, cand) {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+func lower(r rune) rune {
+	if r >= 'A' && r <= 'Z' {
+		return r - 'A' + 'a'
+	}
+	return r
+}
+
+func sqrt(x float64) float64 {
+	// Newton iterations; avoids importing math for one call and keeps the
+	// package allocation-free in hot paths.
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 20; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// DomainCharset reports whether s contains only characters legal in a DNS
+// label context handled by this package: lowercase letters, digits, '-'
+// and '.' separators.
+func DomainCharset(s string) bool {
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z':
+		case r >= '0' && r <= '9':
+		case r == '-' || r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// SLD returns the second-level label of a domain name ("gmail" for
+// "gmail.com"), which is where typos are generated and measured; the TLD
+// is held fixed by the paper's methodology.
+func SLD(domain string) string {
+	domain = strings.TrimSuffix(domain, ".")
+	parts := strings.Split(domain, ".")
+	if len(parts) < 2 {
+		return domain
+	}
+	return parts[len(parts)-2]
+}
+
+// TLD returns the top-level label ("com" for "gmail.com"), or "" if the
+// name has a single label.
+func TLD(domain string) string {
+	domain = strings.TrimSuffix(domain, ".")
+	i := strings.LastIndexByte(domain, '.')
+	if i < 0 {
+		return ""
+	}
+	return domain[i+1:]
+}

@@ -1,0 +1,361 @@
+// Package dnsserve implements the authoritative DNS server side of the
+// collection infrastructure. Each registered typo domain is served with
+// exactly the settings of the paper's Table 1: apex and wildcard MX
+// records with priority 1 pointing at the domain itself, plus apex and
+// wildcard A records for the collection VPS, all with a 300-second TTL.
+//
+// The server answers over UDP (net.PacketConn); queries for names under a
+// wildcard-bearing zone synthesize records per RFC 1034 §4.3.3.
+package dnsserve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"repro/internal/dnswire"
+)
+
+// DefaultTTL is the TTL from Table 1.
+const DefaultTTL = 300
+
+// Zone holds the records of one authoritative apex.
+type Zone struct {
+	Apex string
+	// records maps owner name (or "*" for the wildcard) to RR sets.
+	mu      sync.RWMutex
+	records map[string][]dnswire.RR
+}
+
+// NewZone creates an empty zone for apex.
+func NewZone(apex string) *Zone {
+	return &Zone{Apex: strings.ToLower(strings.TrimSuffix(apex, ".")), records: make(map[string][]dnswire.RR)}
+}
+
+// Add appends a record. Owner "" or the apex itself address the apex;
+// "*" is the wildcard.
+func (z *Zone) Add(owner string, rr dnswire.RR) {
+	owner = z.normalizeOwner(owner)
+	rr.Name = ownerFQDN(owner, z.Apex)
+	if rr.Class == 0 {
+		rr.Class = dnswire.ClassIN
+	}
+	if rr.TTL == 0 {
+		rr.TTL = DefaultTTL
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.records[owner] = append(z.records[owner], rr)
+}
+
+func (z *Zone) normalizeOwner(owner string) string {
+	owner = strings.ToLower(strings.TrimSuffix(owner, "."))
+	owner = strings.TrimSuffix(owner, z.Apex)
+	owner = strings.TrimSuffix(owner, ".")
+	if owner == "" {
+		return "@"
+	}
+	return owner
+}
+
+func ownerFQDN(owner, apex string) string {
+	if owner == "@" {
+		return apex
+	}
+	return owner + "." + apex
+}
+
+// Lookup resolves qname/qtype inside the zone, applying wildcard
+// synthesis. It returns the matching records and whether the name exists
+// at all (for NXDOMAIN vs NODATA distinction).
+func (z *Zone) Lookup(qname string, qtype dnswire.Type) (answers []dnswire.RR, nameExists bool) {
+	qname = strings.ToLower(strings.TrimSuffix(qname, "."))
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+
+	owner := ""
+	switch {
+	case qname == z.Apex:
+		owner = "@"
+	case strings.HasSuffix(qname, "."+z.Apex):
+		owner = strings.TrimSuffix(qname, "."+z.Apex)
+	default:
+		return nil, false
+	}
+
+	rrs, ok := z.records[owner]
+	if owner == "@" {
+		ok = true // the apex of an existing zone always exists (NODATA, not NXDOMAIN)
+	}
+	if !ok {
+		// wildcard synthesis: *.apex covers any subdomain depth
+		if wild, wok := z.records["*"]; wok {
+			rrs, ok = wild, true
+			// synthesized records carry the query name as owner
+			synth := make([]dnswire.RR, len(rrs))
+			for i, rr := range rrs {
+				rr.Name = qname
+				synth[i] = rr
+			}
+			rrs = synth
+		}
+	}
+	if !ok {
+		return nil, false
+	}
+	for _, rr := range rrs {
+		if qtype == dnswire.TypeANY || rr.Type == qtype {
+			answers = append(answers, rr)
+		}
+	}
+	return answers, true
+}
+
+// SOA returns a synthetic SOA record for negative answers.
+func (z *Zone) SOA() dnswire.RR {
+	return dnswire.RR{
+		Name: z.Apex, Type: dnswire.TypeSOA, Class: dnswire.ClassIN, TTL: DefaultTTL,
+		SOA: &dnswire.SOAData{
+			MName: "ns1." + z.Apex, RName: "hostmaster." + z.Apex,
+			Serial: 2016060401, Refresh: 3600, Retry: 600, Expire: 86400, Minimum: DefaultTTL,
+		},
+	}
+}
+
+// TypoZone builds the Table 1 zone for a registered typo domain: MX
+// priority 1 at apex and wildcard pointing to the domain itself, and A
+// records for both pointing at the collection server ip.
+func TypoZone(domain string, ip []byte) *Zone {
+	z := NewZone(domain)
+	z.Add("@", dnswire.RR{Type: dnswire.TypeMX, Preference: 1, Exchange: z.Apex})
+	z.Add("*", dnswire.RR{Type: dnswire.TypeMX, Preference: 1, Exchange: z.Apex})
+	z.Add("@", dnswire.RR{Type: dnswire.TypeA, IP: ip})
+	z.Add("*", dnswire.RR{Type: dnswire.TypeA, IP: ip})
+	return z
+}
+
+// Store is a threadsafe collection of zones keyed by apex.
+type Store struct {
+	mu    sync.RWMutex
+	zones map[string]*Zone
+}
+
+// NewStore returns an empty zone store.
+func NewStore() *Store { return &Store{zones: make(map[string]*Zone)} }
+
+// Put installs (or replaces) a zone.
+func (s *Store) Put(z *Zone) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.zones[z.Apex] = z
+}
+
+// Delete removes the zone for apex, supporting the paper's commitment to
+// surrender infringing domains on request.
+func (s *Store) Delete(apex string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.zones, strings.ToLower(strings.TrimSuffix(apex, ".")))
+}
+
+// Find returns the most specific zone whose apex is a suffix of qname.
+func (s *Store) Find(qname string) (*Zone, bool) {
+	qname = strings.ToLower(strings.TrimSuffix(qname, "."))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for name := qname; name != ""; {
+		if z, ok := s.zones[name]; ok {
+			return z, true
+		}
+		i := strings.IndexByte(name, '.')
+		if i < 0 {
+			break
+		}
+		name = name[i+1:]
+	}
+	return nil, false
+}
+
+// Len returns the number of zones.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.zones)
+}
+
+// Server answers DNS queries over a PacketConn from a Store.
+type Server struct {
+	store *Store
+
+	mu     sync.Mutex
+	conn   net.PacketConn
+	closed bool
+	done   chan struct{}
+
+	// Queries counts requests served, for infrastructure monitoring.
+	queries sync.Map // qtype -> *int64 not needed; simple counter below
+	nServed int64
+}
+
+// NewServer creates a server over store.
+func NewServer(store *Store) *Server {
+	return &Server{store: store, done: make(chan struct{})}
+}
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("dnsserve: server closed")
+
+// ListenAndServe binds a UDP socket on addr (e.g. "127.0.0.1:0") and
+// serves until ctx is canceled or Close is called. It reports the bound
+// address on the returned channel before blocking in the read loop.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, bound chan<- net.Addr) error {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return fmt.Errorf("dnsserve: listen %s: %w", addr, err)
+	}
+	if bound != nil {
+		bound <- conn.LocalAddr()
+	}
+	return s.Serve(ctx, conn)
+}
+
+// Serve reads queries from conn until ctx is canceled or Close is called.
+func (s *Server) Serve(ctx context.Context, conn net.PacketConn) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return ErrServerClosed
+	}
+	s.conn = conn
+	s.mu.Unlock()
+
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	defer close(s.done)
+
+	buf := make([]byte, 4096)
+	for {
+		n, raddr, err := conn.ReadFrom(buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue
+			}
+			return fmt.Errorf("dnsserve: read: %w", err)
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		// Handle inline: queries are cheap and ordering aids determinism.
+		if resp := s.handleUDP(pkt); resp != nil {
+			if _, err := conn.WriteTo(resp, raddr); err != nil && ctx.Err() == nil {
+				// Transient write errors (e.g. ICMP unreachable) are ignored;
+				// DNS over UDP is best-effort.
+				continue
+			}
+		}
+	}
+}
+
+// Close stops the server.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.conn != nil {
+		s.conn.Close()
+	}
+}
+
+// Served returns the number of queries answered.
+func (s *Server) Served() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nServed
+}
+
+// handle produces a response packet for one query packet, or nil when the
+// input is not a well-formed query. Over TCP responses are sent whole.
+func (s *Server) handle(pkt []byte) []byte {
+	q, err := dnswire.Decode(pkt)
+	if err != nil || q.Header.Response || len(q.Questions) == 0 {
+		return nil
+	}
+	resp := s.Answer(q)
+	wire, err := dnswire.Encode(resp)
+	if err != nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.nServed++
+	s.mu.Unlock()
+	return wire
+}
+
+// handleUDP additionally truncates to the 512-byte UDP payload limit.
+func (s *Server) handleUDP(pkt []byte) []byte {
+	q, err := dnswire.Decode(pkt)
+	if err != nil || q.Header.Response || len(q.Questions) == 0 {
+		return nil
+	}
+	resp := TruncateForUDP(s.Answer(q))
+	wire, err := dnswire.Encode(resp)
+	if err != nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.nServed++
+	s.mu.Unlock()
+	return wire
+}
+
+// Answer computes the authoritative response for a query message. It is
+// exported so in-process components can resolve without a socket.
+func (s *Server) Answer(q *dnswire.Message) *dnswire.Message {
+	resp := &dnswire.Message{
+		Header: dnswire.Header{
+			ID:               q.Header.ID,
+			Response:         true,
+			Opcode:           q.Header.Opcode,
+			Authoritative:    true,
+			RecursionDesired: q.Header.RecursionDesired,
+		},
+		Questions: q.Questions,
+	}
+	if q.Header.Opcode != 0 {
+		resp.Header.RCode = dnswire.RCodeNotImp
+		return resp
+	}
+	question := q.Questions[0]
+	zone, ok := s.store.Find(question.Name)
+	if !ok {
+		resp.Header.RCode = dnswire.RCodeRefused // not authoritative for this name
+		return resp
+	}
+	answers, exists := zone.Lookup(question.Name, question.Type)
+	switch {
+	case len(answers) > 0:
+		resp.Answers = answers
+	case exists: // NODATA: NOERROR with SOA in authority
+		resp.Authority = []dnswire.RR{zone.SOA()}
+	default:
+		resp.Header.RCode = dnswire.RCodeNXDomain
+		resp.Authority = []dnswire.RR{zone.SOA()}
+	}
+	return resp
+}

@@ -1,0 +1,264 @@
+package dnsserve
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+func TestZoneApexLookup(t *testing.T) {
+	z := TypoZone("exampel.com", dnswire.IPv4(1, 1, 1, 1))
+	mx, exists := z.Lookup("exampel.com", dnswire.TypeMX)
+	if !exists || len(mx) != 1 {
+		t.Fatalf("apex MX lookup = %v, %v", mx, exists)
+	}
+	if mx[0].Exchange != "exampel.com" || mx[0].Preference != 1 {
+		t.Errorf("MX = %+v, want priority 1 exchange exampel.com", mx[0])
+	}
+	if mx[0].TTL != DefaultTTL {
+		t.Errorf("TTL = %d, want %d", mx[0].TTL, DefaultTTL)
+	}
+	a, _ := z.Lookup("exampel.com", dnswire.TypeA)
+	if len(a) != 1 || dnswire.FormatIP(a[0].IP) != "1.1.1.1" {
+		t.Errorf("A = %+v", a)
+	}
+}
+
+func TestZoneWildcardLookup(t *testing.T) {
+	// Table 1: "*.exampel.com" collects mail sent to any subdomain.
+	z := TypoZone("exampel.com", dnswire.IPv4(1, 1, 1, 1))
+	for _, sub := range []string{"smtp.exampel.com", "mail.smtp.exampel.com", "x.exampel.com"} {
+		mx, exists := z.Lookup(sub, dnswire.TypeMX)
+		if !exists || len(mx) != 1 {
+			t.Fatalf("wildcard lookup %s = %v, %v", sub, mx, exists)
+		}
+		if mx[0].Name != sub {
+			t.Errorf("synthesized owner = %q, want %q", mx[0].Name, sub)
+		}
+		if mx[0].Exchange != "exampel.com" {
+			t.Errorf("wildcard MX exchange = %q", mx[0].Exchange)
+		}
+	}
+}
+
+func TestZoneNegativeLookups(t *testing.T) {
+	z := NewZone("exampel.com")
+	z.Add("@", dnswire.RR{Type: dnswire.TypeA, IP: dnswire.IPv4(1, 1, 1, 1)})
+	// NODATA: name exists, type doesn't.
+	rrs, exists := z.Lookup("exampel.com", dnswire.TypeMX)
+	if !exists || len(rrs) != 0 {
+		t.Errorf("NODATA lookup = %v, %v", rrs, exists)
+	}
+	// NXDOMAIN inside the zone: no wildcard here.
+	rrs, exists = z.Lookup("nope.exampel.com", dnswire.TypeA)
+	if exists || len(rrs) != 0 {
+		t.Errorf("NXDOMAIN lookup = %v, %v", rrs, exists)
+	}
+	// Completely foreign name.
+	if _, exists := z.Lookup("gmail.com", dnswire.TypeA); exists {
+		t.Error("foreign name matched zone")
+	}
+}
+
+func TestZoneANY(t *testing.T) {
+	z := TypoZone("exampel.com", dnswire.IPv4(1, 1, 1, 1))
+	rrs, _ := z.Lookup("exampel.com", dnswire.TypeANY)
+	if len(rrs) != 2 {
+		t.Errorf("ANY returned %d records, want 2 (MX+A)", len(rrs))
+	}
+}
+
+func TestStoreFind(t *testing.T) {
+	s := NewStore()
+	s.Put(TypoZone("gmial.com", dnswire.IPv4(10, 0, 0, 1)))
+	s.Put(TypoZone("outlo0k.com", dnswire.IPv4(10, 0, 0, 2)))
+	if z, ok := s.Find("smtp.gmial.com"); !ok || z.Apex != "gmial.com" {
+		t.Errorf("Find(smtp.gmial.com) = %v, %v", z, ok)
+	}
+	if _, ok := s.Find("gmail.com"); ok {
+		t.Error("Find matched unregistered domain")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	s.Delete("gmial.com")
+	if _, ok := s.Find("gmial.com"); ok {
+		t.Error("zone survived Delete")
+	}
+}
+
+func TestAnswerRCodes(t *testing.T) {
+	s := NewStore()
+	s.Put(TypoZone("gmial.com", dnswire.IPv4(10, 0, 0, 1)))
+	srv := NewServer(s)
+
+	tests := []struct {
+		name    string
+		qname   string
+		qtype   dnswire.Type
+		rcode   dnswire.RCode
+		answers int
+		auth    int
+	}{
+		{"positive", "gmial.com", dnswire.TypeMX, dnswire.RCodeNoError, 1, 0},
+		{"wildcard", "a.b.gmial.com", dnswire.TypeMX, dnswire.RCodeNoError, 1, 0},
+		{"nodata", "gmial.com", dnswire.TypeTXT, dnswire.RCodeNoError, 0, 1},
+		{"refused", "gmail.com", dnswire.TypeA, dnswire.RCodeRefused, 0, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := srv.Answer(dnswire.NewQuery(99, tc.qname, tc.qtype))
+			if resp.Header.RCode != tc.rcode {
+				t.Errorf("rcode = %v, want %v", resp.Header.RCode, tc.rcode)
+			}
+			if len(resp.Answers) != tc.answers || len(resp.Authority) != tc.auth {
+				t.Errorf("sections = %d/%d, want %d/%d", len(resp.Answers), len(resp.Authority), tc.answers, tc.auth)
+			}
+			if !resp.Header.Authoritative {
+				t.Error("AA flag missing")
+			}
+			if resp.Header.ID != 99 {
+				t.Errorf("ID = %d", resp.Header.ID)
+			}
+		})
+	}
+}
+
+func TestAnswerNotImplementedOpcode(t *testing.T) {
+	s := NewStore()
+	srv := NewServer(s)
+	q := dnswire.NewQuery(1, "x.com", dnswire.TypeA)
+	q.Header.Opcode = 2 // STATUS
+	if resp := srv.Answer(q); resp.Header.RCode != dnswire.RCodeNotImp {
+		t.Errorf("rcode = %v, want NOTIMP", resp.Header.RCode)
+	}
+}
+
+func TestServeOverUDP(t *testing.T) {
+	s := NewStore()
+	s.Put(TypoZone("gmial.com", dnswire.IPv4(10, 1, 2, 3)))
+	srv := NewServer(s)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	bound := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(ctx, "127.0.0.1:0", bound) }()
+	addr := (<-bound).String()
+
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wire, err := dnswire.Encode(dnswire.NewQuery(1234, "smtp.gmial.com", dnswire.TypeMX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnswire.Decode(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.ID != 1234 || len(resp.Answers) != 1 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.Answers[0].Exchange != "gmial.com" {
+		t.Errorf("MX = %q", resp.Answers[0].Exchange)
+	}
+	if srv.Served() != 1 {
+		t.Errorf("Served = %d", srv.Served())
+	}
+
+	// Garbage input must be ignored, not crash the loop.
+	conn.Write([]byte{0xde, 0xad})
+	// Server must exit when context is canceled.
+	cancel()
+	select {
+	case <-errc:
+	case <-time.After(2 * time.Second):
+		t.Fatal("server did not stop on context cancel")
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	s := NewStore()
+	srv := NewServer(s)
+	bound := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(context.Background(), "127.0.0.1:0", bound) }()
+	<-bound
+	srv.Close()
+	select {
+	case err := <-errc:
+		if err != ErrServerClosed {
+			t.Errorf("Serve error = %v, want ErrServerClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("server did not stop on Close")
+	}
+	srv.Close() // idempotent
+}
+
+func TestZoneOwnerNormalization(t *testing.T) {
+	z := NewZone("Exampel.COM.")
+	if z.Apex != "exampel.com" {
+		t.Fatalf("apex = %q", z.Apex)
+	}
+	z.Add("exampel.com", dnswire.RR{Type: dnswire.TypeA, IP: dnswire.IPv4(1, 1, 1, 1)})
+	z.Add("sub.exampel.com.", dnswire.RR{Type: dnswire.TypeA, IP: dnswire.IPv4(2, 2, 2, 2)})
+	if rrs, _ := z.Lookup("exampel.com", dnswire.TypeA); len(rrs) != 1 {
+		t.Error("apex owner form not normalized")
+	}
+	if rrs, _ := z.Lookup("sub.exampel.com", dnswire.TypeA); len(rrs) != 1 {
+		t.Error("fqdn owner form not normalized")
+	}
+}
+
+func TestServerHandleGarbageNoPanic(t *testing.T) {
+	s := NewStore()
+	s.Put(TypoZone("gmial.com", dnswire.IPv4(10, 0, 0, 1)))
+	srv := NewServer(s)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	bound := make(chan net.Addr, 1)
+	go srv.ListenAndServe(ctx, "127.0.0.1:0", bound)
+	addr := (<-bound).String()
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		buf := make([]byte, rng.Intn(64))
+		rng.Read(buf)
+		conn.Write(buf)
+	}
+	// A valid query must still be answered after the garbage storm.
+	wire, _ := dnswire.Encode(dnswire.NewQuery(7, "gmial.com", dnswire.TypeMX))
+	conn.Write(wire)
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	resp := make([]byte, 512)
+	for {
+		n, err := conn.Read(resp)
+		if err != nil {
+			t.Fatalf("no answer after garbage: %v", err)
+		}
+		if m, err := dnswire.Decode(resp[:n]); err == nil && m.Header.ID == 7 {
+			return
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package dnsserve
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dnswire"
+)
+
+// FuzzParseMasterFile hardens the zone-file reader: never panic, and
+// accepted zones must write and re-read stably.
+func FuzzParseMasterFile(f *testing.F) {
+	var sb strings.Builder
+	TypoZone("exampel.com", dnswire.IPv4(1, 1, 1, 1)).WriteMasterFile(&sb)
+	f.Add(sb.String())
+	f.Add("$ORIGIN x.com.\n@ 300 IN A 1.2.3.4\n")
+	f.Add("")
+	f.Add("; just a comment\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		z, err := ParseMasterFile(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var out strings.Builder
+		if err := z.WriteMasterFile(&out); err != nil {
+			t.Fatalf("parsed zone does not serialize: %v", err)
+		}
+		if _, err := ParseMasterFile(strings.NewReader(out.String())); err != nil {
+			t.Fatalf("serialized zone does not re-parse: %v\n%s", err, out.String())
+		}
+	})
+}

@@ -1,0 +1,192 @@
+package dnsserve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/dnswire"
+)
+
+// Master-file (RFC 1035 §5) serialization for zones. The paper's
+// Section 5.1 methodology works from a .com zone file snapshot ("Using a
+// .com zone file, we find domain name servers that serve a significantly
+// higher proportion of typosquatting domains..."); these helpers let the
+// simulated ecosystem be written out and re-read in the same format real
+// registries publish.
+
+// WriteMasterFile renders the zone in master-file format, owners sorted,
+// apex records first.
+func (z *Zone) WriteMasterFile(w io.Writer) error {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	owners := make([]string, 0, len(z.records))
+	for o := range z.records {
+		owners = append(owners, o)
+	}
+	sort.Slice(owners, func(i, j int) bool {
+		// apex first, then wildcard, then alphabetical
+		rank := func(o string) int {
+			switch o {
+			case "@":
+				return 0
+			case "*":
+				return 1
+			default:
+				return 2
+			}
+		}
+		if rank(owners[i]) != rank(owners[j]) {
+			return rank(owners[i]) < rank(owners[j])
+		}
+		return owners[i] < owners[j]
+	})
+	if _, err := fmt.Fprintf(w, "$ORIGIN %s.\n", z.Apex); err != nil {
+		return err
+	}
+	for _, owner := range owners {
+		for _, rr := range z.records[owner] {
+			line, err := formatRR(owner, rr)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func formatRR(owner string, rr dnswire.RR) (string, error) {
+	prefix := fmt.Sprintf("%-24s %6d IN", owner, rr.TTL)
+	switch rr.Type {
+	case dnswire.TypeA:
+		return fmt.Sprintf("%s A     %s", prefix, dnswire.FormatIP(rr.IP)), nil
+	case dnswire.TypeMX:
+		return fmt.Sprintf("%s MX    %d %s.", prefix, rr.Preference, rr.Exchange), nil
+	case dnswire.TypeNS:
+		return fmt.Sprintf("%s NS    %s.", prefix, rr.Target), nil
+	case dnswire.TypeCNAME:
+		return fmt.Sprintf("%s CNAME %s.", prefix, rr.Target), nil
+	case dnswire.TypeTXT:
+		return fmt.Sprintf("%s TXT   %q", prefix, strings.Join(rr.Text, " ")), nil
+	case dnswire.TypeSOA:
+		if rr.SOA == nil {
+			return "", fmt.Errorf("dnsserve: SOA record without data")
+		}
+		return fmt.Sprintf("%s SOA   %s. %s. %d %d %d %d %d", prefix,
+			rr.SOA.MName, rr.SOA.RName, rr.SOA.Serial, rr.SOA.Refresh,
+			rr.SOA.Retry, rr.SOA.Expire, rr.SOA.Minimum), nil
+	default:
+		return "", fmt.Errorf("dnsserve: master file cannot express %s", rr.Type)
+	}
+}
+
+// ParseMasterFile reads a zone back from master-file text. Only the
+// record types WriteMasterFile emits are supported; comments (;) and
+// blank lines are skipped.
+func ParseMasterFile(r io.Reader) (*Zone, error) {
+	sc := bufio.NewScanner(r)
+	var zone *Zone
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		if strings.HasPrefix(line, "$ORIGIN") {
+			apex := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(line, "$ORIGIN")), ".")
+			zone = NewZone(apex)
+			continue
+		}
+		if zone == nil {
+			return nil, fmt.Errorf("dnsserve: line %d: record before $ORIGIN", lineNo)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 5 {
+			return nil, fmt.Errorf("dnsserve: line %d: too few fields", lineNo)
+		}
+		owner := fields[0]
+		ttl, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("dnsserve: line %d: bad TTL %q", lineNo, fields[1])
+		}
+		if fields[2] != "IN" {
+			return nil, fmt.Errorf("dnsserve: line %d: unsupported class %q", lineNo, fields[2])
+		}
+		rr := dnswire.RR{TTL: uint32(ttl), Class: dnswire.ClassIN}
+		switch fields[3] {
+		case "A":
+			rr.Type = dnswire.TypeA
+			var a, b, c, d byte
+			if _, err := fmt.Sscanf(fields[4], "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+				return nil, fmt.Errorf("dnsserve: line %d: bad A %q", lineNo, fields[4])
+			}
+			rr.IP = dnswire.IPv4(a, b, c, d)
+		case "MX":
+			if len(fields) < 6 {
+				return nil, fmt.Errorf("dnsserve: line %d: MX needs preference and exchange", lineNo)
+			}
+			rr.Type = dnswire.TypeMX
+			pref, err := strconv.ParseUint(fields[4], 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("dnsserve: line %d: bad MX preference", lineNo)
+			}
+			rr.Preference = uint16(pref)
+			rr.Exchange = strings.TrimSuffix(fields[5], ".")
+		case "NS":
+			rr.Type = dnswire.TypeNS
+			rr.Target = strings.TrimSuffix(fields[4], ".")
+		case "CNAME":
+			rr.Type = dnswire.TypeCNAME
+			rr.Target = strings.TrimSuffix(fields[4], ".")
+		case "TXT":
+			rr.Type = dnswire.TypeTXT
+			txt := strings.TrimSpace(line[strings.Index(line, "TXT")+3:])
+			if s, err := strconv.Unquote(txt); err == nil {
+				rr.Text = []string{s}
+			} else {
+				rr.Text = []string{txt}
+			}
+		case "SOA":
+			if len(fields) < 11 {
+				return nil, fmt.Errorf("dnsserve: line %d: short SOA", lineNo)
+			}
+			rr.Type = dnswire.TypeSOA
+			soa := &dnswire.SOAData{
+				MName: strings.TrimSuffix(fields[4], "."),
+				RName: strings.TrimSuffix(fields[5], "."),
+			}
+			for i, dst := range []*uint32{&soa.Serial, &soa.Refresh, &soa.Retry, &soa.Expire, &soa.Minimum} {
+				v, err := strconv.ParseUint(fields[6+i], 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("dnsserve: line %d: bad SOA field %d", lineNo, 6+i)
+				}
+				*dst = uint32(v)
+			}
+			rr.SOA = soa
+		default:
+			return nil, fmt.Errorf("dnsserve: line %d: unsupported type %q", lineNo, fields[3])
+		}
+		zone.Add(ownerForAdd(owner), rr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if zone == nil {
+		return nil, fmt.Errorf("dnsserve: empty master file")
+	}
+	return zone, nil
+}
+
+func ownerForAdd(owner string) string {
+	if owner == "@" {
+		return "@"
+	}
+	return owner
+}

@@ -1,0 +1,92 @@
+package dnsserve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dnswire"
+)
+
+func TestMasterFileRoundTrip(t *testing.T) {
+	z := TypoZone("exampel.com", dnswire.IPv4(1, 1, 1, 1))
+	z.Add("@", z.SOA())
+	z.Add("www", dnswire.RR{Type: dnswire.TypeCNAME, Target: "exampel.com"})
+	z.Add("@", dnswire.RR{Type: dnswire.TypeNS, Target: "ns1.exampel.com"})
+	z.Add("@", dnswire.RR{Type: dnswire.TypeTXT, Text: []string{"v=spf1 -all"}})
+
+	var buf bytes.Buffer
+	if err := z.WriteMasterFile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"$ORIGIN exampel.com.", "MX    1 exampel.com.", "A     1.1.1.1", `TXT   "v=spf1 -all"`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("master file missing %q:\n%s", want, text)
+		}
+	}
+
+	got, err := ParseMasterFile(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Apex != "exampel.com" {
+		t.Fatalf("apex = %q", got.Apex)
+	}
+	// Every lookup behaves identically after the round trip.
+	for _, tc := range []struct {
+		name  string
+		typ   dnswire.Type
+		count int
+	}{
+		{"exampel.com", dnswire.TypeMX, 1},
+		{"anything.exampel.com", dnswire.TypeMX, 1}, // wildcard preserved
+		{"exampel.com", dnswire.TypeA, 1},
+		{"www.exampel.com", dnswire.TypeCNAME, 1},
+		{"exampel.com", dnswire.TypeNS, 1},
+		{"exampel.com", dnswire.TypeTXT, 1},
+		{"exampel.com", dnswire.TypeSOA, 1},
+	} {
+		rrs, _ := got.Lookup(tc.name, tc.typ)
+		if len(rrs) != tc.count {
+			t.Errorf("%s/%s after round trip = %d records, want %d", tc.name, tc.typ, len(rrs), tc.count)
+		}
+	}
+	soas, _ := got.Lookup("exampel.com", dnswire.TypeSOA)
+	if soas[0].SOA == nil || soas[0].SOA.Serial != 2016060401 {
+		t.Errorf("SOA mangled: %+v", soas[0].SOA)
+	}
+}
+
+func TestParseMasterFileErrors(t *testing.T) {
+	cases := []struct {
+		name, text string
+	}{
+		{"empty", ""},
+		{"record before origin", "@ 300 IN A 1.2.3.4\n"},
+		{"bad ttl", "$ORIGIN x.com.\n@ abc IN A 1.2.3.4\n"},
+		{"bad class", "$ORIGIN x.com.\n@ 300 XX A 1.2.3.4\n"},
+		{"bad type", "$ORIGIN x.com.\n@ 300 IN WEIRD 1.2.3.4\n"},
+		{"short fields", "$ORIGIN x.com.\n@ 300 IN\n"},
+		{"bad ip", "$ORIGIN x.com.\n@ 300 IN A not-an-ip\n"},
+		{"short soa", "$ORIGIN x.com.\n@ 300 IN SOA ns. host. 1 2\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseMasterFile(strings.NewReader(tc.text)); err == nil {
+				t.Error("accepted")
+			}
+		})
+	}
+}
+
+func TestParseMasterFileSkipsComments(t *testing.T) {
+	text := "$ORIGIN x.com.\n; zone snapshot 2016-11-05\n\n@ 300 IN A 9.9.9.9\n"
+	z, err := ParseMasterFile(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrs, _ := z.Lookup("x.com", dnswire.TypeA); len(rrs) != 1 {
+		t.Error("record after comment lost")
+	}
+}

@@ -1,0 +1,157 @@
+package dnsserve
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// MaxUDPPayload is the classic RFC 1035 limit: responses longer than
+// this are truncated over UDP (TC bit set) and the client retries over
+// TCP.
+const MaxUDPPayload = 512
+
+// TruncateForUDP clips a response to fit the UDP payload limit, per
+// RFC 2181 §9: drop whole records and set TC so the client knows to
+// retry over TCP. It returns the (possibly smaller) message to send.
+func TruncateForUDP(m *dnswire.Message) *dnswire.Message {
+	wire, err := dnswire.Encode(m)
+	if err != nil || len(wire) <= MaxUDPPayload {
+		return m
+	}
+	clipped := *m
+	clipped.Header.Truncated = true
+	// Drop additional, then authority, then answers from the tail until
+	// the message fits.
+	for {
+		switch {
+		case len(clipped.Additional) > 0:
+			clipped.Additional = clipped.Additional[:len(clipped.Additional)-1]
+		case len(clipped.Authority) > 0:
+			clipped.Authority = clipped.Authority[:len(clipped.Authority)-1]
+		case len(clipped.Answers) > 0:
+			clipped.Answers = clipped.Answers[:len(clipped.Answers)-1]
+		default:
+			return &clipped
+		}
+		wire, err := dnswire.Encode(&clipped)
+		if err == nil && len(wire) <= MaxUDPPayload {
+			return &clipped
+		}
+	}
+}
+
+// ServeTCP accepts DNS-over-TCP connections (RFC 1035 §4.2.2: two-byte
+// length prefix per message) until ctx ends. Responses over TCP are
+// never truncated.
+func (s *Server) ServeTCP(ctx context.Context, ln net.Listener) error {
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return fmt.Errorf("dnsserve: tcp accept: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for {
+				conn.SetDeadline(time.Now().Add(10 * time.Second))
+				var lenBuf [2]byte
+				if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+					return
+				}
+				n := binary.BigEndian.Uint16(lenBuf[:])
+				pkt := make([]byte, n)
+				if _, err := io.ReadFull(r, pkt); err != nil {
+					return
+				}
+				resp := s.handle(pkt)
+				if resp == nil {
+					return
+				}
+				out := make([]byte, 2+len(resp))
+				binary.BigEndian.PutUint16(out, uint16(len(resp)))
+				copy(out[2:], resp)
+				if _, err := conn.Write(out); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// ListenAndServeTCP binds a TCP listener on addr and serves DNS over it.
+func (s *Server) ListenAndServeTCP(ctx context.Context, addr string, bound chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dnsserve: tcp listen: %w", err)
+	}
+	if bound != nil {
+		bound <- ln.Addr()
+	}
+	return s.ServeTCP(ctx, ln)
+}
+
+// QueryTCP performs one DNS-over-TCP exchange against addr.
+func QueryTCP(ctx context.Context, addr string, q *dnswire.Message) (*dnswire.Message, error) {
+	wire, err := dnswire.Encode(q)
+	if err != nil {
+		return nil, err
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserve: tcp dial: %w", err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
+		deadline = ctxDeadline
+	}
+	conn.SetDeadline(deadline)
+
+	out := make([]byte, 2+len(wire))
+	binary.BigEndian.PutUint16(out, uint16(len(wire)))
+	copy(out[2:], wire)
+	if _, err := conn.Write(out); err != nil {
+		return nil, err
+	}
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	resp := make([]byte, binary.BigEndian.Uint16(lenBuf[:]))
+	if _, err := io.ReadFull(conn, resp); err != nil {
+		return nil, err
+	}
+	m, err := dnswire.Decode(resp)
+	if err != nil {
+		return nil, err
+	}
+	if m.Header.ID != q.Header.ID {
+		return nil, errors.New("dnsserve: tcp response ID mismatch")
+	}
+	return m, nil
+}

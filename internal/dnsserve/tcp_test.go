@@ -1,0 +1,113 @@
+package dnsserve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+	"repro/internal/resolve"
+)
+
+// bigZone creates a zone whose MX response exceeds the UDP payload.
+func bigZone() *Zone {
+	z := NewZone("bulk.com")
+	for i := 0; i < 40; i++ {
+		z.Add("@", dnswire.RR{
+			Type: dnswire.TypeMX, Preference: uint16(i),
+			Exchange: fmt.Sprintf("a-very-long-mail-exchanger-name-%02d.some-hosting-provider.example", i),
+		})
+	}
+	return z
+}
+
+func TestTruncateForUDP(t *testing.T) {
+	store := NewStore()
+	store.Put(bigZone())
+	srv := NewServer(store)
+	full := srv.Answer(dnswire.NewQuery(1, "bulk.com", dnswire.TypeMX))
+	wire, err := dnswire.Encode(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) <= MaxUDPPayload {
+		t.Fatalf("test zone too small: %d bytes", len(wire))
+	}
+	clipped := TruncateForUDP(full)
+	if !clipped.Header.Truncated {
+		t.Error("TC bit not set")
+	}
+	cw, err := dnswire.Encode(clipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cw) > MaxUDPPayload {
+		t.Errorf("clipped message still %d bytes", len(cw))
+	}
+	if len(clipped.Answers) == 0 || len(clipped.Answers) >= len(full.Answers) {
+		t.Errorf("answers = %d of %d", len(clipped.Answers), len(full.Answers))
+	}
+	// Small responses pass through untouched.
+	small := srv.Answer(dnswire.NewQuery(2, "bulk.com", dnswire.TypeTXT))
+	if got := TruncateForUDP(small); got.Header.Truncated {
+		t.Error("small response truncated")
+	}
+}
+
+func TestDNSOverTCPRoundTrip(t *testing.T) {
+	store := NewStore()
+	store.Put(bigZone())
+	srv := NewServer(store)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	bound := make(chan net.Addr, 1)
+	go srv.ListenAndServeTCP(ctx, "127.0.0.1:0", bound)
+	addr := (<-bound).String()
+
+	resp, err := QueryTCP(ctx, addr, dnswire.NewQuery(77, "bulk.com", dnswire.TypeMX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Truncated {
+		t.Error("TCP response truncated")
+	}
+	if len(resp.Answers) != 40 {
+		t.Errorf("answers = %d, want 40", len(resp.Answers))
+	}
+}
+
+func TestResolverTCPFallback(t *testing.T) {
+	store := NewStore()
+	store.Put(bigZone())
+	srv := NewServer(store)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	uBound := make(chan net.Addr, 1)
+	tBound := make(chan net.Addr, 1)
+	go srv.ListenAndServe(ctx, "127.0.0.1:0", uBound)
+	go srv.ListenAndServeTCP(ctx, "127.0.0.1:0", tBound)
+	udpAddr := (<-uBound).String()
+	tcpAddr := (<-tBound).String()
+
+	// Without fallback the resolver sees a clipped answer set.
+	plain := resolve.New(&resolve.UDPExchanger{Server: udpAddr, Timeout: 2 * time.Second}, resolve.WithSeed(1))
+	clipped, err := plain.LookupMX(context.Background(), "bulk.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clipped) >= 40 {
+		t.Fatalf("expected truncation over UDP, got %d answers", len(clipped))
+	}
+
+	// With the fallback the full set arrives over TCP.
+	fb := resolve.New(&resolve.UDPExchanger{Server: udpAddr, TCPServer: tcpAddr, Timeout: 2 * time.Second}, resolve.WithSeed(2))
+	full, err := fb.LookupMX(context.Background(), "bulk.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 40 {
+		t.Errorf("TCP fallback answers = %d, want 40", len(full))
+	}
+}

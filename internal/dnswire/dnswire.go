@@ -1,0 +1,642 @@
+// Package dnswire implements the RFC 1035 DNS message wire format:
+// header, question and resource-record encoding and decoding, including
+// domain-name compression pointers.
+//
+// The study's collection infrastructure (Table 1) and ecosystem scan
+// (Section 5.1) are built on MX and A lookups; this package provides the
+// protocol layer those components exchange over UDP.
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Type is an RR TYPE code.
+type Type uint16
+
+// Resource record types used by the study.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	TypeMX    Type = 15
+	TypeANY   Type = 255
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	case TypeMX:
+		return "MX"
+	case TypeANY:
+		return "ANY"
+	default:
+		return fmt.Sprintf("TYPE%d", uint16(t))
+	}
+}
+
+// Class is an RR CLASS code.
+type Class uint16
+
+// ClassIN is the Internet class; the only one the study uses.
+const ClassIN Class = 1
+
+// RCode is a response code.
+type RCode uint8
+
+// Response codes (RFC 1035 §4.1.1).
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+func (rc RCode) String() string {
+	switch rc {
+	case RCodeNoError:
+		return "NOERROR"
+	case RCodeFormErr:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeNotImp:
+		return "NOTIMP"
+	case RCodeRefused:
+		return "REFUSED"
+	default:
+		return fmt.Sprintf("RCODE%d", uint8(rc))
+	}
+}
+
+// Header is the fixed 12-byte DNS message header.
+type Header struct {
+	ID                 uint16
+	Response           bool
+	Opcode             uint8
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	RCode              RCode
+}
+
+// Question is a query tuple.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// RR is a decoded resource record. Exactly one of the type-specific
+// fields is meaningful, selected by Type.
+type RR struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+
+	// A / AAAA
+	IP []byte // 4 or 16 bytes
+
+	// MX
+	Preference uint16
+	Exchange   string
+
+	// NS / CNAME
+	Target string
+
+	// TXT
+	Text []string
+
+	// SOA
+	SOA *SOAData
+
+	// Unknown types keep raw RDATA so records round-trip.
+	Raw []byte
+}
+
+// SOAData is the RDATA of an SOA record.
+type SOAData struct {
+	MName   string
+	RName   string
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+// Message is a full DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// Errors returned by the decoder.
+var (
+	ErrShortMessage    = errors.New("dnswire: message truncated")
+	ErrBadPointer      = errors.New("dnswire: bad compression pointer")
+	ErrNameTooLong     = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong    = errors.New("dnswire: label exceeds 63 octets")
+	ErrTrailingGarbage = errors.New("dnswire: trailing bytes after message")
+)
+
+// maxPointerHops bounds compression-pointer chains to defeat loops.
+const maxPointerHops = 32
+
+// ---------------------------------------------------------------------
+// Encoding
+
+type encoder struct {
+	buf     []byte
+	offsets map[string]int // name suffix -> offset, for compression
+}
+
+// Encode serializes m to wire format.
+func Encode(m *Message) ([]byte, error) {
+	e := &encoder{buf: make([]byte, 0, 512), offsets: make(map[string]int)}
+	h := m.Header
+	var flags uint16
+	if h.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(h.Opcode&0xF) << 11
+	if h.Authoritative {
+		flags |= 1 << 10
+	}
+	if h.Truncated {
+		flags |= 1 << 9
+	}
+	if h.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if h.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(h.RCode) & 0xF
+
+	e.u16(h.ID)
+	e.u16(flags)
+	e.u16(uint16(len(m.Questions)))
+	e.u16(uint16(len(m.Answers)))
+	e.u16(uint16(len(m.Authority)))
+	e.u16(uint16(len(m.Additional)))
+
+	for _, q := range m.Questions {
+		if err := e.name(q.Name); err != nil {
+			return nil, err
+		}
+		e.u16(uint16(q.Type))
+		e.u16(uint16(q.Class))
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for i := range sec {
+			if err := e.rr(&sec[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e.buf, nil
+}
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u16(v uint16) { e.buf = append(e.buf, byte(v>>8), byte(v)) }
+func (e *encoder) u32(v uint32) {
+	e.buf = append(e.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// name writes a domain name with compression against previously-written
+// names.
+func (e *encoder) name(name string) error {
+	name = canonical(name)
+	if name == "" {
+		e.u8(0)
+		return nil
+	}
+	if len(name) > 255 {
+		return ErrNameTooLong
+	}
+	labels := strings.Split(name, ".")
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".")
+		if off, ok := e.offsets[suffix]; ok && off < 0x3FFF {
+			e.u16(uint16(off) | 0xC000)
+			return nil
+		}
+		if len(e.buf) < 0x3FFF {
+			e.offsets[suffix] = len(e.buf)
+		}
+		label := labels[i]
+		if len(label) == 0 {
+			return fmt.Errorf("dnswire: empty label in %q", name)
+		}
+		if len(label) > 63 {
+			return ErrLabelTooLong
+		}
+		e.u8(uint8(len(label)))
+		e.buf = append(e.buf, label...)
+	}
+	e.u8(0)
+	return nil
+}
+
+func (e *encoder) rr(rr *RR) error {
+	if err := e.name(rr.Name); err != nil {
+		return err
+	}
+	e.u16(uint16(rr.Type))
+	e.u16(uint16(rr.Class))
+	e.u32(rr.TTL)
+
+	// Reserve RDLENGTH, fill after writing RDATA.
+	lenAt := len(e.buf)
+	e.u16(0)
+	start := len(e.buf)
+
+	switch rr.Type {
+	case TypeA:
+		if len(rr.IP) != 4 {
+			return fmt.Errorf("dnswire: A record needs 4-byte IP, got %d", len(rr.IP))
+		}
+		e.buf = append(e.buf, rr.IP...)
+	case TypeAAAA:
+		if len(rr.IP) != 16 {
+			return fmt.Errorf("dnswire: AAAA record needs 16-byte IP, got %d", len(rr.IP))
+		}
+		e.buf = append(e.buf, rr.IP...)
+	case TypeMX:
+		e.u16(rr.Preference)
+		if err := e.name(rr.Exchange); err != nil {
+			return err
+		}
+	case TypeNS, TypeCNAME:
+		if err := e.name(rr.Target); err != nil {
+			return err
+		}
+	case TypeTXT:
+		for _, s := range rr.Text {
+			if len(s) > 255 {
+				return fmt.Errorf("dnswire: TXT string exceeds 255 bytes")
+			}
+			e.u8(uint8(len(s)))
+			e.buf = append(e.buf, s...)
+		}
+	case TypeSOA:
+		if rr.SOA == nil {
+			return fmt.Errorf("dnswire: SOA record without SOA data")
+		}
+		if err := e.name(rr.SOA.MName); err != nil {
+			return err
+		}
+		if err := e.name(rr.SOA.RName); err != nil {
+			return err
+		}
+		e.u32(rr.SOA.Serial)
+		e.u32(rr.SOA.Refresh)
+		e.u32(rr.SOA.Retry)
+		e.u32(rr.SOA.Expire)
+		e.u32(rr.SOA.Minimum)
+	default:
+		e.buf = append(e.buf, rr.Raw...)
+	}
+
+	rdlen := len(e.buf) - start
+	e.buf[lenAt] = byte(rdlen >> 8)
+	e.buf[lenAt+1] = byte(rdlen)
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+// Decode parses a wire-format DNS message.
+func Decode(buf []byte) (*Message, error) {
+	d := &decoder{buf: buf}
+	var m Message
+
+	id, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	m.Header = Header{
+		ID:                 id,
+		Response:           flags&(1<<15) != 0,
+		Opcode:             uint8(flags >> 11 & 0xF),
+		Authoritative:      flags&(1<<10) != 0,
+		Truncated:          flags&(1<<9) != 0,
+		RecursionDesired:   flags&(1<<8) != 0,
+		RecursionAvailable: flags&(1<<7) != 0,
+		RCode:              RCode(flags & 0xF),
+	}
+	counts := make([]uint16, 4)
+	for i := range counts {
+		if counts[i], err = d.u16(); err != nil {
+			return nil, err
+		}
+	}
+
+	for i := 0; i < int(counts[0]); i++ {
+		var q Question
+		if q.Name, err = d.name(); err != nil {
+			return nil, err
+		}
+		t, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		c, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		q.Type, q.Class = Type(t), Class(c)
+		m.Questions = append(m.Questions, q)
+	}
+	sections := []*[]RR{&m.Answers, &m.Authority, &m.Additional}
+	for si, sec := range sections {
+		for i := 0; i < int(counts[si+1]); i++ {
+			rr, err := d.rr()
+			if err != nil {
+				return nil, err
+			}
+			*sec = append(*sec, rr)
+		}
+	}
+	if d.pos != len(d.buf) {
+		return nil, ErrTrailingGarbage
+	}
+	return &m, nil
+}
+
+func (d *decoder) u8() (uint8, error) {
+	if d.pos+1 > len(d.buf) {
+		return 0, ErrShortMessage
+	}
+	v := d.buf[d.pos]
+	d.pos++
+	return v, nil
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if d.pos+2 > len(d.buf) {
+		return 0, ErrShortMessage
+	}
+	v := uint16(d.buf[d.pos])<<8 | uint16(d.buf[d.pos+1])
+	d.pos += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.pos+4 > len(d.buf) {
+		return 0, ErrShortMessage
+	}
+	v := uint32(d.buf[d.pos])<<24 | uint32(d.buf[d.pos+1])<<16 |
+		uint32(d.buf[d.pos+2])<<8 | uint32(d.buf[d.pos+3])
+	d.pos += 4
+	return v, nil
+}
+
+func (d *decoder) take(n int) ([]byte, error) {
+	if n < 0 || d.pos+n > len(d.buf) {
+		return nil, ErrShortMessage
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b, nil
+}
+
+// name reads a possibly-compressed domain name starting at the cursor.
+func (d *decoder) name() (string, error) {
+	s, next, err := readName(d.buf, d.pos)
+	if err != nil {
+		return "", err
+	}
+	d.pos = next
+	return s, nil
+}
+
+// readName decodes a name at offset `at`; it returns the name and the
+// offset just past its in-line representation.
+func readName(buf []byte, at int) (string, int, error) {
+	var sb strings.Builder
+	pos := at
+	next := -1 // where parsing resumes after the first pointer
+	hops := 0
+	totalLen := 0
+	for {
+		if pos >= len(buf) {
+			return "", 0, ErrShortMessage
+		}
+		b := buf[pos]
+		switch {
+		case b == 0:
+			if next < 0 {
+				next = pos + 1
+			}
+			return sb.String(), next, nil
+		case b&0xC0 == 0xC0:
+			if pos+2 > len(buf) {
+				return "", 0, ErrShortMessage
+			}
+			ptr := int(b&0x3F)<<8 | int(buf[pos+1])
+			if ptr >= pos {
+				return "", 0, ErrBadPointer // pointers must go backwards
+			}
+			if next < 0 {
+				next = pos + 2
+			}
+			pos = ptr
+			hops++
+			if hops > maxPointerHops {
+				return "", 0, ErrBadPointer
+			}
+		case b&0xC0 != 0:
+			return "", 0, fmt.Errorf("dnswire: reserved label type %#x", b&0xC0)
+		default:
+			n := int(b)
+			if pos+1+n > len(buf) {
+				return "", 0, ErrShortMessage
+			}
+			totalLen += n + 1
+			if totalLen > 255 {
+				return "", 0, ErrNameTooLong
+			}
+			label := buf[pos+1 : pos+1+n]
+			// RFC 1035 allows arbitrary label bytes, but this codec uses
+			// dotted strings as the in-memory form: a label containing '.'
+			// or non-printable bytes would not round-trip, so reject it
+			// (hostname-shaped names are all the study traffics in).
+			for _, c := range label {
+				if c == '.' || c < '!' || c > '~' {
+					return "", 0, fmt.Errorf("dnswire: unsupported byte %#x in label", c)
+				}
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(label)
+			pos += 1 + n
+		}
+	}
+}
+
+func (d *decoder) rr() (RR, error) {
+	var rr RR
+	var err error
+	if rr.Name, err = d.name(); err != nil {
+		return rr, err
+	}
+	t, err := d.u16()
+	if err != nil {
+		return rr, err
+	}
+	c, err := d.u16()
+	if err != nil {
+		return rr, err
+	}
+	ttl, err := d.u32()
+	if err != nil {
+		return rr, err
+	}
+	rdlen, err := d.u16()
+	if err != nil {
+		return rr, err
+	}
+	rr.Type, rr.Class, rr.TTL = Type(t), Class(c), ttl
+
+	end := d.pos + int(rdlen)
+	if end > len(d.buf) {
+		return rr, ErrShortMessage
+	}
+
+	switch rr.Type {
+	case TypeA:
+		ip, err := d.take(4)
+		if err != nil {
+			return rr, err
+		}
+		rr.IP = append([]byte(nil), ip...)
+	case TypeAAAA:
+		ip, err := d.take(16)
+		if err != nil {
+			return rr, err
+		}
+		rr.IP = append([]byte(nil), ip...)
+	case TypeMX:
+		if rr.Preference, err = d.u16(); err != nil {
+			return rr, err
+		}
+		if rr.Exchange, err = d.name(); err != nil {
+			return rr, err
+		}
+	case TypeNS, TypeCNAME:
+		if rr.Target, err = d.name(); err != nil {
+			return rr, err
+		}
+	case TypeTXT:
+		for d.pos < end {
+			n, err := d.u8()
+			if err != nil {
+				return rr, err
+			}
+			s, err := d.take(int(n))
+			if err != nil {
+				return rr, err
+			}
+			rr.Text = append(rr.Text, string(s))
+		}
+	case TypeSOA:
+		soa := &SOAData{}
+		if soa.MName, err = d.name(); err != nil {
+			return rr, err
+		}
+		if soa.RName, err = d.name(); err != nil {
+			return rr, err
+		}
+		for _, dst := range []*uint32{&soa.Serial, &soa.Refresh, &soa.Retry, &soa.Expire, &soa.Minimum} {
+			if *dst, err = d.u32(); err != nil {
+				return rr, err
+			}
+		}
+		rr.SOA = soa
+	default:
+		raw, err := d.take(int(rdlen))
+		if err != nil {
+			return rr, err
+		}
+		rr.Raw = append([]byte(nil), raw...)
+	}
+	if d.pos != end {
+		return rr, fmt.Errorf("dnswire: RDATA length mismatch for %s record (%d != %d)", rr.Type, d.pos, end)
+	}
+	return rr, nil
+}
+
+// canonical lowercases a name and strips the trailing dot; the wire form
+// is case-preserving but the study compares names case-insensitively.
+func canonical(name string) string {
+	return strings.ToLower(strings.TrimSuffix(name, "."))
+}
+
+// Equal reports whether two domain names are equal under DNS rules.
+func Equal(a, b string) bool { return canonical(a) == canonical(b) }
+
+// NewQuery builds a standard recursive query for (name, type).
+func NewQuery(id uint16, name string, t Type) *Message {
+	return &Message{
+		Header:    Header{ID: id, RecursionDesired: true},
+		Questions: []Question{{Name: canonical(name), Type: t, Class: ClassIN}},
+	}
+}
+
+// IPv4 packs four octets into the byte form A records carry.
+func IPv4(a, b, c, d byte) []byte { return []byte{a, b, c, d} }
+
+// FormatIP renders an RR's IP field in dotted-quad (A) or colon-hex
+// (AAAA, abbreviated poorly but unambiguously) notation.
+func FormatIP(ip []byte) string {
+	switch len(ip) {
+	case 4:
+		return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+	case 16:
+		parts := make([]string, 8)
+		for i := 0; i < 8; i++ {
+			parts[i] = fmt.Sprintf("%x", uint16(ip[2*i])<<8|uint16(ip[2*i+1]))
+		}
+		return strings.Join(parts, ":")
+	default:
+		return fmt.Sprintf("%x", ip)
+	}
+}

@@ -1,0 +1,353 @@
+package dnswire
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	wire, err := Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return got
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	m := &Message{Header: Header{
+		ID: 0xBEEF, Response: true, Opcode: 2, Authoritative: true,
+		Truncated: true, RecursionDesired: true, RecursionAvailable: true,
+		RCode: RCodeNXDomain,
+	}}
+	got := roundTrip(t, m)
+	if got.Header != m.Header {
+		t.Errorf("header = %+v, want %+v", got.Header, m.Header)
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	m := NewQuery(42, "Exampel.COM.", TypeMX)
+	got := roundTrip(t, m)
+	if len(got.Questions) != 1 {
+		t.Fatalf("questions = %d", len(got.Questions))
+	}
+	q := got.Questions[0]
+	if q.Name != "exampel.com" || q.Type != TypeMX || q.Class != ClassIN {
+		t.Errorf("question = %+v", q)
+	}
+	if !got.Header.RecursionDesired {
+		t.Error("RD flag lost")
+	}
+}
+
+func TestTable1ZoneRoundTrip(t *testing.T) {
+	// The paper's Table 1: wildcard and apex MX priority 1 pointing at the
+	// domain itself, wildcard and apex A records.
+	m := &Message{
+		Header: Header{ID: 7, Response: true, Authoritative: true},
+		Questions: []Question{
+			{Name: "exampel.com", Type: TypeMX, Class: ClassIN},
+		},
+		Answers: []RR{
+			{Name: "exampel.com", Type: TypeMX, Class: ClassIN, TTL: 300, Preference: 1, Exchange: "exampel.com"},
+			{Name: "sub.exampel.com", Type: TypeMX, Class: ClassIN, TTL: 300, Preference: 1, Exchange: "exampel.com"},
+		},
+		Additional: []RR{
+			{Name: "exampel.com", Type: TypeA, Class: ClassIN, TTL: 300, IP: IPv4(1, 1, 1, 1)},
+		},
+	}
+	got := roundTrip(t, m)
+	if len(got.Answers) != 2 || len(got.Additional) != 1 {
+		t.Fatalf("sections = %d/%d", len(got.Answers), len(got.Additional))
+	}
+	if got.Answers[0].Exchange != "exampel.com" || got.Answers[0].Preference != 1 {
+		t.Errorf("MX = %+v", got.Answers[0])
+	}
+	if got.Answers[0].TTL != 300 {
+		t.Errorf("TTL = %d, want 300", got.Answers[0].TTL)
+	}
+	if FormatIP(got.Additional[0].IP) != "1.1.1.1" {
+		t.Errorf("A = %s", FormatIP(got.Additional[0].IP))
+	}
+}
+
+func TestCompressionEffectiveness(t *testing.T) {
+	// Repeated names must compress: a response with 10 answers on the
+	// same name should be much smaller than 10x the uncompressed name.
+	m := &Message{Header: Header{ID: 1, Response: true}}
+	for i := 0; i < 10; i++ {
+		m.Answers = append(m.Answers, RR{
+			Name: "really-long-typosquatting-domain.example.com", Type: TypeA,
+			Class: ClassIN, TTL: 60, IP: IPv4(10, 0, 0, byte(i)),
+		})
+	}
+	wire, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nameLen := len("really-long-typosquatting-domain.example.com") + 2
+	uncompressed := 12 + 10*(nameLen+10+4)
+	if len(wire) >= uncompressed {
+		t.Errorf("no compression: %d bytes >= %d uncompressed", len(wire), uncompressed)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rr := range got.Answers {
+		if rr.Name != "really-long-typosquatting-domain.example.com" {
+			t.Fatalf("answer %d name = %q", i, rr.Name)
+		}
+	}
+}
+
+func TestCompressionSuffixSharing(t *testing.T) {
+	m := &Message{Header: Header{ID: 3, Response: true}}
+	m.Answers = append(m.Answers,
+		RR{Name: "a.exampel.com", Type: TypeMX, Class: ClassIN, TTL: 300, Preference: 1, Exchange: "mx.exampel.com"},
+		RR{Name: "b.exampel.com", Type: TypeMX, Class: ClassIN, TTL: 300, Preference: 2, Exchange: "mx.exampel.com"},
+	)
+	got := roundTrip(t, m)
+	if got.Answers[0].Exchange != "mx.exampel.com" || got.Answers[1].Exchange != "mx.exampel.com" {
+		t.Errorf("exchanges = %q, %q", got.Answers[0].Exchange, got.Answers[1].Exchange)
+	}
+}
+
+func TestAllRRTypesRoundTrip(t *testing.T) {
+	m := &Message{
+		Header: Header{ID: 9, Response: true},
+		Answers: []RR{
+			{Name: "a.test", Type: TypeA, Class: ClassIN, TTL: 1, IP: IPv4(192, 168, 0, 1)},
+			{Name: "aaaa.test", Type: TypeAAAA, Class: ClassIN, TTL: 2, IP: bytes.Repeat([]byte{0xFE}, 16)},
+			{Name: "mx.test", Type: TypeMX, Class: ClassIN, TTL: 3, Preference: 10, Exchange: "mail.test"},
+			{Name: "ns.test", Type: TypeNS, Class: ClassIN, TTL: 4, Target: "ns1.test"},
+			{Name: "cn.test", Type: TypeCNAME, Class: ClassIN, TTL: 5, Target: "real.test"},
+			{Name: "txt.test", Type: TypeTXT, Class: ClassIN, TTL: 6, Text: []string{"v=spf1 -all", "second"}},
+			{Name: "soa.test", Type: TypeSOA, Class: ClassIN, TTL: 7, SOA: &SOAData{
+				MName: "ns1.test", RName: "hostmaster.test", Serial: 2016060401,
+				Refresh: 3600, Retry: 600, Expire: 86400, Minimum: 300,
+			}},
+			{Name: "raw.test", Type: Type(99), Class: ClassIN, TTL: 8, Raw: []byte{1, 2, 3}},
+		},
+	}
+	got := roundTrip(t, m)
+	if len(got.Answers) != len(m.Answers) {
+		t.Fatalf("answers = %d", len(got.Answers))
+	}
+	a := got.Answers
+	if FormatIP(a[0].IP) != "192.168.0.1" {
+		t.Errorf("A: %v", a[0].IP)
+	}
+	if len(a[1].IP) != 16 || a[1].IP[0] != 0xFE {
+		t.Errorf("AAAA: %v", a[1].IP)
+	}
+	if a[2].Preference != 10 || a[2].Exchange != "mail.test" {
+		t.Errorf("MX: %+v", a[2])
+	}
+	if a[3].Target != "ns1.test" || a[4].Target != "real.test" {
+		t.Errorf("NS/CNAME: %q %q", a[3].Target, a[4].Target)
+	}
+	if len(a[5].Text) != 2 || a[5].Text[0] != "v=spf1 -all" {
+		t.Errorf("TXT: %v", a[5].Text)
+	}
+	if a[6].SOA == nil || a[6].SOA.Serial != 2016060401 || a[6].SOA.RName != "hostmaster.test" {
+		t.Errorf("SOA: %+v", a[6].SOA)
+	}
+	if !bytes.Equal(a[7].Raw, []byte{1, 2, 3}) {
+		t.Errorf("raw: %v", a[7].Raw)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid, err := Encode(NewQuery(5, "gmail.com", TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty", nil},
+		{"short header", valid[:8]},
+		{"truncated question", valid[:14]},
+		{"trailing garbage", append(append([]byte{}, valid...), 0xFF)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(tc.buf); err == nil {
+				t.Errorf("Decode(%s) succeeded, want error", tc.name)
+			}
+		})
+	}
+}
+
+func TestPointerLoopRejected(t *testing.T) {
+	// Craft a message whose question name is a pointer to itself.
+	buf := []byte{
+		0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, // header: 1 question
+		0xC0, 12, // pointer to offset 12 = itself
+		0, 1, 0, 1,
+	}
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("self-pointing name accepted")
+	}
+}
+
+func TestForwardPointerRejected(t *testing.T) {
+	buf := []byte{
+		0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+		0xC0, 200, // forward/out-of-range pointer
+		0, 1, 0, 1,
+	}
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("forward pointer accepted")
+	}
+}
+
+func TestNameLimits(t *testing.T) {
+	long := strings.Repeat("a", 64) // one label > 63
+	if _, err := Encode(NewQuery(1, long+".com", TypeA)); err == nil {
+		t.Error("64-char label accepted")
+	}
+	// 255-octet total name limit
+	var parts []string
+	for i := 0; i < 50; i++ {
+		parts = append(parts, "abcdef")
+	}
+	if _, err := Encode(NewQuery(1, strings.Join(parts, "."), TypeA)); err == nil {
+		t.Error("over-long name accepted")
+	}
+}
+
+func TestEmptyRootName(t *testing.T) {
+	m := &Message{
+		Header:    Header{ID: 2},
+		Questions: []Question{{Name: ".", Type: TypeNS, Class: ClassIN}},
+	}
+	got := roundTrip(t, m)
+	if got.Questions[0].Name != "" {
+		t.Errorf("root name = %q, want empty", got.Questions[0].Name)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal("GMAIL.com.", "gmail.com") {
+		t.Error("case/dot-insensitive equality failed")
+	}
+	if Equal("gmail.com", "gmial.com") {
+		t.Error("unequal names reported equal")
+	}
+}
+
+func TestTypeAndRCodeStrings(t *testing.T) {
+	if TypeMX.String() != "MX" || TypeA.String() != "A" || Type(200).String() != "TYPE200" {
+		t.Error("Type.String broken")
+	}
+	if RCodeNXDomain.String() != "NXDOMAIN" || RCode(9).String() != "RCODE9" {
+		t.Error("RCode.String broken")
+	}
+}
+
+func TestFormatIP(t *testing.T) {
+	if got := FormatIP(IPv4(8, 8, 4, 4)); got != "8.8.4.4" {
+		t.Errorf("FormatIP v4 = %q", got)
+	}
+	v6 := make([]byte, 16)
+	v6[15] = 1
+	if got := FormatIP(v6); got != "0:0:0:0:0:0:0:1" {
+		t.Errorf("FormatIP v6 = %q", got)
+	}
+	if got := FormatIP([]byte{1, 2}); got != "0102" {
+		t.Errorf("FormatIP odd = %q", got)
+	}
+}
+
+// Property: random well-formed messages round-trip bit-exactly at the
+// semantic level.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	randName := func() string {
+		n := 1 + rng.Intn(3)
+		parts := make([]string, n)
+		for i := range parts {
+			l := 1 + rng.Intn(10)
+			b := make([]byte, l)
+			for j := range b {
+				b[j] = byte('a' + rng.Intn(26))
+			}
+			parts[i] = string(b)
+		}
+		return strings.Join(parts, ".")
+	}
+	for trial := 0; trial < 300; trial++ {
+		m := &Message{Header: Header{ID: uint16(rng.Intn(1 << 16)), Response: rng.Intn(2) == 0}}
+		for i := 0; i < rng.Intn(3); i++ {
+			m.Questions = append(m.Questions, Question{Name: randName(), Type: TypeA, Class: ClassIN})
+		}
+		for i := 0; i < rng.Intn(5); i++ {
+			switch rng.Intn(3) {
+			case 0:
+				m.Answers = append(m.Answers, RR{Name: randName(), Type: TypeA, Class: ClassIN,
+					TTL: uint32(rng.Intn(3600)), IP: IPv4(byte(rng.Intn(256)), 0, 0, 1)})
+			case 1:
+				m.Answers = append(m.Answers, RR{Name: randName(), Type: TypeMX, Class: ClassIN,
+					TTL: uint32(rng.Intn(3600)), Preference: uint16(rng.Intn(100)), Exchange: randName()})
+			case 2:
+				m.Answers = append(m.Answers, RR{Name: randName(), Type: TypeTXT, Class: ClassIN,
+					TTL: uint32(rng.Intn(3600)), Text: []string{"x"}})
+			}
+		}
+		wire, err := Encode(m)
+		if err != nil {
+			t.Fatalf("trial %d: Encode: %v", trial, err)
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("trial %d: Decode: %v", trial, err)
+		}
+		if len(got.Questions) != len(m.Questions) || len(got.Answers) != len(m.Answers) {
+			t.Fatalf("trial %d: section counts changed", trial)
+		}
+		for i := range m.Questions {
+			if got.Questions[i].Name != canonical(m.Questions[i].Name) {
+				t.Fatalf("trial %d: question name %q != %q", trial, got.Questions[i].Name, m.Questions[i].Name)
+			}
+		}
+		for i := range m.Answers {
+			w, g := m.Answers[i], got.Answers[i]
+			if g.Type != w.Type || g.TTL != w.TTL || !Equal(g.Name, w.Name) {
+				t.Fatalf("trial %d: answer %d mismatch: %+v vs %+v", trial, i, g, w)
+			}
+			if w.Type == TypeMX && (!Equal(g.Exchange, w.Exchange) || g.Preference != w.Preference) {
+				t.Fatalf("trial %d: MX mismatch", trial)
+			}
+		}
+		// Re-encode must produce a decodable, equivalent message (encoding
+		// is not byte-stable due to compression choices, but semantics are).
+		wire2, err := Encode(got)
+		if err != nil {
+			t.Fatalf("trial %d: re-Encode: %v", trial, err)
+		}
+		if _, err := Decode(wire2); err != nil {
+			t.Fatalf("trial %d: re-Decode: %v", trial, err)
+		}
+	}
+}
+
+// Fuzz-ish property: decoding random bytes must never panic.
+func TestDecodeRandomNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(64)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		Decode(buf) // must not panic; error is fine
+	}
+}

@@ -1,0 +1,53 @@
+package dnswire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the wire decoder with arbitrary bytes: it must never
+// panic, and anything it accepts must re-encode and re-decode to an
+// equivalent message.
+func FuzzDecode(f *testing.F) {
+	seed := func(m *Message) {
+		wire, err := Encode(m)
+		if err == nil {
+			f.Add(wire)
+		}
+	}
+	seed(NewQuery(1, "gmail.com", TypeMX))
+	seed(NewQuery(2, "smtp.gmial.com", TypeA))
+	seed(&Message{
+		Header:    Header{ID: 3, Response: true, Authoritative: true},
+		Questions: []Question{{Name: "exampel.com", Type: TypeMX, Class: ClassIN}},
+		Answers: []RR{
+			{Name: "exampel.com", Type: TypeMX, Class: ClassIN, TTL: 300, Preference: 1, Exchange: "exampel.com"},
+			{Name: "exampel.com", Type: TypeA, Class: ClassIN, TTL: 300, IP: IPv4(1, 1, 1, 1)},
+			{Name: "exampel.com", Type: TypeTXT, Class: ClassIN, TTL: 60, Text: []string{"v=spf1"}},
+		},
+	})
+	f.Add([]byte{})
+	f.Add([]byte{0xC0, 0x0C})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		wire, err := Encode(m)
+		if err != nil {
+			// Decoded messages can carry RRs Encode rejects only if the
+			// decoder produced something inconsistent — that is a bug.
+			t.Fatalf("decoded message does not re-encode: %v", err)
+		}
+		m2, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("re-encoded message does not decode: %v", err)
+		}
+		if len(m2.Questions) != len(m.Questions) || len(m2.Answers) != len(m.Answers) ||
+			len(m2.Authority) != len(m.Authority) || len(m2.Additional) != len(m.Additional) {
+			t.Fatalf("section counts drift: %+v vs %+v", m.Header, m2.Header)
+		}
+	})
+}

@@ -1,0 +1,264 @@
+package ecosys
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/distance"
+	"repro/internal/stats"
+	"repro/internal/whois"
+)
+
+// smallConfig keeps unit tests quick; shape assertions use the default.
+func smallConfig() Config {
+	return Config{Targets: 80, UniverseSize: 800, Seed: 42, BulkSquatters: 8, SharedMailHosts: 6}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := Generate(smallConfig()), Generate(smallConfig())
+	if len(a.Domains) != len(b.Domains) {
+		t.Fatalf("sizes differ: %d vs %d", len(a.Domains), len(b.Domains))
+	}
+	for name, da := range a.Domains {
+		db, ok := b.Domains[name]
+		if !ok || da.Support != db.Support || da.Registrant.ID != db.Registrant.ID {
+			t.Fatalf("domain %s differs across runs", name)
+		}
+	}
+}
+
+func TestCtyposAreValidTypos(t *testing.T) {
+	eco := Generate(smallConfig())
+	if len(eco.Domains) < 100 {
+		t.Fatalf("ecosystem too sparse: %d ctypos", len(eco.Domains))
+	}
+	for _, d := range eco.Ctypos() {
+		if d.Op == distance.OpOther {
+			// service-prefix typos: must start with a known prefix
+			sld := distance.SLD(d.Name)
+			if !strings.HasPrefix(sld, "smtp") && !strings.HasPrefix(sld, "mail") && !strings.HasPrefix(sld, "webmail") {
+				t.Fatalf("non-DL1 ctypo %q has unexpected form", d.Name)
+			}
+			continue
+		}
+		dl := distance.DamerauLevenshtein(distance.SLD(d.Target), distance.SLD(d.Name))
+		if dl != 1 {
+			t.Fatalf("ctypo %q of %q at DL=%d", d.Name, d.Target, dl)
+		}
+	}
+}
+
+func TestRegistrantConcentration(t *testing.T) {
+	// Figure 8's registrant curve: a tiny fraction of registrants owns a
+	// majority of typosquatting domains.
+	eco := Generate(DefaultConfig())
+	var counts []float64
+	for _, r := range eco.Registrants {
+		if len(r.Domains) > 0 && r.Kind != KindDefensive {
+			counts = append(counts, float64(len(r.Domains)))
+		}
+	}
+	if len(counts) < 20 {
+		t.Fatalf("only %d active registrants", len(counts))
+	}
+	k := stats.TopShareCount(counts, 0.5)
+	frac := float64(k) / float64(len(counts))
+	if frac > 0.10 {
+		t.Errorf("top %.1f%% of registrants own half the domains; paper: ~2.3%%", frac*100)
+	}
+}
+
+func TestMailServerConcentration(t *testing.T) {
+	// Table 6 / Figure 8: a handful of MX hosts serve most mail-capable
+	// typo domains.
+	eco := Generate(DefaultConfig())
+	mxCount := map[string]float64{}
+	for _, d := range eco.TyposquattingDomains() {
+		for _, mx := range d.MX {
+			mxCount[mx]++
+		}
+	}
+	var counts []float64
+	for _, c := range mxCount {
+		counts = append(counts, c)
+	}
+	if k := stats.TopShareCount(counts, 0.5); k > 15 {
+		t.Errorf("majority needs %d mail servers; paper: ~11 for a third, 51 for majority", k)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	// Table 4's gross shape: STARTTLS-capable domains are the biggest
+	// support class; plain-SMTP-only is negligible; a sizable share has
+	// no usable records or no info.
+	eco := Generate(DefaultConfig())
+	counts := map[SMTPSupport]int{}
+	for _, d := range eco.Ctypos() {
+		counts[d.Support]++
+	}
+	total := len(eco.Ctypos())
+	frac := func(s SMTPSupport) float64 { return float64(counts[s]) / float64(total) }
+	if frac(SupportPlain) > 0.02 {
+		t.Errorf("plain SMTP fraction = %.3f, paper: ~0.0004", frac(SupportPlain))
+	}
+	tls := frac(SupportTLSOK) + frac(SupportTLSErrors)
+	if tls < 0.25 {
+		t.Errorf("TLS-capable fraction = %.2f, paper: ~0.43", tls)
+	}
+	if frac(SupportTLSOK) <= frac(SupportTLSErrors) {
+		t.Errorf("clean TLS (%.2f) should dominate erroring TLS (%.2f)", frac(SupportTLSOK), frac(SupportTLSErrors))
+	}
+	if frac(SupportNoRecords)+frac(SupportNoInfo)+frac(SupportNoEmail) < 0.2 {
+		t.Error("no-mail categories unrealistically small")
+	}
+}
+
+func TestDefensiveExcludedFromTyposquatting(t *testing.T) {
+	eco := Generate(smallConfig())
+	for _, d := range eco.TyposquattingDomains() {
+		if d.Registrant.Kind == KindDefensive || d.Registrant.Kind == KindLegitBusiness {
+			t.Fatalf("%s by %s counted as typosquatting", d.Name, d.Registrant.Kind)
+		}
+	}
+	// And some defensive registrations must exist at all.
+	def := 0
+	for _, d := range eco.Ctypos() {
+		if d.Registrant.Kind == KindDefensive {
+			def++
+		}
+	}
+	if def == 0 {
+		t.Error("no defensive registrations generated")
+	}
+}
+
+func TestWhoisClusteringRecoversBulkActors(t *testing.T) {
+	eco := Generate(DefaultConfig())
+	clusters := whois.Cluster(eco.WhoisRecords(), 4)
+	if len(clusters) == 0 {
+		t.Fatal("no clusters")
+	}
+	// The biggest cluster should map to one bulk registrant's portfolio.
+	biggest := clusters[0]
+	if len(biggest) < 50 {
+		t.Errorf("largest cluster = %d domains, want a bulk portfolio", len(biggest))
+	}
+	owners := map[int]bool{}
+	for _, domain := range biggest {
+		owners[eco.Domains[domain].Registrant.ID] = true
+	}
+	if len(owners) != 1 {
+		t.Errorf("largest cluster spans %d registrants, want 1", len(owners))
+	}
+}
+
+func TestNameServerCesspools(t *testing.T) {
+	eco := Generate(DefaultConfig())
+	ratios := eco.NameServerTypoRatio()
+	var all []float64
+	worst := 0.0
+	for ns, r := range ratios {
+		all = append(all, r)
+		if strings.Contains(ns, "cesspool") && r > worst {
+			worst = r
+		}
+	}
+	if worst < 0.5 {
+		t.Errorf("worst cesspool ratio = %.2f, paper: up to 0.89", worst)
+	}
+	// The typical hoster should be way below the cesspools.
+	med := stats.Median(all)
+	if med > 0.3 {
+		t.Errorf("median NS typo ratio = %.2f, want low", med)
+	}
+}
+
+func TestServicePrefixTyposPresent(t *testing.T) {
+	eco := Generate(DefaultConfig())
+	found := 0
+	for name := range eco.Domains {
+		sld := distance.SLD(name)
+		if strings.HasPrefix(sld, "smtp") || strings.HasPrefix(sld, "mail") || strings.HasPrefix(sld, "webmail") {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Error("no service-prefix typos registered (Section 5.2)")
+	}
+}
+
+func TestReadersAreRare(t *testing.T) {
+	eco := Generate(DefaultConfig())
+	accepting, readers := 0, 0
+	for _, d := range eco.Ctypos() {
+		if d.Behavior == BehaviorAccept {
+			accepting++
+			if d.ReadsMail {
+				readers++
+			}
+		}
+	}
+	if accepting == 0 {
+		t.Fatal("nobody accepts mail")
+	}
+	rate := float64(readers) / float64(accepting)
+	if rate > 0.02 {
+		t.Errorf("reader rate = %.4f, want rare (paper: ~22 of thousands)", rate)
+	}
+	if readers == 0 {
+		t.Error("no readers at all; experiment 7 would be vacuous")
+	}
+}
+
+func TestRegisteredImplementsRegistry(t *testing.T) {
+	eco := Generate(smallConfig())
+	cty := eco.Ctypos()
+	if len(cty) == 0 {
+		t.Fatal("no ctypos")
+	}
+	if !eco.Registered(cty[0].Name) {
+		t.Error("ctypo not registered")
+	}
+	if !eco.Registered("gmail.com") {
+		t.Error("universe domain not registered")
+	}
+	if eco.Registered("definitely-not-a-domain.test") {
+		t.Error("phantom registration")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for s := SupportNoRecords; s <= SupportTLSOK; s++ {
+		if s.String() == "" {
+			t.Errorf("SMTPSupport %d has no name", s)
+		}
+	}
+	for b := BehaviorAccept; b <= BehaviorOther; b++ {
+		if b.String() == "" {
+			t.Errorf("ProbeBehavior %d has no name", b)
+		}
+	}
+	for k := KindBulkSquatter; k <= KindLegitBusiness; k++ {
+		if k.String() == "" {
+			t.Errorf("RegistrantKind %d has no name", k)
+		}
+	}
+}
+
+func TestServicePrefixCensus(t *testing.T) {
+	eco := Generate(DefaultConfig())
+	c := CensusServicePrefixes(eco)
+	if c.SMTP == 0 || c.Mail == 0 {
+		t.Fatalf("census = %+v, want both SMTP and mail registrations", c)
+	}
+	// Section 5.2: mail typos outnumber smtp typos (366 vs 41): two mail
+	// flavors are generated per target against one smtp flavor.
+	if c.Mail <= c.SMTP {
+		t.Errorf("mail %d <= smtp %d; paper: 366 vs 41", c.Mail, c.SMTP)
+	}
+	// The suspicion signal: a sizable share is privately registered,
+	// inconsistent with defensive trademark registrations.
+	if c.SuspiciousShare <= 0.2 {
+		t.Errorf("private share = %.2f, want substantial", c.SuspiciousShare)
+	}
+}

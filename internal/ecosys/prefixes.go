@@ -1,0 +1,49 @@
+package ecosys
+
+import "strings"
+
+// ServicePrefixCensus is Section 5.2's count of deliberate SMTP- and
+// mail-prefix registrations ("We found 41 SMTP and 366 mail
+// typosquatting domains registered") together with the suspicion signal
+// the paper flags: defensive registrations usually point at the brand
+// owner, so a *privately registered* smtpgmail.com is inconsistent with
+// trademark protection.
+type ServicePrefixCensus struct {
+	SMTP    int // smtp<target> registrations
+	Mail    int // mail<target> / webmail<target> registrations
+	Private int // of those, privately registered
+	// SuspiciousShare is Private / (SMTP + Mail).
+	SuspiciousShare float64
+}
+
+// CensusServicePrefixes walks the registered ctypos for deliberate
+// service-prefix names.
+func CensusServicePrefixes(eco *Ecosystem) ServicePrefixCensus {
+	var c ServicePrefixCensus
+	for name, info := range eco.Domains {
+		sld := name
+		if i := strings.IndexByte(sld, '.'); i >= 0 {
+			sld = sld[:i]
+		}
+		targetSLD := info.Target
+		if i := strings.IndexByte(targetSLD, '.'); i >= 0 {
+			targetSLD = targetSLD[:i]
+		}
+		var hit bool
+		switch {
+		case sld == "smtp"+targetSLD:
+			c.SMTP++
+			hit = true
+		case sld == "mail"+targetSLD, sld == "webmail"+targetSLD:
+			c.Mail++
+			hit = true
+		}
+		if hit && info.Registrant.Private {
+			c.Private++
+		}
+	}
+	if total := c.SMTP + c.Mail; total > 0 {
+		c.SuspiciousShare = float64(c.Private) / float64(total)
+	}
+	return c
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The suite is expensive (a full collection run + ecosystem); share it.
+var shared = NewSuite(20160604)
+
+func TestAllExperiments(t *testing.T) {
+	exps, err := shared.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 15 {
+		t.Fatalf("experiments = %d, want 15", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		t.Run(strings.ReplaceAll(e.ID, " ", ""), func(t *testing.T) {
+			if seen[e.ID] {
+				t.Fatalf("duplicate experiment ID %s", e.ID)
+			}
+			seen[e.ID] = true
+			if e.Body == "" {
+				t.Error("empty body")
+			}
+			if len(e.Checks) == 0 {
+				t.Error("no checks")
+			}
+			for _, c := range e.Checks {
+				if !c.OK {
+					t.Errorf("shape check failed: %s", c)
+				}
+			}
+			if !strings.Contains(e.String(), e.ID) {
+				t.Error("String() missing ID")
+			}
+		})
+	}
+}
+
+func TestExperimentOK(t *testing.T) {
+	e := &Experiment{ID: "x", Checks: []Check{{OK: true}, {OK: true}}}
+	if !e.OK() {
+		t.Error("all-ok experiment reported not OK")
+	}
+	e.Checks = append(e.Checks, Check{OK: false})
+	if e.OK() {
+		t.Error("failing check unnoticed")
+	}
+}
+
+func TestCheckString(t *testing.T) {
+	c := check("name", "p", "m", false)
+	if !strings.Contains(c.String(), "FAIL") {
+		t.Errorf("failing check renders %q", c.String())
+	}
+	c.OK = true
+	if strings.Contains(c.String(), "FAIL") {
+		t.Errorf("passing check renders %q", c.String())
+	}
+}
+
+func TestLogBucket(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want int
+	}{{0, 0}, {0.5, 0}, {1, 1}, {9, 1}, {10, 2}, {1e8, 9}, {1e12, 9}}
+	for _, tc := range tests {
+		if got := logBucket(tc.v); got != tc.want {
+			t.Errorf("logBucket(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestExperimentsJSONRoundTrip(t *testing.T) {
+	exps, err := shared.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []*Experiment
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(exps) {
+		t.Fatalf("round trip lost experiments: %d vs %d", len(back), len(exps))
+	}
+	for i := range exps {
+		if back[i].ID != exps[i].ID || len(back[i].Checks) != len(exps[i].Checks) {
+			t.Fatalf("experiment %d drifted", i)
+		}
+	}
+}

@@ -1,0 +1,469 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/distance"
+	"repro/internal/simclock"
+	"repro/internal/stats"
+)
+
+// renderDailySeries draws three log-scale sparkline rows (spam /
+// filtered / true) over the collection window, bucketed by week.
+func renderDailySeries(spam, filtered, trueTypos *simclock.DaySeries) string {
+	const bucket = 7
+	var sb strings.Builder
+	row := func(name string, ds *simclock.DaySeries) {
+		fmt.Fprintf(&sb, "%-9s ", name)
+		for i := 0; i < len(ds.Counts); i += bucket {
+			var sum float64
+			for j := i; j < i+bucket && j < len(ds.Counts); j++ {
+				sum += ds.Counts[j]
+			}
+			sb.WriteByte(" .:-=+*#%@"[logBucket(sum)])
+		}
+		fmt.Fprintf(&sb, "  total %.0f\n", ds.Total())
+	}
+	row("spam", spam)
+	row("filtered", filtered)
+	row("true", trueTypos)
+	sb.WriteString("           (one column per week, log scale: ' '=0 ... '@'>=1e8)\n")
+	return sb.String()
+}
+
+func logBucket(v float64) int {
+	b := 0
+	for v >= 1 && b < 9 {
+		v /= 10
+		b++
+	}
+	return b
+}
+
+// Figure3 regenerates the daily receiver-typo email series.
+func (s *Suite) Figure3() (*Experiment, error) {
+	_, res, err := s.Collection()
+	if err != nil {
+		return nil, err
+	}
+	e := &Experiment{ID: "Figure 3", Title: "Daily receiver typo emails by funnel category",
+		Body: renderDailySeries(res.ReceiverSpamDaily, res.ReceiverFilteredDaily, res.ReceiverTrueDaily)}
+
+	spamT, trueT := res.ReceiverSpamDaily.Total(), res.ReceiverTrueDaily.Total()
+	// Count active days of true receiver typos outside outages.
+	active, days := 0, 0
+	for day, c := range res.ReceiverTrueDaily.Counts {
+		if inOutage(day) {
+			continue
+		}
+		days++
+		if c > 0 {
+			active++
+		}
+	}
+	e.Checks = append(e.Checks,
+		check("spam dominates by orders of magnitude", "~1e4-1e5/day vs ~10/day",
+			fmt.Sprintf("spam/true = %.0fx", spamT/trueT), spamT > 100*trueT),
+		check("receiver typos arrive near-constantly", "near-constant rate",
+			fmt.Sprintf("%d of %d days active", active, days), active > days/2),
+		check("collection gaps present", "infrastructure outages visible",
+			fmt.Sprintf("%d outage windows", len(core.DefaultConfig().Outages)),
+			len(core.DefaultConfig().Outages) > 0),
+		check("manual audit: most survivors are real (§4.3)", "80% of sampled survivors not spam",
+			fmt.Sprintf("%.0f%% (%.0f of %.0f/yr)", 100*res.AuditPrecision,
+				res.CorrectedSurvivorsYearly, res.SurvivorsYearly),
+			res.AuditPrecision > 0.6 && res.AuditPrecision < 0.99),
+	)
+	return e, nil
+}
+
+// Figure4 regenerates the daily SMTP-typo email series.
+func (s *Suite) Figure4() (*Experiment, error) {
+	_, res, err := s.Collection()
+	if err != nil {
+		return nil, err
+	}
+	body := renderDailySeries(res.SMTPSpamDaily, res.SMTPFilteredDaily, res.SMTPTrueDaily)
+
+	// Section 4.4.2's persistence analysis rides along with this figure:
+	// how long does a user's SMTP misconfiguration last?
+	single, under1d, under1w := 0, 0, 0
+	maxPersistence := 0.0
+	for _, p := range res.SMTPPersistence {
+		if p == 0 {
+			single++
+		}
+		if p < 1 {
+			under1d++
+		}
+		if p < 7 {
+			under1w++
+		}
+		if p > maxPersistence {
+			maxPersistence = p
+		}
+	}
+	leFour := 0
+	for _, n := range res.SMTPEpisodeSizes {
+		if n <= 4 {
+			leFour++
+		}
+	}
+	nEp := len(res.SMTPPersistence)
+	if nEp > 0 {
+		body += fmt.Sprintf(
+			"persistence (%d episodes): single-email %.0f%%, <1 day %.0f%%, <1 week %.0f%%, max %.0f days, <=4 emails %.0f%%\n",
+			nEp, 100*float64(single)/float64(nEp), 100*float64(under1d)/float64(nEp),
+			100*float64(under1w)/float64(nEp), maxPersistence, 100*float64(leFour)/float64(nEp))
+	}
+
+	e := &Experiment{ID: "Figure 4", Title: "Daily SMTP typo emails by funnel category",
+		Body: body}
+	if nEp > 0 {
+		e.Checks = append(e.Checks,
+			check("70% of SMTP typos are one-off", "70% single email",
+				fmt.Sprintf("%.0f%%", 100*float64(single)/float64(nEp)),
+				float64(single)/float64(nEp) > 0.55),
+			check("90% of episodes last under a week", "83% <1 day, 90% <1 week, max 209 days",
+				fmt.Sprintf("%.0f%% <1d, %.0f%% <1w, max %.0f", 100*float64(under1d)/float64(nEp),
+					100*float64(under1w)/float64(nEp), maxPersistence),
+				float64(under1w)/float64(nEp) > 0.8 && maxPersistence <= 209),
+			check("90% of users send four or fewer emails", "90%",
+				fmt.Sprintf("%.0f%%", 100*float64(leFour)/float64(nEp)),
+				float64(leFour)/float64(nEp) > 0.8),
+		)
+	}
+
+	// SMTP typos land sparsely in small batches.
+	recvActive, smtpActive := 0, 0
+	for day := range res.SMTPTrueDaily.Counts {
+		if inOutage(day) {
+			continue
+		}
+		if res.SMTPTrueDaily.Counts[day] > res.SMTPTrueDaily.Total()/float64(res.Days)+1 {
+			// day visibly above the mean: a batch
+			smtpActive++
+		}
+		if res.ReceiverTrueDaily.Counts[day] > 0 {
+			recvActive++
+		}
+	}
+	e.Checks = append(e.Checks,
+		check("SMTP typos sparse vs receiver typos", "sparse small batches",
+			fmt.Sprintf("batch days %d << receiver active days %d", smtpActive, recvActive),
+			smtpActive < recvActive),
+		check("order of magnitude fewer SMTP typos", "415-5,970 vs 6,041/yr",
+			fmt.Sprintf("[%.0f, %.0f] vs %.0f", res.SMTPTypoYearlyLow, res.SMTPTypoYearlyHigh, res.CorrectedSurvivorsYearly),
+			res.SMTPTypoYearlyHigh < res.CorrectedSurvivorsYearly),
+	)
+	return e, nil
+}
+
+func inOutage(day int) bool {
+	for _, o := range core.DefaultConfig().Outages {
+		if day >= o[0] && day < o[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// Figure5 regenerates the cumulative-sum-per-domain plot.
+func (s *Suite) Figure5() (*Experiment, error) {
+	_, res, err := s.Collection()
+	if err != nil {
+		return nil, err
+	}
+	type row struct {
+		name  string
+		count float64
+	}
+	var rows []row
+	var counts []float64
+	for _, d := range core.ReceiverTypoDomains() {
+		st := res.PerDomain[d.Name]
+		rows = append(rows, row{d.Name, st.ReceiverYearly})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].count != rows[j].count {
+			return rows[i].count > rows[j].count
+		}
+		return rows[i].name < rows[j].name
+	})
+	var total float64
+	for _, r := range rows {
+		counts = append(counts, r.count)
+		total += r.count
+	}
+	var lines []string
+	cum := 0.0
+	for _, r := range rows {
+		cum += r.count
+		lines = append(lines, fmt.Sprintf("%-18s %8.0f/yr  cum %.2f", r.name, r.count, cum/total))
+	}
+	e := &Experiment{ID: "Figure 5", Title: "Cumulative sum of receiver typo emails by domain",
+		Body: strings.Join(lines, "\n") + "\n"}
+
+	majority := stats.TopShareCount(counts, 0.5)
+	p99 := stats.TopShareCount(counts, 0.99)
+	top2AreFF := rows[0].count > 0 && rows[1].count > 0
+	e.Checks = append(e.Checks,
+		check("a couple of domains take the majority", "2 domains",
+			fmt.Sprintf("%d domains", majority), majority <= 6),
+		check("a dozen take 99%", "12 domains", fmt.Sprintf("%d domains", p99), p99 <= 20),
+		check("top domains target the most popular providers", "ohtlook/outlo0k-class typos on top",
+			fmt.Sprintf("top: %s, %s", rows[0].name, rows[1].name), top2AreFF),
+	)
+	return e, nil
+}
+
+// Figure6 regenerates the sensitive-information heatmap.
+func (s *Suite) Figure6() (*Experiment, error) {
+	_, res, err := s.Collection()
+	if err != nil {
+		return nil, err
+	}
+	// Collect labels and domains with any counts.
+	labelSet := map[string]bool{}
+	var domains []string
+	for dom, m := range res.SensitiveHeatmap {
+		domains = append(domains, dom)
+		for l := range m {
+			labelSet[l] = true
+		}
+	}
+	sort.Strings(domains)
+	var labels []string
+	for l := range labelSet {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s", "label\\domain")
+	shown := domains
+	if len(shown) > 8 {
+		// Show the densest 8 domains.
+		sort.Slice(shown, func(i, j int) bool {
+			return heatTotal(res, shown[i]) > heatTotal(res, shown[j])
+		})
+		shown = shown[:8]
+		sort.Strings(shown)
+	}
+	for _, d := range shown {
+		fmt.Fprintf(&sb, " %12s", strings.TrimSuffix(d, ".com"))
+	}
+	sb.WriteByte('\n')
+	for _, l := range labels {
+		fmt.Fprintf(&sb, "%-16s", l)
+		for _, d := range shown {
+			fmt.Fprintf(&sb, " %12d", res.SensitiveHeatmap[d][l])
+		}
+		sb.WriteByte('\n')
+	}
+
+	yop := res.SensitiveHeatmap["yopail.com"]
+	credCount := yop["username"] + yop["password"]
+	e := &Experiment{ID: "Figure 6", Title: "Sensitive information types per typo domain",
+		Body: sb.String()}
+	e.Checks = append(e.Checks,
+		check("disposable-mail typos collect credentials", "yopmail typo heavy in username/password",
+			fmt.Sprintf("yopail.com creds = %d", credCount), credCount > 0),
+		check("several identifier types observed", "7 types in the heatmap",
+			fmt.Sprintf("%d labels", len(labels)), len(labels) >= 4),
+	)
+	return e, nil
+}
+
+func heatTotal(res *core.Result, dom string) int {
+	t := 0
+	for _, n := range res.SensitiveHeatmap[dom] {
+		t += n
+	}
+	return t
+}
+
+// Figure7 regenerates the attachment-extension histogram.
+func (s *Suite) Figure7() (*Experiment, error) {
+	_, res, err := s.Collection()
+	if err != nil {
+		return nil, err
+	}
+	var rows []extRow
+	for ext, n := range res.AttachmentExts {
+		rows = append(rows, extRow{ext, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].ext < rows[j].ext
+	})
+	var lines []string
+	for _, r := range rows {
+		lines = append(lines, fmt.Sprintf("%-6s %6d %s", r.ext, r.n, strings.Repeat("#", logBucket(float64(r.n))*4)))
+	}
+	e := &Experiment{ID: "Figure 7", Title: "Attachment extensions among true typo emails",
+		Body: strings.Join(lines, "\n") + "\n"}
+
+	noArchives := true
+	for _, r := range rows {
+		if r.ext == "zip" || r.ext == "rar" {
+			noArchives = false
+		}
+	}
+	e.Checks = append(e.Checks,
+		check("txt leads", "txt 4571 of ~8.4k", topExt(rows), len(rows) > 0 && rows[0].ext == "txt"),
+		check("document/image mix", "jpg, pdf, png, docx follow",
+			fmt.Sprintf("%d extensions", len(rows)), len(rows) >= 5),
+		check("no ZIP/RAR among true typos", "discarded during filtering",
+			fmt.Sprintf("archives present: %v", !noArchives), noArchives),
+	)
+	return e, nil
+}
+
+type extRow struct {
+	ext string
+	n   int
+}
+
+func topExt(rows []extRow) string {
+	if len(rows) == 0 {
+		return "none"
+	}
+	return fmt.Sprintf("%s %d", rows[0].ext, rows[0].n)
+}
+
+// Figure8 regenerates the concentration curves: cumulative share of typo
+// domains by mail server and by registrant.
+func (s *Suite) Figure8() (*Experiment, error) {
+	eco, err := s.Ecosystem()
+	if err != nil {
+		return nil, err
+	}
+	mxCount := map[string]float64{}
+	regCount := map[int]float64{}
+	for _, d := range eco.TyposquattingDomains() {
+		for _, mx := range d.MX {
+			mxCount[mx]++
+		}
+		if !d.Registrant.Private && d.Registrant.Record.FilledFields() >= 4 {
+			regCount[d.Registrant.ID]++
+		}
+	}
+	var mxs, regs []float64
+	for _, n := range mxCount {
+		mxs = append(mxs, n)
+	}
+	for _, n := range regCount {
+		regs = append(regs, n)
+	}
+	mxMajority := stats.TopShareCount(mxs, 0.5)
+	regMajority := stats.TopShareCount(regs, 0.5)
+	regFrac := float64(regMajority) / float64(len(regs))
+	mxShares := stats.CumulativeShares(mxs)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "mail servers: %d total; top %d carry the majority\n", len(mxs), mxMajority)
+	fmt.Fprintf(&sb, "registrants:  %d clustered; top %d (%.1f%%) own the majority\n", len(regs), regMajority, 100*regFrac)
+	fmt.Fprintf(&sb, "top-10 MX cumulative shares: ")
+	for i := 0; i < 10 && i < len(mxShares); i++ {
+		fmt.Fprintf(&sb, "%.2f ", mxShares[i])
+	}
+	sb.WriteByte('\n')
+
+	e := &Experiment{ID: "Figure 8", Title: "Cumulative typo domains by mail server and registrant",
+		Body: sb.String()}
+	e.Checks = append(e.Checks,
+		check("a few mail servers carry the majority", "11 for a third, 51 for majority",
+			fmt.Sprintf("%d servers", mxMajority), mxMajority <= 20),
+		check("few registrants own the majority", "2.3% of registrants",
+			fmt.Sprintf("%.1f%%", 100*regFrac), regFrac < 0.1),
+		check("long tail exists", "heavy long tail",
+			fmt.Sprintf("%d registrants total", len(regs)), len(regs) > 10*regMajority),
+	)
+	return e, nil
+}
+
+// Figure9 regenerates the per-mistake-class relative popularity plot.
+func (s *Suite) Figure9() (*Experiment, error) {
+	eco, err := s.Ecosystem()
+	if err != nil {
+		return nil, err
+	}
+	pop := core.MistakePopularity(eco)
+	ops := []distance.EditOp{distance.OpAddition, distance.OpTransposition, distance.OpDeletion, distance.OpSubstitution}
+	var lines []string
+	for _, op := range ops {
+		iv := pop[op]
+		lines = append(lines, fmt.Sprintf("%-14s mean %.3g  CI [%.3g, %.3g]", op, iv.Mean, iv.Low, iv.High))
+	}
+	e := &Experiment{ID: "Figure 9", Title: "Relative popularity of typo domains by mistake type",
+		Body: strings.Join(lines, "\n") + "\n"}
+	del, tr := pop[distance.OpDeletion], pop[distance.OpTransposition]
+	add, sub := pop[distance.OpAddition], pop[distance.OpSubstitution]
+	e.Checks = append(e.Checks,
+		check("deletion/transposition dominate", "significantly more frequent",
+			fmt.Sprintf("del %.3g, tr %.3g vs add %.3g, sub %.3g", del.Mean, tr.Mean, add.Mean, sub.Mean),
+			del.Mean > sub.Mean && del.Mean > add.Mean && tr.Mean > sub.Mean && tr.Mean > add.Mean),
+		check("separation is order-of-magnitude", "~1 decade",
+			fmt.Sprintf("del/add = %.1fx", del.Mean/add.Mean), del.Mean > 4*add.Mean),
+	)
+	return e, nil
+}
+
+// Regression regenerates the Section 6.2 projection.
+func (s *Suite) Regression() (*Experiment, error) {
+	study, res, err := s.Collection()
+	if err != nil {
+		return nil, err
+	}
+	eco, err := s.Ecosystem()
+	if err != nil {
+		return nil, err
+	}
+	proj, err := core.Project(res, study.Universe, eco)
+	if err != nil {
+		return nil, err
+	}
+	e := &Experiment{ID: "Regression", Title: "Projection onto third-party typosquatting domains (Section 6.2)",
+		Body: core.FormatProjection(proj)}
+	e.Checks = append(e.Checks,
+		check("fit explains most variance", "R2 = 0.74", fmt.Sprintf("%.2f", proj.Model.R2),
+			proj.Model.R2 > 0.4),
+		check("LOOCV drops below in-sample R2", "0.63 < 0.74",
+			fmt.Sprintf("%.2f < %.2f", proj.LOOCVR2, proj.Model.R2), proj.LOOCVR2 < proj.Model.R2),
+		check("per-domain projection matches the paper's scale", "260,514/yr over 1,211 domains (~215/domain)",
+			fmt.Sprintf("%.0f/yr over %d domains (%.0f/domain)", proj.Total.Mean, proj.DomainCount,
+				proj.Total.Mean/float64(proj.DomainCount)),
+			proj.DomainCount > 50 && proj.Total.Mean/float64(proj.DomainCount) > 20 &&
+				proj.Total.Mean/float64(proj.DomainCount) < 2000),
+		check("mistake-mix correction raises the total", "846,219 > 260,514",
+			fmt.Sprintf("%.0f > %.0f", proj.Corrected.Mean, proj.Total.Mean),
+			proj.Corrected.Mean > proj.Total.Mean),
+		check("intervals are wide", "[22,577, 905,174]",
+			fmt.Sprintf("[%.0f, %.0f]", proj.Total.Low, proj.Total.High),
+			proj.Total.High > 3*proj.Total.Mean || proj.Total.Low < proj.Total.Mean/3),
+	)
+	return e, nil
+}
+
+// Economics regenerates the cost-per-email computation.
+func (s *Suite) Economics() (*Experiment, error) {
+	_, res, err := s.Collection()
+	if err != nil {
+		return nil, err
+	}
+	all := core.CostPerEmail(76, res.CorrectedSurvivorsYearly)
+	top5 := core.TopDomainsCost(res, 5)
+	e := &Experiment{ID: "Economics", Title: "Cost per captured email (Section 6.2)",
+		Body: fmt.Sprintf("all 76 domains: $%.4f per legitimate email/yr\ntop 5 domains:  $%.4f per email/yr\n", all, top5)}
+	e.Checks = append(e.Checks,
+		check("under two cents per email", "< $0.02", fmt.Sprintf("$%.4f", all), all < 0.25),
+		check("top five under a penny", "< $0.01", fmt.Sprintf("$%.4f", top5), top5 < 0.03),
+		check("keeping winners is cheaper", "top-5 < overall", fmt.Sprintf("%.4f < %.4f", top5, all), top5 < all),
+	)
+	return e, nil
+}

@@ -1,0 +1,218 @@
+package honey
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Beacon is the monitored HTTP endpoint behind the tracking pixel, the
+// shared "tax document", and the DOCX phone-home. Every hit is logged
+// with its source and time — the logs that let the paper observe the
+// Caracas and Orlando accesses.
+type Beacon struct {
+	clock func() time.Time
+
+	mu     sync.Mutex
+	hits   []Access
+	server *http.Server
+}
+
+// NewBeacon creates a beacon; clock may be nil for wall time.
+func NewBeacon(clock func() time.Time) *Beacon {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Beacon{clock: clock}
+}
+
+// Record logs a hit directly — the path used by the simulated reader
+// model, bypassing sockets.
+func (b *Beacon) Record(tok Token, kind AccessKind, remote string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.hits = append(b.hits, Access{Token: tok, Kind: kind, When: b.clock(), Remote: remote})
+}
+
+// Hits snapshots the access log.
+func (b *Beacon) Hits() []Access {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Access(nil), b.hits...)
+}
+
+// HitsFor filters the log by token.
+func (b *Beacon) HitsFor(tok Token) []Access {
+	var out []Access
+	for _, h := range b.Hits() {
+		if h.Token == tok {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// onePixelPNG is a valid 1x1 transparent PNG.
+var onePixelPNG = []byte{
+	0x89, 0x50, 0x4E, 0x47, 0x0D, 0x0A, 0x1A, 0x0A, 0x00, 0x00, 0x00, 0x0D,
+	0x49, 0x48, 0x44, 0x52, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x01,
+	0x08, 0x06, 0x00, 0x00, 0x00, 0x1F, 0x15, 0xC4, 0x89, 0x00, 0x00, 0x00,
+	0x0A, 0x49, 0x44, 0x41, 0x54, 0x78, 0x9C, 0x63, 0x00, 0x01, 0x00, 0x00,
+	0x05, 0x00, 0x01, 0x0D, 0x0A, 0x2D, 0xB4, 0x00, 0x00, 0x00, 0x00, 0x49,
+	0x45, 0x4E, 0x44, 0xAE, 0x42, 0x60, 0x82,
+}
+
+// Handler returns the HTTP handler serving /pixel/<tok>.png,
+// /doc/<tok> and /docx/<tok>, logging each access.
+func (b *Beacon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	log := func(kind AccessKind) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			parts := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+			if len(parts) != 2 {
+				http.NotFound(w, r)
+				return
+			}
+			tok := strings.TrimSuffix(parts[1], ".png")
+			b.Record(Token(tok), kind, r.RemoteAddr)
+			switch kind {
+			case AccessPixel:
+				w.Header().Set("Content-Type", "image/png")
+				w.Write(onePixelPNG)
+			case AccessDoc:
+				w.Header().Set("Content-Type", "text/html")
+				fmt.Fprintf(w, "<html><body><h1>Tax Document 2016</h1><p>Figures under review.</p></body></html>")
+			default:
+				w.WriteHeader(http.StatusNoContent)
+			}
+		}
+	}
+	mux.HandleFunc("/pixel/", log(AccessPixel))
+	mux.HandleFunc("/doc/", log(AccessDoc))
+	mux.HandleFunc("/docx/", log(AccessDocx))
+	return mux
+}
+
+// ListenAndServe runs the beacon over HTTP until ctx ends.
+func (b *Beacon) ListenAndServe(ctx context.Context, addr string, bound chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("honey: listen: %w", err)
+	}
+	if bound != nil {
+		bound <- ln.Addr()
+	}
+	srv := &http.Server{Handler: b.Handler()}
+	b.mu.Lock()
+	b.server = srv
+	b.mu.Unlock()
+	stop := context.AfterFunc(ctx, func() { srv.Close() })
+	defer stop()
+	err = srv.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Close shuts the HTTP server down.
+func (b *Beacon) Close() {
+	b.mu.Lock()
+	srv := b.server
+	b.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Honey shell account
+
+// ShellAccount is the monitored "shell account on a VPS we control": a
+// TCP listener speaking a minimal login dialogue and logging every
+// attempt. It never grants access.
+type ShellAccount struct {
+	beacon *Beacon
+	creds  map[string]Token // username -> token
+
+	mu sync.Mutex
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// NewShellAccount creates the honeypot; attempts are logged to beacon.
+func NewShellAccount(beacon *Beacon) *ShellAccount {
+	return &ShellAccount{beacon: beacon, creds: make(map[string]Token)}
+}
+
+// Arm registers honey credentials so attempts map back to their token.
+func (s *ShellAccount) Arm(tok Token) {
+	c := CredsFor(tok)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.creds[c.Username] = tok
+}
+
+// Attempt records a login try (direct-call path for the reader model).
+// It reports whether the credentials were honey credentials.
+func (s *ShellAccount) Attempt(username, password, remote string) bool {
+	s.mu.Lock()
+	tok, ok := s.creds[username]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	s.beacon.Record(tok, AccessShell, remote)
+	return true
+}
+
+// ListenAndServe accepts TCP logins: "login: <user>\n" then
+// "password: <pass>\n", always answering "access denied".
+func (s *ShellAccount) ListenAndServe(ctx context.Context, addr string, bound chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("honey: shell listen: %w", err)
+	}
+	if bound != nil {
+		bound <- ln.Addr()
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.wg.Wait()
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return nil
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(10 * time.Second))
+			r := bufio.NewReader(conn)
+			fmt.Fprintf(conn, "login: ")
+			user, err := r.ReadString('\n')
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(conn, "password: ")
+			pass, err := r.ReadString('\n')
+			if err != nil {
+				return
+			}
+			s.Attempt(strings.TrimSpace(user), strings.TrimSpace(pass), conn.RemoteAddr().String())
+			fmt.Fprintf(conn, "access denied\n")
+		}()
+	}
+}

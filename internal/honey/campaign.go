@@ -1,0 +1,198 @@
+package honey
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/ecosys"
+)
+
+// ProbeOutcome is one row of the acceptance test (first experiment of
+// Section 7.1: benign probe emails to ports 25/465/587).
+type ProbeOutcome struct {
+	Domain   string
+	Behavior ecosys.ProbeBehavior
+	Private  bool // WHOIS privacy-proxied registration
+}
+
+// Table5 splits probe outcomes by behavior and registration privacy —
+// the exact layout of the paper's Table 5.
+type Table5 struct {
+	Public  map[ecosys.ProbeBehavior]int
+	Private map[ecosys.ProbeBehavior]int
+}
+
+// Totals sums both columns.
+func (t Table5) Totals() (public, private int) {
+	for _, n := range t.Public {
+		public += n
+	}
+	for _, n := range t.Private {
+		private += n
+	}
+	return
+}
+
+// Campaign drives the two Section 7 experiments against the simulated
+// ecosystem.
+type Campaign struct {
+	Eco    *ecosys.Ecosystem
+	Beacon *Beacon
+	Shell  *ShellAccount
+	Key    string // token mint key
+	From   string // sending identity
+}
+
+// RunProbe performs the acceptance experiment over the given domains.
+func (c *Campaign) RunProbe(domains []string) (Table5, []ProbeOutcome) {
+	t5 := Table5{
+		Public:  make(map[ecosys.ProbeBehavior]int),
+		Private: make(map[ecosys.ProbeBehavior]int),
+	}
+	var outcomes []ProbeOutcome
+	for _, name := range domains {
+		info, ok := c.Eco.Domains[name]
+		if !ok {
+			continue
+		}
+		o := ProbeOutcome{Domain: name, Behavior: info.Behavior, Private: info.Registrant.Private}
+		if o.Private {
+			t5.Private[o.Behavior]++
+		} else {
+			t5.Public[o.Behavior]++
+		}
+		outcomes = append(outcomes, o)
+	}
+	return t5, outcomes
+}
+
+// Accepting filters probe outcomes to domains that accepted without
+// error — the honey-token targets.
+func Accepting(outcomes []ProbeOutcome) []string {
+	var out []string
+	for _, o := range outcomes {
+		if o.Behavior == ecosys.BehaviorAccept {
+			out = append(out, o.Domain)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table6 computes the MX-host distribution among accepting domains.
+func (c *Campaign) Table6(accepting []string) map[string]int {
+	m := make(map[string]int)
+	for _, name := range accepting {
+		info, ok := c.Eco.Domains[name]
+		if !ok || len(info.MX) == 0 {
+			continue
+		}
+		m[info.MX[0]]++
+	}
+	return m
+}
+
+// HoneyReport summarizes the second experiment.
+type HoneyReport struct {
+	DomainsTargeted int
+	EmailsSent      int
+	// Opens counts distinct domains whose pixel fired.
+	Opens int
+	// TokenAccesses counts doc/docx/credential events.
+	TokenAccesses int
+	// CredentialUses counts shell/mailbox logins with honey credentials.
+	CredentialUses int
+}
+
+// readerRemotes are the observation points of Section 7.2's anecdotes.
+var readerRemotes = []string{
+	"Caracas, Venezuela", "Orlando, Florida", "Warsaw, Poland",
+	"Kyiv, Ukraine", "Amsterdam, Netherlands", "Shenzhen, China",
+}
+
+// RunHoney sends all four designs to every target domain exactly once
+// (the paper: "we made sure to send one typosquatter registrant one of
+// each email designs exactly once... one email to each typosquatting
+// domain") and simulates the typosquatters' reactions: the rare domain
+// that reads mail fetches the pixel after an hours-scale lag, sometimes
+// revisits days later, and very rarely acts on the bait.
+func (c *Campaign) RunHoney(targets []string, sentAt time.Time, rng *rand.Rand) HoneyReport {
+	rep := HoneyReport{DomainsTargeted: len(targets)}
+	opened := map[string]bool{}
+	for _, name := range targets {
+		info, ok := c.Eco.Domains[name]
+		if !ok {
+			continue
+		}
+		for _, design := range AllDesigns() {
+			bait := Build(c.Key, "http://beacon.study.example", c.From,
+				fmt.Sprintf("contact@%s", name), design)
+			if c.Shell != nil && design == DesignShellCreds {
+				c.Shell.Arm(bait.Token)
+			}
+			rep.EmailsSent++
+			if info.Behavior != ecosys.BehaviorAccept || !info.ReadsMail {
+				continue
+			}
+			// Hours-scale human lag before the first open.
+			lag := time.Duration(float64(time.Hour) * (0.5 + rng.ExpFloat64()*6))
+			remote := readerRemotes[rng.Intn(len(readerRemotes))]
+			if rng.Float64() < 0.75 { // image-loading client
+				c.Beacon.Record(bait.Token, AccessPixel, remote)
+				c.recordAt(sentAt.Add(lag))
+				if !opened[name] {
+					opened[name] = true
+					rep.Opens++
+				}
+				// Some emails are re-opened days later, occasionally from
+				// elsewhere (the paper's 9- and 14-day revisits).
+				if rng.Float64() < 0.25 {
+					again := readerRemotes[rng.Intn(len(readerRemotes))]
+					c.Beacon.Record(bait.Token, AccessPixel, again)
+					c.recordAt(sentAt.Add(lag + time.Duration(1+rng.Intn(14))*24*time.Hour))
+				}
+			}
+			switch design {
+			case DesignDocLink:
+				if rng.Float64() < 0.15 {
+					c.Beacon.Record(bait.Token, AccessDoc, remote)
+					rep.TokenAccesses++
+				}
+			case DesignDocxAttach:
+				if rng.Float64() < 0.10 {
+					c.Beacon.Record(bait.Token, AccessDocx, remote)
+					rep.TokenAccesses++
+				}
+			case DesignShellCreds:
+				if rng.Float64() < 0.08 {
+					if c.Shell != nil {
+						c.Shell.Attempt(bait.Creds.Username, bait.Creds.Password, remote)
+					} else {
+						c.Beacon.Record(bait.Token, AccessShell, remote)
+					}
+					rep.TokenAccesses++
+					rep.CredentialUses++
+				}
+			case DesignEmailCreds:
+				if rng.Float64() < 0.04 {
+					c.Beacon.Record(bait.Token, AccessMailbox, remote)
+					rep.TokenAccesses++
+					rep.CredentialUses++
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// recordAt back-dates the most recent beacon hit; the beacon's own clock
+// is wall time, but the campaign runs in simulated time.
+func (c *Campaign) recordAt(t time.Time) {
+	c.Beacon.mu.Lock()
+	defer c.Beacon.mu.Unlock()
+	if n := len(c.Beacon.hits); n > 0 {
+		c.Beacon.hits[n-1].When = t
+	}
+}

@@ -1,0 +1,185 @@
+// Package honey implements the paper's Section 7 experiment, in which
+// the study switches sides and plays the typosquatting victim: "honey
+// emails" carrying trackable bait are sent to suspected typosquatting
+// domains, and every access to the bait is logged.
+//
+// The bait comes in the paper's four designs: webmail credentials, shell
+// credentials, a link to a "tax document" on a monitored sharing
+// service, and a DOCX attachment that phones home when opened. Every
+// email also carries a 1x1 tracking pixel; its absence of a signal is
+// not proof the email went unread (clients may not fetch images), which
+// the analysis accounts for.
+package honey
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/extract"
+	"repro/internal/mailmsg"
+)
+
+// Design is one of the four honey-email templates.
+type Design int
+
+// The four designs of Section 7.1.
+const (
+	DesignEmailCreds Design = iota // login for a major email provider
+	DesignShellCreds               // login for a shell account on our VPS
+	DesignDocLink                  // link to a monitored "tax document"
+	DesignDocxAttach               // DOCX with (fake) payment information
+)
+
+// AllDesigns lists every design.
+func AllDesigns() []Design {
+	return []Design{DesignEmailCreds, DesignShellCreds, DesignDocLink, DesignDocxAttach}
+}
+
+func (d Design) String() string {
+	switch d {
+	case DesignEmailCreds:
+		return "email-credentials"
+	case DesignShellCreds:
+		return "shell-credentials"
+	case DesignDocLink:
+		return "document-link"
+	default:
+		return "docx-attachment"
+	}
+}
+
+// Token identifies one bait instance; it encodes nothing but is
+// unforgeable given the mint key.
+type Token string
+
+// Mint derives the deterministic token for (domain, design). HMAC keeps
+// tokens unlinkable to domains without the key.
+func Mint(key, domain string, design Design) Token {
+	mac := hmac.New(sha256.New, []byte(key))
+	fmt.Fprintf(mac, "%s|%d", strings.ToLower(domain), design)
+	return Token(hex.EncodeToString(mac.Sum(nil))[:20])
+}
+
+// Credentials is a honey username/password pair.
+type Credentials struct {
+	Username string
+	Password string
+}
+
+// CredsFor derives per-token honey credentials.
+func CredsFor(tok Token) Credentials {
+	return Credentials{
+		Username: "j.tailor." + string(tok[:6]),
+		Password: "Spring2017!" + string(tok[6:12]),
+	}
+}
+
+// Bait is one fully-rendered honey email.
+type Bait struct {
+	Design Design
+	Token  Token
+	Msg    *mailmsg.Message
+	Creds  Credentials // meaningful for the credential designs
+}
+
+// Build renders the honey email of the given design for a recipient at a
+// typo domain. beaconBase is the monitored endpoint ("http://host:port");
+// the pixel URL and all bait URLs live under it.
+func Build(key, beaconBase, from, rcpt string, design Design) Bait {
+	domain := mailmsg.AddrDomain(rcpt)
+	tok := Mint(key, domain, design)
+	creds := CredsFor(tok)
+	pixel := fmt.Sprintf("%s/pixel/%s.png", beaconBase, tok)
+
+	var subject, body string
+	var attach []mailmsg.Attachment
+	switch design {
+	case DesignEmailCreds:
+		subject = "your new mailbox"
+		body = fmt.Sprintf(
+			"Hey,\n\nI set up the shared mailbox like you asked.\n"+
+				"username: %s\npassword: %s\n\nLog in when you get a chance.\n\n[img] %s\n",
+			creds.Username, creds.Password, pixel)
+	case DesignShellCreds:
+		subject = "server access"
+		body = fmt.Sprintf(
+			"Hi,\n\nYour account on the build box is ready.\n"+
+				"ssh %s@build.ourcompany.example\npassword: %s\n\n[img] %s\n",
+			creds.Username, creds.Password, pixel)
+	case DesignDocLink:
+		subject = "tax document for review"
+		body = fmt.Sprintf(
+			"Hello,\n\nThe accountant uploaded the tax document here:\n"+
+				"%s/doc/%s\n\nPlease check the figures before Friday.\n\n[img] %s\n",
+			beaconBase, tok, pixel)
+	case DesignDocxAttach:
+		subject = "payment details attached"
+		body = fmt.Sprintf("Hi,\n\nPayment information attached as discussed.\n\n[img] %s\n", pixel)
+		doc := extract.BuildSDOC(fmt.Sprintf(
+			"Payment information\nAccount holder: %s\nIBAN: DE00 0000 0000 0000 0000 00\nbeacon: %s/docx/%s\n",
+			creds.Username, beaconBase, tok))
+		attach = append(attach, mailmsg.Attachment{
+			Filename:    "payment-details.docx",
+			ContentType: "application/vnd.openxmlformats-officedocument.wordprocessingml.document",
+			Data:        doc,
+		})
+	}
+
+	b := mailmsg.NewBuilder(from, rcpt, subject).Body(body)
+	b.MessageID(fmt.Sprintf("%s@%s", tok, mailmsg.AddrDomain(from)))
+	for _, a := range attach {
+		b.Attach(a.Filename, a.ContentType, a.Data)
+	}
+	return Bait{Design: design, Token: tok, Msg: b.Build(), Creds: creds}
+}
+
+// ExtractURLs pulls the monitored URLs out of a bait message — what an
+// HTML client (or a curious typosquatter) would see and may fetch.
+func ExtractURLs(m *mailmsg.Message) []string {
+	var out []string
+	for _, f := range strings.Fields(m.Body + " " + mailmsg.StripHTML(m.HTMLBody)) {
+		if strings.HasPrefix(f, "http://") || strings.HasPrefix(f, "https://") {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// AccessKind labels what a beacon hit touched.
+type AccessKind int
+
+// Access kinds, in increasing severity.
+const (
+	AccessPixel   AccessKind = iota // email rendered
+	AccessDoc                       // shared document viewed
+	AccessDocx                      // attachment opened
+	AccessShell                     // honey shell credentials used
+	AccessMailbox                   // honey webmail credentials used
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessPixel:
+		return "pixel"
+	case AccessDoc:
+		return "document"
+	case AccessDocx:
+		return "docx"
+	case AccessShell:
+		return "shell-login"
+	default:
+		return "mailbox-login"
+	}
+}
+
+// Access is one logged hit on monitored bait.
+type Access struct {
+	Token  Token
+	Kind   AccessKind
+	When   time.Time
+	Remote string // observed source (IP / geolocation hint)
+}

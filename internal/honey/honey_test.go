@@ -1,0 +1,296 @@
+package honey
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ecosys"
+	"repro/internal/extract"
+	"repro/internal/mailmsg"
+)
+
+func TestMintDeterministicAndDistinct(t *testing.T) {
+	a := Mint("key", "gmial.com", DesignDocLink)
+	b := Mint("key", "gmial.com", DesignDocLink)
+	if a != b {
+		t.Error("tokens not deterministic")
+	}
+	if Mint("key", "gmial.com", DesignDocxAttach) == a {
+		t.Error("designs share a token")
+	}
+	if Mint("key", "outlo0k.com", DesignDocLink) == a {
+		t.Error("domains share a token")
+	}
+	if Mint("other", "gmial.com", DesignDocLink) == a {
+		t.Error("keys share a token")
+	}
+}
+
+func TestBuildDesigns(t *testing.T) {
+	for _, d := range AllDesigns() {
+		bait := Build("k", "http://b.example", "me@corp.example", "contact@gmial.com", d)
+		if bait.Msg == nil || bait.Token == "" {
+			t.Fatalf("%v: empty bait", d)
+		}
+		if _, err := mailmsg.Parse(bait.Msg.Bytes()); err != nil {
+			t.Fatalf("%v: unparseable: %v", d, err)
+		}
+		urls := ExtractURLs(bait.Msg)
+		foundPixel := false
+		for _, u := range urls {
+			if strings.Contains(u, "/pixel/"+string(bait.Token)) {
+				foundPixel = true
+			}
+		}
+		if !foundPixel {
+			t.Errorf("%v: tracking pixel missing from %v", d, urls)
+		}
+		switch d {
+		case DesignEmailCreds, DesignShellCreds:
+			if !strings.Contains(bait.Msg.Body, bait.Creds.Password) {
+				t.Errorf("%v: credentials missing", d)
+			}
+		case DesignDocLink:
+			if !strings.Contains(bait.Msg.Body, "/doc/"+string(bait.Token)) {
+				t.Errorf("doc link missing")
+			}
+		case DesignDocxAttach:
+			if len(bait.Msg.Attachments) != 1 {
+				t.Fatalf("attachment missing")
+			}
+			text, err := extract.Text(bait.Msg.Attachments[0].Filename, bait.Msg.Attachments[0].Data)
+			if err != nil {
+				t.Fatalf("attachment not extractable: %v", err)
+			}
+			if !strings.Contains(text, "/docx/"+string(bait.Token)) {
+				t.Errorf("docx beacon missing: %q", text)
+			}
+		}
+	}
+}
+
+func TestBeaconHTTP(t *testing.T) {
+	b := NewBeacon(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	bound := make(chan net.Addr, 1)
+	done := make(chan struct{})
+	go func() { defer close(done); b.ListenAndServe(ctx, "127.0.0.1:0", bound) }()
+	base := "http://" + (<-bound).String()
+
+	tok := Mint("k", "gmial.com", DesignDocLink)
+	// Pixel fetch.
+	resp, err := http.Get(fmt.Sprintf("%s/pixel/%s.png", base, tok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	png, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || len(png) != len(onePixelPNG) {
+		t.Errorf("pixel response = %d, %d bytes", resp.StatusCode, len(png))
+	}
+	// Document view.
+	resp, err = http.Get(fmt.Sprintf("%s/doc/%s", base, tok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "Tax Document") {
+		t.Errorf("doc body = %q", body)
+	}
+	// Docx phone-home.
+	if resp, err = http.Get(fmt.Sprintf("%s/docx/%s", base, tok)); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// Bad path.
+	if resp, err = http.Get(base + "/pixel/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	hits := b.HitsFor(tok)
+	if len(hits) != 3 {
+		t.Fatalf("hits = %d, want 3", len(hits))
+	}
+	kinds := map[AccessKind]bool{}
+	for _, h := range hits {
+		kinds[h.Kind] = true
+		if h.Remote == "" || h.When.IsZero() {
+			t.Error("hit missing metadata")
+		}
+	}
+	if !kinds[AccessPixel] || !kinds[AccessDoc] || !kinds[AccessDocx] {
+		t.Errorf("kinds = %v", kinds)
+	}
+	b.Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("beacon did not stop")
+	}
+}
+
+func TestShellAccountTCP(t *testing.T) {
+	b := NewBeacon(nil)
+	sh := NewShellAccount(b)
+	tok := Mint("k", "gmial.com", DesignShellCreds)
+	sh.Arm(tok)
+	creds := CredsFor(tok)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	bound := make(chan net.Addr, 1)
+	go sh.ListenAndServe(ctx, "127.0.0.1:0", bound)
+	addr := (<-bound).String()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(3 * time.Second))
+	r := bufio.NewReader(conn)
+	r.ReadString(' ') // "login: "
+	fmt.Fprintf(conn, "%s\n", creds.Username)
+	r.ReadString(' ') // "password: "
+	fmt.Fprintf(conn, "%s\n", creds.Password)
+	line, err := r.ReadString('\n')
+	if err != nil || !strings.Contains(line, "denied") {
+		t.Errorf("response = %q, %v", line, err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for len(b.HitsFor(tok)) == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	hits := b.HitsFor(tok)
+	if len(hits) != 1 || hits[0].Kind != AccessShell {
+		t.Fatalf("hits = %v", hits)
+	}
+	if sh.Attempt("unknown-user", "x", "nowhere") {
+		t.Error("unknown user accepted as honey")
+	}
+}
+
+func ecoForCampaign(t *testing.T) *ecosys.Ecosystem {
+	t.Helper()
+	return ecosys.Generate(ecosys.Config{
+		Targets: 150, UniverseSize: 1500, Seed: 9, BulkSquatters: 8, SharedMailHosts: 6,
+	})
+}
+
+func TestCampaignProbeTable5(t *testing.T) {
+	eco := ecoForCampaign(t)
+	c := &Campaign{Eco: eco, Beacon: NewBeacon(nil), Key: "k", From: "probe@study.example"}
+	var domains []string
+	for _, d := range eco.TyposquattingDomains() {
+		domains = append(domains, d.Name)
+	}
+	t5, outcomes := c.RunProbe(domains)
+	pub, priv := t5.Totals()
+	if pub+priv != len(outcomes) || len(outcomes) != len(domains) {
+		t.Fatalf("totals %d+%d != %d", pub, priv, len(outcomes))
+	}
+	if pub == 0 || priv == 0 {
+		t.Error("both registration classes should appear")
+	}
+	acc := Accepting(outcomes)
+	if len(acc) == 0 {
+		t.Fatal("no accepting domains")
+	}
+	// Accepting set must match behavior ground truth.
+	for _, name := range acc {
+		if eco.Domains[name].Behavior != ecosys.BehaviorAccept {
+			t.Fatalf("%s in accepting set with behavior %v", name, eco.Domains[name].Behavior)
+		}
+	}
+	// Probing an unknown domain is skipped, not counted.
+	t5b, out2 := c.RunProbe([]string{"not-in-ecosystem.test"})
+	if p, q := t5b.Totals(); p+q != 0 || len(out2) != 0 {
+		t.Error("unknown domain counted")
+	}
+}
+
+func TestCampaignTable6Concentration(t *testing.T) {
+	eco := ecoForCampaign(t)
+	c := &Campaign{Eco: eco, Beacon: NewBeacon(nil), Key: "k", From: "probe@study.example"}
+	var domains []string
+	for _, d := range eco.TyposquattingDomains() {
+		domains = append(domains, d.Name)
+	}
+	_, outcomes := c.RunProbe(domains)
+	acc := Accepting(outcomes)
+	t6 := c.Table6(acc)
+	if len(t6) == 0 {
+		t.Fatal("empty table 6")
+	}
+	total, max := 0, 0
+	for _, n := range t6 {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	// Table 6's shape: the top MX host alone carries a large share.
+	if frac := float64(max) / float64(total); frac < 0.2 {
+		t.Errorf("top MX share = %.2f, want concentrated (paper: 0.44)", frac)
+	}
+}
+
+func TestCampaignHoneyRunScarcity(t *testing.T) {
+	eco := ecoForCampaign(t)
+	beacon := NewBeacon(nil)
+	sh := NewShellAccount(beacon)
+	c := &Campaign{Eco: eco, Beacon: beacon, Shell: sh, Key: "k", From: "victim@study.example"}
+	var domains []string
+	for _, d := range eco.TyposquattingDomains() {
+		domains = append(domains, d.Name)
+	}
+	_, outcomes := c.RunProbe(domains)
+	acc := Accepting(outcomes)
+	rng := rand.New(rand.NewSource(11))
+	sentAt := time.Date(2017, 6, 15, 9, 0, 0, 0, time.UTC)
+	rep := c.RunHoney(acc, sentAt, rng)
+	if rep.EmailsSent != 4*len(acc) {
+		t.Errorf("sent %d, want %d (4 per domain)", rep.EmailsSent, 4*len(acc))
+	}
+	// The paper's core negative result: opens are rare, actions rarer.
+	if rep.Opens > len(acc)/10 {
+		t.Errorf("opens = %d of %d domains — too common", rep.Opens, len(acc))
+	}
+	if rep.TokenAccesses > rep.EmailsSent/50 {
+		t.Errorf("token accesses = %d — too common", rep.TokenAccesses)
+	}
+	if rep.CredentialUses > rep.TokenAccesses {
+		t.Error("credential uses exceed token accesses")
+	}
+	// Every beacon hit must lag the send by at least ~30 minutes.
+	for _, h := range beacon.Hits() {
+		if h.When.Before(sentAt.Add(25 * time.Minute)) {
+			t.Errorf("hit at %v too soon after send %v", h.When, sentAt)
+		}
+	}
+}
+
+func TestAccessKindStrings(t *testing.T) {
+	for k := AccessPixel; k <= AccessMailbox; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+	for _, d := range AllDesigns() {
+		if d.String() == "" {
+			t.Errorf("design %d unnamed", d)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package mailmsg
+
+import "testing"
+
+// FuzzParse drives the message parser with arbitrary bytes: never panic,
+// and anything accepted must serialize and re-parse with stable bodies.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte("From: a@b.com\r\nTo: c@d.com\r\nSubject: s\r\n\r\nbody\r\n"))
+	f.Add(NewBuilder("a@b.com", "c@d.com", "s").Body("text").HTML("<p>x</p>").
+		Attach("f.bin", "application/octet-stream", []byte{1, 2}).Build().Bytes())
+	f.Add([]byte("Content-Type: multipart/mixed; boundary=x\r\n\r\n--x\r\n\r\nhi\r\n--x--\r\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			return
+		}
+		again, err := Parse(m.Bytes())
+		if err != nil {
+			t.Fatalf("serialized message does not re-parse: %v", err)
+		}
+		if len(again.Attachments) != len(m.Attachments) {
+			t.Fatalf("attachments drift: %d vs %d", len(again.Attachments), len(m.Attachments))
+		}
+	})
+}

@@ -1,0 +1,221 @@
+// Package probe reproduces the SMTP-support measurement of Section 5.1:
+// given a candidate typo domain, resolve where its mail goes (MX, falling
+// back to A per RFC 5321), check whether scan data exists for that
+// address, and classify the host into Table 4's six categories by
+// speaking SMTP to it — including whether STARTTLS is advertised and
+// whether the TLS handshake actually succeeds.
+//
+// Two modes share the classification logic: ProbeAddr drives a live TCP
+// SMTP server (used in integration tests and the collector tool), and
+// Scan walks the simulated ecosystem through the same decision tree via
+// connectivity primitives.
+package probe
+
+import (
+	"bufio"
+	"context"
+	"crypto/tls"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/ecosys"
+)
+
+// Result is one probed domain.
+type Result struct {
+	Domain  string
+	Support ecosys.SMTPSupport
+}
+
+// ---------------------------------------------------------------------
+// Live probing over TCP
+
+// ProbeAddr classifies a live SMTP endpoint. It connects, reads the
+// greeting, sends EHLO, and — when STARTTLS is advertised — attempts the
+// handshake to distinguish "STARTTLS with errors" from "without errors".
+// Certificate verification failures count as errors (typo domains
+// overwhelmingly present self-signed or mismatched certificates).
+func ProbeAddr(ctx context.Context, addr, serverName string, timeout time.Duration) ecosys.SMTPSupport {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return ecosys.SupportNoEmail
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	r := bufio.NewReader(conn)
+
+	readReply := func() (int, []string, error) {
+		var lines []string
+		for {
+			raw, err := r.ReadString('\n')
+			if err != nil {
+				return 0, nil, err
+			}
+			raw = strings.TrimRight(raw, "\r\n")
+			if len(raw) < 4 {
+				return 0, nil, fmt.Errorf("short reply %q", raw)
+			}
+			var code int
+			if _, err := fmt.Sscanf(raw[:3], "%d", &code); err != nil {
+				return 0, nil, err
+			}
+			lines = append(lines, raw[4:])
+			if raw[3] == ' ' {
+				return code, lines, nil
+			}
+		}
+	}
+
+	code, _, err := readReply()
+	if err != nil || code != 220 {
+		return ecosys.SupportNoEmail
+	}
+	fmt.Fprintf(conn, "EHLO probe.invalid\r\n")
+	code, exts, err := readReply()
+	if err != nil || code != 250 {
+		return ecosys.SupportNoEmail
+	}
+	hasTLS := false
+	for _, e := range exts {
+		if strings.HasPrefix(strings.ToUpper(e), "STARTTLS") {
+			hasTLS = true
+		}
+	}
+	if !hasTLS {
+		return ecosys.SupportPlain
+	}
+	fmt.Fprintf(conn, "STARTTLS\r\n")
+	code, _, err = readReply()
+	if err != nil || code != 220 {
+		return ecosys.SupportTLSErrors
+	}
+	// Strict verification first: a presentable certificate chain and
+	// matching name means "STARTTLS without errors".
+	tconn := tls.Client(conn, &tls.Config{ServerName: serverName})
+	hctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	if err := tconn.HandshakeContext(hctx); err != nil {
+		return ecosys.SupportTLSErrors
+	}
+	return ecosys.SupportTLSOK
+}
+
+// ---------------------------------------------------------------------
+// Ecosystem-scale scanning
+
+// Net is the connectivity view the scanner walks: the same decision tree
+// as ProbeAddr, over primitives instead of sockets. The simulated
+// ecosystem implements it; a live deployment would back it with resolve
+// and TCP dials.
+type Net interface {
+	// MailRoute resolves where domain's mail goes: explicit MX hosts, or
+	// the domain itself when only an A record exists. ok=false means no
+	// MX or A record at all.
+	MailRoute(domain string) (hosts []string, ok bool)
+	// ScanData reports whether the scan snapshot has data for the
+	// address domain's mail lands on (zmap's coverage is incomplete;
+	// "No info" in Table 4). Keyed by domain and host because one MX
+	// name fronts many addresses.
+	ScanData(domain, host string) bool
+	// SMTPStatus reports the mail service at domain's delivery address:
+	// listening, whether STARTTLS is advertised, and whether the
+	// handshake completes cleanly.
+	SMTPStatus(domain, host string) (listening, starttls, tlsClean bool)
+}
+
+// Scan classifies every domain through net's primitives.
+func Scan(domains []string, n Net) []Result {
+	out := make([]Result, 0, len(domains))
+	for _, d := range domains {
+		out = append(out, Result{Domain: d, Support: classify(d, n)})
+	}
+	return out
+}
+
+func classify(domain string, n Net) ecosys.SMTPSupport {
+	hosts, ok := n.MailRoute(domain)
+	if !ok || len(hosts) == 0 {
+		return ecosys.SupportNoRecords
+	}
+	host := hosts[0]
+	if !n.ScanData(domain, host) {
+		return ecosys.SupportNoInfo
+	}
+	listening, starttls, clean := n.SMTPStatus(domain, host)
+	switch {
+	case !listening:
+		return ecosys.SupportNoEmail
+	case !starttls:
+		return ecosys.SupportPlain
+	case !clean:
+		return ecosys.SupportTLSErrors
+	default:
+		return ecosys.SupportTLSOK
+	}
+}
+
+// EcoNet adapts a generated ecosystem to the Net interface, deriving the
+// primitives from each domain's configuration.
+type EcoNet struct {
+	Eco *ecosys.Ecosystem
+}
+
+// MailRoute implements Net.
+func (en *EcoNet) MailRoute(domain string) ([]string, bool) {
+	info, ok := en.Eco.Domains[domain]
+	if !ok {
+		return nil, false
+	}
+	if len(info.MX) > 0 {
+		return info.MX, true
+	}
+	if info.HasA {
+		return []string{domain}, true // RFC 5321 implicit MX
+	}
+	return nil, false
+}
+
+// ScanData implements Net: the snapshot is missing exactly for the
+// addresses the ecosystem marked SupportNoInfo.
+func (en *EcoNet) ScanData(domain, host string) bool {
+	info, ok := en.Eco.Domains[domain]
+	if !ok {
+		return false
+	}
+	return info.Support != ecosys.SupportNoInfo
+}
+
+// SMTPStatus implements Net.
+func (en *EcoNet) SMTPStatus(domain, host string) (bool, bool, bool) {
+	info, ok := en.Eco.Domains[domain]
+	if !ok {
+		return false, false, false
+	}
+	switch info.Support {
+	case ecosys.SupportPlain:
+		return true, false, false
+	case ecosys.SupportTLSErrors:
+		return true, true, false
+	case ecosys.SupportTLSOK:
+		return true, true, true
+	default:
+		return false, false, false
+	}
+}
+
+var _ Net = (*EcoNet)(nil)
+
+// Table4 tallies scan results into the Table 4 row counts.
+func Table4(results []Result) map[ecosys.SMTPSupport]int {
+	m := make(map[ecosys.SMTPSupport]int)
+	for _, r := range results {
+		m[r.Support]++
+	}
+	return m
+}

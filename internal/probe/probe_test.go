@@ -1,0 +1,160 @@
+package probe
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/ecosys"
+	"repro/internal/smtpd"
+)
+
+func startSMTP(t *testing.T, cfg smtpd.Config) (string, func()) {
+	t.Helper()
+	if cfg.Deliver == nil {
+		cfg.Deliver = func(*smtpd.Envelope) error { return nil }
+	}
+	srv, err := smtpd.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	bound := make(chan net.Addr, 1)
+	done := make(chan struct{})
+	go func() { defer close(done); srv.ListenAndServe(ctx, "127.0.0.1:0", bound) }()
+	addr := (<-bound).String()
+	return addr, func() { cancel(); srv.Close(); <-done }
+}
+
+func TestProbeAddrPlainSMTP(t *testing.T) {
+	addr, stop := startSMTP(t, smtpd.Config{Hostname: "plain.test"})
+	defer stop()
+	got := ProbeAddr(context.Background(), addr, "plain.test", 2*time.Second)
+	if got != ecosys.SupportPlain {
+		t.Errorf("plain server = %v, want SupportPlain", got)
+	}
+}
+
+func TestProbeAddrSelfSignedTLSErrors(t *testing.T) {
+	tlsCfg, err := smtpd.SelfSignedTLS("typo.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, stop := startSMTP(t, smtpd.Config{Hostname: "typo.test", TLS: tlsCfg})
+	defer stop()
+	// Self-signed certificate: STARTTLS is advertised and the handshake
+	// starts, but verification fails — the dominant Table 4 error class.
+	got := ProbeAddr(context.Background(), addr, "typo.test", 2*time.Second)
+	if got != ecosys.SupportTLSErrors {
+		t.Errorf("self-signed server = %v, want SupportTLSErrors", got)
+	}
+}
+
+func TestProbeAddrNoListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	got := ProbeAddr(context.Background(), addr, "gone.test", 500*time.Millisecond)
+	if got != ecosys.SupportNoEmail {
+		t.Errorf("closed port = %v, want SupportNoEmail", got)
+	}
+}
+
+func TestProbeAddrStallingServer(t *testing.T) {
+	addr, stop := startSMTP(t, smtpd.Config{
+		Behavior: func(string) smtpd.ConnAction { return smtpd.ActStall },
+	})
+	defer stop()
+	got := ProbeAddr(context.Background(), addr, "stall.test", 300*time.Millisecond)
+	if got != ecosys.SupportNoEmail {
+		t.Errorf("stalling server = %v, want SupportNoEmail", got)
+	}
+}
+
+// fakeNet scripts the primitives for decision-tree tests.
+type fakeNet struct {
+	route map[string][]string
+	scan  map[string]bool
+	smtp  map[string][3]bool
+}
+
+func (f *fakeNet) MailRoute(d string) ([]string, bool) {
+	h, ok := f.route[d]
+	return h, ok
+}
+func (f *fakeNet) ScanData(d, h string) bool { return f.scan[d] }
+func (f *fakeNet) SMTPStatus(d, h string) (bool, bool, bool) {
+	s := f.smtp[d]
+	return s[0], s[1], s[2]
+}
+
+func TestClassifyDecisionTree(t *testing.T) {
+	n := &fakeNet{
+		route: map[string][]string{
+			"noinfo.com":  {"mx.noinfo.com"},
+			"noemail.com": {"mx.noemail.com"},
+			"plain.com":   {"mx.plain.com"},
+			"tlserr.com":  {"mx.tlserr.com"},
+			"tlsok.com":   {"mx.tlsok.com"},
+		},
+		scan: map[string]bool{
+			"noemail.com": true, "plain.com": true, "tlserr.com": true, "tlsok.com": true,
+		},
+		smtp: map[string][3]bool{
+			"noemail.com": {false, false, false},
+			"plain.com":   {true, false, false},
+			"tlserr.com":  {true, true, false},
+			"tlsok.com":   {true, true, true},
+		},
+	}
+	want := map[string]ecosys.SMTPSupport{
+		"norecords.com": ecosys.SupportNoRecords,
+		"noinfo.com":    ecosys.SupportNoInfo,
+		"noemail.com":   ecosys.SupportNoEmail,
+		"plain.com":     ecosys.SupportPlain,
+		"tlserr.com":    ecosys.SupportTLSErrors,
+		"tlsok.com":     ecosys.SupportTLSOK,
+	}
+	var domains []string
+	for d := range want {
+		domains = append(domains, d)
+	}
+	for _, r := range Scan(domains, n) {
+		if r.Support != want[r.Domain] {
+			t.Errorf("%s = %v, want %v", r.Domain, r.Support, want[r.Domain])
+		}
+	}
+}
+
+func TestEcoNetScanMatchesGroundTruth(t *testing.T) {
+	eco := ecosys.Generate(ecosys.Config{
+		Targets: 60, UniverseSize: 600, Seed: 3, BulkSquatters: 6, SharedMailHosts: 5,
+	})
+	var domains []string
+	truth := map[string]ecosys.SMTPSupport{}
+	for _, d := range eco.Ctypos() {
+		domains = append(domains, d.Name)
+		truth[d.Name] = d.Support
+	}
+	results := Scan(domains, &EcoNet{Eco: eco})
+	if len(results) != len(domains) {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Support != truth[r.Domain] {
+			t.Errorf("%s probed %v, ground truth %v", r.Domain, r.Support, truth[r.Domain])
+		}
+	}
+	table := Table4(results)
+	total := 0
+	for _, n := range table {
+		total += n
+	}
+	if total != len(domains) {
+		t.Errorf("Table4 total = %d, want %d", total, len(domains))
+	}
+}

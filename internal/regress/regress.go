@@ -1,0 +1,272 @@
+// Package regress implements the linear-regression machinery of
+// Section 6: ordinary least squares over transformed features, R²,
+// leave-one-out cross-validation, and prediction intervals used to
+// project yearly email volumes onto the 1,211 typo domains registered by
+// others (260,514/yr, 95% CI [22,577, 905,174] in the paper).
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Errors from fitting.
+var (
+	ErrDimensions = errors.New("regress: dimension mismatch")
+	ErrSingular   = errors.New("regress: singular design matrix")
+	ErrTooFewRows = errors.New("regress: need more rows than features")
+)
+
+// Model is a fitted least-squares model.
+type Model struct {
+	Coef  []float64 // includes the intercept at index 0
+	Names []string
+
+	R2     float64
+	N      int
+	P      int         // number of parameters (including intercept)
+	Sigma2 float64     // residual variance
+	XtXInv [][]float64 // (X'X)^-1 for interval estimation
+	Resid  []float64
+}
+
+// Fit performs OLS of y on features (an intercept column is prepended
+// automatically). names labels the feature columns (without intercept).
+func Fit(features [][]float64, y []float64, names []string) (*Model, error) {
+	n := len(y)
+	if n == 0 || len(features) != n {
+		return nil, ErrDimensions
+	}
+	k := len(features[0])
+	for _, row := range features {
+		if len(row) != k {
+			return nil, ErrDimensions
+		}
+	}
+	p := k + 1
+	if n <= p {
+		return nil, ErrTooFewRows
+	}
+	// Build X with intercept.
+	X := make([][]float64, n)
+	for i, row := range features {
+		X[i] = append([]float64{1}, row...)
+	}
+
+	// Normal equations: (X'X) beta = X'y.
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	for r := 0; r < n; r++ {
+		for i := 0; i < p; i++ {
+			xty[i] += X[r][i] * y[r]
+			for j := 0; j < p; j++ {
+				xtx[i][j] += X[r][i] * X[r][j]
+			}
+		}
+	}
+	inv, err := invert(xtx)
+	if err != nil {
+		return nil, err
+	}
+	beta := make([]float64, p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			beta[i] += inv[i][j] * xty[j]
+		}
+	}
+
+	m := &Model{Coef: beta, Names: append([]string{"(intercept)"}, names...), N: n, P: p, XtXInv: inv}
+	// Residuals and R².
+	var ssRes, ssTot float64
+	mean := stats.Mean(y)
+	m.Resid = make([]float64, n)
+	for r := 0; r < n; r++ {
+		pred := dot(beta, X[r])
+		m.Resid[r] = y[r] - pred
+		ssRes += m.Resid[r] * m.Resid[r]
+		d := y[r] - mean
+		ssTot += d * d
+	}
+	if ssTot > 0 {
+		m.R2 = 1 - ssRes/ssTot
+	}
+	m.Sigma2 = ssRes / float64(n-p)
+	return m, nil
+}
+
+// Predict evaluates the model at a feature vector (without intercept).
+func (m *Model) Predict(features []float64) float64 {
+	x := append([]float64{1}, features...)
+	return dot(m.Coef, x)
+}
+
+// PredictionInterval returns the level-confidence interval for a new
+// observation at features, accounting for both coefficient and residual
+// uncertainty.
+func (m *Model) PredictionInterval(features []float64, level float64) stats.Interval {
+	x := append([]float64{1}, features...)
+	pred := dot(m.Coef, x)
+	// leverage h = x' (X'X)^-1 x
+	h := quadForm(m.XtXInv, x)
+	se := math.Sqrt(m.Sigma2 * (1 + h))
+	t := stats.TQuantile(1-(1-level)/2, m.N-m.P)
+	return stats.Interval{Mean: pred, Low: pred - t*se, High: pred + t*se, Level: level}
+}
+
+// MeanInterval is the confidence interval for the conditional mean at
+// features (no residual term).
+func (m *Model) MeanInterval(features []float64, level float64) stats.Interval {
+	x := append([]float64{1}, features...)
+	pred := dot(m.Coef, x)
+	h := quadForm(m.XtXInv, x)
+	se := math.Sqrt(m.Sigma2 * h)
+	t := stats.TQuantile(1-(1-level)/2, m.N-m.P)
+	return stats.Interval{Mean: pred, Low: pred - t*se, High: pred + t*se, Level: level}
+}
+
+// LOOCV computes the leave-one-out cross-validated R² — the paper reports
+// the fit's R² dropping from 0.74 to 0.63 under LOOCV.
+func LOOCV(features [][]float64, y []float64, names []string) (float64, error) {
+	n := len(y)
+	if n < 3 {
+		return 0, ErrTooFewRows
+	}
+	var ssRes float64
+	for hold := 0; hold < n; hold++ {
+		trainX := make([][]float64, 0, n-1)
+		trainY := make([]float64, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i != hold {
+				trainX = append(trainX, features[i])
+				trainY = append(trainY, y[i])
+			}
+		}
+		m, err := Fit(trainX, trainY, names)
+		if err != nil {
+			return 0, fmt.Errorf("fold %d: %w", hold, err)
+		}
+		d := y[hold] - m.Predict(features[hold])
+		ssRes += d * d
+	}
+	mean := stats.Mean(y)
+	var ssTot float64
+	for _, v := range y {
+		d := v - mean
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		return 0, nil
+	}
+	return 1 - ssRes/ssTot, nil
+}
+
+// String renders the fitted coefficients.
+func (m *Model) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "OLS fit: n=%d R2=%.3f sigma=%.4g\n", m.N, m.R2, math.Sqrt(m.Sigma2))
+	for i, name := range m.Names {
+		fmt.Fprintf(&sb, "  %-24s %+.5g\n", name, m.Coef[i])
+	}
+	return sb.String()
+}
+
+// invert computes the inverse of a symmetric positive-definite-ish
+// matrix by Gauss-Jordan with partial pivoting.
+func invert(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	// augmented [a | I]
+	aug := make([][]float64, n)
+	for i := range aug {
+		aug[i] = make([]float64, 2*n)
+		copy(aug[i], a[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// pivot
+		best := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(aug[r][col]) > math.Abs(aug[best][col]) {
+				best = r
+			}
+		}
+		if math.Abs(aug[best][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		aug[col], aug[best] = aug[best], aug[col]
+		pivot := aug[col][col]
+		for j := 0; j < 2*n; j++ {
+			aug[col][j] /= pivot
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 2*n; j++ {
+				aug[r][j] -= f * aug[col][j]
+			}
+		}
+	}
+	inv := make([][]float64, n)
+	for i := range inv {
+		inv[i] = aug[i][n:]
+	}
+	return inv, nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func quadForm(m [][]float64, x []float64) float64 {
+	var s float64
+	for i := range x {
+		for j := range x {
+			s += x[i] * m[i][j] * x[j]
+		}
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Transforms used by the paper's model (Section 6.2): the dependent
+// variable lives in square-root space; rank is log-transformed; the
+// visual heuristic enters as a normalized square root.
+
+// SqrtSpace maps a volume into the fitting space.
+func SqrtSpace(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// FromSqrtSpace maps a prediction back to volume, clamping at zero.
+func FromSqrtSpace(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	return s * s
+}
+
+// LogRank transforms an Alexa rank.
+func LogRank(rank int) float64 {
+	if rank < 1 {
+		rank = 1
+	}
+	return math.Log(float64(rank))
+}

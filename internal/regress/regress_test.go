@@ -1,0 +1,172 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitExactLine(t *testing.T) {
+	// y = 3 + 2x, noiseless.
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 10; i++ {
+		X = append(X, []float64{float64(i)})
+		y = append(y, 3+2*float64(i))
+	}
+	m, err := Fit(X, y, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-3) > 1e-9 || math.Abs(m.Coef[1]-2) > 1e-9 {
+		t.Errorf("coef = %v, want [3 2]", m.Coef)
+	}
+	if m.R2 < 0.999999 {
+		t.Errorf("R2 = %v", m.R2)
+	}
+	if got := m.Predict([]float64{20}); math.Abs(got-43) > 1e-9 {
+		t.Errorf("Predict(20) = %v", got)
+	}
+}
+
+func TestFitMultivariateWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		x1, x2 := rng.Float64()*10, rng.Float64()*5
+		X = append(X, []float64{x1, x2})
+		y = append(y, 1.5+0.7*x1-1.2*x2+rng.NormFloat64()*0.3)
+	}
+	m, err := Fit(X, y, []string{"x1", "x2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []float64{1.5, 0.7, -1.2}
+	for i, w := range wants {
+		if math.Abs(m.Coef[i]-w) > 0.15 {
+			t.Errorf("coef[%d] = %v, want ~%v", i, m.Coef[i], w)
+		}
+	}
+	if m.R2 < 0.9 {
+		t.Errorf("R2 = %v", m.R2)
+	}
+	if m.Sigma2 < 0.05 || m.Sigma2 > 0.2 {
+		t.Errorf("Sigma2 = %v, want ~0.09", m.Sigma2)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, nil); err != ErrDimensions {
+		t.Errorf("empty fit err = %v", err)
+	}
+	if _, err := Fit([][]float64{{1}, {2}}, []float64{1}, []string{"x"}); err != ErrDimensions {
+		t.Errorf("mismatched rows err = %v", err)
+	}
+	if _, err := Fit([][]float64{{1}, {2}}, []float64{1, 2}, []string{"x"}); err != ErrTooFewRows {
+		t.Errorf("too few rows err = %v", err)
+	}
+	// Perfectly collinear features.
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 10; i++ {
+		X = append(X, []float64{float64(i), 2 * float64(i)})
+		y = append(y, float64(i))
+	}
+	if _, err := Fit(X, y, []string{"a", "b"}); err != ErrSingular {
+		t.Errorf("collinear err = %v", err)
+	}
+	if _, err := Fit([][]float64{{1}, {2, 3}}, []float64{1, 2}, nil); err != ErrDimensions {
+		t.Errorf("ragged err = %v", err)
+	}
+}
+
+func TestPredictionIntervalCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	gen := func(x float64) float64 { return 2 + x + rng.NormFloat64() }
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		x := rng.Float64() * 10
+		X = append(X, []float64{x})
+		y = append(y, gen(x))
+	}
+	m, err := Fit(X, y, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	const trials = 1000
+	for i := 0; i < trials; i++ {
+		x := rng.Float64() * 10
+		iv := m.PredictionInterval([]float64{x}, 0.95)
+		if iv.Contains(gen(x)) {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.92 || frac > 0.98 {
+		t.Errorf("95%% prediction interval covered %.3f", frac)
+	}
+	// Mean interval must be narrower than prediction interval.
+	mi := m.MeanInterval([]float64{5}, 0.95)
+	pi := m.PredictionInterval([]float64{5}, 0.95)
+	if (mi.High - mi.Low) >= (pi.High - pi.Low) {
+		t.Error("mean interval not narrower than prediction interval")
+	}
+}
+
+func TestLOOCVBelowInSampleR2(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 30; i++ {
+		x1, x2, x3 := rng.Float64(), rng.Float64(), rng.Float64()
+		X = append(X, []float64{x1, x2, x3})
+		y = append(y, 1+2*x1+rng.NormFloat64()*0.5)
+	}
+	m, err := Fit(X, y, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := LOOCV(X, y, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv >= m.R2 {
+		t.Errorf("LOOCV R2 %v >= in-sample %v (paper: 0.63 < 0.74)", cv, m.R2)
+	}
+	if _, err := LOOCV(X[:2], y[:2], nil); err == nil {
+		t.Error("LOOCV with 2 rows should fail")
+	}
+}
+
+func TestTransforms(t *testing.T) {
+	if SqrtSpace(-1) != 0 || SqrtSpace(9) != 3 {
+		t.Error("SqrtSpace wrong")
+	}
+	if FromSqrtSpace(-2) != 0 || FromSqrtSpace(3) != 9 {
+		t.Error("FromSqrtSpace wrong")
+	}
+	if LogRank(0) != 0 || math.Abs(LogRank(100)-math.Log(100)) > 1e-12 {
+		t.Error("LogRank wrong")
+	}
+	// Round trip.
+	for _, v := range []float64{0, 1, 42, 1e6} {
+		if got := FromSqrtSpace(SqrtSpace(v)); math.Abs(got-v) > 1e-6*v+1e-9 {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestModelString(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{2, 4, 6, 8}
+	m, err := Fit(X, y, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := m.String(); s == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,120 @@
+package reputation_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/mailmsg"
+	"repro/internal/reputation"
+	"repro/internal/spamfilter"
+	"repro/internal/spamgen"
+)
+
+func TestHashStability(t *testing.T) {
+	a, b := reputation.Hash([]byte("payload")), reputation.Hash([]byte("payload"))
+	if a != b {
+		t.Error("hash not deterministic")
+	}
+	if reputation.Hash([]byte("payload")) == reputation.Hash([]byte("payloae")) {
+		t.Error("distinct contents collide")
+	}
+	if len(a) != 64 {
+		t.Errorf("hash length = %d", len(a))
+	}
+}
+
+func TestSubmitLookup(t *testing.T) {
+	db := reputation.NewDB()
+	h := db.Submit([]byte{0x50, 0x4B, 1, 2}, reputation.VerdictMalicious)
+	if v, ok := db.Lookup(h); !ok || v != reputation.VerdictMalicious {
+		t.Errorf("Lookup = %v, %v", v, ok)
+	}
+	if _, ok := db.LookupData([]byte("never seen")); ok {
+		t.Error("phantom hit")
+	}
+	db.SubmitHash("deadbeef", reputation.VerdictBenign)
+	if v, ok := db.Lookup("deadbeef"); !ok || v != reputation.VerdictBenign {
+		t.Errorf("SubmitHash lookup = %v, %v", v, ok)
+	}
+	if db.Len() != 2 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	q, hits := db.Stats()
+	if q != 3 || hits != 2 {
+		t.Errorf("Stats = %d, %d", q, hits)
+	}
+	if reputation.VerdictMalicious.String() != "malicious" || reputation.VerdictBenign.String() != "benign" {
+		t.Error("verdict names")
+	}
+}
+
+// TestSection443Sweep reproduces the paper's attachment-reputation
+// analysis end to end: generate spam (with droppers) and true typo
+// emails, classify everything, hash every attachment, sweep against the
+// database, and verify the paper's key claim — "All emails containing
+// these malicious attachments were categorized as spam by our filtering
+// system."
+func TestSection443Sweep(t *testing.T) {
+	db := reputation.NewDB()
+	gen := spamgen.New(spamgen.DefaultParams(), 17)
+	gen.SetReputationDB(db)
+
+	emails := gen.Materialize(1500, "gmial.com", false)
+	// Mix in clean true-typo emails with attachments.
+	rng := rand.New(rand.NewSource(18))
+	for i := 0; i < 150; i++ {
+		msg := corpus.TypoEmail(rng, corpus.PersonAddr(rng, "gmail.com"), "x@gmial.com", nil)
+		emails = append(emails, &spamfilter.Email{
+			Msg: msg, ServerDomain: "gmial.com", RcptAddr: "x@gmial.com",
+			SenderAddr: mailmsg.Addr(msg.From()),
+		})
+	}
+
+	c := spamfilter.NewClassifier(spamfilter.Config{
+		OurDomains:       map[string]bool{"gmial.com": true},
+		RcptThreshold:    2,
+		SenderThreshold:  1,
+		ContentThreshold: 1,
+	})
+	// hash -> were ALL carrying emails spam-classified?
+	wasSpam := map[string]bool{}
+	for _, r := range c.Classify(emails) {
+		spam := !r.Verdict.IsTrueTypo()
+		for _, a := range r.Email.Msg.Attachments {
+			h := reputation.Hash(a.Data)
+			if seen, ok := wasSpam[h]; ok {
+				wasSpam[h] = seen && spam
+			} else {
+				wasSpam[h] = spam
+			}
+		}
+	}
+	rep := reputation.Sweep(db, wasSpam)
+	if rep.Unique == 0 || rep.Found == 0 {
+		t.Fatalf("sweep saw nothing: %+v", rep)
+	}
+	// Coverage: most hashes unknown (unique personal files), like the
+	// paper's 323 of 109,151.
+	if rep.Found >= rep.Unique {
+		t.Errorf("every hash known (%d/%d); coverage should be partial", rep.Found, rep.Unique)
+	}
+	if rep.Malicious == 0 {
+		t.Error("no malicious hits")
+	}
+	// The headline: malicious attachments never ride surviving emails.
+	if rep.MaliciousInHam != 0 {
+		t.Errorf("%d malicious attachments on non-spam emails; paper: 0", rep.MaliciousInHam)
+	}
+	// Known hashes skew malicious (304 vs 19).
+	if rep.Malicious <= rep.Benign {
+		t.Errorf("malicious %d <= benign %d; paper: 304 vs 19", rep.Malicious, rep.Benign)
+	}
+}
+
+func TestSweepEmpty(t *testing.T) {
+	rep := reputation.Sweep(reputation.NewDB(), nil)
+	if rep.Unique != 0 || rep.Found != 0 {
+		t.Errorf("empty sweep = %+v", rep)
+	}
+}

@@ -1,0 +1,384 @@
+// Package resolve implements the stub-resolver side of the study: MX and
+// A lookups with positive and negative caching, and the RFC 5321 §5.1
+// mail-routing rule the paper leans on in Section 5.1 — "in absence of an
+// MX record, the A record of the domain name should be used as the mail
+// server's address."
+package resolve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// Exchanger performs one DNS round trip. Implementations: UDPExchanger
+// (real sockets) and anything with an in-process Answer method via
+// ExchangerFunc.
+type Exchanger interface {
+	Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error)
+}
+
+// ExchangerFunc adapts a function to Exchanger.
+type ExchangerFunc func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error)
+
+// Exchange implements Exchanger.
+func (f ExchangerFunc) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	return f(ctx, q)
+}
+
+// UDPExchanger sends queries to a fixed server address over UDP, falling
+// back to DNS-over-TCP (RFC 1035 §4.2.2 framing) when the response comes
+// back truncated.
+type UDPExchanger struct {
+	Server  string        // host:port
+	Timeout time.Duration // per-attempt deadline; default 2s
+	Retries int           // additional attempts; default 2
+	// TCPServer is the address for the truncation fallback; "" disables
+	// it (truncated responses are then returned as-is).
+	TCPServer string
+}
+
+// Exchange implements Exchanger with timeout, retry, and TCP fallback on
+// truncation.
+func (u *UDPExchanger) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	timeout := u.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	attempts := u.Retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	wire, err := dnswire.Encode(q)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := u.once(ctx, wire, q.Header.ID, timeout)
+		if err == nil {
+			if resp.Header.Truncated && u.TCPServer != "" {
+				return tcpExchange(ctx, u.TCPServer, wire, q.Header.ID, timeout)
+			}
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("resolve: %s: %w", u.Server, lastErr)
+}
+
+// tcpExchange performs one length-prefixed DNS-over-TCP round trip.
+func tcpExchange(ctx context.Context, addr string, wire []byte, id uint16, timeout time.Duration) (*dnswire.Message, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("resolve: tcp fallback dial: %w", err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(timeout)
+	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
+		deadline = ctxDeadline
+	}
+	conn.SetDeadline(deadline)
+	out := make([]byte, 2+len(wire))
+	out[0], out[1] = byte(len(wire)>>8), byte(len(wire))
+	copy(out[2:], wire)
+	if _, err := conn.Write(out); err != nil {
+		return nil, fmt.Errorf("resolve: tcp fallback write: %w", err)
+	}
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("resolve: tcp fallback read: %w", err)
+	}
+	buf := make([]byte, int(lenBuf[0])<<8|int(lenBuf[1]))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return nil, fmt.Errorf("resolve: tcp fallback read: %w", err)
+	}
+	resp, err := dnswire.Decode(buf)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.ID != id || !resp.Header.Response {
+		return nil, fmt.Errorf("%w: mismatched TCP response", ErrProto)
+	}
+	return resp, nil
+}
+
+// ErrProto covers malformed exchanges.
+var ErrProto = errors.New("resolve: protocol error")
+
+func (u *UDPExchanger) once(ctx context.Context, wire []byte, id uint16, timeout time.Duration) (*dnswire.Message, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "udp", u.Server)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(timeout)
+	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
+		deadline = ctxDeadline
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := dnswire.Decode(buf[:n])
+		if err != nil {
+			continue // garbage datagram; keep waiting for ours
+		}
+		if resp.Header.ID != id || !resp.Header.Response {
+			continue // mismatched transaction
+		}
+		return resp, nil
+	}
+}
+
+// Lookup errors.
+var (
+	// ErrNXDomain indicates the name does not exist.
+	ErrNXDomain = errors.New("resolve: NXDOMAIN")
+	// ErrNoData indicates the name exists but has no records of the type.
+	ErrNoData = errors.New("resolve: no data")
+	// ErrServFail covers SERVFAIL/REFUSED and malformed responses.
+	ErrServFail = errors.New("resolve: server failure")
+)
+
+// MX is one mail exchange with its preference.
+type MX struct {
+	Host       string
+	Preference uint16
+}
+
+type cacheKey struct {
+	name string
+	typ  dnswire.Type
+}
+
+type cacheEntry struct {
+	answers []dnswire.RR
+	err     error
+	expires time.Time
+}
+
+// Resolver is a caching stub resolver.
+type Resolver struct {
+	exchanger Exchanger
+	now       func() time.Time
+	rng       *rand.Rand
+
+	mu       sync.Mutex
+	cache    map[cacheKey]cacheEntry
+	inflight map[cacheKey]*inflightLookup
+
+	// stats
+	hits, misses int64
+}
+
+// inflightLookup coalesces concurrent queries for the same key
+// (single-flight): one goroutine asks the network, the rest wait.
+type inflightLookup struct {
+	done    chan struct{}
+	answers []dnswire.RR
+	err     error
+}
+
+// Option configures a Resolver.
+type Option func(*Resolver)
+
+// WithClock substitutes the time source (for virtual-time tests).
+func WithClock(now func() time.Time) Option {
+	return func(r *Resolver) { r.now = now }
+}
+
+// WithSeed makes query-ID generation deterministic.
+func WithSeed(seed int64) Option {
+	return func(r *Resolver) { r.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New creates a Resolver over ex.
+func New(ex Exchanger, opts ...Option) *Resolver {
+	r := &Resolver{
+		exchanger: ex,
+		now:       time.Now,
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+		cache:     make(map[cacheKey]cacheEntry),
+		inflight:  make(map[cacheKey]*inflightLookup),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// CacheStats returns cache hits and misses so far.
+func (r *Resolver) CacheStats() (hits, misses int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hits, r.misses
+}
+
+// negativeTTL bounds how long NXDOMAIN/NODATA results are cached.
+const negativeTTL = 60 * time.Second
+
+// lookup performs a cached query for (name, type).
+func (r *Resolver) lookup(ctx context.Context, name string, typ dnswire.Type) ([]dnswire.RR, error) {
+	name = strings.ToLower(strings.TrimSuffix(name, "."))
+	key := cacheKey{name, typ}
+
+	r.mu.Lock()
+	if ent, ok := r.cache[key]; ok && r.now().Before(ent.expires) {
+		r.hits++
+		r.mu.Unlock()
+		return ent.answers, ent.err
+	}
+	if fl, ok := r.inflight[key]; ok {
+		// Someone is already asking: wait for their answer (counted as a
+		// hit — no extra network round trip happened).
+		r.hits++
+		r.mu.Unlock()
+		select {
+		case <-fl.done:
+			return fl.answers, fl.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	r.misses++
+	fl := &inflightLookup{done: make(chan struct{})}
+	r.inflight[key] = fl
+	id := uint16(r.rng.Intn(1 << 16))
+	r.mu.Unlock()
+
+	finish := func(answers []dnswire.RR, err error) {
+		fl.answers, fl.err = answers, err
+		r.mu.Lock()
+		delete(r.inflight, key)
+		r.mu.Unlock()
+		close(fl.done)
+	}
+
+	q := dnswire.NewQuery(id, name, typ)
+	resp, err := r.exchanger.Exchange(ctx, q)
+	if err != nil {
+		finish(nil, err)
+		return nil, err // transport errors are not cached
+	}
+
+	var answers []dnswire.RR
+	var lookupErr error
+	switch resp.Header.RCode {
+	case dnswire.RCodeNoError:
+		for _, rr := range resp.Answers {
+			if rr.Type == typ && dnswire.Equal(rr.Name, name) {
+				answers = append(answers, rr)
+			}
+		}
+		if len(answers) == 0 {
+			lookupErr = ErrNoData
+		}
+	case dnswire.RCodeNXDomain:
+		lookupErr = ErrNXDomain
+	default:
+		err := fmt.Errorf("%w: %s for %s/%s", ErrServFail, resp.Header.RCode, name, typ)
+		finish(nil, err)
+		return nil, err
+	}
+
+	ttl := negativeTTL
+	if len(answers) > 0 {
+		min := answers[0].TTL
+		for _, rr := range answers {
+			if rr.TTL < min {
+				min = rr.TTL
+			}
+		}
+		ttl = time.Duration(min) * time.Second
+	}
+	r.mu.Lock()
+	r.cache[key] = cacheEntry{answers: answers, err: lookupErr, expires: r.now().Add(ttl)}
+	r.mu.Unlock()
+	finish(answers, lookupErr)
+	return answers, lookupErr
+}
+
+// LookupA returns the IPv4 addresses of name.
+func (r *Resolver) LookupA(ctx context.Context, name string) ([]string, error) {
+	rrs, err := r.lookup(ctx, name, dnswire.TypeA)
+	if err != nil {
+		return nil, err
+	}
+	ips := make([]string, len(rrs))
+	for i, rr := range rrs {
+		ips[i] = dnswire.FormatIP(rr.IP)
+	}
+	return ips, nil
+}
+
+// LookupMX returns the MX set of name sorted by preference.
+func (r *Resolver) LookupMX(ctx context.Context, name string) ([]MX, error) {
+	rrs, err := r.lookup(ctx, name, dnswire.TypeMX)
+	if err != nil {
+		return nil, err
+	}
+	mxs := make([]MX, len(rrs))
+	for i, rr := range rrs {
+		mxs[i] = MX{Host: rr.Exchange, Preference: rr.Preference}
+	}
+	sort.Slice(mxs, func(i, j int) bool {
+		if mxs[i].Preference != mxs[j].Preference {
+			return mxs[i].Preference < mxs[j].Preference
+		}
+		return mxs[i].Host < mxs[j].Host
+	})
+	return mxs, nil
+}
+
+// MailHosts resolves where mail for domain should be delivered, per
+// RFC 5321 §5.1: the MX set in preference order, or — when no MX exists —
+// the domain itself as an "implicit MX" if it has an A record. The second
+// return distinguishes explicit MX routing from the implicit fallback,
+// which Section 5.1 of the paper tracks separately.
+func (r *Resolver) MailHosts(ctx context.Context, domain string) (hosts []string, implicit bool, err error) {
+	mxs, err := r.LookupMX(ctx, domain)
+	switch {
+	case err == nil:
+		hosts = make([]string, len(mxs))
+		for i, mx := range mxs {
+			hosts[i] = mx.Host
+		}
+		return hosts, false, nil
+	case errors.Is(err, ErrNoData):
+		// fall through to implicit MX
+	case errors.Is(err, ErrNXDomain):
+		return nil, false, err
+	default:
+		return nil, false, err
+	}
+	if _, aerr := r.LookupA(ctx, domain); aerr != nil {
+		if errors.Is(aerr, ErrNoData) || errors.Is(aerr, ErrNXDomain) {
+			return nil, false, fmt.Errorf("%w: no MX or A record for %s", ErrNoData, domain)
+		}
+		return nil, false, aerr
+	}
+	return []string{strings.ToLower(strings.TrimSuffix(domain, "."))}, true, nil
+}

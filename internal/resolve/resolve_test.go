@@ -1,0 +1,330 @@
+package resolve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"sync"
+
+	"repro/internal/dnsserve"
+	"repro/internal/dnswire"
+)
+
+// inproc adapts a dnsserve.Server to an Exchanger without sockets.
+func inproc(srv *dnsserve.Server) Exchanger {
+	return ExchangerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		return srv.Answer(q), nil
+	})
+}
+
+func testServer() *dnsserve.Server {
+	store := dnsserve.NewStore()
+	store.Put(dnsserve.TypoZone("gmial.com", dnswire.IPv4(10, 0, 0, 1)))
+	// A domain with A record but no MX: the implicit-MX case.
+	z := dnsserve.NewZone("anook.com")
+	z.Add("@", dnswire.RR{Type: dnswire.TypeA, IP: dnswire.IPv4(10, 0, 0, 2)})
+	store.Put(z)
+	// A domain with neither MX nor A at apex.
+	empty := dnsserve.NewZone("barren.com")
+	empty.Add("www", dnswire.RR{Type: dnswire.TypeA, IP: dnswire.IPv4(10, 0, 0, 3)})
+	store.Put(empty)
+	return dnsserve.NewServer(store)
+}
+
+func TestLookupMXSorted(t *testing.T) {
+	store := dnsserve.NewStore()
+	z := dnsserve.NewZone("multi.com")
+	z.Add("@", dnswire.RR{Type: dnswire.TypeMX, Preference: 20, Exchange: "mx2.multi.com"})
+	z.Add("@", dnswire.RR{Type: dnswire.TypeMX, Preference: 10, Exchange: "mx1.multi.com"})
+	z.Add("@", dnswire.RR{Type: dnswire.TypeMX, Preference: 20, Exchange: "mx0.multi.com"})
+	store.Put(z)
+	r := New(inproc(dnsserve.NewServer(store)), WithSeed(1))
+	mxs, err := r.LookupMX(context.Background(), "multi.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"mx1.multi.com", "mx0.multi.com", "mx2.multi.com"}
+	for i, w := range want {
+		if mxs[i].Host != w {
+			t.Errorf("mx[%d] = %q, want %q", i, mxs[i].Host, w)
+		}
+	}
+}
+
+func TestMailHostsExplicitMX(t *testing.T) {
+	r := New(inproc(testServer()), WithSeed(1))
+	hosts, implicit, err := r.MailHosts(context.Background(), "gmial.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicit {
+		t.Error("explicit MX reported as implicit")
+	}
+	if len(hosts) != 1 || hosts[0] != "gmial.com" {
+		t.Errorf("hosts = %v", hosts)
+	}
+}
+
+func TestMailHostsImplicitMX(t *testing.T) {
+	// RFC 5321 fallback: no MX record -> deliver to the A record.
+	r := New(inproc(testServer()), WithSeed(1))
+	hosts, implicit, err := r.MailHosts(context.Background(), "anook.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !implicit {
+		t.Error("implicit MX not flagged")
+	}
+	if len(hosts) != 1 || hosts[0] != "anook.com" {
+		t.Errorf("hosts = %v", hosts)
+	}
+}
+
+func TestMailHostsNoRecords(t *testing.T) {
+	r := New(inproc(testServer()), WithSeed(1))
+	_, _, err := r.MailHosts(context.Background(), "barren.com")
+	if !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestLookupAWildcard(t *testing.T) {
+	r := New(inproc(testServer()), WithSeed(1))
+	ips, err := r.LookupA(context.Background(), "anything.gmial.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ips) != 1 || ips[0] != "10.0.0.1" {
+		t.Errorf("ips = %v", ips)
+	}
+}
+
+func TestCaching(t *testing.T) {
+	calls := 0
+	srv := testServer()
+	ex := ExchangerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		calls++
+		return srv.Answer(q), nil
+	})
+	now := time.Date(2016, 6, 4, 0, 0, 0, 0, time.UTC)
+	r := New(ex, WithSeed(1), WithClock(func() time.Time { return now }))
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := r.LookupA(ctx, "gmial.com"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("exchanger calls = %d, want 1 (cache)", calls)
+	}
+	hits, misses := r.CacheStats()
+	if hits != 4 || misses != 1 {
+		t.Errorf("cache stats = %d/%d, want 4/1", hits, misses)
+	}
+	// TTL expiry: Table 1 TTL is 300s.
+	now = now.Add(301 * time.Second)
+	if _, err := r.LookupA(ctx, "gmial.com"); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("exchanger calls after TTL = %d, want 2", calls)
+	}
+}
+
+func TestNegativeCaching(t *testing.T) {
+	calls := 0
+	srv := testServer()
+	ex := ExchangerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		calls++
+		return srv.Answer(q), nil
+	})
+	now := time.Date(2016, 6, 4, 0, 0, 0, 0, time.UTC)
+	r := New(ex, WithSeed(1), WithClock(func() time.Time { return now }))
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := r.LookupMX(ctx, "anook.com"); !errors.Is(err, ErrNoData) {
+			t.Fatalf("err = %v, want ErrNoData", err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("negative answers not cached: %d calls", calls)
+	}
+}
+
+func TestNXDomainFromUnknownZone(t *testing.T) {
+	// Queries outside any zone draw REFUSED, which surfaces as ErrServFail.
+	r := New(inproc(testServer()), WithSeed(1))
+	_, err := r.LookupA(context.Background(), "unregistered-name.com")
+	if !errors.Is(err, ErrServFail) {
+		t.Errorf("err = %v, want ErrServFail", err)
+	}
+}
+
+func TestNXDomainInsideZone(t *testing.T) {
+	store := dnsserve.NewStore()
+	z := dnsserve.NewZone("nowild.com")
+	z.Add("@", dnswire.RR{Type: dnswire.TypeA, IP: dnswire.IPv4(1, 2, 3, 4)})
+	store.Put(z)
+	r := New(inproc(dnsserve.NewServer(store)), WithSeed(1))
+	_, err := r.LookupA(context.Background(), "sub.nowild.com")
+	if !errors.Is(err, ErrNXDomain) {
+		t.Errorf("err = %v, want ErrNXDomain", err)
+	}
+}
+
+func TestUDPExchangerEndToEnd(t *testing.T) {
+	srv := testServer()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	bound := make(chan net.Addr, 1)
+	go srv.ListenAndServe(ctx, "127.0.0.1:0", bound)
+	addr := (<-bound).String()
+
+	r := New(&UDPExchanger{Server: addr, Timeout: time.Second}, WithSeed(7))
+	hosts, implicit, err := r.MailHosts(context.Background(), "gmial.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicit || len(hosts) != 1 || hosts[0] != "gmial.com" {
+		t.Errorf("MailHosts over UDP = %v, %v", hosts, implicit)
+	}
+}
+
+func TestUDPExchangerTimeout(t *testing.T) {
+	// A socket nobody answers on.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	r := New(&UDPExchanger{Server: pc.LocalAddr().String(), Timeout: 50 * time.Millisecond, Retries: 1}, WithSeed(7))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := r.LookupA(ctx, "gmial.com"); err == nil {
+		t.Error("expected timeout error")
+	}
+}
+
+func TestExchangeErrorNotCached(t *testing.T) {
+	calls := 0
+	failing := ExchangerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		calls++
+		return nil, errors.New("network down")
+	})
+	r := New(failing, WithSeed(1))
+	ctx := context.Background()
+	r.LookupA(ctx, "x.com")
+	r.LookupA(ctx, "x.com")
+	if calls != 2 {
+		t.Errorf("transport errors must not be cached: %d calls", calls)
+	}
+}
+
+func TestSingleFlightCoalescing(t *testing.T) {
+	// N concurrent lookups of one cold name must produce exactly one
+	// network exchange.
+	var mu sync.Mutex
+	calls := 0
+	srv := testServer()
+	slow := ExchangerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		time.Sleep(50 * time.Millisecond) // widen the race window
+		return srv.Answer(q), nil
+	})
+	r := New(slow, WithSeed(3))
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.LookupA(context.Background(), "gmial.com"); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Errorf("network exchanges = %d, want 1 (single-flight)", calls)
+	}
+}
+
+func TestSingleFlightErrorPropagates(t *testing.T) {
+	boom := errors.New("network down")
+	failing := ExchangerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		time.Sleep(20 * time.Millisecond)
+		return nil, boom
+	})
+	r := New(failing, WithSeed(4))
+	var wg sync.WaitGroup
+	results := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := r.LookupA(context.Background(), "x.com")
+			results <- err
+		}()
+	}
+	wg.Wait()
+	close(results)
+	for err := range results {
+		if !errors.Is(err, boom) {
+			t.Fatalf("waiter got %v, want the leader's error", err)
+		}
+	}
+}
+
+func TestTCPFallbackInPackage(t *testing.T) {
+	// A zone big enough to truncate over UDP.
+	store := dnsserve.NewStore()
+	z := dnsserve.NewZone("big.com")
+	for i := 0; i < 40; i++ {
+		z.Add("@", dnswire.RR{
+			Type: dnswire.TypeMX, Preference: uint16(i),
+			Exchange: fmt.Sprintf("an-mx-host-with-a-deliberately-long-name-%02d.hosting.example", i),
+		})
+	}
+	store.Put(z)
+	srv := dnsserve.NewServer(store)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ub, tb := make(chan net.Addr, 1), make(chan net.Addr, 1)
+	go srv.ListenAndServe(ctx, "127.0.0.1:0", ub)
+	go srv.ListenAndServeTCP(ctx, "127.0.0.1:0", tb)
+	udpAddr, tcpAddr := (<-ub).String(), (<-tb).String()
+
+	r := New(&UDPExchanger{Server: udpAddr, TCPServer: tcpAddr, Timeout: 2 * time.Second}, WithSeed(5))
+	mxs, err := r.LookupMX(context.Background(), "big.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mxs) != 40 {
+		t.Errorf("TCP fallback delivered %d answers, want 40", len(mxs))
+	}
+
+	// A dead TCP fallback address surfaces an error rather than silently
+	// returning the clipped answer.
+	deadLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := deadLn.Addr().String()
+	deadLn.Close()
+	r2 := New(&UDPExchanger{Server: udpAddr, TCPServer: dead, Timeout: 300 * time.Millisecond, Retries: 0}, WithSeed(6))
+	if _, err := r2.LookupMX(context.Background(), "big.com"); err == nil {
+		t.Error("dead TCP fallback succeeded")
+	}
+}

@@ -1,0 +1,33 @@
+package sanitize
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRedact asserts the two safety properties on arbitrary input: the
+// output never contains a high-value identifier the scanner can still
+// find with live digits, and redaction is idempotent.
+func FuzzRedact(f *testing.F) {
+	f.Add("Amex 371385129301004 Exp 06/03")
+	f.Add("ssn 078-05-1120 password: hunter2 call 412-268-5000")
+	f.Add("plain text, nothing here")
+	f.Add("username: alice@gmail.com Pittsburgh, PA 15213")
+	s := New("fuzz-salt")
+	f.Fuzz(func(t *testing.T, text string) {
+		once, _ := s.Redact(text)
+		twice, _ := s.Redact(once)
+		if once != twice {
+			t.Fatalf("not idempotent:\n%q\n%q", once, twice)
+		}
+		for _, finding := range Scan(once) {
+			switch finding.Kind {
+			case KindCreditCard, KindSSN, KindEIN, KindVIN:
+				if strings.ContainsAny(finding.Match, "123456789") &&
+					!strings.Contains(finding.Match, "*_|R|_*") {
+					t.Fatalf("%s %q survived redaction of %q", finding.Kind, finding.Match, text)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,489 @@
+// Package sanitize implements the study's sensitive-information filter
+// (Section 4.2.2, Figure 2): regular-expression detection of personal
+// identifiers — with the HIPAA identifier list as the baseline — followed
+// by redaction. Matches are replaced by salted hashes wrapped in the
+// *_|R|_* sentinel visible in the paper's Figure 2, and as an added
+// precaution every remaining digit is replaced by a zero before storage.
+//
+// The same detectors drive two analyses: Table 2 (precision/sensitivity
+// of each detector against a labeled corpus) and Figure 6 (which kinds of
+// sensitive information each typo domain receives).
+package sanitize
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Kind identifies a category of sensitive information (Table 2 rows).
+type Kind string
+
+// The Table 2 identifier categories.
+const (
+	KindCreditCard Kind = "creditcard"
+	KindSSN        Kind = "ssn"
+	KindEIN        Kind = "ein"
+	KindPassword   Kind = "password"
+	KindVIN        Kind = "vin"
+	KindUsername   Kind = "username"
+	KindZip        Kind = "zip"
+	KindIDNumber   Kind = "idnumber"
+	KindEmail      Kind = "email"
+	KindPhone      Kind = "phone"
+	KindDate       Kind = "date"
+)
+
+// AllKinds lists every detector in Table 2's order.
+func AllKinds() []Kind {
+	return []Kind{
+		KindCreditCard, KindSSN, KindEIN, KindPassword, KindVIN,
+		KindUsername, KindZip, KindIDNumber, KindEmail, KindPhone, KindDate,
+	}
+}
+
+// Finding is one detected identifier.
+type Finding struct {
+	Kind  Kind
+	Match string
+	Start int // byte offset in the scanned text
+	End   int
+	Label string // redaction label; for credit cards this is the brand
+}
+
+// detector pairs a regex with semantic validation.
+type detector struct {
+	kind Kind
+	re   *regexp.Regexp
+	// validate may reject a syntactic match; nil accepts all. It returns
+	// the redaction label.
+	validate func(groups []string) (string, bool)
+	// group selects which capture group is the sensitive span; 0 = whole.
+	group int
+}
+
+var detectors = buildDetectors()
+
+func buildDetectors() []detector {
+	return []detector{
+		{
+			kind: KindEmail,
+			re:   regexp.MustCompile(`[A-Za-z0-9._%+\-]+@[A-Za-z0-9.\-]+\.[A-Za-z]{2,}`),
+			validate: func([]string) (string, bool) {
+				return "email", true
+			},
+		},
+		{
+			kind: KindCreditCard,
+			re:   regexp.MustCompile(`\b(?:\d[ \-]?){13,19}\b`),
+			validate: func(groups []string) (string, bool) {
+				digits := digitsOnly(groups[0])
+				if len(digits) < 13 || len(digits) > 19 || !luhnValid(digits) {
+					return "", false
+				}
+				// All zeros passes Luhn trivially — and is exactly what the
+				// digit-zeroing redaction step leaves behind. Not a card.
+				if strings.Trim(digits, "0") == "" {
+					return "", false
+				}
+				return CardBrand(digits), true
+			},
+		},
+		{
+			kind: KindSSN,
+			re:   regexp.MustCompile(`\b(\d{3})-(\d{2})-(\d{4})\b`),
+			validate: func(groups []string) (string, bool) {
+				area := groups[1]
+				if area == "000" || area == "666" || area >= "900" {
+					return "", false
+				}
+				if groups[2] == "00" || groups[3] == "0000" {
+					return "", false
+				}
+				return "ssn", true
+			},
+		},
+		{
+			kind: KindEIN,
+			re:   regexp.MustCompile(`\b(\d{2})-(\d{7})\b`),
+			validate: func(groups []string) (string, bool) {
+				return "ein", true
+			},
+		},
+		{
+			kind:  KindPassword,
+			re:    regexp.MustCompile(`(?i)\b(?:password|passwd|pwd|passphrase)\s*(?:is|:|=)?\s*(\S{3,})`),
+			group: 1,
+			validate: func(groups []string) (string, bool) {
+				if strings.Contains(groups[1], redactSentinel) {
+					return "", false // already-redacted value
+				}
+				// Reject prose continuations ("password reset", "password for").
+				switch strings.ToLower(strings.Trim(groups[1], ".,;!?")) {
+				case "reset", "for", "and", "was", "has", "will", "must", "should",
+					"change", "changed", "protected", "required", "policy", "the", "your":
+					return "", false
+				}
+				return "password", true
+			},
+		},
+		{
+			kind: KindVIN,
+			re:   regexp.MustCompile(`\b[A-HJ-NPR-Za-hj-npr-z0-9]{17}\b`),
+			validate: func(groups []string) (string, bool) {
+				if !vinValid(strings.ToUpper(groups[0])) {
+					return "", false
+				}
+				return "vin", true
+			},
+		},
+		{
+			kind:  KindUsername,
+			re:    regexp.MustCompile(`(?i)\b(?:username|user name|login|user id|userid)\s*(?:is|:|=)?\s*(\S{2,})`),
+			group: 1,
+			validate: func(groups []string) (string, bool) {
+				if strings.Contains(groups[1], redactSentinel) {
+					return "", false // already-redacted value
+				}
+				switch strings.ToLower(strings.Trim(groups[1], ".,;!?")) {
+				case "and", "or", "for", "is", "was", "will", "the", "your":
+					return "", false
+				}
+				return "username", true
+			},
+		},
+		{
+			kind: KindZip,
+			// Context-anchored: either "zip[code]: 12345" or a state
+			// abbreviation before it ("Pittsburgh, PA 15213[-1234]").
+			re:    regexp.MustCompile(`(?i)(?:\bzip(?:\s*code)?\s*(?:is|:|=)?\s*|,\s*[A-Z]{2}\s+)(\d{5}(?:-\d{4})?)\b`),
+			group: 1,
+			validate: func(groups []string) (string, bool) {
+				return "zip", true
+			},
+		},
+		{
+			kind:  KindIDNumber,
+			re:    regexp.MustCompile(`(?i)\b(?:id|identification|member|account|case|employee|record|mrn|policy)\s*(?:number|num|no\.?|#)?\s*(?:is|:|=)\s*([A-Za-z0-9\-]{4,})`),
+			group: 1,
+			validate: func(groups []string) (string, bool) {
+				if strings.Contains(groups[1], redactSentinel) {
+					return "", false // already-redacted value
+				}
+				return "idnumber", true
+			},
+		},
+		{
+			kind: KindPhone,
+			re:   regexp.MustCompile(`(?:\+?1[\-. ]?)?(?:\(\d{3}\)\s?|\d{3}[\-. ])\d{3}[\-. ]\d{4}\b`),
+			validate: func(groups []string) (string, bool) {
+				return "phone", true
+			},
+		},
+		{
+			kind: KindDate,
+			re: regexp.MustCompile(`(?i)\b(?:\d{1,2}[/\-]\d{1,2}[/\-]\d{2,4}` +
+				`|\d{4}-\d{2}-\d{2}` +
+				`|(?:jan|feb|mar|apr|may|jun|jul|aug|sep|oct|nov|dec)[a-z]*\.?\s+\d{1,2}(?:st|nd|rd|th)?,?\s+\d{4})\b`),
+			validate: func(groups []string) (string, bool) {
+				return "date", true
+			},
+		},
+	}
+}
+
+// Scan detects all sensitive identifiers in text. Overlapping findings of
+// different kinds are all reported (an email address inside a username
+// assignment is both); identical spans of the same kind are deduplicated.
+func Scan(text string) []Finding {
+	var out []Finding
+	seen := make(map[string]bool)
+	for _, d := range detectors {
+		for _, idx := range d.re.FindAllStringSubmatchIndex(text, -1) {
+			groups := submatchStrings(text, idx)
+			label, ok := "", true
+			if d.validate != nil {
+				label, ok = d.validate(groups)
+			}
+			if !ok {
+				continue
+			}
+			gs, ge := idx[2*d.group], idx[2*d.group+1]
+			key := fmt.Sprintf("%s/%d-%d", d.kind, gs, ge)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, Finding{
+				Kind: d.kind, Match: text[gs:ge], Start: gs, End: ge, Label: label,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Kinds returns the distinct kinds present in findings.
+func Kinds(findings []Finding) []Kind {
+	set := map[Kind]bool{}
+	for _, f := range findings {
+		set[f.Kind] = true
+	}
+	out := make([]Kind, 0, len(set))
+	for _, k := range AllKinds() {
+		if set[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Sanitizer redacts findings using a salted hash, so equal identifiers
+// redact to equal tokens (allowing frequency analysis on redacted data)
+// without being reversible.
+type Sanitizer struct {
+	salt []byte
+}
+
+// New creates a Sanitizer with the given salt. The paper keeps the salt
+// (like the encryption key) off the collection server.
+func New(salt string) *Sanitizer { return &Sanitizer{salt: []byte(salt)} }
+
+// redactSentinel brackets every redaction token (visible in the paper's
+// Figure 2 as *_|R|_*americanexpress*000...*_|R|_*).
+const redactSentinel = "*_|R|_*"
+
+// hashToken returns the redaction token for a match.
+func (s *Sanitizer) hashToken(label, match string) string {
+	h := sha256.New()
+	h.Write(s.salt)
+	h.Write([]byte(match))
+	return fmt.Sprintf("%s%s*%s%s", redactSentinel, label, hex.EncodeToString(h.Sum(nil))[:16], redactSentinel)
+}
+
+// Redact replaces every finding in text with its salted-hash token and
+// then zeroes all remaining digits — the two-step scrubbing of
+// Section 4.2.2. It returns the cleaned text and the findings.
+func (s *Sanitizer) Redact(text string) (string, []Finding) {
+	findings := Scan(text)
+	// Replace back-to-front so offsets stay valid; skip spans contained in
+	// an already-replaced region.
+	type span struct {
+		start, end int
+		token      string
+	}
+	var spans []span
+	covered := func(st, en int) bool {
+		for _, sp := range spans {
+			if st < sp.end && en > sp.start {
+				return true
+			}
+		}
+		return false
+	}
+	// Longer spans first so e.g. the credit card swallows the date-like
+	// fragment inside it.
+	byLen := append([]Finding(nil), findings...)
+	sort.Slice(byLen, func(i, j int) bool {
+		li, lj := byLen[i].End-byLen[i].Start, byLen[j].End-byLen[j].Start
+		if li != lj {
+			return li > lj
+		}
+		return byLen[i].Start < byLen[j].Start
+	})
+	for _, f := range byLen {
+		if covered(f.Start, f.End) {
+			continue
+		}
+		spans = append(spans, span{f.Start, f.End, s.hashToken(f.Label, f.Match)})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].start > spans[j].start })
+	out := text
+	for _, sp := range spans {
+		out = out[:sp.start] + sp.token + out[sp.end:]
+	}
+	out = zeroDigitsOutsideTokens(out)
+	return out, findings
+}
+
+// zeroDigitsOutsideTokens zeroes every digit not inside a *_|R|_* token.
+func zeroDigitsOutsideTokens(text string) string {
+	const sentinel = redactSentinel
+	var sb strings.Builder
+	sb.Grow(len(text))
+	inToken := false
+	for i := 0; i < len(text); i++ {
+		if strings.HasPrefix(text[i:], sentinel) {
+			inToken = !inToken
+			sb.WriteString(sentinel)
+			i += len(sentinel) - 1
+			continue
+		}
+		c := text[i]
+		if !inToken && c >= '0' && c <= '9' {
+			sb.WriteByte('0')
+		} else {
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------
+// Validators
+
+func digitsOnly(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// luhnValid implements the Luhn checksum used by payment cards.
+func luhnValid(digits string) bool {
+	sum := 0
+	double := false
+	for i := len(digits) - 1; i >= 0; i-- {
+		d := int(digits[i] - '0')
+		if double {
+			d *= 2
+			if d > 9 {
+				d -= 9
+			}
+		}
+		sum += d
+		double = !double
+	}
+	return sum%10 == 0
+}
+
+// CardBrand classifies a card number by its issuer prefix — the labels of
+// Figure 6's heatmap rows (mastercard, jcb, dinersclub, ...).
+func CardBrand(digits string) string {
+	switch {
+	case len(digits) == 15 && (strings.HasPrefix(digits, "34") || strings.HasPrefix(digits, "37")):
+		return "americanexpress"
+	case strings.HasPrefix(digits, "4"):
+		return "visa"
+	case len(digits) >= 2 && digits[0] == '5' && digits[1] >= '1' && digits[1] <= '5':
+		return "mastercard"
+	case strings.HasPrefix(digits, "6011") || strings.HasPrefix(digits, "65"):
+		return "discover"
+	case strings.HasPrefix(digits, "35"):
+		return "jcb"
+	case strings.HasPrefix(digits, "300") || strings.HasPrefix(digits, "301") ||
+		strings.HasPrefix(digits, "302") || strings.HasPrefix(digits, "303") ||
+		strings.HasPrefix(digits, "304") || strings.HasPrefix(digits, "305") ||
+		strings.HasPrefix(digits, "36") || strings.HasPrefix(digits, "38"):
+		return "dinersclub"
+	default:
+		return "card"
+	}
+}
+
+// vinTranslit maps VIN characters to their check-digit values.
+var vinTranslit = map[byte]int{
+	'A': 1, 'B': 2, 'C': 3, 'D': 4, 'E': 5, 'F': 6, 'G': 7, 'H': 8,
+	'J': 1, 'K': 2, 'L': 3, 'M': 4, 'N': 5, 'P': 7, 'R': 9,
+	'S': 2, 'T': 3, 'U': 4, 'V': 5, 'W': 6, 'X': 7, 'Y': 8, 'Z': 9,
+	'0': 0, '1': 1, '2': 2, '3': 3, '4': 4, '5': 5, '6': 6, '7': 7, '8': 8, '9': 9,
+}
+
+var vinWeights = []int{8, 7, 6, 5, 4, 3, 2, 10, 0, 9, 8, 7, 6, 5, 4, 3, 2}
+
+// vinValid checks a 17-character VIN's check digit (position 9).
+func vinValid(vin string) bool {
+	if len(vin) != 17 {
+		return false
+	}
+	// All-digit strings are far more likely to be something else.
+	if digitsOnly(vin) == vin {
+		return false
+	}
+	// Long runs of one character never appear in real VINs but do appear
+	// in zero-redacted text, where they would re-trigger detection.
+	run, prev := 1, byte(0)
+	for i := 0; i < len(vin); i++ {
+		if vin[i] == prev {
+			run++
+			if run >= 7 {
+				return false
+			}
+		} else {
+			run, prev = 1, vin[i]
+		}
+	}
+	sum := 0
+	for i := 0; i < 17; i++ {
+		v, ok := vinTranslit[vin[i]]
+		if !ok {
+			return false
+		}
+		sum += v * vinWeights[i]
+	}
+	rem := sum % 11
+	check := byte('0' + rem)
+	if rem == 10 {
+		check = 'X'
+	}
+	return vin[8] == check
+}
+
+// ComputeVINCheckDigit fills in the check digit for a 17-char VIN
+// skeleton, used by the corpus generator to plant valid VINs.
+func ComputeVINCheckDigit(vin string) (string, bool) {
+	if len(vin) != 17 {
+		return "", false
+	}
+	up := strings.ToUpper(vin)
+	sum := 0
+	for i := 0; i < 17; i++ {
+		if i == 8 {
+			continue
+		}
+		v, ok := vinTranslit[up[i]]
+		if !ok {
+			return "", false
+		}
+		sum += v * vinWeights[i]
+	}
+	rem := sum % 11
+	check := byte('0' + rem)
+	if rem == 10 {
+		check = 'X'
+	}
+	return up[:8] + string(check) + up[9:], true
+}
+
+// LuhnComplete appends the Luhn check digit to a partial card number,
+// for the corpus generator.
+func LuhnComplete(partial string) string {
+	for d := byte('0'); d <= '9'; d++ {
+		cand := partial + string(d)
+		if luhnValid(cand) {
+			return cand
+		}
+	}
+	return partial + "0" // unreachable: some digit always satisfies Luhn
+}
+
+func submatchStrings(text string, idx []int) []string {
+	out := make([]string, len(idx)/2)
+	for i := 0; i < len(idx); i += 2 {
+		if idx[i] >= 0 {
+			out[i/2] = text[idx[i]:idx[i+1]]
+		}
+	}
+	return out
+}

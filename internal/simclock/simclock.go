@@ -1,0 +1,222 @@
+// Package simclock provides a deterministic simulated clock and a
+// discrete-event scheduler.
+//
+// The paper's first experiment spans June 4, 2016 – January 15, 2017
+// (225 days). Re-running a seven-month collection in wall time is
+// impossible, so the study is driven off a virtual clock: every email
+// arrival, infrastructure outage and probe is an event with a virtual
+// timestamp, processed in order. The collection window and the yearly
+// normalization y = x * 365/d from Section 4.4 live here too.
+package simclock
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// CollectionStart and CollectionEnd bound the paper's passive collection
+// experiment (Section 4).
+var (
+	CollectionStart = time.Date(2016, 6, 4, 0, 0, 0, 0, time.UTC)
+	CollectionEnd   = time.Date(2017, 1, 15, 0, 0, 0, 0, time.UTC)
+)
+
+// CollectionDays is the length of the paper's collection window in days.
+func CollectionDays() int {
+	return int(CollectionEnd.Sub(CollectionStart) / (24 * time.Hour))
+}
+
+// Annualize projects a count x observed over d days to a full year,
+// exactly as Section 4.4 does: y = x * 365/d. It returns 0 when d <= 0.
+func Annualize(x float64, d int) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return x * 365 / float64(d)
+}
+
+// Clock is a monotone virtual clock.
+type Clock struct {
+	now time.Time
+}
+
+// NewClock returns a clock starting at t.
+func NewClock(t time.Time) *Clock { return &Clock{now: t} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time { return c.now }
+
+// Advance moves the clock forward by d. It panics on negative d: virtual
+// time, like real time, only moves forward.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic("simclock: negative advance")
+	}
+	c.now = c.now.Add(d)
+}
+
+// AdvanceTo moves the clock to t if t is not in the past.
+func (c *Clock) AdvanceTo(t time.Time) error {
+	if t.Before(c.now) {
+		return fmt.Errorf("simclock: cannot move clock backwards from %v to %v", c.now, t)
+	}
+	c.now = t
+	return nil
+}
+
+// Event is a scheduled action in virtual time.
+type Event struct {
+	At   time.Time
+	Name string
+	Run  func(now time.Time)
+
+	seq int // tiebreaker preserving scheduling order
+}
+
+// ErrStopped is returned by Scheduler.Run when execution was stopped by a
+// handler calling Stop.
+var ErrStopped = errors.New("simclock: scheduler stopped")
+
+// Scheduler executes events in virtual-time order against a Clock.
+// It is single-goroutine by design: determinism beats parallelism for a
+// reproducible measurement study.
+type Scheduler struct {
+	clock   *Clock
+	pq      eventQueue
+	nextSeq int
+	stopped bool
+	ran     int
+}
+
+// NewScheduler returns a scheduler over clock.
+func NewScheduler(clock *Clock) *Scheduler {
+	return &Scheduler{clock: clock}
+}
+
+// Clock returns the scheduler's clock.
+func (s *Scheduler) Clock() *Clock { return s.clock }
+
+// At schedules fn to run at absolute virtual time t. Events scheduled in
+// the past of the virtual clock are rejected.
+func (s *Scheduler) At(t time.Time, name string, fn func(now time.Time)) error {
+	if t.Before(s.clock.Now()) {
+		return fmt.Errorf("simclock: event %q at %v is before now %v", name, t, s.clock.Now())
+	}
+	ev := &Event{At: t, Name: name, Run: fn, seq: s.nextSeq}
+	s.nextSeq++
+	heap.Push(&s.pq, ev)
+	return nil
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, name string, fn func(now time.Time)) error {
+	return s.At(s.clock.Now().Add(d), name, fn)
+}
+
+// Stop aborts the run loop after the current event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return s.pq.Len() }
+
+// Executed returns the number of events run so far.
+func (s *Scheduler) Executed() int { return s.ran }
+
+// Run executes events in timestamp order until the queue drains or the
+// virtual clock would pass `until`. Events may schedule further events.
+func (s *Scheduler) Run(until time.Time) error {
+	s.stopped = false
+	for s.pq.Len() > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		ev := s.pq.peek()
+		if ev.At.After(until) {
+			return nil
+		}
+		heap.Pop(&s.pq)
+		if err := s.clock.AdvanceTo(ev.At); err != nil {
+			return err
+		}
+		ev.Run(s.clock.Now())
+		s.ran++
+	}
+	return nil
+}
+
+// RunAll executes every queued event regardless of horizon.
+func (s *Scheduler) RunAll() error {
+	return s.Run(time.Date(9999, 1, 1, 0, 0, 0, 0, time.UTC))
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].At.Equal(q[j].At) {
+		return q[i].At.Before(q[j].At)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*Event)) }
+func (q eventQueue) peek() *Event  { return q[0] }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// DaySeries accumulates per-day counts over a window, the backbone of the
+// daily time-series figures (Figures 3 and 4).
+type DaySeries struct {
+	Start  time.Time
+	Counts []float64
+}
+
+// NewDaySeries creates a series of `days` days starting at start
+// (truncated to midnight UTC).
+func NewDaySeries(start time.Time, days int) *DaySeries {
+	return &DaySeries{Start: start.Truncate(24 * time.Hour), Counts: make([]float64, days)}
+}
+
+// Add adds n to the day containing t. Out-of-window timestamps are
+// silently dropped, mirroring how the paper discards data outside the
+// collection window.
+func (ds *DaySeries) Add(t time.Time, n float64) {
+	if t.Before(ds.Start) {
+		return
+	}
+	d := int(t.Sub(ds.Start) / (24 * time.Hour))
+	if d >= len(ds.Counts) {
+		return
+	}
+	ds.Counts[d] += n
+}
+
+// Day returns the date of index i.
+func (ds *DaySeries) Day(i int) time.Time { return ds.Start.Add(time.Duration(i) * 24 * time.Hour) }
+
+// Total returns the sum over all days.
+func (ds *DaySeries) Total() float64 {
+	var s float64
+	for _, c := range ds.Counts {
+		s += c
+	}
+	return s
+}
+
+// ZeroSpan zeroes days [from, to) — used to model the collection gaps the
+// paper reports when its infrastructure was overwhelmed.
+func (ds *DaySeries) ZeroSpan(from, to int) {
+	for i := from; i < to && i < len(ds.Counts); i++ {
+		if i >= 0 {
+			ds.Counts[i] = 0
+		}
+	}
+}

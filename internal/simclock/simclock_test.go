@@ -1,0 +1,165 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCollectionWindow(t *testing.T) {
+	if got := CollectionDays(); got != 225 {
+		t.Errorf("CollectionDays = %d, want 225", got)
+	}
+}
+
+func TestAnnualize(t *testing.T) {
+	tests := []struct {
+		x    float64
+		d    int
+		want float64
+	}{
+		{365, 365, 365},
+		{100, 0, 0},
+		{100, -3, 0},
+		{225, 225, 365},
+		{1, 1, 365},
+	}
+	for _, tc := range tests {
+		if got := Annualize(tc.x, tc.d); got != tc.want {
+			t.Errorf("Annualize(%v, %d) = %v, want %v", tc.x, tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(CollectionStart)
+	c.Advance(36 * time.Hour)
+	want := CollectionStart.Add(36 * time.Hour)
+	if !c.Now().Equal(want) {
+		t.Errorf("Now = %v, want %v", c.Now(), want)
+	}
+	if err := c.AdvanceTo(CollectionStart); err == nil {
+		t.Error("AdvanceTo(past) should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Advance(negative) should panic")
+		}
+	}()
+	c.Advance(-time.Second)
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	clock := NewClock(CollectionStart)
+	s := NewScheduler(clock)
+	var order []string
+	add := func(offset time.Duration, name string) {
+		if err := s.After(offset, name, func(time.Time) { order = append(order, name) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(3*time.Hour, "c")
+	add(1*time.Hour, "a")
+	add(2*time.Hour, "b")
+	add(1*time.Hour, "a2") // same timestamp as "a": scheduling order preserved
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "a2", "b", "c"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Executed() != 4 {
+		t.Errorf("Executed = %d, want 4", s.Executed())
+	}
+}
+
+func TestSchedulerHorizon(t *testing.T) {
+	clock := NewClock(CollectionStart)
+	s := NewScheduler(clock)
+	ran := 0
+	s.After(time.Hour, "in", func(time.Time) { ran++ })
+	s.After(48*time.Hour, "out", func(time.Time) { ran++ })
+	if err := s.Run(CollectionStart.Add(24 * time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1 (horizon respected)", ran)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestSchedulerSelfScheduling(t *testing.T) {
+	clock := NewClock(CollectionStart)
+	s := NewScheduler(clock)
+	count := 0
+	var tick func(now time.Time)
+	tick = func(now time.Time) {
+		count++
+		if count < 5 {
+			s.After(time.Hour, "tick", tick)
+		}
+	}
+	s.After(time.Hour, "tick", tick)
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	want := CollectionStart.Add(5 * time.Hour)
+	if !clock.Now().Equal(want) {
+		t.Errorf("clock = %v, want %v", clock.Now(), want)
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	clock := NewClock(CollectionStart)
+	s := NewScheduler(clock)
+	ran := 0
+	s.After(time.Hour, "a", func(time.Time) { ran++; s.Stop() })
+	s.After(2*time.Hour, "b", func(time.Time) { ran++ })
+	if err := s.RunAll(); err != ErrStopped {
+		t.Fatalf("Run error = %v, want ErrStopped", err)
+	}
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1", ran)
+	}
+}
+
+func TestSchedulerRejectsPast(t *testing.T) {
+	clock := NewClock(CollectionStart)
+	s := NewScheduler(clock)
+	if err := s.At(CollectionStart.Add(-time.Minute), "past", func(time.Time) {}); err == nil {
+		t.Error("scheduling in the past should fail")
+	}
+}
+
+func TestDaySeries(t *testing.T) {
+	ds := NewDaySeries(CollectionStart, 10)
+	ds.Add(CollectionStart, 1)
+	ds.Add(CollectionStart.Add(3*time.Hour), 2)
+	ds.Add(CollectionStart.Add(24*time.Hour), 5)
+	ds.Add(CollectionStart.Add(-time.Hour), 100)      // before window
+	ds.Add(CollectionStart.Add(10*24*time.Hour), 100) // after window
+	if ds.Counts[0] != 3 || ds.Counts[1] != 5 {
+		t.Errorf("counts = %v", ds.Counts[:2])
+	}
+	if ds.Total() != 8 {
+		t.Errorf("Total = %v, want 8", ds.Total())
+	}
+	if !ds.Day(1).Equal(CollectionStart.Add(24 * time.Hour)) {
+		t.Errorf("Day(1) = %v", ds.Day(1))
+	}
+	ds.ZeroSpan(0, 2)
+	if ds.Total() != 0 {
+		t.Errorf("Total after ZeroSpan = %v, want 0", ds.Total())
+	}
+	ds.ZeroSpan(-5, 100) // must not panic out of range
+}

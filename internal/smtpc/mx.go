@@ -1,0 +1,58 @@
+package smtpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+
+	"repro/internal/resolve"
+)
+
+// MXResolver is the lookup interface SendViaMX needs; *resolve.Resolver
+// implements it.
+type MXResolver interface {
+	MailHosts(ctx context.Context, domain string) (hosts []string, implicit bool, err error)
+}
+
+var _ MXResolver = (*resolve.Resolver)(nil)
+
+// SendViaMX delivers like a real MTA: resolve where the recipient
+// domain's mail goes (MX set in preference order, or the implicit-MX A
+// fallback of RFC 5321), then try each host on the given port until one
+// accepts. Host-to-address mapping goes through the client's Dialer, so
+// simulated internets can route "gmial.com:25" wherever they like.
+//
+// All recipients must share one domain (split mixed-domain sends by
+// domain first). The returned error classifies with Classify; resolution
+// failures surface as ErrNetwork.
+func (c *Client) SendViaMX(ctx context.Context, r MXResolver, domain string, port int, from string, rcpts []string, data []byte) error {
+	if port <= 0 {
+		port = PortSMTP
+	}
+	hosts, _, err := r.MailHosts(ctx, domain)
+	if err != nil {
+		if errors.Is(err, resolve.ErrNXDomain) || errors.Is(err, resolve.ErrNoData) {
+			return fmt.Errorf("%w: no mail route for %s: %v", ErrBounce, domain, err)
+		}
+		return fmt.Errorf("%w: resolving %s: %v", ErrNetwork, domain, err)
+	}
+	var lastErr error
+	for _, host := range hosts {
+		addr := net.JoinHostPort(host, fmt.Sprintf("%d", port))
+		err := c.Send(ctx, addr, ModePlain, from, rcpts, data)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		// Permanent rejections don't improve by trying a lower-preference
+		// host (the mailbox doesn't exist anywhere).
+		if errors.Is(err, ErrBounce) {
+			return err
+		}
+	}
+	if lastErr == nil {
+		return fmt.Errorf("%w: empty MX set for %s", ErrBounce, domain)
+	}
+	return lastErr
+}

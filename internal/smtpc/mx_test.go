@@ -1,0 +1,138 @@
+package smtpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dnsserve"
+	"repro/internal/dnswire"
+	"repro/internal/resolve"
+	"repro/internal/smtpd"
+)
+
+// mxHarness builds a DNS zone with two MX hosts, two SMTP servers (the
+// preferred one configurable), and a Client whose Dialer maps MX host
+// names to the live listeners.
+type mxHarness struct {
+	resolver *resolve.Resolver
+	client   *Client
+	primary  func() []*smtpd.Envelope
+	backup   func() []*smtpd.Envelope
+	stop     func()
+}
+
+func newMXHarness(t *testing.T, primaryBehavior smtpd.ConnAction) *mxHarness {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+
+	start := func(name string, behavior smtpd.ConnAction) (string, func() []*smtpd.Envelope) {
+		var got []*smtpd.Envelope
+		cfg := smtpd.Config{
+			Hostname: name,
+			Deliver:  func(e *smtpd.Envelope) error { got = append(got, e); return nil },
+		}
+		if behavior != smtpd.ActProceed {
+			cfg.Behavior = func(string) smtpd.ConnAction { return behavior }
+		}
+		srv, err := smtpd.NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := make(chan net.Addr, 1)
+		go srv.ListenAndServe(ctx, "127.0.0.1:0", bound)
+		t.Cleanup(srv.Close)
+		return (<-bound).String(), func() []*smtpd.Envelope { return got }
+	}
+	primaryAddr, primaryGot := start("mx1.gmial.com", primaryBehavior)
+	backupAddr, backupGot := start("mx2.gmial.com", smtpd.ActProceed)
+
+	store := dnsserve.NewStore()
+	z := dnsserve.NewZone("gmial.com")
+	z.Add("@", dnswire.RR{Type: dnswire.TypeMX, Preference: 10, Exchange: "mx1.gmial.com"})
+	z.Add("@", dnswire.RR{Type: dnswire.TypeMX, Preference: 20, Exchange: "mx2.gmial.com"})
+	store.Put(z)
+	srv := dnsserve.NewServer(store)
+	r := resolve.New(resolve.ExchangerFunc(
+		func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+			return srv.Answer(q), nil
+		}), resolve.WithSeed(1))
+
+	hostToAddr := map[string]string{"mx1.gmial.com": primaryAddr, "mx2.gmial.com": backupAddr}
+	client := &Client{
+		Timeout: 500 * time.Millisecond,
+		Dialer: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			host, _, err := net.SplitHostPort(addr)
+			if err != nil {
+				return nil, err
+			}
+			real, ok := hostToAddr[host]
+			if !ok {
+				return nil, fmt.Errorf("no route to %s", host)
+			}
+			var d net.Dialer
+			return d.DialContext(ctx, network, real)
+		},
+	}
+	return &mxHarness{resolver: r, client: client, primary: primaryGot, backup: backupGot, stop: cancel}
+}
+
+func TestSendViaMXPrefersPrimary(t *testing.T) {
+	h := newMXHarness(t, smtpd.ActProceed)
+	defer h.stop()
+	err := h.client.SendViaMX(context.Background(), h.resolver, "gmial.com", 25,
+		"a@b.com", []string{"x@gmial.com"}, testMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.primary()) != 1 || len(h.backup()) != 0 {
+		t.Errorf("deliveries = %d/%d, want primary only", len(h.primary()), len(h.backup()))
+	}
+}
+
+func TestSendViaMXFallsBackOnFailure(t *testing.T) {
+	h := newMXHarness(t, smtpd.ActDrop) // primary resets connections
+	defer h.stop()
+	err := h.client.SendViaMX(context.Background(), h.resolver, "gmial.com", 25,
+		"a@b.com", []string{"x@gmial.com"}, testMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.backup()) != 1 {
+		t.Errorf("backup deliveries = %d, want 1", len(h.backup()))
+	}
+}
+
+func TestSendViaMXStopsOnBounce(t *testing.T) {
+	h := newMXHarness(t, smtpd.ActRejectAll)
+	defer h.stop()
+	err := h.client.SendViaMX(context.Background(), h.resolver, "gmial.com", 25,
+		"a@b.com", []string{"x@gmial.com"}, testMessage())
+	if !errors.Is(err, ErrBounce) {
+		t.Fatalf("err = %v, want ErrBounce", err)
+	}
+	// A 550 is permanent: the backup host must not have been bothered.
+	if len(h.backup()) != 0 {
+		t.Errorf("backup tried after a permanent rejection")
+	}
+}
+
+func TestSendViaMXUnresolvable(t *testing.T) {
+	h := newMXHarness(t, smtpd.ActProceed)
+	defer h.stop()
+	err := h.client.SendViaMX(context.Background(), h.resolver, "no-such-zone.example", 25,
+		"a@b.com", []string{"x@no-such-zone.example"}, testMessage())
+	if err == nil {
+		t.Fatal("unresolvable domain accepted")
+	}
+	if out := Classify(err); out != OutcomeNetworkError && out != OutcomeBounce {
+		t.Errorf("Classify = %v", out)
+	}
+	if !strings.Contains(err.Error(), "no-such-zone.example") {
+		t.Errorf("error lacks domain context: %v", err)
+	}
+}

@@ -1,0 +1,380 @@
+// Package smtpc implements the SMTP client side of the study: delivery of
+// simulated user email to collection servers, and the honey-email probes
+// of Section 7 which classify each attempt into the Table 5 taxonomy —
+// no error, bounce, timeout, network error, or other error — across the
+// three submission ports (25 plain, 465 implicit TLS, 587 STARTTLS).
+package smtpc
+
+import (
+	"bufio"
+	"context"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Outcome is the Table 5 classification of one delivery attempt.
+type Outcome int
+
+// Outcomes in Table 5's row order.
+const (
+	OutcomeOK Outcome = iota
+	OutcomeBounce
+	OutcomeTimeout
+	OutcomeNetworkError
+	OutcomeOtherError
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "no error"
+	case OutcomeBounce:
+		return "bounce"
+	case OutcomeTimeout:
+		return "timeout"
+	case OutcomeNetworkError:
+		return "network error"
+	default:
+		return "other error"
+	}
+}
+
+// Ports probed by the honey-email experiment.
+const (
+	PortSMTP       = 25
+	PortSMTPS      = 465
+	PortSubmission = 587
+)
+
+// Errors the client can return; use errors.Is to classify.
+var (
+	ErrBounce  = errors.New("smtpc: recipient rejected")
+	ErrTimeout = errors.New("smtpc: timeout")
+	ErrNetwork = errors.New("smtpc: network error")
+	ErrProto   = errors.New("smtpc: protocol error")
+)
+
+// Classify maps an error from Send to a Table 5 outcome.
+func Classify(err error) Outcome {
+	switch {
+	case err == nil:
+		return OutcomeOK
+	case errors.Is(err, ErrBounce):
+		return OutcomeBounce
+	case errors.Is(err, ErrTimeout):
+		return OutcomeTimeout
+	case errors.Is(err, ErrNetwork):
+		return OutcomeNetworkError
+	default:
+		return OutcomeOtherError
+	}
+}
+
+// Mode selects the transport for a delivery attempt.
+type Mode int
+
+// Transport modes matching the probe's three ports.
+const (
+	ModePlain    Mode = iota // port 25, no TLS
+	ModeTLS                  // port 465, implicit TLS
+	ModeSTARTTLS             // port 587 (or 25), opportunistic STARTTLS
+)
+
+// Client sends email over SMTP.
+type Client struct {
+	// HelloName is announced in EHLO; defaults to "client.invalid".
+	HelloName string
+	// Timeout bounds dial and each protocol step. Default 10s.
+	Timeout time.Duration
+	// TLSConfig is used for ModeTLS/ModeSTARTTLS; nil gets
+	// InsecureSkipVerify (typo domains never have valid certs).
+	TLSConfig *tls.Config
+	// Dialer allows tests and the simulated internet to intercept dialing.
+	// nil uses net.Dialer.
+	Dialer func(ctx context.Context, network, addr string) (net.Conn, error)
+}
+
+// Send delivers data (RFC 5322 bytes) from `from` to the recipients via
+// the given host:port using mode. The error, if any, classifies with
+// Classify.
+func (c *Client) Send(ctx context.Context, addr string, mode Mode, from string, rcpts []string, data []byte) error {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	hello := c.HelloName
+	if hello == "" {
+		hello = "client.invalid"
+	}
+
+	dial := c.Dialer
+	if dial == nil {
+		d := &net.Dialer{Timeout: timeout}
+		dial = d.DialContext
+	}
+	dctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	conn, err := dial(dctx, "tcp", addr)
+	if err != nil {
+		return wrapNetErr(err)
+	}
+	defer conn.Close()
+	// Closing the raw connection unblocks any read, including through TLS
+	// layers stacked on top of it later.
+	rawConn := conn
+	stopCancel := context.AfterFunc(ctx, func() { rawConn.Close() })
+	defer stopCancel()
+
+	if mode == ModeTLS {
+		tconn := tls.Client(conn, c.tlsConfig(addr))
+		hctx, hcancel := context.WithTimeout(ctx, timeout)
+		err := tconn.HandshakeContext(hctx)
+		hcancel()
+		if err != nil {
+			return fmt.Errorf("%w: TLS handshake: %v", ErrNetwork, err)
+		}
+		conn = tconn
+	}
+
+	t := &textConn{conn: conn, r: bufio.NewReader(conn), timeout: timeout}
+
+	code, msg, err := t.readReply()
+	if err != nil {
+		return err
+	}
+	if code != 220 {
+		return fmt.Errorf("%w: greeting %d %s", ErrOtherFor(code), code, msg)
+	}
+
+	ehloCode, ehloLines, err := t.cmdMulti("EHLO " + hello)
+	if err != nil {
+		return err
+	}
+	if ehloCode != 250 {
+		// Fall back to HELO for ancient servers.
+		if code, msg, err = t.cmd("HELO " + hello); err != nil {
+			return err
+		} else if code != 250 {
+			return fmt.Errorf("%w: HELO rejected: %d %s", ErrProto, code, msg)
+		}
+		ehloLines = nil
+	}
+
+	if mode == ModeSTARTTLS {
+		if !hasExt(ehloLines, "STARTTLS") {
+			return fmt.Errorf("%w: server does not advertise STARTTLS", ErrProto)
+		}
+		if code, msg, err = t.cmd("STARTTLS"); err != nil {
+			return err
+		}
+		if code != 220 {
+			return fmt.Errorf("%w: STARTTLS refused: %d %s", ErrProto, code, msg)
+		}
+		tconn := tls.Client(conn, c.tlsConfig(addr))
+		hctx, hcancel := context.WithTimeout(ctx, timeout)
+		herr := tconn.HandshakeContext(hctx)
+		hcancel()
+		if herr != nil {
+			return fmt.Errorf("%w: TLS handshake: %v", ErrNetwork, herr)
+		}
+		conn = tconn
+		t.conn = tconn
+		t.r = bufio.NewReader(tconn)
+		if code, _, err = t.cmdMultiCode("EHLO " + hello); err != nil {
+			return err
+		} else if code != 250 {
+			return fmt.Errorf("%w: post-TLS EHLO rejected", ErrProto)
+		}
+	}
+
+	if code, msg, err = t.cmd("MAIL FROM:<" + from + ">"); err != nil {
+		return err
+	} else if code != 250 {
+		return fmt.Errorf("%w: MAIL FROM rejected: %d %s", ErrOtherFor(code), code, msg)
+	}
+
+	accepted := 0
+	var lastRcptErr error
+	for _, rcpt := range rcpts {
+		code, msg, err = t.cmd("RCPT TO:<" + rcpt + ">")
+		if err != nil {
+			return err
+		}
+		if code >= 200 && code < 300 {
+			accepted++
+		} else {
+			lastRcptErr = fmt.Errorf("%w: %s: %d %s", ErrBounce, rcpt, code, msg)
+		}
+	}
+	if accepted == 0 {
+		if lastRcptErr != nil {
+			return lastRcptErr
+		}
+		return fmt.Errorf("%w: no recipients accepted", ErrBounce)
+	}
+
+	if code, msg, err = t.cmd("DATA"); err != nil {
+		return err
+	} else if code != 354 {
+		return fmt.Errorf("%w: DATA rejected: %d %s", ErrOtherFor(code), code, msg)
+	}
+	if err := t.writeData(data); err != nil {
+		return err
+	}
+	if code, msg, err = t.readReply(); err != nil {
+		return err
+	} else if code != 250 {
+		return fmt.Errorf("%w: message rejected: %d %s", ErrOtherFor(code), code, msg)
+	}
+
+	t.cmd("QUIT") // best-effort
+	return nil
+}
+
+func (c *Client) tlsConfig(addr string) *tls.Config {
+	if c.TLSConfig != nil {
+		return c.TLSConfig
+	}
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		host = addr
+	}
+	return &tls.Config{ServerName: host, InsecureSkipVerify: true}
+}
+
+// ErrOtherFor maps an SMTP status code to the bounce or other-error class.
+func ErrOtherFor(code int) error {
+	if code >= 500 && code < 560 {
+		return ErrBounce
+	}
+	return ErrProto
+}
+
+func wrapNetErr(err error) error {
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	return fmt.Errorf("%w: %v", ErrNetwork, err)
+}
+
+type textConn struct {
+	conn    net.Conn
+	r       *bufio.Reader
+	timeout time.Duration
+}
+
+func (t *textConn) cmd(line string) (int, string, error) {
+	if err := t.writeLine(line); err != nil {
+		return 0, "", err
+	}
+	return t.readReply()
+}
+
+func (t *textConn) cmdMulti(line string) (int, []string, error) {
+	if err := t.writeLine(line); err != nil {
+		return 0, nil, err
+	}
+	return t.readMultiReply()
+}
+
+func (t *textConn) cmdMultiCode(line string) (int, string, error) {
+	code, lines, err := t.cmdMulti(line)
+	msg := ""
+	if len(lines) > 0 {
+		msg = lines[0]
+	}
+	return code, msg, err
+}
+
+func (t *textConn) writeLine(line string) error {
+	t.conn.SetWriteDeadline(time.Now().Add(t.timeout))
+	_, err := t.conn.Write([]byte(line + "\r\n"))
+	if err != nil {
+		return wrapNetErr(err)
+	}
+	return nil
+}
+
+// readReply reads a (possibly multiline) reply and returns its code and
+// final text.
+func (t *textConn) readReply() (int, string, error) {
+	code, lines, err := t.readMultiReply()
+	msg := ""
+	if len(lines) > 0 {
+		msg = lines[len(lines)-1]
+	}
+	return code, msg, err
+}
+
+func (t *textConn) readMultiReply() (int, []string, error) {
+	var lines []string
+	for {
+		t.conn.SetReadDeadline(time.Now().Add(t.timeout))
+		raw, err := t.r.ReadString('\n')
+		if err != nil {
+			return 0, nil, wrapNetErr(err)
+		}
+		raw = strings.TrimRight(raw, "\r\n")
+		if len(raw) < 4 {
+			if len(raw) == 3 { // bare "250"
+				code, cerr := strconv.Atoi(raw)
+				if cerr != nil {
+					return 0, nil, fmt.Errorf("%w: malformed reply %q", ErrProto, raw)
+				}
+				return code, lines, nil
+			}
+			return 0, nil, fmt.Errorf("%w: malformed reply %q", ErrProto, raw)
+		}
+		code, cerr := strconv.Atoi(raw[:3])
+		if cerr != nil {
+			return 0, nil, fmt.Errorf("%w: malformed reply %q", ErrProto, raw)
+		}
+		lines = append(lines, raw[4:])
+		if raw[3] == ' ' {
+			return code, lines, nil
+		}
+		if raw[3] != '-' {
+			return 0, nil, fmt.Errorf("%w: malformed separator in %q", ErrProto, raw)
+		}
+	}
+}
+
+// writeData sends a DATA payload with dot-stuffing and the terminator.
+func (t *textConn) writeData(data []byte) error {
+	t.conn.SetWriteDeadline(time.Now().Add(t.timeout))
+	var b strings.Builder
+	lines := strings.Split(strings.ReplaceAll(string(data), "\r\n", "\n"), "\n")
+	for i, line := range lines {
+		if i == len(lines)-1 && line == "" {
+			break
+		}
+		if strings.HasPrefix(line, ".") {
+			b.WriteByte('.')
+		}
+		b.WriteString(line)
+		b.WriteString("\r\n")
+	}
+	b.WriteString(".\r\n")
+	if _, err := t.conn.Write([]byte(b.String())); err != nil {
+		return wrapNetErr(err)
+	}
+	return nil
+}
+
+func hasExt(lines []string, ext string) bool {
+	for _, l := range lines {
+		if strings.HasPrefix(strings.ToUpper(l), ext) {
+			return true
+		}
+	}
+	return false
+}

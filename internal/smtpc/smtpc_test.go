@@ -1,0 +1,311 @@
+package smtpc
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mailmsg"
+	"repro/internal/smtpd"
+)
+
+func startServer(t *testing.T, cfg smtpd.Config) (string, func() []*smtpd.Envelope, func()) {
+	t.Helper()
+	var mu sync.Mutex
+	var got []*smtpd.Envelope
+	if cfg.Deliver == nil {
+		cfg.Deliver = func(e *smtpd.Envelope) error {
+			mu.Lock()
+			defer mu.Unlock()
+			got = append(got, e)
+			return nil
+		}
+	}
+	srv, err := smtpd.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	bound := make(chan net.Addr, 1)
+	done := make(chan struct{})
+	go func() { defer close(done); srv.ListenAndServe(ctx, "127.0.0.1:0", bound) }()
+	addr := (<-bound).String()
+	return addr, func() []*smtpd.Envelope {
+			mu.Lock()
+			defer mu.Unlock()
+			return append([]*smtpd.Envelope(nil), got...)
+		}, func() {
+			cancel()
+			srv.Close()
+			<-done
+		}
+}
+
+func testMessage() []byte {
+	return mailmsg.NewBuilder("alice@gmail.com", "bob@gmial.com", "typo test").
+		Body("hello over the wire\n").Build().Bytes()
+}
+
+func TestSendPlain(t *testing.T) {
+	addr, envs, stop := startServer(t, smtpd.Config{Hostname: "gmial.com"})
+	defer stop()
+	c := &Client{HelloName: "laptop.local", Timeout: 3 * time.Second}
+	err := c.Send(context.Background(), addr, ModePlain, "alice@gmail.com", []string{"bob@gmial.com"}, testMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := envs()
+	if len(got) != 1 {
+		t.Fatalf("delivered = %d", len(got))
+	}
+	if got[0].MailFrom != "alice@gmail.com" || got[0].HelloName != "laptop.local" {
+		t.Errorf("envelope = %+v", got[0])
+	}
+	if got[0].TLS {
+		t.Error("plain delivery marked TLS")
+	}
+	if !strings.Contains(string(got[0].Data), "hello over the wire") {
+		t.Errorf("data = %q", got[0].Data)
+	}
+	if Classify(err) != OutcomeOK {
+		t.Errorf("Classify(nil) = %v", Classify(err))
+	}
+}
+
+func TestSendSTARTTLS(t *testing.T) {
+	tlsCfg, err := smtpd.SelfSignedTLS("gmial.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, envs, stop := startServer(t, smtpd.Config{Hostname: "gmial.com", TLS: tlsCfg})
+	defer stop()
+	c := &Client{Timeout: 3 * time.Second}
+	err = c.Send(context.Background(), addr, ModeSTARTTLS, "a@b.com", []string{"c@gmial.com"}, testMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := envs()
+	if len(got) != 1 || !got[0].TLS {
+		t.Fatalf("TLS delivery not recorded: %+v", got)
+	}
+}
+
+func TestSendSTARTTLSNotOffered(t *testing.T) {
+	addr, _, stop := startServer(t, smtpd.Config{}) // no TLS config
+	defer stop()
+	c := &Client{Timeout: 2 * time.Second}
+	err := c.Send(context.Background(), addr, ModeSTARTTLS, "a@b.com", []string{"c@d.com"}, testMessage())
+	if err == nil {
+		t.Fatal("STARTTLS against non-TLS server should fail")
+	}
+	if Classify(err) != OutcomeOtherError {
+		t.Errorf("Classify = %v, want other error", Classify(err))
+	}
+}
+
+func TestSendBounce(t *testing.T) {
+	addr, _, stop := startServer(t, smtpd.Config{
+		Behavior: func(string) smtpd.ConnAction { return smtpd.ActRejectAll },
+	})
+	defer stop()
+	c := &Client{Timeout: 2 * time.Second}
+	err := c.Send(context.Background(), addr, ModePlain, "a@b.com", []string{"c@d.com"}, testMessage())
+	if !errors.Is(err, ErrBounce) {
+		t.Fatalf("err = %v, want ErrBounce", err)
+	}
+	if Classify(err) != OutcomeBounce {
+		t.Errorf("Classify = %v, want bounce", Classify(err))
+	}
+}
+
+func TestSendPartialRcptAccepted(t *testing.T) {
+	addr, envs, stop := startServer(t, smtpd.Config{
+		RcptPolicy: func(rcpt string) error {
+			if strings.HasPrefix(rcpt, "bad@") {
+				return &smtpd.SMTPError{Code: 550, Msg: "no"}
+			}
+			return nil
+		},
+	})
+	defer stop()
+	c := &Client{Timeout: 2 * time.Second}
+	err := c.Send(context.Background(), addr, ModePlain, "a@b.com",
+		[]string{"bad@x.com", "good@x.com"}, testMessage())
+	if err != nil {
+		t.Fatalf("partial acceptance should succeed: %v", err)
+	}
+	got := envs()
+	if len(got) != 1 || len(got[0].Rcpts) != 1 || got[0].Rcpts[0] != "good@x.com" {
+		t.Errorf("envelope = %+v", got)
+	}
+}
+
+func TestSendTimeout(t *testing.T) {
+	addr, _, stop := startServer(t, smtpd.Config{
+		Behavior: func(string) smtpd.ConnAction { return smtpd.ActStall },
+	})
+	defer stop()
+	c := &Client{Timeout: 200 * time.Millisecond}
+	err := c.Send(context.Background(), addr, ModePlain, "a@b.com", []string{"c@d.com"}, testMessage())
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if Classify(err) != OutcomeTimeout {
+		t.Errorf("Classify = %v, want timeout", Classify(err))
+	}
+}
+
+func TestSendNetworkErrorOnDrop(t *testing.T) {
+	addr, _, stop := startServer(t, smtpd.Config{
+		Behavior: func(string) smtpd.ConnAction { return smtpd.ActDrop },
+	})
+	defer stop()
+	c := &Client{Timeout: 2 * time.Second}
+	err := c.Send(context.Background(), addr, ModePlain, "a@b.com", []string{"c@d.com"}, testMessage())
+	if err == nil {
+		t.Fatal("dropped connection should error")
+	}
+	out := Classify(err)
+	if out != OutcomeNetworkError && out != OutcomeTimeout {
+		t.Errorf("Classify = %v, want network error or timeout", out)
+	}
+}
+
+func TestSendConnectionRefused(t *testing.T) {
+	// Grab a port and close it so nothing listens.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	c := &Client{Timeout: time.Second}
+	err = c.Send(context.Background(), addr, ModePlain, "a@b.com", []string{"c@d.com"}, testMessage())
+	if !errors.Is(err, ErrNetwork) {
+		t.Fatalf("err = %v, want ErrNetwork", err)
+	}
+	if Classify(err) != OutcomeNetworkError {
+		t.Errorf("Classify = %v", Classify(err))
+	}
+}
+
+func TestSendTempFailIsOtherError(t *testing.T) {
+	addr, _, stop := startServer(t, smtpd.Config{
+		Behavior: func(string) smtpd.ConnAction { return smtpd.ActTempFail },
+	})
+	defer stop()
+	c := &Client{Timeout: 2 * time.Second}
+	err := c.Send(context.Background(), addr, ModePlain, "a@b.com", []string{"c@d.com"}, testMessage())
+	if err == nil {
+		t.Fatal("421 greeting should error")
+	}
+	if Classify(err) != OutcomeOtherError {
+		t.Errorf("Classify = %v, want other error", Classify(err))
+	}
+}
+
+func TestDotStuffedPayloadSurvives(t *testing.T) {
+	addr, envs, stop := startServer(t, smtpd.Config{})
+	defer stop()
+	body := "first\n.leading dot\n..double dot\nlast\n"
+	msg := mailmsg.NewBuilder("a@b.com", "c@d.com", "dots").Body(body).Build().Bytes()
+	c := &Client{Timeout: 2 * time.Second}
+	if err := c.Send(context.Background(), addr, ModePlain, "a@b.com", []string{"c@d.com"}, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := envs()
+	if len(got) != 1 {
+		t.Fatalf("delivered = %d", len(got))
+	}
+	parsed, err := mailmsg.Parse(got[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{".leading dot", "..double dot"} {
+		if !strings.Contains(parsed.Body, want) {
+			t.Errorf("body lost %q: %q", want, parsed.Body)
+		}
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	outs := map[Outcome]string{
+		OutcomeOK: "no error", OutcomeBounce: "bounce", OutcomeTimeout: "timeout",
+		OutcomeNetworkError: "network error", OutcomeOtherError: "other error",
+	}
+	for o, want := range outs {
+		if got := o.String(); got != want {
+			t.Errorf("Outcome(%d) = %q, want %q", o, got, want)
+		}
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	addr, _, stop := startServer(t, smtpd.Config{
+		Behavior: func(string) smtpd.ConnAction { return smtpd.ActStall },
+	})
+	defer stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(50 * time.Millisecond); cancel() }()
+	c := &Client{Timeout: 10 * time.Second}
+	start := time.Now()
+	err := c.Send(ctx, addr, ModePlain, "a@b.com", []string{"c@d.com"}, testMessage())
+	if err == nil {
+		t.Fatal("canceled send succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation not honored promptly")
+	}
+}
+
+// TestPortMatrix exercises the honey probe's three-port delivery matrix
+// against live servers: 25 plain, 465 implicit TLS, 587 STARTTLS.
+func TestPortMatrix(t *testing.T) {
+	tlsCfg, err := smtpd.SelfSignedTLS("gmial.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, envPlain, stop1 := startServer(t, smtpd.Config{Hostname: "gmial.com"})
+	defer stop1()
+	smtps, envSMTPS, stop2 := startServer(t, smtpd.Config{Hostname: "gmial.com", TLS: tlsCfg, ImplicitTLS: true})
+	defer stop2()
+	starttls, envStart, stop3 := startServer(t, smtpd.Config{Hostname: "gmial.com", TLS: tlsCfg})
+	defer stop3()
+
+	c := &Client{Timeout: 3 * time.Second}
+	msg := testMessage()
+	cases := []struct {
+		name string
+		addr string
+		mode Mode
+		envs func() []*smtpd.Envelope
+		tls  bool
+	}{
+		{"port25-plain", plain, ModePlain, envPlain, false},
+		{"port465-smtps", smtps, ModeTLS, envSMTPS, true},
+		{"port587-starttls", starttls, ModeSTARTTLS, envStart, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := c.Send(context.Background(), tc.addr, tc.mode, "a@b.com", []string{"c@gmial.com"}, msg); err != nil {
+				t.Fatal(err)
+			}
+			got := tc.envs()
+			if len(got) != 1 {
+				t.Fatalf("delivered = %d", len(got))
+			}
+			if got[0].TLS != tc.tls {
+				t.Errorf("TLS flag = %v, want %v", got[0].TLS, tc.tls)
+			}
+		})
+	}
+	// Speaking plain SMTP to the SMTPS port must fail, not hang forever.
+	err = c.Send(context.Background(), smtps, ModePlain, "a@b.com", []string{"c@gmial.com"}, msg)
+	if err == nil {
+		t.Error("plaintext to SMTPS port succeeded")
+	}
+}

@@ -1,0 +1,530 @@
+// Package smtpd implements the RFC 5321 server side of the study's
+// collection infrastructure: a catch-all SMTP server that — like the
+// Postfix configuration of Section 4.2.2 — "accepts any email sent to any
+// email address. The username and the domain name can thus both be random
+// strings." It never relays.
+//
+// The same server type also plays the typosquatters' mail exchangers in
+// the honey-email experiment (Section 7), where per-connection behaviors
+// (bounce, stall, drop) reproduce the error taxonomy of Table 5.
+package smtpd
+
+import (
+	"bufio"
+	"context"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Limits mirroring common Postfix defaults.
+const (
+	DefaultMaxSize    = 10 << 20 // message size limit advertised via SIZE
+	DefaultMaxRcpts   = 100
+	DefaultTimeout    = 30 * time.Second
+	maxLineLen        = 2048
+	maxCommandsPerSes = 1000
+)
+
+// Envelope is one received message with its transaction metadata. The
+// collection pipeline keys several analyses off these fields: LocalAddr
+// implements the paper's one-to-one IP-to-domain mapping used to classify
+// SMTP typos ("we have to differentiate domains by IP addresses"), and
+// HelloName feeds Layer 1's relay check.
+type Envelope struct {
+	RemoteAddr string
+	LocalAddr  string
+	HelloName  string
+	MailFrom   string
+	Rcpts      []string
+	Data       []byte
+	TLS        bool
+	Received   time.Time
+}
+
+// ConnAction is what a Behavior tells the server to do with a connection.
+type ConnAction int
+
+// Connection-level behaviors for the honey-probe error taxonomy.
+const (
+	ActProceed   ConnAction = iota // normal service
+	ActDrop                        // close immediately: "network error"
+	ActStall                       // accept then never respond: "timeout"
+	ActRejectAll                   // respond 550 to every RCPT: "bounce"
+	ActTempFail                    // respond 421 and close: "other error"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Hostname is announced in the greeting and EHLO response.
+	Hostname string
+	// MaxSize bounds DATA payloads; 0 means DefaultMaxSize.
+	MaxSize int
+	// MaxRcpts bounds recipients per transaction; 0 means DefaultMaxRcpts.
+	MaxRcpts int
+	// Timeout bounds each read/write; 0 means DefaultTimeout.
+	Timeout time.Duration
+	// TLS enables STARTTLS when non-nil.
+	TLS *tls.Config
+	// ImplicitTLS wraps every accepted connection in TLS immediately —
+	// the SMTPS (port 465) service of the honey probe's port matrix.
+	// Requires TLS to be set.
+	ImplicitTLS bool
+	// Deliver receives each completed envelope. Required.
+	Deliver func(*Envelope) error
+	// RcptPolicy may reject individual recipients. nil accepts all
+	// (catch-all). Return an SMTPError to pick status code and text.
+	RcptPolicy func(rcpt string) error
+	// Behavior decides per-connection handling; nil means ActProceed.
+	Behavior func(remoteAddr string) ConnAction
+	// Clock supplies envelope timestamps; nil means time.Now.
+	Clock func() time.Time
+}
+
+// SMTPError carries a protocol status code and message.
+type SMTPError struct {
+	Code int
+	Msg  string
+}
+
+func (e *SMTPError) Error() string { return fmt.Sprintf("%d %s", e.Code, e.Msg) }
+
+// Server is a catch-all SMTP server.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	listener net.Listener
+	closed   bool
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+
+	nAccepted int64 // envelopes delivered
+	nSessions int64
+}
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("smtpd: server closed")
+
+// NewServer validates cfg and creates a Server.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Deliver == nil {
+		return nil, errors.New("smtpd: Config.Deliver is required")
+	}
+	if cfg.ImplicitTLS && cfg.TLS == nil {
+		return nil, errors.New("smtpd: ImplicitTLS requires Config.TLS")
+	}
+	if cfg.Hostname == "" {
+		cfg.Hostname = "mail.invalid"
+	}
+	if cfg.MaxSize == 0 {
+		cfg.MaxSize = DefaultMaxSize
+	}
+	if cfg.MaxRcpts == 0 {
+		cfg.MaxRcpts = DefaultMaxRcpts
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// ListenAndServe binds addr ("127.0.0.1:0") and serves until ctx ends.
+// The bound address is reported on bound before the accept loop starts.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, bound chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("smtpd: listen %s: %w", addr, err)
+	}
+	if bound != nil {
+		bound <- ln.Addr()
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve accepts connections on ln until ctx is canceled or Close is
+// called.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				s.wg.Wait()
+				return ctx.Err()
+			}
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				s.wg.Wait()
+				return ErrServerClosed
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue
+			}
+			s.wg.Wait()
+			return fmt.Errorf("smtpd: accept: %w", err)
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.nSessions++
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.session(conn)
+		}()
+	}
+}
+
+// Close stops the listener and closes active sessions.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats reports sessions seen and envelopes delivered.
+func (s *Server) Stats() (sessions, delivered int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nSessions, s.nAccepted
+}
+
+// session drives one SMTP conversation.
+func (s *Server) session(conn net.Conn) {
+	action := ActProceed
+	if s.cfg.Behavior != nil {
+		action = s.cfg.Behavior(conn.RemoteAddr().String())
+	}
+	switch action {
+	case ActDrop:
+		return // close without a byte: connection reset from client's view
+	case ActStall:
+		// Hold the connection silently until the peer gives up.
+		io.Copy(io.Discard, conn)
+		return
+	}
+
+	inTLS := false
+	if s.cfg.ImplicitTLS {
+		// SMTPS: the handshake happens before the first protocol byte.
+		tlsConn := tls.Server(conn, s.cfg.TLS)
+		conn.SetDeadline(time.Now().Add(s.cfg.Timeout))
+		if err := tlsConn.HandshakeContext(context.Background()); err != nil {
+			return
+		}
+		conn.SetDeadline(time.Time{})
+		conn = tlsConn
+		inTLS = true
+	}
+
+	c := &sessionConn{
+		conn:    conn,
+		r:       bufio.NewReaderSize(conn, 4096),
+		w:       bufio.NewWriter(conn),
+		timeout: s.cfg.Timeout,
+	}
+
+	if action == ActTempFail {
+		c.reply(421, s.cfg.Hostname+" service not available")
+		return
+	}
+
+	c.reply(220, s.cfg.Hostname+" ESMTP service ready")
+
+	var (
+		helloName string
+		env       *Envelope
+	)
+	resetTxn := func() { env = nil }
+
+	for cmds := 0; cmds < maxCommandsPerSes; cmds++ {
+		line, err := c.readLine()
+		if err != nil {
+			return
+		}
+		verb, arg := splitCommand(line)
+		switch verb {
+		case "HELO":
+			if arg == "" {
+				c.reply(501, "syntax: HELO hostname")
+				continue
+			}
+			helloName = arg
+			resetTxn()
+			c.reply(250, s.cfg.Hostname)
+		case "EHLO":
+			if arg == "" {
+				c.reply(501, "syntax: EHLO hostname")
+				continue
+			}
+			helloName = arg
+			resetTxn()
+			exts := []string{s.cfg.Hostname, fmt.Sprintf("SIZE %d", s.cfg.MaxSize), "8BITMIME", "PIPELINING"}
+			if s.cfg.TLS != nil && !inTLS {
+				exts = append(exts, "STARTTLS")
+			}
+			c.replyMulti(250, exts)
+		case "STARTTLS":
+			if s.cfg.TLS == nil {
+				c.reply(502, "command not implemented")
+				continue
+			}
+			if inTLS {
+				c.reply(503, "already in TLS")
+				continue
+			}
+			c.reply(220, "ready to start TLS")
+			tlsConn := tls.Server(conn, s.cfg.TLS)
+			if err := tlsConn.HandshakeContext(context.Background()); err != nil {
+				return
+			}
+			conn = tlsConn
+			c.conn = tlsConn
+			c.r = bufio.NewReaderSize(tlsConn, 4096)
+			c.w = bufio.NewWriter(tlsConn)
+			inTLS = true
+			helloName = ""
+			resetTxn()
+		case "MAIL":
+			if helloName == "" {
+				c.reply(503, "send HELO/EHLO first")
+				continue
+			}
+			from, perr := parsePath(arg, "FROM")
+			if perr != nil {
+				c.reply(501, perr.Error())
+				continue
+			}
+			env = &Envelope{
+				RemoteAddr: conn.RemoteAddr().String(),
+				LocalAddr:  conn.LocalAddr().String(),
+				HelloName:  helloName,
+				MailFrom:   from,
+				TLS:        inTLS,
+			}
+			c.reply(250, "ok")
+		case "RCPT":
+			if env == nil {
+				c.reply(503, "need MAIL first")
+				continue
+			}
+			rcpt, perr := parsePath(arg, "TO")
+			if perr != nil {
+				c.reply(501, perr.Error())
+				continue
+			}
+			if action == ActRejectAll {
+				c.reply(550, "mailbox unavailable")
+				continue
+			}
+			if len(env.Rcpts) >= s.cfg.MaxRcpts {
+				c.reply(452, "too many recipients")
+				continue
+			}
+			if s.cfg.RcptPolicy != nil {
+				if rerr := s.cfg.RcptPolicy(rcpt); rerr != nil {
+					var serr *SMTPError
+					if errors.As(rerr, &serr) {
+						c.reply(serr.Code, serr.Msg)
+					} else {
+						c.reply(550, "mailbox unavailable")
+					}
+					continue
+				}
+			}
+			env.Rcpts = append(env.Rcpts, rcpt)
+			c.reply(250, "ok")
+		case "DATA":
+			if env == nil || len(env.Rcpts) == 0 {
+				c.reply(503, "need RCPT first")
+				continue
+			}
+			c.reply(354, "end data with <CRLF>.<CRLF>")
+			data, derr := c.readData(s.cfg.MaxSize)
+			if derr != nil {
+				if errors.Is(derr, errTooLarge) {
+					c.reply(552, "message exceeds size limit")
+					resetTxn()
+					continue
+				}
+				return
+			}
+			env.Data = data
+			env.Received = s.cfg.Clock()
+			if err := s.cfg.Deliver(env); err != nil {
+				c.reply(451, "local error in processing")
+			} else {
+				s.mu.Lock()
+				s.nAccepted++
+				s.mu.Unlock()
+				c.reply(250, "ok: queued")
+			}
+			resetTxn()
+		case "RSET":
+			resetTxn()
+			c.reply(250, "ok")
+		case "NOOP":
+			c.reply(250, "ok")
+		case "VRFY":
+			// Catch-all server: everything "exists", but RFC 5321 suggests
+			// the noncommittal 252.
+			c.reply(252, "cannot VRFY user, but will accept message")
+		case "QUIT":
+			c.reply(221, s.cfg.Hostname+" closing connection")
+			return
+		default:
+			c.reply(500, "command not recognized")
+		}
+	}
+	c.reply(421, "too many commands")
+}
+
+var errTooLarge = errors.New("smtpd: message too large")
+
+type sessionConn struct {
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	timeout time.Duration
+}
+
+func (c *sessionConn) readLine() (string, error) {
+	c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+	var sb strings.Builder
+	for {
+		frag, isPrefix, err := c.r.ReadLine()
+		if err != nil {
+			return "", err
+		}
+		sb.Write(frag)
+		if sb.Len() > maxLineLen {
+			return "", errors.New("smtpd: line too long")
+		}
+		if !isPrefix {
+			return sb.String(), nil
+		}
+	}
+}
+
+// readData consumes a DATA payload with dot-stuffing until the
+// terminating "." line.
+func (c *sessionConn) readData(maxSize int) ([]byte, error) {
+	var buf []byte
+	tooLarge := false
+	for {
+		c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		trimmed := strings.TrimRight(line, "\r\n")
+		if trimmed == "." {
+			if tooLarge {
+				return nil, errTooLarge
+			}
+			return buf, nil
+		}
+		if strings.HasPrefix(trimmed, ".") {
+			trimmed = trimmed[1:] // un-stuff
+		}
+		if len(buf)+len(trimmed)+2 > maxSize {
+			tooLarge = true // keep consuming to the terminator
+			continue
+		}
+		buf = append(buf, trimmed...)
+		buf = append(buf, '\r', '\n')
+	}
+}
+
+func (c *sessionConn) reply(code int, msg string) {
+	c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	fmt.Fprintf(c.w, "%d %s\r\n", code, msg)
+	c.w.Flush()
+}
+
+func (c *sessionConn) replyMulti(code int, lines []string) {
+	c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	for i, l := range lines {
+		sep := "-"
+		if i == len(lines)-1 {
+			sep = " "
+		}
+		fmt.Fprintf(c.w, "%d%s%s\r\n", code, sep, l)
+	}
+	c.w.Flush()
+}
+
+func splitCommand(line string) (verb, arg string) {
+	line = strings.TrimSpace(line)
+	i := strings.IndexByte(line, ' ')
+	if i < 0 {
+		return strings.ToUpper(line), ""
+	}
+	return strings.ToUpper(line[:i]), strings.TrimSpace(line[i+1:])
+}
+
+// parsePath extracts the address from "FROM:<a@b>" / "TO:<a@b>" syntax.
+// The null reverse-path "<>" (bounces) is legal for FROM.
+func parsePath(arg, keyword string) (string, error) {
+	upper := strings.ToUpper(arg)
+	prefix := keyword + ":"
+	if !strings.HasPrefix(upper, prefix) {
+		return "", fmt.Errorf("syntax: %s:<address>", keyword)
+	}
+	rest := strings.TrimSpace(arg[len(prefix):])
+	// Strip ESMTP parameters (SIZE=..., BODY=8BITMIME).
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	if !strings.HasPrefix(rest, "<") || !strings.HasSuffix(rest, ">") {
+		return "", fmt.Errorf("syntax: %s:<address>", keyword)
+	}
+	addr := rest[1 : len(rest)-1]
+	if addr == "" && keyword == "FROM" {
+		return "", nil // null reverse-path
+	}
+	if !strings.Contains(addr, "@") {
+		return "", fmt.Errorf("invalid address %q", addr)
+	}
+	return strings.ToLower(addr), nil
+}

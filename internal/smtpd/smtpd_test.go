@@ -1,0 +1,517 @@
+package smtpd
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startServer launches a server and returns its address, the delivered
+// envelopes (behind mu), and a stop function.
+func startServer(t *testing.T, cfg Config) (string, func() []*Envelope, func()) {
+	t.Helper()
+	var mu sync.Mutex
+	var got []*Envelope
+	if cfg.Deliver == nil {
+		cfg.Deliver = func(e *Envelope) error {
+			mu.Lock()
+			defer mu.Unlock()
+			got = append(got, e)
+			return nil
+		}
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	bound := make(chan net.Addr, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ListenAndServe(ctx, "127.0.0.1:0", bound)
+	}()
+	addr := (<-bound).String()
+	stop := func() {
+		cancel()
+		srv.Close()
+		<-done
+	}
+	envs := func() []*Envelope {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]*Envelope(nil), got...)
+	}
+	return addr, envs, stop
+}
+
+// script runs a scripted SMTP dialogue and returns every reply line.
+func script(t *testing.T, addr string, cmds []string) []string {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	r := bufio.NewReader(conn)
+	var replies []string
+	readReply := func() string {
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				t.Fatalf("read: %v (so far %v)", err, replies)
+			}
+			line = strings.TrimRight(line, "\r\n")
+			replies = append(replies, line)
+			if len(line) >= 4 && line[3] == ' ' {
+				return line
+			}
+		}
+	}
+	readReply() // greeting
+	for _, c := range cmds {
+		fmt.Fprintf(conn, "%s\r\n", c)
+		if c == "QUIT" {
+			readReply()
+			break
+		}
+		readReply()
+	}
+	return replies
+}
+
+func TestCatchAllDelivery(t *testing.T) {
+	addr, envs, stop := startServer(t, Config{Hostname: "gmial.com"})
+	defer stop()
+
+	// Random username at random subdomain must be accepted (Section 4.2.2).
+	replies := script(t, addr, []string{
+		"EHLO sender.example.com",
+		"MAIL FROM:<alice@gmail.com>",
+		"RCPT TO:<xyzzy-random@deep.sub.gmial.com>",
+		"DATA",
+		"Subject: hi\r\n\r\nbody line\r\n.",
+		"QUIT",
+	})
+	joined := strings.Join(replies, "\n")
+	if !strings.Contains(joined, "250 ok: queued") {
+		t.Fatalf("delivery not acknowledged:\n%s", joined)
+	}
+	got := envs()
+	if len(got) != 1 {
+		t.Fatalf("delivered = %d", len(got))
+	}
+	e := got[0]
+	if e.MailFrom != "alice@gmail.com" || len(e.Rcpts) != 1 || e.Rcpts[0] != "xyzzy-random@deep.sub.gmial.com" {
+		t.Errorf("envelope = %+v", e)
+	}
+	if e.HelloName != "sender.example.com" {
+		t.Errorf("HelloName = %q", e.HelloName)
+	}
+	if !strings.Contains(string(e.Data), "body line") {
+		t.Errorf("data = %q", e.Data)
+	}
+	if e.LocalAddr == "" || e.RemoteAddr == "" {
+		t.Error("addresses not recorded")
+	}
+	if e.Received.IsZero() {
+		t.Error("timestamp not recorded")
+	}
+}
+
+func TestCommandSequencing(t *testing.T) {
+	addr, _, stop := startServer(t, Config{})
+	defer stop()
+	replies := script(t, addr, []string{
+		"MAIL FROM:<a@b.com>", // before HELO
+		"EHLO x",
+		"RCPT TO:<c@d.com>", // before MAIL
+		"DATA",              // before RCPT
+		"MAIL FROM:<a@b.com>",
+		"DATA", // RCPT missing
+		"NOOP",
+		"RSET",
+		"VRFY someone",
+		"BOGUS",
+		"QUIT",
+	})
+	wantPrefixes := map[string]string{
+		"MAIL before HELO": "503",
+		"RCPT before MAIL": "503",
+	}
+	_ = wantPrefixes
+	joined := strings.Join(replies, "\n")
+	for _, want := range []string{"503 send HELO/EHLO first", "503 need MAIL first", "503 need RCPT first", "252 ", "500 command not recognized", "221 "} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing reply %q in:\n%s", want, joined)
+		}
+	}
+}
+
+func TestEHLOExtensions(t *testing.T) {
+	tlsCfg, err := SelfSignedTLS("gmial.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _, stop := startServer(t, Config{Hostname: "gmial.com", TLS: tlsCfg})
+	defer stop()
+	replies := script(t, addr, []string{"EHLO probe", "QUIT"})
+	joined := strings.Join(replies, "\n")
+	for _, ext := range []string{"SIZE", "8BITMIME", "PIPELINING", "STARTTLS"} {
+		if !strings.Contains(joined, ext) {
+			t.Errorf("EHLO missing %s:\n%s", ext, joined)
+		}
+	}
+}
+
+func TestNoSTARTTLSWithoutConfig(t *testing.T) {
+	addr, _, stop := startServer(t, Config{})
+	defer stop()
+	replies := script(t, addr, []string{"EHLO probe", "STARTTLS", "QUIT"})
+	joined := strings.Join(replies, "\n")
+	if strings.Contains(joined, "250-STARTTLS") || strings.Contains(joined, "250 STARTTLS") {
+		t.Error("STARTTLS advertised without TLS config")
+	}
+	if !strings.Contains(joined, "502") {
+		t.Errorf("STARTTLS should draw 502:\n%s", joined)
+	}
+}
+
+func TestSizeLimit(t *testing.T) {
+	addr, envs, stop := startServer(t, Config{MaxSize: 100})
+	defer stop()
+	big := strings.Repeat("x", 300)
+	replies := script(t, addr, []string{
+		"EHLO x",
+		"MAIL FROM:<a@b.com>",
+		"RCPT TO:<c@d.com>",
+		"DATA",
+		big + "\r\n.",
+		"QUIT",
+	})
+	joined := strings.Join(replies, "\n")
+	if !strings.Contains(joined, "552") {
+		t.Errorf("oversized message not rejected:\n%s", joined)
+	}
+	if len(envs()) != 0 {
+		t.Error("oversized message delivered")
+	}
+}
+
+func TestDotStuffing(t *testing.T) {
+	addr, envs, stop := startServer(t, Config{})
+	defer stop()
+	script(t, addr, []string{
+		"EHLO x",
+		"MAIL FROM:<a@b.com>",
+		"RCPT TO:<c@d.com>",
+		"DATA",
+		"line one\r\n..dotted line\r\n.",
+		"QUIT",
+	})
+	got := envs()
+	if len(got) != 1 {
+		t.Fatalf("delivered = %d", len(got))
+	}
+	if !strings.Contains(string(got[0].Data), "\r\n.dotted line") {
+		t.Errorf("dot-stuffing not undone: %q", got[0].Data)
+	}
+}
+
+func TestNullReversePathAccepted(t *testing.T) {
+	addr, envs, stop := startServer(t, Config{})
+	defer stop()
+	replies := script(t, addr, []string{
+		"EHLO x",
+		"MAIL FROM:<>",
+		"RCPT TO:<c@d.com>",
+		"DATA",
+		"bounce body\r\n.",
+		"QUIT",
+	})
+	if !strings.Contains(strings.Join(replies, "\n"), "250 ok: queued") {
+		t.Fatalf("bounce message rejected:\n%s", strings.Join(replies, "\n"))
+	}
+	if got := envs(); len(got) != 1 || got[0].MailFrom != "" {
+		t.Errorf("envelope = %+v", got)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	addr, _, stop := startServer(t, Config{})
+	defer stop()
+	replies := script(t, addr, []string{
+		"EHLO", // missing arg
+		"HELO", // missing arg
+		"EHLO x",
+		"MAIL FROM:noangle", // missing <>
+		"MAIL FROM:<noat>",  // no @
+		"QUIT",
+	})
+	joined := strings.Join(replies, "\n")
+	if got := strings.Count(joined, "501"); got != 4 {
+		t.Errorf("expected 4 x 501 replies, got %d:\n%s", got, joined)
+	}
+}
+
+func TestRcptPolicy(t *testing.T) {
+	addr, envs, stop := startServer(t, Config{
+		RcptPolicy: func(rcpt string) error {
+			if strings.HasSuffix(rcpt, "@closed.com") {
+				return &SMTPError{Code: 550, Msg: "no such user"}
+			}
+			return nil
+		},
+	})
+	defer stop()
+	replies := script(t, addr, []string{
+		"EHLO x",
+		"MAIL FROM:<a@b.com>",
+		"RCPT TO:<u@closed.com>",
+		"RCPT TO:<u@open.com>",
+		"DATA",
+		"hi\r\n.",
+		"QUIT",
+	})
+	joined := strings.Join(replies, "\n")
+	if !strings.Contains(joined, "550 no such user") {
+		t.Errorf("policy rejection missing:\n%s", joined)
+	}
+	got := envs()
+	if len(got) != 1 || len(got[0].Rcpts) != 1 || got[0].Rcpts[0] != "u@open.com" {
+		t.Errorf("envelope = %+v", got)
+	}
+}
+
+func TestBehaviorRejectAll(t *testing.T) {
+	addr, _, stop := startServer(t, Config{
+		Behavior: func(string) ConnAction { return ActRejectAll },
+	})
+	defer stop()
+	replies := script(t, addr, []string{
+		"EHLO x",
+		"MAIL FROM:<a@b.com>",
+		"RCPT TO:<u@any.com>",
+		"QUIT",
+	})
+	if !strings.Contains(strings.Join(replies, "\n"), "550") {
+		t.Errorf("RejectAll did not bounce:\n%s", strings.Join(replies, "\n"))
+	}
+}
+
+func TestBehaviorTempFail(t *testing.T) {
+	addr, _, stop := startServer(t, Config{
+		Behavior: func(string) ConnAction { return ActTempFail },
+	})
+	defer stop()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "421") {
+		t.Errorf("greeting = %q, want 421", line)
+	}
+}
+
+func TestBehaviorDrop(t *testing.T) {
+	addr, _, stop := startServer(t, Config{
+		Behavior: func(string) ConnAction { return ActDrop },
+	})
+	defer stop()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	if n, err := conn.Read(buf); err == nil {
+		t.Errorf("expected closed connection, read %q", buf[:n])
+	}
+}
+
+func TestDeliverFailure(t *testing.T) {
+	addr, _, stop := startServer(t, Config{
+		Deliver: func(*Envelope) error { return fmt.Errorf("disk full") },
+	})
+	defer stop()
+	replies := script(t, addr, []string{
+		"EHLO x",
+		"MAIL FROM:<a@b.com>",
+		"RCPT TO:<c@d.com>",
+		"DATA",
+		"hi\r\n.",
+		"QUIT",
+	})
+	if !strings.Contains(strings.Join(replies, "\n"), "451") {
+		t.Errorf("Deliver failure should 451:\n%s", strings.Join(replies, "\n"))
+	}
+}
+
+func TestStats(t *testing.T) {
+	srv, err := NewServer(Config{Deliver: func(*Envelope) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	bound := make(chan net.Addr, 1)
+	done := make(chan struct{})
+	go func() { defer close(done); srv.ListenAndServe(ctx, "127.0.0.1:0", bound) }()
+	addr := (<-bound).String()
+	script(t, addr, []string{"EHLO x", "MAIL FROM:<a@b.com>", "RCPT TO:<c@d.com>", "DATA", "x\r\n.", "QUIT"})
+	script(t, addr, []string{"EHLO x", "QUIT"})
+	srv.Close()
+	<-done
+	sessions, delivered := srv.Stats()
+	if sessions != 2 || delivered != 1 {
+		t.Errorf("Stats = %d sessions, %d delivered; want 2, 1", sessions, delivered)
+	}
+}
+
+func TestNewServerRequiresDeliver(t *testing.T) {
+	if _, err := NewServer(Config{}); err == nil {
+		t.Error("NewServer without Deliver should fail")
+	}
+}
+
+func TestMaxRcpts(t *testing.T) {
+	addr, _, stop := startServer(t, Config{MaxRcpts: 2})
+	defer stop()
+	replies := script(t, addr, []string{
+		"EHLO x",
+		"MAIL FROM:<a@b.com>",
+		"RCPT TO:<r1@d.com>",
+		"RCPT TO:<r2@d.com>",
+		"RCPT TO:<r3@d.com>",
+		"QUIT",
+	})
+	if !strings.Contains(strings.Join(replies, "\n"), "452") {
+		t.Errorf("recipient limit not enforced:\n%s", strings.Join(replies, "\n"))
+	}
+}
+
+func TestSelfSignedTLS(t *testing.T) {
+	cfg, err := SelfSignedTLS("gmial.com", "smtp.gmial.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Certificates) != 1 {
+		t.Fatalf("certificates = %d", len(cfg.Certificates))
+	}
+	if _, err := SelfSignedTLS(); err != nil {
+		t.Errorf("no-host cert: %v", err)
+	}
+}
+
+func TestPipelinedCommands(t *testing.T) {
+	// PIPELINING is advertised: a client may batch commands in one write.
+	addr, envs, stop := startServer(t, Config{})
+	defer stop()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	r := bufio.NewReader(conn)
+	readLine := func() string {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		return line
+	}
+	readLine() // greeting
+	// Entire transaction in a single write.
+	fmt.Fprintf(conn, "EHLO burst\r\nMAIL FROM:<a@b.com>\r\nRCPT TO:<c@d.com>\r\nDATA\r\n")
+	// EHLO is multiline; drain until the final "250 " line.
+	for {
+		l := readLine()
+		if strings.HasPrefix(l, "250 ") {
+			break
+		}
+	}
+	for _, want := range []string{"250", "250", "354"} {
+		if l := readLine(); !strings.HasPrefix(l, want) {
+			t.Fatalf("pipelined reply = %q, want prefix %q", l, want)
+		}
+	}
+	fmt.Fprintf(conn, "pipelined body\r\n.\r\nQUIT\r\n")
+	if l := readLine(); !strings.HasPrefix(l, "250") {
+		t.Fatalf("DATA ack = %q", l)
+	}
+	if l := readLine(); !strings.HasPrefix(l, "221") {
+		t.Fatalf("QUIT ack = %q", l)
+	}
+	if got := envs(); len(got) != 1 || !strings.Contains(string(got[0].Data), "pipelined body") {
+		t.Fatalf("envelopes = %+v", got)
+	}
+}
+
+func TestOverlongLineRejected(t *testing.T) {
+	addr, _, stop := startServer(t, Config{})
+	defer stop()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	r := bufio.NewReader(conn)
+	r.ReadString('\n') // greeting
+	fmt.Fprintf(conn, "EHLO %s\r\n", strings.Repeat("x", 5000))
+	// The server must drop the session, not hang or crash.
+	buf := make([]byte, 256)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return // closed: correct
+		}
+	}
+}
+
+func TestCommandFloodCutOff(t *testing.T) {
+	addr, _, stop := startServer(t, Config{})
+	defer stop()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	r := bufio.NewReader(conn)
+	r.ReadString('\n')
+	saw421 := false
+	for i := 0; i < 1100 && !saw421; i++ {
+		fmt.Fprintf(conn, "NOOP\r\n")
+		line, err := r.ReadString('\n')
+		if err != nil {
+			break
+		}
+		if strings.HasPrefix(line, "421") {
+			saw421 = true
+		}
+	}
+	if !saw421 {
+		t.Error("command flood never drew 421")
+	}
+}
+
+func TestImplicitTLSRequiresConfig(t *testing.T) {
+	if _, err := NewServer(Config{ImplicitTLS: true, Deliver: func(*Envelope) error { return nil }}); err == nil {
+		t.Error("ImplicitTLS without TLS config accepted")
+	}
+}

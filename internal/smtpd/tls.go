@@ -1,0 +1,51 @@
+package smtpd
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"math/big"
+	"time"
+)
+
+// SelfSignedTLS generates an in-memory self-signed certificate for the
+// given host names, suitable for the STARTTLS support matrix of Table 4.
+// Typosquatting mail servers overwhelmingly present exactly this kind of
+// certificate — valid TLS, worthless identity — which is why the probe
+// (internal/probe) records "STARTTLS with errors" for them.
+func SelfSignedTLS(hosts ...string) (*tls.Config, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("smtpd: generating key: %w", err)
+	}
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		return nil, fmt.Errorf("smtpd: generating serial: %w", err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber: serial,
+		Subject:      pkix.Name{CommonName: firstOr(hosts, "mail.invalid")},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(365 * 24 * time.Hour),
+		KeyUsage:     x509.KeyUsageKeyEncipherment | x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		DNSNames:     hosts,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("smtpd: creating certificate: %w", err)
+	}
+	cert := tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key}
+	return &tls.Config{Certificates: []tls.Certificate{cert}}, nil
+}
+
+func firstOr(xs []string, def string) string {
+	if len(xs) > 0 {
+		return xs[0]
+	}
+	return def
+}

@@ -1,0 +1,316 @@
+package spamfilter
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/mailmsg"
+)
+
+// Email is one collected message with its envelope metadata. ServerDomain
+// is the registered typo domain whose VPS accepted the message — known
+// from the destination IP, per the paper's one-to-one IP/domain mapping.
+type Email struct {
+	Msg *mailmsg.Message
+
+	ServerDomain   string // our typo domain that received it
+	RcptAddr       string // envelope recipient
+	SenderAddr     string // envelope sender
+	SMTPTypoDomain bool   // domain was registered to catch SMTP typos
+	Received       time.Time
+}
+
+// Verdict is the funnel's final classification of an email.
+type Verdict int
+
+// Verdicts, in funnel order.
+const (
+	VerdictSpamHeader   Verdict = iota // Layer 1: erroneous header fields
+	VerdictSpamArchive                 // Layer 2: ZIP/RAR attachment
+	VerdictSpamScore                   // Layer 2: scorer over threshold
+	VerdictSpamCollab                  // Layer 3: collaborative filtering
+	VerdictReflection                  // Layer 4: reflection typo (automated)
+	VerdictFrequency                   // Layer 5: frequency-filtered
+	VerdictReceiverTypo                // survived: true receiver typo
+	VerdictSMTPTypo                    // survived: true SMTP typo
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictSpamHeader:
+		return "spam:header"
+	case VerdictSpamArchive:
+		return "spam:archive"
+	case VerdictSpamScore:
+		return "spam:score"
+	case VerdictSpamCollab:
+		return "spam:collaborative"
+	case VerdictReflection:
+		return "reflection-typo"
+	case VerdictFrequency:
+		return "frequency-filtered"
+	case VerdictReceiverTypo:
+		return "receiver-typo"
+	case VerdictSMTPTypo:
+		return "smtp-typo"
+	default:
+		return "unknown"
+	}
+}
+
+// IsSpamVerdict reports whether the verdict is one of the spam layers.
+func (v Verdict) IsSpamVerdict() bool {
+	return v == VerdictSpamHeader || v == VerdictSpamArchive ||
+		v == VerdictSpamScore || v == VerdictSpamCollab
+}
+
+// IsTrueTypo reports whether the verdict survived every filter.
+func (v Verdict) IsTrueTypo() bool {
+	return v == VerdictReceiverTypo || v == VerdictSMTPTypo
+}
+
+// Result pairs an email with its verdict.
+type Result struct {
+	Email   *Email
+	Verdict Verdict
+	Layer   int      // 1..5, or 0 for survivors
+	Rules   []string // scorer rule hits, when Layer == 2
+	// FreqOf records, for VerdictFrequency results, what the verdict was
+	// before Layer 5 — the paper needs this to bracket SMTP typo counts
+	// (415 unfiltered vs 5,970 including the frequency-filtered ones).
+	FreqOf Verdict
+}
+
+// Config parameterizes the funnel.
+type Config struct {
+	// OurDomains is the set of registered typo domains.
+	OurDomains map[string]bool
+	// Scorer is the Layer 2 engine; nil gets NewScorer().
+	Scorer *Scorer
+	// Frequency thresholds of Layer 5 (Section 4.3): recipient address 20,
+	// sender address 10, content 10. Zero values get these defaults.
+	RcptThreshold    int
+	SenderThreshold  int
+	ContentThreshold int
+}
+
+// Classifier runs the five-layer funnel. Layers 1–4 are streaming;
+// Layer 5 requires corpus-wide frequencies and runs in Classify.
+type Classifier struct {
+	cfg Config
+
+	// Layer 3 state, accumulated across all domains.
+	spamSenders map[string]bool
+	spamBags    map[string]bool
+}
+
+// NewClassifier creates a funnel over the given registered domains.
+func NewClassifier(cfg Config) *Classifier {
+	if cfg.Scorer == nil {
+		cfg.Scorer = NewScorer()
+	}
+	if cfg.RcptThreshold == 0 {
+		cfg.RcptThreshold = 20
+	}
+	if cfg.SenderThreshold == 0 {
+		cfg.SenderThreshold = 10
+	}
+	if cfg.ContentThreshold == 0 {
+		cfg.ContentThreshold = 10
+	}
+	return &Classifier{
+		cfg:         cfg,
+		spamSenders: make(map[string]bool),
+		spamBags:    make(map[string]bool),
+	}
+}
+
+// registeredSuffix reports whether addr's domain is (a subdomain of) one
+// of our registered domains.
+func (c *Classifier) registeredSuffix(domain string) bool {
+	domain = strings.ToLower(strings.TrimSuffix(domain, "."))
+	for d := domain; d != ""; {
+		if c.cfg.OurDomains[d] {
+			return true
+		}
+		i := strings.IndexByte(d, '.')
+		if i < 0 {
+			break
+		}
+		d = d[i+1:]
+	}
+	return false
+}
+
+// layer1 detects erroneous header fields.
+func (c *Classifier) layer1(e *Email) bool {
+	// The relaying server must be one of our registered domains.
+	if !c.registeredSuffix(e.ServerDomain) {
+		return true
+	}
+	// We never send mail: a sender claiming one of our domains is spam.
+	if d := mailmsg.AddrDomain(e.SenderAddr); d != "" && c.registeredSuffix(d) {
+		return true
+	}
+	if d := mailmsg.AddrDomain(e.Msg.From()); d != "" && c.registeredSuffix(d) {
+		return true
+	}
+	// Receiver/reflection typo email must be addressed to a typo domain
+	// (SMTP typos are addressed to third parties by design).
+	if !e.SMTPTypoDomain {
+		if !c.registeredSuffix(mailmsg.AddrDomain(e.RcptAddr)) {
+			return true
+		}
+	}
+	return false
+}
+
+// markSpam feeds Layer 3's collaborative state.
+func (c *Classifier) markSpam(e *Email) {
+	if s := mailmsg.Addr(e.SenderAddr); s != "" {
+		c.spamSenders[s] = true
+	}
+	if bag, ok := BagOfWords(e.Msg.Text()); ok {
+		c.spamBags[BagSignature(bag)] = true
+	}
+}
+
+// layer3 consults the collaborative state.
+func (c *Classifier) layer3(e *Email) bool {
+	if c.spamSenders[mailmsg.Addr(e.SenderAddr)] {
+		return true
+	}
+	if bag, ok := BagOfWords(e.Msg.Text()); ok && c.spamBags[BagSignature(bag)] {
+		return true
+	}
+	return false
+}
+
+var (
+	reflectionBodyRe = regexp.MustCompile(`(?i)\b(unsubscribe|remove yourself|manage your (?:email )?preferences|update your subscription|you are receiving this|opt[ -]?out)\b`)
+	bounceSenderRe   = regexp.MustCompile(`(?i)\b(bounce|unsubscribe|no-?reply|donotreply|mailer-daemon|notifications?)\b`)
+	systemUserRe     = regexp.MustCompile(`(?i)^(postmaster|root|admin|administrator|mailer-daemon|daemon|nobody|www-data)@`)
+)
+
+// layer4 detects reflection typos — output of automated systems.
+func (c *Classifier) layer4(e *Email) bool {
+	m := e.Msg
+	if m.HasHeader("List-Unsubscribe") || m.HasHeader("List-Id") {
+		return true
+	}
+	for _, h := range []string{"Sender", "From", "Reply-To"} {
+		if bounceSenderRe.MatchString(m.Header(h)) {
+			return true
+		}
+	}
+	// Any two of From, Reply-To, Return-Path with different values.
+	vals := []string{}
+	for _, h := range []string{"From", "Reply-To", "Return-Path"} {
+		if v := mailmsg.Addr(m.Header(h)); v != "" {
+			vals = append(vals, v)
+		}
+	}
+	for i := 0; i < len(vals); i++ {
+		for j := i + 1; j < len(vals); j++ {
+			if vals[i] != vals[j] {
+				return true
+			}
+		}
+	}
+	if reflectionBodyRe.MatchString(m.Text()) {
+		return true
+	}
+	if systemUserRe.MatchString(mailmsg.Addr(e.SenderAddr)) || systemUserRe.MatchString(mailmsg.Addr(m.From())) {
+		return true
+	}
+	return false
+}
+
+// ClassifyOne runs layers 1–4 on a single email, updating collaborative
+// state. Survivors are provisionally receiver or SMTP typos; Layer 5 may
+// still reclassify them in Classify.
+func (c *Classifier) ClassifyOne(e *Email) Result {
+	if c.layer1(e) {
+		c.markSpam(e)
+		return Result{Email: e, Verdict: VerdictSpamHeader, Layer: 1}
+	}
+	if HasForbiddenArchive(e.Msg) {
+		c.markSpam(e)
+		return Result{Email: e, Verdict: VerdictSpamArchive, Layer: 2}
+	}
+	if score, hits := c.cfg.Scorer.Score(e.Msg); score >= c.cfg.Scorer.Threshold {
+		c.markSpam(e)
+		return Result{Email: e, Verdict: VerdictSpamScore, Layer: 2, Rules: hits}
+	}
+	if c.layer3(e) {
+		c.markSpam(e)
+		return Result{Email: e, Verdict: VerdictSpamCollab, Layer: 3}
+	}
+	if c.layer4(e) {
+		return Result{Email: e, Verdict: VerdictReflection, Layer: 4}
+	}
+	if e.SMTPTypoDomain && !c.registeredSuffix(mailmsg.AddrDomain(e.RcptAddr)) {
+		return Result{Email: e, Verdict: VerdictSMTPTypo}
+	}
+	return Result{Email: e, Verdict: VerdictReceiverTypo}
+}
+
+// Classify runs the full funnel over a corpus in arrival order, applying
+// Layer 5 frequency filtering to the receiver-typo survivors: recipient
+// addresses, sender addresses or bodies that appear too often are
+// automated artifacts, not unique human mistakes.
+func (c *Classifier) Classify(emails []*Email) []Result {
+	ordered := append([]*Email(nil), emails...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Received.Before(ordered[j].Received) })
+
+	results := make([]Result, len(ordered))
+	for i, e := range ordered {
+		results[i] = c.ClassifyOne(e)
+	}
+
+	// Layer 5: corpus-wide frequencies over layer 1-4 survivors.
+	rcptFreq := map[string]int{}
+	senderFreq := map[string]int{}
+	contentFreq := map[string]int{}
+	for _, r := range results {
+		if !r.Verdict.IsTrueTypo() {
+			continue
+		}
+		rcptFreq[mailmsg.Addr(r.Email.RcptAddr)]++
+		senderFreq[mailmsg.Addr(r.Email.SenderAddr)]++
+		contentFreq[contentKey(r.Email.Msg.Text())]++
+	}
+	for i := range results {
+		r := &results[i]
+		if !r.Verdict.IsTrueTypo() {
+			continue
+		}
+		if rcptFreq[mailmsg.Addr(r.Email.RcptAddr)] > c.cfg.RcptThreshold ||
+			senderFreq[mailmsg.Addr(r.Email.SenderAddr)] > c.cfg.SenderThreshold ||
+			contentFreq[contentKey(r.Email.Msg.Text())] > c.cfg.ContentThreshold {
+			r.FreqOf = r.Verdict
+			r.Verdict = VerdictFrequency
+			r.Layer = 5
+		}
+	}
+	return results
+}
+
+// contentKey normalizes a body for frequency comparison.
+func contentKey(body string) string {
+	if bag, ok := BagOfWords(body); ok {
+		return BagSignature(bag)
+	}
+	return strings.Join(strings.Fields(strings.ToLower(body)), " ")
+}
+
+// CountByVerdict tallies results per verdict.
+func CountByVerdict(results []Result) map[Verdict]int {
+	m := make(map[Verdict]int)
+	for _, r := range results {
+		m[r.Verdict]++
+	}
+	return m
+}

@@ -1,0 +1,193 @@
+// Package spamfilter implements the study's five-layer email
+// classification funnel (Section 4.3): erroneous-header detection,
+// a SpamAssassin-style rule scorer, collaborative filtering across
+// domains, reflection-typo detection, and frequency-based filtering.
+// Each email marked spam at one layer is not considered further.
+package spamfilter
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/mailmsg"
+)
+
+// DefaultThreshold is the SpamAssassin default score threshold the paper
+// ran with ("local mode with the default thresholds").
+const DefaultThreshold = 5.0
+
+// Rule is one scored heuristic of the Layer 2 scorer.
+type Rule struct {
+	Name  string
+	Score float64
+	Match func(m *mailmsg.Message) bool
+}
+
+// Scorer is the rule-based Layer 2 engine (the SpamAssassin stand-in).
+type Scorer struct {
+	Threshold float64
+	Rules     []Rule
+}
+
+// NewScorer returns a Scorer with the default rule set and threshold.
+func NewScorer() *Scorer {
+	return &Scorer{Threshold: DefaultThreshold, Rules: defaultRules()}
+}
+
+// Score sums the scores of all matching rules and lists their names.
+func (s *Scorer) Score(m *mailmsg.Message) (float64, []string) {
+	var total float64
+	var hits []string
+	for _, r := range s.Rules {
+		if r.Match(m) {
+			total += r.Score
+			hits = append(hits, r.Name)
+		}
+	}
+	return total, hits
+}
+
+// IsSpam reports whether the message scores at or above the threshold.
+func (s *Scorer) IsSpam(m *mailmsg.Message) bool {
+	score, _ := s.Score(m)
+	return score >= s.Threshold
+}
+
+var (
+	spamPhraseRe = regexp.MustCompile(`(?i)\b(click here|limited time|act now|no obligation|100% free|risk free|money back|order now|this is not spam|dear friend|claim your prize|winner|lowest prices|online pharmacy|work from home|extra income|no experience|viagra|cheap meds|hot singles|no prescription|make \$\d+)\b`)
+	moneyRe      = regexp.MustCompile(`\$\d+(?:[.,]\d{2})?`)
+	urlRe        = regexp.MustCompile(`https?://[^\s]+`)
+	badTLDRe     = regexp.MustCompile(`(?i)(?:@|https?://)[^\s@/]*\.(?:ru|cn|biz|info)\b`)
+)
+
+func defaultRules() []Rule {
+	return []Rule{
+		{
+			Name: "SUBJ_ALL_CAPS", Score: 1.2,
+			Match: func(m *mailmsg.Message) bool {
+				s := m.Subject()
+				if len(s) < 8 {
+					return false
+				}
+				letters, caps := 0, 0
+				for _, r := range s {
+					if r >= 'a' && r <= 'z' {
+						letters++
+					}
+					if r >= 'A' && r <= 'Z' {
+						letters++
+						caps++
+					}
+				}
+				return letters > 0 && float64(caps)/float64(letters) > 0.6
+			},
+		},
+		{
+			Name: "SUBJ_EXCLAIM", Score: 0.8,
+			Match: func(m *mailmsg.Message) bool {
+				return strings.Contains(m.Subject(), "!!") || strings.Count(m.Subject(), "!") >= 2
+			},
+		},
+		{
+			Name: "BODY_SPAM_PHRASES_2", Score: 1.6,
+			Match: func(m *mailmsg.Message) bool {
+				return len(spamPhraseRe.FindAllString(m.Text()+" "+m.Subject(), 3)) >= 2
+			},
+		},
+		{
+			Name: "BODY_SPAM_PHRASES_3", Score: 1.6,
+			Match: func(m *mailmsg.Message) bool {
+				return len(spamPhraseRe.FindAllString(m.Text()+" "+m.Subject(), 3)) >= 3
+			},
+		},
+		{
+			Name: "BODY_MONEY", Score: 0.7,
+			Match: func(m *mailmsg.Message) bool { return moneyRe.MatchString(m.Text()) },
+		},
+		{
+			Name: "BODY_MANY_LINKS", Score: 1.0,
+			Match: func(m *mailmsg.Message) bool { return len(urlRe.FindAllString(m.Text()+" "+m.HTMLBody, 3)) >= 2 },
+		},
+		{
+			Name: "SUSPICIOUS_TLD", Score: 1.4,
+			Match: func(m *mailmsg.Message) bool {
+				return badTLDRe.MatchString(m.From()) || badTLDRe.MatchString(m.Text()) || badTLDRe.MatchString(m.HTMLBody) ||
+					badTLDRe.MatchString(m.Header("Reply-To"))
+			},
+		},
+		{
+			Name: "REPLYTO_DIFFERS", Score: 0.9,
+			Match: func(m *mailmsg.Message) bool {
+				rt := mailmsg.Addr(m.Header("Reply-To"))
+				return rt != "" && rt != mailmsg.Addr(m.From())
+			},
+		},
+		{
+			Name: "MISSING_MSGID", Score: 0.5,
+			Match: func(m *mailmsg.Message) bool { return !m.HasHeader("Message-Id") },
+		},
+		{
+			Name: "HTML_ONLY", Score: 0.6,
+			Match: func(m *mailmsg.Message) bool {
+				return strings.TrimSpace(m.Body) == "" && m.HTMLBody != ""
+			},
+		},
+		{
+			Name: "SHOUTY_BODY", Score: 0.8,
+			Match: func(m *mailmsg.Message) bool {
+				letters, caps := 0, 0
+				for _, r := range m.Text() {
+					if r >= 'a' && r <= 'z' {
+						letters++
+					}
+					if r >= 'A' && r <= 'Z' {
+						letters++
+						caps++
+					}
+				}
+				return letters > 40 && float64(caps)/float64(letters) > 0.5
+			},
+		},
+	}
+}
+
+// HasForbiddenArchive reports whether the message carries a ZIP or RAR
+// attachment — which the paper treats as spam unconditionally: "We
+// immediately remove all emails with ZIP or RAR attachments [...] every
+// single one of them we manually inspected was spam."
+func HasForbiddenArchive(m *mailmsg.Message) bool {
+	for _, a := range m.Attachments {
+		switch a.Ext() {
+		case "zip", "rar":
+			return true
+		}
+	}
+	return false
+}
+
+// BagOfWords returns the message body's normalized unique-word set,
+// sorted — Layer 3's content signature. ok is false when the bag has 20
+// or fewer words, which the paper considers too weak a signature.
+func BagOfWords(body string) (words []string, ok bool) {
+	seen := map[string]bool{}
+	for _, w := range strings.FieldsFunc(strings.ToLower(body), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z') && !(r >= '0' && r <= '9')
+	}) {
+		if len(w) >= 2 {
+			seen[w] = true
+		}
+	}
+	if len(seen) <= 20 {
+		return nil, false
+	}
+	words = make([]string, 0, len(seen))
+	for w := range seen {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	return words, true
+}
+
+// BagSignature compresses a bag of words to a comparable key.
+func BagSignature(words []string) string { return strings.Join(words, "\x00") }

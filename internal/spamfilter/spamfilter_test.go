@@ -1,0 +1,481 @@
+package spamfilter
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/mailmsg"
+)
+
+func TestScorerObviousSpam(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewScorer()
+	caught := 0
+	for i := 0; i < 200; i++ {
+		m := corpus.SpamMessage(rng, 0) // zero evasion
+		if s.IsSpam(m) || HasForbiddenArchive(m) {
+			caught++
+		}
+	}
+	if caught < 190 {
+		t.Errorf("blatant spam caught %d/200, want >= 190", caught)
+	}
+}
+
+func TestScorerHamPasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := NewScorer()
+	flagged := 0
+	for i := 0; i < 300; i++ {
+		if s.IsSpam(corpus.HamMessage(rng)) {
+			flagged++
+		}
+	}
+	if flagged > 6 { // 2% false positive budget
+		t.Errorf("ham flagged %d/300", flagged)
+	}
+}
+
+func TestScorerEvasiveSpamSlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewScorer()
+	caught := 0
+	n := 200
+	for i := 0; i < n; i++ {
+		m := corpus.SpamMessage(rng, 1) // fully evasive
+		if s.IsSpam(m) || HasForbiddenArchive(m) {
+			caught++
+		}
+	}
+	// The Untroubled-archive phenomenon: most evasive spam slips through.
+	if caught > n/4 {
+		t.Errorf("evasive spam caught %d/%d, want few", caught, n)
+	}
+}
+
+// TestTable3Shape verifies the Table 3 pattern: high precision
+// everywhere, recall ~0.8 on the mixed corpora, drastically lower recall
+// on the all-spam Untroubled-style corpus.
+func TestTable3Shape(t *testing.T) {
+	s := NewScorer()
+	recalls := map[corpus.Dataset]float64{}
+	for _, ds := range corpus.AllDatasets() {
+		msgs := corpus.Generate(ds)
+		tp, fp, fn := 0, 0, 0
+		for _, lm := range msgs {
+			pred := s.IsSpam(lm.Msg) || HasForbiddenArchive(lm.Msg)
+			switch {
+			case pred && lm.Spam:
+				tp++
+			case pred && !lm.Spam:
+				fp++
+			case !pred && lm.Spam:
+				fn++
+			}
+		}
+		precision := float64(tp) / float64(tp+fp)
+		recall := float64(tp) / float64(tp+fn)
+		recalls[ds] = recall
+		if ds != corpus.DatasetUntroubled && precision < 0.93 {
+			t.Errorf("%s precision = %.2f, want >= 0.93", ds, precision)
+		}
+		if ds != corpus.DatasetUntroubled && (recall < 0.70 || recall > 0.97) {
+			t.Errorf("%s recall = %.2f, want ~0.8", ds, recall)
+		}
+	}
+	if recalls[corpus.DatasetUntroubled] > 0.45 {
+		t.Errorf("Untroubled recall = %.2f, want low (paper: 0.23)", recalls[corpus.DatasetUntroubled])
+	}
+	for _, ds := range []corpus.Dataset{corpus.DatasetTREC, corpus.DatasetCSDMC, corpus.DatasetSpamAssassin} {
+		if recalls[corpus.DatasetUntroubled] >= recalls[ds] {
+			t.Errorf("Untroubled recall %.2f not below %s recall %.2f", recalls[corpus.DatasetUntroubled], ds, recalls[ds])
+		}
+	}
+}
+
+func TestHasForbiddenArchive(t *testing.T) {
+	m := mailmsg.NewBuilder("a@b.com", "c@d.com", "s").
+		Attach("payload.ZIP", "application/zip", []byte{1}).Build()
+	if !HasForbiddenArchive(m) {
+		t.Error("zip not detected")
+	}
+	m2 := mailmsg.NewBuilder("a@b.com", "c@d.com", "s").
+		Attach("doc.pdf", "application/pdf", []byte{1}).Build()
+	if HasForbiddenArchive(m2) {
+		t.Error("pdf misdetected")
+	}
+}
+
+func TestBagOfWords(t *testing.T) {
+	if _, ok := BagOfWords("too few words here"); ok {
+		t.Error("short body should not produce a bag")
+	}
+	long := "alpha bravo charlie delta echo foxtrot golf hotel india juliett kilo lima mike november oscar papa quebec romeo sierra tango uniform victor"
+	bag, ok := BagOfWords(long)
+	if !ok || len(bag) <= 20 {
+		t.Fatalf("bag = %d words, ok=%v", len(bag), ok)
+	}
+	// Same words, different order and case: same signature.
+	bag2, _ := BagOfWords("Victor UNIFORM tango sierra romeo quebec papa oscar november mike lima kilo juliett india hotel golf foxtrot echo delta charlie bravo alpha")
+	if BagSignature(bag) != BagSignature(bag2) {
+		t.Error("bag signature not order/case invariant")
+	}
+}
+
+func ourEmail(msg *mailmsg.Message, server, rcpt, sender string, smtpTypo bool, at time.Time) *Email {
+	return &Email{Msg: msg, ServerDomain: server, RcptAddr: rcpt, SenderAddr: sender, SMTPTypoDomain: smtpTypo, Received: at}
+}
+
+func testClassifier() *Classifier {
+	return NewClassifier(Config{OurDomains: map[string]bool{
+		"gmial.com": true, "outlo0k.com": true, "smtpverizon.net": true,
+	}})
+}
+
+var t0 = time.Date(2016, 6, 10, 0, 0, 0, 0, time.UTC)
+
+func TestLayer1HeaderChecks(t *testing.T) {
+	ham := func() *mailmsg.Message {
+		return mailmsg.NewBuilder("alice@gmail.com", "bob@gmial.com", "hi").
+			MessageID("x@gmail.com").Body("see you at the meeting tomorrow ok").Build()
+	}
+	tests := []struct {
+		name string
+		e    *Email
+		want Verdict
+	}{
+		{"clean", ourEmail(ham(), "gmial.com", "bob@gmial.com", "alice@gmail.com", false, t0), VerdictReceiverTypo},
+		{"wrong relay", ourEmail(ham(), "evil.com", "bob@gmial.com", "alice@gmail.com", false, t0), VerdictSpamHeader},
+		{"sender spoofs us", ourEmail(ham(), "gmial.com", "bob@gmial.com", "spoof@gmial.com", false, t0), VerdictSpamHeader},
+		{"rcpt not ours", ourEmail(ham(), "gmial.com", "bob@gmail.com", "alice@gmail.com", false, t0), VerdictSpamHeader},
+		{"subdomain rcpt ok", ourEmail(ham(), "gmial.com", "bob@smtp.gmial.com", "alice@gmail.com", false, t0), VerdictReceiverTypo},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			// Fresh classifier per case: Layer 3 state is sticky by design
+			// (a spam verdict taints the sender everywhere).
+			if got := testClassifier().ClassifyOne(tc.e); got.Verdict != tc.want {
+				t.Errorf("verdict = %v, want %v", got.Verdict, tc.want)
+			}
+		})
+	}
+}
+
+func TestLayer1FromHeaderSpoof(t *testing.T) {
+	c := testClassifier()
+	m := mailmsg.NewBuilder("noreply@gmial.com", "bob@gmial.com", "hi").
+		MessageID("x@y").Body("body").Build()
+	e := ourEmail(m, "gmial.com", "bob@gmial.com", "other@ok.com", false, t0)
+	if got := c.ClassifyOne(e); got.Verdict != VerdictSpamHeader {
+		t.Errorf("From spoofing our domain = %v, want spam:header", got.Verdict)
+	}
+}
+
+func TestLayer2Archive(t *testing.T) {
+	c := testClassifier()
+	m := mailmsg.NewBuilder("a@ok.com", "b@gmial.com", "docs").
+		MessageID("x@ok.com").Body("see attached").
+		Attach("x.rar", "application/octet-stream", []byte{1}).Build()
+	e := ourEmail(m, "gmial.com", "b@gmial.com", "a@ok.com", false, t0)
+	got := c.ClassifyOne(e)
+	if got.Verdict != VerdictSpamArchive || got.Layer != 2 {
+		t.Errorf("result = %+v", got)
+	}
+}
+
+func TestLayer3CollaborativeSender(t *testing.T) {
+	c := testClassifier()
+	rng := rand.New(rand.NewSource(4))
+	spam := corpus.SpamMessage(rng, 0)
+	e1 := ourEmail(spam, "gmial.com", "x@gmial.com", "spammer@offers-zone.ru", false, t0)
+	if got := c.ClassifyOne(e1); !got.Verdict.IsSpamVerdict() {
+		t.Fatalf("seed spam not caught: %v", got.Verdict)
+	}
+	// Same sender, now with innocuous content, to a *different* domain.
+	clean := mailmsg.NewBuilder("spammer@offers-zone.ru", "y@outlo0k.com", "hello").
+		MessageID("z@offers-zone.ru").Body("just a short note").Build()
+	e2 := ourEmail(clean, "outlo0k.com", "y@outlo0k.com", "spammer@offers-zone.ru", false, t0.Add(time.Hour))
+	got := c.ClassifyOne(e2)
+	if got.Verdict != VerdictSpamCollab || got.Layer != 3 {
+		t.Errorf("collaborative sender filter missed: %+v", got.Verdict)
+	}
+}
+
+func TestLayer3CollaborativeBag(t *testing.T) {
+	c := testClassifier()
+	body := "alpha bravo charlie delta echo foxtrot golf hotel india juliett kilo lima mike november oscar papa quebec romeo sierra tango uniform victor whiskey"
+	spam := mailmsg.NewBuilder("s1@spam.ru", "x@gmial.com", "WINNER!!! claim your prize now").
+		Body(body + " click here limited time act now 100% free").Build()
+	e1 := ourEmail(spam, "gmial.com", "x@gmial.com", "s1@spam.ru", false, t0)
+	if got := c.ClassifyOne(e1); !got.Verdict.IsSpamVerdict() {
+		t.Fatalf("seed spam not caught: %v", got.Verdict)
+	}
+	// Different sender, same-ish wordy body (same bag after the spam words).
+	same := mailmsg.NewBuilder("s2@elsewhere.com", "y@gmial.com", "hello").
+		MessageID("a@elsewhere.com").Body(body + " free 100% now act time limited here click").Build()
+	e2 := ourEmail(same, "gmial.com", "y@gmial.com", "s2@elsewhere.com", false, t0.Add(time.Hour))
+	got := c.ClassifyOne(e2)
+	if got.Verdict != VerdictSpamCollab {
+		t.Errorf("collaborative bag filter missed: %v", got.Verdict)
+	}
+}
+
+func TestLayer4Reflection(t *testing.T) {
+	c := testClassifier()
+	rng := rand.New(rand.NewSource(5))
+	m := corpus.ReflectionMessage(rng, "typoed@gmial.com")
+	e := ourEmail(m, "gmial.com", "typoed@gmial.com", mailmsg.Addr(m.From()), false, t0)
+	got := c.ClassifyOne(e)
+	if got.Verdict != VerdictReflection || got.Layer != 4 {
+		t.Errorf("reflection not detected: %+v", got.Verdict)
+	}
+}
+
+func TestLayer4SystemUser(t *testing.T) {
+	c := testClassifier()
+	m := mailmsg.NewBuilder("postmaster@somewhere.org", "x@gmial.com", "delivery status").
+		MessageID("q@somewhere.org").Body("could not deliver").Build()
+	e := ourEmail(m, "gmial.com", "x@gmial.com", "postmaster@somewhere.org", false, t0)
+	if got := c.ClassifyOne(e); got.Verdict != VerdictReflection {
+		t.Errorf("system user not filtered: %v", got.Verdict)
+	}
+}
+
+func TestLayer4MismatchedReturnPath(t *testing.T) {
+	c := testClassifier()
+	m := mailmsg.NewBuilder("real@shop.com", "x@gmial.com", "your order").
+		MessageID("q@shop.com").Body("order details inside").
+		Header("Return-Path", "other@mailer.shop-blast.com").Build()
+	e := ourEmail(m, "gmial.com", "x@gmial.com", "real@shop.com", false, t0)
+	if got := c.ClassifyOne(e); got.Verdict != VerdictReflection {
+		t.Errorf("mismatched return-path not flagged: %v", got.Verdict)
+	}
+}
+
+func TestSMTPTypoClassification(t *testing.T) {
+	c := testClassifier()
+	// A user's outbound mail mis-sent to our SMTP typo server: the
+	// recipient is a third party, the server domain is our SMTP typo trap.
+	m := mailmsg.NewBuilder("user@verizon.net", "friend@gmail.com", "re: dinner").
+		MessageID("p@verizon.net").Body("see you saturday then").Build()
+	e := ourEmail(m, "smtpverizon.net", "friend@gmail.com", "user@verizon.net", true, t0)
+	got := c.ClassifyOne(e)
+	if got.Verdict != VerdictSMTPTypo {
+		t.Errorf("SMTP typo = %v", got.Verdict)
+	}
+	// Receiver typo arriving at an SMTP-typo domain (the paper's odd 700
+	// emails/year): recipient at our domain.
+	m2 := mailmsg.NewBuilder("user@aol.com", "pal@smtpverizon.net", "hi").
+		MessageID("p2@aol.com").Body("short note for you").Build()
+	e2 := ourEmail(m2, "smtpverizon.net", "pal@smtpverizon.net", "user@aol.com", true, t0)
+	if got := c.ClassifyOne(e2); got.Verdict != VerdictReceiverTypo {
+		t.Errorf("receiver typo at SMTP domain = %v", got.Verdict)
+	}
+}
+
+func TestLayer5FrequencyFiltering(t *testing.T) {
+	c := NewClassifier(Config{
+		OurDomains:       map[string]bool{"gmial.com": true},
+		RcptThreshold:    5,
+		SenderThreshold:  3,
+		ContentThreshold: 4,
+	})
+	var emails []*Email
+	mk := func(i int, from, rcpt, body string) *Email {
+		m := mailmsg.NewBuilder(from, rcpt, fmt.Sprintf("s%d", i)).
+			MessageID(fmt.Sprintf("m%d@%s", i, mailmsg.AddrDomain(from))).Body(body).Build()
+		return ourEmail(m, "gmial.com", rcpt, from, false, t0.Add(time.Duration(i)*time.Minute))
+	}
+	// 8 emails to the same recipient (> 5): all frequency filtered.
+	for i := 0; i < 8; i++ {
+		emails = append(emails, mk(i, fmt.Sprintf("u%d@a.com", i), "hot@gmial.com", fmt.Sprintf("unique body %d with several words", i)))
+	}
+	// 2 emails to distinct recipients: survive.
+	emails = append(emails,
+		mk(100, "one@b.com", "r1@gmial.com", "good morning here is the plan"),
+		mk(101, "two@c.com", "r2@gmial.com", "totally different message body text"),
+	)
+	results := c.Classify(emails)
+	counts := CountByVerdict(results)
+	if counts[VerdictFrequency] != 8 {
+		t.Errorf("frequency filtered = %d, want 8 (%v)", counts[VerdictFrequency], counts)
+	}
+	if counts[VerdictReceiverTypo] != 2 {
+		t.Errorf("survivors = %d, want 2 (%v)", counts[VerdictReceiverTypo], counts)
+	}
+	for _, r := range results {
+		if r.Verdict == VerdictFrequency && r.FreqOf != VerdictReceiverTypo {
+			t.Errorf("FreqOf = %v, want receiver-typo", r.FreqOf)
+		}
+	}
+}
+
+func TestLayer5SenderThreshold(t *testing.T) {
+	c := NewClassifier(Config{
+		OurDomains:      map[string]bool{"gmial.com": true},
+		SenderThreshold: 3,
+	})
+	var emails []*Email
+	for i := 0; i < 5; i++ {
+		m := mailmsg.NewBuilder("chatty@x.com", fmt.Sprintf("r%d@gmial.com", i), "s").
+			MessageID(fmt.Sprintf("i%d@x.com", i)).Body(fmt.Sprintf("different body %d each time really", i)).Build()
+		emails = append(emails, ourEmail(m, "gmial.com", fmt.Sprintf("r%d@gmial.com", i), "chatty@x.com", false, t0.Add(time.Duration(i)*time.Hour)))
+	}
+	counts := CountByVerdict(c.Classify(emails))
+	if counts[VerdictFrequency] != 5 {
+		t.Errorf("sender-frequency filter = %v", counts)
+	}
+}
+
+func TestFunnelOrderAndMonotonicity(t *testing.T) {
+	// Property: the funnel never "un-spams": once layers 1-3 fire, the
+	// email is spam; verdict distribution is a partition.
+	c := testClassifier()
+	rng := rand.New(rand.NewSource(6))
+	var emails []*Email
+	for i := 0; i < 300; i++ {
+		var m *mailmsg.Message
+		switch i % 3 {
+		case 0:
+			m = corpus.SpamMessage(rng, 0.3)
+		case 1:
+			m = corpus.HamMessage(rng)
+		default:
+			m = corpus.ReflectionMessage(rng, "x@gmial.com")
+		}
+		emails = append(emails, ourEmail(m, "gmial.com", "x@gmial.com", mailmsg.Addr(m.From()), false, t0.Add(time.Duration(i)*time.Minute)))
+	}
+	results := c.Classify(emails)
+	if len(results) != len(emails) {
+		t.Fatalf("results = %d, want %d", len(results), len(emails))
+	}
+	total := 0
+	for v, n := range CountByVerdict(results) {
+		if n < 0 {
+			t.Errorf("negative count for %v", v)
+		}
+		total += n
+	}
+	if total != len(emails) {
+		t.Errorf("verdict counts sum %d != %d", total, len(emails))
+	}
+}
+
+func TestBayesLearnsSeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewBayes()
+	for i := 0; i < 300; i++ {
+		b.Train(corpus.SpamMessage(rng, 0.2), true)
+		b.Train(corpus.HamMessage(rng), false)
+	}
+	if b.Vocabulary() == 0 {
+		t.Fatal("no vocabulary learned")
+	}
+	correct := 0
+	n := 200
+	for i := 0; i < n/2; i++ {
+		if b.IsSpam(corpus.SpamMessage(rng, 0.2)) {
+			correct++
+		}
+		if !b.IsSpam(corpus.HamMessage(rng)) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(n); acc < 0.9 {
+		t.Errorf("bayes accuracy = %.2f, want >= 0.9", acc)
+	}
+}
+
+func TestBayesUntrained(t *testing.T) {
+	b := NewBayes()
+	m := mailmsg.NewBuilder("a@b.com", "c@d.com", "s").Body("anything").Build()
+	if b.SpamLogOdds(m) != 0 {
+		t.Error("untrained bayes should be neutral")
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	for v := VerdictSpamHeader; v <= VerdictSMTPTypo; v++ {
+		if v.String() == "unknown" {
+			t.Errorf("verdict %d has no name", v)
+		}
+	}
+	if !VerdictSpamScore.IsSpamVerdict() || VerdictReflection.IsSpamVerdict() {
+		t.Error("IsSpamVerdict wrong")
+	}
+	if !VerdictSMTPTypo.IsTrueTypo() || VerdictFrequency.IsTrueTypo() {
+		t.Error("IsTrueTypo wrong")
+	}
+}
+
+// TestScorerRules exercises each Layer 2 rule in isolation.
+func TestScorerRules(t *testing.T) {
+	s := NewScorer()
+	hits := func(m *mailmsg.Message) map[string]bool {
+		_, names := s.Score(m)
+		set := map[string]bool{}
+		for _, n := range names {
+			set[n] = true
+		}
+		return set
+	}
+	mk := func(subject, body string) *mailmsg.Message {
+		m := mailmsg.NewBuilder("a@b.com", "c@d.com", subject).Body(body).Build()
+		m.SetHeader("Message-Id", "<x@b.com>")
+		return m
+	}
+	cases := []struct {
+		rule string
+		msg  *mailmsg.Message
+		want bool
+	}{
+		{"SUBJ_ALL_CAPS", mk("BUY NOW CHEAP MEDS TODAY", "x"), true},
+		{"SUBJ_ALL_CAPS", mk("quiet lowercase subject", "x"), false},
+		{"SUBJ_EXCLAIM", mk("free!!!", "x"), true},
+		{"BODY_SPAM_PHRASES_2", mk("s", "click here for a limited time offer"), true},
+		{"BODY_SPAM_PHRASES_2", mk("s", "the quarterly report is attached"), false},
+		{"BODY_MONEY", mk("s", "only $9.99 today"), true},
+		{"BODY_MANY_LINKS", mk("s", "http://a.example/x http://b.example/y"), true},
+		{"SUSPICIOUS_TLD", mk("s", "visit http://win.biz/now"), true},
+		{"SHOUTY_BODY", mk("s", "THIS ENTIRE MESSAGE IS WRITTEN IN CAPITAL LETTERS TO GET YOUR FULL ATTENTION RIGHT NOW"), true},
+	}
+	for _, tc := range cases {
+		got := hits(tc.msg)[tc.rule]
+		if got != tc.want {
+			t.Errorf("rule %s on %q/%q = %v, want %v", tc.rule, tc.msg.Subject(), tc.msg.Body, got, tc.want)
+		}
+	}
+
+	// REPLYTO_DIFFERS and MISSING_MSGID need header surgery.
+	m := mk("s", "x")
+	m.SetHeader("Reply-To", "other@elsewhere.example")
+	if !hits(m)["REPLYTO_DIFFERS"] {
+		t.Error("REPLYTO_DIFFERS missed")
+	}
+	noID := mailmsg.NewBuilder("a@b.com", "c@d.com", "s").Body("x").Build()
+	if !hits(noID)["MISSING_MSGID"] {
+		t.Error("MISSING_MSGID missed")
+	}
+	htmlOnly := mailmsg.NewBuilder("a@b.com", "c@d.com", "s").HTML("<p>only html</p>").Build()
+	htmlOnly.SetHeader("Message-Id", "<y@b.com>")
+	if !hits(htmlOnly)["HTML_ONLY"] {
+		t.Error("HTML_ONLY missed")
+	}
+}
+
+// TestHTMLOnlySpamFilterable: a spam message whose content lives entirely
+// in HTML must still trip the content rules via Text().
+func TestHTMLOnlySpamFilterable(t *testing.T) {
+	s := NewScorer()
+	m := mailmsg.NewBuilder("w@offers-zone.ru", "x@gmial.com", "WINNER!!! claim your prize").
+		HTML("<html><body><h1>CLICK HERE</h1><p>limited time offer, 100% free, order now!</p>" +
+			"<a href=http://a.ru/1>x</a> <a href=http://b.ru/2>y</a>" +
+			"<p>Only $9.99</p></body></html>").Build()
+	if !s.IsSpam(m) {
+		score, rules := s.Score(m)
+		t.Errorf("HTML-only spam scored %.1f (%v)", score, rules)
+	}
+}

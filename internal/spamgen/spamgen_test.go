@@ -1,0 +1,165 @@
+package spamgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mailmsg"
+	"repro/internal/spamfilter"
+)
+
+func TestDayVolumeRampAndScale(t *testing.T) {
+	g := New(DefaultParams(), 1)
+	early, late := 0, 0
+	const reps = 50
+	for i := 0; i < reps; i++ {
+		early += g.DayVolume(0, 1, false)
+		late += g.DayVolume(120, 1, false)
+	}
+	if early >= late {
+		t.Errorf("discovery ramp missing: day0=%d day120=%d", early, late)
+	}
+	// SMTP traps draw roughly SMTPRelayFactor more.
+	direct, relay := 0, 0
+	for i := 0; i < reps; i++ {
+		direct += g.DayVolume(120, 1, false)
+		relay += g.DayVolume(120, 1, true)
+	}
+	ratio := float64(relay) / float64(direct)
+	if ratio < 3 || ratio > 12 {
+		t.Errorf("relay/direct ratio = %.1f, want ~6.3", ratio)
+	}
+}
+
+func TestDayVolumeZeroAttractiveness(t *testing.T) {
+	g := New(DefaultParams(), 2)
+	if v := g.DayVolume(10, 0, false); v != 0 {
+		t.Errorf("zero attractiveness volume = %d", v)
+	}
+}
+
+func TestAggregateYearlyScale(t *testing.T) {
+	// 76 domains over a year should land within a factor of ~3 of the
+	// paper's 119M/yr (45 of them SMTP traps).
+	g := New(DefaultParams(), 3)
+	total := 0.0
+	for d := 0; d < 365; d++ {
+		for dom := 0; dom < 31; dom++ {
+			total += float64(g.DayVolume(d, 1, false))
+		}
+		for dom := 0; dom < 45; dom++ {
+			total += float64(g.DayVolume(d, 1, true))
+		}
+	}
+	if total < 40e6 || total > 400e6 {
+		t.Errorf("yearly volume = %.3g, paper: 1.19e8", total)
+	}
+}
+
+func TestMaterializeReceiverCandidates(t *testing.T) {
+	g := New(DefaultParams(), 4)
+	emails := g.Materialize(200, "gmial.com", false)
+	if len(emails) != 200 {
+		t.Fatalf("materialized %d", len(emails))
+	}
+	spoofed := 0
+	for _, e := range emails {
+		if e.SMTPTypoDomain {
+			t.Fatal("receiver candidate marked SMTP")
+		}
+		if mailmsg.AddrDomain(e.RcptAddr) != "gmial.com" {
+			t.Fatalf("rcpt %q not at our domain", e.RcptAddr)
+		}
+		if e.ServerDomain != "gmial.com" {
+			t.Fatalf("server domain %q", e.ServerDomain)
+		}
+		if mailmsg.AddrDomain(e.SenderAddr) == "gmial.com" {
+			spoofed++
+		}
+	}
+	if spoofed == 0 {
+		t.Error("no self-spoofed senders; Layer 1 would be untested")
+	}
+	if spoofed > 60 {
+		t.Errorf("spoofed = %d of 200, too many", spoofed)
+	}
+}
+
+func TestMaterializeSMTPTrapCandidates(t *testing.T) {
+	g := New(DefaultParams(), 5)
+	emails := g.Materialize(100, "smtpverizon.net", true)
+	for _, e := range emails {
+		if !e.SMTPTypoDomain {
+			t.Fatal("trap candidate not marked")
+		}
+		if mailmsg.AddrDomain(e.RcptAddr) == "smtpverizon.net" {
+			t.Fatalf("trap rcpt addressed to us: %q", e.RcptAddr)
+		}
+	}
+}
+
+func TestMaterializedSpamMostlyCaught(t *testing.T) {
+	g := New(DefaultParams(), 6)
+	// A representative sample: campaigns must repeat for Layer 5 to see
+	// them, as they do at the study's real sampling volume.
+	emails := g.Materialize(2000, "gmial.com", false)
+	// Sampled-regime thresholds, as the study calibrates with: one-in-N
+	// sampling turns the paper's threshold of 10 into "any duplicate".
+	c := spamfilter.NewClassifier(spamfilter.Config{
+		OurDomains:       map[string]bool{"gmial.com": true},
+		RcptThreshold:    2,
+		SenderThreshold:  1,
+		ContentThreshold: 1,
+	})
+	results := c.Classify(emails)
+	counts := spamfilter.CountByVerdict(results)
+	caught := 0
+	for v, n := range counts {
+		if v.IsSpamVerdict() || v == spamfilter.VerdictReflection || v == spamfilter.VerdictFrequency {
+			caught += n
+		}
+	}
+	frac := float64(caught) / float64(len(emails))
+	if frac < 0.95 {
+		t.Errorf("funnel caught %.2f of materialized spam, want >= 0.95", frac)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, mean := range []float64{0, 0.5, 3, 20, 200} {
+		const n = 5000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := float64(Poisson(rng, mean))
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / n
+		if math.Abs(m-mean) > 0.1*mean+0.1 {
+			t.Errorf("Poisson(%v) mean = %v", mean, m)
+		}
+		if mean > 0 {
+			variance := sumSq/n - m*m
+			if variance < mean*0.7 || variance > mean*1.4 {
+				t.Errorf("Poisson(%v) variance = %v", mean, variance)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(DefaultParams(), 9), New(DefaultParams(), 9)
+	for d := 0; d < 20; d++ {
+		if a.DayVolume(d, 1, false) != b.DayVolume(d, 1, false) {
+			t.Fatal("DayVolume not deterministic")
+		}
+	}
+	ea, eb := a.Materialize(5, "x.com", false), b.Materialize(5, "x.com", false)
+	for i := range ea {
+		if ea[i].RcptAddr != eb[i].RcptAddr || ea[i].Msg.Body != eb[i].Msg.Body {
+			t.Fatal("Materialize not deterministic")
+		}
+	}
+}

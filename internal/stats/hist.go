@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over a closed interval.
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	under    int
+	over     int
+	total    int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins on
+// [min, max). Observations below min or at/above max are tallied in
+// under/overflow counters.
+func NewHistogram(min, max float64, bins int) *Histogram {
+	if bins <= 0 || !(max > min) {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(x float64) {
+	h.total++
+	switch {
+	case x < h.Min:
+		h.under++
+	case x >= h.Max:
+		h.over++
+	default:
+		i := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+		if i == len(h.Counts) { // guard float rounding at the upper edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + (float64(i)+0.5)*w
+}
+
+// String renders a compact ASCII bar chart, useful in experiment output.
+func (h *Histogram) String() string {
+	peak := 1
+	for _, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var sb strings.Builder
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*40/peak)
+		fmt.Fprintf(&sb, "%10.3g |%-40s %d\n", h.BinCenter(i), bar, c)
+	}
+	return sb.String()
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from the sample xs.
+func NewECDF(xs []float64) *ECDF {
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	return &ECDF{sorted: c}
+}
+
+// At returns the fraction of observations <= x.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Len returns the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// CumulativeShares returns, for values sorted in decreasing order, the
+// running fraction of the total mass contributed by the first k values.
+// This is the transformation behind Figures 5 and 8 of the paper
+// (cumulative sum of emails by domain; of typo domains by mail server /
+// registrant).
+func CumulativeShares(values []float64) []float64 {
+	c := append([]float64(nil), values...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(c)))
+	var total float64
+	for _, v := range c {
+		total += v
+	}
+	out := make([]float64, len(c))
+	if total == 0 {
+		return out
+	}
+	var run float64
+	for i, v := range c {
+		run += v
+		out[i] = run / total
+	}
+	return out
+}
+
+// TopShareCount returns the minimum number of the largest values whose sum
+// reaches at least frac (0..1] of the total. It returns 0 for an empty or
+// all-zero input.
+func TopShareCount(values []float64, frac float64) int {
+	shares := CumulativeShares(values)
+	for i, s := range shares {
+		if s >= frac {
+			return i + 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,323 @@
+// Package stats provides the small statistical toolkit the study relies
+// on: summary statistics, Student-t confidence intervals, median-absolute-
+// deviation (MAD) outlier detection, percentiles, histograms and empirical
+// CDFs.
+//
+// The paper uses these in three places: the 95% confidence intervals around
+// per-mistake-type typo-domain popularity (Figure 9), MAD-based outlier
+// removal of accidentally-popular typo domains (Section 6.1), and the
+// prediction intervals of the regression projection (Section 6.2).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by estimators that require at least one observation.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance of xs.
+// It returns 0 when fewer than two observations are available.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// StdErr returns the standard error of the mean of xs.
+func StdErr(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Median returns the median of xs without modifying the input.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// MAD returns the median of all absolute deviations from the median,
+// the robust scale estimator of Rousseeuw and Hubert used by the paper to
+// discard typo domains with outlying traffic.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - m)
+	}
+	return Median(dev)
+}
+
+// madConsistency rescales the MAD to be a consistent estimator of the
+// standard deviation under normality (1 / Phi^-1(3/4)).
+const madConsistency = 1.4826
+
+// OutliersMAD reports the indices of observations whose robust z-score
+// |x - median| / (1.4826 * MAD) exceeds k. When the MAD is zero (at least
+// half the observations identical) any differing observation is an outlier.
+func OutliersMAD(xs []float64, k float64) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	m := Median(xs)
+	mad := MAD(xs)
+	var out []int
+	for i, x := range xs {
+		d := math.Abs(x - m)
+		if mad == 0 {
+			if d > 0 {
+				out = append(out, i)
+			}
+			continue
+		}
+		if d/(madConsistency*mad) > k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TrimOutliersMAD returns a copy of xs with MAD outliers (threshold k)
+// removed.
+func TrimOutliersMAD(xs []float64, k float64) []float64 {
+	drop := OutliersMAD(xs, k)
+	if len(drop) == 0 {
+		return append([]float64(nil), xs...)
+	}
+	isDrop := make(map[int]bool, len(drop))
+	for _, i := range drop {
+		isDrop[i] = true
+	}
+	kept := make([]float64, 0, len(xs)-len(drop))
+	for i, x := range xs {
+		if !isDrop[i] {
+			kept = append(kept, x)
+		}
+	}
+	return kept
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks.
+func Percentile(xs []float64, p float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	if p <= 0 {
+		return c[0]
+	}
+	if p >= 100 {
+		return c[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return c[lo]
+	}
+	frac := rank - float64(lo)
+	return c[lo]*(1-frac) + c[hi]*frac
+}
+
+// Interval is a symmetric confidence interval around a point estimate.
+type Interval struct {
+	Mean  float64
+	Low   float64
+	High  float64
+	Level float64 // confidence level, e.g. 0.95
+}
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("%.4g [%.4g, %.4g] @%.0f%%", iv.Mean, iv.Low, iv.High, iv.Level*100)
+}
+
+// Contains reports whether x falls inside the interval.
+func (iv Interval) Contains(x float64) bool { return x >= iv.Low && x <= iv.High }
+
+// MeanCI returns the Student-t confidence interval for the mean of xs at
+// the given confidence level (e.g. 0.95).
+func MeanCI(xs []float64, level float64) (Interval, error) {
+	n := len(xs)
+	if n == 0 {
+		return Interval{}, ErrEmpty
+	}
+	m := Mean(xs)
+	if n == 1 {
+		return Interval{Mean: m, Low: m, High: m, Level: level}, nil
+	}
+	t := TQuantile(1-(1-level)/2, n-1)
+	half := t * StdErr(xs)
+	return Interval{Mean: m, Low: m - half, High: m + half, Level: level}, nil
+}
+
+// TQuantile returns the p-quantile of Student's t distribution with df
+// degrees of freedom, computed by inverting the regularized incomplete
+// beta function with bisection. Accuracy is ample for interval estimation.
+func TQuantile(p float64, df int) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if p == 0.5 {
+		return 0
+	}
+	if p < 0.5 {
+		return -TQuantile(1-p, df)
+	}
+	// t CDF is monotone; bisect on [0, hi].
+	hi := 1.0
+	for TCDF(hi, df) < p && hi < 1e6 {
+		hi *= 2
+	}
+	lo := 0.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if TCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// TCDF returns P(T <= t) for Student's t distribution with df degrees of
+// freedom.
+func TCDF(t float64, df int) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	x := float64(df) / (float64(df) + t*t)
+	ib := regIncBeta(float64(df)/2, 0.5, x)
+	if t > 0 {
+		return 1 - ib/2
+	}
+	return ib / 2
+}
+
+// NormalQuantile returns the p-quantile of the standard normal
+// distribution using the Beasley-Springer-Moro rational approximation.
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Acklam's approximation.
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := []float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > phigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// via its continued-fraction expansion (Lentz's method).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a) + lgamma(b) - lgamma(a+b)
+	front := math.Exp(a*math.Log(x)+b*math.Log(1-x)-lbeta) / a
+	if x > (a+1)/(a+b+2) {
+		return 1 - regIncBeta(b, a, 1-x)
+	}
+	const eps = 1e-14
+	const tiny = 1e-300
+	f, c, d := 1.0, 1.0, 0.0
+	for i := 0; i <= 300; i++ {
+		m := i / 2
+		var numerator float64
+		switch {
+		case i == 0:
+			numerator = 1
+		case i%2 == 0:
+			numerator = float64(m) * (b - float64(m)) * x / ((a + 2*float64(m) - 1) * (a + 2*float64(m)))
+		default:
+			numerator = -((a + float64(m)) * (a + b + float64(m)) * x) / ((a + 2*float64(m)) * (a + 2*float64(m) + 1))
+		}
+		d = 1 + numerator*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		d = 1 / d
+		c = 1 + numerator/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		cd := c * d
+		f *= cd
+		if math.Abs(1-cd) < eps {
+			break
+		}
+	}
+	return front * (f - 1)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

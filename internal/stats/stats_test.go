@@ -1,0 +1,372 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"pair", []float64{2, 4}, 3},
+		{"negative", []float64{-1, 1, -3, 3}, 0},
+		{"fractional", []float64{0.5, 1.5, 2.5}, 1.5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Mean(tc.in); !almostEq(got, tc.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Known sample variance (n-1) of this classic example is 32/7.
+	if got, want := Variance(xs), 32.0/7.0; !almostEq(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got, want := StdDev(xs), math.Sqrt(32.0/7.0); !almostEq(got, want, 1e-12) {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	if got := Variance([]float64{42}); got != 0 {
+		t.Errorf("Variance of singleton = %v, want 0", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"odd", []float64{3, 1, 2}, 2},
+		{"even", []float64{4, 1, 3, 2}, 2.5},
+		{"repeated", []float64{5, 5, 5, 5}, 5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			orig := append([]float64(nil), tc.in...)
+			if got := Median(tc.in); got != tc.want {
+				t.Errorf("Median(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+			for i := range orig {
+				if tc.in[i] != orig[i] {
+					t.Fatalf("Median mutated its input")
+				}
+			}
+		})
+	}
+}
+
+func TestMAD(t *testing.T) {
+	xs := []float64{1, 1, 2, 2, 4, 6, 9}
+	// median = 2; |dev| = {1,1,0,0,2,4,7}; median of devs = 1.
+	if got := MAD(xs); got != 1 {
+		t.Errorf("MAD = %v, want 1", got)
+	}
+}
+
+func TestOutliersMAD(t *testing.T) {
+	xs := []float64{10, 11, 10, 12, 11, 10, 500}
+	out := OutliersMAD(xs, 3.5)
+	if len(out) != 1 || out[0] != 6 {
+		t.Errorf("OutliersMAD = %v, want [6]", out)
+	}
+	trimmed := TrimOutliersMAD(xs, 3.5)
+	if len(trimmed) != 6 {
+		t.Errorf("TrimOutliersMAD kept %d values, want 6", len(trimmed))
+	}
+	for _, v := range trimmed {
+		if v == 500 {
+			t.Errorf("outlier 500 survived trimming")
+		}
+	}
+}
+
+func TestOutliersMADZeroMAD(t *testing.T) {
+	xs := []float64{5, 5, 5, 5, 7}
+	out := OutliersMAD(xs, 3.5)
+	if len(out) != 1 || out[0] != 4 {
+		t.Errorf("OutliersMAD with zero MAD = %v, want [4]", out)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20}, {-5, 15}, {105, 50},
+	}
+	for _, tc := range tests {
+		if got := Percentile(xs, tc.p); !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	if _, err := MeanCI(nil, 0.95); err != ErrEmpty {
+		t.Fatalf("MeanCI(nil) error = %v, want ErrEmpty", err)
+	}
+	iv, err := MeanCI([]float64{7}, 0.95)
+	if err != nil || iv.Low != 7 || iv.High != 7 {
+		t.Fatalf("MeanCI singleton = %v, %v", iv, err)
+	}
+	// For df=9 and 95%: t = 2.262. Sample with mean 10, sd 2, n 10.
+	xs := []float64{8, 9, 9, 10, 10, 10, 10, 11, 11, 12}
+	iv, err = MeanCI(xs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(Mean(xs)) {
+		t.Errorf("CI %v does not contain its own mean", iv)
+	}
+	if iv.Low >= iv.High {
+		t.Errorf("degenerate CI %v", iv)
+	}
+	want := 2.262 * StdErr(xs)
+	if got := (iv.High - iv.Low) / 2; !almostEq(got, want, 1e-2) {
+		t.Errorf("CI half-width = %v, want ~%v", got, want)
+	}
+}
+
+func TestTQuantileKnownValues(t *testing.T) {
+	tests := []struct {
+		p    float64
+		df   int
+		want float64
+		tol  float64
+	}{
+		{0.975, 10, 2.228, 2e-3},
+		{0.975, 1, 12.706, 2e-2},
+		{0.95, 5, 2.015, 2e-3},
+		{0.975, 100, 1.984, 2e-3},
+		{0.5, 7, 0, 1e-9},
+	}
+	for _, tc := range tests {
+		if got := TQuantile(tc.p, tc.df); !almostEq(got, tc.want, tc.tol) {
+			t.Errorf("TQuantile(%v, %d) = %v, want %v", tc.p, tc.df, got, tc.want)
+		}
+	}
+	if got := TQuantile(0.025, 10); !almostEq(got, -2.228, 2e-3) {
+		t.Errorf("lower tail TQuantile = %v, want -2.228", got)
+	}
+}
+
+func TestTCDFSymmetry(t *testing.T) {
+	for _, df := range []int{1, 3, 10, 50} {
+		for _, x := range []float64{0.1, 0.7, 1.5, 3} {
+			l, r := TCDF(-x, df), TCDF(x, df)
+			if !almostEq(l+r, 1, 1e-9) {
+				t.Errorf("TCDF asymmetry at x=%v df=%d: %v + %v != 1", x, df, l, r)
+			}
+		}
+		if got := TCDF(0, df); !almostEq(got, 0.5, 1e-9) {
+			t.Errorf("TCDF(0, %d) = %v, want 0.5", df, got)
+		}
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	tests := []struct {
+		p, want, tol float64
+	}{
+		{0.5, 0, 1e-8},
+		{0.975, 1.959964, 1e-4},
+		{0.025, -1.959964, 1e-4},
+		{0.84134, 1.0, 2e-3},
+		{0.999, 3.0902, 1e-3},
+	}
+	for _, tc := range tests {
+		if got := NormalQuantile(tc.p); !almostEq(got, tc.want, tc.tol) {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Errorf("NormalQuantile boundary behaviour wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 42} {
+		h.Observe(x)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+	wantCounts := []int{2, 1, 1, 0, 1}
+	for i, w := range wantCounts {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.under != 1 || h.over != 2 {
+		t.Errorf("under/over = %d/%d, want 1/2", h.under, h.over)
+	}
+	if got := h.BinCenter(0); !almostEq(got, 1, 1e-12) {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+	if h.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram(1,0,3) did not panic")
+		}
+	}()
+	NewHistogram(1, 0, 3)
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	tests := []struct {
+		x, want float64
+	}{
+		{0, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tc := range tests {
+		if got := e.At(tc.x); !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("ECDF.At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Errorf("Len = %d, want 4", e.Len())
+	}
+	empty := NewECDF(nil)
+	if empty.At(1) != 0 {
+		t.Error("empty ECDF should return 0")
+	}
+}
+
+func TestCumulativeShares(t *testing.T) {
+	got := CumulativeShares([]float64{1, 3, 4, 2})
+	want := []float64{0.4, 0.7, 0.9, 1.0}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-12) {
+			t.Errorf("CumulativeShares[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	zero := CumulativeShares([]float64{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Errorf("all-zero input should yield zero shares, got %v", zero)
+	}
+}
+
+func TestTopShareCount(t *testing.T) {
+	vals := []float64{50, 30, 10, 5, 5}
+	tests := []struct {
+		frac float64
+		want int
+	}{
+		{0.5, 1}, {0.79, 2}, {0.8, 2}, {0.9, 3}, {1.0, 5},
+	}
+	for _, tc := range tests {
+		if got := TopShareCount(vals, tc.frac); got != tc.want {
+			t.Errorf("TopShareCount(%v) = %d, want %d", tc.frac, got, tc.want)
+		}
+	}
+	if got := TopShareCount(nil, 0.5); got != 0 {
+		t.Errorf("TopShareCount(nil) = %d, want 0", got)
+	}
+}
+
+// Property: the mean always lies within [min, max] of the sample and the
+// MeanCI always contains the sample mean.
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		if m < lo-1e-6 || m > hi+1e-6 {
+			return false
+		}
+		iv, err := MeanCI(xs, 0.95)
+		return err == nil && iv.Contains(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CumulativeShares is nondecreasing and ends at 1 for positive
+// inputs.
+func TestCumulativeSharesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		shares := CumulativeShares(xs)
+		prev := 0.0
+		for i, s := range shares {
+			if s < prev-1e-12 {
+				t.Fatalf("shares decreased at %d: %v", i, shares)
+			}
+			prev = s
+		}
+		if !almostEq(shares[n-1], 1, 1e-9) {
+			t.Fatalf("final share %v != 1", shares[n-1])
+		}
+	}
+}
+
+// Property: MAD is translation invariant and scales with |a|.
+func TestMADInvarianceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		shift := rng.Float64()*20 - 10
+		scale := rng.Float64()*4 + 0.1
+		shifted := make([]float64, n)
+		scaled := make([]float64, n)
+		for i, x := range xs {
+			shifted[i] = x + shift
+			scaled[i] = x * scale
+		}
+		if !almostEq(MAD(shifted), MAD(xs), 1e-9) {
+			t.Fatalf("MAD not translation invariant")
+		}
+		if !almostEq(MAD(scaled), scale*MAD(xs), 1e-9) {
+			t.Fatalf("MAD not scale equivariant")
+		}
+	}
+}

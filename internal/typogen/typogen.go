@@ -1,0 +1,237 @@
+// Package typogen generates typo domain names ("gtypos") from target
+// domains, following the taxonomy of Szurdi et al. adopted by the paper
+// (Section 3):
+//
+//   - generated typo domains (gtypos): names lexically similar (DL-1) to a
+//     target;
+//   - candidate typo domains (ctypos): the registered subset of gtypos;
+//   - typosquatting domains: ctypos registered by a different entity to
+//     capture the target's traffic.
+//
+// Beyond plain DL-1 edits the package generates the special families the
+// paper studies: fat-finger-1 typos (Section 4.2.1's registration
+// strategy), missing-dot "doppelganger" names (ca.ibm.com -> caibm.com,
+// from the Godai white paper discussed in Section 2), and deliberate
+// smtp/mail service-prefix typos (smtpgmail.com for smtp.gmail.com,
+// Section 5.2).
+package typogen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/distance"
+)
+
+// alphabet is the set of characters legal inside a DNS label.
+const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789-"
+
+// Typo describes one generated typo domain and how it relates to its
+// target.
+type Typo struct {
+	Target string // the legitimate domain, e.g. "gmail.com"
+	Domain string // the typo domain, e.g. "gmial.com"
+
+	Op        distance.EditOp // which DL-1 class produced it
+	Position  int             // index in the target SLD where the edit occurred
+	FatFinger bool            // whether the edit is a fat-finger (QWERTY-adjacent) mistake
+	Visual    float64         // visual distance of the edit (Section 3 heuristic)
+}
+
+func (t Typo) String() string {
+	return fmt.Sprintf("%s -> %s (%s@%d ff=%v vis=%.2f)", t.Target, t.Domain, t.Op, t.Position, t.FatFinger, t.Visual)
+}
+
+// Options selects which typo families Generate emits.
+type Options struct {
+	Additions      bool
+	Deletions      bool
+	Substitutions  bool
+	Transpositions bool
+
+	FatFingerOnly bool    // keep only FF-1 typos (the paper's registration filter)
+	MaxVisual     float64 // if > 0, keep only typos with Visual <= MaxVisual
+}
+
+// AllOps returns Options with every DL-1 class enabled.
+func AllOps() Options {
+	return Options{Additions: true, Deletions: true, Substitutions: true, Transpositions: true}
+}
+
+// Generate returns the deduplicated set of gtypos of target under opts,
+// sorted by domain name. The TLD is held fixed; only the second-level
+// label is mutated, mirroring the paper's methodology. The target itself
+// and syntactically invalid labels (leading/trailing hyphen, empty) are
+// excluded.
+func Generate(target string, opts Options) []Typo {
+	sld := distance.SLD(target)
+	tld := distance.TLD(target)
+	if sld == "" {
+		return nil
+	}
+	seen := make(map[string]Typo)
+	emit := func(label string, op distance.EditOp, pos int) {
+		if !validLabel(label) || label == sld {
+			return
+		}
+		domain := label
+		if tld != "" {
+			domain = label + "." + tld
+		}
+		if _, dup := seen[domain]; dup {
+			return
+		}
+		ff := distance.IsFatFinger1(sld, label)
+		if opts.FatFingerOnly && !ff {
+			return
+		}
+		vis, _ := distance.VisualEditCost(sld, label)
+		if opts.MaxVisual > 0 && vis > opts.MaxVisual {
+			return
+		}
+		seen[domain] = Typo{
+			Target: target, Domain: domain,
+			Op: op, Position: pos, FatFinger: ff, Visual: vis,
+		}
+	}
+
+	rs := []rune(sld)
+	if opts.Deletions {
+		for i := range rs {
+			emit(string(rs[:i])+string(rs[i+1:]), distance.OpDeletion, i)
+		}
+	}
+	if opts.Transpositions {
+		for i := 0; i+1 < len(rs); i++ {
+			if rs[i] == rs[i+1] {
+				continue
+			}
+			t := append([]rune(nil), rs...)
+			t[i], t[i+1] = t[i+1], t[i]
+			emit(string(t), distance.OpTransposition, i)
+		}
+	}
+	if opts.Substitutions {
+		for i := range rs {
+			for _, c := range alphabet {
+				if c == rs[i] {
+					continue
+				}
+				t := append([]rune(nil), rs...)
+				t[i] = c
+				emit(string(t), distance.OpSubstitution, i)
+			}
+		}
+	}
+	if opts.Additions {
+		for i := 0; i <= len(rs); i++ {
+			for _, c := range alphabet {
+				emit(string(rs[:i])+string(c)+string(rs[i:]), distance.OpAddition, i)
+			}
+		}
+	}
+
+	out := make([]Typo, 0, len(seen))
+	for _, t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out
+}
+
+// GenerateAll is Generate with every DL-1 class enabled.
+func GenerateAll(target string) []Typo { return Generate(target, AllOps()) }
+
+// MissingDot returns the doppelganger domain obtained by deleting the dot
+// between a subdomain and its parent (ca.ibm.com -> caibm.com), or
+// ok=false when the name has no eligible subdomain.
+func MissingDot(fqdn string) (string, bool) {
+	fqdn = strings.TrimSuffix(fqdn, ".")
+	parts := strings.Split(fqdn, ".")
+	if len(parts) < 3 {
+		return "", false
+	}
+	return parts[0] + strings.Join(parts[1:], "."), true
+}
+
+// ServicePrefixTypos returns the deliberate service-prefix typos the paper
+// hunts for in Section 5.2: smtpgmail.com targeting smtp.gmail.com and
+// mailgoogle.com targeting mail.google.com, for each of the given
+// prefixes (typically "smtp", "mail", "webmail", "mx").
+func ServicePrefixTypos(target string, prefixes []string) []Typo {
+	sld := distance.SLD(target)
+	tld := distance.TLD(target)
+	if sld == "" || tld == "" {
+		return nil
+	}
+	out := make([]Typo, 0, len(prefixes))
+	for _, p := range prefixes {
+		label := p + sld
+		if !validLabel(label) {
+			continue
+		}
+		out = append(out, Typo{
+			Target: target,
+			Domain: label + "." + tld,
+			Op:     distance.OpOther, // not a DL-1 mistake: a deliberate registration
+			Visual: distance.Visual(sld, label),
+		})
+	}
+	return out
+}
+
+// CountByOp tallies typos per edit class, the breakdown behind Figure 9.
+func CountByOp(typos []Typo) map[distance.EditOp]int {
+	m := make(map[distance.EditOp]int)
+	for _, t := range typos {
+		m[t.Op]++
+	}
+	return m
+}
+
+// GtypoCount returns the number of distinct DL-1 gtypos of target,
+// without materializing per-typo metadata (used for the "millions of
+// gtypos of the top 10,000" scale argument of Section 4.2.1).
+func GtypoCount(target string) int { return len(GenerateAll(target)) }
+
+// validLabel enforces DNS label syntax: 1-63 chars from the label
+// alphabet, no leading or trailing hyphen.
+func validLabel(s string) bool {
+	if len(s) == 0 || len(s) > 63 {
+		return false
+	}
+	if s[0] == '-' || s[len(s)-1] == '-' {
+		return false
+	}
+	for _, r := range s {
+		if !strings.ContainsRune(alphabet, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Registry answers "is this gtypo registered?" — the predicate that turns
+// gtypos into ctypos. Implementations range from the simulated ecosystem
+// to a real zone-file snapshot.
+type Registry interface {
+	Registered(domain string) bool
+}
+
+// Ctypos filters gtypos down to the registered subset, per the taxonomy.
+func Ctypos(gtypos []Typo, reg Registry) []Typo {
+	out := make([]Typo, 0, len(gtypos))
+	for _, t := range gtypos {
+		if reg.Registered(t.Domain) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// MapRegistry is a Registry backed by an in-memory set.
+type MapRegistry map[string]bool
+
+// Registered implements Registry.
+func (m MapRegistry) Registered(domain string) bool { return m[domain] }

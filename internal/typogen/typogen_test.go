@@ -1,0 +1,242 @@
+package typogen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/distance"
+)
+
+func TestGenerateAllBasics(t *testing.T) {
+	typos := GenerateAll("gmail.com")
+	if len(typos) == 0 {
+		t.Fatal("no typos generated")
+	}
+	seen := map[string]bool{}
+	for _, typo := range typos {
+		if seen[typo.Domain] {
+			t.Errorf("duplicate domain %q", typo.Domain)
+		}
+		seen[typo.Domain] = true
+		if typo.Domain == "gmail.com" {
+			t.Error("target itself emitted as typo")
+		}
+		if !strings.HasSuffix(typo.Domain, ".com") {
+			t.Errorf("TLD not preserved: %q", typo.Domain)
+		}
+		sld := distance.SLD(typo.Domain)
+		if dl := distance.DamerauLevenshtein("gmail", sld); dl != 1 {
+			t.Errorf("typo %q at DL=%d from target, want 1", typo.Domain, dl)
+		}
+		if got := distance.ClassifyEdit("gmail", sld); got != typo.Op {
+			t.Errorf("typo %q op recorded %v, classified %v", typo.Domain, typo.Op, got)
+		}
+	}
+	// Canonical examples from the paper's domain list.
+	for _, want := range []string{"gmial.com", "gmal.com", "gmaul.com", "gmaill.com"} {
+		if !seen[want] {
+			t.Errorf("expected gtypo %q missing", want)
+		}
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	// Exact combinatorics for a length-n SLD with no repeated adjacent
+	// chars over a k-letter alphabet:
+	//   deletions: n, transpositions: n-1, substitutions: n*(k-1),
+	//   additions: (n+1)*k  — minus invalid labels and collisions.
+	typos := Generate("abcde.com", AllOps())
+	byOp := CountByOp(typos)
+	if got := byOp[distance.OpDeletion]; got != 5 {
+		t.Errorf("deletions = %d, want 5", got)
+	}
+	if got := byOp[distance.OpTransposition]; got != 4 {
+		t.Errorf("transpositions = %d, want 4", got)
+	}
+	// Substitutions: 5 positions x 36 alternatives = 180, all valid
+	// (hyphen substitution at the ends is invalid: 2 cases).
+	if got := byOp[distance.OpSubstitution]; got != 178 {
+		t.Errorf("substitutions = %d, want 178", got)
+	}
+	// Additions: 6 positions x 37 chars = 222, minus leading/trailing
+	// hyphen (2), minus overlaps with... additions can't collide with each
+	// other except duplicate results like inserting 'a' before or after an
+	// 'a'. "abcde" has distinct chars so duplicates: inserting c at
+	// position of same char — for each letter x in "abcde", inserting x
+	// before or after itself gives the same string: 5 dups.
+	if got := byOp[distance.OpAddition]; got != 222-2-5 {
+		t.Errorf("additions = %d, want %d", got, 222-2-5)
+	}
+}
+
+func TestGenerateFatFingerOnly(t *testing.T) {
+	all := GenerateAll("outlook.com")
+	ff := Generate("outlook.com", func() Options {
+		o := AllOps()
+		o.FatFingerOnly = true
+		return o
+	}())
+	if len(ff) == 0 || len(ff) >= len(all) {
+		t.Fatalf("FF filter: %d of %d", len(ff), len(all))
+	}
+	for _, typo := range ff {
+		if !typo.FatFinger {
+			t.Errorf("non-FF typo %q passed filter", typo.Domain)
+		}
+		if !distance.IsFatFinger1("outlook", distance.SLD(typo.Domain)) {
+			t.Errorf("typo %q marked FF but IsFatFinger1 false", typo.Domain)
+		}
+	}
+	// outlo0k is the paper's flagship FF typo.
+	found := false
+	for _, typo := range ff {
+		if typo.Domain == "outlo0k.com" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("outlo0k.com missing from FF-1 typos of outlook.com")
+	}
+}
+
+func TestGenerateMaxVisual(t *testing.T) {
+	opts := AllOps()
+	opts.MaxVisual = 0.2
+	typos := Generate("outlook.com", opts)
+	if len(typos) == 0 {
+		t.Fatal("no visually-close typos")
+	}
+	for _, typo := range typos {
+		if typo.Visual > 0.2 {
+			t.Errorf("typo %q visual %.2f exceeds cap", typo.Domain, typo.Visual)
+		}
+	}
+	domains := map[string]bool{}
+	for _, typo := range typos {
+		domains[typo.Domain] = true
+	}
+	if !domains["outlo0k.com"] {
+		t.Error("outlo0k.com (o->0) should survive a 0.2 visual cap")
+	}
+	if domains["outlopk.com"] {
+		t.Error("outlopk.com (o->p) should not survive a 0.2 visual cap")
+	}
+}
+
+func TestGenerateSubsetsByOp(t *testing.T) {
+	only := func(o Options) map[distance.EditOp]int {
+		return CountByOp(Generate("verizon.net", o))
+	}
+	dels := only(Options{Deletions: true})
+	if len(dels) != 1 || dels[distance.OpDeletion] == 0 {
+		t.Errorf("Deletions-only generated %v", dels)
+	}
+	adds := only(Options{Additions: true})
+	if len(adds) != 1 || adds[distance.OpAddition] == 0 {
+		t.Errorf("Additions-only generated %v", adds)
+	}
+	subs := only(Options{Substitutions: true})
+	if len(subs) != 1 || subs[distance.OpSubstitution] == 0 {
+		t.Errorf("Substitutions-only generated %v", subs)
+	}
+	trans := only(Options{Transpositions: true})
+	if len(trans) != 1 || trans[distance.OpTransposition] == 0 {
+		t.Errorf("Transpositions-only generated %v", trans)
+	}
+}
+
+func TestGenerateInvalidLabels(t *testing.T) {
+	for _, typo := range GenerateAll("ab.com") {
+		label := distance.SLD(typo.Domain)
+		if strings.HasPrefix(label, "-") || strings.HasSuffix(label, "-") {
+			t.Errorf("invalid label emitted: %q", typo.Domain)
+		}
+		if label == "" {
+			t.Errorf("empty label emitted: %q", typo.Domain)
+		}
+	}
+	if got := Generate("", AllOps()); got != nil {
+		t.Errorf("Generate of empty target = %v, want nil", got)
+	}
+}
+
+func TestGenerateNoTLD(t *testing.T) {
+	typos := GenerateAll("localhost")
+	if len(typos) == 0 {
+		t.Fatal("single-label names should still generate typos")
+	}
+	for _, typo := range typos {
+		if strings.Contains(typo.Domain, ".") {
+			t.Errorf("unexpected dot in %q", typo.Domain)
+		}
+	}
+}
+
+func TestMissingDot(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"ca.ibm.com", "caibm.com", true},
+		{"smtp.gmail.com", "smtpgmail.com", true},
+		{"mail.google.com.", "mailgoogle.com", true},
+		{"gmail.com", "", false},
+		{"localhost", "", false},
+	}
+	for _, tc := range tests {
+		got, ok := MissingDot(tc.in)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("MissingDot(%q) = %q,%v want %q,%v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestServicePrefixTypos(t *testing.T) {
+	typos := ServicePrefixTypos("gmail.com", []string{"smtp", "mail", "mx"})
+	want := map[string]bool{"smtpgmail.com": true, "mailgmail.com": true, "mxgmail.com": true}
+	if len(typos) != len(want) {
+		t.Fatalf("got %d typos, want %d", len(typos), len(want))
+	}
+	for _, typo := range typos {
+		if !want[typo.Domain] {
+			t.Errorf("unexpected prefix typo %q", typo.Domain)
+		}
+		if typo.Op != distance.OpOther {
+			t.Errorf("prefix typo %q should be OpOther, got %v", typo.Domain, typo.Op)
+		}
+	}
+	if got := ServicePrefixTypos("localhost", []string{"smtp"}); got != nil {
+		t.Errorf("prefix typos of TLD-less name = %v, want nil", got)
+	}
+}
+
+func TestCtypos(t *testing.T) {
+	g := GenerateAll("gmail.com")
+	reg := MapRegistry{"gmial.com": true, "gmaul.com": true}
+	c := Ctypos(g, reg)
+	if len(c) != 2 {
+		t.Fatalf("ctypos = %d, want 2", len(c))
+	}
+	for _, typo := range c {
+		if !reg[typo.Domain] {
+			t.Errorf("unregistered domain %q in ctypos", typo.Domain)
+		}
+	}
+}
+
+func TestGtypoCountScale(t *testing.T) {
+	// Section 4.2.1: the gtypo set of a popular domain numbers in the
+	// hundreds; over the top 10,000 domains this reaches millions.
+	n := GtypoCount("gmail.com")
+	if n < 300 || n > 1000 {
+		t.Errorf("GtypoCount(gmail.com) = %d, expected hundreds", n)
+	}
+}
+
+func TestTypoStringer(t *testing.T) {
+	typos := GenerateAll("gmail.com")
+	if s := typos[0].String(); !strings.Contains(s, "gmail.com") {
+		t.Errorf("String() = %q missing target", s)
+	}
+}

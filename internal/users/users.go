@@ -1,0 +1,312 @@
+// Package users is the generative model of the humans whose mistakes the
+// study measures. It operationalizes the paper's Section 6 model and
+// hypotheses H1–H3:
+//
+//	E_ij = E_i · Pt_ij · (1 − Pc_ij)
+//
+// where E_i is the email volume of target domain i, Pt_ij the probability
+// of typing typo j instead of i (H1: equiprobable across providers; H2:
+// typing then verification), and Pc_ij the probability the user catches
+// the mistake during verification — driven by the typo's visual distance,
+// the length of the domain, and the position of the error.
+//
+// The same machinery generates the three mistake classes of Section 3:
+// receiver typos (mis-typed recipient domains), reflection typos
+// (mis-typed own address at registration, followed by automated service
+// mail), and SMTP typos (mis-configured outgoing server, a burst of
+// outbound mail until the user notices).
+package users
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/alexa"
+	"repro/internal/distance"
+)
+
+// Model holds the typing-error process parameters.
+type Model struct {
+	// CharErrorRate is the per-keystroke probability of an error.
+	CharErrorRate float64
+
+	// Mistake-class weights; they need not sum to 1 (normalized on use).
+	// Defaults follow Figure 9: deletion and transposition dominate.
+	WeightDeletion      float64
+	WeightTransposition float64
+	WeightSubstitution  float64
+	WeightAddition      float64
+
+	// Correction model: Pc = 1 - exp(-(CorrBase + CorrVisual*visual +
+	// CorrPosition*earliness) * CorrLengthScale/len(domain)).
+	CorrBase        float64
+	CorrVisual      float64
+	CorrPosition    float64
+	CorrLengthScale float64
+}
+
+// DefaultModel returns parameters tuned to the paper's observations:
+// typos are rare per keystroke, deletion/transposition mistakes dominate
+// the surviving traffic, and visually obvious mistakes get corrected.
+func DefaultModel() Model {
+	return Model{
+		CharErrorRate:       0.0035,
+		WeightDeletion:      1.00,
+		WeightTransposition: 0.75,
+		WeightSubstitution:  0.45,
+		WeightAddition:      0.35,
+		CorrBase:            0.3,
+		CorrVisual:          2.2,
+		CorrPosition:        0.6,
+		CorrLengthScale:     4.0,
+	}
+}
+
+func (m Model) weightFor(op distance.EditOp) float64 {
+	switch op {
+	case distance.OpDeletion:
+		return m.WeightDeletion
+	case distance.OpTransposition:
+		return m.WeightTransposition
+	case distance.OpSubstitution:
+		return m.WeightSubstitution
+	case distance.OpAddition:
+		return m.WeightAddition
+	default:
+		return 0
+	}
+}
+
+// TypoProbability returns Pt_ij: the probability that a user intending to
+// type target's SLD produces exactly typo's SLD (one error, every other
+// keystroke correct). Zero when the strings are not at DL-1 or the edit
+// is not reachable by the keystroke process (e.g. substitution by a
+// non-adjacent key).
+func (m Model) TypoProbability(target, typo string) float64 {
+	ts, ys := distance.SLD(target), distance.SLD(typo)
+	op := distance.ClassifyEdit(ts, ys)
+	w := m.weightFor(op)
+	if w == 0 {
+		return 0
+	}
+	n := len(ts)
+	if n == 0 {
+		return 0
+	}
+	wSum := m.WeightDeletion + m.WeightTransposition + m.WeightSubstitution + m.WeightAddition
+	pErrHere := m.CharErrorRate * math.Pow(1-m.CharErrorRate, float64(n-1))
+	classP := w / wSum
+
+	// Within a class the specific outcome competes with the alternatives
+	// available at that keystroke. Motor (fat-finger) outcomes dominate,
+	// but cognitive slips produce non-adjacent keys at a low rate — the
+	// paper's hovmail.com (t->v, not adjacent) received real traffic.
+	const motorShare = 0.85
+	var outcomeP float64
+	switch op {
+	case distance.OpDeletion, distance.OpTransposition:
+		outcomeP = 1 // deleting/swapping at a known position has one outcome
+	case distance.OpSubstitution:
+		pos, _ := distance.EditPosition(ts, ys)
+		rt, ry := []rune(ts), []rune(ys)
+		if distance.Adjacent(rt[pos], ry[pos]) {
+			neigh := len(distance.Neighbors(rt[pos]))
+			if neigh == 0 {
+				return 0
+			}
+			outcomeP = motorShare / float64(neigh)
+		} else {
+			outcomeP = (1 - motorShare) / 30 // any other key, cognitively
+		}
+	case distance.OpAddition:
+		if distance.IsFatFinger1(ts, ys) {
+			outcomeP = motorShare / 8 // one of the handful of insertable neighbors
+		} else {
+			outcomeP = (1 - motorShare) / 30
+		}
+	}
+	return pErrHere * classP * outcomeP
+}
+
+// CorrectionProbability returns Pc_ij for a typo of target: how likely
+// the verification step (H2) catches it. More visible mistakes, earlier
+// positions and shorter domains are easier to catch.
+func (m Model) CorrectionProbability(target, typo string) float64 {
+	ts, ys := distance.SLD(target), distance.SLD(typo)
+	if ts == ys {
+		return 0
+	}
+	visual, ok := distance.VisualEditCost(ts, ys)
+	if !ok {
+		visual = distance.Visual(ts, ys)
+	}
+	pos, ok := distance.EditPosition(ts, ys)
+	earliness := 0.5
+	if ok && len(ts) > 0 {
+		earliness = 1 - float64(pos)/float64(len(ts))
+	}
+	strength := (m.CorrBase + m.CorrVisual*visual + m.CorrPosition*earliness) *
+		m.CorrLengthScale / math.Max(float64(len(ts)), 1)
+	return 1 - math.Exp(-strength)
+}
+
+// SurvivalProbability is Pt·(1−Pc): the chance one outgoing email lands
+// on the typo domain.
+func (m Model) SurvivalProbability(target, typo string) float64 {
+	return m.TypoProbability(target, typo) * (1 - m.CorrectionProbability(target, typo))
+}
+
+// SampleTypedDomain simulates typing the SLD of target once, applying at
+// most one keystroke error and then the correction step. It returns the
+// final domain string (with TLD re-attached) — usually the target itself.
+func (m Model) SampleTypedDomain(rng *rand.Rand, target string) string {
+	sld := distance.SLD(target)
+	tld := distance.TLD(target)
+	rs := []rune(sld)
+	typed := rs
+	for i := 0; i < len(rs); i++ {
+		if rng.Float64() >= m.CharErrorRate {
+			continue
+		}
+		typed = m.applyError(rng, rs, i)
+		break // at most one error per attempt; DL-1 regime
+	}
+	result := string(typed)
+	if result != sld {
+		if rng.Float64() < m.CorrectionProbability(sld, result) {
+			result = sld // user noticed and fixed it
+		}
+	}
+	if tld != "" {
+		return result + "." + tld
+	}
+	return result
+}
+
+func (m Model) applyError(rng *rand.Rand, rs []rune, i int) []rune {
+	wSum := m.WeightDeletion + m.WeightTransposition + m.WeightSubstitution + m.WeightAddition
+	x := rng.Float64() * wSum
+	out := append([]rune(nil), rs...)
+	switch {
+	case x < m.WeightDeletion:
+		return append(out[:i], out[i+1:]...)
+	case x < m.WeightDeletion+m.WeightTransposition:
+		if i+1 < len(out) {
+			out[i], out[i+1] = out[i+1], out[i]
+		} else if i > 0 {
+			out[i-1], out[i] = out[i], out[i-1]
+		}
+		return out
+	case x < m.WeightDeletion+m.WeightTransposition+m.WeightSubstitution:
+		if ns := distance.Neighbors(out[i]); len(ns) > 0 {
+			out[i] = ns[rng.Intn(len(ns))]
+		}
+		return out
+	default:
+		ins := out[i]
+		if ns := distance.Neighbors(out[i]); len(ns) > 0 && rng.Float64() < 0.7 {
+			ins = ns[rng.Intn(len(ns))]
+		}
+		return append(out[:i], append([]rune{ins}, out[i:]...)...)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Traffic volumes (E_i)
+
+// EmailsPerVisitorYear converts web popularity to yearly *hand-typed*
+// email volume — the paper's H3/E_i assumption that email volume is
+// proportional to the provider's active users. Only addresses typed by
+// hand can carry a domain typo (replies and autocompleted addresses
+// cannot), which is why the constant is small.
+const EmailsPerVisitorYear = 0.03
+
+// YearlyEmailVolume models E_i for a target domain.
+func YearlyEmailVolume(target alexa.Domain) float64 {
+	return target.MonthlyVisitors * EmailsPerVisitorYear
+}
+
+// ExpectedYearlyTypoEmails is E_ij: the paper's central quantity.
+func (m Model) ExpectedYearlyTypoEmails(target alexa.Domain, typoDomain string) float64 {
+	return YearlyEmailVolume(target) * m.SurvivalProbability(target.Name, typoDomain)
+}
+
+// ---------------------------------------------------------------------
+// SMTP typo episodes
+
+// SMTPEpisode is one user's stretch of misconfigured SMTP settings: a
+// small batch of outbound emails over a short persistence window.
+type SMTPEpisode struct {
+	User        string  // stable pseudonymous sender address
+	Emails      int     // outbound emails before the typo is fixed
+	Persistence float64 // days between first and last email (0 if one email)
+}
+
+// SampleSMTPEpisode draws one episode matching Section 4.4.2: 70% of
+// users send a single email (persistence zero), 90% send four or fewer,
+// 83% of episodes last under a day, 90% under a week, with a rare long
+// tail out to ~200 days.
+func SampleSMTPEpisode(rng *rand.Rand, user string) SMTPEpisode {
+	ep := SMTPEpisode{User: user}
+	switch r := rng.Float64(); {
+	case r < 0.70:
+		ep.Emails = 1
+	case r < 0.90:
+		ep.Emails = 2 + rng.Intn(3) // 2-4
+	default:
+		ep.Emails = 5 + rng.Intn(16) // 5-20
+	}
+	if ep.Emails == 1 {
+		return ep
+	}
+	switch r := rng.Float64(); {
+	case r < 0.83:
+		ep.Persistence = rng.Float64() * 0.9 // under a day
+	case r < 0.90:
+		ep.Persistence = 1 + rng.Float64()*6 // under a week
+	default:
+		ep.Persistence = 7 + math.Abs(rng.NormFloat64())*50 // heavy tail
+		if ep.Persistence > 209 {
+			ep.Persistence = 209 // the paper's observed maximum
+		}
+	}
+	return ep
+}
+
+// SMTPTypoRatePerReceiverTypo is the paper's order-of-magnitude finding:
+// SMTP typo emails arrive about one decade less frequently than receiver
+// typos.
+const SMTPTypoRatePerReceiverTypo = 0.1
+
+// ---------------------------------------------------------------------
+// Reflection typos
+
+// ReflectionEpisode is a mistyped registration: a service keeps mailing
+// the wrong address.
+type ReflectionEpisode struct {
+	Rcpt   string // the mistyped address at the typo domain
+	Emails int    // notifications the service sends over the window
+}
+
+// SampleReflectionEpisode draws a registration-typo episode; disposable-
+// mail targets (10minutemail, yopmail) see more of these, handled by the
+// caller's rate.
+func SampleReflectionEpisode(rng *rand.Rand, rcpt string) ReflectionEpisode {
+	return ReflectionEpisode{Rcpt: rcpt, Emails: 1 + rng.Intn(6)}
+}
+
+// RandomLocalPart builds a plausible mailbox name.
+func RandomLocalPart(rng *rand.Rand) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	var sb strings.Builder
+	n := 4 + rng.Intn(8)
+	for i := 0; i < n; i++ {
+		sb.WriteByte(letters[rng.Intn(len(letters))])
+	}
+	if rng.Float64() < 0.4 {
+		sb.WriteByte(byte('0' + rng.Intn(10)))
+		sb.WriteByte(byte('0' + rng.Intn(10)))
+	}
+	return sb.String()
+}

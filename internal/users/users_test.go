@@ -1,0 +1,224 @@
+package users
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alexa"
+	"repro/internal/distance"
+)
+
+func TestTypoProbabilityBasics(t *testing.T) {
+	m := DefaultModel()
+	if p := m.TypoProbability("gmail.com", "gmail.com"); p != 0 {
+		t.Errorf("identity Pt = %v, want 0", p)
+	}
+	if p := m.TypoProbability("gmail.com", "yahoo.com"); p != 0 {
+		t.Errorf("unrelated Pt = %v, want 0", p)
+	}
+	del := m.TypoProbability("gmail.com", "gmal.com")
+	if del <= 0 {
+		t.Fatalf("deletion Pt = %v", del)
+	}
+	sub := m.TypoProbability("gmail.com", "gmaik.com") // l->k adjacent
+	if sub <= 0 {
+		t.Fatalf("adjacent substitution Pt = %v", sub)
+	}
+	if del <= sub {
+		t.Errorf("deletion Pt %v should exceed substitution Pt %v (Figure 9)", del, sub)
+	}
+	// Substitution by a non-adjacent key is a rare cognitive slip: far
+	// less likely than an adjacent fat-finger, but not impossible.
+	nonAdj := m.TypoProbability("gmail.com", "gmaiz.com")
+	if nonAdj <= 0 || nonAdj >= sub/3 {
+		t.Errorf("non-adjacent substitution Pt = %v, want small positive << %v", nonAdj, sub)
+	}
+	// Likewise a conspicuous insertion far from any finger slip.
+	nonFF := m.TypoProbability("gmail.com", "gmaiql.com")
+	if nonFF <= 0 || nonFF >= del {
+		t.Errorf("non-FF addition Pt = %v, want small positive", nonFF)
+	}
+}
+
+func TestCorrectionProbabilityOrdering(t *testing.T) {
+	m := DefaultModel()
+	// Visually obvious beats lookalike: outlopk (o->p) vs outlo0k (o->0).
+	obvious := m.CorrectionProbability("outlook.com", "outlopk.com")
+	subtle := m.CorrectionProbability("outlook.com", "outlo0k.com")
+	if obvious <= subtle {
+		t.Errorf("Pc(obvious)=%v should exceed Pc(subtle)=%v", obvious, subtle)
+	}
+	for _, pc := range []float64{obvious, subtle} {
+		if pc <= 0 || pc >= 1 {
+			t.Errorf("Pc out of range: %v", pc)
+		}
+	}
+	// Errors at the start are more salient than at the end.
+	early := m.CorrectionProbability("verizon.com", "evrizon.com") // wait: transposition at 0
+	late := m.CorrectionProbability("verizon.com", "verizno.com")  // transposition at end
+	if early <= late {
+		t.Errorf("Pc(early)=%v should exceed Pc(late)=%v", early, late)
+	}
+	if m.CorrectionProbability("gmail.com", "gmail.com") != 0 {
+		t.Error("Pc of no-typo should be 0")
+	}
+}
+
+func TestSurvivalFavorsVisuallyCloseTypos(t *testing.T) {
+	// Section 4.4.2: "visual distance seems more important than keyboard
+	// distance" — outlo0k survives much better than outlopk.
+	m := DefaultModel()
+	s0 := m.SurvivalProbability("outlook.com", "outlo0k.com")
+	sp := m.SurvivalProbability("outlook.com", "outlopk.com")
+	if s0 <= sp {
+		t.Errorf("survival(outlo0k)=%g <= survival(outlopk)=%g", s0, sp)
+	}
+	if s0 <= 0 {
+		t.Error("outlo0k should be reachable")
+	}
+}
+
+func TestSampleTypedDomainDistribution(t *testing.T) {
+	m := DefaultModel()
+	rng := rand.New(rand.NewSource(1))
+	const n = 300000
+	typos := map[string]int{}
+	wrong := 0
+	for i := 0; i < n; i++ {
+		got := m.SampleTypedDomain(rng, "gmail.com")
+		if got != "gmail.com" {
+			wrong++
+			typos[got]++
+		}
+	}
+	// Error rate after correction: well under the raw keystroke rate x len.
+	rawRate := 1 - 1.0/float64(n)*float64(n-wrong)
+	if rawRate <= 0 || rawRate > 0.02 {
+		t.Errorf("post-correction typo rate = %v", rawRate)
+	}
+	// Every produced typo must be DL-1 from the target.
+	byOp := map[distance.EditOp]int{}
+	for typo, cnt := range typos {
+		op := distance.ClassifyEdit("gmail", distance.SLD(typo))
+		if op == distance.OpOther || op == distance.OpNone {
+			t.Fatalf("sampled impossible typo %q", typo)
+		}
+		byOp[op] += cnt
+	}
+	// Figure 9 ordering in the surviving sample.
+	if byOp[distance.OpDeletion] <= byOp[distance.OpAddition] {
+		t.Errorf("deletions %d should outnumber additions %d", byOp[distance.OpDeletion], byOp[distance.OpAddition])
+	}
+	if byOp[distance.OpTransposition] <= byOp[distance.OpAddition] {
+		t.Errorf("transpositions %d should outnumber additions %d", byOp[distance.OpTransposition], byOp[distance.OpAddition])
+	}
+}
+
+func TestSampleTypedDomainKeepsTLD(t *testing.T) {
+	m := DefaultModel()
+	m.CharErrorRate = 0.5 // force frequent errors
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		got := m.SampleTypedDomain(rng, "verizon.net")
+		if distance.TLD(got) != "net" {
+			t.Fatalf("TLD mangled: %q", got)
+		}
+	}
+}
+
+func TestExpectedYearlyTypoEmailsScale(t *testing.T) {
+	m := DefaultModel()
+	u := alexa.NewUniverse(100, 1)
+	gmail, _ := u.Lookup("gmail.com")
+	good := m.ExpectedYearlyTypoEmails(gmail, "gmal.com") // deletion, low visual
+	if good < 100 || good > 100000 {
+		t.Errorf("E_ij for a prime typo = %g, want thousands", good)
+	}
+	bad := m.ExpectedYearlyTypoEmails(gmail, "gmaik.com") // visible substitution
+	if bad >= good {
+		t.Errorf("visible typo volume %g >= prime typo %g", bad, good)
+	}
+	// Popularity matters (H3): same typo class on an unpopular target.
+	tail := u.All()[90]
+	tailTypo := distance.SLD(tail.Name)
+	if len(tailTypo) < 3 {
+		t.Skip("tail SLD too short")
+	}
+	tailDel := tailTypo[:2] + tailTypo[3:] + ".com"
+	if m.ExpectedYearlyTypoEmails(tail, tailDel) >= good {
+		t.Error("unpopular target outdraws gmail")
+	}
+}
+
+func TestSMTPEpisodeDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 20000
+	ones, leFour, under1d, under1w := 0, 0, 0, 0
+	multi := 0
+	for i := 0; i < n; i++ {
+		ep := SampleSMTPEpisode(rng, "user")
+		if ep.Emails < 1 || ep.Emails > 20 {
+			t.Fatalf("episode emails = %d", ep.Emails)
+		}
+		if ep.Emails == 1 {
+			ones++
+			if ep.Persistence != 0 {
+				t.Fatal("single-email episode with nonzero persistence")
+			}
+		} else {
+			multi++
+			if ep.Persistence > 209 {
+				t.Fatalf("persistence %v above the paper's max", ep.Persistence)
+			}
+			if ep.Persistence < 1 {
+				under1d++
+			}
+			if ep.Persistence < 7 {
+				under1w++
+			}
+		}
+		if ep.Emails <= 4 {
+			leFour++
+		}
+	}
+	if f := float64(ones) / n; f < 0.65 || f > 0.75 {
+		t.Errorf("single-email fraction = %.2f, paper: 0.70", f)
+	}
+	if f := float64(leFour) / n; f < 0.85 {
+		t.Errorf("<=4 emails fraction = %.2f, paper: 0.90", f)
+	}
+	if f := float64(under1w) / float64(multi); f < 0.80 {
+		t.Errorf("under-a-week fraction = %.2f, paper: 0.90", f)
+	}
+	if f := float64(under1d) / float64(multi); f < 0.70 {
+		t.Errorf("under-a-day fraction = %.2f, paper: 0.83", f)
+	}
+}
+
+func TestReflectionEpisode(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		ep := SampleReflectionEpisode(rng, "x@gmial.com")
+		if ep.Emails < 1 || ep.Emails > 6 {
+			t.Fatalf("emails = %d", ep.Emails)
+		}
+		if ep.Rcpt != "x@gmial.com" {
+			t.Fatalf("rcpt = %q", ep.Rcpt)
+		}
+	}
+}
+
+func TestRandomLocalPart(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		lp := RandomLocalPart(rng)
+		if len(lp) < 4 {
+			t.Fatalf("local part too short: %q", lp)
+		}
+		seen[lp] = true
+	}
+	if len(seen) < 90 {
+		t.Errorf("local parts not diverse: %d unique of 100", len(seen))
+	}
+}

@@ -1,0 +1,205 @@
+package vault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2016, 6, 10, 12, 0, 0, 0, time.UTC)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	v, err := Open(DeriveKey("removable-usb-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := []byte("From: a@b.com\r\n\r\nsensitive body")
+	id, err := v.Put("gmial.com", "receiver-typo", t0, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rec, err := v.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, plain) {
+		t.Errorf("plaintext = %q", got)
+	}
+	if rec.Domain != "gmial.com" || rec.Verdict != "receiver-typo" || !rec.Received.Equal(t0) {
+		t.Errorf("metadata = %+v", rec)
+	}
+}
+
+func TestCiphertextHidesPlaintext(t *testing.T) {
+	v, _ := Open(DeriveKey("k"))
+	secret := []byte("the visa document contents")
+	id, _ := v.Put("d.com", "v", t0, secret)
+	v.mu.RLock()
+	rec := v.records[id]
+	v.mu.RUnlock()
+	if bytes.Contains(rec.ciphertext, []byte("visa")) {
+		t.Error("plaintext fragment visible in ciphertext")
+	}
+	if len(rec.ciphertext) <= len(secret) {
+		t.Error("ciphertext missing auth tag")
+	}
+}
+
+func TestWrongKeyFails(t *testing.T) {
+	v, _ := Open(DeriveKey("right"))
+	id, _ := v.Put("d.com", "v", t0, []byte("secret"))
+	var buf bytes.Buffer
+	if err := v.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := Import(DeriveKey("wrong"), &buf)
+	if err != nil {
+		t.Fatal(err) // import succeeds: key only checked on Get
+	}
+	if _, _, err := wrong.Get(id); !errors.Is(err, ErrBadKey) {
+		t.Errorf("Get with wrong key = %v, want ErrBadKey", err)
+	}
+}
+
+func TestTamperDetection(t *testing.T) {
+	v, _ := Open(DeriveKey("k"))
+	id, _ := v.Put("d.com", "v", t0, []byte("evidence"))
+	v.mu.Lock()
+	v.records[id].ciphertext[3] ^= 0xFF
+	v.mu.Unlock()
+	if _, _, err := v.Get(id); !errors.Is(err, ErrBadKey) {
+		t.Errorf("tampered record = %v, want ErrBadKey", err)
+	}
+}
+
+func TestRecordsNotSwappable(t *testing.T) {
+	// AAD binds ID and domain: moving a ciphertext to another ID fails.
+	v, _ := Open(DeriveKey("k"))
+	id1, _ := v.Put("a.com", "v", t0, []byte("one"))
+	id2, _ := v.Put("b.com", "v", t0, []byte("two"))
+	v.mu.Lock()
+	v.records[id1].ciphertext, v.records[id2].ciphertext = v.records[id2].ciphertext, v.records[id1].ciphertext
+	v.records[id1].nonce, v.records[id2].nonce = v.records[id2].nonce, v.records[id1].nonce
+	v.mu.Unlock()
+	if _, _, err := v.Get(id1); !errors.Is(err, ErrBadKey) {
+		t.Errorf("swapped record accepted: %v", err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	v, _ := Open(DeriveKey("k"))
+	if _, _, err := v.Get(99); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestMetaNeverLeaksContent(t *testing.T) {
+	v, _ := Open(DeriveKey("k"))
+	v.Put("gmial.com", "spam:score", t0, []byte("secret-content"))
+	v.Put("outlo0k.com", "receiver-typo", t0.Add(time.Hour), []byte("more-secret"))
+	meta := v.Meta()
+	if len(meta) != 2 {
+		t.Fatalf("meta = %d records", len(meta))
+	}
+	for _, m := range meta {
+		if m.ciphertext != nil || m.nonce != nil {
+			t.Error("Meta exposed sealed fields")
+		}
+	}
+	if meta[0].ID != 1 || meta[1].ID != 2 {
+		t.Error("meta not in ID order")
+	}
+}
+
+func TestSurrender(t *testing.T) {
+	v, _ := Open(DeriveKey("k"))
+	v.Put("gmial.com", "v", t0, []byte("1"))
+	v.Put("gmial.com", "v", t0, []byte("2"))
+	id3, _ := v.Put("outlo0k.com", "v", t0, []byte("3"))
+	if n := v.Surrender("gmial.com"); n != 2 {
+		t.Errorf("Surrender = %d, want 2", n)
+	}
+	if v.Len() != 1 {
+		t.Errorf("Len = %d", v.Len())
+	}
+	if _, _, err := v.Get(id3); err != nil {
+		t.Errorf("unrelated record lost: %v", err)
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	key := DeriveKey("shared")
+	v, _ := Open(key)
+	ids := make([]uint64, 0, 5)
+	for i := 0; i < 5; i++ {
+		id, _ := v.Put("gmial.com", "receiver-typo", t0.Add(time.Duration(i)*time.Hour), []byte{byte(i), 0xAA})
+		ids = append(ids, id)
+	}
+	v.Surrender("") // no-op
+	var buf bytes.Buffer
+	if err := v.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Import(key, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len() != 5 {
+		t.Fatalf("imported = %d", v2.Len())
+	}
+	for i, id := range ids {
+		pt, rec, err := v2.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt[0] != byte(i) || rec.Domain != "gmial.com" {
+			t.Errorf("record %d corrupted", id)
+		}
+	}
+	// New puts continue after the max imported ID.
+	id, _ := v2.Put("x.com", "v", t0, []byte("new"))
+	if id != 6 {
+		t.Errorf("next ID = %d, want 6", id)
+	}
+}
+
+func TestImportGarbage(t *testing.T) {
+	if _, err := Import(DeriveKey("k"), bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("garbage import accepted")
+	}
+	// Absurd field size must be rejected, not allocated.
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 1}) // one record
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 1}) // id
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // domain length: 4 GiB
+	if _, err := Import(DeriveKey("k"), &buf); err == nil {
+		t.Error("absurd field size accepted")
+	}
+}
+
+func TestDeriveKeyStable(t *testing.T) {
+	if DeriveKey("a") != DeriveKey("a") {
+		t.Error("DeriveKey not deterministic")
+	}
+	if DeriveKey("a") == DeriveKey("b") {
+		t.Error("distinct passphrases collide")
+	}
+}
+
+// Property: every payload round-trips.
+func TestRoundTripProperty(t *testing.T) {
+	v, _ := Open(DeriveKey("prop"))
+	f := func(payload []byte) bool {
+		id, err := v.Put("d.com", "v", t0, payload)
+		if err != nil {
+			return false
+		}
+		got, _, err := v.Get(id)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,37 @@
+package whois
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParse exercises the WHOIS text parser: never panic, and accepted
+// records must format and re-parse stably.
+func FuzzParse(f *testing.F) {
+	rec := Record{
+		Domain: "gmial.com", RegistrantName: "Mickey Mouse", Organization: "Typo LLC",
+		Email: "m@t.example", Phone: "+1.555", Fax: "+1.556", MailingAddress: "1 Loop",
+		Registrar: "CheapNames", NameServers: []string{"ns1.x.example"},
+		Created: time.Date(2015, 3, 1, 0, 0, 0, 0, time.UTC),
+	}
+	f.Add(rec.Format())
+	priv := rec
+	priv.Private = true
+	f.Add(priv.Format())
+	f.Add("No match for \"X.COM\".\n")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		r, err := Parse(text)
+		if err != nil {
+			return
+		}
+		r2, err := Parse(r.Format())
+		if err != nil {
+			t.Fatalf("formatted record does not re-parse: %v", err)
+		}
+		if r2.Domain != r.Domain || r2.Private != r.Private {
+			t.Fatalf("identity drift: %+v vs %+v", r, r2)
+		}
+	})
+}

@@ -1,0 +1,351 @@
+// Package whois models the WHOIS side of the ecosystem study
+// (Section 5.1): registrant records with the six fields the paper
+// clusters on (name, organization, email, phone, fax, mailing address),
+// the port-43 query protocol, and the 4-of-6-field registrant clustering
+// of Halvorson et al. that surfaces bulk typosquatters ("repeatedly
+// seeing the name Mickey Mouse as a technical contact ... might be
+// evidence of common ownership").
+package whois
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Record is one domain's WHOIS data.
+type Record struct {
+	Domain string
+
+	// The six clustering fields.
+	RegistrantName string
+	Organization   string
+	Email          string
+	Phone          string
+	Fax            string
+	MailingAddress string
+
+	Registrar   string
+	NameServers []string
+	Private     bool // behind a privacy/proxy service
+	Created     time.Time
+}
+
+// ClusterFields returns the six clustering fields in canonical order.
+// Privacy-proxied records return empties: the paper excludes them from
+// registrant clustering.
+func (r Record) ClusterFields() [6]string {
+	if r.Private {
+		return [6]string{}
+	}
+	norm := func(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+	return [6]string{
+		norm(r.RegistrantName), norm(r.Organization), norm(r.Email),
+		norm(r.Phone), norm(r.Fax), norm(r.MailingAddress),
+	}
+}
+
+// FilledFields counts non-empty clustering fields.
+func (r Record) FilledFields() int {
+	n := 0
+	for _, f := range r.ClusterFields() {
+		if f != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Format renders the record in WHOIS text form.
+func (r Record) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Domain Name: %s\n", strings.ToUpper(r.Domain))
+	fmt.Fprintf(&sb, "Registrar: %s\n", r.Registrar)
+	fmt.Fprintf(&sb, "Creation Date: %s\n", r.Created.Format("2006-01-02"))
+	if r.Private {
+		sb.WriteString("Registrant Name: REDACTED FOR PRIVACY\n")
+		sb.WriteString("Registrant Organization: Privacy Protect, LLC\n")
+	} else {
+		fmt.Fprintf(&sb, "Registrant Name: %s\n", r.RegistrantName)
+		fmt.Fprintf(&sb, "Registrant Organization: %s\n", r.Organization)
+		fmt.Fprintf(&sb, "Registrant Email: %s\n", r.Email)
+		fmt.Fprintf(&sb, "Registrant Phone: %s\n", r.Phone)
+		fmt.Fprintf(&sb, "Registrant Fax: %s\n", r.Fax)
+		fmt.Fprintf(&sb, "Registrant Street: %s\n", r.MailingAddress)
+	}
+	for _, ns := range r.NameServers {
+		fmt.Fprintf(&sb, "Name Server: %s\n", strings.ToUpper(ns))
+	}
+	return sb.String()
+}
+
+// Parse reads a WHOIS text response back into a Record.
+func Parse(text string) (Record, error) {
+	var r Record
+	sc := bufio.NewScanner(strings.NewReader(text))
+	found := false
+	for sc.Scan() {
+		line := sc.Text()
+		i := strings.IndexByte(line, ':')
+		if i < 0 {
+			continue
+		}
+		key := strings.TrimSpace(strings.ToLower(line[:i]))
+		val := strings.TrimSpace(line[i+1:])
+		switch key {
+		case "domain name":
+			r.Domain = strings.ToLower(val)
+			found = true
+		case "registrar":
+			r.Registrar = val
+		case "creation date":
+			if t, err := time.Parse("2006-01-02", val); err == nil {
+				r.Created = t
+			}
+		case "registrant name":
+			if val == "REDACTED FOR PRIVACY" {
+				r.Private = true
+			} else {
+				r.RegistrantName = val
+			}
+		case "registrant organization":
+			if !r.Private {
+				r.Organization = val
+			}
+		case "registrant email":
+			r.Email = val
+		case "registrant phone":
+			r.Phone = val
+		case "registrant fax":
+			r.Fax = val
+		case "registrant street":
+			r.MailingAddress = val
+		case "name server":
+			r.NameServers = append(r.NameServers, strings.ToLower(val))
+		}
+	}
+	if !found {
+		return Record{}, errors.New("whois: no Domain Name field")
+	}
+	return r, nil
+}
+
+// ---------------------------------------------------------------------
+// Port-43 protocol
+
+// ErrNoMatch is the WHOIS "no such domain" outcome.
+var ErrNoMatch = errors.New("whois: no match")
+
+// Directory answers WHOIS lookups.
+type Directory interface {
+	WhoisLookup(domain string) (Record, bool)
+}
+
+// MapDirectory is an in-memory Directory.
+type MapDirectory map[string]Record
+
+// WhoisLookup implements Directory.
+func (m MapDirectory) WhoisLookup(domain string) (Record, bool) {
+	r, ok := m[strings.ToLower(strings.TrimSpace(domain))]
+	return r, ok
+}
+
+// Server speaks the RFC 3912 protocol: one query line in, text out,
+// connection closed.
+type Server struct {
+	dir Directory
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer creates a server over dir.
+func NewServer(dir Directory) *Server { return &Server{dir: dir} }
+
+// ListenAndServe binds addr and serves until ctx ends.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, bound chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("whois: listen: %w", err)
+	}
+	if bound != nil {
+		bound <- ln.Addr()
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.wg.Wait()
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(10 * time.Second))
+			line, err := bufio.NewReader(conn).ReadString('\n')
+			if err != nil {
+				return
+			}
+			domain := strings.TrimSpace(line)
+			if rec, ok := s.dir.WhoisLookup(domain); ok {
+				fmt.Fprint(conn, rec.Format())
+			} else {
+				fmt.Fprintf(conn, "No match for %q.\n", strings.ToUpper(domain))
+			}
+		}()
+	}
+}
+
+// Close stops the server.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Query performs one lookup against a WHOIS server address.
+func Query(ctx context.Context, addr, domain string) (Record, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return Record{}, fmt.Errorf("whois: dial: %w", err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline)
+	} else {
+		conn.SetDeadline(time.Now().Add(10 * time.Second))
+	}
+	if _, err := fmt.Fprintf(conn, "%s\r\n", domain); err != nil {
+		return Record{}, fmt.Errorf("whois: write: %w", err)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := conn.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	text := sb.String()
+	if strings.HasPrefix(text, "No match") {
+		return Record{}, ErrNoMatch
+	}
+	return Parse(text)
+}
+
+// ---------------------------------------------------------------------
+// Registrant clustering
+
+// Cluster groups domains by registrant: two records belong to the same
+// entity when at least `threshold` (the paper: 4) of their six WHOIS
+// fields match. Records with fewer than threshold filled fields are
+// skipped, as are privacy-proxied ones.
+func Cluster(records []Record, threshold int) [][]string {
+	type entry struct {
+		domain string
+		fields [6]string
+	}
+	var entries []entry
+	for _, r := range records {
+		if r.FilledFields() < threshold {
+			continue
+		}
+		entries = append(entries, entry{domain: r.Domain, fields: r.ClusterFields()})
+	}
+	n := len(entries)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	// Index by (field position, value) so we only compare candidates that
+	// share at least one field.
+	index := make(map[string][]int)
+	for i, e := range entries {
+		for f, v := range e.fields {
+			if v != "" {
+				index[fmt.Sprintf("%d\x00%s", f, v)] = append(index[fmt.Sprintf("%d\x00%s", f, v)], i)
+			}
+		}
+	}
+	compared := make(map[[2]int]bool)
+	for _, cands := range index {
+		for i := 0; i < len(cands); i++ {
+			for j := i + 1; j < len(cands); j++ {
+				a, b := cands[i], cands[j]
+				if a > b {
+					a, b = b, a
+				}
+				key := [2]int{a, b}
+				if compared[key] {
+					continue
+				}
+				compared[key] = true
+				matches := 0
+				for f := 0; f < 6; f++ {
+					if entries[a].fields[f] != "" && entries[a].fields[f] == entries[b].fields[f] {
+						matches++
+					}
+				}
+				if matches >= threshold {
+					union(a, b)
+				}
+			}
+		}
+	}
+
+	groups := make(map[int][]string)
+	for i, e := range entries {
+		root := find(i)
+		groups[root] = append(groups[root], e.domain)
+	}
+	out := make([][]string, 0, len(groups))
+	for _, ds := range groups {
+		sort.Strings(ds)
+		out = append(out, ds)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}

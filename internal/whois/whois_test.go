@@ -1,0 +1,175 @@
+package whois
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRecord() Record {
+	return Record{
+		Domain:         "gmial.com",
+		RegistrantName: "Mickey Mouse",
+		Organization:   "Typo Holdings LLC",
+		Email:          "mickey@typoholdings.example",
+		Phone:          "+1.5551234567",
+		Fax:            "+1.5551234568",
+		MailingAddress: "1 Infinite Typo Loop",
+		Registrar:      "CheapNames Inc",
+		NameServers:    []string{"ns1.parkit.example", "ns2.parkit.example"},
+		Created:        time.Date(2015, 3, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	rec := sampleRecord()
+	got, err := Parse(rec.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Domain != "gmial.com" || got.RegistrantName != "Mickey Mouse" ||
+		got.Email != rec.Email || got.Phone != rec.Phone || got.Fax != rec.Fax ||
+		got.MailingAddress != rec.MailingAddress || got.Organization != rec.Organization {
+		t.Errorf("round trip = %+v", got)
+	}
+	if len(got.NameServers) != 2 || got.NameServers[0] != "ns1.parkit.example" {
+		t.Errorf("name servers = %v", got.NameServers)
+	}
+	if !got.Created.Equal(rec.Created) {
+		t.Errorf("created = %v", got.Created)
+	}
+}
+
+func TestPrivateRecord(t *testing.T) {
+	rec := sampleRecord()
+	rec.Private = true
+	text := rec.Format()
+	if strings.Contains(text, "Mickey") {
+		t.Error("privacy proxy leaked registrant")
+	}
+	got, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Private {
+		t.Error("Private flag lost")
+	}
+	if got.FilledFields() != 0 {
+		t.Errorf("private record has %d cluster fields", got.FilledFields())
+	}
+}
+
+func TestParseGarbage(t *testing.T) {
+	if _, err := Parse("not whois at all"); err == nil {
+		t.Error("garbage parsed")
+	}
+}
+
+func TestClusterFourOfSix(t *testing.T) {
+	base := sampleRecord()
+	r2 := base
+	r2.Domain = "outlo0k.com"
+	r2.Email = "other@typoholdings.example" // 5 of 6 still match
+	r3 := base
+	r3.Domain = "yaho0.com"
+	r3.Email = "x@y.example"
+	r3.Phone = "+1.000" // 4 of 6 match
+	r4 := base
+	r4.Domain = "hotmial.com"
+	r4.Email = "a@b"
+	r4.Phone = "+9"
+	r4.Fax = "+8" // 3 of 6: different entity
+	other := Record{
+		Domain: "legit.com", RegistrantName: "Jane Doe", Organization: "Jane LLC",
+		Email: "jane@doe.example", Phone: "+44.20", Fax: "+44.21", MailingAddress: "2 Real St",
+	}
+	clusters := Cluster([]Record{base, r2, r3, r4, other}, 4)
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %v", clusters)
+	}
+	if len(clusters[0]) != 3 {
+		t.Errorf("big cluster = %v", clusters[0])
+	}
+	joined := strings.Join(clusters[0], ",")
+	for _, want := range []string{"gmial.com", "outlo0k.com", "yaho0.com"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("cluster missing %s: %v", want, clusters[0])
+		}
+	}
+}
+
+func TestClusterSkipsPrivateAndSparse(t *testing.T) {
+	private := sampleRecord()
+	private.Private = true
+	sparse := Record{Domain: "sparse.com", RegistrantName: "A", Organization: "B"}
+	clusters := Cluster([]Record{private, sparse}, 4)
+	if len(clusters) != 0 {
+		t.Errorf("clusters = %v, want none", clusters)
+	}
+}
+
+func TestClusterTransitive(t *testing.T) {
+	// A~B on fields 1-4, B~C on fields 3-6: A,B,C one entity (union-find).
+	a := Record{Domain: "a.com", RegistrantName: "N", Organization: "O", Email: "E", Phone: "P", Fax: "FA", MailingAddress: "MA"}
+	b := Record{Domain: "b.com", RegistrantName: "N", Organization: "O", Email: "E", Phone: "P", Fax: "FB", MailingAddress: "MB"}
+	c := Record{Domain: "c.com", RegistrantName: "X", Organization: "Y", Email: "E", Phone: "P", Fax: "FB", MailingAddress: "MB"}
+	clusters := Cluster([]Record{a, b, c}, 4)
+	if len(clusters) != 1 || len(clusters[0]) != 3 {
+		t.Errorf("clusters = %v, want one of three", clusters)
+	}
+}
+
+func TestServerAndQuery(t *testing.T) {
+	dir := MapDirectory{"gmial.com": sampleRecord()}
+	srv := NewServer(dir)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	bound := make(chan net.Addr, 1)
+	done := make(chan struct{})
+	go func() { defer close(done); srv.ListenAndServe(ctx, "127.0.0.1:0", bound) }()
+	addr := (<-bound).String()
+
+	rec, err := Query(context.Background(), addr, "GMIAL.COM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.RegistrantName != "Mickey Mouse" {
+		t.Errorf("record = %+v", rec)
+	}
+
+	if _, err := Query(context.Background(), addr, "unknown.com"); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("err = %v, want ErrNoMatch", err)
+	}
+
+	srv.Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("server did not stop")
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // accept and stall
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if _, err := Query(ctx, ln.Addr().String(), "x.com"); err == nil {
+		t.Error("stalled server query succeeded")
+	}
+}
