@@ -1,0 +1,38 @@
+# Stdlib-only build: no external tools, no network. Every target is a
+# plain go invocation so CI and laptops behave identically.
+
+GO ?= go
+
+.PHONY: check build test race vet lint fuzz clean
+
+# check is the gate for every change: vet, build, the repo's own
+# analyzers (cmd/repolint), then the full test suite under the race
+# detector.
+check: vet build lint race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs the five paper-invariant analyzers over the whole module;
+# a non-zero exit means a finding (or a malformed waiver directive).
+lint:
+	$(GO) run ./cmd/repolint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# fuzz gives each sanitizer fuzz target a short budget; lengthen
+# FUZZTIME for a soak run.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz=FuzzRedact$$ -fuzztime=$(FUZZTIME) ./internal/sanitize/
+	$(GO) test -fuzz=FuzzRedactCorpus -fuzztime=$(FUZZTIME) ./internal/sanitize/
+
+clean:
+	$(GO) clean ./...

@@ -29,6 +29,7 @@ import (
 	"repro/internal/dnsserve"
 	"repro/internal/dnswire"
 	"repro/internal/mailmsg"
+	"repro/internal/sanitize"
 	"repro/internal/smtpd"
 	"repro/internal/spamfilter"
 	"repro/internal/vault"
@@ -39,6 +40,7 @@ func main() {
 	smtpAddr := flag.String("smtp", "127.0.0.1:2525", "TCP address for the catch-all SMTP server")
 	useTLS := flag.Bool("tls", false, "advertise STARTTLS with a self-signed certificate")
 	passphrase := flag.String("vault", "key-on-removable-storage", "vault passphrase")
+	salt := flag.String("salt", "salt-on-removable-storage", "sanitizer redaction salt (kept off-server in the real deployment)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -46,9 +48,14 @@ func main() {
 
 	domains := core.AllStudyDomains()
 	ourDomains := map[string]bool{}
+	// canonDomain maps a recipient's domain back to the configured study
+	// domain string, so logs and vault metadata only ever carry our own
+	// registered names — never text lifted from an incoming envelope.
+	canonDomain := map[string]string{}
 	store := dnsserve.NewStore()
 	for _, d := range domains {
 		ourDomains[d.Name] = true
+		canonDomain[d.Name] = d.Name
 		store.Put(dnsserve.TypoZone(d.Name, dnswire.IPv4(127, 0, 0, 1)))
 	}
 
@@ -56,6 +63,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("collector: %v", err)
 	}
+	sanitizer := sanitize.New(*salt)
 	classifier := spamfilter.NewClassifier(spamfilter.Config{OurDomains: ourDomains})
 
 	dnsSrv := dnsserve.NewServer(store)
@@ -84,9 +92,19 @@ func main() {
 				SenderAddr: env.MailFrom, Received: env.Received,
 			}
 			r := classifier.ClassifyOne(email)
-			log.Printf("email %s -> %s: %v", env.MailFrom, rcpt, r.Verdict)
+			// Clear logs carry only our own canonical domain name and the
+			// funnel verdict (the paper's metadata/content split) — never
+			// addresses or bytes from the envelope itself.
+			domain, known := canonDomain[serverDomain]
+			if !known {
+				domain = "(unregistered domain)"
+			}
+			log.Printf("email for %s at %s: %v", domain, env.Received.Format("2006-01-02T15:04:05Z07:00"), r.Verdict)
 			if r.Verdict.IsTrueTypo() {
-				if _, err := v.Put(serverDomain, r.Verdict.String(), env.Received, env.Data); err != nil {
+				// Section 4.2.2: every stored byte passes through the regex
+				// sanitizer first; only then is it encrypted at rest.
+				clean, _ := sanitizer.Redact(string(env.Data))
+				if _, err := v.Put(domain, r.Verdict.String(), env.Received, []byte(clean)); err != nil {
 					return err
 				}
 			}

@@ -190,19 +190,18 @@ func (s *Store) Len() int {
 type Server struct {
 	store *Store
 
-	mu     sync.Mutex
-	conn   net.PacketConn
-	closed bool
-	done   chan struct{}
+	mu      sync.Mutex
+	conn    net.PacketConn
+	closed  bool
+	serving bool
 
-	// Queries counts requests served, for infrastructure monitoring.
-	queries sync.Map // qtype -> *int64 not needed; simple counter below
+	// nServed counts queries answered, for infrastructure monitoring.
 	nServed int64
 }
 
 // NewServer creates a server over store.
 func NewServer(store *Store) *Server {
-	return &Server{store: store, done: make(chan struct{})}
+	return &Server{store: store}
 }
 
 // ErrServerClosed is returned by Serve after Close.
@@ -230,12 +229,24 @@ func (s *Server) Serve(ctx context.Context, conn net.PacketConn) error {
 		conn.Close()
 		return ErrServerClosed
 	}
+	if s.serving {
+		// A second concurrent Serve would clobber s.conn and leave Close
+		// unable to unblock the first read loop.
+		s.mu.Unlock()
+		conn.Close()
+		return errors.New("dnsserve: Serve called concurrently on the same Server")
+	}
+	s.serving = true
 	s.conn = conn
 	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.serving = false
+		s.mu.Unlock()
+	}()
 
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
-	defer close(s.done)
 
 	buf := make([]byte, 4096)
 	for {

@@ -1,0 +1,130 @@
+package dnsserve
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dnswire"
+)
+
+// TestServeConcurrentlyRejected: a second Serve on the same Server must
+// fail cleanly instead of clobbering the first loop's conn (and, in the
+// old implementation, double-closing the completion channel).
+func TestServeConcurrentlyRejected(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	store := NewStore()
+	store.Put(TypoZone("gmial.com", dnswire.IPv4(127, 0, 0, 1)))
+	srv := NewServer(store)
+
+	bound := make(chan net.Addr, 1)
+	first := make(chan error, 1)
+	go func() { first <- srv.ListenAndServe(ctx, "127.0.0.1:0", bound) }()
+	<-bound
+
+	conn2, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Serve(ctx, conn2); err == nil {
+		t.Fatal("second concurrent Serve succeeded; want error")
+	}
+
+	srv.Close()
+	select {
+	case <-first:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first Serve did not return after Close")
+	}
+}
+
+// TestQueryCloseStorm fires queries from many goroutines while the server
+// shuts down, and reads Served() throughout.
+func TestQueryCloseStorm(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	store := NewStore()
+	store.Put(TypoZone("gmial.com", dnswire.IPv4(127, 0, 0, 1)))
+	srv := NewServer(store)
+
+	bound := make(chan net.Addr, 1)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.ListenAndServe(ctx, "127.0.0.1:0", bound) }()
+	addr := (<-bound).String()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id uint16) {
+			defer wg.Done()
+			q := dnswire.NewQuery(id, "smtp.gmial.com", dnswire.TypeMX)
+			wire, err := dnswire.Encode(q)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			buf := make([]byte, 512)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c, err := net.Dial("udp", addr)
+				if err != nil {
+					return
+				}
+				c.SetDeadline(time.Now().Add(500 * time.Millisecond))
+				c.Write(wire)
+				c.Read(buf)
+				c.Close()
+			}
+		}(uint16(i + 1))
+	}
+	for i := 0; i < 100; i++ {
+		srv.Served()
+	}
+	time.Sleep(10 * time.Millisecond)
+	srv.Close()
+	close(stop)
+	wg.Wait()
+	select {
+	case <-serveDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	srv.Served() // must not race with anything after shutdown
+}
+
+// TestZoneStoreConcurrentMutation mutates the store and zones while
+// lookups run — the surrender-on-request path (Delete) happens live.
+func TestZoneStoreConcurrentMutation(t *testing.T) {
+	store := NewStore()
+	store.Put(TypoZone("gmial.com", dnswire.IPv4(127, 0, 0, 1)))
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				store.Put(TypoZone("hotmial.com", dnswire.IPv4(127, 0, 0, 1)))
+				store.Delete("hotmial.com")
+				store.Len()
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if z, ok := store.Find("smtp.gmial.com"); ok {
+					z.Lookup("smtp.gmial.com", dnswire.TypeMX)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxLeakAnalyzer flags context.WithCancel / WithTimeout / WithDeadline
+// calls whose cancel function is discarded or provably not invoked on
+// every return path of its scope. A lost cancel leaks the context's
+// timer and goroutine — in a pipeline probing thousands of domains that
+// is a resource leak that compounds until the collector stalls.
+//
+// A cancel func counts as handled when it is deferred, when it escapes
+// (returned, stored, or passed to another function), or when a direct
+// call to it lexically precedes every return statement of its block.
+var CtxLeakAnalyzer = &Analyzer{
+	Name: "ctxleak",
+	Doc:  "flags discarded or path-incompletely-invoked context cancel functions",
+	Run:  runCtxLeak,
+}
+
+var cancelReturningFuncs = map[string]bool{
+	"WithCancel":      true,
+	"WithTimeout":     true,
+	"WithDeadline":    true,
+	"WithCancelCause": true,
+}
+
+func runCtxLeak(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.AssignStmt)
+			if !ok || len(stmt.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || !isPkgPath(fn.Pkg(), "context") || !cancelReturningFuncs[fn.Name()] {
+				return true
+			}
+			if len(stmt.Lhs) != 2 {
+				return true
+			}
+			cancelExpr := stmt.Lhs[1]
+			if isBlank(cancelExpr) {
+				pass.Reportf(stmt.Pos(), "cancel func of context.%s is discarded; the context leaks until its parent ends", fn.Name())
+				return true
+			}
+			id, ok := cancelExpr.(*ast.Ident)
+			if !ok {
+				return true // assigned through a selector/index: escapes
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id] // plain `=` assignment to an existing var
+			}
+			if obj == nil {
+				return true
+			}
+			checkCancelUse(pass, file, stmt, call, fn.Name(), obj)
+			return true
+		})
+	}
+}
+
+// cancelUse classifies every appearance of the cancel variable.
+type cancelUse struct {
+	deferred bool
+	escapes  bool
+	calls    []ast.Node // the CallExpr statements invoking cancel directly
+}
+
+func checkCancelUse(pass *Pass, file *ast.File, assign *ast.AssignStmt, ctxCall *ast.CallExpr, ctxFn string, obj types.Object) {
+	// The scope of the analysis is the innermost block holding the
+	// assignment; returns outside it are beyond the variable's life.
+	path := pathEnclosing(file, assign.Pos())
+	var block *ast.BlockStmt
+	for i := len(path) - 1; i >= 0; i-- {
+		if b, ok := path[i].(*ast.BlockStmt); ok {
+			block = b
+			break
+		}
+	}
+	if block == nil {
+		return
+	}
+
+	use := classifyCancelUses(pass.Pkg.Info, block, obj, assign)
+	switch {
+	case use.deferred || use.escapes:
+		return
+	case len(use.calls) == 0:
+		pass.Reportf(assign.Pos(), "cancel func of context.%s is never invoked; defer it immediately", ctxFn)
+		return
+	}
+	// Direct calls only: every return after the assignment inside the
+	// variable's block must be lexically preceded by a cancel call whose
+	// enclosing block also contains the return.
+	uncovered := findUncoveredReturn(block, assign, use.calls)
+	if uncovered != token.NoPos {
+		pass.Reportf(uncovered, "return without invoking the cancel func of context.%s declared at line %d; defer the cancel instead",
+			ctxFn, pass.Prog.Fset.Position(assign.Pos()).Line)
+	}
+}
+
+// classifyCancelUses walks the block and records how obj is used after
+// the assignment.
+func classifyCancelUses(info *types.Info, block *ast.BlockStmt, obj types.Object, assign *ast.AssignStmt) cancelUse {
+	var use cancelUse
+	isObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && (info.Uses[id] == obj || info.Defs[id] == obj)
+	}
+	ast.Inspect(block, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			if isObj(s.Call.Fun) {
+				use.deferred = true
+			}
+			for _, a := range s.Call.Args {
+				if isObj(a) {
+					use.escapes = true
+				}
+			}
+		case *ast.CallExpr:
+			if isObj(s.Fun) {
+				use.calls = append(use.calls, s)
+			}
+			for _, a := range s.Args {
+				if isObj(a) {
+					use.escapes = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if isObj(r) {
+					use.escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			if s == assign {
+				return true
+			}
+			for _, r := range s.Rhs {
+				if isObj(r) {
+					use.escapes = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, e := range s.Elts {
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					if isObj(kv.Value) {
+						use.escapes = true
+					}
+				} else if isObj(e) {
+					use.escapes = true
+				}
+			}
+		}
+		return true
+	})
+	return use
+}
+
+// findUncoveredReturn returns the position of the first return statement
+// inside block, after the assignment, that no direct cancel call covers.
+// A cancel call covers a return when it lexically precedes it and its
+// enclosing block extends over the return (so straight-line execution
+// passes through the call first).
+func findUncoveredReturn(block *ast.BlockStmt, assign *ast.AssignStmt, calls []ast.Node) token.Pos {
+	uncovered := token.NoPos
+	ast.Inspect(block, func(n ast.Node) bool {
+		if uncovered != token.NoPos {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // separate execution; returns inside don't leak this cancel
+		case *ast.ReturnStmt:
+			if s.Pos() < assign.End() {
+				return true
+			}
+			for _, c := range calls {
+				if c.End() <= s.Pos() && enclosingBlockCovers(block, c, s) {
+					return true
+				}
+			}
+			uncovered = s.Pos()
+		}
+		return true
+	})
+	return uncovered
+}
+
+// enclosingBlockCovers reports whether the statement-level block that
+// contains call also spans ret.
+func enclosingBlockCovers(root *ast.BlockStmt, call, ret ast.Node) bool {
+	var holder *ast.BlockStmt
+	ast.Inspect(root, func(n ast.Node) bool {
+		b, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for _, stmt := range b.List {
+			if stmt.Pos() <= call.Pos() && call.End() <= stmt.End() {
+				holder = b // innermost wins: keep descending
+			}
+		}
+		return true
+	})
+	if holder == nil {
+		holder = root
+	}
+	return holder.Pos() <= ret.Pos() && ret.Pos() < holder.End()
+}

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDropAnalyzer flags discarded error returns — bare call statements
+// and `_ =` assignments — inside the networked pipeline packages, where
+// a silently dropped I/O, SMTP or DNS error turns into a corrupted
+// measurement. Deferred teardown calls, Close, and the socket-deadline
+// setters are exempt: their errors are only interesting when the very
+// next read or write fails anyway.
+var ErrDropAnalyzer = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flags dropped error returns from I/O, SMTP and DNS calls in the networked packages",
+	Run:  runErrDrop,
+}
+
+// errdropPackages are the module-relative packages the check covers.
+var errdropPackages = []string{
+	"internal/smtpd",
+	"internal/smtpc",
+	"internal/dnsserve",
+	"internal/resolve",
+	"internal/probe",
+}
+
+// errdropExemptMethods never need their error checked at the call site.
+var errdropExemptMethods = map[string]bool{
+	"Close":            true,
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+func runErrDrop(pass *Pass) {
+	if !pkgInList(pass.Prog.Module, pass.Pkg.Path, errdropPackages) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				// The call itself is exempt; its body is still inspected
+				// through the function-literal case below.
+				if call, ok := deferredOrGoneCall(stmt); ok {
+					inspectCallArgs(pass, call)
+					return false
+				}
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					checkDroppedCall(pass, call, "return value")
+				}
+			case *ast.AssignStmt:
+				checkBlankErrAssign(pass, info, stmt)
+			}
+			return true
+		})
+	}
+}
+
+// deferredOrGoneCall extracts the call of a defer/go statement.
+func deferredOrGoneCall(n ast.Node) (*ast.CallExpr, bool) {
+	switch s := n.(type) {
+	case *ast.DeferStmt:
+		return s.Call, true
+	case *ast.GoStmt:
+		return s.Call, true
+	}
+	return nil, false
+}
+
+// inspectCallArgs re-inspects function literals passed to an exempt
+// defer/go call so their bodies are still checked.
+func inspectCallArgs(pass *Pass, call *ast.CallExpr) {
+	for _, n := range append([]ast.Expr{call.Fun}, call.Args...) {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				switch stmt := n.(type) {
+				case *ast.ExprStmt:
+					if c, ok := stmt.X.(*ast.CallExpr); ok {
+						checkDroppedCall(pass, c, "return value")
+					}
+				case *ast.AssignStmt:
+					checkBlankErrAssign(pass, pass.Pkg.Info, stmt)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkDroppedCall flags a statement-position call whose last result is
+// an error.
+func checkDroppedCall(pass *Pass, call *ast.CallExpr, how string) {
+	info := pass.Pkg.Info
+	results := funcResults(info, call)
+	if results == nil || results.Len() == 0 {
+		return
+	}
+	last := results.At(results.Len() - 1).Type()
+	if !isErrorType(last) {
+		return
+	}
+	if exemptCallee(info, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s error %s is dropped; handle it or waive with //repolint:allow errdrop <reason>",
+		calleeName(info, call), how)
+}
+
+// checkBlankErrAssign flags `_ = f()` and `a, _ := f()` where the blank
+// position holds the error result.
+func checkBlankErrAssign(pass *Pass, info *types.Info, stmt *ast.AssignStmt) {
+	// Multi-value form: x, _ := f()
+	if len(stmt.Rhs) == 1 {
+		if call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr); ok {
+			results := funcResults(info, call)
+			if results != nil && results.Len() == len(stmt.Lhs) && results.Len() > 1 {
+				for i, lhs := range stmt.Lhs {
+					if isBlank(lhs) && isErrorType(results.At(i).Type()) && !exemptCallee(info, call) {
+						pass.Reportf(stmt.Pos(), "%s error assigned to blank; handle it or waive with //repolint:allow errdrop <reason>",
+							calleeName(info, call))
+						return
+					}
+				}
+			}
+		}
+	}
+	// One-to-one form: _ = f() (possibly among parallel assignments).
+	if len(stmt.Lhs) == len(stmt.Rhs) {
+		for i, lhs := range stmt.Lhs {
+			if !isBlank(lhs) {
+				continue
+			}
+			call, ok := ast.Unparen(stmt.Rhs[i]).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			results := funcResults(info, call)
+			if results == nil || results.Len() != 1 || !isErrorType(results.At(0).Type()) {
+				continue
+			}
+			if exemptCallee(info, call) {
+				continue
+			}
+			pass.Reportf(stmt.Pos(), "%s error assigned to blank; handle it or waive with //repolint:allow errdrop <reason>",
+				calleeName(info, call))
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func exemptCallee(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if errdropExemptMethods[sel.Sel.Name] {
+		return true
+	}
+	// strings.Builder and bytes.Buffer writes are documented to always
+	// return a nil error; forcing checks there is pure noise.
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return (isPkgPath(obj.Pkg(), "strings") && obj.Name() == "Builder") ||
+		(isPkgPath(obj.Pkg(), "bytes") && obj.Name() == "Buffer")
+}
+
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		if fn.Pkg() != nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,251 @@
+// Package lint is the project's custom static-analysis layer: a small
+// driver built only on the standard library's go/parser, go/ast and
+// go/types, plus a registry of analyzers that machine-check the
+// invariants the compiler cannot — most importantly the paper's ethical
+// invariant that no raw captured email reaches persistent storage or a
+// log without passing through internal/sanitize (Section 4.2.2).
+//
+// The driver loads every package of the module from source, typechecks
+// it, and runs each analyzer. Findings print as
+//
+//	file:line: [analyzer] message
+//
+// and any finding makes `repolint` exit non-zero, so the checks run as
+// part of the build alongside `go vet`.
+//
+// A finding that is intentional (for example a deliberately ignored
+// best-effort QUIT) can be waived with a directive comment on the same
+// or the preceding line:
+//
+//	//repolint:allow <analyzer> <reason>
+//
+// The reason is mandatory; a bare waiver is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the finding in the driver's canonical output format.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Package is one loaded, typechecked package.
+type Package struct {
+	Path  string // import path ("repro/internal/smtpd")
+	Dir   string // absolute directory
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the whole loaded module in dependency order.
+type Program struct {
+	Module   string // module path from go.mod
+	Root     string // absolute module root directory
+	Fset     *token.FileSet
+	Packages []*Package // topological order, dependencies first
+	ByPath   map[string]*Package
+}
+
+// Pass carries the state one analyzer run sees for one package.
+type Pass struct {
+	Prog *Program
+	Pkg  *Package
+
+	analyzer string
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one registered check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Run inspects one package. Whole-program analyzers can reach every
+	// other package through pass.Prog.
+	Run func(pass *Pass)
+}
+
+// Analyzers returns the full registry in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		SanitizeFlowAnalyzer,
+		MutexCopyAnalyzer,
+		CtxLeakAnalyzer,
+		ErrDropAnalyzer,
+		TimeNondeterminismAnalyzer,
+	}
+}
+
+// AnalyzerByName finds a registered analyzer.
+func AnalyzerByName(name string) (*Analyzer, bool) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Run executes the analyzers over the target packages and returns the
+// surviving findings sorted by position. Directive waivers are applied
+// here; malformed directives become findings themselves.
+func Run(prog *Program, targets []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, a := range analyzers {
+		for _, pkg := range targets {
+			pass := &Pass{Prog: prog, Pkg: pkg, analyzer: a.Name, findings: &findings}
+			a.Run(pass)
+		}
+	}
+	waivers, bad := collectWaivers(prog, targets)
+	findings = append(findings, bad...)
+	kept := findings[:0]
+	for _, f := range findings {
+		if waivers[waiverKey{f.Pos.Filename, f.Pos.Line, f.Analyzer}] {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	findings = kept
+	sort.Slice(findings, func(i, j int) bool {
+		fi, fj := findings[i], findings[j]
+		if fi.Pos.Filename != fj.Pos.Filename {
+			return fi.Pos.Filename < fj.Pos.Filename
+		}
+		if fi.Pos.Line != fj.Pos.Line {
+			return fi.Pos.Line < fj.Pos.Line
+		}
+		if fi.Analyzer != fj.Analyzer {
+			return fi.Analyzer < fj.Analyzer
+		}
+		return fi.Message < fj.Message
+	})
+	return findings
+}
+
+type waiverKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+const directivePrefix = "//repolint:allow"
+
+// collectWaivers scans comments for //repolint:allow directives. A
+// directive waives the named analyzer on its own line and on the first
+// code line at or below it (so it can sit above the flagged statement).
+func collectWaivers(prog *Program, targets []*Package) (map[waiverKey]bool, []Finding) {
+	waivers := make(map[waiverKey]bool)
+	var bad []Finding
+	for _, pkg := range targets {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, directivePrefix) {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, directivePrefix))
+					name, reason, _ := strings.Cut(rest, " ")
+					if _, ok := AnalyzerByName(name); !ok || strings.TrimSpace(reason) == "" {
+						bad = append(bad, Finding{
+							Pos:      pos,
+							Analyzer: "directive",
+							Message:  fmt.Sprintf("malformed waiver %q: want //repolint:allow <analyzer> <reason>", c.Text),
+						})
+						continue
+					}
+					waivers[waiverKey{pos.Filename, pos.Line, name}] = true
+					waivers[waiverKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	return waivers, bad
+}
+
+// ---------------------------------------------------------------------
+// Shared type helpers used by several analyzers.
+
+// isPkgPath reports whether pkg (possibly nil for the universe scope)
+// has exactly the given import path.
+func isPkgPath(pkg *types.Package, path string) bool {
+	return pkg != nil && pkg.Path() == path
+}
+
+// calleeFunc resolves the called function object of a call expression,
+// unwrapping parentheses. It returns nil for calls through function
+// values or type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isConversion reports whether call is a type conversion rather than a
+// function call.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// funcResults returns the result tuple of the called function, or nil.
+func funcResults(info *types.Info, call *ast.CallExpr) *types.Tuple {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig.Results()
+}
+
+// pathEnclosing returns the AST node stack from file down to the
+// innermost node containing pos.
+func pathEnclosing(file *ast.File, pos token.Pos) []ast.Node {
+	var path []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() <= pos && pos < n.End() {
+			path = append(path, n)
+			return true
+		}
+		return false
+	})
+	return path
+}

@@ -1,0 +1,299 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadProgram parses and typechecks every package of the module rooted
+// at or above dir, and returns the program plus the subset of packages
+// matching the given patterns ("./...", "./internal/...", "./cmd/smtpd").
+//
+// Only the standard library is used: module packages are typechecked
+// from source in dependency order, and stdlib imports resolve through
+// go/importer's source importer. Test files are not loaded — the
+// invariants the analyzers enforce are about production code, and test
+// code deliberately does things like dropping errors.
+func LoadProgram(dir string, patterns []string) (*Program, []*Package, error) {
+	root, module, err := findModule(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	prog := &Program{
+		Module: module,
+		Root:   root,
+		Fset:   fset,
+		ByPath: make(map[string]*Package),
+	}
+
+	parsed, err := parseModule(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	order, err := topoSort(prog.Module, parsed)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	imp := &progImporter{
+		prog:   prog,
+		stdlib: importer.ForCompiler(fset, "source", nil),
+	}
+	for _, pkg := range order {
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(error) {}, // collect via returned err; keep going within a package
+		}
+		pkg.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, pkg.Info)
+		if err != nil {
+			return nil, nil, fmt.Errorf("typecheck %s: %w", pkg.Path, err)
+		}
+		pkg.Types = tpkg
+		prog.Packages = append(prog.Packages, pkg)
+		prog.ByPath[pkg.Path] = pkg
+	}
+
+	targets, err := match(prog, dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, targets, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, module string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if name, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(name), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: no module line in %s/go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// parseModule walks the module tree and parses every buildable package.
+func parseModule(prog *Program) (map[string]*Package, error) {
+	pkgs := make(map[string]*Package)
+	err := filepath.WalkDir(prog.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != prog.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			fname := e.Name()
+			if e.IsDir() || !strings.HasSuffix(fname, ".go") ||
+				strings.HasSuffix(fname, "_test.go") ||
+				strings.HasPrefix(fname, ".") || strings.HasPrefix(fname, "_") {
+				continue
+			}
+			f, err := parser.ParseFile(prog.Fset, filepath.Join(path, fname), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return fmt.Errorf("lint: parse: %w", err)
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(prog.Root, path)
+		if err != nil {
+			return err
+		}
+		ipath := prog.Module
+		if rel != "." {
+			ipath = prog.Module + "/" + filepath.ToSlash(rel)
+		}
+		pkgs[ipath] = &Package{Path: ipath, Dir: path, Files: files}
+		return nil
+	})
+	return pkgs, err
+}
+
+// topoSort orders packages so every intra-module dependency precedes its
+// importers.
+func topoSort(module string, pkgs map[string]*Package) ([]*Package, error) {
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make(map[string]int)
+	var order []*Package
+	var visit func(path string, stack []string) error
+	visit = func(path string, stack []string) error {
+		pkg, ok := pkgs[path]
+		if !ok {
+			return fmt.Errorf("lint: import %q not found in module", path)
+		}
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle: %s", strings.Join(append(stack, path), " -> "))
+		}
+		state[path] = visiting
+		for _, dep := range moduleImports(module, pkg) {
+			if err := visit(dep, append(stack, path)); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		order = append(order, pkg)
+		return nil
+	}
+	paths := make([]string, 0, len(pkgs))
+	for p := range pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImports lists pkg's imports that live inside the module.
+func moduleImports(module string, pkg *Package) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path != module && !strings.HasPrefix(path, module+"/") {
+				continue
+			}
+			if !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// progImporter resolves module imports to already-typechecked packages
+// and delegates everything else to the stdlib source importer.
+type progImporter struct {
+	prog   *Program
+	stdlib types.Importer
+	cache  map[string]*types.Package
+}
+
+func (pi *progImporter) Import(path string) (*types.Package, error) {
+	if path == pi.prog.Module || strings.HasPrefix(path, pi.prog.Module+"/") {
+		if pkg, ok := pi.prog.ByPath[path]; ok {
+			return pkg.Types, nil
+		}
+		return nil, fmt.Errorf("lint: module package %q not loaded (dependency order bug)", path)
+	}
+	if pi.cache == nil {
+		pi.cache = make(map[string]*types.Package)
+	}
+	if pkg, ok := pi.cache[path]; ok {
+		return pkg, nil
+	}
+	pkg, err := pi.stdlib.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	pi.cache[path] = pkg
+	return pkg, nil
+}
+
+// match selects the loaded packages matching the patterns, interpreted
+// relative to dir (which must be inside the module).
+func match(prog *Program, dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "all" {
+			pat = "./..."
+		}
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "./"
+			}
+		}
+		base := filepath.Clean(filepath.Join(abs, pat))
+		rel, err := filepath.Rel(prog.Root, base)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("lint: pattern %q escapes module root", pat)
+		}
+		want := prog.Module
+		if rel != "." {
+			want = prog.Module + "/" + filepath.ToSlash(rel)
+		}
+		matched := false
+		for _, pkg := range prog.Packages {
+			ok := pkg.Path == want || (recursive && strings.HasPrefix(pkg.Path, want+"/"))
+			if !ok {
+				continue
+			}
+			matched = true
+			if !seen[pkg.Path] {
+				seen[pkg.Path] = true
+				out = append(out, pkg)
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("lint: pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexCopyAnalyzer flags functions that pass, return, or receive by
+// value a struct containing a sync.Mutex or sync.RWMutex, directly or
+// through embedded/nested fields or arrays. Copying a lock silently
+// forks its state: the copy and the original no longer exclude each
+// other, which is exactly the kind of bug that corrupts the concurrent
+// collection pipeline without failing any test.
+var MutexCopyAnalyzer = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "flags by-value parameters, results and receivers of structs containing sync.Mutex/RWMutex",
+	Run:  runMutexCopy,
+}
+
+func runMutexCopy(pass *Pass) {
+	info := pass.Pkg.Info
+	check := func(kind string, field *ast.Field) {
+		if field == nil {
+			return
+		}
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			return
+		}
+		if path := lockPath(tv.Type, nil); path != nil {
+			pass.Reportf(field.Type.Pos(), "%s is passed by value but %s carries %s; use a pointer",
+				kind, types.TypeString(tv.Type, types.RelativeTo(pass.Pkg.Types)), describeLockPath(path))
+		}
+	}
+	checkFieldList := func(kind string, fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			check(kind, f)
+		}
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Recv != nil && len(fn.Recv.List) > 0 {
+					check("receiver", fn.Recv.List[0])
+				}
+				checkFieldList("parameter", fn.Type.Params)
+				checkFieldList("result", fn.Type.Results)
+			case *ast.FuncLit:
+				checkFieldList("parameter", fn.Type.Params)
+				checkFieldList("result", fn.Type.Results)
+			}
+			return true
+		})
+	}
+}
+
+// lockPath returns the chain of type names from t down to an embedded
+// sync lock if t (a non-pointer type) contains one, else nil.
+func lockPath(t types.Type, seen map[types.Type]bool) []string {
+	if t == nil {
+		return nil
+	}
+	if seen[t] {
+		return nil
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if isPkgPath(obj.Pkg(), "sync") && (obj.Name() == "Mutex" || obj.Name() == "RWMutex" || obj.Name() == "WaitGroup" || obj.Name() == "Once") {
+			return []string{"sync." + obj.Name()}
+		}
+		if sub := lockPath(named.Underlying(), seen); sub != nil {
+			return append([]string{obj.Name()}, sub...)
+		}
+		return nil
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if sub := lockPath(f.Type(), seen); sub != nil {
+				return append([]string{f.Name()}, sub...)
+			}
+		}
+	case *types.Array:
+		if sub := lockPath(u.Elem(), seen); sub != nil {
+			return append([]string{"[...]"}, sub...)
+		}
+	}
+	return nil
+}
+
+func describeLockPath(path []string) string {
+	if len(path) == 1 {
+		return "a " + path[0]
+	}
+	out := "a " + path[len(path)-1] + " (via "
+	for i, p := range path[:len(path)-1] {
+		if i > 0 {
+			out += "."
+		}
+		out += p
+	}
+	return out + ")"
+}

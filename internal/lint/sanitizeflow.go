@@ -1,0 +1,535 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SanitizeFlowAnalyzer enforces the paper's central ethical invariant
+// (Section 4.2.2): a raw captured message — an smtpd.Envelope, a
+// mailmsg.Message, a spamfilter.Email, or any string/[]byte derived from
+// one — must pass through internal/sanitize before it reaches persistent
+// storage (vault.Put) or any log/stdout/file output. The compiler cannot
+// check this; this analyzer can.
+//
+// The analysis is an interprocedural taint check. Taint springs from the
+// raw message types themselves (every expression of such a type is
+// tainted, wherever it came from) and propagates through assignments,
+// field selections, conversions, concatenation and calls. Calling any
+// function of internal/sanitize launders its results. Function summaries
+// — "parameter i flows to a sink", "parameter i flows to result j" —
+// are computed to a fixpoint across every package of the program, so a
+// raw value handed to a helper that logs it three calls deep is still
+// caught at the outermost call site.
+var SanitizeFlowAnalyzer = &Analyzer{
+	Name: "sanitizeflow",
+	Doc:  "flags raw captured-message values reaching vault writes or log/os output without passing through internal/sanitize",
+	Run:  runSanitizeFlow,
+}
+
+// rawMessageTypes are the module-relative package and type names whose
+// values carry unsanitized captured content.
+var rawMessageTypes = map[string][]string{
+	"internal/mailmsg":    {"Message", "Attachment"},
+	"internal/smtpd":      {"Envelope"},
+	"internal/spamfilter": {"Email"},
+}
+
+// taintState is the per-program analysis state, built once per Program
+// and reused for every target package in the same Run call.
+type taintState struct {
+	prog        *Program
+	sanitizePkg string // module/internal/sanitize
+	vaultPkg    string // module/internal/vault
+
+	// summaries, keyed by *types.Func.
+	paramToSink   map[*types.Func]map[int]string // param index -> sink description
+	paramToResult map[*types.Func]map[int]bool   // param index taints some result
+}
+
+var taintCache = map[*Program]*taintState{}
+
+func runSanitizeFlow(pass *Pass) {
+	st, ok := taintCache[pass.Prog]
+	if !ok {
+		st = newTaintState(pass.Prog)
+		taintCache[pass.Prog] = st
+	}
+	st.checkPackage(pass)
+}
+
+func newTaintState(prog *Program) *taintState {
+	st := &taintState{
+		prog:          prog,
+		sanitizePkg:   prog.Module + "/internal/sanitize",
+		vaultPkg:      prog.Module + "/internal/vault",
+		paramToSink:   make(map[*types.Func]map[int]string),
+		paramToResult: make(map[*types.Func]map[int]bool),
+	}
+	// Fixpoint over function summaries: rerun until no summary changes.
+	// Each round analyzes every function body assuming, one parameter at
+	// a time, that the parameter is tainted.
+	for round := 0; round < 10; round++ {
+		changed := false
+		for _, pkg := range prog.Packages {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					if st.summarize(pkg, fd, obj) {
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return st
+}
+
+// summarize recomputes the summaries for one function; reports change.
+// A baseline run with no seeded parameter separates intrinsic taint
+// (raw-typed values used in the body, reported in the body's own
+// package) from taint a caller hands in — only the latter belongs in a
+// summary, else every call site would re-report the callee's own bug.
+func (st *taintState) summarize(pkg *Package, fd *ast.FuncDecl, obj *types.Func) bool {
+	sig := obj.Type().(*types.Signature)
+	params := sig.Params()
+	if params.Len() == 0 {
+		return false
+	}
+	baseline := newFlowAnalysis(st, pkg, nil)
+	baseline.analyze(fd.Body)
+	baseHits := make(map[string]bool, len(baseline.sinkHits))
+	for _, h := range baseline.sinkHits {
+		baseHits[fmtPos(st.prog, h.pos)+h.what] = true
+	}
+	changed := false
+	for i := 0; i < params.Len(); i++ {
+		f := newFlowAnalysis(st, pkg, map[types.Object]bool{params.At(i): true})
+		f.analyze(fd.Body)
+		for _, h := range f.sinkHits {
+			if baseHits[fmtPos(st.prog, h.pos)+h.what] {
+				continue
+			}
+			if st.paramToSink[obj] == nil {
+				st.paramToSink[obj] = make(map[int]string)
+			}
+			if _, ok := st.paramToSink[obj][i]; !ok {
+				st.paramToSink[obj][i] = h.what
+				changed = true
+			}
+			break
+		}
+		if f.taintedReturn && !baseline.taintedReturn {
+			if st.paramToResult[obj] == nil {
+				st.paramToResult[obj] = make(map[int]bool)
+			}
+			if !st.paramToResult[obj][i] {
+				st.paramToResult[obj][i] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func fmtPos(prog *Program, pos tokenPos) string {
+	p := prog.Fset.Position(pos.Pos())
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}
+
+// checkPackage runs the final reporting pass over one package: taint
+// springs only from raw-typed expressions, and every sink hit is a
+// finding.
+func (st *taintState) checkPackage(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			f := newFlowAnalysis(st, pass.Pkg, nil)
+			f.analyze(fd.Body)
+			for _, hit := range f.sinkHits {
+				pass.Reportf(hit.pos.Pos(), "%s", hit.what)
+			}
+		}
+	}
+}
+
+// tokenPos abstracts "something with a position" for sink hits.
+type tokenPos interface{ Pos() token.Pos }
+
+// sinkHit is one tainted value reaching a sink.
+type sinkHit struct {
+	pos  tokenPos
+	what string
+}
+
+func (f *flowAnalysis) reportSink(n ast.Node, format string, args ...any) {
+	f.sinkHits = append(f.sinkHits, sinkHit{n, fmt.Sprintf(format, args...)})
+}
+
+// flowAnalysis is one flow-insensitive taint pass over a function body.
+type flowAnalysis struct {
+	st      *taintState
+	pkg     *Package
+	tainted map[types.Object]bool
+
+	taintedReturn bool
+	sinkHits      []sinkHit
+}
+
+func newFlowAnalysis(st *taintState, pkg *Package, seed map[types.Object]bool) *flowAnalysis {
+	t := make(map[types.Object]bool, len(seed))
+	for k, v := range seed {
+		t[k] = v
+	}
+	return &flowAnalysis{st: st, pkg: pkg, tainted: t}
+}
+
+// analyze iterates the body to a local fixpoint (assignments may chain),
+// then records sink hits and return taint.
+func (f *flowAnalysis) analyze(body *ast.BlockStmt) {
+	for i := 0; i < 8; i++ {
+		before := len(f.tainted)
+		f.propagate(body)
+		if len(f.tainted) == before {
+			break
+		}
+	}
+	f.collect(body)
+}
+
+// propagate grows the tainted-variable set from assignments and ranges.
+func (f *flowAnalysis) propagate(body *ast.BlockStmt) {
+	info := f.pkg.Info
+	mark := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				f.tainted[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				f.tainted[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+				// x, y := f() — taint all LHS if the call taints.
+				if f.isTainted(s.Rhs[0]) {
+					for _, lhs := range s.Lhs {
+						mark(lhs)
+					}
+				}
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				if i < len(s.Rhs) && f.isTainted(s.Rhs[i]) {
+					mark(lhs)
+				}
+			}
+		case *ast.RangeStmt:
+			if f.isTainted(s.X) {
+				if s.Key != nil {
+					mark(s.Key)
+				}
+				if s.Value != nil {
+					mark(s.Value)
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range s.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) && f.isTainted(vs.Values[i]) {
+						mark(name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collect finds sink calls with tainted arguments and tainted returns.
+func (f *flowAnalysis) collect(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			f.checkSinkCall(s)
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if f.isTainted(r) {
+					f.taintedReturn = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkSinkCall reports when a tainted argument reaches a known sink or
+// a callee whose summary says the parameter flows to one.
+func (f *flowAnalysis) checkSinkCall(call *ast.CallExpr) {
+	info := f.pkg.Info
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return
+	}
+	if sinkDesc, argIdxs := f.st.sinkArgs(fn, call, info); sinkDesc != "" {
+		for _, i := range argIdxs {
+			if i < len(call.Args) && f.isTainted(call.Args[i]) {
+				f.reportSink(call, "raw captured message data reaches %s without passing through internal/sanitize", sinkDesc)
+				return
+			}
+		}
+	}
+	// Interprocedural: a callee that forwards a parameter to a sink.
+	// Parameter indices are over declared parameters, which align with
+	// call.Args for both functions and method-selector calls.
+	if summary, ok := f.st.paramToSink[fn]; ok {
+		for i, desc := range summary {
+			if i < len(call.Args) && f.isTainted(call.Args[i]) {
+				f.reportSink(call, "tainted value flows into %s, which passes it to %s without sanitization",
+					fn.Name(), desc)
+				return
+			}
+		}
+	}
+}
+
+// sinkArgs classifies fn as a sink and returns which argument indices
+// must be clean. Empty description means not a sink.
+func (st *taintState) sinkArgs(fn *types.Func, call *ast.CallExpr, info *types.Info) (string, []int) {
+	pkg := fn.Pkg()
+	name := fn.Name()
+	switch {
+	case isPkgPath(pkg, st.vaultPkg) && name == "Put":
+		// (*Vault).Put(domain, verdict string, received time.Time, plaintext []byte)
+		return "the encrypted vault (vault.Put)", []int{len(call.Args) - 1}
+	case isPkgPath(pkg, "log"):
+		switch name {
+		case "Print", "Printf", "Println", "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln", "Output":
+			return "the process log (log." + name + ")", allArgIdxs(call)
+		}
+	case isPkgPath(pkg, "fmt"):
+		switch name {
+		case "Print", "Printf", "Println":
+			return "stdout (fmt." + name + ")", allArgIdxs(call)
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 && isStdStream(info, call.Args[0]) {
+				return "a standard stream (fmt." + name + ")", allArgIdxs(call)
+			}
+		}
+	case isPkgPath(pkg, "os") && name == "WriteFile":
+		return "a plaintext file (os.WriteFile)", []int{1}
+	}
+	return "", nil
+}
+
+func allArgIdxs(call *ast.CallExpr) []int {
+	out := make([]int, len(call.Args))
+	for i := range call.Args {
+		out[i] = i
+	}
+	return out
+}
+
+// isStdStream reports whether e is os.Stdout or os.Stderr.
+func isStdStream(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr")
+}
+
+// isTainted decides whether an expression carries raw message content.
+func (f *flowAnalysis) isTainted(e ast.Expr) bool {
+	return f.taintedDepth(e, 0)
+}
+
+func (f *flowAnalysis) taintedDepth(e ast.Expr, depth int) bool {
+	if e == nil || depth > 40 {
+		return false
+	}
+	info := f.pkg.Info
+	// Type rule: any expression of a raw message type is tainted.
+	if tv, ok := info.Types[e]; ok && f.st.isRawType(tv.Type) {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := info.Uses[x]; obj != nil && f.tainted[obj] {
+			return true
+		}
+		if obj := info.Defs[x]; obj != nil && f.tainted[obj] {
+			return true
+		}
+	case *ast.ParenExpr:
+		return f.taintedDepth(x.X, depth+1)
+	case *ast.SelectorExpr:
+		// A field or method value of a tainted value is tainted when it
+		// can carry content.
+		if f.taintedDepth(x.X, depth+1) && carrierType(typeOf(info, e)) {
+			return true
+		}
+	case *ast.IndexExpr:
+		return f.taintedDepth(x.X, depth+1)
+	case *ast.SliceExpr:
+		return f.taintedDepth(x.X, depth+1)
+	case *ast.StarExpr:
+		return f.taintedDepth(x.X, depth+1)
+	case *ast.UnaryExpr:
+		return f.taintedDepth(x.X, depth+1)
+	case *ast.BinaryExpr:
+		return f.taintedDepth(x.X, depth+1) || f.taintedDepth(x.Y, depth+1)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if f.taintedDepth(el, depth+1) {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		return f.taintedCall(x, depth)
+	}
+	return false
+}
+
+// taintedCall decides whether a call's result is tainted.
+func (f *flowAnalysis) taintedCall(call *ast.CallExpr, depth int) bool {
+	info := f.pkg.Info
+	// Conversions propagate ([]byte(body), string(data)).
+	if isConversion(info, call) && len(call.Args) == 1 {
+		return f.taintedDepth(call.Args[0], depth+1)
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil {
+		// The sanitize package is the laundering boundary: its results
+		// are clean by definition.
+		if isPkgPath(fn.Pkg(), f.st.sanitizePkg) {
+			return false
+		}
+		// Summaries: parameter flows to result.
+		if summary, ok := f.st.paramToResult[fn]; ok {
+			for i := range summary {
+				if i < len(call.Args) && f.taintedDepth(call.Args[i], depth+1) {
+					return true
+				}
+			}
+		}
+	}
+	// A method called on a tainted receiver whose result can carry
+	// content is tainted (msg.Render(), env fields via getters).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if f.taintedDepth(sel.X, depth+1) && carrierType(typeOf(info, call)) {
+			return true
+		}
+	}
+	// Calls whose arguments are tainted and whose result is a carrier
+	// keep the taint when the callee body is unknown (stdlib strings/
+	// bytes helpers, fmt.Sprintf...), except for the laundering package.
+	if fn != nil && fn.Pkg() != nil {
+		path := fn.Pkg().Path()
+		if path == "strings" || path == "bytes" || path == "fmt" || path == "strconv" {
+			if carrierType(typeOf(info, call)) {
+				for _, a := range call.Args {
+					if f.taintedDepth(a, depth+1) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// carrierType reports whether t can carry message content onward:
+// strings, byte slices, and containers of them.
+func carrierType(t types.Type) bool {
+	switch u := t.(type) {
+	case nil:
+		return false
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Slice:
+		return isByte(u.Elem()) || carrierType(u.Elem())
+	case *types.Array:
+		return isByte(u.Elem()) || carrierType(u.Elem())
+	case *types.Map:
+		return carrierType(u.Elem())
+	case *types.Pointer:
+		return carrierType(u.Elem())
+	case *types.Named:
+		return carrierType(u.Underlying())
+	case *types.Tuple:
+		for i := 0; i < u.Len(); i++ {
+			if carrierType(u.At(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isByte(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8)
+}
+
+// isRawType reports whether t is (or points to / slices) one of the raw
+// captured-message types.
+func (st *taintState) isRawType(t types.Type) bool {
+	switch u := t.(type) {
+	case *types.Pointer:
+		return st.isRawType(u.Elem())
+	case *types.Slice:
+		return st.isRawType(u.Elem())
+	case *types.Named:
+		obj := u.Obj()
+		if obj.Pkg() == nil {
+			return false
+		}
+		rel, ok := strings.CutPrefix(obj.Pkg().Path(), st.prog.Module+"/")
+		if !ok {
+			return false
+		}
+		for _, name := range rawMessageTypes[rel] {
+			if obj.Name() == name {
+				return true
+			}
+		}
+	}
+	return false
+}

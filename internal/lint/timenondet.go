@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// TimeNondeterminismAnalyzer flags direct time.Now / time.Sleep calls in
+// the simulation packages, which must take all time from
+// internal/simclock (or an injected clock function) so that experiment
+// runs are deterministic and reproducible. Wall-clock reads are allowed
+// in one position only: inside a Set{Read,Write,}Deadline argument,
+// because socket deadlines are inherently wall-clock.
+var TimeNondeterminismAnalyzer = &Analyzer{
+	Name: "timenondeterminism",
+	Doc:  "flags direct time.Now/time.Sleep in packages that must route through internal/simclock",
+	Run:  runTimeNondet,
+}
+
+// simulationPackages lists the module-relative packages whose logic runs
+// under the virtual clock. The networked packages (smtpd, smtpc,
+// dnsserve, resolve, probe, whois, honey's beacon) legitimately touch
+// wall time for socket deadlines and default clocks, so they are not
+// listed; they instead expose injectable Clock hooks.
+var simulationPackages = []string{
+	"internal/alexa",
+	"internal/core",
+	"internal/corpus",
+	"internal/defend",
+	"internal/distance",
+	"internal/ecosys",
+	"internal/experiments",
+	"internal/extract",
+	"internal/mailmsg",
+	"internal/regress",
+	"internal/sanitize",
+	"internal/spamfilter",
+	"internal/spamgen",
+	"internal/stats",
+	"internal/typogen",
+	"internal/users",
+	"internal/vault",
+}
+
+// deadlineMethods are the socket-deadline setters whose arguments may
+// read the wall clock anywhere.
+var deadlineMethods = map[string]bool{
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+func runTimeNondet(pass *Pass) {
+	if !pkgInList(pass.Prog.Module, pass.Pkg.Path, simulationPackages) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || !isPkgPath(fn.Pkg(), "time") {
+				return true
+			}
+			if fn.Name() != "Now" && fn.Name() != "Sleep" {
+				return true
+			}
+			if insideDeadlineCall(stack) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"direct time.%s in simulation package %s; take time from internal/simclock or an injected clock",
+				fn.Name(), pass.Pkg.Path)
+			return true
+		})
+	}
+}
+
+// insideDeadlineCall reports whether the innermost node sits inside an
+// argument of a Set*Deadline method call.
+func insideDeadlineCall(stack []ast.Node) bool {
+	for _, n := range stack {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && deadlineMethods[sel.Sel.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgInList reports whether path is module/<one of rels>.
+func pkgInList(module, path string, rels []string) bool {
+	rel, ok := strings.CutPrefix(path, module+"/")
+	if !ok {
+		return false
+	}
+	for _, r := range rels {
+		if rel == r {
+			return true
+		}
+	}
+	return false
+}

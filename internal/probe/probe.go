@@ -76,7 +76,9 @@ func ProbeAddr(ctx context.Context, addr, serverName string, timeout time.Durati
 	if err != nil || code != 220 {
 		return ecosys.SupportNoEmail
 	}
-	fmt.Fprintf(conn, "EHLO probe.invalid\r\n")
+	if _, err := fmt.Fprintf(conn, "EHLO probe.invalid\r\n"); err != nil {
+		return ecosys.SupportNoEmail
+	}
 	code, exts, err := readReply()
 	if err != nil || code != 250 {
 		return ecosys.SupportNoEmail
@@ -90,7 +92,9 @@ func ProbeAddr(ctx context.Context, addr, serverName string, timeout time.Durati
 	if !hasTLS {
 		return ecosys.SupportPlain
 	}
-	fmt.Fprintf(conn, "STARTTLS\r\n")
+	if _, err := fmt.Fprintf(conn, "STARTTLS\r\n"); err != nil {
+		return ecosys.SupportTLSErrors
+	}
 	code, _, err = readReply()
 	if err != nil || code != 220 {
 		return ecosys.SupportTLSErrors

@@ -1,0 +1,49 @@
+package reputation
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentLookupSubmit drives the database the way the Section
+// 4.4.3 sweep would at scale: many readers hammering Lookup/Stats while
+// the feed side keeps submitting verdicts.
+func TestConcurrentLookupSubmit(t *testing.T) {
+	db := NewDB()
+	known := db.Submit([]byte("eicar"), VerdictMalicious)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				db.Submit([]byte(fmt.Sprintf("sample-%d-%d", i, j)), VerdictMalicious)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				if v, ok := db.Lookup(known); !ok || v != VerdictMalicious {
+					t.Errorf("known hash lost: ok=%v v=%v", ok, v)
+					return
+				}
+				db.LookupData([]byte("never-seen"))
+				db.Stats()
+				db.Len()
+			}
+		}()
+	}
+	wg.Wait()
+
+	queries, hits := db.Stats()
+	if wantQ := int64(4 * 500 * 2); queries != wantQ {
+		t.Errorf("queries = %d, want %d", queries, wantQ)
+	}
+	if wantH := int64(4 * 500); hits != wantH {
+		t.Errorf("hits = %d, want %d", hits, wantH)
+	}
+}

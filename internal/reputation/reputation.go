@@ -14,6 +14,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"sync"
+	"sync/atomic"
 )
 
 // Verdict is a reputation answer for a known hash.
@@ -38,12 +39,14 @@ func Hash(data []byte) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// DB is a threadsafe hash-reputation store.
+// DB is a threadsafe hash-reputation store. Lookups take only the read
+// lock — counters are atomics — so the hot path of the Section 4.4.3
+// sweep never serializes concurrent readers.
 type DB struct {
 	mu       sync.RWMutex
 	verdicts map[string]Verdict
-	queries  int64
-	hits     int64
+	queries  atomic.Int64
+	hits     atomic.Int64
 }
 
 // NewDB returns an empty database.
@@ -71,13 +74,13 @@ func (db *DB) SubmitHash(hash string, v Verdict) {
 // notes the benign hits "likely do not contain personal, sensitive
 // information since they have already been observed elsewhere".)
 func (db *DB) Lookup(hash string) (Verdict, bool) {
-	db.mu.Lock()
-	db.queries++
+	db.queries.Add(1)
+	db.mu.RLock()
 	v, ok := db.verdicts[hash]
+	db.mu.RUnlock()
 	if ok {
-		db.hits++
+		db.hits.Add(1)
 	}
-	db.mu.Unlock()
 	return v, ok
 }
 
@@ -87,9 +90,7 @@ func (db *DB) LookupData(data []byte) (Verdict, bool) { return db.Lookup(Hash(da
 // Stats reports queries and hit count — the paper's 323-of-109,151
 // coverage check.
 func (db *DB) Stats() (queries, hits int64) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.queries, db.hits
+	return db.queries.Load(), db.hits.Load()
 }
 
 // Len returns the number of known hashes.

@@ -1,0 +1,97 @@
+package resolve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dnswire"
+)
+
+// TestSingleFlightStress: many goroutines resolving the same name must
+// coalesce onto one network exchange, and the shared answer handoff must
+// be race-free.
+func TestSingleFlightStress(t *testing.T) {
+	var exchanges atomic.Int64
+	release := make(chan struct{})
+	ex := ExchangerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		exchanges.Add(1)
+		<-release // hold the leader so every waiter piles onto the inflight entry
+		resp := &dnswire.Message{
+			Header:    dnswire.Header{ID: q.Header.ID, Response: true},
+			Questions: q.Questions,
+			Answers: []dnswire.RR{{
+				Name: "gmial.com", Type: dnswire.TypeMX, Class: dnswire.ClassIN,
+				TTL: 300, Preference: 1, Exchange: "gmial.com",
+			}},
+		}
+		return resp, nil
+	})
+	r := New(ex, WithSeed(1))
+
+	const waiters = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			mxs, err := r.LookupMX(context.Background(), "gmial.com")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(mxs) != 1 || mxs[0].Host != "gmial.com" {
+				t.Errorf("unexpected MX set %v", mxs)
+			}
+		}()
+	}
+	close(start)
+	close(release)
+	wg.Wait()
+
+	if n := exchanges.Load(); n != 1 {
+		t.Errorf("%d network exchanges for one name, want 1 (single-flight)", n)
+	}
+	hits, misses := r.CacheStats()
+	if misses != 1 || hits != waiters-1 {
+		t.Errorf("cache stats hits=%d misses=%d, want %d/1", hits, misses, waiters-1)
+	}
+}
+
+// TestConcurrentDistinctLookups resolves many distinct names in parallel
+// through a shared resolver; the rng and cache are shared mutable state.
+func TestConcurrentDistinctLookups(t *testing.T) {
+	ex := ExchangerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		name := q.Questions[0].Name
+		return &dnswire.Message{
+			Header:    dnswire.Header{ID: q.Header.ID, Response: true},
+			Questions: q.Questions,
+			Answers: []dnswire.RR{{
+				Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN,
+				TTL: 300, IP: dnswire.IPv4(127, 0, 0, 1),
+			}},
+		}, nil
+	})
+	r := New(ex, WithSeed(7))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			names := []string{"gmial.com", "hotmial.com", "yaho.com", "gmal.com"}
+			for j := 0; j < 100; j++ {
+				name := names[(i+j)%len(names)]
+				if _, err := r.LookupA(context.Background(), name); err != nil {
+					t.Error(err)
+					return
+				}
+				r.CacheStats()
+			}
+		}()
+	}
+	wg.Wait()
+}

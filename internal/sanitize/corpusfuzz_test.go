@@ -1,0 +1,60 @@
+// Fuzzing against the Enron-style corpus lives in an external test
+// package: the corpus generator imports sanitize, so seeding from it
+// inside package sanitize would be an import cycle.
+package sanitize_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/sanitize"
+)
+
+// FuzzRedactCorpus seeds the redactor with realistic emails — plain
+// Enron-style prose, every planted identifier kind, and the tricky
+// near-miss documents — then asserts the Section 4.2.2 storage
+// invariant on arbitrary mutations of them: no high-value identifier
+// with live digits survives redaction, and redaction is idempotent.
+func FuzzRedactCorpus(f *testing.F) {
+	docs := corpus.GenerateEnron(corpus.EnronOptions{Plain: 8, PerKind: 3, Seed: 2016})
+	for _, d := range docs {
+		f.Add(d.Subject + "\n\n" + d.Text)
+	}
+	s := sanitize.New("fuzz-salt")
+	f.Fuzz(func(t *testing.T, text string) {
+		once, _ := s.Redact(text)
+		twice, _ := s.Redact(once)
+		if once != twice {
+			t.Fatalf("redaction not idempotent:\n%q\n%q", once, twice)
+		}
+		for _, finding := range sanitize.Scan(once) {
+			switch finding.Kind {
+			case sanitize.KindCreditCard, sanitize.KindSSN, sanitize.KindEIN, sanitize.KindVIN:
+				if strings.ContainsAny(finding.Match, "123456789") &&
+					!strings.Contains(finding.Match, "*_|R|_*") {
+					t.Fatalf("%s %q survived redaction of %q", finding.Kind, finding.Match, text)
+				}
+			}
+		}
+	})
+}
+
+// TestRedactCleansWholeCorpus runs the full default-size corpus through
+// the redactor once — the deterministic complement to the fuzz target,
+// always exercised by `go test`.
+func TestRedactCleansWholeCorpus(t *testing.T) {
+	s := sanitize.New("corpus-salt")
+	for i, d := range corpus.GenerateEnron(corpus.DefaultEnronOptions()) {
+		clean, _ := s.Redact(d.Text)
+		for _, finding := range sanitize.Scan(clean) {
+			switch finding.Kind {
+			case sanitize.KindCreditCard, sanitize.KindSSN, sanitize.KindEIN, sanitize.KindVIN:
+				if strings.ContainsAny(finding.Match, "123456789") &&
+					!strings.Contains(finding.Match, "*_|R|_*") {
+					t.Fatalf("doc %d: %s %q survived redaction", i, finding.Kind, finding.Match)
+				}
+			}
+		}
+	}
+}

@@ -232,7 +232,8 @@ func (c *Client) Send(ctx context.Context, addr string, mode Mode, from string, 
 		return fmt.Errorf("%w: message rejected: %d %s", ErrOtherFor(code), code, msg)
 	}
 
-	t.cmd("QUIT") // best-effort
+	//repolint:allow errdrop QUIT is best-effort politeness; the transaction is already accepted and its outcome decided
+	t.cmd("QUIT")
 	return nil
 }
 

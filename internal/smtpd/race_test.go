@@ -1,0 +1,120 @@
+package smtpd
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCloseDuringAcceptStorm hammers the server with connections while
+// Close runs concurrently. Under -race this exercises the Accept/Close
+// window: a connection handed out by the listener just as Close snapshots
+// the session set must not wg.Add concurrently with Close's wg.Wait, and
+// must not leak past shutdown.
+func TestCloseDuringAcceptStorm(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		srv, err := NewServer(Config{
+			Hostname: "race.test",
+			Deliver:  func(*Envelope) error { return nil },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := make(chan net.Addr, 1)
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- srv.ListenAndServe(ctx, "127.0.0.1:0", bound) }()
+		addr := (<-bound).String()
+
+		var dialers sync.WaitGroup
+		stop := make(chan struct{})
+		for i := 0; i < 8; i++ {
+			dialers.Add(1)
+			go func() {
+				defer dialers.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					conn, err := net.DialTimeout("tcp", addr, time.Second)
+					if err != nil {
+						return // listener gone: Close won the race
+					}
+					// Read the greeting (or the connection reset by Close)
+					// then hang up; the goal is churn, not a transaction.
+					conn.SetDeadline(time.Now().Add(time.Second))
+					bufio.NewReader(conn).ReadString('\n')
+					conn.Close()
+				}
+			}()
+		}
+
+		time.Sleep(10 * time.Millisecond) // let some sessions get in flight
+		srv.Close()
+		close(stop)
+		dialers.Wait()
+
+		select {
+		case <-serveDone:
+		case <-time.After(10 * time.Second):
+			t.Fatal("Serve did not return after Close")
+		}
+		// After Close returns, no session may still be registered.
+		srv.mu.Lock()
+		open := len(srv.conns)
+		srv.mu.Unlock()
+		if open != 0 {
+			t.Fatalf("round %d: %d sessions still registered after Close", round, open)
+		}
+		cancel()
+	}
+}
+
+// TestStatsDuringTraffic reads Stats concurrently with live sessions.
+func TestStatsDuringTraffic(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	srv, err := NewServer(Config{
+		Hostname: "race.test",
+		Deliver:  func(*Envelope) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := make(chan net.Addr, 1)
+	go srv.ListenAndServe(ctx, "127.0.0.1:0", bound)
+	addr := (<-bound).String()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			conn, err := net.DialTimeout("tcp", addr, time.Second)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(conn, "QUIT\r\n")
+			conn.SetDeadline(time.Now().Add(time.Second))
+			bufio.NewReader(conn).ReadString('\n')
+			conn.Close()
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			srv.Close()
+			if sessions, _ := srv.Stats(); sessions == 0 {
+				t.Error("expected at least one session counted")
+			}
+			return
+		default:
+			srv.Stats()
+		}
+	}
+}

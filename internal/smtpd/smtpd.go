@@ -187,10 +187,22 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			return fmt.Errorf("smtpd: accept: %w", err)
 		}
 		s.mu.Lock()
+		if s.closed {
+			// Accept can race with Close: the listener may hand us one
+			// last connection after Close snapshotted s.conns. Registering
+			// it here would wg.Add concurrently with Close's wg.Wait and
+			// leak a session Close never sees; drop it instead.
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.nSessions++
-		s.mu.Unlock()
+		// Add under the same critical section that checks s.closed, so
+		// Close (which sets closed under mu before calling wg.Wait)
+		// either sees this session registered or we see closed above.
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
 			defer func() {
@@ -240,6 +252,7 @@ func (s *Server) session(conn net.Conn) {
 		return // close without a byte: connection reset from client's view
 	case ActStall:
 		// Hold the connection silently until the peer gives up.
+		//repolint:allow errdrop the stall behavior ends when the peer disconnects; its read error is the signal, not a failure
 		io.Copy(io.Discard, conn)
 		return
 	}
@@ -314,6 +327,9 @@ func (s *Server) session(conn net.Conn) {
 				continue
 			}
 			c.reply(220, "ready to start TLS")
+			if c.err != nil {
+				return
+			}
 			tlsConn := tls.Server(conn, s.cfg.TLS)
 			if err := tlsConn.HandshakeContext(context.Background()); err != nil {
 				return
@@ -426,9 +442,16 @@ type sessionConn struct {
 	r       *bufio.Reader
 	w       *bufio.Writer
 	timeout time.Duration
+	// err is the first reply-write failure; it poisons the session so
+	// the command loop stops instead of processing commands the peer
+	// can no longer see answers to.
+	err error
 }
 
 func (c *sessionConn) readLine() (string, error) {
+	if c.err != nil {
+		return "", c.err
+	}
 	c.conn.SetReadDeadline(time.Now().Add(c.timeout))
 	var sb strings.Builder
 	for {
@@ -477,21 +500,37 @@ func (c *sessionConn) readData(maxSize int) ([]byte, error) {
 }
 
 func (c *sessionConn) reply(code int, msg string) {
+	if c.err != nil {
+		return
+	}
 	c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
-	fmt.Fprintf(c.w, "%d %s\r\n", code, msg)
-	c.w.Flush()
+	if _, err := fmt.Fprintf(c.w, "%d %s\r\n", code, msg); err != nil {
+		c.err = err
+		return
+	}
+	if err := c.w.Flush(); err != nil {
+		c.err = err
+	}
 }
 
 func (c *sessionConn) replyMulti(code int, lines []string) {
+	if c.err != nil {
+		return
+	}
 	c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
 	for i, l := range lines {
 		sep := "-"
 		if i == len(lines)-1 {
 			sep = " "
 		}
-		fmt.Fprintf(c.w, "%d%s%s\r\n", code, sep, l)
+		if _, err := fmt.Fprintf(c.w, "%d%s%s\r\n", code, sep, l); err != nil {
+			c.err = err
+			return
+		}
 	}
-	c.w.Flush()
+	if err := c.w.Flush(); err != nil {
+		c.err = err
+	}
 }
 
 func splitCommand(line string) (verb, arg string) {
