@@ -16,8 +16,9 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs the five paper-invariant analyzers over the whole module;
-# a non-zero exit means a finding (or a malformed waiver directive).
+# lint runs the eight paper-invariant analyzers over the whole module;
+# a non-zero exit means a finding (or a malformed or stale waiver
+# directive).
 lint:
 	$(GO) run ./cmd/repolint ./...
 
@@ -27,12 +28,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# fuzz gives each sanitizer fuzz target a short budget; lengthen
-# FUZZTIME for a soak run.
+# fuzz gives each fuzz target a short budget; lengthen FUZZTIME for a
+# soak run.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz=FuzzRedact$$ -fuzztime=$(FUZZTIME) ./internal/sanitize/
 	$(GO) test -fuzz=FuzzRedactCorpus -fuzztime=$(FUZZTIME) ./internal/sanitize/
+	$(GO) test -fuzz=FuzzCFGBuild -fuzztime=$(FUZZTIME) ./internal/lint/cfg/
 
 clean:
 	$(GO) clean ./...

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"repro/internal/ecosys"
@@ -40,7 +42,7 @@ func main() {
 	for _, d := range ctypos {
 		names = append(names, d.Name)
 	}
-	table := probe.Table4(probe.Scan(names, &probe.EcoNet{Eco: eco}))
+	table := probe.Table4(probe.ScanParallel(context.Background(), names, &probe.EcoNet{Eco: eco}, runtime.GOMAXPROCS(0)))
 	fmt.Println("SMTP support (Table 4):")
 	for sup := ecosys.SupportNoRecords; sup <= ecosys.SupportTLSOK; sup++ {
 		fmt.Printf("  %-28s %7d %5.1f%%\n", sup, table[sup], 100*float64(table[sup])/float64(len(ctypos)))

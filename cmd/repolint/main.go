@@ -2,20 +2,25 @@
 // registry of analyzers, built only on the standard library's go/parser,
 // go/ast and go/types, that machine-check the study's safety invariants
 // — sanitize-before-store taint flow, lock copies, leaked context
-// cancels, dropped I/O errors, and wall-clock reads in deterministic
-// simulation code.
+// cancels, dropped I/O errors, wall-clock reads in deterministic
+// simulation code, and the flow-sensitive concurrency invariants
+// (goroutine exit ties, module-wide lock ordering, bounded spawns in
+// loops) built on the internal/lint/cfg control-flow graphs.
 //
 // Usage:
 //
-//	repolint [-list] [-run analyzer[,analyzer]] [packages]
+//	repolint [-list] [-run analyzer[,analyzer]] [-format text|json] [packages]
 //
-// Packages default to ./... relative to the working directory. Findings
-// print one per line as
+// Packages default to ./... relative to the working directory. In the
+// default text format findings print one per line as
 //
 //	file:line: [analyzer] message
 //
-// and the exit status is 1 when there are findings, 2 on usage or load
-// errors, and 0 on a clean tree.
+// With -format=json each finding is one JSON object on its own line
+// ({"file","line","column","analyzer","message"}), suitable for CI
+// consumption; the human summary still goes to stderr. The exit status
+// is 1 when there are findings, 2 on usage or load errors, and 0 on a
+// clean tree.
 package main
 
 import (
@@ -37,7 +42,12 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list registered analyzers and exit")
 	only := fs.String("run", "", "comma-separated subset of analyzers to run (default: all)")
+	format := fs.String("format", "text", "output format: text or json (newline-delimited objects)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "repolint: unknown format %q (want text or json)\n", *format)
 		return 2
 	}
 
@@ -73,12 +83,22 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	findings := lint.Run(prog, targets, analyzers)
-	for _, f := range findings {
-		rel, err := filepath.Rel(cwd, f.Pos.Filename)
+	relpath := func(name string) string {
+		rel, err := filepath.Rel(cwd, name)
 		if err != nil || strings.HasPrefix(rel, "..") {
-			rel = f.Pos.Filename
+			return name
 		}
-		fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", rel, f.Pos.Line, f.Analyzer, f.Message)
+		return rel
+	}
+	if *format == "json" {
+		if err := lint.WriteJSON(stdout, findings, relpath); err != nil {
+			fmt.Fprintf(stderr, "repolint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", relpath(f.Pos.Filename), f.Pos.Line, f.Analyzer, f.Message)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "repolint: %d finding(s) in %d package(s)\n", len(findings), len(targets))

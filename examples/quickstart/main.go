@@ -79,8 +79,10 @@ func main() {
 		log.Fatal(err)
 	}
 	env := <-delivered
-	//repolint:allow sanitizeflow this demo prints the synthetic email it built itself three lines up, not captured traffic
-	fmt.Printf("collected email from %s to %v (%d bytes)\n", env.MailFrom, env.Rcpts, len(env.Data))
+	// Print only values this demo chose itself a few lines up; the
+	// captured envelope stays out of the output so the sanitizeflow
+	// invariant holds even in example code.
+	fmt.Printf("collected email from alice@example.org to bob@%s (%d bytes sent)\n", typo, len(msg.Bytes()))
 
 	// 6. Classify it through the funnel.
 	parsed, err := mailmsg.Parse(env.Data)

@@ -65,6 +65,7 @@ func main() {
 			log.Fatal(err)
 		}
 		bound := make(chan net.Addr, 1)
+		//repolint:allow unboundedspawn one server per entry of the demo's fixed squatter list, and each iteration blocks on the bound channel
 		go srv.ListenAndServe(ctx, "127.0.0.1:0", bound)
 		sq.addr = (<-bound).String()
 	}

@@ -19,6 +19,12 @@ import (
 // TCP.
 const MaxUDPPayload = 512
 
+// tcpMaxConns bounds concurrent DNS-over-TCP sessions. TCP fallback is
+// a tiny fraction of authoritative traffic (only truncated responses
+// retry over TCP), so a modest cap protects the collector from a
+// connection flood without affecting legitimate resolvers.
+const tcpMaxConns = 256
+
 // TruncateForUDP clips a response to fit the UDP payload limit, per
 // RFC 2181 §9: drop whole records and set TC so the client knows to
 // retry over TCP. It returns the (possibly smaller) message to send.
@@ -57,6 +63,7 @@ func (s *Server) ServeTCP(ctx context.Context, ln net.Listener) error {
 	defer stop()
 	var wg sync.WaitGroup
 	defer wg.Wait()
+	sem := make(chan struct{}, tcpMaxConns)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -71,9 +78,16 @@ func (s *Server) ServeTCP(ctx context.Context, ln net.Listener) error {
 			}
 			return fmt.Errorf("dnsserve: tcp accept: %w", err)
 		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			conn.Close()
+			return ctx.Err()
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() { <-sem }()
 			defer conn.Close()
 			r := bufio.NewReader(conn)
 			for {

@@ -186,6 +186,10 @@ func (s *ShellAccount) ListenAndServe(ctx context.Context, addr string, bound ch
 	s.mu.Unlock()
 	stop := context.AfterFunc(ctx, func() { ln.Close() })
 	defer stop()
+	// A honey shell only ever sees attacker traffic; a small session cap
+	// keeps a login flood from exhausting the collection host.
+	const shellMaxConns = 64
+	sem := make(chan struct{}, shellMaxConns)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -195,9 +199,17 @@ func (s *ShellAccount) ListenAndServe(ctx context.Context, addr string, bound ch
 			}
 			return nil
 		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			conn.Close()
+			s.wg.Wait()
+			return ctx.Err()
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer func() { <-sem }()
 			defer conn.Close()
 			conn.SetDeadline(time.Now().Add(10 * time.Second))
 			r := bufio.NewReader(conn)

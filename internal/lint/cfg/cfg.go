@@ -1,0 +1,424 @@
+// Package cfg builds an intraprocedural control-flow graph over a
+// function body from its go/ast form, using only the standard library.
+// It is the flow-sensitive substrate under repolint's concurrency
+// analyzers: statement-level analyzers can ask "is this statement
+// reachable from that one?" and "does every path from A to B pass
+// through a block satisfying P?" instead of reasoning lexically.
+//
+// The graph is a set of basic blocks connected by directed edges. A
+// block's Stmts hold only straight-line statements (assignments, calls,
+// sends, go/defer, returns, branches); control statements — if, for,
+// range, switch, type switch, select — are not stored in any block's
+// statement list, but BlockOf maps them to the block where their
+// condition or subject is evaluated. Labels, goto, break, continue and
+// fallthrough are resolved to edges. Deferred statements additionally
+// accumulate in Defers: they execute when control reaches Exit,
+// whichever return edge got there.
+//
+// The builder is purely syntactic (no type information), total (any
+// parseable body yields a graph without panicking — the package fuzz
+// target enforces this), and conservative: unreachable statements still
+// get blocks, they just have no predecessors.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block.
+type Block struct {
+	Index int    // position in Graph.Blocks
+	Kind  string // debug label: "entry", "for.head", "select.case", ...
+	Stmts []ast.Stmt
+	Succs []*Block
+	Preds []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry *Block
+	Exit  *Block
+	// Blocks lists every block, Entry and Exit included, in creation
+	// order (roughly source order).
+	Blocks []*Block
+	// Defers collects defer statements in source order; conceptually
+	// they run on the edge into Exit.
+	Defers []*ast.DeferStmt
+
+	blockOf map[ast.Stmt]*Block
+}
+
+// New builds the graph for body. body must not be nil.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{blockOf: make(map[ast.Stmt]*Block)}
+	b := &builder{g: g, labels: make(map[string]*Block)}
+	g.Entry = b.newBlock("entry")
+	g.Exit = b.newBlock("exit")
+	b.cur = g.Entry
+	g.blockOf[body] = g.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, g.Exit) // falling off the end returns
+	return g
+}
+
+// BlockOf returns the block a statement belongs to: the block holding
+// it for straight-line statements, the condition/subject block for
+// control statements, nil for statements the graph does not know
+// (statements inside nested function literals, which get their own
+// graphs).
+func (g *Graph) BlockOf(s ast.Stmt) *Block { return g.blockOf[s] }
+
+// Reachable reports whether to can be reached from from by following
+// edges (from is considered reachable from itself).
+func (g *Graph) Reachable(from, to *Block) bool {
+	return g.PathAvoiding(from, to, nil)
+}
+
+// PathAvoiding reports whether some path from from to to touches no
+// block for which avoid returns true — endpoints included. A nil avoid
+// is plain reachability. from == to is a path of length zero.
+func (g *Graph) PathAvoiding(from, to *Block, avoid func(*Block) bool) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	bad := func(b *Block) bool { return avoid != nil && avoid(b) }
+	if bad(from) || bad(to) {
+		return false
+	}
+	seen := map[*Block]bool{from: true}
+	queue := []*Block{from}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if b == to {
+			return true
+		}
+		for _, s := range b.Succs {
+			if !seen[s] && !bad(s) {
+				seen[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Builder
+
+// loopFrame is one enclosing breakable/continuable construct.
+type loopFrame struct {
+	label        string
+	breakTarget  *Block
+	contTarget   *Block // nil for switch/select frames
+}
+
+type builder struct {
+	g   *Graph
+	cur *Block
+
+	frames []loopFrame
+	labels map[string]*Block // goto/label name -> entry block
+	// fallthroughTarget is the next case clause while building a switch
+	// clause body, nil elsewhere.
+	fallthroughTarget *Block
+	// pendingLabel is the label of the labeled statement currently
+	// being built, consumed by the next loop/switch/select.
+	pendingLabel string
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a straight-line statement to the current block.
+func (b *builder) add(s ast.Stmt) {
+	b.cur.Stmts = append(b.cur.Stmts, s)
+	b.g.blockOf[s] = b.cur
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label of an enclosing labeled statement.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	// Any statement other than the loop/switch/select it labels clears a
+	// pending label; remember it locally first.
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.pendingLabel = ""
+		b.g.blockOf[s] = b.cur
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.pendingLabel = ""
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, b.takeLabel())
+	case *ast.RangeStmt:
+		b.rangeStmt(s, b.takeLabel())
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.switchBody(s, s.Body, label, true)
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.switchBody(s, s.Body, label, false)
+	case *ast.SelectStmt:
+		b.selectStmt(s, b.takeLabel())
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.ReturnStmt:
+		b.pendingLabel = ""
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = b.newBlock("unreachable")
+	case *ast.BranchStmt:
+		b.pendingLabel = ""
+		b.branchStmt(s)
+	case *ast.DeferStmt:
+		b.pendingLabel = ""
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+	case nil:
+		// tolerate nil statements from damaged trees
+	default:
+		// ExprStmt, AssignStmt, GoStmt, SendStmt, IncDecStmt, DeclStmt,
+		// EmptyStmt, BadStmt: straight-line.
+		b.pendingLabel = ""
+		b.add(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.g.blockOf[s] = b.cur // condition evaluates here
+	cond := b.cur
+	after := b.newBlock("if.after")
+	then := b.newBlock("if.then")
+	b.edge(cond, then)
+	b.cur = then
+	b.g.blockOf[s.Body] = then
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, after)
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, after)
+	} else {
+		b.edge(cond, after)
+	}
+	b.cur = after
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.g.blockOf[s] = head
+	b.edge(b.cur, head)
+	after := b.newBlock("for.after")
+	contTarget := head
+	if s.Post != nil {
+		post := b.newBlock("for.post")
+		post.Stmts = append(post.Stmts, s.Post)
+		b.g.blockOf[s.Post] = post
+		b.edge(post, head)
+		contTarget = post
+	}
+	if s.Cond != nil {
+		b.edge(head, after) // condition may be false
+	}
+	body := b.newBlock("for.body")
+	b.edge(head, body)
+	b.frames = append(b.frames, loopFrame{label: label, breakTarget: after, contTarget: contTarget})
+	b.cur = body
+	b.g.blockOf[s.Body] = body
+	b.stmtList(s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.edge(b.cur, contTarget)
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock("range.head")
+	b.g.blockOf[s] = head
+	b.edge(b.cur, head)
+	after := b.newBlock("range.after")
+	b.edge(head, after) // range may be empty / exhausted
+	body := b.newBlock("range.body")
+	b.edge(head, body)
+	b.frames = append(b.frames, loopFrame{label: label, breakTarget: after, contTarget: head})
+	b.cur = body
+	b.g.blockOf[s.Body] = body
+	b.stmtList(s.Body.List)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.edge(b.cur, head)
+	b.cur = after
+}
+
+// switchBody builds expression and type switches; stmt is the switch
+// node itself (for BlockOf), body its clause list.
+func (b *builder) switchBody(stmt ast.Stmt, body *ast.BlockStmt, label string, allowFallthrough bool) {
+	if ts, ok := stmt.(*ast.TypeSwitchStmt); ok && ts.Assign != nil {
+		// `switch x := y.(type)` — the assign evaluates in the entry block.
+		b.g.blockOf[ts.Assign] = b.cur
+	}
+	b.g.blockOf[stmt] = b.cur
+	b.g.blockOf[body] = b.cur
+	entry := b.cur
+	after := b.newBlock("switch.after")
+	b.frames = append(b.frames, loopFrame{label: label, breakTarget: after})
+
+	clauses := make([]*Block, 0, len(body.List))
+	for range body.List {
+		clauses = append(clauses, b.newBlock("switch.case"))
+	}
+	hasDefault := false
+	savedFT := b.fallthroughTarget
+	for i, cs := range body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(entry, clauses[i])
+		b.g.blockOf[cc] = clauses[i]
+		b.cur = clauses[i]
+		if allowFallthrough && i+1 < len(clauses) {
+			b.fallthroughTarget = clauses[i+1]
+		} else {
+			b.fallthroughTarget = nil
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.fallthroughTarget = savedFT
+	if !hasDefault {
+		b.edge(entry, after) // no case matched
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	b.g.blockOf[s] = b.cur
+	b.g.blockOf[s.Body] = b.cur
+	entry := b.cur
+	after := b.newBlock("select.after")
+	b.frames = append(b.frames, loopFrame{label: label, breakTarget: after})
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		clause := b.newBlock("select.case")
+		b.edge(entry, clause)
+		b.g.blockOf[cc] = clause
+		b.cur = clause
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	// An empty select blocks forever: after keeps no predecessor from
+	// entry, which is exactly right.
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	target := b.labelBlock(s.Label.Name)
+	b.edge(b.cur, target)
+	b.cur = target
+	b.g.blockOf[s] = target
+	b.pendingLabel = s.Label.Name
+	b.stmt(s.Stmt)
+}
+
+// labelBlock returns (creating on first use, so forward gotos work) the
+// block control enters at the named label.
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	var target *Block
+	switch s.Tok {
+	case token.BREAK:
+		target = b.findFrame(s.Label, false)
+	case token.CONTINUE:
+		target = b.findFrame(s.Label, true)
+	case token.GOTO:
+		if s.Label != nil {
+			target = b.labelBlock(s.Label.Name)
+		}
+	case token.FALLTHROUGH:
+		target = b.fallthroughTarget
+	}
+	// A branch with no resolvable target (malformed input the parser
+	// tolerated) simply terminates the block.
+	b.edge(b.cur, target)
+	b.cur = b.newBlock("unreachable")
+}
+
+// findFrame resolves a break/continue target. wantCont selects the
+// continue target (loops only).
+func (b *builder) findFrame(label *ast.Ident, wantCont bool) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if wantCont && f.contTarget == nil {
+			continue // switch/select frames are not continue targets
+		}
+		if label == nil || f.label == label.Name {
+			if wantCont {
+				return f.contTarget
+			}
+			return f.breakTarget
+		}
+	}
+	return nil
+}

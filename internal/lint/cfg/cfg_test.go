@@ -1,0 +1,276 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"repro/internal/lint/cfg"
+)
+
+// parseFunc wraps body in a function and returns its parsed BlockStmt.
+func parseFunc(tb testing.TB, body string) *ast.BlockStmt {
+	tb.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	file, err := parser.ParseFile(token.NewFileSet(), "t.go", src, 0)
+	if err != nil {
+		tb.Fatalf("parse: %v", err)
+	}
+	return file.Decls[0].(*ast.FuncDecl).Body
+}
+
+// callStmt finds the ExprStmt calling the named function.
+func callStmt(tb testing.TB, body *ast.BlockStmt, name string) ast.Stmt {
+	tb.Helper()
+	var found ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					found = es
+				}
+			}
+		}
+		return true
+	})
+	if found == nil {
+		tb.Fatalf("no call to %s in fixture", name)
+	}
+	return found
+}
+
+func TestIfElseJoin(t *testing.T) {
+	body := parseFunc(t, `
+if cond() {
+	a()
+} else {
+	b()
+}
+c()
+`)
+	g := cfg.New(body)
+	a := g.BlockOf(callStmt(t, body, "a"))
+	b := g.BlockOf(callStmt(t, body, "b"))
+	c := g.BlockOf(callStmt(t, body, "c"))
+	if g.Reachable(a, b) || g.Reachable(b, a) {
+		t.Error("the two branches must not reach each other")
+	}
+	for _, blk := range []*cfg.Block{a, b} {
+		if !g.Reachable(g.Entry, blk) {
+			t.Error("entry must reach each branch")
+		}
+		if !g.Reachable(blk, c) {
+			t.Error("each branch must reach the join")
+		}
+	}
+	if !g.Reachable(c, g.Exit) {
+		t.Error("join must reach exit")
+	}
+}
+
+func TestForLoopBackEdgeAndBreak(t *testing.T) {
+	body := parseFunc(t, `
+for x() {
+	a()
+	if cond() {
+		break
+	}
+	b()
+}
+c()
+`)
+	g := cfg.New(body)
+	a := g.BlockOf(callStmt(t, body, "a"))
+	b := g.BlockOf(callStmt(t, body, "b"))
+	c := g.BlockOf(callStmt(t, body, "c"))
+	if !g.Reachable(b, a) {
+		t.Error("bottom of the loop body must reach the top via the back edge")
+	}
+	if !g.Reachable(a, c) {
+		t.Error("break must reach the statement after the loop")
+	}
+}
+
+func TestInfiniteLoopMakesAfterUnreachable(t *testing.T) {
+	body := parseFunc(t, `
+for {
+	a()
+}
+c()
+`)
+	g := cfg.New(body)
+	a := g.BlockOf(callStmt(t, body, "a"))
+	c := g.BlockOf(callStmt(t, body, "c"))
+	if !g.Reachable(g.Entry, a) {
+		t.Error("loop body must be reachable")
+	}
+	if g.Reachable(g.Entry, c) {
+		t.Error("code after `for {}` with no break must be unreachable")
+	}
+}
+
+func TestPathAvoiding(t *testing.T) {
+	// The limiter sits on only one branch: a path around it exists.
+	body := parseFunc(t, `
+if cond() {
+	sem()
+}
+spawn()
+`)
+	g := cfg.New(body)
+	spawn := g.BlockOf(callStmt(t, body, "spawn"))
+	semBlk := g.BlockOf(callStmt(t, body, "sem"))
+	if !g.PathAvoiding(g.Entry, spawn, func(b *cfg.Block) bool { return b == semBlk }) {
+		t.Error("the else path must avoid the limiter block")
+	}
+
+	// The limiter sits on both branches: no way around.
+	body2 := parseFunc(t, `
+if cond() {
+	semA()
+} else {
+	semB()
+}
+spawn()
+`)
+	g2 := cfg.New(body2)
+	spawn2 := g2.BlockOf(callStmt(t, body2, "spawn"))
+	avoid := map[*cfg.Block]bool{
+		g2.BlockOf(callStmt(t, body2, "semA")): true,
+		g2.BlockOf(callStmt(t, body2, "semB")): true,
+	}
+	if g2.PathAvoiding(g2.Entry, spawn2, func(b *cfg.Block) bool { return avoid[b] }) {
+		t.Error("every path passes a limiter; no avoiding path should exist")
+	}
+}
+
+func TestLabeledBreakEscapesBothLoops(t *testing.T) {
+	body := parseFunc(t, `
+L:
+	for {
+		for {
+			if cond() {
+				break L
+			}
+			a()
+		}
+	}
+	c()
+`)
+	g := cfg.New(body)
+	a := g.BlockOf(callStmt(t, body, "a"))
+	c := g.BlockOf(callStmt(t, body, "c"))
+	if !g.Reachable(g.Entry, c) {
+		t.Error("break L must escape both loops")
+	}
+	if !g.Reachable(a, c) {
+		t.Error("the loop bottom loops back around to the break path")
+	}
+}
+
+func TestGotoSkipsAndTargets(t *testing.T) {
+	body := parseFunc(t, `
+	a()
+	goto Skip
+	b()
+Skip:
+	c()
+`)
+	g := cfg.New(body)
+	b := g.BlockOf(callStmt(t, body, "b"))
+	c := g.BlockOf(callStmt(t, body, "c"))
+	if g.Reachable(g.Entry, b) {
+		t.Error("statement jumped over by goto must be unreachable")
+	}
+	if !g.Reachable(g.Entry, c) {
+		t.Error("goto target must be reachable")
+	}
+}
+
+func TestSelectClauses(t *testing.T) {
+	body := parseFunc(t, `
+select {
+case <-ch:
+	a()
+case ch2 <- 1:
+	b()
+}
+c()
+`)
+	g := cfg.New(body)
+	a := g.BlockOf(callStmt(t, body, "a"))
+	b := g.BlockOf(callStmt(t, body, "b"))
+	c := g.BlockOf(callStmt(t, body, "c"))
+	for _, blk := range []*cfg.Block{a, b} {
+		if !g.Reachable(g.Entry, blk) {
+			t.Error("each comm clause must be reachable from entry")
+		}
+		if !g.Reachable(blk, c) {
+			t.Error("each comm clause must reach the join")
+		}
+	}
+	if g.Reachable(a, b) {
+		t.Error("clauses must not reach each other")
+	}
+}
+
+func TestEmptySelectBlocksForever(t *testing.T) {
+	body := parseFunc(t, `
+select {}
+c()
+`)
+	g := cfg.New(body)
+	c := g.BlockOf(callStmt(t, body, "c"))
+	if g.Reachable(g.Entry, c) {
+		t.Error("code after an empty select must be unreachable")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	body := parseFunc(t, `
+switch x() {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+default:
+	d()
+}
+c()
+`)
+	g := cfg.New(body)
+	a := g.BlockOf(callStmt(t, body, "a"))
+	b := g.BlockOf(callStmt(t, body, "b"))
+	d := g.BlockOf(callStmt(t, body, "d"))
+	c := g.BlockOf(callStmt(t, body, "c"))
+	if !g.Reachable(a, b) {
+		t.Error("fallthrough must connect consecutive clauses")
+	}
+	if g.Reachable(a, d) {
+		t.Error("fallthrough must not reach the default clause two steps away")
+	}
+	for _, blk := range []*cfg.Block{a, b, d} {
+		if !g.Reachable(blk, c) {
+			t.Error("each clause must reach the join")
+		}
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	body := parseFunc(t, `
+	defer a()
+	if cond() {
+		return
+	}
+	defer b()
+`)
+	g := cfg.New(body)
+	if len(g.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(g.Defers))
+	}
+	if g.BlockOf(ast.Stmt(g.Defers[0])) == nil {
+		t.Error("defer statements must also live in a block")
+	}
+}

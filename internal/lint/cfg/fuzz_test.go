@@ -1,0 +1,109 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"repro/internal/lint/cfg"
+)
+
+// checkInvariants asserts the structural properties New guarantees for
+// any parseable body: block indices match positions, Entry/Exit are
+// listed, every edge is symmetric (succ<->pred) with both endpoints in
+// Blocks, and BlockOf is total over statements outside nested function
+// literals.
+func checkInvariants(tb testing.TB, g *cfg.Graph, body *ast.BlockStmt) {
+	tb.Helper()
+	inGraph := make(map[*cfg.Block]bool, len(g.Blocks))
+	for i, blk := range g.Blocks {
+		if blk.Index != i {
+			tb.Errorf("block at position %d has Index %d", i, blk.Index)
+		}
+		inGraph[blk] = true
+	}
+	if !inGraph[g.Entry] || !inGraph[g.Exit] {
+		tb.Error("Entry and Exit must appear in Blocks")
+	}
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			if !inGraph[s] {
+				tb.Errorf("successor of block %d not in Blocks", blk.Index)
+				continue
+			}
+			found := false
+			for _, p := range s.Preds {
+				if p == blk {
+					found = true
+				}
+			}
+			if !found {
+				tb.Errorf("edge %d->%d has no matching pred entry", blk.Index, s.Index)
+			}
+		}
+		for _, p := range blk.Preds {
+			if !inGraph[p] {
+				tb.Errorf("predecessor of block %d not in Blocks", blk.Index)
+				continue
+			}
+			found := false
+			for _, s := range p.Succs {
+				if s == blk {
+					found = true
+				}
+			}
+			if !found {
+				tb.Errorf("pred edge %d<-%d has no matching succ entry", blk.Index, p.Index)
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // statements inside literals belong to their own graph
+		}
+		if s, ok := n.(ast.Stmt); ok && g.BlockOf(s) == nil {
+			tb.Errorf("BlockOf(%T) at offset %d is nil", s, s.Pos())
+		}
+		return true
+	})
+}
+
+// FuzzCFGBuild feeds arbitrary control-flow shapes through the builder:
+// any input Go's parser accepts must produce a graph without panicking,
+// and the graph must satisfy the structural invariants.
+func FuzzCFGBuild(f *testing.F) {
+	seeds := []string{
+		"a()\nb()\n",
+		"if c() {\n\ta()\n} else if d() {\n\tb()\n}\n",
+		"for i := 0; i < 10; i++ {\n\tif i == 5 {\n\t\tcontinue\n\t}\n\ta(i)\n}\n",
+		"L:\nfor {\n\tfor range xs {\n\t\tbreak L\n\t}\n}\n",
+		"switch x := y.(type) {\ncase int:\n\ta(x)\n\tfallthrough\ncase string:\n\tb()\ndefault:\n\treturn\n}\n",
+		"select {\ncase v := <-ch:\n\ta(v)\ncase ch2 <- 1:\ndefault:\n\tb()\n}\n",
+		"defer a()\ngoto End\nb()\nEnd:\nreturn\n",
+		"for {\n\tgo func() {\n\t\tfor {\n\t\t}\n\t}()\n}\n",
+		"x := 1\nswitch {\ncase x > 0:\n\tbreak\n}\nselect {}\n",
+		"Top:\nfor a() {\n\tswitch b() {\n\tcase 1:\n\t\tcontinue Top\n\tcase 2:\n\t\tbreak Top\n\t}\n}\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		src := "package p\nfunc f() {\n" + body + "\n}\n"
+		file, err := parser.ParseFile(token.NewFileSet(), "fuzz.go", src, 0)
+		if err != nil {
+			t.Skip()
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkInvariants(t, cfg.New(n.Body), n.Body)
+				}
+			case *ast.FuncLit:
+				checkInvariants(t, cfg.New(n.Body), n.Body)
+			}
+			return true
+		})
+	})
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Helpers shared by the flow-sensitive concurrency analyzers (goleak,
+// lockorder, unboundedspawn). They bridge between the syntactic CFG in
+// internal/lint/cfg and the typechecked program: resolving lock and
+// WaitGroup receivers to their types.Object identities, and walking
+// function bodies one function at a time.
+
+// forEachFuncBody calls fn once for every function body in the file:
+// each FuncDecl body and each FuncLit body, in source order. Bodies are
+// reported independently — a FuncLit inside a FuncDecl is its own call,
+// and its statements belong to it, not to the enclosing function.
+func forEachFuncBody(file *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Body)
+			}
+		case *ast.FuncLit:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+// shallowInspect walks the subtree rooted at n in source order like
+// ast.Inspect, but does not descend into nested function literals:
+// their statements execute on some other goroutine's or caller's
+// schedule and belong to their own control-flow graph.
+func shallowInspect(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return visit(m)
+	})
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return isPkgPath(obj.Pkg(), "context") && obj.Name() == "Context"
+}
+
+// isChanType reports whether t's underlying type is a channel.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// exprObject resolves the object a simple lvalue expression denotes: a
+// plain identifier (local, package-level var) or a field selection
+// (s.mu, c.Beacon.mu — the final field). It returns nil for anything
+// more complex (index expressions, calls), which the analyzers then
+// conservatively ignore.
+func exprObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			return sel.Obj()
+		}
+		// Package-qualified name (pkg.Var).
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// syncMethodRecv reports the receiver object when call is a method call
+// named methodName on a sync.<typeName> value (directly or through a
+// pointer), e.g. the s.wg in s.wg.Done(). It returns nil otherwise.
+func syncMethodRecv(info *types.Info, call *ast.CallExpr, typeName, methodName string) types.Object {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != methodName {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if !isPkgPath(obj.Pkg(), "sync") || obj.Name() != typeName {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return exprObject(info, sel.X)
+}
+
+// declOf finds the source declaration of an in-module function, and the
+// package it lives in, so a one-level callee body can be analyzed with
+// the right type information. Returns nils for out-of-module functions.
+func declOf(prog *Program, fn *types.Func) (*Package, *ast.FuncDecl) {
+	if fn.Pkg() == nil {
+		return nil, nil
+	}
+	pkg, ok := prog.ByPath[fn.Pkg().Path()]
+	if !ok {
+		return nil, nil
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if pkg.Info.Defs[fd.Name] == fn {
+				return pkg, fd
+			}
+		}
+	}
+	return nil, nil
+}

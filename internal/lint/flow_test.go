@@ -1,0 +1,410 @@
+package lint
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFlowAnalyzers covers the CFG-based concurrency analyzers:
+// goroutine exit ties, loop spawn bounds, and module-wide lock
+// ordering. Each analyzer gets true-positive cases no statement-level
+// analyzer could express, and must-not-flag cases for the accepted
+// idioms the runtime packages use.
+func TestFlowAnalyzers(t *testing.T) {
+	cases := []struct {
+		name     string
+		analyzer string
+		files    map[string]string
+		want     []string
+		count    int
+	}{
+		{
+			name:     "goleak flags untied spinning goroutine",
+			analyzer: "goleak",
+			files: map[string]string{
+				"internal/pipeline/p.go": `package pipeline
+
+func Watch(stats *int) {
+	go func() {
+		for {
+			*stats++
+		}
+	}()
+}
+`,
+			},
+			want:  []string{"internal/pipeline/p.go:4: [goleak]", "no exit tie"},
+			count: 1,
+		},
+		{
+			name:     "goleak looks one level into a named callee",
+			analyzer: "goleak",
+			files: map[string]string{
+				"internal/pipeline/p.go": `package pipeline
+
+func spin() {
+	for {
+	}
+}
+
+func Start() {
+	go spin()
+}
+`,
+			},
+			want:  []string{"internal/pipeline/p.go:9: [goleak]"},
+			count: 1,
+		},
+		{
+			name:     "goleak accepts context, channel, and waited WaitGroup ties",
+			analyzer: "goleak",
+			files: map[string]string{
+				"internal/pipeline/p.go": `package pipeline
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func Serve(ctx context.Context, jobs <-chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+`,
+			},
+			count: 0,
+		},
+		{
+			name:     "goleak accepts WaitGroup field waited on elsewhere in the package",
+			analyzer: "goleak",
+			files: map[string]string{
+				"internal/pipeline/p.go": `package pipeline
+
+import "sync"
+
+type Pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *Pool) Kick() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+	}()
+}
+
+func (p *Pool) Close() {
+	p.wg.Wait()
+}
+`,
+			},
+			count: 0,
+		},
+		{
+			name:     "unboundedspawn flags spawn in range loop with no bound",
+			analyzer: "unboundedspawn",
+			files: map[string]string{
+				"internal/pipeline/p.go": `package pipeline
+
+func handle(s string) {}
+
+func Fan(items []string) {
+	for _, it := range items {
+		go handle(it)
+	}
+}
+`,
+			},
+			want:  []string{"internal/pipeline/p.go:7: [unboundedspawn]", "no concurrency bound"},
+			count: 1,
+		},
+		{
+			name:     "unboundedspawn flags a limiter that only covers one branch",
+			analyzer: "unboundedspawn",
+			files: map[string]string{
+				"internal/pipeline/p.go": `package pipeline
+
+func handle(s string) {}
+
+func Fan(items []string, fast bool) {
+	sem := make(chan struct{}, 4)
+	for _, it := range items {
+		if !fast {
+			sem <- struct{}{}
+		}
+		go handle(it)
+	}
+	_ = sem
+}
+`,
+			},
+			want:  []string{"internal/pipeline/p.go:11: [unboundedspawn]"},
+			count: 1,
+		},
+		{
+			name:     "unboundedspawn accepts semaphore on every path and counter pools",
+			analyzer: "unboundedspawn",
+			files: map[string]string{
+				"internal/pipeline/p.go": `package pipeline
+
+import "context"
+
+func handle(s string) {}
+
+func Fan(items []string) {
+	sem := make(chan struct{}, 4)
+	for _, it := range items {
+		sem <- struct{}{}
+		it := it
+		go func() {
+			defer func() { <-sem }()
+			handle(it)
+		}()
+	}
+}
+
+func Accept(ctx context.Context, conns <-chan string) {
+	sem := make(chan struct{}, 4)
+	for c := range conns {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			return
+		}
+		c := c
+		go func() {
+			defer func() { <-sem }()
+			handle(c)
+		}()
+	}
+}
+
+func Workers(n int, jobs chan string) {
+	for i := 0; i < n; i++ {
+		go func() {
+			for j := range jobs {
+				handle(j)
+			}
+		}()
+	}
+}
+`,
+			},
+			count: 0,
+		},
+		{
+			name:     "lockorder flags opposite acquisition orders",
+			analyzer: "lockorder",
+			files: map[string]string{
+				"internal/pipeline/p.go": `package pipeline
+
+import "sync"
+
+var muA, muB sync.Mutex
+
+func AB() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func BA() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+`,
+			},
+			want: []string{
+				"internal/pipeline/p.go:9: [lockorder]",
+				"lock-order cycle: pipeline.muA -> pipeline.muB (p.go:9) -> pipeline.muA (p.go:16)",
+			},
+			count: 1,
+		},
+		{
+			name:     "lockorder traces acquisition through an intermediate call",
+			analyzer: "lockorder",
+			files: map[string]string{
+				"internal/pipeline/p.go": `package pipeline
+
+import "sync"
+
+var muA, muB sync.Mutex
+
+func lockB() {
+	muB.Lock()
+	muB.Unlock()
+}
+
+func A() {
+	muA.Lock()
+	lockB()
+	muA.Unlock()
+}
+
+func B() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+`,
+			},
+			want:  []string{"[lockorder]", "lock-order cycle: pipeline.muA -> pipeline.muB (p.go:14) -> pipeline.muA (p.go:20)"},
+			count: 1,
+		},
+		{
+			name:     "lockorder accepts a consistent global order",
+			analyzer: "lockorder",
+			files: map[string]string{
+				"internal/pipeline/p.go": `package pipeline
+
+import "sync"
+
+var muA, muB sync.Mutex
+
+func One() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func Two() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+`,
+			},
+			count: 0,
+		},
+		{
+			name:     "stale waiver becomes a finding when its analyzer runs clean",
+			analyzer: "errdrop",
+			files: map[string]string{
+				"internal/resolve/r.go": `package resolve
+
+import "os"
+
+func Cleanup(path string) error {
+	//repolint:allow errdrop belt and braces from an earlier revision
+	return os.Remove(path)
+}
+`,
+			},
+			want:  []string{"internal/resolve/r.go:6: [directive]", "stale waiver: //repolint:allow errdrop no longer suppresses any finding"},
+			count: 1,
+		},
+		{
+			name:     "stale waiver is not audited when its analyzer is skipped",
+			analyzer: "mutexcopy",
+			files: map[string]string{
+				"internal/resolve/r.go": `package resolve
+
+import "os"
+
+func Cleanup(path string) error {
+	//repolint:allow errdrop belt and braces from an earlier revision
+	return os.Remove(path)
+}
+`,
+			},
+			count: 0,
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			dir := writeTree(t, tc.files)
+			got := runFixture(t, dir, tc.analyzer)
+			if len(got) != tc.count {
+				t.Fatalf("got %d findings, want %d:\n%s", len(got), tc.count, strings.Join(got, "\n"))
+			}
+			for _, want := range tc.want {
+				found := false
+				for _, g := range got {
+					if strings.Contains(g, want) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("no finding contains %q; got:\n%s", want, strings.Join(got, "\n"))
+				}
+			}
+		})
+	}
+}
+
+// TestWriteJSONGolden pins the exact -format=json stream for a fixture,
+// and verifies the parallel driver produces it identically across runs.
+func TestWriteJSONGolden(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"internal/resolve/resolve.go": `package resolve
+
+import "os"
+
+func Cleanup(path string) {
+	os.Remove(path)
+}
+`,
+		"internal/stats/stats.go": `package stats
+
+import "time"
+
+func Now() time.Time {
+	return time.Now()
+}
+`,
+	})
+	want := strings.Join([]string{
+		`{"file":"internal/resolve/resolve.go","line":6,"column":2,"analyzer":"errdrop","message":"os.Remove error return value is dropped; handle it or waive with //repolint:allow errdrop \u003creason\u003e"}`,
+		`{"file":"internal/stats/stats.go","line":6,"column":9,"analyzer":"timenondeterminism","message":"direct time.Now in simulation package repro/internal/stats; take time from internal/simclock or an injected clock"}`,
+		``,
+	}, "\n")
+	prog, targets, err := LoadProgram(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("LoadProgram: %v", err)
+	}
+	rel := func(name string) string {
+		r, err := filepath.Rel(dir, name)
+		if err != nil {
+			return name
+		}
+		return r
+	}
+	for i := 0; i < 3; i++ {
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, Run(prog, targets, Analyzers()), rel); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		if got := buf.String(); got != want {
+			t.Errorf("run %d: json output mismatch\n--- got ---\n%s\n--- want ---\n%s", i, got, want)
+		}
+	}
+}

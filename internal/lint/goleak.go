@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/cfg"
+)
+
+// goleak: every goroutine must have an exit edge the spawner (or the
+// runtime design) controls. A collection pipeline that runs for seven
+// months cannot afford goroutines that outlive the work that spawned
+// them — a leaked per-session goroutine on the SMTP or DNS path is a
+// slow memory exhaustion of the measurement host.
+//
+// A `go` statement is accepted when any of these exit ties hold:
+//
+//   - the spawned function receives or references a context.Context —
+//     cancellation reaches it;
+//   - the spawned function performs a channel operation (send, receive,
+//     close, select, range over a channel) — some peer can unblock or
+//     terminate it;
+//   - the spawned function calls wg.Done() on a sync.WaitGroup that the
+//     spawning function waits on at a point reachable from the spawn
+//     (including in a defer), or — for WaitGroups held in struct
+//     fields — anywhere in the defining package (a Close/Shutdown
+//     method waiting on its sessions).
+//
+// For `go f(...)` where f is declared in this module, the analysis
+// looks one call level deep into f's body. Out-of-module or dynamic
+// callees are judged by their signature: a context.Context or channel
+// parameter (or argument) counts as a tie.
+
+var GoleakAnalyzer = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutines must be tied to an exit: a context, a channel operation, or a WaitGroup the spawner waits on",
+	Run:  runGoleak,
+}
+
+func runGoleak(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		forEachFuncBody(file, func(body *ast.BlockStmt) {
+			var g *cfg.Graph // built lazily: most bodies spawn nothing
+			shallowInspect(body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if g == nil {
+					g = cfg.New(body)
+				}
+				checkGoStmt(pass, body, g, gs)
+				return true
+			})
+		})
+	}
+}
+
+func checkGoStmt(pass *Pass, encBody *ast.BlockStmt, g *cfg.Graph, gs *ast.GoStmt) {
+	info := pass.Pkg.Info
+
+	// Handing the goroutine a context or channel at spawn time is a tie
+	// regardless of whether we can see the callee body.
+	for _, arg := range gs.Call.Args {
+		if tv, ok := info.Types[arg]; ok && (isContextType(tv.Type) || isChanType(tv.Type)) {
+			return
+		}
+	}
+
+	var tie tieScan
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		tie = scanTies(info, fun.Body)
+	default:
+		if fn := calleeFunc(info, gs.Call); fn != nil {
+			if sig, ok := fn.Type().(*types.Signature); ok && signatureTied(sig) {
+				return
+			}
+			if pkg, decl := declOf(pass.Prog, fn); decl != nil && decl.Body != nil {
+				tie = scanTies(pkg.Info, decl.Body)
+			}
+		} else if tv, ok := info.Types[gs.Call.Fun]; ok {
+			// Dynamic call through a function value: only the
+			// signature is visible.
+			if sig, ok := tv.Type.Underlying().(*types.Signature); ok && signatureTied(sig) {
+				return
+			}
+		}
+	}
+
+	if tie.usesContext || tie.usesChannel {
+		return
+	}
+	for _, wg := range tie.doneOn {
+		if waitedOn(pass, encBody, g, gs, wg) {
+			return
+		}
+	}
+	pass.Reportf(gs.Pos(),
+		"goroutine has no exit tie: nothing cancels it (no context, channel operation, or WaitGroup the spawner waits on); a leak here accumulates for the lifetime of the collection run")
+}
+
+// tieScan summarizes the exit ties visible in a spawned function body.
+type tieScan struct {
+	usesContext bool
+	usesChannel bool
+	doneOn      []types.Object // WaitGroups the body calls Done() on
+}
+
+// scanTies walks a spawned body in full (including nested literals —
+// they run on or under this goroutine) looking for exit ties.
+func scanTies(info *types.Info, body *ast.BlockStmt) tieScan {
+	var t tieScan
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && isContextType(obj.Type()) {
+				t.usesContext = true
+			}
+		case *ast.SendStmt, *ast.SelectStmt:
+			t.usesChannel = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				t.usesChannel = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && isChanType(tv.Type) {
+				t.usesChannel = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				t.usesChannel = true
+			}
+			if obj := syncMethodRecv(info, n, "WaitGroup", "Done"); obj != nil {
+				t.doneOn = append(t.doneOn, obj)
+			}
+		}
+		return true
+	})
+	return t
+}
+
+// signatureTied reports whether a function signature carries an exit
+// tie: a context.Context or channel parameter.
+func signatureTied(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		t := params.At(i).Type()
+		if isContextType(t) || isChanType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// waitedOn reports whether the spawning function waits on wgObj at a
+// point reachable from the spawn, in a defer, or — for struct
+// fields — anywhere in the package that defines the field (typically a
+// Close or Shutdown method draining sessions).
+func waitedOn(pass *Pass, encBody *ast.BlockStmt, g *cfg.Graph, gs *ast.GoStmt, wgObj types.Object) bool {
+	info := pass.Pkg.Info
+
+	// Deferred waits run at every function exit, which the spawn always
+	// reaches.
+	for _, d := range g.Defers {
+		if stmtWaitsOn(info, d, wgObj) {
+			return true
+		}
+	}
+
+	spawn := g.BlockOf(gs)
+	for _, blk := range g.Blocks {
+		for _, st := range blk.Stmts {
+			if stmtWaitsOn(info, st, wgObj) && (spawn == nil || g.Reachable(spawn, blk)) {
+				return true
+			}
+		}
+	}
+
+	// A WaitGroup stored in a struct field is usually waited on by a
+	// different method of the same type (Close, Shutdown). Accept a
+	// Wait on the same field object anywhere in its defining package.
+	if v, ok := wgObj.(*types.Var); ok && v.IsField() && v.Pkg() != nil {
+		if pkg, ok := pass.Prog.ByPath[v.Pkg().Path()]; ok {
+			for _, file := range pkg.Files {
+				found := false
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if ok && syncMethodRecv(pkg.Info, call, "WaitGroup", "Wait") == wgObj {
+						found = true
+					}
+					return !found
+				})
+				if found {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// stmtWaitsOn reports whether the statement (not descending into nested
+// function literals) calls Wait() on the given WaitGroup object.
+func stmtWaitsOn(info *types.Info, s ast.Stmt, wgObj types.Object) bool {
+	found := false
+	shallowInspect(s, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if syncMethodRecv(info, call, "WaitGroup", "Wait") == wgObj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -23,12 +23,16 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one analyzer diagnostic.
@@ -59,6 +63,28 @@ type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package // topological order, dependencies first
 	ByPath   map[string]*Package
+
+	stateMu sync.Mutex
+	state   map[string]any
+}
+
+// analyzerState returns the per-Program state stored under key,
+// computing it with build on first use. Analyzer passes run
+// concurrently across packages, so whole-module analyses (lockorder,
+// sanitizeflow's taint summaries) must keep their shared state here
+// rather than in package-level variables.
+func (p *Program) analyzerState(key string, build func() any) any {
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
+	if p.state == nil {
+		p.state = make(map[string]any)
+	}
+	if v, ok := p.state[key]; ok {
+		return v
+	}
+	v := build()
+	p.state[key] = v
+	return v
 }
 
 // Pass carries the state one analyzer run sees for one package.
@@ -96,6 +122,9 @@ func Analyzers() []*Analyzer {
 		CtxLeakAnalyzer,
 		ErrDropAnalyzer,
 		TimeNondeterminismAnalyzer,
+		GoleakAnalyzer,
+		LockOrderAnalyzer,
+		UnboundedSpawnAnalyzer,
 	}
 }
 
@@ -110,26 +139,70 @@ func AnalyzerByName(name string) (*Analyzer, bool) {
 }
 
 // Run executes the analyzers over the target packages and returns the
-// surviving findings sorted by position. Directive waivers are applied
-// here; malformed directives become findings themselves.
+// surviving findings sorted by position. Packages are analyzed in
+// parallel (bounded by GOMAXPROCS); the final sort makes the output
+// deterministic regardless of scheduling. Directive waivers are applied
+// here; malformed directives and stale waivers — directives whose
+// analyzer ran but which no longer suppress anything — become findings
+// themselves.
 func Run(prog *Program, targets []*Package, analyzers []*Analyzer) []Finding {
+	perPkg := make([][]Finding, len(targets))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, pkg := range targets {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var findings []Finding
+			for _, a := range analyzers {
+				pass := &Pass{Prog: prog, Pkg: pkg, analyzer: a.Name, findings: &findings}
+				a.Run(pass)
+			}
+			perPkg[i] = findings
+		}(i, pkg)
+	}
+	wg.Wait()
+
 	var findings []Finding
-	for _, a := range analyzers {
-		for _, pkg := range targets {
-			pass := &Pass{Prog: prog, Pkg: pkg, analyzer: a.Name, findings: &findings}
-			a.Run(pass)
-		}
+	for _, fs := range perPkg {
+		findings = append(findings, fs...)
 	}
 	waivers, bad := collectWaivers(prog, targets)
 	findings = append(findings, bad...)
 	kept := findings[:0]
 	for _, f := range findings {
-		if waivers[waiverKey{f.Pos.Filename, f.Pos.Line, f.Analyzer}] {
+		if d := waivers[waiverKey{f.Pos.Filename, f.Pos.Line, f.Analyzer}]; d != nil {
+			d.used++
 			continue
 		}
 		kept = append(kept, f)
 	}
 	findings = kept
+
+	// Stale-waiver audit. A directive is only audited when its analyzer
+	// actually ran this invocation, so `-run` subsets never flag waivers
+	// for analyzers they skipped.
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	seen := make(map[*waiverDirective]bool)
+	for _, d := range waivers {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		if ran[d.analyzer] && d.used == 0 {
+			findings = append(findings, Finding{
+				Pos:      d.pos,
+				Analyzer: "directive",
+				Message:  fmt.Sprintf("stale waiver: //repolint:allow %s no longer suppresses any finding; remove it", d.analyzer),
+			})
+		}
+	}
+
 	sort.Slice(findings, func(i, j int) bool {
 		fi, fj := findings[i], findings[j]
 		if fi.Pos.Filename != fj.Pos.Filename {
@@ -146,10 +219,39 @@ func Run(prog *Program, targets []*Package, analyzers []*Analyzer) []Finding {
 	return findings
 }
 
+// WriteJSON writes findings as a newline-delimited JSON stream, one
+// object per finding, for machine consumption in CI. rel maps absolute
+// filenames to the paths that should appear in the output (pass the
+// identity function to keep them absolute).
+func WriteJSON(w io.Writer, findings []Finding, rel func(string) string) error {
+	enc := json.NewEncoder(w)
+	for _, f := range findings {
+		rec := struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}{rel(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 type waiverKey struct {
 	file     string
 	line     int
 	analyzer string
+}
+
+// waiverDirective is one //repolint:allow comment; used counts how many
+// findings it suppressed so the stale-waiver audit can flag dead ones.
+type waiverDirective struct {
+	pos      token.Position
+	analyzer string
+	used     int
 }
 
 const directivePrefix = "//repolint:allow"
@@ -157,8 +259,10 @@ const directivePrefix = "//repolint:allow"
 // collectWaivers scans comments for //repolint:allow directives. A
 // directive waives the named analyzer on its own line and on the first
 // code line at or below it (so it can sit above the flagged statement).
-func collectWaivers(prog *Program, targets []*Package) (map[waiverKey]bool, []Finding) {
-	waivers := make(map[waiverKey]bool)
+// Both keys map to the same directive record so suppression counts
+// accumulate on it.
+func collectWaivers(prog *Program, targets []*Package) (map[waiverKey]*waiverDirective, []Finding) {
+	waivers := make(map[waiverKey]*waiverDirective)
 	var bad []Finding
 	for _, pkg := range targets {
 		for _, file := range pkg.Files {
@@ -178,8 +282,9 @@ func collectWaivers(prog *Program, targets []*Package) (map[waiverKey]bool, []Fi
 						})
 						continue
 					}
-					waivers[waiverKey{pos.Filename, pos.Line, name}] = true
-					waivers[waiverKey{pos.Filename, pos.Line + 1, name}] = true
+					d := &waiverDirective{pos: pos, analyzer: name}
+					waivers[waiverKey{pos.Filename, pos.Line, name}] = d
+					waivers[waiverKey{pos.Filename, pos.Line + 1, name}] = d
 				}
 			}
 		}

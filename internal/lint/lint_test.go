@@ -32,7 +32,7 @@ func (v *Vault) Put(domain, verdict string, plaintext []byte) error { return nil
 `,
 }
 
-func writeTree(t *testing.T, files map[string]string) string {
+func writeTree(t testing.TB, files map[string]string) string {
 	t.Helper()
 	dir := t.TempDir()
 	for name, src := range files {

@@ -1,0 +1,411 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// lockorder: sync.Mutex/RWMutex acquisition order must be acyclic
+// across the whole module. Two goroutines taking the same pair of locks
+// in opposite orders is the classic deadlock, and in a collector that
+// holds a store lock while delivering to a component that holds its own
+// lock back into the store, the deadlock freezes the measurement
+// pipeline silently — the paper's seven-month run would just stop
+// collecting.
+//
+// The analysis tracks locks with stable cross-function identity: struct
+// fields and package-level variables of type sync.Mutex/sync.RWMutex
+// (local mutexes cannot participate in cross-function ordering cycles).
+// Per function body it simulates the lexically-held lock set: Lock and
+// RLock push, the matching Unlock/RUnlock pops, and deferred unlocks
+// are ignored so the lock counts as held through the rest of the body.
+// Acquiring B while A is held adds edge A→B. In-module calls made while
+// holding a lock contribute edges to every lock the callee acquires
+// transitively (a fixpoint over one-level call summaries). RLock is
+// treated like Lock: a reader-reader cycle still deadlocks once a
+// writer queues between them.
+//
+// Each strongly connected component of the resulting graph with more
+// than one lock is reported once, anchored at its alphabetically first
+// lock, with a blame path giving one acquisition site per edge.
+
+var LockOrderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc:  "module-wide mutex acquisition order must be free of cycles (potential deadlocks)",
+	Run:  runLockOrder,
+}
+
+// lockFinding is a precomputed whole-module finding attributed to the
+// package containing its anchor edge, so the module-wide analysis
+// reports each cycle exactly once no matter how many packages run.
+type lockFinding struct {
+	pkgPath string
+	pos     token.Pos
+	msg     string
+}
+
+type lockOrderState struct{ findings []lockFinding }
+
+func runLockOrder(pass *Pass) {
+	st := pass.Prog.analyzerState("lockorder", func() any {
+		return buildLockOrder(pass.Prog)
+	}).(*lockOrderState)
+	for _, f := range st.findings {
+		if f.pkgPath == pass.Pkg.Path {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+}
+
+// lockEdge records "to was acquired at pos while from was held".
+type lockEdge struct {
+	from, to *types.Var
+	pos      token.Pos
+	pkgPath  string
+}
+
+// heldCall is an in-module call made while holding zero or more locks.
+type heldCall struct {
+	held []*types.Var
+	fn   *types.Func
+	pos  token.Pos
+}
+
+// lockScan summarizes one function body's locking behavior.
+type lockScan struct {
+	pkgPath  string
+	acquires map[*types.Var]bool
+	calls    []heldCall
+}
+
+func buildLockOrder(prog *Program) *lockOrderState {
+	names := map[*types.Var]string{}
+	edges := map[[2]*types.Var]lockEdge{}
+	addEdge := func(from, to *types.Var, pos token.Pos, pkgPath string) {
+		if from == to {
+			return
+		}
+		k := [2]*types.Var{from, to}
+		if _, ok := edges[k]; !ok {
+			edges[k] = lockEdge{from, to, pos, pkgPath}
+		}
+	}
+
+	// Pass 1: scan every function body (declared and literal) in
+	// deterministic source order, collecting direct edges, per-function
+	// acquire sets, and calls made while holding locks.
+	var scans []*lockScan
+	summaries := map[*types.Func]*lockScan{}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body == nil {
+						return true
+					}
+					sc := scanLockBody(prog, pkg, n.Body, names, addEdge)
+					scans = append(scans, sc)
+					if fn, ok := pkg.Info.Defs[n.Name].(*types.Func); ok {
+						summaries[fn] = sc
+					}
+				case *ast.FuncLit:
+					scans = append(scans, scanLockBody(prog, pkg, n.Body, names, addEdge))
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: fixpoint of transitive acquire sets over the call
+	// summaries, so holding A while calling f, where f calls g, where g
+	// locks B, still yields edge A→B.
+	acq := map[*types.Func]map[*types.Var]bool{}
+	for fn, sc := range summaries {
+		m := map[*types.Var]bool{}
+		for v := range sc.acquires {
+			m[v] = true
+		}
+		acq[fn] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, sc := range summaries {
+			m := acq[fn]
+			for _, c := range sc.calls {
+				for v := range acq[c.fn] {
+					if !m[v] {
+						m[v] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: interprocedural edges, blamed at the call site.
+	for _, sc := range scans {
+		for _, c := range sc.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			for v := range acq[c.fn] {
+				for _, h := range c.held {
+					addEdge(h, v, c.pos, sc.pkgPath)
+				}
+			}
+		}
+	}
+
+	return &lockOrderState{findings: lockCycles(prog, edges, names)}
+}
+
+// scanLockBody simulates the lexically-held lock set through one body.
+// Nested function literals are skipped (scanned as their own bodies);
+// deferred statements are skipped so deferred unlocks keep the lock
+// held for edge purposes.
+func scanLockBody(prog *Program, pkg *Package, body *ast.BlockStmt, names map[*types.Var]string, addEdge func(from, to *types.Var, pos token.Pos, pkgPath string)) *lockScan {
+	sc := &lockScan{pkgPath: pkg.Path, acquires: map[*types.Var]bool{}}
+	var held []*types.Var
+	shallowInspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			v, method := lockMethodCall(pkg.Info, n, names)
+			switch method {
+			case "Lock", "RLock":
+				for _, h := range held {
+					addEdge(h, v, n.Pos(), pkg.Path)
+				}
+				held = append(held, v)
+				sc.acquires[v] = true
+			case "Unlock", "RUnlock":
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == v {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			default:
+				if fn := calleeFunc(pkg.Info, n); fn != nil && fn.Pkg() != nil {
+					if _, inModule := prog.ByPath[fn.Pkg().Path()]; inModule {
+						sc.calls = append(sc.calls, heldCall{
+							held: append([]*types.Var(nil), held...),
+							fn:   fn,
+							pos:  n.Pos(),
+						})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return sc
+}
+
+// lockMethodCall recognizes a Lock/RLock/Unlock/RUnlock call on a
+// trackable sync.Mutex/RWMutex (struct field or package-level var) and
+// returns the lock's identity and the method name.
+func lockMethodCall(info *types.Info, call *ast.CallExpr, names map[*types.Var]string) (*types.Var, string) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return nil, ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, ""
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	if !isPkgPath(named.Obj().Pkg(), "sync") {
+		return nil, ""
+	}
+	if name := named.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return nil, ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	v, ok := exprObject(info, sel.X).(*types.Var)
+	if !ok {
+		return nil, ""
+	}
+	if !v.IsField() && !(v.Pkg() != nil && v.Parent() == v.Pkg().Scope()) {
+		return nil, ""
+	}
+	if _, ok := names[v]; !ok {
+		names[v] = lockDisplayName(info, sel.X, v)
+	}
+	return v, fn.Name()
+}
+
+// lockDisplayName builds a stable human-readable name for a lock:
+// pkg.Type.field for struct fields, pkg.var for package-level locks.
+func lockDisplayName(info *types.Info, lockExpr ast.Expr, v *types.Var) string {
+	if sel, ok := ast.Unparen(lockExpr).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok {
+			t := s.Recv()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + v.Name()
+			}
+		}
+	}
+	if v.Pkg() != nil {
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return v.Name()
+}
+
+// lockCycles finds strongly connected components of the acquisition
+// graph and renders each multi-lock component as one finding with a
+// blame path.
+func lockCycles(prog *Program, edges map[[2]*types.Var]lockEdge, names map[*types.Var]string) []lockFinding {
+	succs := map[*types.Var][]*types.Var{}
+	nodeSet := map[*types.Var]bool{}
+	for k := range edges {
+		succs[k[0]] = append(succs[k[0]], k[1])
+		nodeSet[k[0]] = true
+		nodeSet[k[1]] = true
+	}
+	nodes := make([]*types.Var, 0, len(nodeSet))
+	for v := range nodeSet {
+		nodes = append(nodes, v)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return names[nodes[i]] < names[nodes[j]] })
+	for _, v := range nodes {
+		s := succs[v]
+		sort.Slice(s, func(i, j int) bool { return names[s[i]] < names[s[j]] })
+	}
+
+	// Tarjan's algorithm, deterministic because nodes and successor
+	// lists are name-sorted.
+	index := map[*types.Var]int{}
+	low := map[*types.Var]int{}
+	onStack := map[*types.Var]bool{}
+	var stack []*types.Var
+	var comps [][]*types.Var
+	next := 0
+	var strongconnect func(v *types.Var)
+	strongconnect = func(v *types.Var) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succs[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []*types.Var
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+
+	var findings []lockFinding
+	for _, comp := range comps {
+		if len(comp) < 2 {
+			continue
+		}
+		sort.Slice(comp, func(i, j int) bool { return names[comp[i]] < names[comp[j]] })
+		anchor := comp[0]
+		inComp := map[*types.Var]bool{}
+		for _, v := range comp {
+			inComp[v] = true
+		}
+		cycle := shortestCycle(anchor, succs, inComp)
+		if cycle == nil {
+			continue
+		}
+		var b strings.Builder
+		b.WriteString("lock-order cycle: ")
+		b.WriteString(names[cycle[0]])
+		for i := 1; i < len(cycle); i++ {
+			e := edges[[2]*types.Var{cycle[i-1], cycle[i]}]
+			p := prog.Fset.Position(e.pos)
+			fmt.Fprintf(&b, " -> %s (%s:%d)", names[cycle[i]], filepath.Base(p.Filename), p.Line)
+		}
+		b.WriteString("; acquire these locks in one global order")
+		first := edges[[2]*types.Var{cycle[0], cycle[1]}]
+		findings = append(findings, lockFinding{pkgPath: first.pkgPath, pos: first.pos, msg: b.String()})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].msg < findings[j].msg })
+	return findings
+}
+
+// shortestCycle returns the shortest path anchor -> ... -> anchor using
+// only component nodes, as a slice whose first and last elements are
+// the anchor. BFS over name-sorted successors keeps it deterministic.
+func shortestCycle(anchor *types.Var, succs map[*types.Var][]*types.Var, inComp map[*types.Var]bool) []*types.Var {
+	parent := map[*types.Var]*types.Var{}
+	queue := []*types.Var{anchor}
+	visitedFrom := map[*types.Var]bool{anchor: true}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range succs[v] {
+			if !inComp[w] {
+				continue
+			}
+			if w == anchor {
+				// Reconstruct anchor -> ... -> v -> anchor.
+				var rev []*types.Var
+				for x := v; x != anchor; x = parent[x] {
+					rev = append(rev, x)
+				}
+				cycle := []*types.Var{anchor}
+				for i := len(rev) - 1; i >= 0; i-- {
+					cycle = append(cycle, rev[i])
+				}
+				return append(cycle, anchor)
+			}
+			if !visitedFrom[w] {
+				visitedFrom[w] = true
+				parent[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	return nil
+}

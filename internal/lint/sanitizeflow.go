@@ -50,14 +50,10 @@ type taintState struct {
 	paramToResult map[*types.Func]map[int]bool   // param index taints some result
 }
 
-var taintCache = map[*Program]*taintState{}
-
 func runSanitizeFlow(pass *Pass) {
-	st, ok := taintCache[pass.Prog]
-	if !ok {
-		st = newTaintState(pass.Prog)
-		taintCache[pass.Prog] = st
-	}
+	st := pass.Prog.analyzerState("sanitizeflow", func() any {
+		return newTaintState(pass.Prog)
+	}).(*taintState)
 	st.checkPackage(pass)
 }
 

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/cfg"
+)
+
+// unboundedspawn: a goroutine spawned inside a loop must be gated by a
+// concurrency bound that sits on every path from the top of the loop
+// body to the spawn. The accept loops in smtpd/dnsserve/honey/whois and
+// the probe fan-out are exactly the places where one hostile or buggy
+// peer turns "one goroutine per connection" into memory exhaustion of
+// the collection host.
+//
+// Recognized bounds on the path (checked flow-sensitively on the CFG):
+//
+//   - a channel send (semaphore acquire: sem <- struct{}{}, including
+//     inside a select case);
+//   - a channel receive (token-pool acquire: <-tokens);
+//   - a call to a method named Acquire (golang.org/x/sync/semaphore
+//     style, local equivalents).
+//
+// Counter loops with an explicit comparison bound and increment
+// (`for i := 0; i < n; i++`) spawn a bounded number of goroutines and
+// are exempt — that is the worker-pool idiom. The exemption only covers
+// the counter loop itself: a bounded inner loop nested in an unbounded
+// outer loop still spawns without bound overall, so every enclosing
+// unbounded loop must be covered by a limiter.
+
+var UnboundedSpawnAnalyzer = &Analyzer{
+	Name: "unboundedspawn",
+	Doc:  "goroutines spawned in a loop must pass a semaphore/worker-pool bound on every path to the spawn",
+	Run:  runUnboundedSpawn,
+}
+
+func runUnboundedSpawn(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		forEachFuncBody(file, func(body *ast.BlockStmt) {
+			var g *cfg.Graph
+			shallowInspect(body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				loops := enclosingLoops(body, gs.Pos())
+				if len(loops) == 0 {
+					return true
+				}
+				if g == nil {
+					g = cfg.New(body)
+				}
+				for _, loop := range loops {
+					if boundedCounterLoop(loop.stmt) {
+						continue
+					}
+					if !limiterCovers(info, g, loop.body, gs) {
+						pass.Reportf(gs.Pos(),
+							"goroutine spawned in a loop with no concurrency bound on the path from the loop head; gate it with a semaphore, worker pool, or counter bound")
+						break // one finding per spawn, not one per loop
+					}
+				}
+				return true
+			})
+		})
+	}
+}
+
+// loopSite is one loop statement enclosing a position.
+type loopSite struct {
+	stmt ast.Stmt // *ast.ForStmt or *ast.RangeStmt
+	body *ast.BlockStmt
+}
+
+// enclosingLoops returns the for/range statements in body whose loop
+// body contains pos, outermost first. Nested function literals are not
+// entered: a `go` inside a literal belongs to the literal's own CFG.
+func enclosingLoops(body *ast.BlockStmt, pos token.Pos) []loopSite {
+	var loops []loopSite
+	shallowInspect(body, func(n ast.Node) bool {
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			if l.Body.Pos() <= pos && pos < l.Body.End() {
+				loops = append(loops, loopSite{l, l.Body})
+			}
+		case *ast.RangeStmt:
+			if l.Body.Pos() <= pos && pos < l.Body.End() {
+				loops = append(loops, loopSite{l, l.Body})
+			}
+		}
+		return true
+	})
+	return loops
+}
+
+// boundedCounterLoop recognizes the classic worker-pool spawn loop
+// `for i := 0; i < n; i++`: an init, a comparison condition, and an
+// increment/decrement post statement. Such a loop runs a statically
+// bounded number of iterations per entry.
+func boundedCounterLoop(s ast.Stmt) bool {
+	f, ok := s.(*ast.ForStmt)
+	if !ok {
+		return false
+	}
+	if f.Init == nil || f.Cond == nil || f.Post == nil {
+		return false
+	}
+	cond, ok := f.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cond.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+	default:
+		return false
+	}
+	_, ok = f.Post.(*ast.IncDecStmt)
+	return ok
+}
+
+// limiterCovers reports whether every CFG path from the top of the loop
+// body to the spawn passes through a limiter operation.
+func limiterCovers(info *types.Info, g *cfg.Graph, loopBody *ast.BlockStmt, gs *ast.GoStmt) bool {
+	goBlk := g.BlockOf(gs)
+	entry := g.BlockOf(loopBody)
+	if goBlk == nil || entry == nil {
+		return true // CFG gap: fail open rather than invent a finding
+	}
+	if blockHasLimiter(info, goBlk, gs.Pos()) {
+		return true
+	}
+	// Covered iff no limiter-free path reaches the spawn block.
+	return !g.PathAvoiding(entry, goBlk, func(b *cfg.Block) bool {
+		return b != goBlk && blockHasLimiter(info, b, gs.Pos())
+	})
+}
+
+// blockHasLimiter reports whether the block performs a limiter
+// operation before pos (channel send, channel receive, or a call to a
+// method named Acquire).
+func blockHasLimiter(info *types.Info, b *cfg.Block, pos token.Pos) bool {
+	for _, s := range b.Stmts {
+		if s.Pos() >= pos {
+			continue
+		}
+		if limiterStmt(info, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func limiterStmt(info *types.Info, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.SendStmt:
+		return true
+	case *ast.ExprStmt:
+		return limiterExpr(info, s.X)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if limiterExpr(info, rhs) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func limiterExpr(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		return e.Op == token.ARROW
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == "Acquire"
+		}
+	}
+	return false
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/ecosys"
@@ -139,6 +140,48 @@ func Scan(domains []string, n Net) []Result {
 	for _, d := range domains {
 		out = append(out, Result{Domain: d, Support: classify(d, n)})
 	}
+	return out
+}
+
+// ScanParallel classifies every domain like Scan, fanning the work out
+// across a fixed pool of workers — the paper probed hundreds of
+// thousands of candidate domains, far too many for a sequential walk
+// against real network latencies. workers <= 0 selects a default pool.
+// Results come back in input order regardless of completion order.
+func ScanParallel(ctx context.Context, domains []string, n Net, workers int) []Result {
+	if workers <= 0 {
+		workers = 16
+	}
+	if workers > len(domains) {
+		workers = len(domains)
+	}
+	out := make([]Result, len(domains))
+	if len(domains) == 0 {
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = Result{Domain: domains[i], Support: classify(domains[i], n)}
+			}
+		}()
+	}
+feed:
+	for i := range domains {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Stop feeding; workers drain in-flight domains and exit.
+			// Unprobed slots stay zero-valued, recognizable by Domain "".
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
 	return out
 }
 

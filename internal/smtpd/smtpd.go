@@ -26,6 +26,7 @@ import (
 const (
 	DefaultMaxSize    = 10 << 20 // message size limit advertised via SIZE
 	DefaultMaxRcpts   = 100
+	DefaultMaxConns   = 512 // concurrent sessions (Postfix default_process_limit ballpark)
 	DefaultTimeout    = 30 * time.Second
 	maxLineLen        = 2048
 	maxCommandsPerSes = 1000
@@ -67,6 +68,11 @@ type Config struct {
 	MaxSize int
 	// MaxRcpts bounds recipients per transaction; 0 means DefaultMaxRcpts.
 	MaxRcpts int
+	// MaxConns bounds concurrent sessions; when all slots are busy the
+	// accept loop blocks, letting the kernel backlog absorb the burst
+	// instead of spawning a goroutine per hostile connection. 0 means
+	// DefaultMaxConns.
+	MaxConns int
 	// Timeout bounds each read/write; 0 means DefaultTimeout.
 	Timeout time.Duration
 	// TLS enables STARTTLS when non-nil.
@@ -97,6 +103,7 @@ func (e *SMTPError) Error() string { return fmt.Sprintf("%d %s", e.Code, e.Msg) 
 // Server is a catch-all SMTP server.
 type Server struct {
 	cfg Config
+	sem chan struct{} // session slots; acquired in Serve, released by the session goroutine
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -131,10 +138,20 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Timeout == 0 {
 		cfg.Timeout = DefaultTimeout
 	}
+	if cfg.MaxConns == 0 {
+		cfg.MaxConns = DefaultMaxConns
+	}
+	if cfg.MaxConns < 0 {
+		return nil, errors.New("smtpd: Config.MaxConns must be positive")
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	return &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}, nil
+	return &Server{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxConns),
+		conns: make(map[net.Conn]struct{}),
+	}, nil
 }
 
 // ListenAndServe binds addr ("127.0.0.1:0") and serves until ctx ends.
@@ -186,6 +203,16 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			s.wg.Wait()
 			return fmt.Errorf("smtpd: accept: %w", err)
 		}
+		// Admission control: take a session slot before spawning, so a
+		// connection flood stalls here rather than growing a goroutine
+		// per peer for the lifetime of a seven-month run.
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			conn.Close()
+			s.wg.Wait()
+			return ctx.Err()
+		}
 		s.mu.Lock()
 		if s.closed {
 			// Accept can race with Close: the listener may hand us one
@@ -194,6 +221,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			// leak a session Close never sees; drop it instead.
 			s.mu.Unlock()
 			conn.Close()
+			<-s.sem
 			continue
 		}
 		s.conns[conn] = struct{}{}
@@ -210,6 +238,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 				conn.Close()
+				<-s.sem
 			}()
 			s.session(conn)
 		}()

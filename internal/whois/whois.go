@@ -184,6 +184,10 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, bound chan<- n
 	s.mu.Unlock()
 	stop := context.AfterFunc(ctx, func() { ln.Close() })
 	defer stop()
+	// WHOIS queries are one line in, one record out; a small cap on
+	// concurrent sessions is ample and flood-proofs the server.
+	const whoisMaxConns = 64
+	sem := make(chan struct{}, whoisMaxConns)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -199,9 +203,17 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, bound chan<- n
 			}
 			return err
 		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			conn.Close()
+			s.wg.Wait()
+			return ctx.Err()
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer func() { <-sem }()
 			defer conn.Close()
 			conn.SetDeadline(time.Now().Add(10 * time.Second))
 			line, err := bufio.NewReader(conn).ReadString('\n')
