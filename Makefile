@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet lint fuzz clean
+.PHONY: check build test race vet lint fuzz chaos clean
 
 # check is the gate for every change: vet, build, the repo's own
 # analyzers (cmd/repolint), then the full test suite under the race
@@ -35,6 +35,18 @@ fuzz:
 	$(GO) test -fuzz=FuzzRedact$$ -fuzztime=$(FUZZTIME) ./internal/sanitize/
 	$(GO) test -fuzz=FuzzRedactCorpus -fuzztime=$(FUZZTIME) ./internal/sanitize/
 	$(GO) test -fuzz=FuzzCFGBuild -fuzztime=$(FUZZTIME) ./internal/lint/cfg/
+	$(GO) test -fuzz=FuzzSMTPDSession -fuzztime=$(FUZZTIME) ./internal/smtpd/
+
+# chaos runs the end-to-end fault-injection soak (chaos_test.go) under
+# the race detector once per seed. Every failure is replayable: re-run
+# with CHAOS_SEED=<the echoed seed>.
+CHAOS_SEEDS ?= 1 20160604 424242
+chaos:
+	@for seed in $(CHAOS_SEEDS); do \
+		echo "chaos soak: CHAOS_SEED=$$seed"; \
+		CHAOS_SEED=$$seed $(GO) test -race -count=1 -run 'TestChaosSoak|TestSessionBudgetStopsSlowLoris|TestProbeCtxBudgetStopsSlowLoris' ./... || \
+			{ echo "chaos soak FAILED — replay with: CHAOS_SEED=$$seed go test -race -run TestChaosSoak ."; exit 1; }; \
+	done
 
 clean:
 	$(GO) clean ./...

@@ -194,6 +194,8 @@ type Server struct {
 	conn    net.PacketConn
 	closed  bool
 	serving bool
+	// listenPacket overrides net.ListenPacket (SetListenPacket).
+	listenPacket func(network, addr string) (net.PacketConn, error)
 
 	// nServed counts queries answered, for infrastructure monitoring.
 	nServed int64
@@ -204,6 +206,14 @@ func NewServer(store *Store) *Server {
 	return &Server{store: store}
 }
 
+// SetListenPacket installs an alternate socket binder for ListenAndServe —
+// the fault-injection seam. Call before serving; nil restores net.ListenPacket.
+func (s *Server) SetListenPacket(fn func(network, addr string) (net.PacketConn, error)) {
+	s.mu.Lock()
+	s.listenPacket = fn
+	s.mu.Unlock()
+}
+
 // ErrServerClosed is returned by Serve after Close.
 var ErrServerClosed = errors.New("dnsserve: server closed")
 
@@ -211,7 +221,13 @@ var ErrServerClosed = errors.New("dnsserve: server closed")
 // serves until ctx is canceled or Close is called. It reports the bound
 // address on the returned channel before blocking in the read loop.
 func (s *Server) ListenAndServe(ctx context.Context, addr string, bound chan<- net.Addr) error {
-	conn, err := net.ListenPacket("udp", addr)
+	s.mu.Lock()
+	listen := s.listenPacket
+	s.mu.Unlock()
+	if listen == nil {
+		listen = net.ListenPacket
+	}
+	conn, err := listen("udp", addr)
 	if err != nil {
 		return fmt.Errorf("dnsserve: listen %s: %w", addr, err)
 	}

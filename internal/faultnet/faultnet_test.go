@@ -1,0 +1,374 @@
+package faultnet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPair returns a connected loopback (client, server) pair, the client
+// side dialed through fn's fault plan.
+func tcpPair(t *testing.T, fn *Net) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- accepted{c, err}
+	}()
+	client, err := fn.DialContext(context.Background(), "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial through faultnet: %v", err)
+	}
+	srv := <-ch
+	if srv.err != nil {
+		t.Fatal(srv.err)
+	}
+	t.Cleanup(func() { client.Close(); srv.c.Close() })
+	return client, srv.c
+}
+
+func TestDialFaults(t *testing.T) {
+	cases := []struct {
+		name     string
+		plan     Plan
+		wantKind Kind
+		check    func(t *testing.T, err error)
+	}{
+		{
+			name:     "refused",
+			plan:     Plan{DialRefuseRate: 1},
+			wantKind: KindDialRefused,
+			check: func(t *testing.T, err error) {
+				if !errors.Is(err, ErrRefused) {
+					t.Errorf("err = %v, want ErrRefused", err)
+				}
+			},
+		},
+		{
+			name:     "timeout",
+			plan:     Plan{DialTimeoutRate: 1},
+			wantKind: KindDialTimeout,
+			check: func(t *testing.T, err error) {
+				var nerr net.Error
+				if !errors.As(err, &nerr) || !nerr.Timeout() {
+					t.Errorf("err = %v, want net.Error with Timeout()", err)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fn := New(1, tc.plan)
+			_, err := fn.DialContext(context.Background(), "tcp", "127.0.0.1:1")
+			if err == nil {
+				t.Fatal("dial succeeded under a certain dial fault")
+			}
+			tc.check(t, err)
+			tr := fn.Trace()
+			if len(tr) != 1 || tr[0].Kind != tc.wantKind || tr[0].Conn != 1 {
+				t.Errorf("trace = %v, want one %s on conn 1", tr, tc.wantKind)
+			}
+		})
+	}
+}
+
+func TestDialLatencySleepsThroughHook(t *testing.T) {
+	var slept []time.Duration
+	fn := New(3, Plan{
+		DialLatencyRate: 1,
+		LatencyMin:      5 * time.Millisecond,
+		LatencyMax:      10 * time.Millisecond,
+	}, WithSleep(func(d time.Duration) { slept = append(slept, d) }))
+	c, s := tcpPair(t, fn)
+	_ = s
+	c.Close()
+	if len(slept) != 1 {
+		t.Fatalf("sleeps = %v, want exactly one", slept)
+	}
+	if slept[0] < 5*time.Millisecond || slept[0] > 10*time.Millisecond {
+		t.Errorf("latency %v outside plan bounds", slept[0])
+	}
+	tr := fn.Trace()
+	if len(tr) != 1 || tr[0].Kind != KindDialLatency || tr[0].Arg != int64(slept[0]) {
+		t.Errorf("trace = %v, want one dial-latency with arg %v", tr, slept[0])
+	}
+}
+
+func TestTruncateCutsStreamAtPlannedOffset(t *testing.T) {
+	const cut = 10
+	fn := New(5, Plan{TruncateRate: 1, TruncateMin: cut, TruncateMax: cut})
+	c, s := tcpPair(t, fn)
+	if _, err := s.Write(bytes.Repeat([]byte{'x'}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatalf("ReadAll after truncation = %v, want clean EOF", err)
+	}
+	if len(got) != cut {
+		t.Fatalf("read %d bytes, want exactly the %d-byte truncation budget", len(got), cut)
+	}
+	var ev *Event
+	for _, e := range fn.Trace() {
+		if e.Kind == KindTruncate {
+			ev = &e
+			break
+		}
+	}
+	if ev == nil {
+		t.Fatal("no truncate event in trace")
+	}
+	if ev.Off != cut || ev.Arg != cut || ev.Dir != DirRead {
+		t.Errorf("truncate event = %+v, want off=arg=%d dir=read", ev, cut)
+	}
+}
+
+func TestResetIsStickyAndClassifiesAsReset(t *testing.T) {
+	fn := New(7, Plan{Read: DirPlan{ResetRate: 1}})
+	c, s := tcpPair(t, fn)
+	if _, err := s.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	_, err := c.Read(buf)
+	if !errors.Is(err, ErrReset) {
+		t.Fatalf("first read err = %v, want ErrReset", err)
+	}
+	if _, err2 := c.Read(buf); !errors.Is(err2, ErrReset) {
+		t.Fatalf("reset not sticky: second read err = %v", err2)
+	}
+	tr := fn.Trace()
+	if len(tr) != 1 || tr[0].Kind != KindReset || tr[0].Off != 0 {
+		t.Errorf("trace = %v, want exactly one reset at offset 0", tr)
+	}
+}
+
+func TestPartialReadsStillDeliverEverything(t *testing.T) {
+	fn := New(11, Plan{Read: DirPlan{PartialRate: 1}})
+	c, s := tcpPair(t, fn)
+	payload := bytes.Repeat([]byte("abcdefgh"), 32) // 256 bytes
+	go func() {
+		s.Write(payload)
+		s.Close()
+	}()
+	var got bytes.Buffer
+	buf := make([]byte, 64)
+	sawShort := false
+	for {
+		n, err := c.Read(buf)
+		if n > 0 {
+			if n < len(buf) {
+				sawShort = true
+			}
+			got.Write(buf[:n])
+		}
+		if err != nil {
+			break
+		}
+	}
+	if !bytes.Equal(got.Bytes(), payload) {
+		t.Fatalf("reassembled %d bytes, want %d identical", got.Len(), len(payload))
+	}
+	if !sawShort {
+		t.Error("PartialRate=1 but no short read observed")
+	}
+	found := false
+	for _, e := range fn.Trace() {
+		if e.Kind == KindPartialRead && e.Dir == DirRead {
+			found = true
+			if e.Arg <= 0 || e.Arg > 33 {
+				t.Errorf("partial-read arg = %d, want 1..(cap/2+1)", e.Arg)
+			}
+		}
+	}
+	if !found {
+		t.Error("no partial-read events in trace")
+	}
+}
+
+func TestWriteFragmentationPreservesBytes(t *testing.T) {
+	fn := New(13, Plan{Write: DirPlan{PartialRate: 1}})
+	c, s := tcpPair(t, fn)
+	payload := bytes.Repeat([]byte("0123456789"), 20)
+	done := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(s)
+		done <- b
+	}()
+	n, err := c.Write(payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("Write = %d, %v; want full write", n, err)
+	}
+	c.Close()
+	if got := <-done; !bytes.Equal(got, payload) {
+		t.Fatalf("peer got %d bytes, want %d identical", len(got), len(payload))
+	}
+	tr := fn.Trace()
+	if len(tr) == 0 || tr[0].Kind != KindFragWrite {
+		t.Fatalf("trace = %v, want a frag-write event", tr)
+	}
+	if tr[0].Arg <= 0 || tr[0].Arg >= int64(len(payload)) {
+		t.Errorf("split point %d outside payload", tr[0].Arg)
+	}
+}
+
+func TestBandwidthCapClampsReads(t *testing.T) {
+	fn := New(17, Plan{Read: DirPlan{MaxOpBytes: 4}})
+	c, s := tcpPair(t, fn)
+	go func() {
+		s.Write(bytes.Repeat([]byte{'y'}, 64))
+		s.Close()
+	}()
+	buf := make([]byte, 64)
+	total := 0
+	for {
+		n, err := c.Read(buf)
+		if n > 4 {
+			t.Fatalf("read %d bytes in one op, cap is 4", n)
+		}
+		total += n
+		if err != nil {
+			break
+		}
+	}
+	if total != 64 {
+		t.Fatalf("total = %d, want 64", total)
+	}
+	counts := fn.Counts()
+	if counts[KindBandwidth] != 1 {
+		t.Errorf("bandwidth-cap events = %d, want exactly one per direction used", counts[KindBandwidth])
+	}
+}
+
+func TestPacketDropBothDirections(t *testing.T) {
+	fn := New(19, Plan{DropRate: 1})
+	inner, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := fn.PacketConn(inner)
+	defer pc.Close()
+	peer, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+
+	// Outbound: the datagram reports success but never arrives.
+	if _, err := pc.WriteTo([]byte("q"), peer.LocalAddr()); err != nil {
+		t.Fatalf("dropped WriteTo errored: %v", err)
+	}
+	peer.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if n, _, err := peer.ReadFrom(make([]byte, 16)); err == nil {
+		t.Fatalf("peer received %d bytes through a DropRate=1 plan", n)
+	}
+	// Inbound: the datagram is consumed and discarded.
+	if _, err := peer.WriteTo([]byte("r"), pc.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	pc.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if n, _, err := pc.ReadFrom(make([]byte, 16)); err == nil {
+		t.Fatalf("ReadFrom returned %d bytes through a DropRate=1 plan", n)
+	}
+	counts := fn.Counts()
+	if counts[KindDropPacket] != 2 {
+		t.Errorf("drop events = %d, want 2 (one per direction)", counts[KindDropPacket])
+	}
+}
+
+// runScripted drives a deterministic workload through a fresh Net and
+// returns its trace: five sequential dials to an echo server, each
+// writing 256 bytes and reading until error or echo completion.
+func runScripted(t *testing.T, seed int64) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c)
+			}(c)
+		}
+	}()
+
+	fn := New(seed, Composite(0.5), WithSleep(func(time.Duration) {}))
+	payload := bytes.Repeat([]byte("deterministic!"), 19) // 266 bytes
+	for i := 0; i < 5; i++ {
+		c, err := fn.DialContext(context.Background(), "tcp", ln.Addr().String())
+		if err != nil {
+			continue // dial fault: planned, traced
+		}
+		c.SetDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c.Write(payload); err == nil {
+			buf := make([]byte, len(payload))
+			io.ReadFull(c, buf)
+		}
+		c.Close()
+	}
+	return fn.TraceString()
+}
+
+// TestGoldenTraceReplay is the determinism contract: the same seed over
+// the same workload reproduces the identical event trace, and a
+// different seed produces a different one.
+func TestGoldenTraceReplay(t *testing.T) {
+	a := runScripted(t, 20160604)
+	b := runScripted(t, 20160604)
+	if a != b {
+		t.Fatalf("same seed, different traces:\n--- run 1 ---\n%s--- run 2 ---\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("composite(0.5) over 5 connections injected nothing")
+	}
+	if c := runScripted(t, 20160605); c == a {
+		t.Error("different seed reproduced the identical trace")
+	}
+}
+
+// TestTraceOrderIsSchedulerIndependent sorts by (conn, seq) no matter
+// the recording interleaving.
+func TestTraceOrderIsSchedulerIndependent(t *testing.T) {
+	fn := New(1, Plan{})
+	fn.record(Event{Conn: 2, Seq: 1, Kind: KindReset})
+	fn.record(Event{Conn: 1, Seq: 2, Kind: KindLatency})
+	fn.record(Event{Conn: 1, Seq: 1, Kind: KindPartialRead})
+	tr := fn.Trace()
+	want := []struct{ conn, seq int64 }{{1, 1}, {1, 2}, {2, 1}}
+	for i, w := range want {
+		if tr[i].Conn != w.conn || tr[i].Seq != w.seq {
+			t.Fatalf("trace[%d] = %+v, want conn=%d seq=%d", i, tr[i], w.conn, w.seq)
+		}
+	}
+}
+
+func TestKindAndDirStrings(t *testing.T) {
+	for k := KindDialRefused; k <= KindDropPacket; k++ {
+		if s := k.String(); s == "" || s[0] == 'k' {
+			t.Errorf("Kind(%d).String() = %q", k, s)
+		}
+	}
+	if DirRead.String() != "read" || DirWrite.String() != "write" || DirNone.String() != "-" {
+		t.Error("Dir strings wrong")
+	}
+}

@@ -1,0 +1,136 @@
+package faultnet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind identifies one injected fault.
+type Kind uint8
+
+// Fault kinds, in the order a connection can experience them.
+const (
+	KindDialRefused Kind = iota
+	KindDialTimeout
+	KindDialLatency
+	KindLatency
+	KindPartialRead
+	KindFragWrite
+	KindReset
+	KindTruncate
+	KindBandwidth
+	KindDropPacket
+)
+
+var kindNames = [...]string{
+	KindDialRefused: "dial-refused",
+	KindDialTimeout: "dial-timeout",
+	KindDialLatency: "dial-latency",
+	KindLatency:     "latency",
+	KindPartialRead: "partial-read",
+	KindFragWrite:   "frag-write",
+	KindReset:       "reset",
+	KindTruncate:    "truncate",
+	KindBandwidth:   "bandwidth-cap",
+	KindDropPacket:  "drop-packet",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Dir is the direction a stream fault applied to, from the wrapped
+// endpoint's point of view.
+type Dir uint8
+
+// Directions.
+const (
+	DirNone Dir = iota
+	DirRead
+	DirWrite
+)
+
+func (d Dir) String() string {
+	switch d {
+	case DirRead:
+		return "read"
+	case DirWrite:
+		return "write"
+	default:
+		return "-"
+	}
+}
+
+// Event is one injected fault. Conn is the Net-wide connection sequence
+// number, Seq the per-connection event index (dial events carry Seq 0),
+// Off the direction's byte (or packet) offset when the fault fired, and
+// Arg the kind-specific magnitude: latency in nanoseconds, the clipped
+// size of a partial read, a fragmentation split point, a truncation
+// budget, a bandwidth cap, or a dropped datagram's size.
+type Event struct {
+	Conn int64
+	Seq  int64
+	Kind Kind
+	Dir  Dir
+	Off  int64
+	Arg  int64
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case KindDialRefused, KindDialTimeout:
+		return fmt.Sprintf("conn=%d %s", e.Conn, e.Kind)
+	case KindDialLatency:
+		return fmt.Sprintf("conn=%d %s arg=%s", e.Conn, e.Kind, time.Duration(e.Arg))
+	case KindLatency:
+		return fmt.Sprintf("conn=%d seq=%d %s dir=%s off=%d arg=%s",
+			e.Conn, e.Seq, e.Kind, e.Dir, e.Off, time.Duration(e.Arg))
+	default:
+		return fmt.Sprintf("conn=%d seq=%d %s dir=%s off=%d arg=%d",
+			e.Conn, e.Seq, e.Kind, e.Dir, e.Off, e.Arg)
+	}
+}
+
+// Trace returns every recorded fault, sorted by (Conn, Seq) — a total
+// order that does not depend on goroutine scheduling, so two runs with
+// the same seed and the same per-connection workload compare equal.
+func (n *Net) Trace() []Event {
+	n.mu.Lock()
+	out := make([]Event, len(n.events))
+	copy(out, n.events)
+	n.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Conn != out[j].Conn {
+			return out[i].Conn < out[j].Conn
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// TraceString renders the sorted trace one event per line — the golden
+// format the determinism tests pin.
+func (n *Net) TraceString() string {
+	evs := n.Trace()
+	var sb strings.Builder
+	for _, e := range evs {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Counts tallies the trace by kind — the soak's quick shape check that
+// escalating plans actually injected what they promised.
+func (n *Net) Counts() map[Kind]int64 {
+	m := make(map[Kind]int64)
+	for _, e := range n.Trace() {
+		m[e.Kind]++
+	}
+	return m
+}

@@ -16,6 +16,7 @@ import (
 	"context"
 	"crypto/tls"
 	"fmt"
+	"math/rand"
 	"net"
 	"strings"
 	"sync"
@@ -33,22 +34,120 @@ type Result struct {
 // ---------------------------------------------------------------------
 // Live probing over TCP
 
-// ProbeAddr classifies a live SMTP endpoint. It connects, reads the
-// greeting, sends EHLO, and — when STARTTLS is advertised — attempts the
-// handshake to distinguish "STARTTLS with errors" from "without errors".
-// Certificate verification failures count as errors (typo domains
-// overwhelmingly present self-signed or mismatched certificates).
-func ProbeAddr(ctx context.Context, addr, serverName string, timeout time.Duration) ecosys.SMTPSupport {
+// AddrProber classifies live SMTP endpoints. The zero value probes once
+// with a 5s budget over net.Dialer; the fields expose the fault-injection
+// and retry seams the chaos harness drives.
+type AddrProber struct {
+	// Timeout bounds one whole probe attempt — dial, transcript, and TLS
+	// handshake share a single deadline, clipped to ctx's own deadline so
+	// the caller's remaining budget is authoritative. Default 5s.
+	Timeout time.Duration
+	// Dialer intercepts dialing; nil uses net.Dialer.
+	Dialer func(ctx context.Context, network, addr string) (net.Conn, error)
+	// Retries is how many extra attempts follow a network-level failure
+	// (dial error, dead connection before the greeting). Protocol-level
+	// outcomes are answers, not failures, and never retry.
+	Retries int
+	// BaseDelay seeds the capped exponential backoff between attempts
+	// (BaseDelay, 2×, 4×, … capped at MaxDelay). <=0 means 200ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; <=0 means 5s.
+	MaxDelay time.Duration
+	// Jitter in [0,1] adds up to that fraction of each delay, drawn from
+	// a PRNG seeded by Seed for exact replay.
+	Jitter float64
+	Seed   int64
+	// Sleep substitutes the backoff wait; nil waits on the real clock.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Probe classifies addr, retrying network-level failures per the
+// prober's budget.
+func (p *AddrProber) Probe(ctx context.Context, addr, serverName string) ecosys.SMTPSupport {
+	timeout := p.Timeout
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	d := net.Dialer{Timeout: timeout}
-	conn, err := d.DialContext(ctx, "tcp", addr)
+	attempts := p.Retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	support, netFail := p.probeOnce(ctx, addr, serverName, timeout)
+	for i := 1; i < attempts && netFail && ctx.Err() == nil; i++ {
+		if sleep(ctx, p.backoff(i, rng)) != nil {
+			break
+		}
+		support, netFail = p.probeOnce(ctx, addr, serverName, timeout)
+	}
+	return support
+}
+
+func (p *AddrProber) backoff(attempt int, rng *rand.Rand) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 5 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= maxd {
+			d = maxd
+			break
+		}
+	}
+	if d > maxd {
+		d = maxd
+	}
+	if p.Jitter > 0 {
+		d += time.Duration(p.Jitter * float64(d) * rng.Float64())
+	}
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// probeOnce runs one attempt. netFail reports a network-level failure
+// (nothing learned about the service) as opposed to a protocol-level
+// answer, which is final.
+func (p *AddrProber) probeOnce(ctx context.Context, addr, serverName string, timeout time.Duration) (_ ecosys.SMTPSupport, netFail bool) {
+	// One deadline covers the whole attempt, derived from the remaining
+	// ctx budget — a slow-loris peer cannot stretch the session by
+	// answering each step slowly, because nothing ever renews it.
+	deadline := time.Now().Add(timeout)
+	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
+		deadline = ctxDeadline
+	}
+	dial := p.Dialer
+	if dial == nil {
+		var d net.Dialer
+		dial = d.DialContext
+	}
+	dctx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+	conn, err := dial(dctx, "tcp", addr)
 	if err != nil {
-		return ecosys.SupportNoEmail
+		return ecosys.SupportNoEmail, true
 	}
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(timeout))
+	conn.SetDeadline(deadline)
 	r := bufio.NewReader(conn)
 
 	readReply := func() (int, []string, error) {
@@ -75,14 +174,16 @@ func ProbeAddr(ctx context.Context, addr, serverName string, timeout time.Durati
 
 	code, _, err := readReply()
 	if err != nil || code != 220 {
-		return ecosys.SupportNoEmail
+		// A dead connection before any greeting is a network failure worth
+		// retrying; a non-220 greeting is the service's answer.
+		return ecosys.SupportNoEmail, err != nil
 	}
 	if _, err := fmt.Fprintf(conn, "EHLO probe.invalid\r\n"); err != nil {
-		return ecosys.SupportNoEmail
+		return ecosys.SupportNoEmail, false
 	}
 	code, exts, err := readReply()
 	if err != nil || code != 250 {
-		return ecosys.SupportNoEmail
+		return ecosys.SupportNoEmail, false
 	}
 	hasTLS := false
 	for _, e := range exts {
@@ -91,24 +192,36 @@ func ProbeAddr(ctx context.Context, addr, serverName string, timeout time.Durati
 		}
 	}
 	if !hasTLS {
-		return ecosys.SupportPlain
+		return ecosys.SupportPlain, false
 	}
 	if _, err := fmt.Fprintf(conn, "STARTTLS\r\n"); err != nil {
-		return ecosys.SupportTLSErrors
+		return ecosys.SupportTLSErrors, false
 	}
 	code, _, err = readReply()
 	if err != nil || code != 220 {
-		return ecosys.SupportTLSErrors
+		return ecosys.SupportTLSErrors, false
 	}
 	// Strict verification first: a presentable certificate chain and
-	// matching name means "STARTTLS without errors".
+	// matching name means "STARTTLS without errors". The handshake runs
+	// under the same attempt-wide deadline as everything else.
 	tconn := tls.Client(conn, &tls.Config{ServerName: serverName})
-	hctx, cancel := context.WithTimeout(ctx, timeout)
-	defer cancel()
+	hctx, hcancel := context.WithDeadline(ctx, deadline)
+	defer hcancel()
 	if err := tconn.HandshakeContext(hctx); err != nil {
-		return ecosys.SupportTLSErrors
+		return ecosys.SupportTLSErrors, false
 	}
-	return ecosys.SupportTLSOK
+	return ecosys.SupportTLSOK, false
+}
+
+// ProbeAddr classifies a live SMTP endpoint with a single attempt. It
+// connects, reads the greeting, sends EHLO, and — when STARTTLS is
+// advertised — attempts the handshake to distinguish "STARTTLS with
+// errors" from "without errors". Certificate verification failures count
+// as errors (typo domains overwhelmingly present self-signed or
+// mismatched certificates).
+func ProbeAddr(ctx context.Context, addr, serverName string, timeout time.Duration) ecosys.SMTPSupport {
+	p := AddrProber{Timeout: timeout}
+	return p.Probe(ctx, addr, serverName)
 }
 
 // ---------------------------------------------------------------------

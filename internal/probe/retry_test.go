@@ -1,0 +1,122 @@
+package probe
+
+import (
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ecosys"
+	"repro/internal/faultnet"
+	"repro/internal/smtpd"
+)
+
+// recordSleep captures backoff waits without real sleeping.
+type recordSleep struct {
+	mu    sync.Mutex
+	waits []time.Duration
+}
+
+func (r *recordSleep) sleep(_ context.Context, d time.Duration) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.waits = append(r.waits, d)
+	return nil
+}
+
+func (r *recordSleep) recorded() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Duration(nil), r.waits...)
+}
+
+func TestProbeRetriesDialFailuresWithBackoff(t *testing.T) {
+	// Every dial is refused: the prober should burn its full retry budget
+	// on the planned backoff schedule, then settle for SupportNoEmail.
+	fnet := faultnet.New(7, faultnet.Plan{DialRefuseRate: 1})
+	rs := &recordSleep{}
+	p := &AddrProber{
+		Timeout: time.Second,
+		Dialer:  fnet.Dialer(nil),
+		Retries: 2, BaseDelay: 10 * time.Millisecond, Sleep: rs.sleep,
+	}
+	got := p.Probe(context.Background(), "127.0.0.1:1", "refused.test")
+	if got != ecosys.SupportNoEmail {
+		t.Errorf("refused dial = %v, want SupportNoEmail", got)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	waits := rs.recorded()
+	if len(waits) != len(want) {
+		t.Fatalf("backoff = %v, want %v", waits, want)
+	}
+	for i := range want {
+		if waits[i] != want[i] {
+			t.Errorf("backoff[%d] = %v, want %v", i, waits[i], want[i])
+		}
+	}
+	if n := fnet.Conns(); n != 3 {
+		t.Errorf("dial attempts = %d, want 3", n)
+	}
+}
+
+func TestProbeEventualSuccessAfterDialFailures(t *testing.T) {
+	addr, stop := startSMTP(t, smtpd.Config{Hostname: "flaky.test"})
+	defer stop()
+	var calls atomic.Int64
+	var d net.Dialer
+	p := &AddrProber{
+		Timeout: 2 * time.Second,
+		Dialer: func(ctx context.Context, network, address string) (net.Conn, error) {
+			if calls.Add(1) <= 2 {
+				return nil, &net.OpError{Op: "dial", Net: network, Err: faultnet.ErrRefused}
+			}
+			return d.DialContext(ctx, network, address)
+		},
+		Retries: 3, Sleep: (&recordSleep{}).sleep,
+	}
+	if got := p.Probe(context.Background(), addr, "flaky.test"); got != ecosys.SupportPlain {
+		t.Errorf("flaky-but-up server = %v, want SupportPlain", got)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("dial attempts = %d, want 3", n)
+	}
+}
+
+// TestProbeCtxBudgetStopsSlowLoris is the regression test for the
+// probe-side deadline fix: the attempt deadline derives from the
+// remaining ctx budget, so a peer dribbling replies through a faultnet
+// write-latency stall cannot hold the prober past its caller's deadline.
+func TestProbeCtxBudgetStopsSlowLoris(t *testing.T) {
+	// Server writes stall on a gate the test only opens during teardown —
+	// the greeting never arrives while the probe is waiting.
+	release := make(chan struct{})
+	fnet := faultnet.New(1, faultnet.Plan{
+		Write: faultnet.DirPlan{LatencyRate: 1, LatencyMin: time.Millisecond, LatencyMax: time.Millisecond},
+	}, faultnet.WithSleep(func(time.Duration) { <-release }))
+	srv, err := smtpd.NewServer(smtpd.Config{Deliver: func(*smtpd.Envelope) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := fnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(context.Background(), ln) }()
+	defer func() { close(release); srv.Close(); <-done }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	// Per-attempt Timeout is generous; the ctx budget must win. Before
+	// the fix, the conn deadline was a fresh now+5s that ignored ctx.
+	got := ProbeAddr(ctx, ln.Addr().String(), "loris.test", 5*time.Second)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("probe ran %v, want cutoff near the 150ms ctx budget", elapsed)
+	}
+	if got != ecosys.SupportNoEmail {
+		t.Errorf("stalled probe = %v, want SupportNoEmail", got)
+	}
+}

@@ -45,6 +45,30 @@ type UDPExchanger struct {
 	// TCPServer is the address for the truncation fallback; "" disables
 	// it (truncated responses are then returned as-is).
 	TCPServer string
+	// Dialer intercepts both the UDP query socket and the TCP fallback —
+	// the fault-injection seam. nil uses net.Dialer.
+	Dialer func(ctx context.Context, network, addr string) (net.Conn, error)
+	// Backoff is the base wait between retry attempts, doubling each
+	// attempt and capped at 8×. 0 retries immediately (the old behavior).
+	Backoff time.Duration
+	// Sleep substitutes the backoff wait; nil waits on the real clock.
+	// Returning non-nil abandons remaining attempts.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (u *UDPExchanger) dial(ctx context.Context, network string) (net.Conn, error) {
+	if u.Dialer != nil {
+		addr := u.Server
+		if network == "tcp" {
+			addr = u.TCPServer
+		}
+		return u.Dialer(ctx, network, addr)
+	}
+	var d net.Dialer
+	if network == "tcp" {
+		return d.DialContext(ctx, network, u.TCPServer)
+	}
+	return d.DialContext(ctx, network, u.Server)
 }
 
 // Exchange implements Exchanger with timeout, retry, and TCP fallback on
@@ -62,15 +86,40 @@ func (u *UDPExchanger) Exchange(ctx context.Context, q *dnswire.Message) (*dnswi
 	if err != nil {
 		return nil, err
 	}
+	sleep := u.Sleep
+	if sleep == nil {
+		sleep = func(ctx context.Context, d time.Duration) error {
+			timer := time.NewTimer(d)
+			defer timer.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-timer.C:
+				return nil
+			}
+		}
+	}
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		if i > 0 && u.Backoff > 0 {
+			// Doubling backoff between attempts, capped at 8× the base —
+			// a lost datagram is usually transient congestion, not worth
+			// hammering the server over.
+			d := u.Backoff << (i - 1)
+			if d > 8*u.Backoff {
+				d = 8 * u.Backoff
+			}
+			if serr := sleep(ctx, d); serr != nil {
+				break
+			}
+		}
 		resp, err := u.once(ctx, wire, q.Header.ID, timeout)
 		if err == nil {
 			if resp.Header.Truncated && u.TCPServer != "" {
-				return tcpExchange(ctx, u.TCPServer, wire, q.Header.ID, timeout)
+				return u.tcpExchange(ctx, wire, q.Header.ID, timeout)
 			}
 			return resp, nil
 		}
@@ -80,9 +129,8 @@ func (u *UDPExchanger) Exchange(ctx context.Context, q *dnswire.Message) (*dnswi
 }
 
 // tcpExchange performs one length-prefixed DNS-over-TCP round trip.
-func tcpExchange(ctx context.Context, addr string, wire []byte, id uint16, timeout time.Duration) (*dnswire.Message, error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
+func (u *UDPExchanger) tcpExchange(ctx context.Context, wire []byte, id uint16, timeout time.Duration) (*dnswire.Message, error) {
+	conn, err := u.dial(ctx, "tcp")
 	if err != nil {
 		return nil, fmt.Errorf("resolve: tcp fallback dial: %w", err)
 	}
@@ -120,8 +168,7 @@ func tcpExchange(ctx context.Context, addr string, wire []byte, id uint16, timeo
 var ErrProto = errors.New("resolve: protocol error")
 
 func (u *UDPExchanger) once(ctx context.Context, wire []byte, id uint16, timeout time.Duration) (*dnswire.Message, error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "udp", u.Server)
+	conn, err := u.dial(ctx, "udp")
 	if err != nil {
 		return nil, err
 	}

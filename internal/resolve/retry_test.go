@@ -1,0 +1,114 @@
+package resolve
+
+import (
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dnsserve"
+	"repro/internal/dnswire"
+	"repro/internal/faultnet"
+)
+
+type recordSleep struct {
+	mu    sync.Mutex
+	waits []time.Duration
+	err   error
+}
+
+func (r *recordSleep) sleep(_ context.Context, d time.Duration) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.waits = append(r.waits, d)
+	return r.err
+}
+
+func (r *recordSleep) recorded() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Duration(nil), r.waits...)
+}
+
+func TestExchangeBackoffScheduleAndCap(t *testing.T) {
+	// Every dial refused through the faultnet seam: the exchanger should
+	// walk its doubling backoff, capped at 8× the base, then give up.
+	fnet := faultnet.New(3, faultnet.Plan{DialRefuseRate: 1})
+	rs := &recordSleep{}
+	u := &UDPExchanger{
+		Server: "127.0.0.1:1", Timeout: time.Second, Retries: 5,
+		Dialer: fnet.Dialer(nil), Backoff: 10 * time.Millisecond, Sleep: rs.sleep,
+	}
+	r := New(u, WithSeed(1))
+	if _, err := r.LookupA(context.Background(), "gmial.com"); err == nil {
+		t.Fatal("refused dials should fail the lookup")
+	}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond,
+	}
+	got := rs.recorded()
+	if len(got) != len(want) {
+		t.Fatalf("backoff = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("backoff[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if n := fnet.Conns(); n != 6 {
+		t.Errorf("dial attempts = %d, want 6", n)
+	}
+}
+
+func TestExchangeRecoversAfterDialFailures(t *testing.T) {
+	store := dnsserve.NewStore()
+	store.Put(dnsserve.TypoZone("gmial.com", dnswire.IPv4(10, 0, 0, 1)))
+	srv := dnsserve.NewServer(store)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	bound := make(chan net.Addr, 1)
+	go srv.ListenAndServe(ctx, "127.0.0.1:0", bound)
+	addr := (<-bound).String()
+
+	var calls atomic.Int64
+	var d net.Dialer
+	u := &UDPExchanger{
+		Server: addr, Timeout: time.Second, Retries: 2,
+		Dialer: func(ctx context.Context, network, address string) (net.Conn, error) {
+			if calls.Add(1) <= 2 {
+				return nil, &net.OpError{Op: "dial", Net: network, Err: faultnet.ErrRefused}
+			}
+			return d.DialContext(ctx, network, address)
+		},
+		Backoff: time.Millisecond, Sleep: (&recordSleep{}).sleep,
+	}
+	r := New(u, WithSeed(9))
+	ips, err := r.LookupA(context.Background(), "gmial.com")
+	if err != nil {
+		t.Fatalf("lookup after transient dial failures: %v", err)
+	}
+	if len(ips) != 1 || ips[0] != "10.0.0.1" {
+		t.Errorf("ips = %v", ips)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("dial attempts = %d, want 3", n)
+	}
+}
+
+func TestExchangeAbandonsWhenSleepCanceled(t *testing.T) {
+	fnet := faultnet.New(3, faultnet.Plan{DialRefuseRate: 1})
+	rs := &recordSleep{err: context.Canceled}
+	u := &UDPExchanger{
+		Server: "127.0.0.1:1", Timeout: time.Second, Retries: 5,
+		Dialer: fnet.Dialer(nil), Backoff: 10 * time.Millisecond, Sleep: rs.sleep,
+	}
+	if _, err := u.Exchange(context.Background(), dnswire.NewQuery(1, "gmial.com", dnswire.TypeA)); err == nil {
+		t.Fatal("want error after canceled backoff")
+	}
+	if n := fnet.Conns(); n != 1 {
+		t.Errorf("dial attempts = %d, want 1 (no retries after canceled sleep)", n)
+	}
+}

@@ -1,0 +1,112 @@
+package smtpc
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy configures SendRetry's capped exponential backoff. The
+// schedule for attempt n (1-based) waits BaseDelay<<(n-1), clipped to
+// MaxDelay, then widened by up to Jitter of itself using a PRNG seeded
+// from Seed — so a fixed seed replays the exact same schedule, which is
+// what the chaos harness pins.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of Send calls, including the first.
+	// <=0 means 3.
+	MaxAttempts int
+	// BaseDelay is the wait after the first failed attempt. <=0 means 500ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. <=0 means 30s.
+	MaxDelay time.Duration
+	// Jitter in [0,1] is the fraction of each delay drawn uniformly at
+	// random and added on top, decorrelating retry storms. 0 disables it.
+	Jitter float64
+	// Seed drives the jitter PRNG; the same seed yields the same schedule.
+	Seed int64
+	// Sleep waits between attempts; nil sleeps on the real clock. Tests
+	// substitute a recorder so no real time.Sleep runs.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Transient reports whether err is worth retrying: timeouts, network
+// faults, and 4xx server responses. Bounces and protocol violations are
+// permanent — retrying cannot change the answer.
+func Transient(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrNetwork) || errors.Is(err, ErrTempFail)
+}
+
+// newJitterRNG builds the seeded PRNG behind Jitter draws; delay with
+// Jitter == 0 never consults it, so nil is fine for jitter-free policies.
+func (p RetryPolicy) newJitterRNG() *rand.Rand {
+	return rand.New(rand.NewSource(p.Seed))
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 3
+	}
+	return p.MaxAttempts
+}
+
+// delay computes the backoff after the given 1-based failed attempt.
+func (p RetryPolicy) delay(attempt int, rng *rand.Rand) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 500 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 30 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= maxd {
+			d = maxd
+			break
+		}
+	}
+	if d > maxd {
+		d = maxd
+	}
+	if p.Jitter > 0 {
+		d += time.Duration(p.Jitter * float64(d) * rng.Float64())
+	}
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// SendRetry runs Send under policy, retrying transient failures with
+// capped exponential backoff until an attempt succeeds, a permanent
+// error lands, the attempt budget drains, or ctx ends. It returns the
+// number of attempts made and the last error.
+func (c *Client) SendRetry(ctx context.Context, policy RetryPolicy, addr string, mode Mode, from string, rcpts []string, data []byte) (int, error) {
+	sleep := policy.Sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	rng := policy.newJitterRNG()
+	maxAttempts := policy.attempts()
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = c.Send(ctx, addr, mode, from, rcpts, data)
+		if err == nil || !Transient(err) || attempt >= maxAttempts {
+			return attempt, err
+		}
+		if serr := sleep(ctx, policy.delay(attempt, rng)); serr != nil {
+			return attempt, err
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package smtpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/smtpd"
+)
+
+// fakeSleep records requested backoff waits without ever sleeping, so
+// retry tests run on a virtual schedule — no real time.Sleep.
+type fakeSleep struct {
+	mu    sync.Mutex
+	waits []time.Duration
+	err   error
+}
+
+func (f *fakeSleep) sleep(_ context.Context, d time.Duration) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.waits = append(f.waits, d)
+	return f.err
+}
+
+func (f *fakeSleep) recorded() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Duration(nil), f.waits...)
+}
+
+func TestTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrTimeout, true},
+		{ErrNetwork, true},
+		{ErrTempFail, true},
+		{ErrBounce, false},
+		{ErrProto, false},
+		{fmt.Errorf("wrapped: %w", ErrTempFail), true},
+		{fmt.Errorf("wrapped: %w", ErrBounce), false},
+	}
+	for _, tc := range cases {
+		if got := Transient(tc.err); got != tc.want {
+			t.Errorf("Transient(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestRetryBackoffSchedule(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: 500 * time.Millisecond}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		500 * time.Millisecond, 500 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.delay(i+1, nil); got != w {
+			t.Errorf("delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestRetryJitterIsSeeded(t *testing.T) {
+	draw := func(seed int64) []time.Duration {
+		p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.5, Seed: seed}
+		rng := p.newJitterRNG()
+		var out []time.Duration
+		for i := 1; i <= 4; i++ {
+			out = append(out, p.delay(i, rng))
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+		base := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}.delay(i+1, nil)
+		if a[i] < base || a[i] > base+base/2 {
+			t.Errorf("jittered delay %d = %v outside [%v, %v]", i, a[i], base, base+base/2)
+		}
+	}
+}
+
+func TestSendRetryPermanentFailureDoesNotRetry(t *testing.T) {
+	addr, _, stop := startServer(t, smtpd.Config{
+		Behavior: func(string) smtpd.ConnAction { return smtpd.ActRejectAll },
+	})
+	defer stop()
+	fs := &fakeSleep{}
+	c := &Client{Timeout: 2 * time.Second}
+	attempts, err := c.SendRetry(context.Background(), RetryPolicy{MaxAttempts: 5, Sleep: fs.sleep},
+		addr, ModePlain, "a@b.com", []string{"c@d.com"}, testMessage())
+	if !errors.Is(err, ErrBounce) {
+		t.Fatalf("err = %v, want ErrBounce", err)
+	}
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (bounces are permanent)", attempts)
+	}
+	if n := len(fs.recorded()); n != 0 {
+		t.Errorf("slept %d times, want 0", n)
+	}
+}
+
+func TestSendRetryTransientExhaustsBudget(t *testing.T) {
+	addr, _, stop := startServer(t, smtpd.Config{
+		Behavior: func(string) smtpd.ConnAction { return smtpd.ActTempFail },
+	})
+	defer stop()
+	fs := &fakeSleep{}
+	c := &Client{Timeout: 2 * time.Second}
+	policy := RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, Sleep: fs.sleep}
+	attempts, err := c.SendRetry(context.Background(), policy,
+		addr, ModePlain, "a@b.com", []string{"c@d.com"}, testMessage())
+	if !errors.Is(err, ErrTempFail) {
+		t.Fatalf("err = %v, want ErrTempFail", err)
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	got := fs.recorded()
+	if len(got) != len(want) {
+		t.Fatalf("backoff schedule = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("backoff[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSendRetryEventualSuccess(t *testing.T) {
+	var conns atomic.Int64
+	addr, envs, stop := startServer(t, smtpd.Config{
+		Behavior: func(string) smtpd.ConnAction {
+			if conns.Add(1) <= 2 {
+				return smtpd.ActTempFail
+			}
+			return smtpd.ActProceed
+		},
+	})
+	defer stop()
+	fs := &fakeSleep{}
+	c := &Client{Timeout: 2 * time.Second}
+	attempts, err := c.SendRetry(context.Background(), RetryPolicy{MaxAttempts: 5, Sleep: fs.sleep},
+		addr, ModePlain, "a@b.com", []string{"c@d.com"}, testMessage())
+	if err != nil {
+		t.Fatalf("err = %v, want success after retries", err)
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+	if got := envs(); len(got) != 1 {
+		t.Errorf("delivered = %d, want 1", len(got))
+	}
+}
+
+func TestSendRetryStopsWhenSleepCanceled(t *testing.T) {
+	addr, _, stop := startServer(t, smtpd.Config{
+		Behavior: func(string) smtpd.ConnAction { return smtpd.ActTempFail },
+	})
+	defer stop()
+	fs := &fakeSleep{err: context.Canceled}
+	c := &Client{Timeout: 2 * time.Second}
+	attempts, err := c.SendRetry(context.Background(), RetryPolicy{MaxAttempts: 5, Sleep: fs.sleep},
+		addr, ModePlain, "a@b.com", []string{"c@d.com"}, testMessage())
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (sleep canceled)", attempts)
+	}
+	if !errors.Is(err, ErrTempFail) {
+		t.Errorf("err = %v, want the last transient error", err)
+	}
+}
+
+// TestSessionBudgetStopsSlowLoris is the regression test for the
+// slow-loris fix: a peer that dribbles each reply just inside the
+// per-step Timeout must still hit the session-wide deadline. The server
+// sits behind a faultnet listener injecting write latency on every
+// reply, so each protocol step is slow but individually within budget.
+func TestSessionBudgetStopsSlowLoris(t *testing.T) {
+	fnet := faultnet.New(1, faultnet.Plan{
+		Write: faultnet.DirPlan{
+			LatencyRate: 1,
+			LatencyMin:  60 * time.Millisecond,
+			LatencyMax:  60 * time.Millisecond,
+		},
+	})
+	var mu sync.Mutex
+	delivered := 0
+	srv, err := smtpd.NewServer(smtpd.Config{
+		Deliver: func(*smtpd.Envelope) error {
+			mu.Lock()
+			delivered++
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := fnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(context.Background(), ln) }()
+	defer func() { srv.Close(); <-done }()
+
+	// Per-step budget is generous (2s) so every 60ms reply individually
+	// passes; the 150ms session budget is what must end the transcript.
+	c := &Client{Timeout: 2 * time.Second, SessionTimeout: 150 * time.Millisecond}
+	start := time.Now()
+	err = c.Send(context.Background(), ln.Addr().String(), ModePlain,
+		"a@b.com", []string{"c@d.com"}, testMessage())
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout from session budget", err)
+	}
+	if elapsed > time.Second {
+		t.Errorf("session ran %v, want cutoff near the 150ms budget", elapsed)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if delivered != 0 {
+		t.Errorf("delivered = %d, want 0", delivered)
+	}
+}

@@ -57,6 +57,9 @@ var (
 	ErrTimeout = errors.New("smtpc: timeout")
 	ErrNetwork = errors.New("smtpc: network error")
 	ErrProto   = errors.New("smtpc: protocol error")
+	// ErrTempFail is a 4xx server response: the transaction failed but
+	// the condition is transient — retry-worthy, unlike ErrBounce.
+	ErrTempFail = errors.New("smtpc: transient server failure")
 )
 
 // Classify maps an error from Send to a Table 5 outcome.
@@ -97,6 +100,12 @@ type Client struct {
 	// Dialer allows tests and the simulated internet to intercept dialing.
 	// nil uses net.Dialer.
 	Dialer func(ctx context.Context, network, addr string) (net.Conn, error)
+	// SessionTimeout bounds one whole Send transcript (dial through final
+	// reply). Without it, a slow-loris peer that answers each step just
+	// inside Timeout can stretch a session indefinitely, because each
+	// protocol step renews its own deadline. 0 means 6×Timeout; a ctx
+	// deadline tightens it further.
+	SessionTimeout time.Duration
 }
 
 // Send delivers data (RFC 5322 bytes) from `from` to the recipients via
@@ -111,13 +120,31 @@ func (c *Client) Send(ctx context.Context, addr string, mode Mode, from string, 
 	if hello == "" {
 		hello = "client.invalid"
 	}
+	// The session budget is absolute: every per-step deadline below is
+	// clipped to it, so a peer dribbling replies just inside Timeout
+	// cannot extend the transcript past sessionDeadline.
+	sessionTimeout := c.SessionTimeout
+	if sessionTimeout <= 0 {
+		sessionTimeout = 6 * timeout
+	}
+	sessionDeadline := time.Now().Add(sessionTimeout)
+	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(sessionDeadline) {
+		sessionDeadline = ctxDeadline
+	}
+	stepDeadline := func() time.Time {
+		d := time.Now().Add(timeout)
+		if sessionDeadline.Before(d) {
+			return sessionDeadline
+		}
+		return d
+	}
 
 	dial := c.Dialer
 	if dial == nil {
 		d := &net.Dialer{Timeout: timeout}
 		dial = d.DialContext
 	}
-	dctx, cancel := context.WithTimeout(ctx, timeout)
+	dctx, cancel := context.WithDeadline(ctx, stepDeadline())
 	defer cancel()
 	conn, err := dial(dctx, "tcp", addr)
 	if err != nil {
@@ -132,7 +159,7 @@ func (c *Client) Send(ctx context.Context, addr string, mode Mode, from string, 
 
 	if mode == ModeTLS {
 		tconn := tls.Client(conn, c.tlsConfig(addr))
-		hctx, hcancel := context.WithTimeout(ctx, timeout)
+		hctx, hcancel := context.WithDeadline(ctx, stepDeadline())
 		err := tconn.HandshakeContext(hctx)
 		hcancel()
 		if err != nil {
@@ -141,7 +168,7 @@ func (c *Client) Send(ctx context.Context, addr string, mode Mode, from string, 
 		conn = tconn
 	}
 
-	t := &textConn{conn: conn, r: bufio.NewReader(conn), timeout: timeout}
+	t := &textConn{conn: conn, r: bufio.NewReader(conn), timeout: timeout, deadline: sessionDeadline}
 
 	code, msg, err := t.readReply()
 	if err != nil {
@@ -176,7 +203,7 @@ func (c *Client) Send(ctx context.Context, addr string, mode Mode, from string, 
 			return fmt.Errorf("%w: STARTTLS refused: %d %s", ErrProto, code, msg)
 		}
 		tconn := tls.Client(conn, c.tlsConfig(addr))
-		hctx, hcancel := context.WithTimeout(ctx, timeout)
+		hctx, hcancel := context.WithDeadline(ctx, stepDeadline())
 		herr := tconn.HandshakeContext(hctx)
 		hcancel()
 		if herr != nil {
@@ -205,9 +232,14 @@ func (c *Client) Send(ctx context.Context, addr string, mode Mode, from string, 
 		if err != nil {
 			return err
 		}
-		if code >= 200 && code < 300 {
+		switch {
+		case code >= 200 && code < 300:
 			accepted++
-		} else {
+		case code >= 400 && code < 500:
+			// 4xx per-rcpt failures (greylisting, mailbox busy) are
+			// transient: a retry may deliver, so don't report a bounce.
+			lastRcptErr = fmt.Errorf("%w: %s: %d %s", ErrTempFail, rcpt, code, msg)
+		default:
 			lastRcptErr = fmt.Errorf("%w: %s: %d %s", ErrBounce, rcpt, code, msg)
 		}
 	}
@@ -248,12 +280,18 @@ func (c *Client) tlsConfig(addr string) *tls.Config {
 	return &tls.Config{ServerName: host, InsecureSkipVerify: true}
 }
 
-// ErrOtherFor maps an SMTP status code to the bounce or other-error class.
+// ErrOtherFor maps an SMTP status code to its error class: 5xx permanent
+// failures bounce, 4xx transient failures are retry-worthy, anything else
+// is a protocol violation.
 func ErrOtherFor(code int) error {
-	if code >= 500 && code < 560 {
+	switch {
+	case code >= 500 && code < 560:
 		return ErrBounce
+	case code >= 400 && code < 500:
+		return ErrTempFail
+	default:
+		return ErrProto
 	}
-	return ErrProto
 }
 
 func wrapNetErr(err error) error {
@@ -271,6 +309,17 @@ type textConn struct {
 	conn    net.Conn
 	r       *bufio.Reader
 	timeout time.Duration
+	// deadline is the session-wide budget; per-step deadlines never extend
+	// past it, so slow-dribbling peers hit a hard stop.
+	deadline time.Time
+}
+
+func (t *textConn) stepDeadline() time.Time {
+	d := time.Now().Add(t.timeout)
+	if !t.deadline.IsZero() && t.deadline.Before(d) {
+		return t.deadline
+	}
+	return d
 }
 
 func (t *textConn) cmd(line string) (int, string, error) {
@@ -297,7 +346,7 @@ func (t *textConn) cmdMultiCode(line string) (int, string, error) {
 }
 
 func (t *textConn) writeLine(line string) error {
-	t.conn.SetWriteDeadline(time.Now().Add(t.timeout))
+	t.conn.SetWriteDeadline(t.stepDeadline())
 	_, err := t.conn.Write([]byte(line + "\r\n"))
 	if err != nil {
 		return wrapNetErr(err)
@@ -319,7 +368,7 @@ func (t *textConn) readReply() (int, string, error) {
 func (t *textConn) readMultiReply() (int, []string, error) {
 	var lines []string
 	for {
-		t.conn.SetReadDeadline(time.Now().Add(t.timeout))
+		t.conn.SetReadDeadline(t.stepDeadline())
 		raw, err := t.r.ReadString('\n')
 		if err != nil {
 			return 0, nil, wrapNetErr(err)
@@ -351,7 +400,7 @@ func (t *textConn) readMultiReply() (int, []string, error) {
 
 // writeData sends a DATA payload with dot-stuffing and the terminator.
 func (t *textConn) writeData(data []byte) error {
-	t.conn.SetWriteDeadline(time.Now().Add(t.timeout))
+	t.conn.SetWriteDeadline(t.stepDeadline())
 	var b strings.Builder
 	lines := strings.Split(strings.ReplaceAll(string(data), "\r\n", "\n"), "\n")
 	for i, line := range lines {

@@ -75,6 +75,19 @@ type Config struct {
 	MaxConns int
 	// Timeout bounds each read/write; 0 means DefaultTimeout.
 	Timeout time.Duration
+	// BannerTimeout bounds the pre-banner phase — the implicit-TLS
+	// handshake and greeting write; 0 means Timeout.
+	BannerTimeout time.Duration
+	// CmdTimeout bounds each command-line read; 0 means Timeout.
+	CmdTimeout time.Duration
+	// DataTimeout is one budget for the entire DATA payload. Per-line
+	// deadlines are clipped to it, so a sender dribbling body lines just
+	// inside Timeout cannot hold the session open indefinitely; 0 means
+	// 4×Timeout.
+	DataTimeout time.Duration
+	// Listen binds the ListenAndServe socket — the fault-injection seam.
+	// nil uses net.Listen.
+	Listen func(network, addr string) (net.Listener, error)
 	// TLS enables STARTTLS when non-nil.
 	TLS *tls.Config
 	// ImplicitTLS wraps every accepted connection in TLS immediately —
@@ -113,6 +126,8 @@ type Server struct {
 
 	nAccepted int64 // envelopes delivered
 	nSessions int64
+	nQuits    int64 // sessions ended on the server's terms (QUIT, final 421)
+	nAborts   int64 // sessions cut short: I/O error, timeout, drop, TLS failure
 }
 
 // ErrServerClosed is returned by Serve after Close.
@@ -138,6 +153,15 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Timeout == 0 {
 		cfg.Timeout = DefaultTimeout
 	}
+	if cfg.BannerTimeout == 0 {
+		cfg.BannerTimeout = cfg.Timeout
+	}
+	if cfg.CmdTimeout == 0 {
+		cfg.CmdTimeout = cfg.Timeout
+	}
+	if cfg.DataTimeout == 0 {
+		cfg.DataTimeout = 4 * cfg.Timeout
+	}
 	if cfg.MaxConns == 0 {
 		cfg.MaxConns = DefaultMaxConns
 	}
@@ -157,7 +181,11 @@ func NewServer(cfg Config) (*Server, error) {
 // ListenAndServe binds addr ("127.0.0.1:0") and serves until ctx ends.
 // The bound address is reported on bound before the accept loop starts.
 func (s *Server) ListenAndServe(ctx context.Context, addr string, bound chan<- net.Addr) error {
-	ln, err := net.Listen("tcp", addr)
+	listen := s.cfg.Listen
+	if listen == nil {
+		listen = net.Listen
+	}
+	ln, err := listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("smtpd: listen %s: %w", addr, err)
 	}
@@ -240,7 +268,14 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 				conn.Close()
 				<-s.sem
 			}()
-			s.session(conn)
+			graceful := s.session(conn)
+			s.mu.Lock()
+			if graceful {
+				s.nQuits++
+			} else {
+				s.nAborts++
+			}
+			s.mu.Unlock()
 		}()
 	}
 }
@@ -270,29 +305,42 @@ func (s *Server) Stats() (sessions, delivered int64) {
 	return s.nSessions, s.nAccepted
 }
 
-// session drives one SMTP conversation.
-func (s *Server) session(conn net.Conn) {
+// SessionStats splits finished sessions into graceful endings (QUIT, a
+// final 421 the server chose to send) and aborts (I/O errors, timeouts,
+// dropped or stalled-out peers). quits+aborts equals sessions once all
+// session goroutines have exited — the chaos soak's reconciliation hook.
+func (s *Server) SessionStats() (quits, aborts int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nQuits, s.nAborts
+}
+
+// session drives one SMTP conversation. The return reports whether the
+// session ended on the server's terms (QUIT, a deliberate final 421) or
+// was aborted by an I/O failure, timeout, or behavior-driven drop.
+func (s *Server) session(conn net.Conn) (graceful bool) {
 	action := ActProceed
 	if s.cfg.Behavior != nil {
 		action = s.cfg.Behavior(conn.RemoteAddr().String())
 	}
 	switch action {
 	case ActDrop:
-		return // close without a byte: connection reset from client's view
+		return false // close without a byte: connection reset from client's view
 	case ActStall:
 		// Hold the connection silently until the peer gives up.
 		//repolint:allow errdrop the stall behavior ends when the peer disconnects; its read error is the signal, not a failure
 		io.Copy(io.Discard, conn)
-		return
+		return false
 	}
 
 	inTLS := false
 	if s.cfg.ImplicitTLS {
-		// SMTPS: the handshake happens before the first protocol byte.
+		// SMTPS: the handshake happens before the first protocol byte,
+		// inside the banner phase's budget.
 		tlsConn := tls.Server(conn, s.cfg.TLS)
-		conn.SetDeadline(time.Now().Add(s.cfg.Timeout))
+		conn.SetDeadline(time.Now().Add(s.cfg.BannerTimeout))
 		if err := tlsConn.HandshakeContext(context.Background()); err != nil {
-			return
+			return false
 		}
 		conn.SetDeadline(time.Time{})
 		conn = tlsConn
@@ -300,15 +348,17 @@ func (s *Server) session(conn net.Conn) {
 	}
 
 	c := &sessionConn{
-		conn:    conn,
-		r:       bufio.NewReaderSize(conn, 4096),
-		w:       bufio.NewWriter(conn),
-		timeout: s.cfg.Timeout,
+		conn:        conn,
+		r:           bufio.NewReaderSize(conn, 4096),
+		w:           bufio.NewWriter(conn),
+		timeout:     s.cfg.Timeout,
+		cmdTimeout:  s.cfg.CmdTimeout,
+		dataTimeout: s.cfg.DataTimeout,
 	}
 
 	if action == ActTempFail {
 		c.reply(421, s.cfg.Hostname+" service not available")
-		return
+		return c.err == nil
 	}
 
 	c.reply(220, s.cfg.Hostname+" ESMTP service ready")
@@ -322,7 +372,7 @@ func (s *Server) session(conn net.Conn) {
 	for cmds := 0; cmds < maxCommandsPerSes; cmds++ {
 		line, err := c.readLine()
 		if err != nil {
-			return
+			return false
 		}
 		verb, arg := splitCommand(line)
 		switch verb {
@@ -357,12 +407,15 @@ func (s *Server) session(conn net.Conn) {
 			}
 			c.reply(220, "ready to start TLS")
 			if c.err != nil {
-				return
+				return false
 			}
 			tlsConn := tls.Server(conn, s.cfg.TLS)
+			// The upgrade handshake is a fresh banner phase.
+			conn.SetDeadline(time.Now().Add(s.cfg.BannerTimeout))
 			if err := tlsConn.HandshakeContext(context.Background()); err != nil {
-				return
+				return false
 			}
+			conn.SetDeadline(time.Time{})
 			conn = tlsConn
 			c.conn = tlsConn
 			c.r = bufio.NewReaderSize(tlsConn, 4096)
@@ -432,7 +485,7 @@ func (s *Server) session(conn net.Conn) {
 					resetTxn()
 					continue
 				}
-				return
+				return false
 			}
 			env.Data = data
 			env.Received = s.cfg.Clock()
@@ -456,21 +509,24 @@ func (s *Server) session(conn net.Conn) {
 			c.reply(252, "cannot VRFY user, but will accept message")
 		case "QUIT":
 			c.reply(221, s.cfg.Hostname+" closing connection")
-			return
+			return c.err == nil
 		default:
 			c.reply(500, "command not recognized")
 		}
 	}
 	c.reply(421, "too many commands")
+	return c.err == nil
 }
 
 var errTooLarge = errors.New("smtpd: message too large")
 
 type sessionConn struct {
-	conn    net.Conn
-	r       *bufio.Reader
-	w       *bufio.Writer
-	timeout time.Duration
+	conn        net.Conn
+	r           *bufio.Reader
+	w           *bufio.Writer
+	timeout     time.Duration // reply writes
+	cmdTimeout  time.Duration // each command-line read
+	dataTimeout time.Duration // the whole DATA payload
 	// err is the first reply-write failure; it poisons the session so
 	// the command loop stops instead of processing commands the peer
 	// can no longer see answers to.
@@ -481,7 +537,7 @@ func (c *sessionConn) readLine() (string, error) {
 	if c.err != nil {
 		return "", c.err
 	}
-	c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+	c.conn.SetReadDeadline(time.Now().Add(c.cmdTimeout))
 	var sb strings.Builder
 	for {
 		frag, isPrefix, err := c.r.ReadLine()
@@ -503,8 +559,15 @@ func (c *sessionConn) readLine() (string, error) {
 func (c *sessionConn) readData(maxSize int) ([]byte, error) {
 	var buf []byte
 	tooLarge := false
+	// One budget for the whole payload: per-line deadlines renew but are
+	// clipped to it, so dribbling one byte per Timeout gets cut off here.
+	dataDeadline := time.Now().Add(c.dataTimeout)
 	for {
-		c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+		lineDeadline := time.Now().Add(c.timeout)
+		if dataDeadline.Before(lineDeadline) {
+			lineDeadline = dataDeadline
+		}
+		c.conn.SetReadDeadline(lineDeadline)
 		line, err := c.r.ReadString('\n')
 		if err != nil {
 			return nil, err

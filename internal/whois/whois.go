@@ -179,6 +179,12 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, bound chan<- n
 	if bound != nil {
 		bound <- ln.Addr()
 	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve answers queries on an existing listener until ctx ends — the
+// seam for serving through a fault-injecting listener.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
@@ -243,8 +249,17 @@ func (s *Server) Close() {
 
 // Query performs one lookup against a WHOIS server address.
 func Query(ctx context.Context, addr, domain string) (Record, error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
+	return QueryVia(ctx, nil, addr, domain)
+}
+
+// QueryVia performs one lookup dialing through dial — the
+// fault-injection seam. nil dials with net.Dialer.
+func QueryVia(ctx context.Context, dial func(ctx context.Context, network, addr string) (net.Conn, error), addr, domain string) (Record, error) {
+	if dial == nil {
+		var d net.Dialer
+		dial = d.DialContext
+	}
+	conn, err := dial(ctx, "tcp", addr)
 	if err != nil {
 		return Record{}, fmt.Errorf("whois: dial: %w", err)
 	}
