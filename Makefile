@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet lint fuzz chaos clean
+.PHONY: check build test race vet lint bench fuzz chaos clean
 
 # check is the gate for every change: vet, build, the repo's own
 # analyzers (cmd/repolint), then the full test suite under the race
@@ -27,6 +27,21 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# bench runs every benchmark with allocation counts and parses the
+# output (via cmd/benchjson) into a JSON snapshot for diffing against
+# the committed baselines (BENCH_<n>.json). The default BENCHTIME=1x
+# keeps the multi-second collection-run benches to one iteration;
+# raise it (e.g. BENCHTIME=2s) for stable timings.
+BENCHTIME ?= 1x
+BENCHOUT ?= BENCH.json
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) ./... > bench.out || \
+		{ cat bench.out; rm -f bench.out; exit 1; }
+	@cat bench.out
+	$(GO) run ./cmd/benchjson < bench.out > $(BENCHOUT)
+	@rm -f bench.out
+	@echo "wrote $(BENCHOUT)"
 
 # fuzz gives each fuzz target a short budget; lengthen FUZZTIME for a
 # soak run.

@@ -9,6 +9,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"net"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/ecosys"
 	"repro/internal/experiments"
 	"repro/internal/mailmsg"
+	"repro/internal/par"
 	"repro/internal/sanitize"
 	"repro/internal/smtpc"
 	"repro/internal/smtpd"
@@ -51,6 +53,7 @@ func sharedSuite(b *testing.B) *experiments.Suite {
 func benchExperiment(b *testing.B, run func() (*experiments.Experiment, error)) {
 	b.Helper()
 	sharedSuite(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e, err := run()
@@ -202,6 +205,7 @@ func BenchmarkSMTPRoundTrip(b *testing.B) {
 	defer srv.Close()
 	msg := mailmsg.NewBuilder("a@b.com", "c@gmial.com", "bench").Body("hello\n").Build().Bytes()
 	client := &smtpc.Client{Timeout: 5 * time.Second}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := client.Send(ctx, addr, smtpc.ModePlain, "a@b.com", []string{"c@gmial.com"}, msg); err != nil {
@@ -212,10 +216,54 @@ func BenchmarkSMTPRoundTrip(b *testing.B) {
 
 func BenchmarkEcosystemGenerate(b *testing.B) {
 	cfg := ecosys.Config{Targets: 100, UniverseSize: 1000, Seed: 1, BulkSquatters: 8, SharedMailHosts: 6}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if eco := ecosys.Generate(cfg); len(eco.Domains) == 0 {
 			b.Fatal("empty ecosystem")
 		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Parallelism benches: the same substrate at pinned worker counts. On a
+// multi-core host the larger counts show the scaling of the par.Map
+// sharding; output stays byte-identical at every setting (the
+// seed-equivalence tests in ecosys, core, and experiments assert it).
+
+func BenchmarkEcosystemGenerateParallel(b *testing.B) {
+	cfg := ecosys.Config{Targets: 100, UniverseSize: 1000, Seed: 1, BulkSquatters: 8, SharedMailHosts: 6}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			par.SetWorkers(w)
+			defer par.SetWorkers(0)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if eco := ecosys.Generate(cfg); len(eco.Domains) == 0 {
+					b.Fatal("empty ecosystem")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSuiteAllParallel(b *testing.B) {
+	s := sharedSuite(b)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			par.SetWorkers(w)
+			defer par.SetWorkers(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				exps, err := s.All()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(exps) != 15 {
+					b.Fatalf("got %d experiments, want 15", len(exps))
+				}
+			}
+		})
 	}
 }
 
@@ -231,6 +279,7 @@ func BenchmarkAblationScorerVsBayes(b *testing.B) {
 
 	b.Run("rules", func(b *testing.B) {
 		scorer := spamfilter.NewScorer()
+		b.ReportAllocs()
 		var recall float64
 		for i := 0; i < b.N; i++ {
 			tp, fn := 0, 0
@@ -251,6 +300,7 @@ func BenchmarkAblationScorerVsBayes(b *testing.B) {
 		for _, lm := range train {
 			bayes.Train(lm.Msg, lm.Spam)
 		}
+		b.ReportAllocs()
 		var recall float64
 		for i := 0; i < b.N; i++ {
 			tp, fn := 0, 0
@@ -287,6 +337,7 @@ func BenchmarkAblationFunnelLayers(b *testing.B) {
 		e.RcptAddr = "user@gmial.com"
 	}
 	b.Run("layers12", func(b *testing.B) {
+		b.ReportAllocs()
 		var caught float64
 		for i := 0; i < b.N; i++ {
 			scorer := spamfilter.NewScorer()
@@ -301,6 +352,7 @@ func BenchmarkAblationFunnelLayers(b *testing.B) {
 		b.ReportMetric(caught, "caught")
 	})
 	b.Run("full-funnel", func(b *testing.B) {
+		b.ReportAllocs()
 		var caught float64
 		for i := 0; i < b.N; i++ {
 			c := spamfilter.NewClassifier(spamfilter.Config{
@@ -324,6 +376,7 @@ func BenchmarkAblationFunnelLayers(b *testing.B) {
 // suppresses visually obvious typos.
 func BenchmarkAblationTypingModel(b *testing.B) {
 	run := func(b *testing.B, m users.Model) {
+		b.ReportAllocs()
 		var survival float64
 		for i := 0; i < b.N; i++ {
 			survival = m.SurvivalProbability("outlook.com", "outlopk.com") /
@@ -342,6 +395,7 @@ func BenchmarkAblationTypingModel(b *testing.B) {
 // BenchmarkFullCollectionRun times the whole 225-day simulation — the
 // substrate every figure rests on.
 func BenchmarkFullCollectionRun(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := core.DefaultConfig()
 		cfg.Seed = 20160604 + int64(i)
@@ -368,6 +422,7 @@ func BenchmarkAblationDefenseCorrector(b *testing.B) {
 	model := users.DefaultModel()
 	model.CharErrorRate = 0.1 // accelerate mistakes to fill the sample
 	rng := rand.New(rand.NewSource(6))
+	b.ReportAllocs()
 	var caught, missed int
 	for i := 0; i < b.N; i++ {
 		typed := model.SampleTypedDomain(rng, "gmail.com")

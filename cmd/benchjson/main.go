@@ -1,0 +1,119 @@
+// Command benchjson parses `go test -bench -benchmem` output on stdin
+// into a machine-diffable JSON snapshot on stdout. `make bench` uses it
+// to produce the committed benchmark baselines (BENCH_<n>.json), so a
+// later change can be compared line-by-line against the numbers the
+// optimization PR recorded.
+//
+// Only the standard benchmark metrics are kept (iterations, ns/op,
+// B/op, allocs/op); custom ReportMetric columns are ignored. Header
+// lines (goos/goarch/cpu/pkg) become metadata on the enclosing object.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one result line, e.g.
+//
+//	BenchmarkSanitizeRedact-8  90210  12900 ns/op  2152 B/op  31 allocs/op
+type Benchmark struct {
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the whole parsed run.
+type Snapshot struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	snap, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Snapshot, error) {
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	snap := &Snapshot{}
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok, err := parseBench(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: %w", line, err)
+			}
+			if ok {
+				b.Pkg = pkg
+				snap.Benchmarks = append(snap.Benchmarks, b)
+			}
+		}
+	}
+	return snap, sc.Err()
+}
+
+// parseBench parses one result line. ok is false for non-result lines
+// that merely start with "Benchmark" (e.g. a bare name printed before a
+// sub-benchmark block).
+func parseBench(line string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false, nil // bare announcement line
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil // e.g. "BenchmarkFoo --- FAIL"
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			b.NsPerOp, err = strconv.ParseFloat(val, 64)
+		case "B/op":
+			b.BytesPerOp, err = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			b.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
+		default:
+			continue // custom ReportMetric units are ignored
+		}
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("bad %s value %q", unit, val)
+		}
+	}
+	return b, true, nil
+}

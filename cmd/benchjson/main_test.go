@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSanitizeRedact-8   	   90210	     12900 ns/op	    2152 B/op	      31 allocs/op
+BenchmarkEcosystemGenerateParallel/workers=2         	       1	  68445407 ns/op	 8930928 B/op	   69508 allocs/op
+BenchmarkDamerauLevenshtein 	 2000000	       600 ns/op
+BenchmarkBroken --- FAIL
+PASS
+ok  	repro	8.525s
+pkg: repro/internal/lint
+BenchmarkRepolintLoad 	       5	 200000000 ns/op	 1000000 B/op	    9000 allocs/op
+`
+
+func TestParse(t *testing.T) {
+	snap, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.GOOS != "linux" || snap.GOARCH != "amd64" || !strings.Contains(snap.CPU, "Xeon") {
+		t.Errorf("bad metadata: %+v", snap)
+	}
+	if len(snap.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks, want 4: %+v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+	b := snap.Benchmarks[0]
+	if b.Pkg != "repro" || b.Name != "BenchmarkSanitizeRedact-8" ||
+		b.Iterations != 90210 || b.NsPerOp != 12900 || b.BytesPerOp != 2152 || b.AllocsPerOp != 31 {
+		t.Errorf("bad first benchmark: %+v", b)
+	}
+	if b := snap.Benchmarks[1]; b.Name != "BenchmarkEcosystemGenerateParallel/workers=2" || b.AllocsPerOp != 69508 {
+		t.Errorf("bad sub-benchmark: %+v", b)
+	}
+	if b := snap.Benchmarks[2]; b.NsPerOp != 600 || b.BytesPerOp != 0 {
+		t.Errorf("bad benchmark without -benchmem columns: %+v", b)
+	}
+	if b := snap.Benchmarks[3]; b.Pkg != "repro/internal/lint" || b.Iterations != 5 {
+		t.Errorf("pkg header not tracked across packages: %+v", b)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	snap, err := parse(bufio.NewScanner(strings.NewReader("no benchmarks here\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 0 {
+		t.Errorf("got %d benchmarks, want 0", len(snap.Benchmarks))
+	}
+}

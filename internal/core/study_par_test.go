@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/simclock"
+)
+
+// resultString renders a Result in full precision and stable order; byte
+// equality means every analysis downstream would see identical data.
+func resultString(res *Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "days=%d\n", res.Days)
+	series := func(name string, s *simclock.DaySeries) {
+		fmt.Fprintf(&sb, "%s:", name)
+		for _, c := range s.Counts {
+			fmt.Fprintf(&sb, " %x", c)
+		}
+		sb.WriteByte('\n')
+	}
+	series("recvSpam", res.ReceiverSpamDaily)
+	series("recvFilt", res.ReceiverFilteredDaily)
+	series("recvTrue", res.ReceiverTrueDaily)
+	series("smtpSpam", res.SMTPSpamDaily)
+	series("smtpFilt", res.SMTPFilteredDaily)
+	series("smtpTrue", res.SMTPTrueDaily)
+
+	names := make([]string, 0, len(res.PerDomain))
+	for n := range res.PerDomain {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		st := res.PerDomain[n]
+		fmt.Fprintf(&sb, "dom %s spam=%x filt=%x recv=%x refl=%x smtp=%x freq=%x esc=%x\n",
+			n, st.SpamYearly, st.FilteredYearly, st.ReceiverYearly, st.ReflectionYearly,
+			st.SMTPTypoYearly, st.SMTPFreqFilteredYearly, st.SpamEscapedYearly)
+	}
+	for _, n := range names {
+		hm := res.SensitiveHeatmap[n]
+		labels := make([]string, 0, len(hm))
+		for l := range hm {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			fmt.Fprintf(&sb, "heat %s %s %d\n", n, l, hm[l])
+		}
+	}
+	exts := make([]string, 0, len(res.AttachmentExts))
+	for e := range res.AttachmentExts {
+		exts = append(exts, e)
+	}
+	sort.Strings(exts)
+	for _, e := range exts {
+		fmt.Fprintf(&sb, "ext %s %d\n", e, res.AttachmentExts[e])
+	}
+	fmt.Fprintf(&sb, "persistence=%x sizes=%v\n", res.SMTPPersistence, res.SMTPEpisodeSizes)
+	fmt.Fprintf(&sb, "totals %x %x %x %x %x %x %x %x %x %x %d %x\n",
+		res.TotalYearly, res.ReceiverCandidateYearly, res.SMTPCandidateYearly,
+		res.SurvivorsYearly, res.CorrectedSurvivorsYearly, res.ContaminationYearly,
+		res.TrueReceiverYearly, res.ReflectionYearly, res.SMTPTypoYearlyLow,
+		res.SMTPTypoYearlyHigh, res.VaultRecords, res.AuditPrecision)
+	return sb.String()
+}
+
+// TestRunSeedEquivalence asserts the determinism-under-parallelism
+// contract on the collection run: for several seeds, a parallel run is
+// byte-identical to the sequential (Workers=1) one.
+func TestRunSeedEquivalence(t *testing.T) {
+	defer par.SetWorkers(0)
+	for _, seed := range []int64{3, 77, 20160604} {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.Days = 60
+
+		render := func(workers int) string {
+			par.SetWorkers(workers)
+			s, err := NewStudy(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resultString(res)
+		}
+		ref := render(1)
+		for _, w := range []int{2, 8} {
+			if got := render(w); got != ref {
+				t.Fatalf("seed %d: workers=%d result differs from sequential run", seed, w)
+			}
+		}
+	}
+}

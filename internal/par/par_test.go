@@ -1,0 +1,132 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// withWorkers runs f with the pool pinned to n workers and restores the
+// default afterwards.
+func withWorkers(n int, f func()) {
+	SetWorkers(n)
+	defer SetWorkers(0)
+	f()
+}
+
+func TestMapOrderedAndDeterministic(t *testing.T) {
+	items := make([]int, 503)
+	for i := range items {
+		items[i] = i
+	}
+	render := func(workers int) []string {
+		var out []string
+		withWorkers(workers, func() {
+			out = Map(42, items, func(i, item int, rng *rand.Rand) string {
+				return fmt.Sprintf("%d:%d:%d", i, item, rng.Intn(1_000_000))
+			})
+		})
+		return out
+	}
+	ref := render(1)
+	for _, w := range []int{2, 3, 8, 64} {
+		got := render(w)
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d results, want %d", w, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: result[%d] = %q, sequential ref %q", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if got := Map(1, nil, func(i, item int, rng *rand.Rand) int { return item }); len(got) != 0 {
+		t.Fatalf("nil items -> %v", got)
+	}
+	got := Map(1, []int{7}, func(i, item int, rng *rand.Rand) int { return item * 2 })
+	if len(got) != 1 || got[0] != 14 {
+		t.Fatalf("single item -> %v", got)
+	}
+}
+
+func TestSubSeedStreamsDiffer(t *testing.T) {
+	seen := make(map[int64]int)
+	for i := 0; i < 10_000; i++ {
+		s := SubSeed(20160604, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("SubSeed collision: index %d and %d -> %d", prev, i, s)
+		}
+		seen[s] = i
+	}
+	// Different master seeds must give different streams for index 0.
+	if SubSeed(1, 0) == SubSeed(2, 0) {
+		t.Fatal("master seed has no effect on index 0")
+	}
+}
+
+func TestMapErrReturnsLowestIndexError(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	withWorkers(4, func() {
+		out, err := MapErr(9, items, func(i, item int, rng *rand.Rand) (int, error) {
+			switch i {
+			case 3:
+				return 0, errLow
+			case 6:
+				return 0, errHigh
+			}
+			return item * item, nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("err = %v, want the lowest-index error", err)
+		}
+		for i := 0; i < 3; i++ {
+			if out[i] != i*i {
+				t.Fatalf("result[%d] = %d before failing index", i, out[i])
+			}
+		}
+	})
+}
+
+func TestMapErrSuccess(t *testing.T) {
+	out, err := MapErr(3, []string{"a", "bb"}, func(i int, item string, rng *rand.Rand) (int, error) {
+		return len(item), nil
+	})
+	if err != nil || out[0] != 1 || out[1] != 2 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestWorkersKnob(t *testing.T) {
+	SetWorkers(3)
+	if NumWorkers() != 3 {
+		t.Fatalf("NumWorkers = %d after SetWorkers(3)", NumWorkers())
+	}
+	SetWorkers(-5)
+	if NumWorkers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("NumWorkers = %d, want GOMAXPROCS default", NumWorkers())
+	}
+	SetWorkers(0)
+}
+
+// TestMapNoGoroutineLeak asserts the pool joins fully: Map must not
+// return while any worker is still alive.
+func TestMapNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	withWorkers(16, func() {
+		Map(5, make([]int, 1000), func(i, item int, rng *rand.Rand) int { return rng.Int() })
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after Map", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,102 @@
+package sanitize
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// gateCases covers every detector's trigger, near-misses that the gates
+// must not mistake for impossibilities, and the Unicode case-folding
+// traps ((?i) folds U+017F to 's' and U+212A to 'k', which an ASCII
+// keyword scan cannot see — non-ASCII text must bypass keyword gates).
+var gateCases = []string{
+	"",
+	"plain prose with no identifiers at all",
+	"reach me at alice.smith@example.com today",
+	"my card is 4111 1111 1111 1111 thanks",
+	"ssn 219-09-9999 on file",
+	"ein 12-3456789 for the llc",
+	"password: hunter2!",
+	"Passphrase correct-horse-battery-staple",
+	"pwd=abc123",
+	"the vin is 1M8GDM9AXKP042788 ok",
+	"username is jdoe42",
+	"login: root",
+	"Pittsburgh, PA 15213-1234",
+	"zip code 90210",
+	"account number is 445-0098-X",
+	"mrn: 88811122",
+	"call 412-268-3000 or (212) 555-0199",
+	"due 3/14/2016 or 2016-03-14 or March 14, 2016",
+	"paſsword is hunter2",          // U+017F long s folds to 's'
+	"uſername is jdoe",             // ditto inside "user"
+	"ID\u017F is 12345678",         // non-ASCII near the id keyword
+	"d\u00e9c 14, 2016 total 1234", // accented non-month, digits present
+	"12345678901234567",            // 17-digit run: vin gate fires, validator rejects
+	"passwood is not a keyword hit for passw... or is it",
+	"identification = A1B2C3D4",
+	"no digits but pass and user and id words everywhere",
+	"1-2-3-4-5-6-7-8-9",
+	"ABCDEFGHJKLMNPRSTU",    // 18-char alnum run, no valid vin
+	"99999 44444 333 22 11", // digit runs without context
+}
+
+// scanUngated runs Scan with every prefilter gate disabled.
+func scanUngated(text string) []Finding {
+	disableGates = true
+	defer func() { disableGates = false }()
+	return Scan(text)
+}
+
+// TestGateEquivalence is the false-negative proof obligation for the
+// prefilter: on every case, gated and ungated scans must return
+// identical findings.
+func TestGateEquivalence(t *testing.T) {
+	for _, text := range gateCases {
+		gated := Scan(text)
+		ungated := scanUngated(text)
+		if !reflect.DeepEqual(gated, ungated) {
+			t.Errorf("gated scan differs on %q:\n gated:   %v\n ungated: %v", text, gated, ungated)
+		}
+	}
+}
+
+// FuzzGateEquivalence extends the differential check to arbitrary
+// mutations of the seed cases.
+func FuzzGateEquivalence(f *testing.F) {
+	for _, text := range gateCases {
+		f.Add(text)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		gated := Scan(text)
+		ungated := scanUngated(text)
+		if !reflect.DeepEqual(gated, ungated) {
+			t.Fatalf("gated scan differs on %q:\n gated:   %v\n ungated: %v", text, gated, ungated)
+		}
+	})
+}
+
+// TestGatesActuallySkip pins the point of the prefilter: on identifier-
+// free prose, every regex is skipped.
+func TestGatesActuallySkip(t *testing.T) {
+	st := computeStats("the quick brown fox jumps over the lazy dog")
+	for _, d := range buildDetectors() {
+		if d.gate == nil {
+			t.Errorf("%s has no gate", d.kind)
+			continue
+		}
+		if d.gate(&st) {
+			t.Errorf("%s gate fires on identifier-free prose", d.kind)
+		}
+	}
+}
+
+func ExampleScan() {
+	for _, f := range Scan("password: hunter2, card 4111 1111 1111 1111") {
+		fmt.Println(f.Kind, f.Match)
+	}
+	// Output:
+	// password hunter2,
+	// creditcard 4111 1111 1111 1111
+}

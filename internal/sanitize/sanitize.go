@@ -13,7 +13,6 @@ package sanitize
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"fmt"
 	"regexp"
 	"sort"
 	"strings"
@@ -56,29 +55,224 @@ type Finding struct {
 
 // detector pairs a regex with semantic validation.
 type detector struct {
-	kind Kind
-	re   *regexp.Regexp
+	kind    Kind
+	pattern string
+	re      *regexp.Regexp
 	// validate may reject a syntactic match; nil accepts all. It returns
 	// the redaction label.
 	validate func(groups []string) (string, bool)
 	// group selects which capture group is the sensitive span; 0 = whole.
 	group int
+	// gate is a cheap necessary condition for the regex to match: it may
+	// only return false when the regex provably cannot match the text.
+	// nil means "always run the regex".
+	gate func(st *textStats) bool
+	// trigger, when non-nil, is a superset of the bytes a match can start
+	// with; cand (optional) is a further necessary condition on a match
+	// starting at text[c]. Positions failing them cannot start a match,
+	// so the regex runs only at surviving candidates, via an anchored
+	// variant of the pattern.
+	trigger *[256]bool
+	cand    func(text string, c int) bool
+	// anchored is `(?s)\A.` + pattern, run on text[c-1:] so the leading
+	// dot consumes exactly the one context byte and \b at the match start
+	// sees the true neighbor; anchored0 is `\A` + pattern for c == 0.
+	anchored  *regexp.Regexp
+	anchored0 *regexp.Regexp
+}
+
+// anchor compiles the candidate-position variants for a pattern.
+func anchor(pattern string) (ctx, bos *regexp.Regexp) {
+	return regexp.MustCompile(`(?s)\A.` + pattern), regexp.MustCompile(`\A` + pattern)
+}
+
+// findAll returns the detector's submatch indices over text, equal to
+// re.FindAllStringSubmatchIndex(text, -1). With a trigger and gating
+// enabled, the whole-text scan is replaced by anchored probes at
+// candidate positions only. That is exact because: every match start
+// satisfies trigger/cand (they are necessary conditions), so probing
+// candidates left to right finds the same leftmost matches; the probe
+// pattern differs only by a one-rune context prefix, and since a
+// candidate byte is ASCII the preceding byte is consumed as exactly one
+// rune whose word-ness equals the original neighbor's (non-ASCII runes
+// and RuneError are both non-word), preserving \b; and resuming after
+// each match end mirrors FindAll's non-overlap rule.
+func (d *detector) findAll(text string, gated bool) [][]int {
+	if !gated || d.trigger == nil {
+		return d.re.FindAllStringSubmatchIndex(text, -1)
+	}
+	var out [][]int
+	for c := 0; c < len(text); c++ {
+		if !d.trigger[text[c]] {
+			continue
+		}
+		if d.cand != nil && !d.cand(text, c) {
+			continue
+		}
+		var idx []int
+		lo := 0
+		if c == 0 {
+			idx = d.anchored0.FindStringSubmatchIndex(text)
+		} else {
+			lo = c - 1
+			idx = d.anchored.FindStringSubmatchIndex(text[lo:])
+		}
+		if idx == nil {
+			continue
+		}
+		for k, v := range idx {
+			if v >= 0 {
+				idx[k] = v + lo
+			}
+		}
+		idx[0] = c // strip the context prefix from the whole-match span
+		out = append(out, idx)
+		c = idx[1] - 1 // resume at the match end (the loop increments)
+	}
+	return out
+}
+
+// Byte helpers for candidate checks.
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// isWordByte mirrors regexp's \b word class ([0-9A-Za-z_]); any
+// non-ASCII byte belongs to a non-word rune.
+func isWordByte(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+// startsAtBoundary reports the \b precondition for a match beginning
+// with a word character at text[c].
+func startsAtBoundary(text string, c int) bool {
+	return c == 0 || !isWordByte(text[c-1])
+}
+
+func mkTrigger(bytes string, pred func(c byte) bool) *[256]bool {
+	var t [256]bool
+	for i := 0; i < len(bytes); i++ {
+		t[bytes[i]] = true
+	}
+	if pred != nil {
+		for c := 0; c < 256; c++ {
+			if pred(byte(c)) {
+				t[c] = true
+			}
+		}
+	}
+	return &t
+}
+
+// textStats summarizes one pass over the scanned text with the byte
+// classes the detector gates need. Every field is a *necessary*
+// condition feed: gates compare against regex structure (literal bytes,
+// mandatory digit counts, mandatory keyword alternations), never
+// against anything a regex could match without.
+type textStats struct {
+	hasAt      bool // '@'
+	hasDash    bool // '-'
+	hasSlash   bool // '/'
+	hasColon   bool // ':'
+	hasEq      bool // '='
+	ascii      bool // no byte >= 0x80 (keyword gates need ASCII-only text)
+	digits     int  // total ASCII digit count
+	maxDigRun  int  // longest run of consecutive digits
+	maxAlnmRun int  // longest run of consecutive ASCII alphanumerics
+	lower      string
+}
+
+// keyword reports whether an ASCII-case-insensitive keyword occurs.
+// Non-ASCII text conservatively reports true: Go's (?i) uses Unicode
+// case folding (e.g. U+017F matches 's'), which an ASCII fold cannot
+// see, so gating on keywords is only sound for pure-ASCII input.
+func (st *textStats) keyword(kws ...string) bool {
+	if !st.ascii {
+		return true
+	}
+	for _, kw := range kws {
+		if strings.Contains(st.lower, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+func computeStats(text string) textStats {
+	st := textStats{ascii: true}
+	digRun, alnmRun := 0, 0
+	buf := make([]byte, len(text))
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if c >= 0x80 {
+			st.ascii = false
+		}
+		switch c {
+		case '@':
+			st.hasAt = true
+		case '-':
+			st.hasDash = true
+		case '/':
+			st.hasSlash = true
+		case ':':
+			st.hasColon = true
+		case '=':
+			st.hasEq = true
+		}
+		if c >= '0' && c <= '9' {
+			st.digits++
+			digRun++
+			if digRun > st.maxDigRun {
+				st.maxDigRun = digRun
+			}
+		} else {
+			digRun = 0
+		}
+		if c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+			alnmRun++
+			if alnmRun > st.maxAlnmRun {
+				st.maxAlnmRun = alnmRun
+			}
+		} else {
+			alnmRun = 0
+		}
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		buf[i] = c
+	}
+	st.lower = string(buf)
+	return st
 }
 
 var detectors = buildDetectors()
 
+// disableGates is a test hook: the gate-equivalence test re-runs Scan
+// with every gate ignored and asserts identical findings.
+var disableGates = false
+
 func buildDetectors() []detector {
-	return []detector{
+	isDateSep := func(c byte) bool { return c == '/' || c == '-' }
+	at := func(text string, i int) byte {
+		if i < len(text) {
+			return text[i]
+		}
+		return 0
+	}
+	ds := []detector{
 		{
-			kind: KindEmail,
-			re:   regexp.MustCompile(`[A-Za-z0-9._%+\-]+@[A-Za-z0-9.\-]+\.[A-Za-z]{2,}`),
+			kind:    KindEmail,
+			pattern: (`[A-Za-z0-9._%+\-]+@[A-Za-z0-9.\-]+\.[A-Za-z]{2,}`),
+			gate:    func(st *textStats) bool { return st.hasAt },
 			validate: func([]string) (string, bool) {
 				return "email", true
 			},
 		},
 		{
-			kind: KindCreditCard,
-			re:   regexp.MustCompile(`\b(?:\d[ \-]?){13,19}\b`),
+			kind:    KindCreditCard,
+			pattern: (`\b(?:\d[ \-]?){13,19}\b`),
+			gate:    func(st *textStats) bool { return st.digits >= 13 },
+			// A match starts with a digit right after \b.
+			trigger: mkTrigger("", isDigit),
+			cand:    startsAtBoundary,
 			validate: func(groups []string) (string, bool) {
 				digits := digitsOnly(groups[0])
 				if len(digits) < 13 || len(digits) > 19 || !luhnValid(digits) {
@@ -93,8 +287,15 @@ func buildDetectors() []detector {
 			},
 		},
 		{
-			kind: KindSSN,
-			re:   regexp.MustCompile(`\b(\d{3})-(\d{2})-(\d{4})\b`),
+			kind:    KindSSN,
+			pattern: (`\b(\d{3})-(\d{2})-(\d{4})\b`),
+			gate:    func(st *textStats) bool { return st.digits >= 9 && st.hasDash },
+			// \b then the fixed shape ddd-.
+			trigger: mkTrigger("", isDigit),
+			cand: func(text string, c int) bool {
+				return startsAtBoundary(text, c) && isDigit(at(text, c+1)) &&
+					isDigit(at(text, c+2)) && at(text, c+3) == '-'
+			},
 			validate: func(groups []string) (string, bool) {
 				area := groups[1]
 				if area == "000" || area == "666" || area >= "900" {
@@ -107,16 +308,25 @@ func buildDetectors() []detector {
 			},
 		},
 		{
-			kind: KindEIN,
-			re:   regexp.MustCompile(`\b(\d{2})-(\d{7})\b`),
+			kind:    KindEIN,
+			pattern: (`\b(\d{2})-(\d{7})\b`),
+			gate:    func(st *textStats) bool { return st.digits >= 9 && st.hasDash },
+			// \b then the fixed shape dd-.
+			trigger: mkTrigger("", isDigit),
+			cand: func(text string, c int) bool {
+				return startsAtBoundary(text, c) && isDigit(at(text, c+1)) &&
+					at(text, c+2) == '-'
+			},
 			validate: func(groups []string) (string, bool) {
 				return "ein", true
 			},
 		},
 		{
-			kind:  KindPassword,
-			re:    regexp.MustCompile(`(?i)\b(?:password|passwd|pwd|passphrase)\s*(?:is|:|=)?\s*(\S{3,})`),
-			group: 1,
+			kind:    KindPassword,
+			pattern: (`(?i)\b(?:password|passwd|pwd|passphrase)\s*(?:is|:|=)?\s*(\S{3,})`),
+			group:   1,
+			// Every alternation contains "pass" or "pwd".
+			gate: func(st *textStats) bool { return st.keyword("pass", "pwd") },
 			validate: func(groups []string) (string, bool) {
 				if strings.Contains(groups[1], redactSentinel) {
 					return "", false // already-redacted value
@@ -131,8 +341,10 @@ func buildDetectors() []detector {
 			},
 		},
 		{
-			kind: KindVIN,
-			re:   regexp.MustCompile(`\b[A-HJ-NPR-Za-hj-npr-z0-9]{17}\b`),
+			kind:    KindVIN,
+			pattern: (`\b[A-HJ-NPR-Za-hj-npr-z0-9]{17}\b`),
+			// A match is 17 consecutive ASCII alphanumerics.
+			gate: func(st *textStats) bool { return st.maxAlnmRun >= 17 },
 			validate: func(groups []string) (string, bool) {
 				if !vinValid(strings.ToUpper(groups[0])) {
 					return "", false
@@ -141,9 +353,11 @@ func buildDetectors() []detector {
 			},
 		},
 		{
-			kind:  KindUsername,
-			re:    regexp.MustCompile(`(?i)\b(?:username|user name|login|user id|userid)\s*(?:is|:|=)?\s*(\S{2,})`),
-			group: 1,
+			kind:    KindUsername,
+			pattern: (`(?i)\b(?:username|user name|login|user id|userid)\s*(?:is|:|=)?\s*(\S{2,})`),
+			group:   1,
+			// Every alternation contains "user" or "login".
+			gate: func(st *textStats) bool { return st.keyword("user", "login") },
 			validate: func(groups []string) (string, bool) {
 				if strings.Contains(groups[1], redactSentinel) {
 					return "", false // already-redacted value
@@ -159,16 +373,29 @@ func buildDetectors() []detector {
 			kind: KindZip,
 			// Context-anchored: either "zip[code]: 12345" or a state
 			// abbreviation before it ("Pittsburgh, PA 15213[-1234]").
-			re:    regexp.MustCompile(`(?i)(?:\bzip(?:\s*code)?\s*(?:is|:|=)?\s*|,\s*[A-Z]{2}\s+)(\d{5}(?:-\d{4})?)\b`),
-			group: 1,
+			pattern: (`(?i)(?:\bzip(?:\s*code)?\s*(?:is|:|=)?\s*|,\s*[A-Z]{2}\s+)(\d{5}(?:-\d{4})?)\b`),
+			group:   1,
+			// The capture group needs five consecutive digits.
+			gate: func(st *textStats) bool { return st.maxDigRun >= 5 },
+			// A match starts with "zip" (after \b) or with the comma of the
+			// ", ST " form.
+			trigger: mkTrigger("zZ,", nil),
+			cand: func(text string, c int) bool {
+				return text[c] == ',' || startsAtBoundary(text, c)
+			},
 			validate: func(groups []string) (string, bool) {
 				return "zip", true
 			},
 		},
 		{
-			kind:  KindIDNumber,
-			re:    regexp.MustCompile(`(?i)\b(?:id|identification|member|account|case|employee|record|mrn|policy)\s*(?:number|num|no\.?|#)?\s*(?:is|:|=)\s*([A-Za-z0-9\-]{4,})`),
-			group: 1,
+			kind:    KindIDNumber,
+			pattern: (`(?i)\b(?:id|identification|member|account|case|employee|record|mrn|policy)\s*(?:number|num|no\.?|#)?\s*(?:is|:|=)\s*([A-Za-z0-9\-]{4,})`),
+			group:   1,
+			// "id" covers identification; the (?:is|:|=) part is mandatory.
+			gate: func(st *textStats) bool {
+				return st.keyword("id", "member", "account", "case", "employee", "record", "mrn", "policy") &&
+					(st.hasColon || st.hasEq || st.keyword("is"))
+			},
 			validate: func(groups []string) (string, bool) {
 				if strings.Contains(groups[1], redactSentinel) {
 					return "", false // already-redacted value
@@ -177,33 +404,110 @@ func buildDetectors() []detector {
 			},
 		},
 		{
-			kind: KindPhone,
-			re:   regexp.MustCompile(`(?:\+?1[\-. ]?)?(?:\(\d{3}\)\s?|\d{3}[\-. ])\d{3}[\-. ]\d{4}\b`),
+			kind:    KindPhone,
+			pattern: (`(?:\+?1[\-. ]?)?(?:\(\d{3}\)\s?|\d{3}[\-. ])\d{3}[\-. ]\d{4}\b`),
+			gate:    func(st *textStats) bool { return st.digits >= 10 },
+			// A match starts with '+', '(', the country prefix '1', or a
+			// digit opening the ddd-separator shape (no leading \b here).
+			trigger: mkTrigger("+(", isDigit),
+			cand: func(text string, c int) bool {
+				switch text[c] {
+				case '+', '(', '1':
+					return true
+				}
+				s := at(text, c+3)
+				return isDigit(at(text, c+1)) && isDigit(at(text, c+2)) &&
+					(s == '-' || s == '.' || s == ' ')
+			},
 			validate: func(groups []string) (string, bool) {
 				return "phone", true
 			},
 		},
 		{
 			kind: KindDate,
-			re: regexp.MustCompile(`(?i)\b(?:\d{1,2}[/\-]\d{1,2}[/\-]\d{2,4}` +
+			pattern: (`(?i)\b(?:\d{1,2}[/\-]\d{1,2}[/\-]\d{2,4}` +
 				`|\d{4}-\d{2}-\d{2}` +
 				`|(?:jan|feb|mar|apr|may|jun|jul|aug|sep|oct|nov|dec)[a-z]*\.?\s+\d{1,2}(?:st|nd|rd|th)?,?\s+\d{4})\b`),
+			// Numeric forms need >= 4 digits plus a separator; the month-name
+			// form needs a month keyword and >= 5 digits (day + year).
+			gate: func(st *textStats) bool {
+				if st.digits >= 4 && (st.hasSlash || st.hasDash) {
+					return true
+				}
+				return st.digits >= 5 && st.keyword("jan", "feb", "mar", "apr", "may", "jun",
+					"jul", "aug", "sep", "oct", "nov", "dec")
+			},
+			// A match starts (after \b) with a digit leading into one of the
+			// numeric shapes, or with a month-name prefix pair. 0xC5 opens
+			// U+017F (ſ), which (?i) folds into 's' for "sep".
+			trigger: mkTrigger("jJfFmMaAsSoOnNdD\xC5", isDigit),
+			cand: func(text string, c int) bool {
+				b := text[c]
+				if b >= 0x80 {
+					return true // Unicode fold start; let the probe decide
+				}
+				if !startsAtBoundary(text, c) {
+					return false
+				}
+				if isDigit(b) {
+					return isDateSep(at(text, c+1)) || isDateSep(at(text, c+2)) ||
+						isDigit(at(text, c+1)) && isDigit(at(text, c+2)) &&
+							isDigit(at(text, c+3)) && at(text, c+4) == '-'
+				}
+				l1 := at(text, c+1) | 0x20
+				switch b | 0x20 {
+				case 'j':
+					return l1 == 'a' || l1 == 'u'
+				case 'f', 's', 'd':
+					return l1 == 'e'
+				case 'm':
+					return l1 == 'a'
+				case 'a':
+					return l1 == 'p' || l1 == 'u'
+				case 'o':
+					return l1 == 'c'
+				case 'n':
+					return l1 == 'o'
+				}
+				return false
+			},
 			validate: func(groups []string) (string, bool) {
 				return "date", true
 			},
 		},
 	}
+	for i := range ds {
+		ds[i].re = regexp.MustCompile(ds[i].pattern)
+		if ds[i].trigger != nil {
+			ds[i].anchored, ds[i].anchored0 = anchor(ds[i].pattern)
+		}
+	}
+	return ds
 }
 
 // Scan detects all sensitive identifiers in text. Overlapping findings of
 // different kinds are all reported (an email address inside a username
-// assignment is both); identical spans of the same kind are deduplicated.
+// assignment is both). Duplicate (kind, span) pairs cannot arise: each
+// kind has one regex, FindAll matches of one regex never overlap, and a
+// capture group's span lies inside its match's span — so group spans are
+// distinct across a detector's matches.
+//
+// Before any regex runs, one pass over the text collects byte-class
+// statistics and each detector's gate checks a necessary condition
+// (a literal trigger byte, a mandatory digit count or run, a keyword
+// from a mandatory alternation). A gate only skips a regex that cannot
+// match, so gating never drops a finding.
 func Scan(text string) []Finding {
+	st := computeStats(text)
 	var out []Finding
-	seen := make(map[string]bool)
-	for _, d := range detectors {
-		for _, idx := range d.re.FindAllStringSubmatchIndex(text, -1) {
-			groups := submatchStrings(text, idx)
+	var gbuf [4]string // widest detector has 3 capture groups + whole
+	for i := range detectors {
+		d := &detectors[i]
+		if !disableGates && d.gate != nil && !d.gate(&st) {
+			continue
+		}
+		for _, idx := range d.findAll(text, !disableGates) {
+			groups := submatchInto(gbuf[:0], text, idx)
 			label, ok := "", true
 			if d.validate != nil {
 				label, ok = d.validate(groups)
@@ -212,11 +516,6 @@ func Scan(text string) []Finding {
 				continue
 			}
 			gs, ge := idx[2*d.group], idx[2*d.group+1]
-			key := fmt.Sprintf("%s/%d-%d", d.kind, gs, ge)
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
 			out = append(out, Finding{
 				Kind: d.kind, Match: text[gs:ge], Start: gs, End: ge, Label: label,
 			})
@@ -266,7 +565,10 @@ func (s *Sanitizer) hashToken(label, match string) string {
 	h := sha256.New()
 	h.Write(s.salt)
 	h.Write([]byte(match))
-	return fmt.Sprintf("%s%s*%s%s", redactSentinel, label, hex.EncodeToString(h.Sum(nil))[:16], redactSentinel)
+	var sum [sha256.Size]byte
+	var hexBuf [16]byte
+	hex.Encode(hexBuf[:], h.Sum(sum[:0])[:8])
+	return redactSentinel + label + "*" + string(hexBuf[:]) + redactSentinel
 }
 
 // Redact replaces every finding in text with its salted-hash token and
@@ -280,7 +582,7 @@ func (s *Sanitizer) Redact(text string) (string, []Finding) {
 		start, end int
 		token      string
 	}
-	var spans []span
+	spans := make([]span, 0, len(findings))
 	covered := func(st, en int) bool {
 		for _, sp := range spans {
 			if st < sp.end && en > sp.start {
@@ -305,13 +607,20 @@ func (s *Sanitizer) Redact(text string) (string, []Finding) {
 		}
 		spans = append(spans, span{f.Start, f.End, s.hashToken(f.Label, f.Match)})
 	}
-	sort.Slice(spans, func(i, j int) bool { return spans[i].start > spans[j].start })
-	out := text
+	// Splice all replacements in one left-to-right pass; spans never
+	// overlap (covered rejected them), so this equals the back-to-front
+	// repeated-concat result without the quadratic copying.
+	sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+	var sb strings.Builder
+	sb.Grow(len(text) + len(spans)*(2*len(redactSentinel)+24))
+	pos := 0
 	for _, sp := range spans {
-		out = out[:sp.start] + sp.token + out[sp.end:]
+		sb.WriteString(text[pos:sp.start])
+		sb.WriteString(sp.token)
+		pos = sp.end
 	}
-	out = zeroDigitsOutsideTokens(out)
-	return out, findings
+	sb.WriteString(text[pos:])
+	return zeroDigitsOutsideTokens(sb.String()), findings
 }
 
 // zeroDigitsOutsideTokens zeroes every digit not inside a *_|R|_* token.
@@ -478,12 +787,15 @@ func LuhnComplete(partial string) string {
 	return partial + "0" // unreachable: some digit always satisfies Luhn
 }
 
-func submatchStrings(text string, idx []int) []string {
-	out := make([]string, len(idx)/2)
+// submatchInto fills dst (reused across matches) with the submatch
+// strings for one FindAllStringSubmatchIndex entry.
+func submatchInto(dst []string, text string, idx []int) []string {
 	for i := 0; i < len(idx); i += 2 {
+		s := ""
 		if idx[i] >= 0 {
-			out[i/2] = text[idx[i]:idx[i+1]]
+			s = text[idx[i]:idx[i+1]]
 		}
+		dst = append(dst, s)
 	}
-	return out
+	return dst
 }

@@ -70,73 +70,115 @@ func Generate(target string, opts Options) []Typo {
 	if sld == "" {
 		return nil
 	}
-	seen := make(map[string]Typo)
-	emit := func(label string, op distance.EditOp, pos int) {
-		if !validLabel(label) || label == sld {
+	rs := []rune(sld)
+	tldRunes := []rune(tld)
+
+	// Upper bound on raw candidates: deletions + transpositions +
+	// substitutions + additions.
+	n := len(rs)
+	capEst := n + n + n*len(alphabet) + (n+1)*len(alphabet)
+	type cand struct {
+		domain string // label + "." + tld; the label is domain[:labelLen]
+		label  string
+		op     distance.EditOp
+		pos    int
+	}
+	cands := make([]cand, 0, capEst)
+
+	// One domain buffer reused across candidates: the only per-candidate
+	// allocation is the domain string itself; the label is a free
+	// substring of it.
+	domBuf := make([]rune, 0, n+2+len(tldRunes))
+	add := func(labelRunes []rune, op distance.EditOp, pos int) {
+		if !validLabelRunes(labelRunes) || runesEqual(labelRunes, rs) {
 			return
 		}
-		domain := label
-		if tld != "" {
-			domain = label + "." + tld
+		var domain, label string
+		if tld == "" {
+			domain = string(labelRunes)
+			label = domain
+		} else {
+			domBuf = append(domBuf[:0], labelRunes...)
+			domBuf = append(domBuf, '.')
+			domBuf = append(domBuf, tldRunes...)
+			domain = string(domBuf)
+			label = domain[:len(domain)-len(tld)-1]
 		}
-		if _, dup := seen[domain]; dup {
-			return
-		}
-		ff := distance.IsFatFinger1(sld, label)
-		if opts.FatFingerOnly && !ff {
-			return
-		}
-		vis, _ := distance.VisualEditCost(sld, label)
-		if opts.MaxVisual > 0 && vis > opts.MaxVisual {
-			return
-		}
-		seen[domain] = Typo{
-			Target: target, Domain: domain,
-			Op: op, Position: pos, FatFinger: ff, Visual: vis,
-		}
+		cands = append(cands, cand{domain: domain, label: label, op: op, pos: pos})
 	}
 
-	rs := []rune(sld)
 	if opts.Deletions {
+		buf := make([]rune, n-1)
 		for i := range rs {
-			emit(string(rs[:i])+string(rs[i+1:]), distance.OpDeletion, i)
+			copy(buf, rs[:i])
+			copy(buf[i:], rs[i+1:])
+			add(buf, distance.OpDeletion, i)
 		}
 	}
 	if opts.Transpositions {
-		for i := 0; i+1 < len(rs); i++ {
+		buf := make([]rune, n)
+		for i := 0; i+1 < n; i++ {
 			if rs[i] == rs[i+1] {
 				continue
 			}
-			t := append([]rune(nil), rs...)
-			t[i], t[i+1] = t[i+1], t[i]
-			emit(string(t), distance.OpTransposition, i)
+			copy(buf, rs)
+			buf[i], buf[i+1] = buf[i+1], buf[i]
+			add(buf, distance.OpTransposition, i)
 		}
 	}
 	if opts.Substitutions {
+		buf := make([]rune, n)
+		copy(buf, rs)
 		for i := range rs {
 			for _, c := range alphabet {
 				if c == rs[i] {
 					continue
 				}
-				t := append([]rune(nil), rs...)
-				t[i] = c
-				emit(string(t), distance.OpSubstitution, i)
+				buf[i] = c
+				add(buf, distance.OpSubstitution, i)
 			}
+			buf[i] = rs[i]
 		}
 	}
 	if opts.Additions {
-		for i := 0; i <= len(rs); i++ {
+		buf := make([]rune, n+1)
+		for i := 0; i <= n; i++ {
+			copy(buf, rs[:i])
+			copy(buf[i+1:], rs[i:])
 			for _, c := range alphabet {
-				emit(string(rs[:i])+string(c)+string(rs[i:]), distance.OpAddition, i)
+				buf[i] = c
+				add(buf, distance.OpAddition, i)
 			}
 		}
 	}
 
-	out := make([]Typo, 0, len(seen))
-	for _, t := range seen {
-		out = append(out, t)
+	// Sort-based dedupe replacing the old map: a stable sort by domain
+	// keeps duplicates in emission order, so taking the first of each
+	// group preserves the map's first-emission-wins Op/Position choice.
+	// The fat-finger and visual filters depend only on (sld, label),
+	// which duplicates share, so filtering after dedupe is equivalent to
+	// the old filter-then-insert order — and does strictly less work.
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].domain < cands[j].domain })
+	out := make([]Typo, 0, len(cands))
+	prev := ""
+	for _, c := range cands {
+		if c.domain == prev {
+			continue
+		}
+		prev = c.domain
+		ff := distance.IsFatFinger1(sld, c.label)
+		if opts.FatFingerOnly && !ff {
+			continue
+		}
+		vis, _ := distance.VisualEditCost(sld, c.label)
+		if opts.MaxVisual > 0 && vis > opts.MaxVisual {
+			continue
+		}
+		out = append(out, Typo{
+			Target: target, Domain: c.domain,
+			Op: c.op, Position: c.pos, FatFinger: ff, Visual: vis,
+		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
 	return out
 }
 
@@ -206,6 +248,37 @@ func validLabel(s string) bool {
 	}
 	for _, r := range s {
 		if !strings.ContainsRune(alphabet, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelRunes is validLabel on a rune slice, so candidate labels can
+// be rejected before any string is allocated. The length limit stays in
+// bytes: every alphabet rune is one byte, and any non-ASCII rune fails
+// the alphabet test anyway.
+func validLabelRunes(rs []rune) bool {
+	if len(rs) == 0 || len(rs) > 63 {
+		return false
+	}
+	if rs[0] == '-' || rs[len(rs)-1] == '-' {
+		return false
+	}
+	for _, r := range rs {
+		if !strings.ContainsRune(alphabet, r) {
+			return false
+		}
+	}
+	return true
+}
+
+func runesEqual(a, b []rune) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
 			return false
 		}
 	}
