@@ -7,12 +7,26 @@
 // Only the standard benchmark metrics are kept (iterations, ns/op,
 // B/op, allocs/op); custom ReportMetric columns are ignored. Header
 // lines (goos/goarch/cpu/pkg) become metadata on the enclosing object.
+//
+// With -compare the command stops being a filter and becomes the
+// regression gate:
+//
+//	benchjson -compare old.json new.json [-threshold 20] [-metric both]
+//
+// Benchmarks are matched by (pkg, name); any whose ns/op or allocs/op
+// grew by more than the threshold percentage prints a REGRESSION line
+// and makes the exit status 1. -metric restricts the judged metrics to
+// "ns", "allocs", or "both" — CI compares allocs only, since alloc
+// counts are deterministic while wall-clock on a shared runner is not.
+// Exit status: 0 clean, 1 regressions found, 2 usage or load errors.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -39,21 +53,140 @@ type Snapshot struct {
 }
 
 func main() {
-	snap, err := parse(bufio.NewScanner(os.Stdin))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	compare := fs.Bool("compare", false, "compare two snapshot files (old.json new.json) instead of parsing stdin")
+	threshold := fs.Float64("threshold", 20, "regression threshold in percent for -compare")
+	metric := fs.String("metric", "both", "metrics judged by -compare: ns, allocs or both")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *compare {
+		if *metric != "ns" && *metric != "allocs" && *metric != "both" {
+			fmt.Fprintf(stderr, "benchjson: unknown metric %q (want ns, allocs or both)\n", *metric)
+			return 2
+		}
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "benchjson: -compare wants exactly two snapshot files: old.json new.json")
+			return 2
+		}
+		return runCompare(fs.Arg(0), fs.Arg(1), *threshold, *metric, stdout, stderr)
+	}
+
+	snap, err := parse(bufio.NewScanner(stdin))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
 	}
 	if len(snap.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines on stdin")
+		return 2
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(snap); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
 	}
+	return 0
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+type benchKey struct {
+	pkg, name string
+}
+
+// runCompare judges new against old and reports regressions beyond the
+// threshold percentage. Benchmarks present on only one side are noted
+// but never fail the gate — renames and additions are not regressions.
+func runCompare(oldPath, newPath string, threshold float64, metric string, stdout, stderr io.Writer) int {
+	oldSnap, err := readSnapshot(oldPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	newSnap, err := readSnapshot(newPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+
+	olds := make(map[benchKey]Benchmark, len(oldSnap.Benchmarks))
+	for _, b := range oldSnap.Benchmarks {
+		olds[benchKey{b.Pkg, b.Name}] = b
+	}
+
+	regressions, compared := 0, 0
+	seen := make(map[benchKey]bool)
+	for _, nb := range newSnap.Benchmarks {
+		k := benchKey{nb.Pkg, nb.Name}
+		seen[k] = true
+		ob, ok := olds[k]
+		if !ok {
+			fmt.Fprintf(stdout, "new        %s %s (no baseline entry)\n", nb.Pkg, nb.Name)
+			continue
+		}
+		compared++
+		if metric == "ns" || metric == "both" {
+			if regressed(ob.NsPerOp, nb.NsPerOp, threshold) {
+				regressions++
+				fmt.Fprintf(stdout, "REGRESSION %s %s ns/op %.1f -> %.1f (%s, threshold %.0f%%)\n",
+					nb.Pkg, nb.Name, ob.NsPerOp, nb.NsPerOp, pctChange(ob.NsPerOp, nb.NsPerOp), threshold)
+			}
+		}
+		if metric == "allocs" || metric == "both" {
+			if regressed(float64(ob.AllocsPerOp), float64(nb.AllocsPerOp), threshold) {
+				regressions++
+				fmt.Fprintf(stdout, "REGRESSION %s %s allocs/op %d -> %d (%s, threshold %.0f%%)\n",
+					nb.Pkg, nb.Name, ob.AllocsPerOp, nb.AllocsPerOp, pctChange(float64(ob.AllocsPerOp), float64(nb.AllocsPerOp)), threshold)
+			}
+		}
+	}
+	for _, ob := range oldSnap.Benchmarks {
+		if !seen[benchKey{ob.Pkg, ob.Name}] {
+			fmt.Fprintf(stdout, "missing    %s %s (in baseline, not in new run)\n", ob.Pkg, ob.Name)
+		}
+	}
+
+	fmt.Fprintf(stderr, "benchjson: compared %d benchmark(s), %d regression(s) beyond %.0f%% (%s)\n",
+		compared, regressions, threshold, metric)
+	if regressions > 0 {
+		return 1
+	}
+	return 0
+}
+
+// regressed: cur exceeds old by more than threshold percent. A metric
+// that was zero and became nonzero is always a regression — there is no
+// percentage of zero.
+func regressed(old, cur, threshold float64) bool {
+	if old == 0 {
+		return cur > 0
+	}
+	return cur > old*(1+threshold/100)
+}
+
+func pctChange(old, cur float64) string {
+	if old == 0 {
+		return "was 0"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(cur-old)/old)
 }
 
 func parse(sc *bufio.Scanner) (*Snapshot, error) {

@@ -2,6 +2,10 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -54,5 +58,120 @@ func TestParseEmpty(t *testing.T) {
 	}
 	if len(snap.Benchmarks) != 0 {
 		t.Errorf("got %d benchmarks, want 0", len(snap.Benchmarks))
+	}
+}
+
+// --- -compare regression gate ---
+
+func writeSnap(t *testing.T, dir, name string, benches ...Benchmark) string {
+	t.Helper()
+	data, err := json.Marshal(Snapshot{Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(pkg, name string, ns float64, allocs int64) Benchmark {
+	return Benchmark{Pkg: pkg, Name: name, Iterations: 100, NsPerOp: ns, BytesPerOp: 8, AllocsPerOp: allocs}
+}
+
+func runArgs(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(""), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", bench("repro/internal/sanitize", "BenchmarkRedact-8", 1000, 10))
+	cur := writeSnap(t, dir, "new.json", bench("repro/internal/sanitize", "BenchmarkRedact-8", 1100, 10)) // +10%
+	code, _, errOut := runArgs(t, "-compare", old, cur)
+	if code != 0 {
+		t.Fatalf("within threshold: exit %d\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "compared 1 benchmark(s), 0 regression(s)") {
+		t.Fatalf("summary missing:\n%s", errOut)
+	}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", bench("repro/internal/sanitize", "BenchmarkRedact-8", 1000, 10))
+	cur := writeSnap(t, dir, "new.json", bench("repro/internal/sanitize", "BenchmarkRedact-8", 1500, 10)) // +50%
+	code, out, _ := runArgs(t, "-compare", old, cur)
+	if code != 1 {
+		t.Fatalf("regression: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "ns/op 1000.0 -> 1500.0") {
+		t.Fatalf("missing regression line:\n%s", out)
+	}
+}
+
+func TestCompareAllocsOnlyIgnoresNsNoise(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", bench("repro/internal/typogen", "BenchmarkGen-8", 1000, 10))
+	cur := writeSnap(t, dir, "new.json", bench("repro/internal/typogen", "BenchmarkGen-8", 9000, 10)) // 9x slower, same allocs
+	if code, out, _ := runArgs(t, "-compare", "-metric", "allocs", old, cur); code != 0 {
+		t.Fatalf("allocs-only must ignore wall-clock noise: exit %d\n%s", code, out)
+	}
+	if code, _, _ := runArgs(t, "-compare", "-metric", "both", old, cur); code != 1 {
+		t.Fatal("metric=both must catch the ns regression")
+	}
+}
+
+func TestCompareAllocsFromZeroRegresses(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", bench("repro/internal/par", "BenchmarkMap-8", 100, 0))
+	cur := writeSnap(t, dir, "new.json", bench("repro/internal/par", "BenchmarkMap-8", 100, 3))
+	code, out, _ := runArgs(t, "-compare", "-metric", "allocs", old, cur)
+	if code != 1 {
+		t.Fatalf("0 -> 3 allocs must regress: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "allocs/op 0 -> 3 (was 0") {
+		t.Fatalf("missing was-0 annotation:\n%s", out)
+	}
+}
+
+func TestCompareThresholdFlag(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", bench("repro/internal/stats", "BenchmarkShares-8", 1000, 10))
+	cur := writeSnap(t, dir, "new.json", bench("repro/internal/stats", "BenchmarkShares-8", 1300, 10)) // +30%
+	if code, _, _ := runArgs(t, "-compare", "-threshold", "50", old, cur); code != 0 {
+		t.Fatal("+30% within a 50% threshold must pass")
+	}
+	if code, _, _ := runArgs(t, "-compare", "-threshold", "20", old, cur); code != 1 {
+		t.Fatal("+30% beyond a 20% threshold must fail")
+	}
+}
+
+func TestCompareMissingAndNewAreNotes(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", bench("repro/internal/a", "BenchmarkGone-8", 100, 1))
+	cur := writeSnap(t, dir, "new.json", bench("repro/internal/b", "BenchmarkFresh-8", 100, 1))
+	code, out, _ := runArgs(t, "-compare", old, cur)
+	if code != 0 {
+		t.Fatalf("renames are not regressions: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "new        repro/internal/b BenchmarkFresh-8") ||
+		!strings.Contains(out, "missing    repro/internal/a BenchmarkGone-8") {
+		t.Fatalf("missing notes:\n%s", out)
+	}
+}
+
+func TestCompareUsageErrors(t *testing.T) {
+	if code, _, _ := runArgs(t, "-compare", "only-one.json"); code != 2 {
+		t.Fatal("one file must be a usage error")
+	}
+	if code, _, _ := runArgs(t, "-compare", "-metric", "bogus", "a.json", "b.json"); code != 2 {
+		t.Fatal("bad metric must be a usage error")
+	}
+	if code, _, _ := runArgs(t, "-compare", "nope1.json", "nope2.json"); code != 2 {
+		t.Fatal("unreadable files must exit 2")
 	}
 }

@@ -63,6 +63,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("collector: %v", err)
 	}
+	defer v.Close()
 	sanitizer := sanitize.New(*salt)
 	classifier := spamfilter.NewClassifier(spamfilter.Config{OurDomains: ourDomains})
 

@@ -3,13 +3,16 @@
 // go/ast and go/types, that machine-check the study's safety invariants
 // — sanitize-before-store taint flow, lock copies, leaked context
 // cancels, dropped I/O errors, wall-clock reads in deterministic
-// simulation code, and the flow-sensitive concurrency invariants
-// (goroutine exit ties, module-wide lock ordering, bounded spawns in
-// loops) built on the internal/lint/cfg control-flow graphs.
+// simulation code, the flow-sensitive concurrency invariants (goroutine
+// exit ties, module-wide lock ordering, bounded spawns in loops), and
+// the value-flow determinism and resource-safety checks (map-order
+// leaks, seed derivation, Closer leaks, deadline domination) built on
+// the internal/lint/cfg control-flow and def-use layers.
 //
 // Usage:
 //
-//	repolint [-list] [-run analyzer[,analyzer]] [-format text|json] [packages]
+//	repolint [-list] [-run analyzer[,analyzer]] [-format text|json|sarif]
+//	         [-baseline file] [-write-baseline file] [packages]
 //
 // Packages default to ./... relative to the working directory. In the
 // default text format findings print one per line as
@@ -17,15 +20,25 @@
 //	file:line: [analyzer] message
 //
 // With -format=json each finding is one JSON object on its own line
-// ({"file","line","column","analyzer","message"}), suitable for CI
-// consumption; the human summary still goes to stderr. The exit status
-// is 1 when there are findings, 2 on usage or load errors, and 0 on a
-// clean tree.
+// ({"file","line","column","analyzer","symbol","message"}), and with
+// -format=sarif the whole report is a SARIF 2.1.0 document for CI
+// annotation upload; the human summary still goes to stderr.
+//
+// -baseline applies the committed ratchet file: findings covered by a
+// baseline allowance (keyed analyzer+file+symbol) are suppressed, so
+// only *new* findings fail the build while pre-existing ones are burned
+// down. -write-baseline regenerates that file from the current tree.
+//
+// Exit status: 0 on a clean tree, 1 when analyzer findings remain, 2 on
+// usage or load/parse errors, and 3 when the only remaining findings
+// are stale-waiver hygiene findings (a //repolint:allow that no longer
+// suppresses anything).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -37,17 +50,19 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list registered analyzers and exit")
 	only := fs.String("run", "", "comma-separated subset of analyzers to run (default: all)")
-	format := fs.String("format", "text", "output format: text or json (newline-delimited objects)")
+	format := fs.String("format", "text", "output format: text, json (newline-delimited objects) or sarif")
+	baselinePath := fs.String("baseline", "", "suppress findings covered by this baseline file (the ratchet)")
+	writeBaseline := fs.String("write-baseline", "", "write the current findings as a baseline file and exit 0")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *format != "text" && *format != "json" {
-		fmt.Fprintf(stderr, "repolint: unknown format %q (want text or json)\n", *format)
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fmt.Fprintf(stderr, "repolint: unknown format %q (want text, json or sarif)\n", *format)
 		return 2
 	}
 
@@ -88,21 +103,75 @@ func run(args []string, stdout, stderr *os.File) int {
 		if err != nil || strings.HasPrefix(rel, "..") {
 			return name
 		}
-		return rel
+		return filepath.ToSlash(rel)
 	}
-	if *format == "json" {
+
+	if *writeBaseline != "" {
+		b := lint.NewBaseline(findings, relpath)
+		if err := lint.WriteBaselineFile(*writeBaseline, b); err != nil {
+			fmt.Fprintf(stderr, "repolint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "repolint: wrote %d baseline entr%s covering %d finding(s) to %s\n",
+			len(b.Entries), plural(len(b.Entries), "y", "ies"), len(findings), *writeBaseline)
+		return 0
+	}
+
+	suppressed := 0
+	if *baselinePath != "" {
+		b, err := lint.ReadBaselineFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "repolint: %v\n", err)
+			return 2
+		}
+		findings, suppressed = lint.ApplyBaseline(b, findings, relpath)
+	}
+
+	switch *format {
+	case "json":
 		if err := lint.WriteJSON(stdout, findings, relpath); err != nil {
 			fmt.Fprintf(stderr, "repolint: %v\n", err)
 			return 2
 		}
-	} else {
+	case "sarif":
+		if err := lint.WriteSARIF(stdout, findings, relpath); err != nil {
+			fmt.Fprintf(stderr, "repolint: %v\n", err)
+			return 2
+		}
+	default:
 		for _, f := range findings {
 			fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", relpath(f.Pos.Filename), f.Pos.Line, f.Analyzer, f.Message)
 		}
 	}
+	if suppressed > 0 {
+		fmt.Fprintf(stderr, "repolint: %d baselined finding(s) suppressed\n", suppressed)
+	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "repolint: %d finding(s) in %d package(s)\n", len(findings), len(targets))
+		if staleWaiversOnly(findings) {
+			return 3
+		}
 		return 1
 	}
 	return 0
+}
+
+// staleWaiversOnly reports whether every remaining finding is waiver
+// hygiene (a stale //repolint:allow) rather than an analyzer finding —
+// worth its own exit code so CI can treat "clean tree, dead waiver" as
+// a different failure from a real regression.
+func staleWaiversOnly(findings []lint.Finding) bool {
+	for _, f := range findings {
+		if f.Analyzer != "directive" || !strings.HasPrefix(f.Message, "stale waiver:") {
+			return false
+		}
+	}
+	return true
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a fixture module in a temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// inDir chdirs into dir for the duration of the test; run() resolves
+// the module from the working directory.
+func inDir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+const goMod = "module repro\n\ngo 1.22\n"
+
+const cleanFile = `package clean
+
+// Touched reports whether s is non-empty.
+func Touched(s string) bool { return s != "" }
+`
+
+// droppedErr trips errdrop: the os.Remove error is silently discarded.
+const droppedErr = `package resolve
+
+import "os"
+
+func Cleanup(name string) {
+	os.Remove(name)
+}
+`
+
+func runIn(t *testing.T, dir string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	inDir(t, dir)
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitCleanTree(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":                  goMod,
+		"internal/clean/clean.go": cleanFile,
+	})
+	code, out, _ := runIn(t, dir, "./...")
+	if code != 0 {
+		t.Fatalf("clean tree: exit %d, want 0\n%s", code, out)
+	}
+}
+
+func TestExitFindings(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":                      "module repro\n\ngo 1.22\n",
+		"internal/resolve/resolve.go": droppedErr,
+	})
+	code, out, _ := runIn(t, dir, "./...")
+	if code != 1 {
+		t.Fatalf("findings: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "[errdrop]") {
+		t.Fatalf("findings output missing errdrop finding:\n%s", out)
+	}
+}
+
+func TestExitLoadFailure(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":                  goMod,
+		"internal/broke/broke.go": "package broke\n\nfunc (", // syntax error
+	})
+	code, _, errOut := runIn(t, dir, "./...")
+	if code != 2 {
+		t.Fatalf("load failure: exit %d, want 2\n%s", code, errOut)
+	}
+}
+
+func TestExitUsageFailure(t *testing.T) {
+	dir := writeTree(t, map[string]string{"go.mod": goMod})
+	if code, _, _ := runIn(t, dir, "-format=xml", "./..."); code != 2 {
+		t.Fatalf("bad format: exit %d, want 2", code)
+	}
+	if code, _, _ := runIn(t, dir, "-run=nosuch", "./..."); code != 2 {
+		t.Fatalf("unknown analyzer: exit %d, want 2", code)
+	}
+}
+
+func TestExitStaleWaiverOnly(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": goMod,
+		"internal/clean/clean.go": `package clean
+
+// Touched reports whether s is non-empty.
+//repolint:allow errdrop nothing here drops an error, so this waiver is dead
+func Touched(s string) bool { return s != "" }
+`,
+	})
+	code, out, _ := runIn(t, dir, "./...")
+	if code != 3 {
+		t.Fatalf("stale waiver only: exit %d, want 3\n%s", code, out)
+	}
+	if !strings.Contains(out, "stale waiver") {
+		t.Fatalf("output missing stale-waiver finding:\n%s", out)
+	}
+}
+
+// A stale waiver next to a real finding is an ordinary failure (1), not
+// the stale-waiver-only code.
+func TestStaleWaiverPlusFindingIsOne(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":                      "module repro\n\ngo 1.22\n",
+		"internal/resolve/resolve.go": droppedErr,
+		"internal/clean/clean.go": `package clean
+
+//repolint:allow errdrop dead waiver
+func Touched(s string) bool { return s != "" }
+`,
+	})
+	if code, out, _ := runIn(t, dir, "./..."); code != 1 {
+		t.Fatalf("mixed: exit %d, want 1\n%s", code, out)
+	}
+}
+
+func TestBaselineRatchet(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":                      "module repro\n\ngo 1.22\n",
+		"internal/resolve/resolve.go": droppedErr,
+	})
+	base := filepath.Join(dir, "base.json")
+	if code, _, errOut := runIn(t, dir, "-write-baseline", base, "./..."); code != 0 {
+		t.Fatalf("write-baseline: exit %d\n%s", code, errOut)
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"symbol": "Cleanup"`) {
+		t.Fatalf("baseline not keyed by symbol:\n%s", data)
+	}
+
+	// Ratchet holds: the baselined finding no longer fails the run.
+	code, out, errOut := runIn(t, dir, "-baseline", base, "./...")
+	if code != 0 {
+		t.Fatalf("baselined run: exit %d, want 0\n%s%s", code, out, errOut)
+	}
+	if !strings.Contains(errOut, "1 baselined finding(s) suppressed") {
+		t.Fatalf("missing suppression summary:\n%s", errOut)
+	}
+
+	// A second finding in the same symbol exceeds the allowance and
+	// fails — the count ratchets, not just the key.
+	over := strings.Replace(droppedErr, "os.Remove(name)", "os.Remove(name)\n\tos.Remove(name)", 1)
+	if err := os.WriteFile(filepath.Join(dir, "internal/resolve/resolve.go"), []byte(over), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = runIn(t, dir, "-baseline", base, "./...")
+	if code != 1 {
+		t.Fatalf("over-allowance run: exit %d, want 1\n%s", code, out)
+	}
+	if got := strings.Count(out, "[errdrop]"); got != 1 {
+		t.Fatalf("want exactly the 1 new finding kept, got %d:\n%s", got, out)
+	}
+}
+
+func TestBaselineMissingFileFails(t *testing.T) {
+	dir := writeTree(t, map[string]string{"go.mod": goMod})
+	if code, _, _ := runIn(t, dir, "-baseline", "nonexistent.json", "./..."); code != 2 {
+		t.Fatalf("missing baseline: exit %d, want 2", code)
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":                      "module repro\n\ngo 1.22\n",
+		"internal/resolve/resolve.go": droppedErr,
+	})
+	code, out, _ := runIn(t, dir, "-format=sarif", "./...")
+	if code != 1 {
+		t.Fatalf("sarif run: exit %d, want 1", code)
+	}
+	for _, want := range []string{`"version": "2.1.0"`, `"ruleId": "errdrop"`, `"uri": "internal/resolve/resolve.go"`, `"startLine": 6`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sarif output missing %s:\n%s", want, out)
+		}
+	}
+}

@@ -12,8 +12,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
+	"repro/internal/distance"
 	"repro/internal/typogen"
 )
 
@@ -61,9 +63,14 @@ func main() {
 		fmt.Printf("%-26s %-14s %3d %-5v %.2f\n", t.Domain, t.Op, t.Position, t.FatFinger, t.Visual)
 	}
 	byOp := typogen.CountByOp(typos)
+	classes := make([]distance.EditOp, 0, len(byOp))
+	for op := range byOp {
+		classes = append(classes, op)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
 	fmt.Printf("# per class:")
-	for op, n := range byOp {
-		fmt.Printf(" %s=%d", op, n)
+	for _, op := range classes {
+		fmt.Printf(" %s=%d", op, byOp[op])
 	}
 	fmt.Println()
 }

@@ -124,6 +124,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer v.Close()
 	sensitive := 0
 	for _, r := range results {
 		if !r.Verdict.IsTrueTypo() {

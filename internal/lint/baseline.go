@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A Baseline is the committed ledger of accepted pre-existing findings:
+// new analyzers land at zero *new* findings while the debt they surface
+// is burned down over time. Entries key on (analyzer, file, symbol) —
+// not the line number — so unrelated churn in the same file does not
+// invalidate them, and carry a count so a function cannot silently grow
+// more findings of the same kind.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry grants count findings of one analyzer in one symbol.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Symbol   string `json:"symbol,omitempty"`
+	Count    int    `json:"count"`
+}
+
+type baselineKey struct {
+	analyzer, file, symbol string
+}
+
+// NewBaseline aggregates findings into baseline entries, sorted so the
+// serialized form is deterministic and diffs reviewably.
+func NewBaseline(findings []Finding, rel func(string) string) *Baseline {
+	counts := make(map[baselineKey]int)
+	for _, f := range findings {
+		counts[baselineKey{f.Analyzer, rel(f.Pos.Filename), f.Symbol}]++
+	}
+	b := &Baseline{}
+	for k, n := range counts {
+		b.Entries = append(b.Entries, BaselineEntry{Analyzer: k.analyzer, File: k.file, Symbol: k.symbol, Count: n})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		ei, ej := b.Entries[i], b.Entries[j]
+		if ei.File != ej.File {
+			return ei.File < ej.File
+		}
+		if ei.Symbol != ej.Symbol {
+			return ei.Symbol < ej.Symbol
+		}
+		return ei.Analyzer < ej.Analyzer
+	})
+	return b
+}
+
+// ReadBaselineFile loads a baseline written by WriteBaselineFile.
+func ReadBaselineFile(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaselineFile serializes the baseline, indented for review.
+func WriteBaselineFile(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ApplyBaseline is the ratchet: findings covered by a baseline
+// allowance are suppressed (consuming the allowance), everything else —
+// new findings, or old ones beyond their granted count — is kept.
+// Findings arrive position-sorted from Run, so which instances consume
+// a partial allowance is deterministic.
+func ApplyBaseline(b *Baseline, findings []Finding, rel func(string) string) (kept []Finding, suppressed int) {
+	remaining := make(map[baselineKey]int, len(b.Entries))
+	for _, e := range b.Entries {
+		remaining[baselineKey{e.Analyzer, e.File, e.Symbol}] += e.Count
+	}
+	for _, f := range findings {
+		k := baselineKey{f.Analyzer, rel(f.Pos.Filename), f.Symbol}
+		if remaining[k] > 0 {
+			remaining[k]--
+			suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, suppressed
+}

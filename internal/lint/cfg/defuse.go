@@ -1,0 +1,284 @@
+// Def-use layer: per-variable reaching definitions over the basic-block
+// graph. Like the graph itself this file is purely syntactic — it does
+// not know what an identifier denotes. The caller supplies an objOf
+// resolver (typically backed by go/types Defs/Uses) mapping identifiers
+// to canonical variable identities; any comparable value works, which
+// keeps the package free of a go/types dependency and lets tests
+// resolve idents by name.
+//
+// A definition is recorded for every syntactic binding the builder can
+// see: `=` and `:=` assignments (including tuple and op-assign forms),
+// `var` declarations, `++`/`--`, and range key/value bindings. The
+// solver runs the classic gen/kill fixpoint at block granularity and
+// answers queries at statement granularity: DefsReaching(stmt, obj)
+// returns every definition of obj that can still be live immediately
+// before stmt executes. An empty answer means the variable is ambient
+// at that point — a parameter, a captured or package-level variable, or
+// anything else bound outside the graph's function body.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// DefSite is one definition of one variable.
+type DefSite struct {
+	// Obj is the variable identity the resolver assigned to the bound
+	// identifier.
+	Obj any
+	// Stmt is the defining statement (AssignStmt, DeclStmt, IncDecStmt,
+	// or the RangeStmt for range bindings).
+	Stmt ast.Stmt
+	// Rhs is the defining value when one is syntactically evident: the
+	// matching right-hand side of an assignment or declaration, the
+	// shared call of a tuple assignment, or the ranged operand for range
+	// bindings. It is nil when the definition is opaque (a zero-value
+	// declaration or an ++/-- update).
+	Rhs ast.Expr
+	// Update marks definitions that also read the variable's previous
+	// value (op-assigns such as += and ++/--): a value-flow walk must
+	// follow the definitions reaching Stmt as well as Rhs.
+	Update bool
+	// FromRange marks range key/value bindings; Rhs is then the ranged
+	// operand, not the bound element value.
+	FromRange bool
+
+	ord   int // global creation order, for deterministic query results
+	seq   int // statement position within block (-1: before all stmts)
+	block *Block
+}
+
+// DefUse holds the solved reaching-definitions problem for one graph.
+type DefUse struct {
+	g       *Graph
+	objOf   func(*ast.Ident) any
+	byBlock map[*Block][]*DefSite
+	in      map[*Block]map[any]map[*DefSite]bool
+}
+
+// NewDefUse collects every definition in body and solves reaching
+// definitions over g (which must be New(body)'s graph). objOf resolves
+// an identifier to the variable identity it binds or uses; returning
+// nil excludes the identifier from tracking (blank identifiers, fields,
+// or anything the caller does not care about).
+func NewDefUse(g *Graph, body *ast.BlockStmt, objOf func(*ast.Ident) any) *DefUse {
+	d := &DefUse{g: g, objOf: objOf, byBlock: make(map[*Block][]*DefSite)}
+	for _, b := range g.Blocks {
+		for seq, s := range b.Stmts {
+			d.collectStmt(s, b, seq)
+		}
+	}
+	d.collectRangeBindings(body)
+	for _, sites := range d.byBlock {
+		sort.SliceStable(sites, func(i, j int) bool { return sites[i].seq < sites[j].seq })
+	}
+	d.solve()
+	return d
+}
+
+// DefsReaching returns the definitions of obj that can be live
+// immediately before stmt executes, in creation order. A nil result
+// means obj has no visible definition there (it is ambient). stmt may
+// be any statement the graph knows, control statements included.
+func (d *DefUse) DefsReaching(stmt ast.Stmt, obj any) []*DefSite {
+	if obj == nil {
+		return nil
+	}
+	b := d.g.blockOf[stmt]
+	if b == nil {
+		return nil
+	}
+	pos := stmtPos(b, stmt)
+	// The last same-block definition before stmt dominates everything
+	// flowing in from predecessors.
+	var local *DefSite
+	for _, site := range d.byBlock[b] {
+		if site.Obj == obj && site.seq < pos {
+			local = site
+		}
+	}
+	if local != nil {
+		return []*DefSite{local}
+	}
+	var out []*DefSite
+	for site := range d.in[b][obj] {
+		out = append(out, site)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ord < out[j].ord })
+	return out
+}
+
+// stmtPos locates stmt within its block: its index for straight-line
+// statements, len(Stmts) for control statements (whose condition or
+// subject evaluates after the block's straight-line prefix).
+func stmtPos(b *Block, stmt ast.Stmt) int {
+	for i, s := range b.Stmts {
+		if s == stmt {
+			return i
+		}
+	}
+	return len(b.Stmts)
+}
+
+func (d *DefUse) addSite(id *ast.Ident, stmt ast.Stmt, rhs ast.Expr, b *Block, seq int, update, fromRange bool) {
+	if id == nil || id.Name == "_" || b == nil {
+		return
+	}
+	obj := d.objOf(id)
+	if obj == nil {
+		return
+	}
+	site := &DefSite{
+		Obj: obj, Stmt: stmt, Rhs: rhs, Update: update, FromRange: fromRange,
+		ord: d.nextOrd(), seq: seq, block: b,
+	}
+	d.byBlock[b] = append(d.byBlock[b], site)
+}
+
+func (d *DefUse) nextOrd() int {
+	n := 0
+	for _, sites := range d.byBlock {
+		n += len(sites)
+	}
+	return n
+}
+
+func (d *DefUse) collectStmt(s ast.Stmt, b *Block, seq int) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		update := s.Tok != token.ASSIGN && s.Tok != token.DEFINE
+		for i, lhs := range s.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var rhs ast.Expr
+			switch {
+			case len(s.Rhs) == len(s.Lhs):
+				rhs = s.Rhs[i]
+			case len(s.Rhs) == 1:
+				rhs = s.Rhs[0] // tuple assignment: the shared call/expr
+			}
+			d.addSite(id, s, rhs, b, seq, update, false)
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				var rhs ast.Expr
+				switch {
+				case len(vs.Values) == len(vs.Names):
+					rhs = vs.Values[i]
+				case len(vs.Values) == 1:
+					rhs = vs.Values[0]
+				}
+				d.addSite(name, s, rhs, b, seq, false, false)
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(s.X).(*ast.Ident); ok {
+			d.addSite(id, s, nil, b, seq, true, false)
+		}
+	}
+}
+
+// collectRangeBindings attaches range key/value definitions to their
+// range.head blocks. Heads are always freshly created empty blocks, so
+// seq -1 places the bindings before any statement that could share the
+// block. Nested function literals are skipped — their statements belong
+// to their own graphs.
+func (d *DefUse) collectRangeBindings(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		head := d.g.blockOf[rng]
+		if id, ok := ast.Unparen(rng.Key).(*ast.Ident); ok {
+			d.addSite(id, rng, rng.X, head, -1, false, true)
+		}
+		if id, ok := ast.Unparen(rng.Value).(*ast.Ident); ok {
+			d.addSite(id, rng, rng.X, head, -1, false, true)
+		}
+		return true
+	})
+}
+
+// solve runs the standard reaching-definitions fixpoint: a block
+// generates its last definition of each variable and kills every
+// inflowing definition of the variables it defines.
+func (d *DefUse) solve() {
+	gen := make(map[*Block]map[any]*DefSite, len(d.byBlock))
+	for b, sites := range d.byBlock {
+		g := make(map[any]*DefSite, len(sites))
+		for _, s := range sites {
+			g[s.Obj] = s // later sites overwrite: last def wins
+		}
+		gen[b] = g
+	}
+	out := make(map[*Block]map[any]map[*DefSite]bool, len(d.g.Blocks))
+	d.in = make(map[*Block]map[any]map[*DefSite]bool, len(d.g.Blocks))
+	for changed := true; changed; {
+		changed = false
+		for _, b := range d.g.Blocks {
+			in := make(map[any]map[*DefSite]bool)
+			for _, p := range b.Preds {
+				for obj, sites := range out[p] {
+					dst := in[obj]
+					if dst == nil {
+						dst = make(map[*DefSite]bool)
+						in[obj] = dst
+					}
+					for s := range sites {
+						dst[s] = true
+					}
+				}
+			}
+			d.in[b] = in
+			o := make(map[any]map[*DefSite]bool, len(in)+len(gen[b]))
+			for obj, sites := range in {
+				if _, killed := gen[b][obj]; killed {
+					continue
+				}
+				o[obj] = sites
+			}
+			for obj, site := range gen[b] {
+				o[obj] = map[*DefSite]bool{site: true}
+			}
+			if !sameFlow(out[b], o) {
+				out[b] = o
+				changed = true
+			}
+		}
+	}
+}
+
+func sameFlow(a, b map[any]map[*DefSite]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for obj, as := range a {
+		bs, ok := b[obj]
+		if !ok || len(as) != len(bs) {
+			return false
+		}
+		for s := range as {
+			if !bs[s] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,188 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// parseDefUse builds the graph and def-use solution for the body of the
+// first function in src. Identifiers resolve by name, so every mention
+// of `x` is the same variable — exactly what these single-scope
+// fixtures need.
+func parseDefUse(t *testing.T, src string) (*token.FileSet, *Graph, *DefUse, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "du.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var fd *ast.FuncDecl
+	for _, d := range file.Decls {
+		if f, ok := d.(*ast.FuncDecl); ok {
+			fd = f
+			break
+		}
+	}
+	if fd == nil || fd.Body == nil {
+		t.Fatal("no function body in fixture")
+	}
+	g := New(fd.Body)
+	du := NewDefUse(g, fd.Body, func(id *ast.Ident) any { return id.Name })
+	return fset, g, du, fd
+}
+
+// stmtOnLine finds the statement the graph knows on the given line.
+func stmtOnLine(t *testing.T, fset *token.FileSet, g *Graph, line int) ast.Stmt {
+	t.Helper()
+	for s := range g.blockOf {
+		if _, isBlock := s.(*ast.BlockStmt); isBlock {
+			continue
+		}
+		if fset.Position(s.Pos()).Line == line {
+			return s
+		}
+	}
+	t.Fatalf("no statement on line %d", line)
+	return nil
+}
+
+// defLines renders the lines of the definitions of obj reaching the
+// statement on line, e.g. "3,7"; "ambient" when none reach.
+func defLines(t *testing.T, fset *token.FileSet, g *Graph, du *DefUse, line int, obj string) string {
+	t.Helper()
+	defs := du.DefsReaching(stmtOnLine(t, fset, g, line), obj)
+	if len(defs) == 0 {
+		return "ambient"
+	}
+	var lines []int
+	for _, d := range defs {
+		lines = append(lines, fset.Position(d.Stmt.Pos()).Line)
+	}
+	sort.Ints(lines)
+	parts := make([]string, len(lines))
+	for i, l := range lines {
+		parts[i] = fmt.Sprint(l)
+	}
+	return strings.Join(parts, ",")
+}
+
+func TestDefsReachingStraightLine(t *testing.T) {
+	fset, g, du, _ := parseDefUse(t, `package p
+
+func f() {
+	x := 1
+	use(x)
+	x = 2
+	use(x)
+}
+`)
+	if got := defLines(t, fset, g, du, 5, "x"); got != "4" {
+		t.Errorf("line 5: defs of x = %s, want 4", got)
+	}
+	if got := defLines(t, fset, g, du, 7, "x"); got != "6" {
+		t.Errorf("line 7: reassignment must kill the first def; got %s, want 6", got)
+	}
+}
+
+func TestDefsReachingBranchMerge(t *testing.T) {
+	fset, g, du, _ := parseDefUse(t, `package p
+
+func f(c bool) {
+	x := 1
+	if c {
+		x = 2
+	}
+	use(x)
+}
+`)
+	if got := defLines(t, fset, g, du, 8, "x"); got != "4,6" {
+		t.Errorf("after merge both defs must reach; got %s, want 4,6", got)
+	}
+}
+
+func TestDefsReachingLoopBackEdge(t *testing.T) {
+	fset, g, du, _ := parseDefUse(t, `package p
+
+func f(n int) {
+	x := 0
+	for i := 0; i < n; i++ {
+		use(x)
+		x = next(x)
+	}
+}
+`)
+	if got := defLines(t, fset, g, du, 6, "x"); got != "4,7" {
+		t.Errorf("loop body must see both the initial def and the back-edge def; got %s, want 4,7", got)
+	}
+}
+
+func TestDefsReachingRangeBinding(t *testing.T) {
+	fset, g, du, _ := parseDefUse(t, `package p
+
+func f(items []string) {
+	for _, v := range items {
+		use(v)
+	}
+}
+`)
+	defs := du.DefsReaching(stmtOnLine(t, fset, g, 5), "v")
+	if len(defs) != 1 {
+		t.Fatalf("got %d defs of v, want 1", len(defs))
+	}
+	if !defs[0].FromRange {
+		t.Error("range binding must be marked FromRange")
+	}
+	if id, ok := defs[0].Rhs.(*ast.Ident); !ok || id.Name != "items" {
+		t.Errorf("range binding Rhs = %v, want the ranged operand `items`", defs[0].Rhs)
+	}
+}
+
+func TestDefsReachingAmbientAndOpaque(t *testing.T) {
+	fset, g, du, _ := parseDefUse(t, `package p
+
+func f(p int) {
+	use(p)
+	var z int
+	use(z)
+	z += p
+	use(z)
+}
+`)
+	if got := defLines(t, fset, g, du, 4, "p"); got != "ambient" {
+		t.Errorf("parameter must be ambient; got %s", got)
+	}
+	defs := du.DefsReaching(stmtOnLine(t, fset, g, 6), "z")
+	if len(defs) != 1 || defs[0].Rhs != nil {
+		t.Fatalf("zero-value var decl must be one opaque def; got %+v", defs)
+	}
+	defs = du.DefsReaching(stmtOnLine(t, fset, g, 8), "z")
+	if len(defs) != 1 || !defs[0].Update {
+		t.Fatalf("op-assign def must be marked Update; got %+v", defs)
+	}
+}
+
+func TestDefsReachingTupleAssign(t *testing.T) {
+	fset, g, du, _ := parseDefUse(t, `package p
+
+func f() {
+	a, b := pair()
+	use(a, b)
+}
+`)
+	for _, name := range []string{"a", "b"} {
+		defs := du.DefsReaching(stmtOnLine(t, fset, g, 5), name)
+		if len(defs) != 1 {
+			t.Fatalf("got %d defs of %s, want 1", len(defs), name)
+		}
+		if call, ok := defs[0].Rhs.(*ast.CallExpr); !ok {
+			t.Errorf("tuple assignment must give %s the shared call as Rhs, got %T", name, defs[0].Rhs)
+		} else if fset.Position(call.Pos()).Line != 4 {
+			t.Errorf("shared call on wrong line")
+		}
+	}
+}

@@ -1,0 +1,418 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+)
+
+// CloseLeakAnalyzer enforces the PR 3 resource discipline: every
+// io.Closer acquired in a function — connections, listeners, files —
+// must be closed on all control-flow paths. An acquisition is an
+// assignment from a call whose name says it hands over ownership
+// (Dial*/Listen*/Accept*/Open*/Create*, any case, methods and local
+// function values included) and whose first result implements
+// io.Closer.
+//
+// The handle is then tracked statement-by-statement over the CFG. A
+// path is satisfied when it closes the handle, defers a close, or
+// provably hands ownership away: returning it, storing it into a field,
+// map, slice or channel, capturing it in a function literal or go
+// statement, or passing it to a function that disposes of it — decided
+// one call level deep for in-module callees, like lockorder, and
+// conservatively assumed for out-of-module callees except a short list
+// of known borrowing helpers (bufio constructors, io.Copy/ReadFull,
+// fmt.Fprint*). A leak is reported only when a path that actually used
+// the handle reaches function exit without any of those events, so the
+// ubiquitous `if err != nil { return err }` arm — where the handle is
+// nil and untouched — never trips it.
+var CloseLeakAnalyzer = &Analyzer{
+	Name: "closeleak",
+	Doc:  "flags acquired io.Closers (conns, listeners, files) not closed on all CFG paths",
+	Run:  runCloseleak,
+}
+
+var closerIface = func() *types.Interface {
+	errType := types.Universe.Lookup("error").Type()
+	sig := types.NewSignatureType(nil, nil, nil, types.NewTuple(),
+		types.NewTuple(types.NewVar(token.NoPos, nil, "", errType)), false)
+	iface := types.NewInterfaceType([]*types.Func{types.NewFunc(token.NoPos, nil, "Close", sig)}, nil)
+	iface.Complete()
+	return iface
+}()
+
+// Statement classification w.r.t. a tracked handle.
+const (
+	evNone    = iota // handle not mentioned
+	evUse            // mentioned, ownership retained (reads, writes, nil checks)
+	evDispose        // closed or ownership handed away: path satisfied
+	evKill           // handle rebound (reassigned): stop tracking the old value
+)
+
+func runCloseleak(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		forEachFuncBody(file, func(body *ast.BlockStmt) {
+			if !mentionsAcquisition(pass, body) {
+				return
+			}
+			ff := newFuncFlow(pass.Pkg, body)
+			for _, b := range ff.g.Blocks {
+				for _, s := range b.Stmts {
+					as, ok := s.(*ast.AssignStmt)
+					if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+						continue
+					}
+					call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+					if !ok || !isAcquisition(pass, call) {
+						continue
+					}
+					id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					v := localVar(info, id)
+					if v == nil {
+						continue
+					}
+					checkAcquisition(pass, ff, as, call, v)
+				}
+			}
+		})
+	}
+}
+
+func mentionsAcquisition(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	shallowInspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isAcquisition(pass, call) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isAcquisition: a call handing over an io.Closer, recognized by the
+// ownership-transferring name and the first result type.
+func isAcquisition(pass *Pass, call *ast.CallExpr) bool {
+	res := funcResults(pass.Pkg.Info, call)
+	if res == nil || res.Len() == 0 || !types.Implements(res.At(0).Type(), closerIface) {
+		return false
+	}
+	name := ""
+	if fn := calleeFunc(pass.Pkg.Info, call); fn != nil {
+		name = fn.Name()
+	} else {
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+	}
+	lower := strings.ToLower(name)
+	for _, prefix := range []string{"dial", "listen", "accept", "open", "create"} {
+		if strings.HasPrefix(lower, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAcquisition walks every path from the acquisition to function
+// exit; a path that used the handle and reaches exit without disposing
+// of it is a leak.
+func checkAcquisition(pass *Pass, ff *funcFlow, acq *ast.AssignStmt, call *ast.CallExpr, v *types.Var) {
+	info := pass.Pkg.Info
+	// A defer that touches the handle disposes of it (defer v.Close(),
+	// or a deferred cleanup closure it was handed to): defers run on
+	// every edge into exit.
+	for _, d := range ff.g.Defers {
+		if exprMentions(info, d, v) {
+			return
+		}
+	}
+	type stateKey struct {
+		b    int
+		used bool
+	}
+	type state struct {
+		b    int
+		idx  int
+		used bool
+	}
+	startB := ff.g.BlockOf(acq)
+	if startB == nil {
+		return
+	}
+	queue := []state{{startB.Index, stmtIndex(startB, acq) + 1, false}}
+	seen := make(map[stateKey]bool)
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		b := ff.g.Blocks[st.b]
+		used := st.used
+		disposed := false
+		for i := st.idx; i < len(b.Stmts); i++ {
+			s := b.Stmts[i]
+			if s == acq {
+				disposed = true // looped back to a rebinding of the same name
+				break
+			}
+			switch classifyForHandle(pass, s, v) {
+			case evDispose, evKill:
+				disposed = true
+			case evUse:
+				used = true
+			}
+			if disposed {
+				break
+			}
+		}
+		if disposed {
+			continue
+		}
+		for _, succ := range b.Succs {
+			if succ == ff.g.Exit {
+				if used {
+					pass.Reportf(acq.Pos(),
+						"%s is not closed on every path: a path that uses it reaches function exit without Close; close it on all paths or defer the Close", handleLabel(call, v))
+					return
+				}
+				continue
+			}
+			k := stateKey{succ.Index, used}
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, state{succ.Index, 0, used})
+			}
+		}
+	}
+}
+
+func handleLabel(call *ast.CallExpr, v *types.Var) string {
+	name := ""
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	}
+	return v.Name() + " (from " + name + ")"
+}
+
+// classifyForHandle decides what one statement does with the handle.
+func classifyForHandle(pass *Pass, stmt ast.Stmt, v *types.Var) int {
+	info := pass.Pkg.Info
+	if !exprMentions(info, stmt, v) {
+		return evNone
+	}
+	switch s := stmt.(type) {
+	case *ast.DeferStmt, *ast.ReturnStmt, *ast.SendStmt, *ast.GoStmt:
+		_ = s
+		return evDispose // ownership leaves this frame (or close is scheduled)
+	}
+	event := evUse
+	var stack []ast.Node
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if info.Uses[id] != v && info.Defs[id] != v {
+			return true
+		}
+		switch identDisposition(pass, stack, id) {
+		case evDispose:
+			event = evDispose
+		case evKill:
+			if event != evDispose {
+				event = evKill
+			}
+		}
+		return true
+	})
+	return event
+}
+
+// identDisposition inspects the syntactic context of one mention of the
+// handle (stack is the node path down to the identifier).
+func identDisposition(pass *Pass, stack []ast.Node, id *ast.Ident) int {
+	parent := func(i int) ast.Node {
+		if len(stack) < i+2 {
+			return nil
+		}
+		return stack[len(stack)-2-i]
+	}
+	// Method call on the handle: v.Close() disposes, v.Read() uses.
+	if sel, ok := parent(0).(*ast.SelectorExpr); ok && sel.X == id {
+		if call, ok := parent(1).(*ast.CallExpr); ok && call.Fun == sel {
+			if sel.Sel.Name == "Close" {
+				return evDispose
+			}
+			return evUse
+		}
+		return evUse // field read off the handle
+	}
+	for i := 0; ; i++ {
+		p := parent(i)
+		if p == nil {
+			return evUse
+		}
+		switch p := p.(type) {
+		case *ast.CallExpr:
+			// The handle is (inside) an argument.
+			return callArgDisposition(pass, p, id)
+		case *ast.CompositeLit, *ast.FuncLit:
+			return evDispose // stored or captured
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				return evDispose
+			}
+		case *ast.IndexExpr:
+			// m[v] or s[i] with the handle as index/indexee: stored/borrowed
+			// beyond what we track.
+			return evDispose
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if ast.Unparen(lhs) == ast.Expr(id) {
+					return evKill // rebinding the name drops our handle
+				}
+			}
+			for _, rhs := range p.Rhs {
+				if ast.Unparen(rhs) == ast.Expr(id) {
+					return evDispose // bare alias: c2 := v, x.f = v
+				}
+			}
+			return evUse
+		case *ast.BinaryExpr, *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt:
+			return evUse // comparisons, nil checks
+		case *ast.TypeAssertExpr:
+			return evDispose // the asserted alias escapes our tracking
+		}
+	}
+}
+
+// callArgDisposition: the handle flows into a call argument. In-module
+// callees are summarized one level deep; a short list of stdlib helpers
+// is known to borrow; everything else is assumed to take ownership.
+func callArgDisposition(pass *Pass, call *ast.CallExpr, id *ast.Ident) int {
+	info := pass.Pkg.Info
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return evDispose // dynamic call: assume ownership transfer
+	}
+	pkg := fn.Pkg()
+	if pkg != nil && (pkg.Path() == pass.Prog.Module || strings.HasPrefix(pkg.Path(), pass.Prog.Module+"/")) {
+		if calleeDisposesArg(pass, fn, call, id) {
+			return evDispose
+		}
+		return evUse
+	}
+	switch {
+	case isPkgPath(pkg, "bufio"):
+		return evUse // NewReader/NewWriter/NewScanner borrow
+	case isPkgPath(pkg, "io") &&
+		(fn.Name() == "Copy" || fn.Name() == "CopyN" || fn.Name() == "ReadAll" ||
+			fn.Name() == "ReadFull" || fn.Name() == "WriteString"):
+		return evUse
+	case isPkgPath(pkg, "fmt"):
+		return evUse // Fprint* write through, never close
+	}
+	return evDispose
+}
+
+// closeSummaries caches, per (callee, parameter index), whether the
+// callee disposes of that parameter on some path.
+type closeSummaries struct {
+	mu sync.Mutex
+	m  map[summaryKey]bool
+}
+
+type summaryKey struct {
+	fn  *types.Func
+	idx int
+}
+
+func calleeDisposesArg(pass *Pass, fn *types.Func, call *ast.CallExpr, id *ast.Ident) bool {
+	argIdx := -1
+	for i, a := range call.Args {
+		if exprMentions(pass.Pkg.Info, a, pass.Pkg.Info.Uses[id]) {
+			argIdx = i
+			break
+		}
+	}
+	if argIdx < 0 {
+		return true // receiver or unresolvable: be lenient
+	}
+	sums := pass.Prog.analyzerState("closeleak.summaries", func() any {
+		return &closeSummaries{m: make(map[summaryKey]bool)}
+	}).(*closeSummaries)
+	key := summaryKey{fn, argIdx}
+	sums.mu.Lock()
+	cached, ok := sums.m[key]
+	sums.mu.Unlock()
+	if ok {
+		return cached
+	}
+	disposes := summarizeCallee(pass, fn, argIdx)
+	sums.mu.Lock()
+	sums.m[key] = disposes
+	sums.mu.Unlock()
+	return disposes
+}
+
+// summarizeCallee: does the callee's body dispose of its argIdx-th
+// parameter on some path (close it, store it, return it, pass it on)?
+// One level only: calls out of the callee count as disposal.
+func summarizeCallee(pass *Pass, fn *types.Func, argIdx int) bool {
+	declPkg, decl := declOf(pass.Prog, fn)
+	if decl == nil || decl.Body == nil {
+		return true // no body visible: assume it takes ownership
+	}
+	var param *types.Var
+	i := 0
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			if i == argIdx {
+				param, _ = declPkg.Info.Defs[name].(*types.Var)
+			}
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+	if param == nil {
+		return true
+	}
+	calleePass := &Pass{Prog: pass.Prog, Pkg: declPkg}
+	disposes := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if disposes {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok {
+			switch classifyForHandle(calleePass, s, param) {
+			case evDispose:
+				disposes = true
+			}
+			// Keep descending: classifyForHandle on a compound statement
+			// only classifies mentions, and nested statements are visited
+			// on their own.
+		}
+		return true
+	})
+	return disposes
+}

@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"sync"
+)
+
+// DeadlineFlowAnalyzer enforces the PR 3 per-phase-deadline discipline
+// in the networked packages: a blocking read or write on a connection
+// must be dominated by a deadline definition — every control-flow path
+// from function entry to the operation must pass a Set*Deadline /
+// Set*Timeout call, or a context.AfterFunc/time.AfterFunc that closes a
+// conn (the ctx-budget idiom dnsserve.Serve uses), possibly one call
+// level down in an in-module helper.
+//
+// Operations are recognized on values whose static type carries
+// SetDeadline (net.Conn, net.PacketConn, concrete conns, the faultnet
+// wrappers) when the receiver is a local or parameter — struct-field
+// conns keep their deadline discipline across methods, which an
+// intraprocedural dominator cannot see, so they are out of scope — and
+// on locally-constructed bufio readers/writers wrapping such a value
+// (traced through the def-use layer). io.ReadFull/Copy and fmt.Fprint*
+// with a connection argument count as the same blocking operation.
+var DeadlineFlowAnalyzer = &Analyzer{
+	Name: "deadlineflow",
+	Doc:  "flags blocking net reads/writes not dominated by a Set*Deadline/ctx-budget definition",
+	Run:  runDeadlineFlow,
+}
+
+// deadlineScopePackages are the packages under the per-phase-deadline
+// contract (PR 3): every socket op bounded, no unbounded blocking.
+var deadlineScopePackages = []string{
+	"internal/smtpd",
+	"internal/smtpc",
+	"internal/probe",
+	"internal/resolve",
+	"internal/dnsserve",
+	"internal/whois",
+}
+
+var blockingRWNames = map[string]bool{
+	"Read": true, "Write": true,
+	"ReadFrom": true, "WriteTo": true,
+	"ReadFromUDP": true, "WriteToUDP": true,
+	"ReadMsgUDP": true, "WriteMsgUDP": true,
+	"ReadString": true, "ReadBytes": true, "ReadSlice": true,
+	"ReadLine": true, "ReadByte": true, "ReadRune": true,
+	"WriteString": true, "Flush": true,
+}
+
+var deadlineSetterNames = map[string]bool{
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+	"SetTimeout": true, "SetReadTimeout": true, "SetWriteTimeout": true,
+}
+
+func runDeadlineFlow(pass *Pass) {
+	if !pkgInList(pass.Prog.Module, pass.Pkg.Path, deadlineScopePackages) {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		forEachFuncBody(file, func(body *ast.BlockStmt) {
+			ff := newFuncFlow(pass.Pkg, body)
+			type op struct {
+				stmt ast.Stmt
+				call *ast.CallExpr
+				what string
+			}
+			var ops []op
+			dominators := make(map[ast.Stmt]bool)
+			shallowNodesWithStmt(body, ff.g, func(stmt ast.Stmt, n ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || stmt == nil {
+					return
+				}
+				if isDeadlineDefinition(pass, call) {
+					dominators[stmt] = true
+					return
+				}
+				if what := blockingConnOp(pass, ff, stmt, call); what != "" {
+					ops = append(ops, op{stmt, call, what})
+				}
+			})
+			if len(ops) == 0 {
+				return
+			}
+			for _, o := range ops {
+				if stmtPathAvoiding(ff.g, nil, o.stmt, dominators) {
+					pass.Reportf(o.call.Pos(),
+						"blocking %s on a connection is not dominated by a deadline: some path from function entry reaches it without a Set*Deadline/Set*Timeout or a ctx-tied Close (context.AfterFunc)", o.what)
+				}
+			}
+		})
+	}
+}
+
+// isDeadlineDefinition: does this call establish a deadline regime? A
+// Set*Deadline/Set*Timeout method call, an AfterFunc scheduling a
+// Close, or an in-module helper (one level) containing either.
+func isDeadlineDefinition(pass *Pass, call *ast.CallExpr) bool {
+	info := pass.Pkg.Info
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && deadlineSetterNames[sel.Sel.Name] {
+		return true
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if (isPkgPath(fn.Pkg(), "context") || isPkgPath(fn.Pkg(), "time")) && fn.Name() == "AfterFunc" {
+		return afterFuncCloses(call)
+	}
+	if pkg := fn.Pkg(); pkg != nil && strings.HasPrefix(pkg.Path(), pass.Prog.Module) {
+		return calleeSetsDeadline(pass, fn)
+	}
+	return false
+}
+
+// afterFuncCloses: does the function argument of the AfterFunc call a
+// Close? This is the ctx-budget idiom: context.AfterFunc(ctx, func() {
+// conn.Close() }) bounds every subsequent blocking op by ctx.
+func afterFuncCloses(call *ast.CallExpr) bool {
+	closes := false
+	for _, arg := range call.Args {
+		fl, ok := ast.Unparen(arg).(*ast.FuncLit)
+		if !ok {
+			// Method-value form: context.AfterFunc(ctx, conn.Close) — the
+			// selector itself names Close.
+			if sel, ok := ast.Unparen(arg).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+				return true
+			}
+			continue
+		}
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+					closes = true
+				}
+			}
+			return !closes
+		})
+	}
+	return closes
+}
+
+// deadlineSummaries caches per-callee "contains a deadline definition".
+type deadlineSummaries struct {
+	mu sync.Mutex
+	m  map[*types.Func]bool
+}
+
+func calleeSetsDeadline(pass *Pass, fn *types.Func) bool {
+	sums := pass.Prog.analyzerState("deadlineflow.summaries", func() any {
+		return &deadlineSummaries{m: make(map[*types.Func]bool)}
+	}).(*deadlineSummaries)
+	sums.mu.Lock()
+	cached, ok := sums.m[fn]
+	sums.mu.Unlock()
+	if ok {
+		return cached
+	}
+	sets := false
+	if _, decl := declOf(pass.Prog, fn); decl != nil && decl.Body != nil {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if sets {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if deadlineSetterNames[sel.Sel.Name] {
+					sets = true
+					return false
+				}
+				if sel.Sel.Name == "AfterFunc" && afterFuncCloses(call) {
+					sets = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	sums.mu.Lock()
+	sums.m[fn] = sets
+	sums.mu.Unlock()
+	return sets
+}
+
+// blockingConnOp classifies call as a blocking socket operation and
+// returns a label for the message ("" when it is not one).
+func blockingConnOp(pass *Pass, ff *funcFlow, stmt ast.Stmt, call *ast.CallExpr) string {
+	info := pass.Pkg.Info
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && blockingRWNames[sel.Sel.Name] {
+		recvType := typeOf(info, sel.X)
+		switch {
+		case hasSetDeadline(recvType):
+			if localNonFieldRoot(info, sel.X) {
+				return sel.Sel.Name
+			}
+		case isBufioType(recvType):
+			if bufioWrapsConn(pass, ff, stmt, sel.X) {
+				return sel.Sel.Name + " (bufio over a conn)"
+			}
+		}
+		return ""
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	name := fn.Name()
+	isIO := isPkgPath(fn.Pkg(), "io") &&
+		(name == "Copy" || name == "CopyN" || name == "ReadAll" || name == "ReadFull" || name == "WriteString")
+	isFmt := isPkgPath(fn.Pkg(), "fmt") && strings.HasPrefix(name, "Fprint")
+	if !isIO && !isFmt {
+		return ""
+	}
+	for _, arg := range call.Args {
+		t := typeOf(info, arg)
+		if hasSetDeadline(t) && localNonFieldRoot(info, arg) {
+			return fn.Pkg().Name() + "." + name
+		}
+		if isBufioType(t) && bufioWrapsConn(pass, ff, stmt, arg) {
+			return fn.Pkg().Name() + "." + name + " (bufio over a conn)"
+		}
+	}
+	return ""
+}
+
+// localNonFieldRoot: the expression is rooted in a local variable or
+// parameter (field-held conns are cross-method state, out of scope).
+func localNonFieldRoot(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return localVar(info, id) != nil
+}
+
+func isBufioType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if !isPkgPath(obj.Pkg(), "bufio") {
+		return false
+	}
+	switch obj.Name() {
+	case "Reader", "Writer", "ReadWriter", "Scanner":
+		return true
+	}
+	return false
+}
+
+// bufioWrapsConn: the bufio value was built here (bufio.NewReader(x),
+// possibly through a local) over a deadline-capable value. Ambient
+// bufio values (fields, parameters) return false — their construction
+// is invisible.
+func bufioWrapsConn(pass *Pass, ff *funcFlow, stmt ast.Stmt, e ast.Expr) bool {
+	info := pass.Pkg.Info
+	for _, src := range ff.sourcesOf(stmt, e) {
+		c, ok := src.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := calleeFunc(info, c)
+		if fn == nil || !isPkgPath(fn.Pkg(), "bufio") {
+			continue
+		}
+		for _, arg := range c.Args {
+			if hasSetDeadline(typeOf(info, arg)) {
+				return true
+			}
+		}
+	}
+	return false
+}

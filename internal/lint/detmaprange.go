@@ -1,0 +1,410 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// DetMapRangeAnalyzer enforces the determinism contract's output clause
+// (DESIGN §9): map iteration order is randomized per run, so a value
+// that depends on it must never reach emitted output. Inside a `range`
+// over a map it flags, for any expression tainted by the key or value
+// binding (directly or through locals assigned in the loop body):
+//
+//   - direct emission: fmt/log printing, Write-family method calls
+//     (writers, hashes, builders), io.WriteString, and channel sends;
+//   - accumulation: append of tainted values into a slice that later
+//     reaches a return statement or an emission on some control-flow
+//     path with no intervening sort of that slice (the accepted idiom —
+//     collect, sort, then emit — stays silent);
+//   - accumulation into a field or map entry when the function never
+//     sorts that container afterwards.
+//
+// Order-insensitive loops — counting, summing, building another map,
+// deleting — use no flagged construct and pass untouched.
+var DetMapRangeAnalyzer = &Analyzer{
+	Name: "detmaprange",
+	Doc:  "flags map-iteration order reaching emitted output without an intervening sort",
+	Run:  runDetMapRange,
+}
+
+func runDetMapRange(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		forEachFuncBody(file, func(body *ast.BlockStmt) {
+			ranges := mapRanges(info, body)
+			if len(ranges) == 0 {
+				return
+			}
+			ff := newFuncFlow(pass.Pkg, body)
+			for _, rng := range ranges {
+				checkMapRange(pass, ff, body, rng)
+			}
+		})
+	}
+}
+
+// mapRanges returns the range statements in body (nested function
+// literals excluded) whose operand is map-typed.
+func mapRanges(info *types.Info, body *ast.BlockStmt) []*ast.RangeStmt {
+	var out []*ast.RangeStmt
+	shallowInspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[rng.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				out = append(out, rng)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkMapRange(pass *Pass, ff *funcFlow, body *ast.BlockStmt, rng *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	tainted := loopTainted(info, rng)
+	if len(tainted) == 0 {
+		return // `for range m`: no binding, order cannot leak
+	}
+	mentionsTainted := func(n ast.Node) bool {
+		for obj := range tainted {
+			if exprMentions(info, n, obj) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// accumulators: local slice vars receiving tainted appends inside
+	// the loop, with one representative append statement each.
+	accumulators := make(map[*types.Var]ast.Stmt)
+	shallowInspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if kind := emitKind(info, n); kind != "" && anyArgMentions(info, n, tainted) {
+				pass.Reportf(n.Pos(),
+					"map iteration order reaches output (%s) inside a range over a map; iterate sorted keys instead", kind)
+			}
+		case *ast.SendStmt:
+			if mentionsTainted(n.Value) {
+				pass.Reportf(n.Pos(),
+					"map iteration order reaches output (channel send) inside a range over a map; iterate sorted keys instead")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(info, call) || len(call.Args) < 2 {
+					continue
+				}
+				addsTaint := false
+				for _, v := range call.Args[1:] {
+					if mentionsTainted(v) {
+						addsTaint = true
+						break
+					}
+				}
+				if !addsTaint || i >= len(n.Lhs) {
+					continue
+				}
+				target := ast.Unparen(n.Lhs[i])
+				if id, ok := target.(*ast.Ident); ok {
+					if v := localVar(info, id); v != nil {
+						if _, seen := accumulators[v]; !seen {
+							accumulators[v] = n
+						}
+						continue
+					}
+				}
+				checkNonlocalAppend(pass, ff, body, n, target, tainted)
+			}
+		}
+		return true
+	})
+
+	for _, e := range sortedAccumulators(accumulators) {
+		checkAccumulator(pass, ff, body, rng, e.v, e.stmt)
+	}
+}
+
+// sortedAccumulators flattens the accumulator map deterministically (by
+// append-statement position) so finding order is stable.
+type accEntry struct {
+	v    *types.Var
+	stmt ast.Stmt
+}
+
+func sortedAccumulators(m map[*types.Var]ast.Stmt) []accEntry {
+	var entries []accEntry
+	for v, s := range m {
+		entries = append(entries, accEntry{v, s})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].stmt.Pos() < entries[j].stmt.Pos() })
+	return entries
+}
+
+// loopTainted seeds the taint set with the range bindings, then runs a
+// small fixpoint over the loop body: a local assigned from a tainted
+// expression is itself tainted.
+func loopTainted(info *types.Info, rng *ast.RangeStmt) map[types.Object]bool {
+	tainted := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name != "_" {
+			if v := localVar(info, id); v != nil {
+				tainted[v] = true
+			}
+		}
+	}
+	for changed := len(tainted) > 0; changed; {
+		changed = false
+		shallowInspect(rng.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			rhsTainted := false
+			for _, rhs := range as.Rhs {
+				for obj := range tainted {
+					if exprMentions(info, rhs, obj) {
+						rhsTainted = true
+					}
+				}
+			}
+			if !rhsTainted {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+					if v := localVar(info, id); v != nil && !tainted[v] {
+						tainted[v] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// emitKind classifies call as an output operation: "" when it is not
+// one, otherwise a short label for the finding message.
+func emitKind(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "WriteTo", "Print", "Printf", "Println":
+			return "a " + name + " call"
+		}
+		return ""
+	}
+	switch {
+	case isPkgPath(fn.Pkg(), "fmt") && (name == "Print" || name == "Printf" || name == "Println" ||
+		name == "Fprint" || name == "Fprintf" || name == "Fprintln"):
+		return "fmt." + name
+	case isPkgPath(fn.Pkg(), "log"):
+		return "log." + name
+	case isPkgPath(fn.Pkg(), "io") && name == "WriteString":
+		return "io.WriteString"
+	}
+	return ""
+}
+
+// anyArgMentions: does any argument (the data, not an fmt writer
+// target) mention a tainted object? For Fprint-style calls the first
+// argument is the destination; taint there is not an ordering leak.
+func anyArgMentions(info *types.Info, call *ast.CallExpr, tainted map[types.Object]bool) bool {
+	args := call.Args
+	if fn := calleeFunc(info, call); fn != nil && isPkgPath(fn.Pkg(), "fmt") &&
+		len(args) > 0 && (fn.Name() == "Fprint" || fn.Name() == "Fprintf" || fn.Name() == "Fprintln") {
+		args = args[1:]
+	}
+	for _, a := range args {
+		for obj := range tainted {
+			if exprMentions(info, a, obj) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// checkAccumulator decides whether a local slice accumulated in
+// map-range order can reach a sink (return or emission) without a sort
+// of that slice on the path.
+func checkAccumulator(pass *Pass, ff *funcFlow, body *ast.BlockStmt, rng *ast.RangeStmt, v *types.Var, appendStmt ast.Stmt) {
+	info := pass.Pkg.Info
+	sorts := make(map[ast.Stmt]bool)
+	type sink struct {
+		stmt ast.Stmt
+		kind string
+	}
+	var sinks []sink
+	shallowNodesWithStmt(body, ff.g, func(stmt ast.Stmt, n ast.Node) {
+		if stmt == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			if fn != nil && (isPkgPath(fn.Pkg(), "sort") || isPkgPath(fn.Pkg(), "slices")) {
+				for _, a := range n.Args {
+					if exprMentions(info, a, v) {
+						sorts[stmt] = true
+					}
+				}
+				return
+			}
+			if kind := emitKind(info, n); kind != "" {
+				for _, a := range n.Args {
+					if mentionsOrderSensitive(info, a, v) {
+						sinks = append(sinks, sink{stmt, kind})
+						return
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if mentionsOrderSensitive(info, r, v) {
+					sinks = append(sinks, sink{n, "a return"})
+					return
+				}
+			}
+		case *ast.SendStmt:
+			if mentionsOrderSensitive(info, n.Value, v) {
+				sinks = append(sinks, sink{stmt, "a channel send"})
+			}
+		}
+	})
+	for _, s := range sinks {
+		if stmtPathAvoiding(ff.g, rng, s.stmt, sorts) {
+			pass.Reportf(appendStmt.Pos(),
+				"slice %s accumulates map-range values and reaches %s without an intervening sort; sort it before emitting", v.Name(), s.kind)
+			return
+		}
+	}
+}
+
+// mentionsOrderSensitive is exprMentions minus builtin len/cap calls:
+// len(v) reads the accumulated slice's size, which map iteration order
+// cannot change, so it is not an ordering sink.
+func mentionsOrderSensitive(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					return false
+				}
+			}
+		}
+		if id, ok := m.(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// checkNonlocalAppend handles appends into fields, map entries and
+// other non-local containers: accepted only when the function sorts the
+// same container somewhere (the collect-everything-then-sort-each-entry
+// idiom); loop keys/values indexing the target do not count as the
+// container.
+func checkNonlocalAppend(pass *Pass, ff *funcFlow, body *ast.BlockStmt, appendStmt ast.Stmt, target ast.Expr, tainted map[types.Object]bool) {
+	info := pass.Pkg.Info
+	targetObjs := make(map[types.Object]bool)
+	ast.Inspect(target, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			obj := info.Uses[id]
+			if obj == nil {
+				obj = info.Defs[id]
+			}
+			if obj != nil && !tainted[obj] {
+				targetObjs[obj] = true
+			}
+		}
+		return true
+	})
+	if len(targetObjs) == 0 {
+		return
+	}
+	// Locals assigned from the container count as the container for the
+	// sort check: `s := succs[v]; sort.Slice(s, ...)` sorts the shared
+	// backing array, so the per-entry-sort idiom stays silent even
+	// through the alias.
+	aliases := make(map[types.Object]bool)
+	shallowInspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			v := localVar(info, id)
+			if v == nil || targetObjs[v] {
+				continue
+			}
+			rhs := as.Rhs[0]
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			}
+			for obj := range targetObjs {
+				if exprMentions(info, rhs, obj) {
+					aliases[v] = true
+				}
+			}
+		}
+		return true
+	})
+	sorted := false
+	shallowInspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || !(isPkgPath(fn.Pkg(), "sort") || isPkgPath(fn.Pkg(), "slices")) {
+			return true
+		}
+		for _, a := range call.Args {
+			for obj := range targetObjs {
+				if exprMentions(info, a, obj) {
+					sorted = true
+				}
+			}
+			for obj := range aliases {
+				if exprMentions(info, a, obj) {
+					sorted = true
+				}
+			}
+		}
+		return true
+	})
+	if !sorted {
+		pass.Reportf(appendStmt.Pos(),
+			"container accumulates map-range values and is never sorted in this function; sort it or iterate sorted keys")
+	}
+}

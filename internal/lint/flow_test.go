@@ -303,6 +303,279 @@ func Two() {
 			count: 0,
 		},
 		{
+			name:     "detmaprange flags direct emission inside a map range",
+			analyzer: "detmaprange",
+			files: map[string]string{
+				"internal/pipeline/p.go": `package pipeline
+
+import "fmt"
+
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+`,
+			},
+			want:  []string{"internal/pipeline/p.go:7: [detmaprange]", "map iteration order reaches output (fmt.Printf)"},
+			count: 1,
+		},
+		{
+			name:     "detmaprange flags an accumulator returned without a sort",
+			analyzer: "detmaprange",
+			files: map[string]string{
+				"internal/pipeline/p.go": `package pipeline
+
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+`,
+			},
+			want:  []string{"internal/pipeline/p.go:6: [detmaprange]", "reaches a return without an intervening sort"},
+			count: 1,
+		},
+		{
+			name:     "detmaprange accepts collect-sort-emit and len reads",
+			analyzer: "detmaprange",
+			files: map[string]string{
+				"internal/pipeline/p.go": `package pipeline
+
+import (
+	"fmt"
+	"sort"
+)
+
+func Emit(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+	fmt.Println(len(keys))
+	return keys
+}
+`,
+			},
+			count: 0,
+		},
+		{
+			name:     "seedflow flags the global PRNG and an ambient seed",
+			analyzer: "seedflow",
+			files: map[string]string{
+				"internal/pipeline/p.go": `package pipeline
+
+import "math/rand"
+
+func Pick(n int) int {
+	return rand.Intn(n)
+}
+
+func Gen(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+`,
+			},
+			want: []string{
+				"internal/pipeline/p.go:6: [seedflow]", "global math/rand.Intn",
+				"internal/pipeline/p.go:10: [seedflow]", "does not derive from the splitmix64 seam",
+			},
+			count: 2,
+		},
+		{
+			name:     "seedflow flags a time-derived seed through a local",
+			analyzer: "seedflow",
+			files: map[string]string{
+				"internal/pipeline/p.go": `package pipeline
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Gen() *rand.Rand {
+	seed := time.Now().UnixNano()
+	return rand.New(rand.NewSource(seed))
+}
+`,
+			},
+			want:  []string{"internal/pipeline/p.go:10: [seedflow]", "time-seeded PRNG"},
+			count: 1,
+		},
+		{
+			name:     "seedflow accepts seam-derived seeds traced through locals",
+			analyzer: "seedflow",
+			files: map[string]string{
+				"internal/par/par.go": `package par
+
+import "math/rand"
+
+func SubSeed(seed int64, index int) int64 {
+	return seed + int64(index)
+}
+
+func Rand(seed int64, index int) *rand.Rand {
+	return rand.New(rand.NewSource(SubSeed(seed, index)))
+}
+`,
+				"internal/pipeline/p.go": `package pipeline
+
+import (
+	"math/rand"
+
+	"repro/internal/par"
+)
+
+func Jitter(seed int64) float64 {
+	return par.Rand(seed, 3).Float64()
+}
+
+func Gen(seed int64) *rand.Rand {
+	s := par.SubSeed(seed, 1)
+	return rand.New(rand.NewSource(s))
+}
+`,
+			},
+			count: 0,
+		},
+		{
+			name:     "closeleak flags a conn abandoned on an error path",
+			analyzer: "closeleak",
+			files: map[string]string{
+				"internal/pipeline/p.go": `package pipeline
+
+import "net"
+
+func Ping(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err != nil {
+		return err
+	}
+	conn.Close()
+	return nil
+}
+`,
+			},
+			want:  []string{"internal/pipeline/p.go:6: [closeleak]", "conn (from Dial) is not closed on every path"},
+			count: 1,
+		},
+		{
+			name:     "closeleak accepts a deferred close and ownership transfer",
+			analyzer: "closeleak",
+			files: map[string]string{
+				"internal/pipeline/p.go": `package pipeline
+
+import "net"
+
+func Ping(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	buf := make([]byte, 1)
+	_, err = conn.Read(buf)
+	return err
+}
+
+func Connect(addr string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return conn, nil
+}
+`,
+			},
+			count: 0,
+		},
+		{
+			name:     "deadlineflow flags a read with no deadline on some path",
+			analyzer: "deadlineflow",
+			files: map[string]string{
+				"internal/probe/p.go": `package probe
+
+import (
+	"net"
+	"time"
+)
+
+func Banner(conn net.Conn, patient bool) ([]byte, error) {
+	if patient {
+		conn.SetReadDeadline(time.Now().Add(time.Second))
+	}
+	buf := make([]byte, 64)
+	n, err := conn.Read(buf)
+	return buf[:n], err
+}
+`,
+			},
+			want:  []string{"internal/probe/p.go:13: [deadlineflow]", "not dominated by a deadline"},
+			count: 1,
+		},
+		{
+			name:     "deadlineflow accepts a dominating deadline definition",
+			analyzer: "deadlineflow",
+			files: map[string]string{
+				"internal/probe/p.go": `package probe
+
+import (
+	"net"
+	"time"
+)
+
+func Banner(conn net.Conn) ([]byte, error) {
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 64)
+	n, err := conn.Read(buf)
+	return buf[:n], err
+}
+`,
+			},
+			count: 0,
+		},
+		{
+			name:     "deadlineflow waiver suppresses and is not stale",
+			analyzer: "deadlineflow",
+			files: map[string]string{
+				"internal/probe/p.go": `package probe
+
+import (
+	"io"
+	"net"
+)
+
+func Drain(conn net.Conn) {
+	io.Copy(io.Discard, conn) //repolint:allow deadlineflow the drain deliberately waits for the peer to hang up
+}
+`,
+			},
+			count: 0,
+		},
+		{
+			name:     "stale seedflow waiver is audited when seedflow runs",
+			analyzer: "seedflow",
+			files: map[string]string{
+				"internal/pipeline/p.go": `package pipeline
+
+//repolint:allow seedflow left over from a removed generator
+func Pick(n int) int { return n }
+`,
+			},
+			want:  []string{"internal/pipeline/p.go:3: [directive]", "stale waiver: //repolint:allow seedflow no longer suppresses any finding"},
+			count: 1,
+		},
+		{
 			name:     "stale waiver becomes a finding when its analyzer runs clean",
 			analyzer: "errdrop",
 			files: map[string]string{
@@ -383,8 +656,8 @@ func Now() time.Time {
 `,
 	})
 	want := strings.Join([]string{
-		`{"file":"internal/resolve/resolve.go","line":6,"column":2,"analyzer":"errdrop","message":"os.Remove error return value is dropped; handle it or waive with //repolint:allow errdrop \u003creason\u003e"}`,
-		`{"file":"internal/stats/stats.go","line":6,"column":9,"analyzer":"timenondeterminism","message":"direct time.Now in simulation package repro/internal/stats; take time from internal/simclock or an injected clock"}`,
+		`{"file":"internal/resolve/resolve.go","line":6,"column":2,"analyzer":"errdrop","symbol":"Cleanup","message":"os.Remove error return value is dropped; handle it or waive with //repolint:allow errdrop \u003creason\u003e"}`,
+		`{"file":"internal/stats/stats.go","line":6,"column":9,"analyzer":"timenondeterminism","symbol":"Now","message":"direct time.Now in simulation package repro/internal/stats; take time from internal/simclock or an injected clock"}`,
 		``,
 	}, "\n")
 	prog, targets, err := LoadProgram(dir, []string{"./..."})

@@ -40,6 +40,10 @@ type Finding struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Symbol is the enclosing function ("Name" or "Type.Method"), ""
+	// at package level. Baseline entries key on it instead of the line
+	// number so they survive unrelated churn in the same file.
+	Symbol string
 }
 
 // String formats the finding in the driver's canonical output format.
@@ -102,6 +106,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Prog.Fset.Position(pos),
 		Analyzer: p.analyzer,
 		Message:  fmt.Sprintf(format, args...),
+		Symbol:   enclosingSymbol(p.Pkg, pos),
 	})
 }
 
@@ -125,6 +130,10 @@ func Analyzers() []*Analyzer {
 		GoleakAnalyzer,
 		LockOrderAnalyzer,
 		UnboundedSpawnAnalyzer,
+		DetMapRangeAnalyzer,
+		SeedFlowAnalyzer,
+		CloseLeakAnalyzer,
+		DeadlineFlowAnalyzer,
 	}
 }
 
@@ -231,8 +240,9 @@ func WriteJSON(w io.Writer, findings []Finding, rel func(string) string) error {
 			Line     int    `json:"line"`
 			Column   int    `json:"column"`
 			Analyzer string `json:"analyzer"`
+			Symbol   string `json:"symbol,omitempty"`
 			Message  string `json:"message"`
-		}{rel(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message}
+		}{rel(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Symbol, f.Message}
 		if err := enc.Encode(rec); err != nil {
 			return err
 		}

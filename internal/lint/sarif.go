@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Minimal SARIF 2.1.0 envelope — just the fields CI annotation
+// consumers read. Struct (not map) types keep the key order, and the
+// findings arrive position-sorted, so the report bytes are
+// deterministic.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF emits the findings as a SARIF 2.1.0 report for CI
+// annotation upload. The rule table lists every registered analyzer
+// plus the synthetic "directive" rule for waiver hygiene findings.
+func WriteSARIF(w io.Writer, findings []Finding, rel func(string) string) error {
+	var rules []sarifRule
+	for _, a := range Analyzers() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{a.Doc}})
+	}
+	rules = append(rules, sarifRule{ID: "directive", ShortDescription: sarifText{"malformed or stale //repolint:allow waivers"}})
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "warning",
+			Message: sarifText{f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: rel(f.Pos.Filename)},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "repolint", Rules: rules}},
+			Results: results,
+		}},
+	})
+}

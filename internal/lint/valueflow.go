@@ -1,0 +1,289 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/cfg"
+)
+
+// Value-flow helpers shared by the determinism and resource-safety
+// analyzers (detmaprange, seedflow, closeleak, deadlineflow). They glue
+// the syntactic def-use layer in internal/lint/cfg to the typechecked
+// program: identifiers resolve to their types.Object identities, and
+// reaching definitions expand into the set of expressions a value can
+// come from.
+
+// funcFlow bundles the control-flow graph and the solved reaching
+// definitions of one function body.
+type funcFlow struct {
+	pkg *Package
+	g   *cfg.Graph
+	du  *cfg.DefUse
+}
+
+func newFuncFlow(pkg *Package, body *ast.BlockStmt) *funcFlow {
+	g := cfg.New(body)
+	du := cfg.NewDefUse(g, body, func(id *ast.Ident) any {
+		if v := localVar(pkg.Info, id); v != nil {
+			return v
+		}
+		return nil
+	})
+	return &funcFlow{pkg: pkg, g: g, du: du}
+}
+
+// localVar resolves id to the function-local variable it denotes
+// (parameters included). Fields and package-level variables return nil:
+// their values can change through paths the intraprocedural def-use
+// layer cannot see, so the analyzers treat them as ambient.
+func localVar(info *types.Info, id *ast.Ident) *types.Var {
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return nil // package-level
+	}
+	return v
+}
+
+// sourcesOf returns the set of expressions that can feed expr's value
+// at stmt: the transitive closure over reaching definitions, stopping
+// at calls, literals, and ambient names (parameters, fields, captured
+// and package-level variables — which appear as the identifier itself).
+// Binary expressions and calls are themselves reported as sources, so a
+// caller can recognize `par.SubSeed(s, i)` or `base*7919 + 13` feeding
+// a value; conversions are transparent.
+func (ff *funcFlow) sourcesOf(stmt ast.Stmt, expr ast.Expr) []ast.Expr {
+	var out []ast.Expr
+	seen := make(map[*cfg.DefSite]bool)
+	var walk func(stmt ast.Stmt, e ast.Expr)
+	walkDef := func(d *cfg.DefSite, id ast.Expr) {
+		if seen[d] {
+			return
+		}
+		seen[d] = true
+		if d.Rhs == nil {
+			out = append(out, id)
+		} else {
+			walk(d.Stmt, d.Rhs)
+		}
+	}
+	walk = func(stmt ast.Stmt, e ast.Expr) {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := localVar(ff.pkg.Info, x)
+			if obj == nil {
+				out = append(out, x)
+				return
+			}
+			defs := ff.du.DefsReaching(stmt, obj)
+			if len(defs) == 0 {
+				out = append(out, x) // ambient: parameter or captured
+				return
+			}
+			for _, d := range defs {
+				walkDef(d, x)
+				if d.Update {
+					// Op-assigns also carry the previous value forward.
+					for _, pd := range ff.du.DefsReaching(d.Stmt, obj) {
+						walkDef(pd, x)
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			out = append(out, x)
+			walk(stmt, x.X)
+			walk(stmt, x.Y)
+		case *ast.UnaryExpr:
+			walk(stmt, x.X)
+		case *ast.StarExpr:
+			walk(stmt, x.X)
+		case *ast.CallExpr:
+			out = append(out, x)
+			if isConversion(ff.pkg.Info, x) && len(x.Args) == 1 {
+				walk(stmt, x.Args[0])
+			}
+		default:
+			out = append(out, e)
+		}
+	}
+	walk(stmt, expr)
+	return out
+}
+
+// shallowNodesWithStmt walks body in source order without entering
+// nested function literals, reporting every node together with the
+// innermost enclosing statement the CFG knows (so cfg queries can be
+// asked about the node's position). Nodes before the first known
+// statement report a nil stmt.
+func shallowNodesWithStmt(body *ast.BlockStmt, g *cfg.Graph, visit func(stmt ast.Stmt, n ast.Node)) {
+	var stack []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok && n != ast.Node(body) {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok && g.BlockOf(s) != nil {
+			stack = append(stack, s)
+		}
+		var cur ast.Stmt
+		// The innermost enclosing statement is the deepest stack entry
+		// whose span still contains n.
+		for i := len(stack) - 1; i >= 0; i-- {
+			if stack[i].Pos() <= n.Pos() && n.End() <= stack[i].End() {
+				cur = stack[i]
+				break
+			}
+		}
+		visit(cur, n)
+		return true
+	})
+}
+
+// stmtPathAvoiding reports whether control can flow from `from` to `to`
+// without executing any statement in avoid, at statement granularity. A
+// nil from starts at function entry (before the first statement); `to`
+// itself is not required to be avoid-free. Control statements occupy
+// the position after their block's straight-line statements (where
+// their condition or subject evaluates).
+func stmtPathAvoiding(g *cfg.Graph, from, to ast.Stmt, avoid map[ast.Stmt]bool) bool {
+	tb := g.BlockOf(to)
+	if tb == nil {
+		return false
+	}
+	toPos := stmtIndex(tb, to)
+
+	type state struct {
+		b   *cfg.Block
+		idx int
+	}
+	var queue []state
+	if from == nil {
+		queue = append(queue, state{g.Entry, 0})
+	} else {
+		fb := g.BlockOf(from)
+		if fb == nil {
+			return false
+		}
+		queue = append(queue, state{fb, stmtIndex(fb, from) + 1})
+	}
+	entered := make(map[*cfg.Block]bool) // blocks already scanned from index 0
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		blocked := false
+		for i := st.idx; i < len(st.b.Stmts); i++ {
+			if st.b == tb && i == toPos {
+				return true
+			}
+			if avoid[st.b.Stmts[i]] {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		// Control statements (and the end of the target block) sit past
+		// the straight-line statements.
+		if st.b == tb && toPos >= len(tb.Stmts) && st.idx <= toPos {
+			return true
+		}
+		for _, succ := range st.b.Succs {
+			if !entered[succ] {
+				entered[succ] = true
+				queue = append(queue, state{succ, 0})
+			}
+		}
+	}
+	return false
+}
+
+// stmtIndex is stmtPos for the public Block API: the statement's index
+// in its block, or len(Stmts) for control statements.
+func stmtIndex(b *cfg.Block, stmt ast.Stmt) int {
+	for i, s := range b.Stmts {
+		if s == stmt {
+			return i
+		}
+	}
+	return len(b.Stmts)
+}
+
+// exprMentions reports whether obj is referenced anywhere inside n,
+// nested function literals included (a capture is still a mention).
+func exprMentions(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok {
+			if info.Uses[id] == obj || info.Defs[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasSetDeadline reports whether t's method set (through one pointer)
+// includes SetDeadline — the shape shared by net.Conn, net.PacketConn,
+// every concrete conn and listener-conn, and the faultnet wrappers.
+func hasSetDeadline(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "SetDeadline")
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+// enclosingSymbol names the function declaration containing pos, as
+// Name or Type.Method for methods; "" at package level. Baseline
+// entries key on it so they survive line-number churn.
+func enclosingSymbol(pkg *Package, pos token.Pos) string {
+	for _, f := range pkg.Files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || pos < fd.Pos() || pos > fd.End() {
+				continue
+			}
+			if fd.Recv != nil && len(fd.Recv.List) > 0 {
+				if t := recvTypeName(fd.Recv.List[0].Type); t != "" {
+					return t + "." + fd.Name.Name
+				}
+			}
+			return fd.Name.Name
+		}
+	}
+	return ""
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.StarExpr:
+		return recvTypeName(e.X)
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(e.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	}
+	return ""
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/dnswire"
+	"repro/internal/par"
 )
 
 // Exchanger performs one DNS round trip. Implementations: UDPExchanger
@@ -264,10 +265,13 @@ func WithSeed(seed int64) Option {
 
 // New creates a Resolver over ex.
 func New(ex Exchanger, opts ...Option) *Resolver {
+	// The default query-ID stream derives from the fixed (0, 0) seam so
+	// an unseeded resolver still replays run to run; callers that need a
+	// distinct stream pass WithSeed with a SubSeed-derived value.
 	r := &Resolver{
 		exchanger: ex,
 		now:       time.Now,
-		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:       par.Rand(0, 0),
 		cache:     make(map[cacheKey]cacheEntry),
 		inflight:  make(map[cacheKey]*inflightLookup),
 	}

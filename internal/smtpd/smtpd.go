@@ -329,7 +329,7 @@ func (s *Server) session(conn net.Conn) (graceful bool) {
 	case ActStall:
 		// Hold the connection silently until the peer gives up.
 		//repolint:allow errdrop the stall behavior ends when the peer disconnects; its read error is the signal, not a failure
-		io.Copy(io.Discard, conn)
+		io.Copy(io.Discard, conn) //repolint:allow deadlineflow a stall is deliberately unbounded: the tarpit holds the spammer until the peer itself disconnects
 		return false
 	}
 

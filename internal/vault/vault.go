@@ -29,6 +29,7 @@ var (
 	ErrNotFound  = errors.New("vault: record not found")
 	ErrBadKey    = errors.New("vault: wrong key or corrupt record")
 	ErrKeyLength = errors.New("vault: key must be 32 bytes")
+	ErrClosed    = errors.New("vault: closed")
 )
 
 // Key is the removable-storage encryption key.
@@ -59,6 +60,7 @@ type Vault struct {
 	mu      sync.RWMutex
 	records map[uint64]*Record
 	nextID  uint64
+	closed  bool
 
 	// Entropy source; overridable for deterministic tests.
 	randRead func([]byte) (int, error)
@@ -85,12 +87,15 @@ func Open(key Key) (*Vault, error) {
 // Put encrypts and stores plaintext with its clear metadata, returning
 // the record ID.
 func (v *Vault) Put(domain, verdict string, received time.Time, plaintext []byte) (uint64, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return 0, ErrClosed
+	}
 	nonce := make([]byte, v.aead.NonceSize())
 	if _, err := v.randRead(nonce); err != nil {
 		return 0, fmt.Errorf("vault: nonce: %w", err)
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
 	id := v.nextID
 	v.nextID++
 	// Bind the ID and domain into the AEAD additional data so records
@@ -106,16 +111,34 @@ func (v *Vault) Put(domain, verdict string, received time.Time, plaintext []byte
 // Get decrypts record id.
 func (v *Vault) Get(id uint64) ([]byte, *Record, error) {
 	v.mu.RLock()
+	closed, aead := v.closed, v.aead
 	rec, ok := v.records[id]
 	v.mu.RUnlock()
+	if closed {
+		return nil, nil, ErrClosed
+	}
 	if !ok {
 		return nil, nil, ErrNotFound
 	}
-	pt, err := v.aead.Open(nil, rec.nonce, rec.ciphertext, aad(id, rec.Domain))
+	pt, err := aead.Open(nil, rec.nonce, rec.ciphertext, aad(id, rec.Domain))
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrBadKey, err)
 	}
 	return pt, rec, nil
+}
+
+// Close seals the handle. The paper keeps the encryption key on
+// removable storage mounted only while the collector runs (Section 4.1);
+// closing models unmounting it: the AEAD becomes unreachable and further
+// Put/Get calls fail with ErrClosed. Clear metadata (Len, Meta, Export
+// of sealed records) stays readable, mirroring the paper's split between
+// encrypted content and analyzable logs. Close is idempotent.
+func (v *Vault) Close() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.closed = true
+	v.aead = nil
+	return nil
 }
 
 // Len returns the number of stored records.
@@ -206,6 +229,14 @@ func Import(key Key, r io.Reader) (*Vault, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A truncated or corrupt stream bails out mid-import; the handle must
+	// be sealed again on those paths, not abandoned open.
+	imported := false
+	defer func() {
+		if !imported {
+			v.Close()
+		}
+	}()
 	read := func(data any) error { return binary.Read(r, binary.BigEndian, data) }
 	readBytes := func() ([]byte, error) {
 		var n uint32
@@ -258,6 +289,7 @@ func Import(key Key, r io.Reader) (*Vault, error) {
 			v.nextID = rec.ID + 1
 		}
 	}
+	imported = true
 	return v, nil
 }
 

@@ -32,6 +32,36 @@ func TestPutGetRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCloseSealsHandle(t *testing.T) {
+	v, err := Open(DeriveKey("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := v.Put("gmial.com", "receiver-typo", t0, []byte("body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Put("d.com", "v", t0, []byte("late")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put after Close: err = %v, want ErrClosed", err)
+	}
+	if _, _, err := v.Get(id); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get after Close: err = %v, want ErrClosed", err)
+	}
+	// Clear metadata stays readable after the key is unmounted.
+	if v.Len() != 1 {
+		t.Errorf("Len after Close = %d, want 1", v.Len())
+	}
+	if meta := v.Meta(); len(meta) != 1 || meta[0].Domain != "gmial.com" {
+		t.Errorf("Meta after Close = %+v", meta)
+	}
+	if err := v.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
 func TestCiphertextHidesPlaintext(t *testing.T) {
 	v, _ := Open(DeriveKey("k"))
 	secret := []byte("the visa document contents")
