@@ -14,13 +14,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"net"
 	"sort"
 	"time"
 
 	"repro/internal/ecosys"
 	"repro/internal/honey"
+	"repro/internal/par"
 )
 
 func main() {
@@ -75,13 +75,13 @@ func main() {
 		fmt.Printf("  %-24s %6d\n", r.mx, r.n)
 	}
 
-	rng := rand.New(rand.NewSource(*seed))
+	rng := par.Rand(*seed, 0)
 	rep := camp.RunHoney(accepting, time.Now(), rng)
 	fmt.Printf("\nhoney phase: %d emails to %d domains\n", rep.EmailsSent, rep.DomainsTargeted)
 	fmt.Printf("  opened (pixel):   %d domains\n", rep.Opens)
 	fmt.Printf("  token accesses:   %d\n", rep.TokenAccesses)
 	fmt.Printf("  credential uses:  %d\n", rep.CredentialUses)
 	for _, h := range beacon.Hits() {
-		fmt.Printf("  %s %s from %s at %s\n", h.Kind, h.Token[:8], h.Remote, h.When.Format(time.RFC3339))
+		fmt.Printf("  %s token#%s from %s at %s\n", h.Kind, honey.TokenDigest(h.Token), h.Remote, h.When.Format(time.RFC3339))
 	}
 }

@@ -8,13 +8,13 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/mailmsg"
+	"repro/internal/par"
 	"repro/internal/sanitize"
 	"repro/internal/smtpc"
 	"repro/internal/smtpd"
@@ -28,7 +28,7 @@ const typoDomain = "gmial.com"
 func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
-	rng := rand.New(rand.NewSource(42))
+	rng := par.Rand(42, 0)
 
 	// Live catch-all server.
 	var mu sync.Mutex

@@ -6,11 +6,11 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/alexa"
 	"repro/internal/defend"
 	"repro/internal/ecosys"
+	"repro/internal/par"
 	"repro/internal/users"
 )
 
@@ -22,7 +22,7 @@ func main() {
 	// and count how many surviving mistakes the corrector intercepts.
 	model := users.DefaultModel()
 	model.CharErrorRate = 0.05 // accelerated for the demo
-	rng := rand.New(rand.NewSource(1))
+	rng := par.Rand(1, 0)
 	targets := []string{"gmail.com", "outlook.com", "hotmail.com", "verizon.com"}
 	attempts, mistakes, caught := 0, 0, 0
 	examples := 0

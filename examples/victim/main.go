@@ -132,6 +132,7 @@ func main() {
 		if user, pass, ok := scrapeCreds(msg.Body); ok {
 			conn, err := net.Dial("tcp", shellAddr)
 			if err == nil {
+				//repolint:allow keyleak this IS the simulated attacker exfiltrating scraped honey credentials to the monitored shell; the leak is the behavior under study
 				fmt.Fprintf(conn, "%s\n%s\n", user, pass)
 				buf := make([]byte, 64)
 				conn.SetReadDeadline(time.Now().Add(2 * time.Second))
@@ -146,7 +147,7 @@ func main() {
 	kinds := map[honey.AccessKind]int{}
 	for _, h := range beacon.Hits() {
 		kinds[h.Kind]++
-		fmt.Printf("  %-13s token %s from %s\n", h.Kind, h.Token[:8], h.Remote)
+		fmt.Printf("  %-13s token#%s from %s\n", h.Kind, honey.TokenDigest(h.Token), h.Remote)
 	}
 	fmt.Printf("\nsummary: %d pixel fetches, %d docx opens, %d shell logins\n",
 		kinds[honey.AccessPixel], kinds[honey.AccessDocx], kinds[honey.AccessShell])

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/distance"
+	"repro/internal/par"
 )
 
 // Domain is one ranked domain.
@@ -77,7 +78,7 @@ const topVisitors = 2.0e9
 // providers above occupy their (synthetic) global ranks near the top;
 // remaining ranks get generated pronounceable names.
 func NewUniverse(n int, seed int64) *Universe {
-	rng := rand.New(rand.NewSource(seed))
+	rng := par.Rand(seed, 0)
 	u := &Universe{byName: make(map[string]*Domain, n)}
 	used := map[string]bool{}
 
@@ -140,7 +141,7 @@ func (u *Universe) Lookup(name string) (Domain, bool) {
 // EmailCategory returns domains listed in the email category, by email
 // rank — the list Section 4.2.1's registration strategy starts from.
 func (u *Universe) EmailCategory() []Domain {
-	var out []Domain
+	out := make([]Domain, 0, len(u.domains))
 	for _, d := range u.domains {
 		if d.EmailRank > 0 {
 			out = append(out, d)
@@ -167,7 +168,8 @@ func genName(rng *rand.Rand, used map[string]bool) string {
 				sb.WriteByte(consonants[rng.Intn(len(consonants))])
 			}
 		}
-		name := sb.String() + ".com"
+		sb.WriteString(".com")
+		name := sb.String()
 		if !used[name] {
 			return name
 		}

@@ -116,7 +116,7 @@ func SMTPTrapDomains() []StudyDomain {
 		"verizon.net", "comcast.net", "att.net", "cox.net", "twc.com",
 		"paypal.com", "chase.com", "hotmail.com", "gmail.com",
 	}
-	var out []StudyDomain
+	out := make([]StudyDomain, 0, len(targets)*5)
 	for _, target := range targets {
 		sld := distance.SLD(target)
 		tld := distance.TLD(target)
@@ -149,8 +149,9 @@ func SeedDomains() []StudyDomain {
 		"gmail.com": true, "hotmail.com": true, "outlook.com": true,
 		"comcast.com": true, "verizon.com": true,
 	}
-	var out []StudyDomain
-	for _, d := range ReceiverTypoDomains() {
+	receiver := ReceiverTypoDomains()
+	out := make([]StudyDomain, 0, len(receiver))
+	for _, d := range receiver {
 		if seedTargets[d.Target] {
 			out = append(out, d)
 		}

@@ -67,9 +67,10 @@ var ErrNoSeeds = errors.New("core: no seed observations for the projection")
 // typosquatting domain of the five targets in the ecosystem.
 func Project(res *Result, uni *alexa.Universe, eco *ecosys.Ecosystem) (*Projection, error) {
 	// ---- Training set: the 25 seed domains.
-	var X [][]float64
-	var y []float64
-	for _, d := range SeedDomains() {
+	seeds := SeedDomains()
+	X := make([][]float64, 0, len(seeds))
+	y := make([]float64, 0, len(seeds))
+	for _, d := range seeds {
 		st, ok := res.PerDomain[d.Name]
 		if !ok {
 			continue
@@ -215,7 +216,7 @@ func TopDomainsCost(res *Result, k int) float64 {
 		name  string
 		count float64
 	}
-	var ps []pair
+	ps := make([]pair, 0, len(res.PerDomain))
 	for name, st := range res.PerDomain {
 		ps = append(ps, pair{name, st.ReceiverYearly + st.ReflectionYearly})
 	}

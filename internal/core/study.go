@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/alexa"
@@ -339,14 +340,18 @@ func (s *Study) Run() (*Result, error) {
 		volume float64
 		isTrap bool
 	}
-	var volumes []volRec
-	var spamSamples []*spamfilter.Email
+	volumes := make([]volRec, 0, s.Cfg.Days*len(s.Domains))
+	spamSamples := make([]*spamfilter.Email, 0, s.Cfg.Days*len(s.Domains))
 	sampleTrap := make(map[*spamfilter.Email]bool)
 
 	// Deferred emails (reflection notifications, SMTP episode bursts)
 	// keyed by day index.
 	pending := make(map[int][]*spamfilter.Email)
-	var allTypoEmails []*spamfilter.Email
+	totalPending := 0
+	for _, es := range pending {
+		totalPending += len(es)
+	}
+	allTypoEmails := make([]*spamfilter.Email, 0, totalPending)
 	typoMeta := make(map[*spamfilter.Email]*StudyDomain)
 	// Hand-written one-off scams survive every automated layer; ground
 	// truth lets the run report the contamination the paper's manual
@@ -365,7 +370,7 @@ func (s *Study) Run() (*Result, error) {
 	// ---- Parallel generation: one unit per (non-outage day, domain),
 	// day-major so the merge below reproduces the sequential loop's
 	// append order exactly.
-	var units []genUnit
+	units := make([]genUnit, 0, s.Cfg.Days*len(s.Domains))
 	for day := 0; day < s.Cfg.Days; day++ {
 		if inOutage(day) {
 			continue // the infrastructure was down; nothing recorded
@@ -579,14 +584,16 @@ func (s *Study) recordTypoResult(res *Result, r spamfilter.Result, d *StudyDomai
 // recordSensitive runs the sanitizer pipeline on a surviving typo email:
 // extract text from body and attachments, scan, store encrypted.
 func (s *Study) recordSensitive(res *Result, e *spamfilter.Email, d *StudyDomain) {
-	text := e.Msg.Body
+	var text strings.Builder
+	text.WriteString(e.Msg.Body)
 	for _, a := range e.Msg.Attachments {
 		res.AttachmentExts[a.Ext()]++
 		if extracted, err := extractAttachment(a.Filename, a.Data); err == nil {
-			text += "\n" + extracted
+			text.WriteString("\n")
+			text.WriteString(extracted)
 		}
 	}
-	clean, findings := s.Sanitizer.Redact(text)
+	clean, findings := s.Sanitizer.Redact(text.String())
 	for _, f := range findings {
 		if !interestingKind(f.Kind) {
 			continue

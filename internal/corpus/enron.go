@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"repro/internal/par"
 	"repro/internal/sanitize"
 )
 
@@ -40,8 +41,8 @@ func DefaultEnronOptions() EnronOptions {
 
 // GenerateEnron produces the labeled corpus.
 func GenerateEnron(opts EnronOptions) []EnronDoc {
-	rng := rand.New(rand.NewSource(opts.Seed))
-	var docs []EnronDoc
+	rng := par.Rand(opts.Seed, 0)
+	docs := make([]EnronDoc, 0, opts.Plain)
 	for i := 0; i < opts.Plain; i++ {
 		docs = append(docs, plainDoc(rng))
 	}
@@ -124,10 +125,11 @@ func randomCard(rng *rand.Rand) string {
 	if p == "37" || p == "36" {
 		length = 15
 	}
-	for len(p) < length-1 {
-		p += string(byte('0' + rng.Intn(10)))
+	buf := append(make([]byte, 0, length), p...)
+	for len(buf) < length-1 {
+		buf = append(buf, byte('0'+rng.Intn(10)))
 	}
-	return sanitize.LuhnComplete(p)
+	return sanitize.LuhnComplete(string(buf))
 }
 
 func randomSecret(rng *rand.Rand) string {

@@ -13,7 +13,10 @@
 // All output is deterministic given a seed.
 package corpus
 
-import "math/rand"
+import (
+	"math/rand"
+	"strings"
+)
 
 // Lexicons are intentionally small: the generators compose them
 // combinatorially, which is what matters for the bag-of-words and
@@ -104,14 +107,14 @@ func pick[T any](rng *rand.Rand, xs []T) T { return xs[rng.Intn(len(xs))] }
 
 // words returns n space-joined business words.
 func words(rng *rand.Rand, n int) string {
-	out := ""
+	var sb strings.Builder
 	for i := 0; i < n; i++ {
 		if i > 0 {
-			out += " "
+			sb.WriteByte(' ')
 		}
-		out += pick(rng, BusinessWords)
+		sb.WriteString(pick(rng, BusinessWords))
 	}
-	return out
+	return sb.String()
 }
 
 // PersonName returns a deterministic "first last" pair.

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/mailmsg"
+	"repro/internal/par"
 )
 
 func titleCase(s string) string {
@@ -63,7 +64,7 @@ func Generate(ds Dataset) []LabeledMessage {
 	if !ok {
 		return nil
 	}
-	rng := rand.New(rand.NewSource(p.seed))
+	rng := par.Rand(p.seed, 0)
 	out := make([]LabeledMessage, 0, p.n)
 	for i := 0; i < p.n; i++ {
 		if rng.Float64() < p.spamFrac {
@@ -96,14 +97,16 @@ func SpamMessage(rng *rand.Rand, evasion float64) *mailmsg.Message {
 		subject = pick(rng, SpamSubjectsSubtle)
 		var sb strings.Builder
 		for i := 0; i < 2+rng.Intn(3); i++ {
-			sb.WriteString(titleCase(pick(rng, SubtleSpamPhrases)) + ". ")
+			sb.WriteString(titleCase(pick(rng, SubtleSpamPhrases)))
+			sb.WriteString(". ")
 		}
 		body = sb.String()
 	} else {
 		subject = pick(rng, SpamSubjectsObvious)
 		var sb strings.Builder
 		for i := 0; i < 3+rng.Intn(5); i++ {
-			sb.WriteString(strings.ToUpper(pick(rng, SpamPhrases)) + "!!! ")
+			sb.WriteString(strings.ToUpper(pick(rng, SpamPhrases)))
+			sb.WriteString("!!! ")
 		}
 		fmt.Fprintf(&sb, "\nOnly $%d.99 today. ", 9+rng.Intn(90))
 		for i := 0; i < 2+rng.Intn(4); i++ {
@@ -138,7 +141,7 @@ func SpamMessage(rng *rand.Rand, evasion float64) *mailmsg.Message {
 func CampaignMessage(rng *rand.Rand, campaignID int, evasion float64) *mailmsg.Message {
 	// Derive the campaign's fixed content from its ID, then randomize only
 	// the recipient and trivial fields.
-	crng := rand.New(rand.NewSource(int64(campaignID)*7919 + 13))
+	crng := par.Rand(13, campaignID)
 	msg := SpamMessage(crng, evasion)
 	to := PersonAddr(rng, pick(rng, []string{"gmail.com", "hotmail.com", "outlook.com", "yahoo.com"}))
 	msg.SetHeader("To", to)

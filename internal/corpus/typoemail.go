@@ -3,6 +3,7 @@ package corpus
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/extract"
 	"repro/internal/mailmsg"
@@ -88,11 +89,13 @@ func SampleAttachment(rng *rand.Rand) mailmsg.Attachment {
 // lines and an attachment.
 func TypoEmail(rng *rand.Rand, from, rcpt string, kinds []sanitize.Kind) *mailmsg.Message {
 	doc := plainDoc(rng)
-	body := doc.Text
+	var body strings.Builder
+	body.WriteString(doc.Text)
 	for _, k := range kinds {
-		body += "\n" + SensitiveLine(rng, k)
+		body.WriteByte('\n')
+		body.WriteString(SensitiveLine(rng, k))
 	}
-	b := mailmsg.NewBuilder(from, rcpt, doc.Subject).Body(body)
+	b := mailmsg.NewBuilder(from, rcpt, doc.Subject).Body(body.String())
 	b.MessageID(fmt.Sprintf("typo-%d@%s", rng.Int63(), mailmsg.AddrDomain(from)))
 	if rng.Float64() < 0.12 { // a minority of personal mail has attachments
 		a := SampleAttachment(rng)

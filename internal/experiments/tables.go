@@ -3,7 +3,6 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"sort"
 	"strings"
 	"time"
@@ -13,6 +12,7 @@ import (
 	"repro/internal/dnswire"
 	"repro/internal/ecosys"
 	"repro/internal/honey"
+	"repro/internal/par"
 	"repro/internal/probe"
 	"repro/internal/resolve"
 	"repro/internal/sanitize"
@@ -86,7 +86,7 @@ func (s *Suite) Table2() (*Experiment, error) {
 	for i, d := range docs {
 		labeled[i] = d.Labeled()
 	}
-	rng := rand.New(rand.NewSource(s.Seed))
+	rng := par.Rand(s.Seed, 0)
 	scores := sanitize.EvaluateSampled(labeled, 20, rng)
 
 	e := &Experiment{ID: "Table 2", Title: "Precision and sensitivity of the regex filtering module",
@@ -181,7 +181,7 @@ func (s *Suite) Table4() (*Experiment, error) {
 	for _, d := range eco.Ctypos() {
 		domains = append(domains, d.Name)
 	}
-	table := probe.Table4(probe.Scan(domains, &probe.EcoNet{Eco: eco}))
+	table := probe.Table4(probe.Scan(context.Background(), domains, &probe.EcoNet{Eco: eco}))
 	total := len(domains)
 	var rows []string
 	order := []ecosys.SMTPSupport{
@@ -297,7 +297,7 @@ func (s *Suite) Table6() (*Experiment, error) {
 		}
 	}
 
-	rng := rand.New(rand.NewSource(s.Seed + 7))
+	rng := par.Rand(s.Seed, 7)
 	rep := camp.RunHoney(accepting, time.Date(2017, 6, 15, 9, 0, 0, 0, time.UTC), rng)
 
 	e := &Experiment{ID: "Table 6", Title: "Mail exchanger distribution of accepting domains (+ honey tokens)",

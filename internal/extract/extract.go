@@ -61,9 +61,9 @@ func Text(filename string, data []byte) (string, error) {
 	case "docx", "doc", "docm":
 		// A real-world extension but not our container: treat the payload
 		// as opaque; only magic-matched SDOC extracts.
-		return "", fmt.Errorf("%w: %s payload without SDOC container", ErrUnknownFormat, ext)
+		return "", fmt.Errorf("%w: document extension without SDOC container", ErrUnknownFormat)
 	default:
-		return "", fmt.Errorf("%w: %q", ErrUnknownFormat, ext)
+		return "", fmt.Errorf("%w: unrecognized extension", ErrUnknownFormat)
 	}
 }
 
@@ -97,7 +97,7 @@ func sdocText(data []byte) (string, error) {
 	defer r.Close()
 	text, err := io.ReadAll(io.LimitReader(r, int64(want)+1))
 	if err != nil {
-		return "", fmt.Errorf("%w: SDOC body: %v", ErrCorrupt, err)
+		return "", fmt.Errorf("%w: SDOC body read failed", ErrCorrupt)
 	}
 	if uint64(len(text)) != want {
 		return "", fmt.Errorf("%w: SDOC length %d != declared %d", ErrCorrupt, len(text), want)
@@ -130,7 +130,7 @@ func spdfText(data []byte) (string, error) {
 		}
 		var n int
 		if _, err := fmt.Fscanf(bytes.NewReader(rest), "obj %d\n", &n); err != nil {
-			return "", fmt.Errorf("%w: SPDF object header: %v", ErrCorrupt, err)
+			return "", fmt.Errorf("%w: SPDF object header read failed", ErrCorrupt)
 		}
 		hdrEnd := bytes.IndexByte(rest, '\n')
 		if hdrEnd < 0 || n < 0 || hdrEnd+1+n+len("\nendobj\n") > len(rest) {

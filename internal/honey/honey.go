@@ -64,6 +64,15 @@ func Mint(key, domain string, design Design) Token {
 	return Token(hex.EncodeToString(mac.Sum(nil))[:20])
 }
 
+// TokenDigest renders a token in the only form the paper allows in
+// logs, tables and reports: a truncated SHA-256 of the token value
+// ("we only publish hashed tokens", Section 4). The raw token never
+// needs to appear in output — equality of digests identifies a hit.
+func TokenDigest(t Token) string {
+	sum := sha256.Sum256([]byte(t))
+	return hex.EncodeToString(sum[:4])
+}
+
 // Credentials is a honey username/password pair.
 type Credentials struct {
 	Username string

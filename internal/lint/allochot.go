@@ -1,0 +1,464 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// AllocHotAnalyzer is the guardrail for the match-engine and other
+// benchmark-gated hot paths: the BENCH_*.json allocation ratchet in CI
+// catches regressions after the fact, this analyzer names the offending
+// line before the benchmark run. A function is hot when it is reachable
+// from a committed Benchmark* function; inside a hot function's loops it
+// flags the classic allocation-per-iteration patterns:
+//
+//   - regexp compilation inside the loop (hoist it);
+//   - fmt.Sprintf/Sprint/Sprintln inside the loop (strconv or append);
+//   - loop-carried string concatenation (s += ...), and loop-invariant
+//     concatenation chains rebuilt identically every iteration — the
+//     value-propagation layer exempts chains that fold to compile-time
+//     constants, and def-use proves invariance of the rest;
+//   - append in the loop to a slice whose every reaching definition
+//     provably lacks capacity (prealloc with make(T, 0, n)).
+//
+// Benchmark roots come from parsing the module's *_test.go files (the
+// driver deliberately does not typecheck test code), resolving called
+// names syntactically, then closing transitively over in-module callees.
+var AllocHotAnalyzer = &Analyzer{
+	Name: "allochot",
+	Doc:  "flags loop-carried allocation patterns in functions reachable from committed benchmarks",
+	Run:  runAllochot,
+}
+
+func runAllochot(pass *Pass) {
+	st := pass.Prog.analyzerState("allochot", func() any {
+		return newAllocHotState(pass.Prog)
+	}).(*allocHotState)
+	if len(st.hot) == 0 {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			root, isHot := st.hot[fn]
+			if fn == nil || !isHot {
+				continue
+			}
+			checkHotBody(pass, fd, root)
+		}
+	}
+}
+
+// allocHotState holds the benchmark-reachable function set, built once
+// per Program.
+type allocHotState struct {
+	// hot maps each reachable function to the name of one benchmark
+	// that reaches it, for the finding message.
+	hot map[*types.Func]string
+}
+
+func newAllocHotState(prog *Program) *allocHotState {
+	st := &allocHotState{hot: make(map[*types.Func]string)}
+	type seed struct {
+		fn   *types.Func
+		root string
+	}
+	var worklist []seed
+	for _, c := range benchmarkCallCandidates(prog) {
+		for _, fn := range resolveCandidate(prog, c.pkgPath, c.name) {
+			worklist = append(worklist, seed{fn, c.bench})
+		}
+	}
+	// Deterministic expansion order.
+	sort.Slice(worklist, func(i, j int) bool {
+		if worklist[i].root != worklist[j].root {
+			return worklist[i].root < worklist[j].root
+		}
+		return worklist[i].fn.FullName() < worklist[j].fn.FullName()
+	})
+	for len(worklist) > 0 {
+		s := worklist[0]
+		worklist = worklist[1:]
+		if _, done := st.hot[s.fn]; done {
+			continue
+		}
+		st.hot[s.fn] = s.root
+		pkg, fd := declOf(prog, s.fn)
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg.Info, call)
+			if fn != nil && fn.Pkg() != nil && strings.HasPrefix(fn.Pkg().Path(), prog.Module+"/") {
+				if _, done := st.hot[fn]; !done {
+					worklist = append(worklist, seed{fn, s.root})
+				}
+			}
+			return true
+		})
+	}
+	return st
+}
+
+// benchCallCandidate is one syntactic call target found in a benchmark
+// body: a name, the package it most likely lives in, and the benchmark.
+type benchCallCandidate struct {
+	pkgPath string
+	name    string
+	bench   string
+}
+
+// benchmarkCallCandidates parses every *_test.go under the module root
+// (parser only — test files are never typechecked) and collects the
+// names each Benchmark* body calls: unqualified idents resolve to the
+// file's own package, pkg-qualified selectors through the file's
+// in-module imports, and bare method calls (s.Table2()) fall back to a
+// by-name search over the file's own package and its in-module imports.
+func benchmarkCallCandidates(prog *Program) []benchCallCandidate {
+	var out []benchCallCandidate
+	fset := token.NewFileSet()
+	filepath.WalkDir(prog.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return nil // unreadable subtree: no benchmarks there
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != prog.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil // unparseable test file: not our problem
+		}
+		rel, err := filepath.Rel(prog.Root, filepath.Dir(path))
+		if err != nil {
+			return nil
+		}
+		ownPkg := prog.Module
+		if rel != "." {
+			ownPkg = prog.Module + "/" + filepath.ToSlash(rel)
+		}
+		// Import name -> in-module path, for qualified calls.
+		imports := make(map[string]string)
+		var importPaths []string
+		for _, imp := range file.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p != prog.Module && !strings.HasPrefix(p, prog.Module+"/") {
+				continue
+			}
+			name := p[strings.LastIndex(p, "/")+1:]
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			imports[name] = p
+			importPaths = append(importPaths, p)
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv != nil || !strings.HasPrefix(fd.Name.Name, "Benchmark") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.Ident:
+					out = append(out, benchCallCandidate{ownPkg, fun.Name, fd.Name.Name})
+				case *ast.SelectorExpr:
+					if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+						if p, imported := imports[id.Name]; imported {
+							out = append(out, benchCallCandidate{p, fun.Sel.Name, fd.Name.Name})
+							return true
+						}
+					}
+					// Method or deeper selector: search by name in the file's
+					// own package and its in-module imports.
+					out = append(out, benchCallCandidate{ownPkg, fun.Sel.Name, fd.Name.Name})
+					for _, p := range importPaths {
+						out = append(out, benchCallCandidate{p, fun.Sel.Name, fd.Name.Name})
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	})
+	return out
+}
+
+// resolveCandidate finds every function or method in pkgPath named name.
+func resolveCandidate(prog *Program, pkgPath, name string) []*types.Func {
+	pkg, ok := prog.ByPath[pkgPath]
+	if !ok {
+		return nil
+	}
+	var out []*types.Func
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != name {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				out = append(out, fn)
+			}
+		}
+	}
+	return out
+}
+
+// checkHotBody flags the allocation-per-iteration patterns inside fd's
+// loops. Nested function literals are skipped: they only run if called,
+// and when they are hot in their own right their named callees are.
+func checkHotBody(pass *Pass, fd *ast.FuncDecl, root string) {
+	info := pass.Pkg.Info
+	ff := newFuncFlow(pass.Pkg, fd.Body)
+	pf := newPropFlow(pass.Pkg, ff, nil)
+	var loops []ast.Node
+	flagged := make(map[ast.Node]bool)
+	inLoop := func(n ast.Node) bool {
+		for _, l := range loops {
+			lo, hi := loopIterSpan(l)
+			if lo <= n.Pos() && n.End() <= hi {
+				return true
+			}
+		}
+		return false
+	}
+	shallowNodesWithStmt(fd.Body, ff.g, func(stmt ast.Stmt, n ast.Node) {
+		switch x := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, x)
+		case *ast.CallExpr:
+			if !inLoop(x) {
+				return
+			}
+			fn := calleeFunc(info, x)
+			if fn == nil {
+				return
+			}
+			switch {
+			case isPkgPath(fn.Pkg(), "regexp") &&
+				(strings.HasPrefix(fn.Name(), "Compile") || strings.HasPrefix(fn.Name(), "MustCompile")):
+				pass.Reportf(x.Pos(), "hot path (reachable from %s): regexp.%s inside a loop recompiles every iteration; hoist it", root, fn.Name())
+			case isPkgPath(fn.Pkg(), "fmt") && (fn.Name() == "Sprintf" || fn.Name() == "Sprint" || fn.Name() == "Sprintln"):
+				pass.Reportf(x.Pos(), "hot path (reachable from %s): fmt.%s inside a loop allocates every iteration; use strconv or append", root, fn.Name())
+			}
+		case *ast.AssignStmt:
+			if !inLoop(x) {
+				return
+			}
+			checkHotAssign(pass, pf, ff, stmt, x, root, flagged)
+		case *ast.BinaryExpr:
+			if x.Op != token.ADD || flagged[x] {
+				return
+			}
+			loop := innermostLoop(loops, x)
+			if loop == nil {
+				return
+			}
+			t := typeOf(info, x)
+			if b, ok := t.(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+				return
+			}
+			// Judge only the maximal chain: a varying outer concat means
+			// the string is being constructed, and its invariant
+			// sub-chains ride along for free. Mark them handled either
+			// way so they are not re-judged as standalone chains.
+			flagSubConcats(x, flagged)
+			// Constant-folded concatenations are free. Of the rest, only
+			// loop-invariant chains are flagged: they rebuild the same
+			// string every iteration and hoisting is always possible. A
+			// concat of loop-varying parts is the string's construction,
+			// not a redundancy — the += and Sprintf rules cover the
+			// accumulating forms.
+			if pf.Value(stmt, x).IsConst() || !loopInvariantConcat(ff, info, stmt, x, loop) {
+				return
+			}
+			pass.Reportf(x.Pos(), "hot path (reachable from %s): loop-invariant string concatenation rebuilt every iteration; hoist it out of the loop", root)
+		}
+	})
+}
+
+// loopIterSpan returns the part of l executed once per iteration: the
+// body plus, for a classic for statement, its condition and post
+// statement. Range expressions and init statements run once per loop
+// entry, so code there is charged to the enclosing loop, if any.
+func loopIterSpan(l ast.Node) (lo, hi token.Pos) {
+	switch x := l.(type) {
+	case *ast.ForStmt:
+		lo = x.Body.Pos()
+		if x.Post != nil {
+			lo = x.Post.Pos()
+		}
+		if x.Cond != nil {
+			lo = x.Cond.Pos()
+		}
+		return lo, x.Body.End()
+	case *ast.RangeStmt:
+		return x.Body.Pos(), x.Body.End()
+	}
+	return l.Pos(), l.End()
+}
+
+// innermostLoop returns the loop with the smallest per-iteration span
+// containing n, or nil when n executes at most once per entry of every
+// collected loop.
+func innermostLoop(loops []ast.Node, n ast.Node) ast.Node {
+	var best ast.Node
+	var bestLo, bestHi token.Pos
+	for _, l := range loops {
+		lo, hi := loopIterSpan(l)
+		if lo <= n.Pos() && n.End() <= hi {
+			if best == nil || (bestLo <= lo && hi <= bestHi) {
+				best, bestLo, bestHi = l, lo, hi
+			}
+		}
+	}
+	return best
+}
+
+// loopInvariantConcat reports whether every operand of a concat chain
+// is provably the same value on every iteration of loop: literals,
+// constants, and variables whose every reaching definition lies outside
+// the loop. Calls and anything else vary (or may), so the chain does
+// not count as hoistable.
+func loopInvariantConcat(ff *funcFlow, info *types.Info, stmt ast.Stmt, e ast.Expr, loop ast.Node) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.BinaryExpr:
+		return x.Op == token.ADD &&
+			loopInvariantConcat(ff, info, stmt, x.X, loop) &&
+			loopInvariantConcat(ff, info, stmt, x.Y, loop)
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if _, isConst := obj.(*types.Const); isConst {
+			return true
+		}
+		lv := localVar(info, x)
+		if lv == nil {
+			return true // package-level value or imported name
+		}
+		for _, d := range ff.du.DefsReaching(stmt, lv) {
+			if d.Stmt.Pos() >= loop.Pos() && d.Stmt.End() <= loop.End() {
+				return false
+			}
+		}
+		return true
+	case *ast.SelectorExpr:
+		return loopInvariantConcat(ff, info, stmt, x.X, loop)
+	}
+	return false
+}
+
+// flagSubConcats marks every nested + of a concat chain so a+b+c
+// reports once.
+func flagSubConcats(e ast.Expr, flagged map[ast.Node]bool) {
+	if b, ok := ast.Unparen(e).(*ast.BinaryExpr); ok && b.Op == token.ADD {
+		flagged[b] = true
+		flagSubConcats(b.X, flagged)
+		flagSubConcats(b.Y, flagged)
+	}
+}
+
+// checkHotAssign flags loop-carried `s += str` and append-without-
+// prealloc.
+func checkHotAssign(pass *Pass, pf *propFlow, ff *funcFlow, stmt ast.Stmt, x *ast.AssignStmt, root string, flagged map[ast.Node]bool) {
+	info := pf.ff.pkg.Info
+	if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 {
+		if t, ok := typeOf(info, x.Lhs[0]).(*types.Basic); ok && t.Info()&types.IsString != 0 {
+			flagSubConcats(x.Rhs[0], flagged)
+			pass.Reportf(x.Pos(), "hot path (reachable from %s): loop-carried string += grows quadratically; use strings.Builder or a []byte buffer", root)
+			return
+		}
+	}
+	if x.Tok != token.ASSIGN || len(x.Lhs) != 1 || len(x.Rhs) != 1 {
+		return
+	}
+	lhs, ok := ast.Unparen(x.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr)
+	if !ok || !isBuiltinCall(info, call, "append") || len(call.Args) == 0 {
+		return
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || first.Name != lhs.Name {
+		return
+	}
+	obj := localVar(info, lhs)
+	if obj == nil {
+		return
+	}
+	defs := ff.du.DefsReaching(stmt, obj)
+	if len(defs) == 0 {
+		return // ambient: the caller may have preallocated
+	}
+	loopCarriedOnly := true
+	for _, d := range defs {
+		if d.Stmt == stmt {
+			continue // the loop-carried append itself
+		}
+		loopCarriedOnly = false
+		if !defLacksCapacity(info, d.Rhs) {
+			return // some reaching def may carry capacity: benefit of the doubt
+		}
+	}
+	if loopCarriedOnly {
+		return
+	}
+	pass.Reportf(x.Pos(), "hot path (reachable from %s): append in a loop to a slice with no preallocated capacity; make it with capacity first", root)
+}
+
+// defLacksCapacity reports whether rhs provably binds a slice with no
+// spare capacity: a zero-value declaration (nil rhs), a nil literal, an
+// empty composite literal, or a capacity-free make. Calls, sized makes
+// and anything unrecognized count as "may have capacity".
+func defLacksCapacity(info *types.Info, rhs ast.Expr) bool {
+	switch e := ast.Unparen(rhs).(type) {
+	case nil:
+		return true // var s []T
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0
+	case *ast.CallExpr:
+		if isBuiltinCall(info, e, "make") {
+			// make([]T, 0) or make([]T) — no room; a length or capacity
+			// argument other than a literal 0 may provide it.
+			for _, a := range e.Args[1:] {
+				lit, ok := ast.Unparen(a).(*ast.BasicLit)
+				if !ok || lit.Value != "0" {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return false
+}

@@ -109,9 +109,9 @@ func (g *Graph) PathAvoiding(from, to *Block, avoid func(*Block) bool) bool {
 
 // loopFrame is one enclosing breakable/continuable construct.
 type loopFrame struct {
-	label        string
-	breakTarget  *Block
-	contTarget   *Block // nil for switch/select frames
+	label       string
+	breakTarget *Block
+	contTarget  *Block // nil for switch/select frames
 }
 
 type builder struct {

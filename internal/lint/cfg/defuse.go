@@ -44,6 +44,12 @@ type DefSite struct {
 	// FromRange marks range key/value bindings; Rhs is then the ranged
 	// operand, not the bound element value.
 	FromRange bool
+	// TupleIndex is the variable's position on the left-hand side when a
+	// single multi-valued Rhs (a call, map index, type assertion or
+	// channel receive) binds several variables at once, so a consumer
+	// can reason about one result position instead of the whole tuple.
+	// It is -1 for ordinary one-to-one definitions.
+	TupleIndex int
 
 	ord   int // global creation order, for deterministic query results
 	seq   int // statement position within block (-1: before all stmts)
@@ -122,7 +128,7 @@ func stmtPos(b *Block, stmt ast.Stmt) int {
 	return len(b.Stmts)
 }
 
-func (d *DefUse) addSite(id *ast.Ident, stmt ast.Stmt, rhs ast.Expr, b *Block, seq int, update, fromRange bool) {
+func (d *DefUse) addSite(id *ast.Ident, stmt ast.Stmt, rhs ast.Expr, b *Block, seq int, update, fromRange bool, tupleIndex int) {
 	if id == nil || id.Name == "_" || b == nil {
 		return
 	}
@@ -132,7 +138,8 @@ func (d *DefUse) addSite(id *ast.Ident, stmt ast.Stmt, rhs ast.Expr, b *Block, s
 	}
 	site := &DefSite{
 		Obj: obj, Stmt: stmt, Rhs: rhs, Update: update, FromRange: fromRange,
-		ord: d.nextOrd(), seq: seq, block: b,
+		TupleIndex: tupleIndex,
+		ord:        d.nextOrd(), seq: seq, block: b,
 	}
 	d.byBlock[b] = append(d.byBlock[b], site)
 }
@@ -155,13 +162,15 @@ func (d *DefUse) collectStmt(s ast.Stmt, b *Block, seq int) {
 				continue
 			}
 			var rhs ast.Expr
+			tupleIdx := -1
 			switch {
 			case len(s.Rhs) == len(s.Lhs):
 				rhs = s.Rhs[i]
 			case len(s.Rhs) == 1:
 				rhs = s.Rhs[0] // tuple assignment: the shared call/expr
+				tupleIdx = i
 			}
-			d.addSite(id, s, rhs, b, seq, update, false)
+			d.addSite(id, s, rhs, b, seq, update, false, tupleIdx)
 		}
 	case *ast.DeclStmt:
 		gd, ok := s.Decl.(*ast.GenDecl)
@@ -175,18 +184,20 @@ func (d *DefUse) collectStmt(s ast.Stmt, b *Block, seq int) {
 			}
 			for i, name := range vs.Names {
 				var rhs ast.Expr
+				tupleIdx := -1
 				switch {
 				case len(vs.Values) == len(vs.Names):
 					rhs = vs.Values[i]
 				case len(vs.Values) == 1:
 					rhs = vs.Values[0]
+					tupleIdx = i
 				}
-				d.addSite(name, s, rhs, b, seq, false, false)
+				d.addSite(name, s, rhs, b, seq, false, false, tupleIdx)
 			}
 		}
 	case *ast.IncDecStmt:
 		if id, ok := ast.Unparen(s.X).(*ast.Ident); ok {
-			d.addSite(id, s, nil, b, seq, true, false)
+			d.addSite(id, s, nil, b, seq, true, false, -1)
 		}
 	}
 }
@@ -207,10 +218,10 @@ func (d *DefUse) collectRangeBindings(body *ast.BlockStmt) {
 		}
 		head := d.g.blockOf[rng]
 		if id, ok := ast.Unparen(rng.Key).(*ast.Ident); ok {
-			d.addSite(id, rng, rng.X, head, -1, false, true)
+			d.addSite(id, rng, rng.X, head, -1, false, true, -1)
 		}
 		if id, ok := ast.Unparen(rng.Value).(*ast.Ident); ok {
-			d.addSite(id, rng, rng.X, head, -1, false, true)
+			d.addSite(id, rng, rng.X, head, -1, false, true, -1)
 		}
 		return true
 	})

@@ -1,0 +1,405 @@
+// Value-propagation layer: a sparse abstract interpreter over the
+// basic-block graph and the def-use chains, answering "what can this
+// expression's value be just before this statement executes" in a small
+// lattice of constant strings and provenance tags. Like the two layers
+// below it, this file is purely syntactic — the caller supplies the
+// identifier resolver it already gave NewDefUse, plus an eval hook that
+// injects semantic knowledge (literal folding beyond strings, field
+// provenance, function summaries, laundering seams). The solver itself
+// only knows how values move: through assignments, concatenation,
+// ranges, selectors, indexing and calls.
+//
+// The lattice is a product of two independent components:
+//
+//   - a constant-string component {⊥, known(s), ⊤}: ⊥ means "no
+//     evidence yet" (the join identity, also returned on def-use
+//     cycles), known(s) a single provably constant string, ⊤ "not a
+//     compile-time constant";
+//   - a may-provenance component: a set of string tags, ⊥ = ∅, join =
+//     union. A tag on a value means the value MAY derive from the
+//     tagged source; absence is a proof of absence only up to the
+//     caller's eval hook being complete.
+//
+// Join is componentwise and therefore total, commutative, associative,
+// idempotent and monotone — properties the package fuzz target
+// (FuzzValueLattice) enforces, mirroring how FuzzCFGBuild enforces
+// builder totality.
+package cfg
+
+import (
+	"sort"
+	"strconv"
+
+	"go/ast"
+	"go/token"
+)
+
+// String-component kinds.
+const (
+	strBottom uint8 = iota // no evidence yet
+	strKnown               // exactly one known constant string
+	strTop                 // not a constant
+)
+
+// Value is one element of the value-propagation lattice.
+type Value struct {
+	strKind uint8
+	str     string
+	tags    map[string]bool
+}
+
+// BottomValue is the join identity: no constant evidence, no tags.
+func BottomValue() Value { return Value{} }
+
+// StringValue is the known constant s with no provenance tags.
+func StringValue(s string) Value { return Value{strKind: strKnown, str: s} }
+
+// UnknownValue is a non-constant value with no provenance tags — the
+// verdict for ambient inputs the eval hook does not claim.
+func UnknownValue() Value { return Value{strKind: strTop} }
+
+// TaggedValue is a non-constant value carrying the given provenance
+// tags.
+func TaggedValue(tags ...string) Value {
+	v := Value{strKind: strTop}
+	for _, t := range tags {
+		if v.tags == nil {
+			v.tags = make(map[string]bool, len(tags))
+		}
+		v.tags[t] = true
+	}
+	return v
+}
+
+// WithTags returns v with the given tags added.
+func (v Value) WithTags(tags ...string) Value {
+	if len(tags) == 0 {
+		return v
+	}
+	out := Value{strKind: v.strKind, str: v.str, tags: make(map[string]bool, len(v.tags)+len(tags))}
+	for t := range v.tags {
+		out.tags[t] = true
+	}
+	for _, t := range tags {
+		out.tags[t] = true
+	}
+	return out
+}
+
+// Const reports the constant-string component: (s, true) only when the
+// value is provably exactly s.
+func (v Value) Const() (string, bool) { return v.str, v.strKind == strKnown }
+
+// IsConst reports whether the value is a provable compile-time string.
+func (v Value) IsConst() bool { return v.strKind == strKnown }
+
+// HasTag reports whether tag is in the provenance set.
+func (v Value) HasTag(tag string) bool { return v.tags[tag] }
+
+// Tags returns the provenance set, sorted for deterministic reporting.
+func (v Value) Tags() []string {
+	if len(v.tags) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(v.tags))
+	for t := range v.tags {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsBottom reports whether v is the join identity.
+func (v Value) IsBottom() bool { return v.strKind == strBottom && len(v.tags) == 0 }
+
+// Join is the lattice join: componentwise on the constant string
+// (⊥ ∨ x = x, equal constants stay known, differing ones go to ⊤) and
+// set union on tags.
+func (v Value) Join(w Value) Value {
+	out := Value{}
+	switch {
+	case v.strKind == strBottom:
+		out.strKind, out.str = w.strKind, w.str
+	case w.strKind == strBottom:
+		out.strKind, out.str = v.strKind, v.str
+	case v.strKind == strKnown && w.strKind == strKnown && v.str == w.str:
+		out.strKind, out.str = strKnown, v.str
+	default:
+		out.strKind = strTop
+	}
+	if len(v.tags) > 0 || len(w.tags) > 0 {
+		out.tags = make(map[string]bool, len(v.tags)+len(w.tags))
+		for t := range v.tags {
+			out.tags[t] = true
+		}
+		for t := range w.tags {
+			out.tags[t] = true
+		}
+	}
+	return out
+}
+
+// Leq is the lattice order: v ⊑ w iff joining v into w changes nothing.
+func (v Value) Leq(w Value) bool {
+	switch v.strKind {
+	case strKnown:
+		if w.strKind == strKnown && v.str != w.str {
+			return false
+		}
+		if w.strKind == strBottom {
+			return false
+		}
+	case strTop:
+		if w.strKind != strTop {
+			return false
+		}
+	}
+	for t := range v.tags {
+		if !w.tags[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports lattice equality.
+func (v Value) Equal(w Value) bool { return v.Leq(w) && w.Leq(v) }
+
+// Concat is the transfer function for string concatenation: two known
+// constants fold, anything less constant goes to ⊤ (never ⊥ — a
+// concatenation always produces *some* runtime value, so under-claiming
+// constancy is the only safe direction), and provenance unions.
+func Concat(a, b Value) Value {
+	out := Value{strKind: strTop}
+	if a.strKind == strKnown && b.strKind == strKnown {
+		out.strKind, out.str = strKnown, a.str+b.str
+	}
+	if len(a.tags) > 0 || len(b.tags) > 0 {
+		out.tags = make(map[string]bool, len(a.tags)+len(b.tags))
+		for t := range a.tags {
+			out.tags[t] = true
+		}
+		for t := range b.tags {
+			out.tags[t] = true
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Sparse solver
+
+// ValueProp evaluates expressions against the lattice by chasing
+// reaching definitions on demand — sparse, along def-use chains, rather
+// than a dense per-block dataflow. Queries are memoized per (statement,
+// expression); cyclic def chains (s = s + x inside a loop) resolve by
+// cutting the cycle at ⊥, which the join then absorbs.
+type ValueProp struct {
+	g     *Graph
+	du    *DefUse
+	objOf func(*ast.Ident) any
+	// eval gives the caller first refusal on every expression: return
+	// (v, true) to decide it (literal folding, field provenance,
+	// summaries, seams), (_, false) to let the structural rules run.
+	eval func(stmt ast.Stmt, e ast.Expr) (Value, bool)
+
+	// EvalDef, when set, gives the caller first refusal on a whole
+	// definition site before the structural rules evaluate d.Rhs. It
+	// exists for the one fact an expression alone cannot express: which
+	// position of a multi-valued Rhs the variable binds (d.TupleIndex),
+	// so an interprocedural consumer can apply per-result summaries
+	// instead of smearing the whole tuple's provenance over every
+	// binding. Update definitions still concat the previous value.
+	EvalDef func(d *DefSite) (Value, bool)
+
+	exprMemo map[exprKey]Value
+	objMemo  map[objKey]Value
+	inExpr   map[exprKey]bool
+	inObj    map[objKey]bool
+}
+
+type exprKey struct {
+	stmt ast.Stmt
+	expr ast.Expr
+}
+
+type objKey struct {
+	stmt ast.Stmt
+	obj  any
+}
+
+// NewValueProp builds a solver over g and du (which must share the same
+// body). objOf must be the resolver given to NewDefUse; eval may be nil.
+func NewValueProp(g *Graph, du *DefUse, objOf func(*ast.Ident) any, eval func(ast.Stmt, ast.Expr) (Value, bool)) *ValueProp {
+	return &ValueProp{
+		g: g, du: du, objOf: objOf, eval: eval,
+		exprMemo: make(map[exprKey]Value),
+		objMemo:  make(map[objKey]Value),
+		inExpr:   make(map[exprKey]bool),
+		inObj:    make(map[objKey]bool),
+	}
+}
+
+// ValueOf returns the abstract value expr can hold immediately before
+// stmt executes. stmt may be nil only for expressions whose value does
+// not depend on position (literals, or anything the eval hook decides).
+func (vp *ValueProp) ValueOf(stmt ast.Stmt, expr ast.Expr) Value {
+	expr = ast.Unparen(expr)
+	k := exprKey{stmt, expr}
+	if v, ok := vp.exprMemo[k]; ok {
+		return v
+	}
+	if vp.inExpr[k] {
+		return BottomValue() // cycle: contribute nothing to the join
+	}
+	vp.inExpr[k] = true
+	v := vp.compute(stmt, expr)
+	delete(vp.inExpr, k)
+	vp.exprMemo[k] = v
+	return v
+}
+
+func (vp *ValueProp) compute(stmt ast.Stmt, expr ast.Expr) Value {
+	if vp.eval != nil {
+		if v, ok := vp.eval(stmt, expr); ok {
+			return v
+		}
+	}
+	switch e := expr.(type) {
+	case *ast.BasicLit:
+		if e.Kind == token.STRING {
+			if s, err := strconv.Unquote(e.Value); err == nil {
+				return StringValue(s)
+			}
+		}
+		return UnknownValue()
+	case *ast.Ident:
+		obj := vp.objOf(e)
+		if obj == nil {
+			return UnknownValue()
+		}
+		return vp.objValueAt(stmt, obj)
+	case *ast.BinaryExpr:
+		x, y := vp.ValueOf(stmt, e.X), vp.ValueOf(stmt, e.Y)
+		if e.Op == token.ADD {
+			return Concat(x, y)
+		}
+		j := x.Join(y)
+		return Value{strKind: strTop, tags: j.tags}
+	case *ast.UnaryExpr:
+		v := vp.ValueOf(stmt, e.X)
+		return Value{strKind: strTop, tags: v.tags}
+	case *ast.StarExpr:
+		return vp.ValueOf(stmt, e.X)
+	case *ast.SelectorExpr:
+		// The hook declined, so this is not a field the caller knows;
+		// provenance of the operand is the safe default, constancy is not.
+		v := vp.ValueOf(stmt, e.X)
+		return Value{strKind: strTop, tags: v.tags}
+	case *ast.IndexExpr:
+		v := vp.ValueOf(stmt, e.X)
+		return Value{strKind: strTop, tags: v.tags}
+	case *ast.SliceExpr:
+		v := vp.ValueOf(stmt, e.X)
+		return Value{strKind: strTop, tags: v.tags}
+	case *ast.KeyValueExpr:
+		return vp.ValueOf(stmt, e.Value)
+	case *ast.CompositeLit:
+		out := Value{strKind: strTop}
+		for _, el := range e.Elts {
+			v := vp.ValueOf(stmt, el)
+			if len(v.tags) > 0 {
+				out = Value{strKind: strTop, tags: out.Join(v).tags}
+			}
+		}
+		return out
+	case *ast.CallExpr:
+		// Unknown callee: assume any argument's provenance may flow to
+		// the result; a method call may also carry its receiver's.
+		out := Value{strKind: strTop}
+		for _, a := range e.Args {
+			v := vp.ValueOf(stmt, a)
+			if len(v.tags) > 0 {
+				out = Value{strKind: strTop, tags: out.Join(v).tags}
+			}
+		}
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			v := vp.ValueOf(stmt, sel.X)
+			if len(v.tags) > 0 {
+				out = Value{strKind: strTop, tags: out.Join(v).tags}
+			}
+		}
+		return out
+	case *ast.FuncLit:
+		return UnknownValue()
+	}
+	return UnknownValue()
+}
+
+// objValueAt joins the values of every definition of obj reaching stmt.
+// A variable with no visible definition is ambient (a parameter or a
+// capture); the eval hook already had its chance to tag it, so it reads
+// as unknown here.
+func (vp *ValueProp) objValueAt(stmt ast.Stmt, obj any) Value {
+	if stmt == nil {
+		return UnknownValue()
+	}
+	k := objKey{stmt, obj}
+	if v, ok := vp.objMemo[k]; ok {
+		return v
+	}
+	if vp.inObj[k] {
+		return BottomValue()
+	}
+	vp.inObj[k] = true
+	v := vp.computeObj(stmt, obj)
+	delete(vp.inObj, k)
+	vp.objMemo[k] = v
+	return v
+}
+
+func (vp *ValueProp) computeObj(stmt ast.Stmt, obj any) Value {
+	defs := vp.du.DefsReaching(stmt, obj)
+	if len(defs) == 0 {
+		return UnknownValue()
+	}
+	out := BottomValue()
+	for _, d := range defs {
+		out = out.Join(vp.defValue(d, obj))
+	}
+	if out.IsBottom() {
+		// Every reaching definition was part of a cycle; the value is
+		// real but unknowable here.
+		return UnknownValue()
+	}
+	return out
+}
+
+// defValue evaluates one definition site.
+func (vp *ValueProp) defValue(d *DefSite, obj any) Value {
+	var v Value
+	decided := false
+	if vp.EvalDef != nil {
+		v, decided = vp.EvalDef(d)
+	}
+	switch {
+	case decided:
+	case d.Rhs == nil:
+		// Zero-value declaration or ++/--: no constant evidence, no tags
+		// of its own.
+		v = UnknownValue()
+	case d.FromRange:
+		// Range binding: an element of the ranged operand inherits the
+		// operand's provenance but not its constancy.
+		rv := vp.ValueOf(d.Stmt, d.Rhs)
+		v = Value{strKind: strTop, tags: rv.tags}
+	default:
+		v = vp.ValueOf(d.Stmt, d.Rhs)
+	}
+	if d.Update {
+		// Op-assigns also carry the previous value forward.
+		prev := vp.objValueAt(d.Stmt, obj)
+		v = Concat(v, prev)
+	}
+	return v
+}

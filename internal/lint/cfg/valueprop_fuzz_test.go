@@ -1,0 +1,97 @@
+package cfg_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint/cfg"
+)
+
+// fuzzValue decodes one lattice element from fuzz-chosen raw parts:
+// kind selects the constant-string component, tags is a comma-separated
+// provenance set.
+func fuzzValue(kind uint8, s, tags string) cfg.Value {
+	var v cfg.Value
+	switch kind % 3 {
+	case 0:
+		v = cfg.BottomValue()
+	case 1:
+		v = cfg.StringValue(s)
+	case 2:
+		v = cfg.UnknownValue()
+	}
+	for _, t := range strings.Split(tags, ",") {
+		if t != "" {
+			v = v.WithTags(t)
+		}
+	}
+	return v
+}
+
+// FuzzValueLattice enforces the algebraic laws the value-propagation
+// solver relies on, the way FuzzCFGBuild enforces builder totality:
+// Join must be a total, commutative, associative, idempotent least upper
+// bound consistent with Leq, and Concat must be total, union its
+// operands' provenance, and fold constants exactly.
+func FuzzValueLattice(f *testing.F) {
+	f.Add(uint8(0), "", "", uint8(1), "a", "t1", uint8(2), "b", "t1,t2")
+	f.Add(uint8(1), "x", "", uint8(1), "x", "", uint8(1), "y", "")
+	f.Add(uint8(2), "", "vault-key", uint8(0), "", "", uint8(1), "", "raw-email")
+	f.Fuzz(func(t *testing.T, ka uint8, sa, ta string, kb uint8, sb, tb string, kc uint8, sc, tc string) {
+		a, b, c := fuzzValue(ka, sa, ta), fuzzValue(kb, sb, tb), fuzzValue(kc, sc, tc)
+
+		if !a.Leq(a) {
+			t.Error("Leq is not reflexive")
+		}
+		if !a.Join(b).Equal(b.Join(a)) {
+			t.Error("Join is not commutative")
+		}
+		if !a.Join(b).Join(c).Equal(a.Join(b.Join(c))) {
+			t.Error("Join is not associative")
+		}
+		if !a.Join(a).Equal(a) {
+			t.Error("Join is not idempotent")
+		}
+		if !a.Join(cfg.BottomValue()).Equal(a) {
+			t.Error("Bottom is not a Join identity")
+		}
+		j := a.Join(b)
+		if !a.Leq(j) || !b.Leq(j) {
+			t.Error("operands are not ≤ their join")
+		}
+		if a.Leq(c) && b.Leq(c) && !j.Leq(c) {
+			t.Error("Join is not the least upper bound")
+		}
+		if a.Leq(b) && !a.Join(c).Leq(b.Join(c)) {
+			t.Error("Join is not monotone")
+		}
+		if a.Leq(b) && b.Leq(c) && !a.Leq(c) {
+			t.Error("Leq is not transitive")
+		}
+		if a.Leq(b) && b.Leq(a) && !a.Equal(b) {
+			t.Error("Leq antisymmetry disagrees with Equal")
+		}
+
+		cc := cfg.Concat(a, b)
+		for _, tag := range a.Tags() {
+			if !cc.HasTag(tag) {
+				t.Errorf("Concat dropped tag %q from left operand", tag)
+			}
+		}
+		for _, tag := range b.Tags() {
+			if !cc.HasTag(tag) {
+				t.Errorf("Concat dropped tag %q from right operand", tag)
+			}
+		}
+		la, oka := a.Const()
+		lb, okb := b.Const()
+		if s, ok := cc.Const(); ok != (oka && okb) {
+			t.Error("Concat constancy disagrees with operands")
+		} else if ok && s != la+lb {
+			t.Errorf("Concat folded %q+%q to %q", la, lb, s)
+		}
+		if cc.IsBottom() && !(a.IsBottom() && b.IsBottom()) {
+			t.Error("Concat must not invent Bottom")
+		}
+	})
+}

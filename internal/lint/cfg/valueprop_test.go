@@ -1,0 +1,226 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"testing"
+)
+
+// parseVP builds the full three-layer stack (graph, def-use, value
+// propagation) for the first function body in src, resolving
+// identifiers by name as the def-use fixtures do.
+func parseVP(t *testing.T, src string, eval func(ast.Stmt, ast.Expr) (Value, bool)) (*token.FileSet, *Graph, *ValueProp) {
+	t.Helper()
+	fset, g, du, fd := parseDefUse(t, src)
+	vp := NewValueProp(g, du, func(id *ast.Ident) any { return id.Name }, eval)
+	_ = fd
+	return fset, g, vp
+}
+
+// identIn finds the identifier named name inside stmt.
+func identIn(t *testing.T, stmt ast.Stmt, name string) *ast.Ident {
+	t.Helper()
+	var found *ast.Ident
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name && found == nil {
+			found = id
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("no identifier %q in statement", name)
+	}
+	return found
+}
+
+// tagCalls is an eval hook tagging every call to a function with the
+// given name; everything else falls through to the structural rules.
+func tagCalls(funcName, tag string) func(ast.Stmt, ast.Expr) (Value, bool) {
+	return func(_ ast.Stmt, e ast.Expr) (Value, bool) {
+		if call, ok := e.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == funcName {
+				return TaggedValue(tag), true
+			}
+		}
+		return Value{}, false
+	}
+}
+
+func TestValuePropConstantFolding(t *testing.T) {
+	fset, g, vp := parseVP(t, `package p
+
+func f() {
+	a := "he"
+	b := a + "llo"
+	use(b)
+}
+`, nil)
+	use := stmtOnLine(t, fset, g, 6)
+	v := vp.ValueOf(use, identIn(t, use, "b"))
+	if s, ok := v.Const(); !ok || s != "hello" {
+		t.Fatalf("b = %q const=%v, want hello", s, ok)
+	}
+}
+
+func TestValuePropBranchJoin(t *testing.T) {
+	fset, g, vp := parseVP(t, `package p
+
+func f(c bool) {
+	x := "a"
+	if c {
+		x = "b"
+	}
+	use(x)
+	y := "s"
+	if c {
+		y = "s"
+	}
+	use(y)
+}
+`, nil)
+	useX := stmtOnLine(t, fset, g, 8)
+	if _, ok := vp.ValueOf(useX, identIn(t, useX, "x")).Const(); ok {
+		t.Fatal("x joins two different constants; must not be const")
+	}
+	useY := stmtOnLine(t, fset, g, 13)
+	if s, ok := vp.ValueOf(useY, identIn(t, useY, "y")).Const(); !ok || s != "s" {
+		t.Fatalf("y = %q const=%v, want s (same constant on both paths)", s, ok)
+	}
+}
+
+func TestValuePropLoopConcatCarriesTags(t *testing.T) {
+	for _, src := range []string{
+		`package p
+
+func f(n int) {
+	s := ""
+	for i := 0; i < n; i++ {
+		s = s + src()
+	}
+	use(s)
+}
+`,
+		`package p
+
+func f(n int) {
+	s := ""
+	for i := 0; i < n; i++ {
+		s += src()
+	}
+	use(s)
+}
+`,
+	} {
+		fset, g, vp := parseVP(t, src, tagCalls("src", "taint"))
+		use := stmtOnLine(t, fset, g, 8)
+		v := vp.ValueOf(use, identIn(t, use, "s"))
+		if !v.HasTag("taint") {
+			t.Errorf("loop-concatenated value lost its provenance tag")
+		}
+		if _, ok := v.Const(); ok {
+			t.Errorf("loop-concatenated value must not fold to a constant")
+		}
+	}
+}
+
+func TestValuePropEvalHookWinsOverStructure(t *testing.T) {
+	fset, g, vp := parseVP(t, `package p
+
+func f(p string) {
+	x := p
+	use(x)
+}
+`, func(_ ast.Stmt, e ast.Expr) (Value, bool) {
+		if id, ok := e.(*ast.Ident); ok && id.Name == "p" {
+			return TaggedValue("param"), true
+		}
+		return Value{}, false
+	})
+	use := stmtOnLine(t, fset, g, 5)
+	if !vp.ValueOf(use, identIn(t, use, "x")).HasTag("param") {
+		t.Fatal("parameter tag did not flow through the local copy")
+	}
+}
+
+func TestValuePropRangeElementInheritsTags(t *testing.T) {
+	fset, g, vp := parseVP(t, `package p
+
+func f() {
+	xs := src()
+	for _, v := range xs {
+		use(v)
+	}
+}
+`, tagCalls("src", "src"))
+	use := stmtOnLine(t, fset, g, 6)
+	v := vp.ValueOf(use, identIn(t, use, "v"))
+	if !v.HasTag("src") {
+		t.Fatal("range element lost the ranged operand's provenance")
+	}
+	if _, ok := v.Const(); ok {
+		t.Fatal("range element must not inherit constancy")
+	}
+}
+
+func TestValuePropDefaultsPassTagsThrough(t *testing.T) {
+	fset, g, vp := parseVP(t, `package p
+
+func f() {
+	m := src()
+	x := m.Field
+	y := g(x)
+	z := y[0]
+	use(z)
+}
+`, tagCalls("src", "src"))
+	use := stmtOnLine(t, fset, g, 8)
+	if !vp.ValueOf(use, identIn(t, use, "z")).HasTag("src") {
+		t.Fatal("tag dropped through selector/call/index chain")
+	}
+}
+
+func TestValuePropAmbientIsUnknown(t *testing.T) {
+	fset, g, vp := parseVP(t, `package p
+
+func f(p string) {
+	use(p)
+}
+`, nil)
+	use := stmtOnLine(t, fset, g, 4)
+	v := vp.ValueOf(use, identIn(t, use, "p"))
+	if _, ok := v.Const(); ok || len(v.Tags()) != 0 {
+		t.Fatalf("untagged parameter should read as unknown, got %+v", v)
+	}
+}
+
+func TestValueLatticeBasics(t *testing.T) {
+	bot := BottomValue()
+	a := StringValue("a")
+	b := StringValue("b")
+	taint := TaggedValue("t")
+
+	if v := bot.Join(a); !v.Equal(a) {
+		t.Error("bottom is not a join identity")
+	}
+	if v := a.Join(a); !v.Equal(a) {
+		t.Error("join is not idempotent")
+	}
+	if _, ok := a.Join(b).Const(); ok {
+		t.Error("join of distinct constants stayed const")
+	}
+	j := a.Join(taint)
+	if !j.HasTag("t") {
+		t.Error("join dropped a tag")
+	}
+	if !a.Leq(j) || !taint.Leq(j) {
+		t.Error("operands not ≤ their join")
+	}
+	if c := Concat(a, b); func() bool { s, ok := c.Const(); return !ok || s != "ab" }() {
+		t.Error("concat of constants did not fold")
+	}
+	if c := Concat(a, taint); !c.HasTag("t") {
+		t.Error("concat dropped a tag")
+	} else if _, ok := c.Const(); ok {
+		t.Error("concat with non-const stayed const")
+	}
+}

@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/cfg"
+)
+
+// CtxPropAnalyzer prepares the long-running daemon refactor: the
+// network-facing packages' exported APIs must be cancellable. It
+// enforces two rules in smtpd/smtpc/probe/resolve/dnsserve:
+//
+//  1. an exported function or method that blocks — dials, listens,
+//     resolves, sleeps, reads or writes a deadline-capable connection,
+//     calls one of the package's own network interfaces, or calls any
+//     context-taking callee (looking one level into same-module callees,
+//     goleak-style) — must take a context.Context parameter;
+//  2. a function that does take ctx must thread it: a context-taking
+//     callee must not be handed a fresh context.Background()/TODO()
+//     when the function's own ctx is in scope, and plain net.Dial
+//     cannot honor ctx at all — the value-propagation layer traces
+//     which context value actually reaches each call.
+var CtxPropAnalyzer = &Analyzer{
+	Name: "ctxprop",
+	Doc:  "flags exported blocking APIs in the network packages that do not take or thread a context.Context",
+	Run:  runCtxprop,
+}
+
+// ctxPropPackages are the module-relative packages under the contract.
+var ctxPropPackages = []string{
+	"internal/smtpd",
+	"internal/smtpc",
+	"internal/probe",
+	"internal/resolve",
+	"internal/dnsserve",
+}
+
+const (
+	ctxTagParam = "ctx-param" // derived from the function's own ctx parameter
+	ctxTagFresh = "ctx-fresh" // minted by context.Background()/TODO() in this body
+)
+
+func runCtxprop(pass *Pass) {
+	if !pkgInList(pass.Prog.Module, pass.Pkg.Path, ctxPropPackages) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !exportedAPI(info, fd) {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			ctxParam := ctxParamOf(fn)
+			if ctxParam == nil {
+				if what := firstBlockingCall(pass.Prog, pass.Pkg, fd.Body, true); what != "" {
+					pass.Reportf(fd.Name.Pos(),
+						"exported blocking API %s (blocks in %s) has no context.Context parameter; it cannot be cancelled",
+						fd.Name.Name, what)
+				}
+				continue
+			}
+			checkCtxThreading(pass, fd, ctxParam)
+		}
+	}
+}
+
+// exportedAPI reports whether fd is part of the package API surface: an
+// exported function, or an exported method on an exported receiver type.
+func exportedAPI(info *types.Info, fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	name := recvTypeName(fd.Recv.List[0].Type)
+	return name != "" && ast.IsExported(name)
+}
+
+// ctxParamOf returns fn's first context.Context parameter object.
+func ctxParamOf(fn *types.Func) *types.Var {
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return params.At(i)
+		}
+	}
+	return nil
+}
+
+// ctxParamIndex returns the index of fn's first context parameter, or -1.
+func ctxParamIndex(fn *types.Func) int {
+	if fn == nil {
+		return -1
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// firstBlockingCall scans body (closures included — work a spawned
+// goroutine does still needs cancelling) for a call that can block,
+// and descends one level into same-module callees so a thin exported
+// wrapper over a blocking helper is still caught. It returns a short
+// description of the first blocking call found, or "".
+func firstBlockingCall(prog *Program, pkg *Package, body *ast.BlockStmt, descend bool) string {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if what := classifyBlockingCall(prog, pkg, call); what != "" {
+			found = what
+			return false
+		}
+		if !descend {
+			return true
+		}
+		fn := calleeFunc(pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil || !strings.HasPrefix(fn.Pkg().Path(), prog.Module+"/") {
+			return true
+		}
+		if cpkg, cfd := declOf(prog, fn); cfd != nil && cfd.Body != nil {
+			if what := firstBlockingCall(prog, cpkg, cfd.Body, false); what != "" {
+				found = fn.Name() + " (" + what + ")"
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// classifyBlockingCall names the way call blocks, or returns "".
+func classifyBlockingCall(prog *Program, pkg *Package, call *ast.CallExpr) string {
+	info := pkg.Info
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	name := fn.Name()
+	switch {
+	case isPkgPath(fn.Pkg(), "net"):
+		if strings.HasPrefix(name, "Dial") || strings.HasPrefix(name, "Listen") || strings.HasPrefix(name, "Lookup") {
+			return "net." + name
+		}
+	case isPkgPath(fn.Pkg(), "time") && name == "Sleep":
+		return "time.Sleep"
+	}
+	// Reads/writes/accepts on a deadline-capable endpoint.
+	switch name {
+	case "Read", "Write", "ReadFrom", "WriteTo", "ReadString", "WriteString", "Accept", "AcceptTCP":
+		if recv := recvOperand(call); recv != nil && hasSetDeadline(typeOf(info, recv)) {
+			return name + " on a connection"
+		}
+	}
+	// A method of an interface declared in one of the contract packages
+	// (probe.Net and friends) is network I/O by construction.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface &&
+			fn.Pkg() != nil && pkgInList(prog.Module, fn.Pkg().Path(), ctxPropPackages) {
+			return fn.Pkg().Name() + " interface method " + name
+		}
+	}
+	// A callee that itself takes a context is blocking by its own
+	// declaration; calling it without one to pass on is the disease.
+	if ctxParamIndex(fn) >= 0 {
+		return "context-taking callee " + name
+	}
+	return ""
+}
+
+// checkCtxThreading verifies every context-taking call inside a
+// ctx-taking exported function receives a context derived from the
+// function's own parameter, and that no un-cancellable dial sneaks in.
+func checkCtxThreading(pass *Pass, fd *ast.FuncDecl, ctxParam *types.Var) {
+	info := pass.Pkg.Info
+	for _, body := range bodiesIn(fd) {
+		ff := newFuncFlow(pass.Pkg, body)
+		pf := newPropFlow(pass.Pkg, ff, func(vp *cfg.ValueProp, stmt ast.Stmt, e ast.Expr) (cfg.Value, bool) {
+			switch x := e.(type) {
+			case *ast.Ident:
+				obj := info.Uses[x]
+				if obj == nil {
+					obj = info.Defs[x]
+				}
+				if obj == ctxParam {
+					if lv := localVar(info, x); lv != nil && stmt != nil &&
+						len(ff.du.DefsReaching(stmt, lv)) > 0 {
+						return cfg.Value{}, false
+					}
+					return cfg.TaggedValue(ctxTagParam), true
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(info, x); fn != nil && isPkgPath(fn.Pkg(), "context") {
+					switch fn.Name() {
+					case "Background", "TODO":
+						return cfg.TaggedValue(ctxTagFresh), true
+					}
+				}
+			}
+			return cfg.Value{}, false
+		})
+		shallowNodesWithStmt(body, ff.g, func(stmt ast.Stmt, n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return
+			}
+			if isPkgPath(fn.Pkg(), "net") && (fn.Name() == "Dial" || fn.Name() == "DialTimeout") {
+				pass.Reportf(call.Pos(),
+					"net.%s inside a ctx-taking API cannot honor ctx; use (&net.Dialer{}).DialContext", fn.Name())
+				return
+			}
+			k := ctxParamIndex(fn)
+			if k < 0 || isPkgPath(fn.Pkg(), "context") {
+				return
+			}
+			arg := argForParamIndex(call, k)
+			if arg == nil {
+				return
+			}
+			v := pf.Value(stmt, arg)
+			if v.HasTag(ctxTagFresh) && !v.HasTag(ctxTagParam) {
+				pass.Reportf(call.Pos(),
+					"%s is handed a fresh context.Background/TODO while %s's ctx parameter is in scope; thread the caller's ctx",
+					fn.Name(), fd.Name.Name)
+			}
+		})
+	}
+}

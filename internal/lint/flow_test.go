@@ -634,6 +634,274 @@ func Cleanup(path string) error {
 	}
 }
 
+// TestValuePropAnalyzers covers the three analyzers built on the
+// value-propagation layer: keyleak's source→sink provenance tracking
+// (direct, interprocedural, field-sensitive, and through the crypto
+// seam), ctxprop's blocking-API contract, and allochot's
+// benchmark-reachability gating of the per-iteration allocation rules.
+func TestValuePropAnalyzers(t *testing.T) {
+	cases := []struct {
+		name     string
+		analyzer string
+		files    map[string]string
+		want     []string
+		count    int
+	}{
+		{
+			name:     "keyleak flags vault key reaching the process log",
+			analyzer: "keyleak",
+			files: map[string]string{
+				"internal/vault/vault.go": `package vault
+
+type Key []byte
+`,
+				"internal/collector/c.go": `package collector
+
+import (
+	"log"
+
+	"repro/internal/vault"
+)
+
+func Dump(k vault.Key) {
+	log.Printf("loaded key %x", k)
+}
+`,
+			},
+			want:  []string{"internal/collector/c.go:10: [keyleak]", "vault key material", "log.Printf"},
+			count: 1,
+		},
+		{
+			name:     "keyleak follows a leak through a helper's summary",
+			analyzer: "keyleak",
+			files: map[string]string{
+				"internal/vault/vault.go": `package vault
+
+type Key []byte
+`,
+				"internal/collector/c.go": `package collector
+
+import (
+	"log"
+
+	"repro/internal/vault"
+)
+
+func emit(s string) {
+	log.Println(s)
+}
+
+func Leak(k vault.Key) {
+	emit(string(k))
+}
+`,
+			},
+			want:  []string{"internal/collector/c.go:14: [keyleak]", "flows into emit"},
+			count: 1,
+		},
+		{
+			name:     "keyleak flags raw message body but not study-domain metadata",
+			analyzer: "keyleak",
+			files: map[string]string{
+				"internal/mailmsg/m.go": `package mailmsg
+
+type Message struct {
+	Body        string
+	StudyDomain string
+}
+`,
+				"internal/collector/c.go": `package collector
+
+import (
+	"log"
+
+	"repro/internal/mailmsg"
+)
+
+func Audit(m *mailmsg.Message) {
+	log.Printf("domain %s", m.StudyDomain)
+	log.Printf("body %s", m.Body)
+}
+`,
+			},
+			want:  []string{"internal/collector/c.go:11: [keyleak]", "pre-sanitize message content"},
+			count: 1,
+		},
+		{
+			name:     "keyleak accepts a hashed key: the crypto seam reads clean",
+			analyzer: "keyleak",
+			files: map[string]string{
+				"internal/vault/vault.go": `package vault
+
+type Key []byte
+`,
+				"internal/collector/c.go": `package collector
+
+import (
+	"crypto/sha256"
+	"log"
+
+	"repro/internal/vault"
+)
+
+func Fingerprint(k vault.Key) {
+	sum := sha256.Sum256(k)
+	log.Printf("key digest %x", sum[:4])
+}
+`,
+			},
+			count: 0,
+		},
+		{
+			name:     "ctxprop flags an exported dialer with no context parameter",
+			analyzer: "ctxprop",
+			files: map[string]string{
+				"internal/probe/p.go": `package probe
+
+import "net"
+
+func Knock(addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}
+`,
+			},
+			want:  []string{"internal/probe/p.go:5: [ctxprop]", "no context.Context parameter"},
+			count: 1,
+		},
+		{
+			name:     "ctxprop accepts a context threaded down to the dial",
+			analyzer: "ctxprop",
+			files: map[string]string{
+				"internal/probe/p.go": `package probe
+
+import (
+	"context"
+	"net"
+)
+
+func Knock(ctx context.Context, addr string) error {
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}
+`,
+			},
+			count: 0,
+		},
+		{
+			name:     "allochot flags Sprintf and bare append in a benchmarked loop",
+			analyzer: "allochot",
+			files: map[string]string{
+				"internal/match/m.go": `package match
+
+import "fmt"
+
+func Render(ids []int) []string {
+	var out []string
+	for _, id := range ids {
+		out = append(out, fmt.Sprintf("d%d", id))
+	}
+	return out
+}
+`,
+				"internal/match/m_test.go": `package match
+
+import "testing"
+
+func BenchmarkRender(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Render([]int{1, 2, 3})
+	}
+}
+`,
+			},
+			want: []string{
+				"internal/match/m.go:8: [allochot]", "fmt.Sprintf inside a loop",
+				"no preallocated capacity",
+			},
+			count: 2,
+		},
+		{
+			name:     "allochot flags a loop-invariant concat but not a varying one",
+			analyzer: "allochot",
+			files: map[string]string{
+				"internal/match/m.go": `package match
+
+func Label(host string, ids []string) []string {
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		prefix := host + ": "
+		out = append(out, prefix+id)
+	}
+	return out
+}
+`,
+				"internal/match/m_test.go": `package match
+
+import "testing"
+
+func BenchmarkLabel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Label("mx", []string{"a", "b"})
+	}
+}
+`,
+			},
+			want:  []string{"internal/match/m.go:6: [allochot]", "loop-invariant string concatenation"},
+			count: 1,
+		},
+		{
+			name:     "allochot ignores the same patterns outside benchmark reach",
+			analyzer: "allochot",
+			files: map[string]string{
+				"internal/match/m.go": `package match
+
+import "fmt"
+
+func Render(ids []int) []string {
+	var out []string
+	for _, id := range ids {
+		out = append(out, fmt.Sprintf("d%d", id))
+	}
+	return out
+}
+`,
+			},
+			count: 0,
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			dir := writeTree(t, tc.files)
+			got := runFixture(t, dir, tc.analyzer)
+			if len(got) != tc.count {
+				t.Fatalf("got %d findings, want %d:\n%s", len(got), tc.count, strings.Join(got, "\n"))
+			}
+			for _, want := range tc.want {
+				found := false
+				for _, g := range got {
+					if strings.Contains(g, want) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("no finding contains %q; got:\n%s", want, strings.Join(got, "\n"))
+				}
+			}
+		})
+	}
+}
+
 // TestWriteJSONGolden pins the exact -format=json stream for a fixture,
 // and verifies the parallel driver produces it identically across runs.
 func TestWriteJSONGolden(t *testing.T) {

@@ -1,0 +1,440 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Incremental mode caches per-package analysis results under a content
+// hash, so a warm run over an unchanged tree answers from disk without
+// typechecking anything — fast enough for a pre-commit hook.
+//
+// The key for a package digests, in order:
+//
+//   - the cache schema version (bumped when the finding encoding or the
+//     keying itself changes);
+//   - the names of the analyzers being run, so `-run keyleak` and a
+//     full run never share entries;
+//   - the module-wide test-file surface: allochot's hot set springs
+//     from Benchmark* functions in any *_test.go of the module, so a
+//     benchmark edit anywhere must invalidate every package;
+//   - the package's own source files (path + content hash);
+//   - the keys of its module-internal imports, which transitively fold
+//     in every dependency's content. Interprocedural facts — keyleak
+//     and sanitizeflow summaries, ctxprop's callee classification —
+//     flow strictly from callee to caller, so a package's findings can
+//     only change when the package or something it (transitively)
+//     imports changes.
+//
+// Entries are stored one JSON file per key with module-root-relative
+// finding paths, so the cache directory can be relocated or shared as a
+// CI cache artifact.
+const cacheSchema = "repolint-cache-v1"
+
+// CacheStats reports what an incremental run did.
+type CacheStats struct {
+	Hits   int  // target packages answered from cache
+	Misses int  // target packages analyzed fresh
+	Loaded bool // whether the run had to parse + typecheck the module
+}
+
+// cacheEntry is the on-disk record for one (package, key) pair.
+type cacheEntry struct {
+	Schema   string         `json:"schema"`
+	Package  string         `json:"package"`
+	Findings []cacheFinding `json:"findings"`
+}
+
+type cacheFinding struct {
+	File     string `json:"file"` // module-root-relative, slash-separated
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Symbol   string `json:"symbol,omitempty"`
+	Message  string `json:"message"`
+}
+
+// pkgMeta is the no-typecheck view of one package used for keying:
+// its files, their hashes, and its module-internal imports.
+type pkgMeta struct {
+	path  string   // import path
+	dir   string   // absolute directory
+	files []string // sorted base names of non-test .go files
+	deps  []string // sorted module-internal import paths
+	key   string   // content-hash key, filled by computeKeys
+}
+
+// RunIncremental is the cache-aware equivalent of LoadProgram + Run:
+// it scans the module (parse imports only, no typechecking), computes
+// content-hash keys, and serves any target package whose key has a
+// cache entry from disk. Only when at least one target misses does it
+// load and typecheck the module — and then it analyzes just the missed
+// packages, merging their fresh findings with the hits' cached ones and
+// writing the new entries back. Finding positions are absolute, exactly
+// as Run reports them.
+func RunIncremental(dir string, patterns []string, analyzers []*Analyzer, cacheDir string) ([]Finding, CacheStats, error) {
+	var stats CacheStats
+	root, module, err := findModule(dir)
+	if err != nil {
+		return nil, stats, err
+	}
+	if !filepath.IsAbs(cacheDir) {
+		cacheDir = filepath.Join(root, cacheDir)
+	}
+	metas, testSurface, err := scanModule(root, module)
+	if err != nil {
+		return nil, stats, err
+	}
+	if err := computeKeys(metas, analyzers, testSurface); err != nil {
+		return nil, stats, err
+	}
+	targets, err := matchMeta(metas, root, module, dir, patterns)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	cached := make(map[string][]Finding) // package path -> findings from cache
+	missed := make([]string, 0, len(targets))
+	for _, m := range targets {
+		if fs, ok := readCacheEntry(cacheDir, m, root); ok {
+			cached[m.path] = fs
+			stats.Hits++
+		} else {
+			missed = append(missed, m.path)
+			stats.Misses++
+		}
+	}
+
+	if len(missed) == 0 {
+		out := make([]Finding, 0, len(targets))
+		for _, m := range targets {
+			out = append(out, cached[m.path]...)
+		}
+		sortFindings(out)
+		return out, stats, nil
+	}
+
+	// At least one miss: load the module once, analyze only the missed
+	// packages, and back-fill the cache.
+	stats.Loaded = true
+	prog, _, err := LoadProgram(dir, patterns)
+	if err != nil {
+		return nil, stats, err
+	}
+	missedPkgs := make([]*Package, 0, len(missed))
+	for _, path := range missed {
+		pkg, ok := prog.ByPath[path]
+		if !ok {
+			return nil, stats, fmt.Errorf("lint: package %q vanished between scan and load", path)
+		}
+		missedPkgs = append(missedPkgs, pkg)
+	}
+	fresh := Run(prog, missedPkgs, analyzers)
+
+	byDir := make(map[string]string, len(missed)) // package dir -> path
+	perPkg := make(map[string][]Finding, len(missed))
+	for _, pkg := range missedPkgs {
+		byDir[pkg.Dir] = pkg.Path
+		perPkg[pkg.Path] = nil
+	}
+	for _, f := range fresh {
+		path, ok := byDir[filepath.Dir(f.Pos.Filename)]
+		if !ok {
+			continue // defensive: a finding outside every missed package
+		}
+		perPkg[path] = append(perPkg[path], f)
+	}
+	metaByPath := make(map[string]*pkgMeta, len(metas))
+	for _, m := range metas {
+		metaByPath[m.path] = m
+	}
+	for path, fs := range perPkg {
+		if err := writeCacheEntry(cacheDir, metaByPath[path], root, fs); err != nil {
+			return nil, stats, err
+		}
+	}
+
+	out := make([]Finding, 0, len(fresh))
+	for _, m := range targets {
+		if fs, ok := cached[m.path]; ok {
+			out = append(out, fs...)
+		} else {
+			out = append(out, perPkg[m.path]...)
+		}
+	}
+	sortFindings(out)
+	return out, stats, nil
+}
+
+// sortFindings applies Run's canonical output order.
+func sortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// scanModule walks the module the way parseModule does, but stops at
+// import lists: it hashes every .go file and records each package's
+// module-internal imports. Test files are not part of any package's
+// file set (the loader skips them) but their contents feed the shared
+// test-surface digest, because benchmark discovery reads them.
+func scanModule(root, module string) ([]*pkgMeta, string, error) {
+	var metas []*pkgMeta
+	testHash := sha256.New()
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		m := &pkgMeta{dir: path}
+		depSet := make(map[string]bool)
+		for _, e := range entries {
+			fname := e.Name()
+			if e.IsDir() || !strings.HasSuffix(fname, ".go") ||
+				strings.HasPrefix(fname, ".") || strings.HasPrefix(fname, "_") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(path, fname))
+			if err != nil {
+				return err
+			}
+			if strings.HasSuffix(fname, "_test.go") {
+				rel, _ := filepath.Rel(root, filepath.Join(path, fname))
+				fmt.Fprintf(testHash, "%s\n", filepath.ToSlash(rel))
+				testHash.Write(data)
+				continue
+			}
+			m.files = append(m.files, fname)
+			f, err := parser.ParseFile(fset, filepath.Join(path, fname), data, parser.ImportsOnly)
+			if err != nil {
+				return fmt.Errorf("lint: parse: %w", err)
+			}
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if p == module || strings.HasPrefix(p, module+"/") {
+					depSet[p] = true
+				}
+			}
+		}
+		if len(m.files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		m.path = module
+		if rel != "." {
+			m.path = module + "/" + filepath.ToSlash(rel)
+		}
+		m.deps = make([]string, 0, len(depSet))
+		for p := range depSet {
+			m.deps = append(m.deps, p)
+		}
+		sort.Strings(m.deps)
+		sort.Strings(m.files)
+		metas = append(metas, m)
+		return nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	return metas, hex.EncodeToString(testHash.Sum(nil)), nil
+}
+
+// computeKeys fills every meta's key in dependency order: a package's
+// key folds in its own file contents and its module deps' keys, so any
+// change propagates to every (transitive) importer.
+func computeKeys(metas []*pkgMeta, analyzers []*Analyzer, testSurface string) error {
+	byPath := make(map[string]*pkgMeta, len(metas))
+	for _, m := range metas {
+		byPath[m.path] = m
+	}
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	analyzerList := strings.Join(names, ",")
+
+	var visit func(m *pkgMeta, stack []string) error
+	visit = func(m *pkgMeta, stack []string) error {
+		if m.key != "" {
+			return nil
+		}
+		for _, s := range stack {
+			if s == m.path {
+				return fmt.Errorf("lint: import cycle through %s", m.path)
+			}
+		}
+		h := sha256.New()
+		fmt.Fprintf(h, "%s\n%s\n%s\n", cacheSchema, analyzerList, testSurface)
+		for _, fname := range m.files {
+			data, err := os.ReadFile(filepath.Join(m.dir, fname))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(h, "file %s %x\n", fname, sha256.Sum256(data))
+		}
+		for _, dep := range m.deps {
+			dm, ok := byPath[dep]
+			if !ok {
+				return fmt.Errorf("lint: import %q not found in module", dep)
+			}
+			if err := visit(dm, append(stack, m.path)); err != nil {
+				return err
+			}
+			fmt.Fprintf(h, "dep %s %s\n", dep, dm.key)
+		}
+		m.key = hex.EncodeToString(h.Sum(nil))
+		return nil
+	}
+	for _, m := range metas {
+		if err := visit(m, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// matchMeta resolves the CLI package patterns against the scanned
+// metas, mirroring match() over loaded packages.
+func matchMeta(metas []*pkgMeta, root, module, dir string, patterns []string) ([]*pkgMeta, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*pkgMeta, 0, len(metas))
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "all" {
+			pat = "./..."
+		}
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "./"
+			}
+		}
+		base := filepath.Clean(filepath.Join(abs, pat))
+		rel, err := filepath.Rel(root, base)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("lint: pattern %q escapes module root", pat)
+		}
+		want := module
+		if rel != "." {
+			want = module + "/" + filepath.ToSlash(rel)
+		}
+		matched := false
+		wantPrefix := want + "/"
+		for _, m := range metas {
+			ok := m.path == want || (recursive && strings.HasPrefix(m.path, wantPrefix))
+			if !ok {
+				continue
+			}
+			matched = true
+			if !seen[m.path] {
+				seen[m.path] = true
+				out = append(out, m)
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("lint: pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}
+
+// readCacheEntry loads the findings stored under m's key, rebasing
+// the root-relative paths back to absolute ones. A missing, stale or
+// undecodable entry is a miss, never an error: the analysis can always
+// recompute it.
+func readCacheEntry(cacheDir string, m *pkgMeta, root string) ([]Finding, bool) {
+	data, err := os.ReadFile(filepath.Join(cacheDir, m.key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Schema != cacheSchema || e.Package != m.path {
+		return nil, false
+	}
+	out := make([]Finding, 0, len(e.Findings))
+	for _, cf := range e.Findings {
+		out = append(out, Finding{
+			Pos: token.Position{
+				Filename: filepath.Join(root, filepath.FromSlash(cf.File)),
+				Line:     cf.Line,
+				Column:   cf.Column,
+			},
+			Analyzer: cf.Analyzer,
+			Symbol:   cf.Symbol,
+			Message:  cf.Message,
+		})
+	}
+	return out, true
+}
+
+// writeCacheEntry persists one package's findings under its key.
+func writeCacheEntry(cacheDir string, m *pkgMeta, root string, findings []Finding) error {
+	if m == nil {
+		return nil
+	}
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return err
+	}
+	e := cacheEntry{Schema: cacheSchema, Package: m.path, Findings: make([]cacheFinding, 0, len(findings))}
+	for _, f := range findings {
+		rel, err := filepath.Rel(root, f.Pos.Filename)
+		if err != nil {
+			rel = f.Pos.Filename
+		}
+		e.Findings = append(e.Findings, cacheFinding{
+			File:     filepath.ToSlash(rel),
+			Line:     f.Pos.Line,
+			Column:   f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Symbol:   f.Symbol,
+			Message:  f.Message,
+		})
+	}
+	data, err := json.MarshalIndent(&e, "", "\t")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(cacheDir, m.key+".json"), append(data, '\n'), 0o644)
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestIncrementalCache pins the cache-hit/invalidation contract of
+// RunIncremental: a cold run populates the cache, an unchanged warm run
+// answers every package from disk without loading the module, an edit
+// invalidates exactly the edited package and its transitive importers,
+// and a test-file edit (the benchmark surface) invalidates everything.
+func TestIncrementalCache(t *testing.T) {
+	dir := writeTree(t, benchFiles)
+	cache := filepath.Join(dir, ".repolint-cache")
+	analyzers := Analyzers()
+
+	prog, targets, err := LoadProgram(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("LoadProgram: %v", err)
+	}
+	want := Run(prog, targets, analyzers)
+	n := len(targets)
+
+	cold, stats, err := RunIncremental(dir, []string{"./..."}, analyzers, cache)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if stats.Hits != 0 || stats.Misses != n || !stats.Loaded {
+		t.Errorf("cold stats = %+v, want 0 hits, %d misses, loaded", stats, n)
+	}
+	if !reflect.DeepEqual(cold, want) {
+		t.Errorf("cold findings diverge from direct Run:\n got %v\nwant %v", cold, want)
+	}
+
+	warm, stats, err := RunIncremental(dir, []string{"./..."}, analyzers, cache)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if stats.Hits != n || stats.Misses != 0 || stats.Loaded {
+		t.Errorf("warm stats = %+v, want %d hits, 0 misses, no load", stats, n)
+	}
+	if !reflect.DeepEqual(warm, want) {
+		t.Errorf("warm findings diverge from direct Run:\n got %v\nwant %v", warm, want)
+	}
+
+	// Touching a leaf dependency must invalidate it and its importer
+	// chain (collect imports sanitize, pipeline imports collect) but
+	// nothing else.
+	sanitizePath := filepath.Join(dir, "internal/sanitize/sanitize.go")
+	edited := benchFiles["internal/sanitize/sanitize.go"] + "\nfunc Extra(s string) string { return s }\n"
+	if err := os.WriteFile(sanitizePath, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err = RunIncremental(dir, []string{"./..."}, analyzers, cache)
+	if err != nil {
+		t.Fatalf("post-edit run: %v", err)
+	}
+	if stats.Misses != 3 || stats.Hits != n-3 {
+		t.Errorf("post-edit stats = %+v, want exactly the edited package and its importer chain to miss (3 misses, %d hits)", stats, n-3)
+	}
+
+	// A new benchmark anywhere changes the module's test surface, which
+	// feeds every key: everything must recompute.
+	benchPath := filepath.Join(dir, "internal/mailmsg/bench_test.go")
+	bench := "package mailmsg\n\nimport \"testing\"\n\nfunc BenchmarkNoop(b *testing.B) {\n\tfor i := 0; i < b.N; i++ {\n\t\t_ = Message{}\n\t}\n}\n"
+	if err := os.WriteFile(benchPath, []byte(bench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err = RunIncremental(dir, []string{"./..."}, analyzers, cache)
+	if err != nil {
+		t.Fatalf("post-bench-edit run: %v", err)
+	}
+	if stats.Misses != n || stats.Hits != 0 {
+		t.Errorf("post-bench-edit stats = %+v, want all %d packages to miss", stats, n)
+	}
+}
+
+// TestIncrementalWarmSpeedup is the driver-level pin of the acceptance
+// bar behind BenchmarkRepolintIncremental: a warm all-hit run answers
+// from disk without typechecking and must be at least 5x faster than
+// the cold run that populated the cache. The real margin is orders of
+// magnitude; 5x keeps the assertion robust on loaded CI machines.
+func TestIncrementalWarmSpeedup(t *testing.T) {
+	dir := writeTree(t, benchFiles)
+	cache := filepath.Join(dir, ".repolint-cache")
+	analyzers := Analyzers()
+
+	start := time.Now()
+	if _, _, err := RunIncremental(dir, []string{"./..."}, analyzers, cache); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	coldDur := time.Since(start)
+
+	var warmDur time.Duration
+	for i := 0; i < 3; i++ {
+		start = time.Now()
+		_, stats, err := RunIncremental(dir, []string{"./..."}, analyzers, cache)
+		if err != nil {
+			t.Fatalf("warm run: %v", err)
+		}
+		if stats.Loaded {
+			t.Fatalf("warm run %d loaded the module; stats = %+v", i, stats)
+		}
+		d := time.Since(start)
+		if i == 0 || d < warmDur {
+			warmDur = d
+		}
+	}
+	if coldDur < 5*warmDur {
+		t.Errorf("warm run not ≥5x faster: cold %v, best warm %v", coldDur, warmDur)
+	}
+}
+
+// BenchmarkRepolintIncremental reports the cold (populate) and warm
+// (all-hit, no typecheck) costs of the incremental driver side by side;
+// the BENCH_*.json regression gate tracks the warm path staying cheap.
+func BenchmarkRepolintIncremental(b *testing.B) {
+	analyzers := Analyzers()
+	b.Run("cold", func(b *testing.B) {
+		dir := writeTree(b, benchFiles)
+		cache := filepath.Join(dir, ".repolint-cache")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := os.RemoveAll(cache); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := RunIncremental(dir, []string{"./..."}, analyzers, cache); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := writeTree(b, benchFiles)
+		cache := filepath.Join(dir, ".repolint-cache")
+		if _, _, err := RunIncremental(dir, []string{"./..."}, analyzers, cache); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, stats, err := RunIncremental(dir, []string{"./..."}, analyzers, cache)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if stats.Loaded {
+				b.Fatal("warm iteration loaded the module")
+			}
+		}
+	})
+}

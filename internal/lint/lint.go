@@ -134,6 +134,9 @@ func Analyzers() []*Analyzer {
 		SeedFlowAnalyzer,
 		CloseLeakAnalyzer,
 		DeadlineFlowAnalyzer,
+		KeyLeakAnalyzer,
+		AllocHotAnalyzer,
+		CtxPropAnalyzer,
 	}
 }
 
@@ -174,7 +177,11 @@ func Run(prog *Program, targets []*Package, analyzers []*Analyzer) []Finding {
 	}
 	wg.Wait()
 
-	var findings []Finding
+	total := 0
+	for _, fs := range perPkg {
+		total += len(fs)
+	}
+	findings := make([]Finding, 0, total)
 	for _, fs := range perPkg {
 		findings = append(findings, fs...)
 	}
@@ -207,7 +214,8 @@ func Run(prog *Program, targets []*Package, analyzers []*Analyzer) []Finding {
 			findings = append(findings, Finding{
 				Pos:      d.pos,
 				Analyzer: "directive",
-				Message:  fmt.Sprintf("stale waiver: //repolint:allow %s no longer suppresses any finding; remove it", d.analyzer),
+				//repolint:allow allochot formatting one diagnostic per stale directive is not a hot allocation
+				Message: fmt.Sprintf("stale waiver: //repolint:allow %s no longer suppresses any finding; remove it", d.analyzer),
 			})
 		}
 	}
@@ -285,10 +293,12 @@ func collectWaivers(prog *Program, targets []*Package) (map[waiverKey]*waiverDir
 					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, directivePrefix))
 					name, reason, _ := strings.Cut(rest, " ")
 					if _, ok := AnalyzerByName(name); !ok || strings.TrimSpace(reason) == "" {
+						//repolint:allow allochot cold path: one finding per malformed directive in the tree
 						bad = append(bad, Finding{
 							Pos:      pos,
 							Analyzer: "directive",
-							Message:  fmt.Sprintf("malformed waiver %q: want //repolint:allow <analyzer> <reason>", c.Text),
+							//repolint:allow allochot ditto: diagnostic formatting, not per-package work
+							Message: fmt.Sprintf("malformed waiver %q: want //repolint:allow <analyzer> <reason>", c.Text),
 						})
 						continue
 					}

@@ -200,11 +200,16 @@ func topoSort(module string, pkgs map[string]*Package) ([]*Package, error) {
 // moduleImports lists pkg's imports that live inside the module.
 func moduleImports(module string, pkg *Package) []string {
 	seen := make(map[string]bool)
-	var out []string
+	modPrefix := module + "/"
+	total := 0
+	for _, f := range pkg.Files {
+		total += len(f.Imports)
+	}
+	out := make([]string, 0, total)
 	for _, f := range pkg.Files {
 		for _, imp := range f.Imports {
 			path := strings.Trim(imp.Path.Value, `"`)
-			if path != module && !strings.HasPrefix(path, module+"/") {
+			if path != module && !strings.HasPrefix(path, modPrefix) {
 				continue
 			}
 			if !seen[path] {
@@ -256,7 +261,7 @@ func match(prog *Program, dir string, patterns []string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []*Package
+	out := make([]*Package, 0, len(prog.Packages))
 	seen := make(map[string]bool)
 	for _, pat := range patterns {
 		recursive := false
@@ -280,8 +285,9 @@ func match(prog *Program, dir string, patterns []string) ([]*Package, error) {
 			want = prog.Module + "/" + filepath.ToSlash(rel)
 		}
 		matched := false
+		wantPrefix := want + "/"
 		for _, pkg := range prog.Packages {
-			ok := pkg.Path == want || (recursive && strings.HasPrefix(pkg.Path, want+"/"))
+			ok := pkg.Path == want || (recursive && strings.HasPrefix(pkg.Path, wantPrefix))
 			if !ok {
 				continue
 			}

@@ -273,9 +273,15 @@ func writeBase64Wrapped(b *bytes.Buffer, data []byte) {
 	}
 }
 
-// Errors from Parse.
+// Errors from Parse. They are deliberately static: the underlying
+// net/mail and mime/multipart errors embed raw lines from the message
+// ("got line %q"), and wrapping those would hand captured content to
+// whatever log or error string the caller folds the failure into
+// (Section 4.2.2's no-raw-bytes rule — machine-checked by keyleak).
 var (
-	ErrNoHeader = errors.New("mailmsg: missing header section")
+	ErrNoHeader           = errors.New("mailmsg: missing header section")
+	ErrMalformedMultipart = errors.New("mailmsg: malformed multipart body")
+	ErrBodyRead           = errors.New("mailmsg: reading body failed")
 )
 
 // Parse tokenizes raw wire bytes into header, body and attachments — the
@@ -283,7 +289,7 @@ var (
 func Parse(raw []byte) (*Message, error) {
 	mr, err := mail.ReadMessage(bytes.NewReader(raw))
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrNoHeader, err)
+		return nil, ErrNoHeader
 	}
 	m := New()
 	// net/mail lowercases nothing but gives map order; preserve a stable
@@ -309,13 +315,13 @@ func Parse(raw []byte) (*Message, error) {
 	case err == nil && mediaType == "text/html":
 		body, rerr := io.ReadAll(decodeTransfer(mr.Body, m.Header("Content-Transfer-Encoding")))
 		if rerr != nil {
-			return nil, fmt.Errorf("mailmsg: reading body: %w", rerr)
+			return nil, ErrBodyRead
 		}
 		m.HTMLBody = string(body)
 	default:
 		body, rerr := io.ReadAll(decodeTransfer(mr.Body, m.Header("Content-Transfer-Encoding")))
 		if rerr != nil {
-			return nil, fmt.Errorf("mailmsg: reading body: %w", rerr)
+			return nil, ErrBodyRead
 		}
 		m.Body = string(body)
 	}
@@ -330,7 +336,7 @@ const maxMultipartDepth = 4
 // parts (multipart/alternative inside multipart/mixed and the like).
 func (m *Message) parseMultipart(r io.Reader, boundary string, depth int) error {
 	if depth > maxMultipartDepth {
-		return fmt.Errorf("mailmsg: multipart nesting exceeds %d", maxMultipartDepth)
+		return fmt.Errorf("%w: nesting exceeds %d", ErrMalformedMultipart, maxMultipartDepth)
 	}
 	pr := multipart.NewReader(r, boundary)
 	for {
@@ -339,7 +345,7 @@ func (m *Message) parseMultipart(r io.Reader, boundary string, depth int) error 
 			return nil
 		}
 		if err != nil {
-			return fmt.Errorf("mailmsg: reading multipart: %w", err)
+			return ErrMalformedMultipart
 		}
 		pct, pparams, _ := mime.ParseMediaType(part.Header.Get("Content-Type"))
 		if strings.HasPrefix(pct, "multipart/") {
@@ -350,7 +356,7 @@ func (m *Message) parseMultipart(r io.Reader, boundary string, depth int) error 
 		}
 		data, err := io.ReadAll(decodeTransfer(part, part.Header.Get("Content-Transfer-Encoding")))
 		if err != nil {
-			return fmt.Errorf("mailmsg: reading part: %w", err)
+			return ErrBodyRead
 		}
 		fname := part.FileName()
 		switch {

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/ecosys"
+	"repro/internal/par"
 )
 
 // Result is one probed domain.
@@ -76,7 +77,7 @@ func (p *AddrProber) Probe(ctx context.Context, addr, serverName string) ecosys.
 	if sleep == nil {
 		sleep = sleepCtx
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
+	rng := par.Rand(p.Seed, 0)
 	support, netFail := p.probeOnce(ctx, addr, serverName, timeout)
 	for i := 1; i < attempts && netFail && ctx.Err() == nil; i++ {
 		if sleep(ctx, p.backoff(i, rng)) != nil {
@@ -247,10 +248,15 @@ type Net interface {
 	SMTPStatus(domain, host string) (listening, starttls, tlsClean bool)
 }
 
-// Scan classifies every domain through net's primitives.
-func Scan(domains []string, n Net) []Result {
+// Scan classifies every domain through net's primitives. It stops
+// early when ctx is cancelled; domains not reached are simply absent
+// from the result.
+func Scan(ctx context.Context, domains []string, n Net) []Result {
 	out := make([]Result, 0, len(domains))
 	for _, d := range domains {
+		if ctx.Err() != nil {
+			break
+		}
 		out = append(out, Result{Domain: d, Support: classify(d, n)})
 	}
 	return out

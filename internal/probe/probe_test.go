@@ -123,7 +123,7 @@ func TestClassifyDecisionTree(t *testing.T) {
 	for d := range want {
 		domains = append(domains, d)
 	}
-	for _, r := range Scan(domains, n) {
+	for _, r := range Scan(context.Background(), domains, n) {
 		if r.Support != want[r.Domain] {
 			t.Errorf("%s = %v, want %v", r.Domain, r.Support, want[r.Domain])
 		}
@@ -140,7 +140,7 @@ func TestEcoNetScanMatchesGroundTruth(t *testing.T) {
 		domains = append(domains, d.Name)
 		truth[d.Name] = d.Support
 	}
-	results := Scan(domains, &EcoNet{Eco: eco})
+	results := Scan(context.Background(), domains, &EcoNet{Eco: eco})
 	if len(results) != len(domains) {
 		t.Fatalf("results = %d", len(results))
 	}

@@ -260,7 +260,7 @@ func WithClock(now func() time.Time) Option {
 
 // WithSeed makes query-ID generation deterministic.
 func WithSeed(seed int64) Option {
-	return func(r *Resolver) { r.rng = rand.New(rand.NewSource(seed)) }
+	return func(r *Resolver) { r.rng = par.Rand(seed, 0) }
 }
 
 // New creates a Resolver over ex.

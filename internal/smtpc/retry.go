@@ -5,6 +5,8 @@ import (
 	"errors"
 	"math/rand"
 	"time"
+
+	"repro/internal/par"
 )
 
 // RetryPolicy configures SendRetry's capped exponential backoff. The
@@ -40,7 +42,7 @@ func Transient(err error) bool {
 // newJitterRNG builds the seeded PRNG behind Jitter draws; delay with
 // Jitter == 0 never consults it, so nil is fine for jitter-free policies.
 func (p RetryPolicy) newJitterRNG() *rand.Rand {
-	return rand.New(rand.NewSource(p.Seed))
+	return par.Rand(p.Seed, 0)
 }
 
 func (p RetryPolicy) attempts() int {

@@ -368,6 +368,7 @@ func (s *Server) session(conn net.Conn) (graceful bool) {
 		env       *Envelope
 	)
 	resetTxn := func() { env = nil }
+	quitReply := s.cfg.Hostname + " closing connection"
 
 	for cmds := 0; cmds < maxCommandsPerSes; cmds++ {
 		line, err := c.readLine()
@@ -508,7 +509,7 @@ func (s *Server) session(conn net.Conn) (graceful bool) {
 			// the noncommittal 252.
 			c.reply(252, "cannot VRFY user, but will accept message")
 		case "QUIT":
-			c.reply(221, s.cfg.Hostname+" closing connection")
+			c.reply(221, quitReply)
 			return c.err == nil
 		default:
 			c.reply(500, "command not recognized")

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/mailmsg"
+	"repro/internal/par"
 	"repro/internal/reputation"
 	"repro/internal/spamfilter"
 	"repro/internal/users"
@@ -60,7 +61,7 @@ type Generator struct {
 
 // New creates a Generator with its own deterministic stream.
 func New(p Params, seed int64) *Generator {
-	return &Generator{P: p, rng: rand.New(rand.NewSource(seed))}
+	return &Generator{P: p, rng: par.Rand(seed, 0)}
 }
 
 // SetReputationDB attaches a hash-reputation feed: the generator submits
