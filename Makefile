@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet lint bench fuzz chaos clean
+.PHONY: check build test race vet lint effects bench fuzz chaos clean
 
 # check is the gate for every change: vet, build, the repo's own
 # analyzers (cmd/repolint), then the full test suite under the race
@@ -16,7 +16,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs the fifteen paper-invariant analyzers over the whole module
+# lint runs the eighteen paper-invariant analyzers over the whole module
 # under the committed ratchet baseline: pre-existing findings recorded
 # in .repolint-baseline.json are suppressed, anything new fails. Exit 1
 # means a new finding, 3 means only a stale waiver, 2 a load failure.
@@ -27,6 +27,14 @@ vet:
 # `go run ./cmd/repolint -write-baseline .repolint-baseline.json ./...`.
 lint:
 	$(GO) run ./cmd/repolint -incremental -baseline .repolint-baseline.json ./...
+
+# effects dumps the inferred L4 effect summary for every function in
+# PKG (default: the whole module) — the debugging view behind the
+# purepar/lockblock/globalmut analyzers. Lines read
+# `pkg.Func: ReadsClock|Blocking{chan}` with "pure" for the empty set.
+PKG ?= ./...
+effects:
+	$(GO) run ./cmd/repolint -format=effects $(PKG)
 
 test:
 	$(GO) test ./...
@@ -57,6 +65,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzRedactCorpus -fuzztime=$(FUZZTIME) ./internal/sanitize/
 	$(GO) test -fuzz=FuzzCFGBuild -fuzztime=$(FUZZTIME) ./internal/lint/cfg/
 	$(GO) test -fuzz=FuzzValueLattice -fuzztime=$(FUZZTIME) ./internal/lint/cfg/
+	$(GO) test -fuzz=FuzzEffectLattice -fuzztime=$(FUZZTIME) ./internal/lint/cfg/
 	$(GO) test -fuzz=FuzzSMTPDSession -fuzztime=$(FUZZTIME) ./internal/smtpd/
 
 # chaos runs the end-to-end fault-injection soak (chaos_test.go) under

@@ -113,8 +113,12 @@ type benchKey struct {
 }
 
 // runCompare judges new against old and reports regressions beyond the
-// threshold percentage. Benchmarks present on only one side are noted
-// but never fail the gate — renames and additions are not regressions.
+// threshold percentage. Benchmarks only in the new run are noted but
+// never fail the gate — additions are not regressions. Benchmarks in
+// the baseline but absent from the new run are reported as REMOVED and
+// DO fail the gate: deleting a hot-path benchmark would otherwise be
+// the easiest way to dodge a regression, so a removal must be made
+// deliberate by regenerating the committed baseline.
 func runCompare(oldPath, newPath string, threshold float64, metric string, stdout, stderr io.Writer) int {
 	oldSnap, err := readSnapshot(oldPath)
 	if err != nil {
@@ -158,15 +162,17 @@ func runCompare(oldPath, newPath string, threshold float64, metric string, stdou
 			}
 		}
 	}
+	removed := 0
 	for _, ob := range oldSnap.Benchmarks {
 		if !seen[benchKey{ob.Pkg, ob.Name}] {
-			fmt.Fprintf(stdout, "missing    %s %s (in baseline, not in new run)\n", ob.Pkg, ob.Name)
+			removed++
+			fmt.Fprintf(stdout, "REMOVED    %s %s (in baseline, not in new run)\n", ob.Pkg, ob.Name)
 		}
 	}
 
-	fmt.Fprintf(stderr, "benchjson: compared %d benchmark(s), %d regression(s) beyond %.0f%% (%s)\n",
-		compared, regressions, threshold, metric)
-	if regressions > 0 {
+	fmt.Fprintf(stderr, "benchjson: compared %d benchmark(s), %d regression(s) beyond %.0f%% (%s), %d removed\n",
+		compared, regressions, threshold, metric, removed)
+	if regressions > 0 || removed > 0 {
 		return 1
 	}
 	return 0

@@ -150,17 +150,34 @@ func TestCompareThresholdFlag(t *testing.T) {
 	}
 }
 
-func TestCompareMissingAndNewAreNotes(t *testing.T) {
+func TestCompareNewIsANote(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", bench("repro/internal/a", "BenchmarkStays-8", 100, 1))
+	cur := writeSnap(t, dir, "new.json",
+		bench("repro/internal/a", "BenchmarkStays-8", 100, 1),
+		bench("repro/internal/b", "BenchmarkFresh-8", 100, 1))
+	code, out, _ := runArgs(t, "-compare", old, cur)
+	if code != 0 {
+		t.Fatalf("additions are not regressions: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "new        repro/internal/b BenchmarkFresh-8") {
+		t.Fatalf("missing new-benchmark note:\n%s", out)
+	}
+}
+
+func TestCompareRemovedFailsGate(t *testing.T) {
 	dir := t.TempDir()
 	old := writeSnap(t, dir, "old.json", bench("repro/internal/a", "BenchmarkGone-8", 100, 1))
 	cur := writeSnap(t, dir, "new.json", bench("repro/internal/b", "BenchmarkFresh-8", 100, 1))
-	code, out, _ := runArgs(t, "-compare", old, cur)
-	if code != 0 {
-		t.Fatalf("renames are not regressions: exit %d\n%s", code, out)
+	code, out, errOut := runArgs(t, "-compare", old, cur)
+	if code != 1 {
+		t.Fatalf("a removed benchmark must fail the gate: exit %d\n%s", code, out)
 	}
-	if !strings.Contains(out, "new        repro/internal/b BenchmarkFresh-8") ||
-		!strings.Contains(out, "missing    repro/internal/a BenchmarkGone-8") {
-		t.Fatalf("missing notes:\n%s", out)
+	if !strings.Contains(out, "REMOVED    repro/internal/a BenchmarkGone-8") {
+		t.Fatalf("missing REMOVED note:\n%s", out)
+	}
+	if !strings.Contains(errOut, "1 removed") {
+		t.Fatalf("summary must count removals:\n%s", errOut)
 	}
 }
 

@@ -20,9 +20,18 @@
 //	file:line: [analyzer] message
 //
 // With -format=json each finding is one JSON object on its own line
-// ({"file","line","column","analyzer","symbol","message"}), and with
-// -format=sarif the whole report is a SARIF 2.1.0 document for CI
-// annotation upload; the human summary still goes to stderr.
+// ({"file","line","column","analyzer","symbol","message","detail"}),
+// and with -format=sarif the whole report is a SARIF 2.1.0 document
+// for CI annotation upload; the human summary still goes to stderr.
+// -format=effects is a debug dump instead of a findings run: one line
+// per function in the target packages with its inferred effect summary
+// (the L4 lattice), `pkg.Func: ReadsClock|Blocking{net}`.
+//
+// -why takes a finding ID, `analyzer@file:line` with the file relative
+// to the working directory, and prints the full interprocedural blame
+// chain (call path and effect origin, one file:line per hop) for that
+// finding. Effect- and taint-based findings carry chains; for others
+// -why reports that no chain is recorded.
 //
 // -baseline applies the committed ratchet file: findings covered by a
 // baseline allowance (keyed analyzer+file+symbol) are suppressed, so
@@ -41,6 +50,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"repro/internal/lint"
@@ -60,11 +70,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	writeBaseline := fs.String("write-baseline", "", "write the current findings as a baseline file and exit 0")
 	incremental := fs.Bool("incremental", false, "serve unchanged packages from the content-hash cache; skip typechecking when everything hits")
 	cacheDir := fs.String("cache", ".repolint-cache", "cache directory for -incremental, relative to the module root")
+	why := fs.String("why", "", "print the blame chain for one finding, identified as analyzer@file:line")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *format != "text" && *format != "json" && *format != "sarif" {
-		fmt.Fprintf(stderr, "repolint: unknown format %q (want text, json or sarif)\n", *format)
+	if *format != "text" && *format != "json" && *format != "sarif" && *format != "effects" {
+		fmt.Fprintf(stderr, "repolint: unknown format %q (want text, json, sarif or effects)\n", *format)
 		return 2
 	}
 
@@ -93,6 +104,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "repolint: %v\n", err)
 		return 2
 	}
+	if *format == "effects" {
+		prog, targets, err := lint.LoadProgram(cwd, fs.Args())
+		if err != nil {
+			fmt.Fprintf(stderr, "repolint: %v\n", err)
+			return 2
+		}
+		if err := lint.WriteEffects(stdout, lint.EffectSummaries(prog, targets)); err != nil {
+			fmt.Fprintf(stderr, "repolint: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+
 	var findings []lint.Finding
 	var nTargets int
 	if *incremental {
@@ -119,6 +143,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return name
 		}
 		return filepath.ToSlash(rel)
+	}
+
+	if *why != "" {
+		return explainFinding(stdout, stderr, findings, relpath, *why)
 	}
 
 	if *writeBaseline != "" {
@@ -169,6 +197,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// explainFinding resolves a -why finding ID (analyzer@file:line, file
+// relative to the working directory) and prints the finding with its
+// recorded blame chain. It runs before the baseline is applied, so
+// baselined findings can be explained too.
+func explainFinding(stdout, stderr io.Writer, findings []lint.Finding, relpath func(string) string, id string) int {
+	analyzer, loc, ok := strings.Cut(id, "@")
+	file, lineStr, ok2 := strings.Cut(loc, ":")
+	line, err := strconv.Atoi(lineStr)
+	if !ok || !ok2 || err != nil {
+		fmt.Fprintf(stderr, "repolint: malformed finding ID %q (want analyzer@file:line)\n", id)
+		return 2
+	}
+	for _, f := range findings {
+		if f.Analyzer != analyzer || f.Pos.Line != line || filepath.ToSlash(relpath(f.Pos.Filename)) != filepath.ToSlash(file) {
+			continue
+		}
+		fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", relpath(f.Pos.Filename), f.Pos.Line, f.Analyzer, f.Message)
+		if f.Detail != "" {
+			fmt.Fprintf(stdout, "    %s\n", f.Detail)
+		} else {
+			fmt.Fprintf(stdout, "    (no blame chain recorded for this finding)\n")
+		}
+		return 0
+	}
+	fmt.Fprintf(stderr, "repolint: no finding matches %q\n", id)
+	return 2
 }
 
 // staleWaiversOnly reports whether every remaining finding is waiver

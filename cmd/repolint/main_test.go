@@ -194,6 +194,89 @@ func TestBaselineMissingFileFails(t *testing.T) {
 	}
 }
 
+// impureShard is a shard closure that reaches the wall clock through a
+// helper — the canonical purepar finding with a two-hop blame chain.
+var impureShard = map[string]string{
+	"go.mod": goMod,
+	"internal/par/par.go": `package par
+
+import "math/rand"
+
+func Rand(seed int64, index int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(index)))
+}
+
+func Map[T, R any](seed int64, items []T, fn func(i int, item T, rng *rand.Rand) R) []R {
+	out := make([]R, len(items))
+	for i, item := range items {
+		out[i] = fn(i, item, Rand(seed, i))
+	}
+	return out
+}
+`,
+	"internal/shard/shard.go": `package shard
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/par"
+)
+
+func stamp() int64 { return time.Now().UnixNano() }
+
+func Run(seed int64, items []int) []int64 {
+	return par.Map(seed, items, func(i int, it int, rng *rand.Rand) int64 {
+		return stamp() + int64(it)
+	})
+}
+`,
+}
+
+func TestWhyPrintsBlameChain(t *testing.T) {
+	dir := writeTree(t, impureShard)
+	code, out, _ := runIn(t, dir, "-run=purepar", "-why", "purepar@internal/shard/shard.go:13", "./...")
+	if code != 0 {
+		t.Fatalf("-why is a query: exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "[purepar]") || !strings.Contains(out, "shard.Run.func1 → shard.stamp → time.Now") {
+		t.Fatalf("-why output missing the finding:\n%s", out)
+	}
+	if !strings.Contains(out, "ReadsClock: shard.Run.func1 → shard.stamp (internal/shard/shard.go:14) → time.Now (internal/shard/shard.go:10)") {
+		t.Fatalf("-why output missing the positioned blame chain:\n%s", out)
+	}
+}
+
+func TestWhyUnknownFindingFails(t *testing.T) {
+	dir := writeTree(t, impureShard)
+	code, _, errOut := runIn(t, dir, "-run=purepar", "-why", "purepar@internal/shard/shard.go:999", "./...")
+	if code != 2 {
+		t.Fatalf("-why with no matching finding: exit %d, want 2\n%s", code, errOut)
+	}
+	if code, _, _ := runIn(t, dir, "-why", "not-an-id", "./..."); code != 2 {
+		t.Fatalf("malformed -why id must be a usage error")
+	}
+}
+
+func TestEffectsFormat(t *testing.T) {
+	dir := writeTree(t, impureShard)
+	code, out, errOut := runIn(t, dir, "-format=effects", "./internal/shard")
+	if code != 0 {
+		t.Fatalf("-format=effects: exit %d\n%s", code, errOut)
+	}
+	for _, want := range []string{
+		// Run itself is pure: the closure's effects belong to the
+		// closure, and the par.Map edge is seam-masked.
+		"internal/shard.Run: pure\n",
+		"internal/shard.Run.func1: ReadsClock\n",
+		"internal/shard.stamp: ReadsClock\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("effects dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestSARIFOutput(t *testing.T) {
 	dir := writeTree(t, map[string]string{
 		"go.mod":                      "module repro\n\ngo 1.22\n",

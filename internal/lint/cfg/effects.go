@@ -1,0 +1,224 @@
+// Effect lattice: the fourth analysis layer. The three layers below
+// answer *where control can go* (cfg.go), *which definition reaches a
+// use* (defuse.go) and *what a value can be* (valueprop.go); this one
+// gives the interprocedural effect analyzers a vocabulary for *what a
+// function can do to the world*. A function summary is a set drawn
+// from ten primitive effects:
+//
+//   - ReadsClock     — observes wall-clock time (time.Now and friends);
+//   - AmbientRand    — draws from process-global randomness
+//     (math/rand top-level functions, crypto/rand);
+//   - MapRangeOrder  — lets map-iteration order reach an
+//     order-sensitive accumulation or output;
+//   - GlobalWrite    — mutates package-level state without
+//     synchronization;
+//   - Blocking{net}  — network I/O (dial, listen, conn read/write);
+//   - Blocking{chan} — channel send/receive or blocking select;
+//   - Blocking{lock} — mutex/waitgroup/once acquisition;
+//   - Blocking{sleep}— time.Sleep;
+//   - FS             — filesystem access;
+//   - Env            — process-environment access.
+//
+// The lattice is the powerset of these effects ordered by inclusion:
+// ⊥ is the empty set ("pure" for the analyzers' purposes), join is
+// union, and the height is the number of primitive effects, so any
+// monotone fixpoint over it terminates quickly. Union is total,
+// commutative, associative, idempotent and monotone, and String/
+// ParseEffectSet round-trip exactly — properties the package fuzz
+// target (FuzzEffectLattice) enforces, mirroring FuzzValueLattice and
+// FuzzCFGBuild.
+//
+// Like the layers below, this file is deliberately ignorant of go/ast
+// and go/types: which AST constructs produce which base effects, how
+// calls propagate summaries, and which seams (par.Rand, simclock,
+// faultnet's injected latency) are blessed holes is semantic knowledge
+// the caller in internal/lint supplies.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Effect is one primitive effect bit.
+type Effect uint16
+
+// The primitive effects, in canonical reporting order.
+const (
+	ReadsClock Effect = 1 << iota
+	AmbientRand
+	MapRangeOrder
+	GlobalWrite
+	BlockingNet
+	BlockingChan
+	BlockingLock
+	BlockingSleep
+	FS
+	Env
+)
+
+// NumEffects is the number of primitive effects (the lattice height).
+const NumEffects = 10
+
+// AllEffects is the top of the lattice: every primitive effect.
+const AllEffects EffectSet = 1<<NumEffects - 1
+
+// BlockingAny is the union of the four blocking effects.
+const BlockingAny EffectSet = EffectSet(BlockingNet | BlockingChan | BlockingLock | BlockingSleep)
+
+// effectNames maps each primitive effect to its canonical name. The
+// Blocking family renders grouped inside one Blocking{...} clause.
+var effectNames = []struct {
+	bit  Effect
+	name string
+}{
+	{ReadsClock, "ReadsClock"},
+	{AmbientRand, "AmbientRand"},
+	{MapRangeOrder, "MapRangeOrder"},
+	{GlobalWrite, "GlobalWrite"},
+	{BlockingNet, "Blocking{net}"},
+	{BlockingChan, "Blocking{chan}"},
+	{BlockingLock, "Blocking{lock}"},
+	{BlockingSleep, "Blocking{sleep}"},
+	{FS, "FS"},
+	{Env, "Env"},
+}
+
+// String renders the single effect's canonical name.
+func (e Effect) String() string {
+	for _, n := range effectNames {
+		if n.bit == e {
+			return n.name
+		}
+	}
+	return fmt.Sprintf("Effect(%#x)", uint16(e))
+}
+
+// EffectSet is one element of the effect lattice: a set of primitive
+// effects. The zero value is the bottom element (no effects).
+type EffectSet uint16
+
+// NoEffects is the bottom of the lattice.
+const NoEffects EffectSet = 0
+
+// Has reports whether e is in the set.
+func (s EffectSet) Has(e Effect) bool { return s&EffectSet(e) != 0 }
+
+// With returns the set with e added.
+func (s EffectSet) With(e Effect) EffectSet { return s | EffectSet(e) }
+
+// Union is the lattice join: set union.
+func (s EffectSet) Union(t EffectSet) EffectSet { return s | t }
+
+// Minus returns the effects of s not in t (used for seam masking and
+// change detection; not a lattice operation).
+func (s EffectSet) Minus(t EffectSet) EffectSet { return s &^ t }
+
+// Intersect returns the effects in both sets.
+func (s EffectSet) Intersect(t EffectSet) EffectSet { return s & t }
+
+// Leq reports the lattice order: s ⊆ t.
+func (s EffectSet) Leq(t EffectSet) bool { return s&^t == 0 }
+
+// IsPure reports whether the set is the bottom element.
+func (s EffectSet) IsPure() bool { return s == NoEffects }
+
+// Effects returns the primitive effects in canonical order.
+func (s EffectSet) Effects() []Effect {
+	var out []Effect
+	for _, n := range effectNames {
+		if s.Has(n.bit) {
+			out = append(out, n.bit)
+		}
+	}
+	return out
+}
+
+// String renders the set canonically: effects in declaration order
+// joined by "|", with the blocking family grouped as
+// Blocking{net,chan,lock,sleep}, and the empty set as "pure".
+//
+//	ReadsClock|Blocking{net,sleep}|FS
+func (s EffectSet) String() string {
+	if s.IsPure() {
+		return "pure"
+	}
+	var parts, blocking []string
+	for _, n := range effectNames {
+		if !s.Has(n.bit) {
+			continue
+		}
+		if EffectSet(n.bit)&BlockingAny != 0 {
+			inner := strings.TrimSuffix(strings.TrimPrefix(n.name, "Blocking{"), "}")
+			blocking = append(blocking, inner)
+			if len(blocking) == 1 {
+				parts = append(parts, "") // placeholder keeping canonical position
+			}
+			continue
+		}
+		parts = append(parts, n.name)
+	}
+	for i, p := range parts {
+		if p == "" {
+			parts[i] = "Blocking{" + strings.Join(blocking, ",") + "}"
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// ParseEffectSet parses the String rendering back into a set; it is the
+// exact inverse of String on canonical output and also accepts effects
+// and Blocking members in any order.
+func ParseEffectSet(s string) (EffectSet, error) {
+	if s == "pure" {
+		return NoEffects, nil
+	}
+	out := NoEffects
+	for _, part := range strings.Split(s, "|") {
+		if inner, ok := strings.CutPrefix(part, "Blocking{"); ok {
+			inner, ok = strings.CutSuffix(inner, "}")
+			if !ok {
+				return 0, fmt.Errorf("cfg: malformed blocking clause %q", part)
+			}
+			for _, m := range strings.Split(inner, ",") {
+				switch m {
+				case "net":
+					out = out.With(BlockingNet)
+				case "chan":
+					out = out.With(BlockingChan)
+				case "lock":
+					out = out.With(BlockingLock)
+				case "sleep":
+					out = out.With(BlockingSleep)
+				default:
+					return 0, fmt.Errorf("cfg: unknown blocking member %q", m)
+				}
+			}
+			continue
+		}
+		found := false
+		for _, n := range effectNames {
+			if n.name == part {
+				out = out.With(n.bit)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("cfg: unknown effect %q", part)
+		}
+	}
+	return out, nil
+}
+
+// SortEffects orders a slice of effects canonically in place and
+// returns it (a convenience for deterministic reporting).
+func SortEffects(effs []Effect) []Effect {
+	rank := make(map[Effect]int, len(effectNames))
+	for i, n := range effectNames {
+		rank[n.bit] = i
+	}
+	sort.Slice(effs, func(i, j int) bool { return rank[effs[i]] < rank[effs[j]] })
+	return effs
+}

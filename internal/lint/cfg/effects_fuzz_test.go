@@ -1,0 +1,93 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/cfg"
+)
+
+// FuzzEffectLattice enforces the algebraic laws the effect-inference
+// fixpoint relies on, the way FuzzValueLattice does for the value
+// lattice: Union must be a total, commutative, associative, idempotent
+// least upper bound consistent with Leq, the set operations must agree
+// with membership, and String/ParseEffectSet must round-trip exactly —
+// the canonical rendering is what the golden effect-summary dumps and
+// the finding messages pin.
+func FuzzEffectLattice(f *testing.F) {
+	f.Add(uint16(0), uint16(1), uint16(2))
+	f.Add(uint16(0x3ff), uint16(0), uint16(0x155))
+	f.Add(uint16(1<<4|1<<7), uint16(1<<5), uint16(1<<6))
+	f.Fuzz(func(t *testing.T, ra, rb, rc uint16) {
+		a := cfg.EffectSet(ra) & cfg.AllEffects
+		b := cfg.EffectSet(rb) & cfg.AllEffects
+		c := cfg.EffectSet(rc) & cfg.AllEffects
+
+		if !a.Leq(a) {
+			t.Error("Leq is not reflexive")
+		}
+		if a.Union(b) != b.Union(a) {
+			t.Error("Union is not commutative")
+		}
+		if a.Union(b).Union(c) != a.Union(b.Union(c)) {
+			t.Error("Union is not associative")
+		}
+		if a.Union(a) != a {
+			t.Error("Union is not idempotent")
+		}
+		if a.Union(cfg.NoEffects) != a {
+			t.Error("NoEffects is not a Union identity")
+		}
+		j := a.Union(b)
+		if !a.Leq(j) || !b.Leq(j) {
+			t.Error("operands are not ≤ their union")
+		}
+		if a.Leq(c) && b.Leq(c) && !j.Leq(c) {
+			t.Error("Union is not the least upper bound")
+		}
+		if a.Leq(b) && !a.Union(c).Leq(b.Union(c)) {
+			t.Error("Union is not monotone")
+		}
+		if a.Leq(b) && b.Leq(c) && !a.Leq(c) {
+			t.Error("Leq is not transitive")
+		}
+		if a.Leq(b) && b.Leq(a) && a != b {
+			t.Error("Leq antisymmetry disagrees with equality")
+		}
+
+		// Membership must agree across Has, Effects, Minus and
+		// Intersect, and With must be the single-bit Union.
+		effs := a.Effects()
+		if len(effs) > cfg.NumEffects {
+			t.Fatalf("Effects() returned %d effects", len(effs))
+		}
+		seen := cfg.NoEffects
+		for _, e := range effs {
+			if !a.Has(e) {
+				t.Errorf("Effects() lists %v but Has is false", e)
+			}
+			seen = seen.With(e)
+		}
+		if seen != a {
+			t.Errorf("Effects() round-trip = %v, want %v", seen, a)
+		}
+		if a.Minus(b).Union(a.Intersect(b)) != a {
+			t.Error("Minus/Intersect do not partition the set")
+		}
+		if a.Intersect(b) != b.Intersect(a) {
+			t.Error("Intersect is not commutative")
+		}
+
+		// String/Parse round-trip: the canonical rendering is total and
+		// injective over the lattice.
+		back, err := cfg.ParseEffectSet(a.String())
+		if err != nil {
+			t.Fatalf("ParseEffectSet(%q): %v", a.String(), err)
+		}
+		if back != a {
+			t.Errorf("String/Parse round-trip: %v -> %q -> %v", a, a.String(), back)
+		}
+		if a != b && a.String() == b.String() {
+			t.Errorf("String is not injective: %#x and %#x both %q", uint16(a), uint16(b), a.String())
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/cfg"
+)
+
+func TestEffectSetString(t *testing.T) {
+	cases := []struct {
+		set  cfg.EffectSet
+		want string
+	}{
+		{cfg.NoEffects, "pure"},
+		{cfg.EffectSet(cfg.ReadsClock), "ReadsClock"},
+		{cfg.EffectSet(cfg.BlockingNet), "Blocking{net}"},
+		{cfg.EffectSet(cfg.BlockingNet | cfg.BlockingSleep), "Blocking{net,sleep}"},
+		{cfg.BlockingAny, "Blocking{net,chan,lock,sleep}"},
+		{cfg.EffectSet(cfg.ReadsClock | cfg.FS | cfg.BlockingChan), "ReadsClock|Blocking{chan}|FS"},
+		{cfg.AllEffects, "ReadsClock|AmbientRand|MapRangeOrder|GlobalWrite|Blocking{net,chan,lock,sleep}|FS|Env"},
+	}
+	for _, c := range cases {
+		if got := c.set.String(); got != c.want {
+			t.Errorf("EffectSet(%#x).String() = %q, want %q", uint16(c.set), got, c.want)
+		}
+		back, err := cfg.ParseEffectSet(c.want)
+		if err != nil {
+			t.Errorf("ParseEffectSet(%q): %v", c.want, err)
+		} else if back != c.set {
+			t.Errorf("ParseEffectSet(%q) = %#x, want %#x", c.want, uint16(back), uint16(c.set))
+		}
+	}
+}
+
+func TestParseEffectSetErrors(t *testing.T) {
+	for _, bad := range []string{"", "Clock", "Blocking{tcp}", "Blocking{net", "ReadsClock|"} {
+		if s, err := cfg.ParseEffectSet(bad); err == nil {
+			t.Errorf("ParseEffectSet(%q) = %v, want error", bad, s)
+		}
+	}
+}
+
+func TestEffectSetOps(t *testing.T) {
+	s := cfg.NoEffects.With(cfg.ReadsClock).With(cfg.BlockingNet)
+	if !s.Has(cfg.ReadsClock) || !s.Has(cfg.BlockingNet) || s.Has(cfg.FS) {
+		t.Errorf("With/Has: %v", s)
+	}
+	if s.IsPure() || !cfg.NoEffects.IsPure() {
+		t.Error("IsPure disagrees with membership")
+	}
+	if got := s.Minus(cfg.EffectSet(cfg.ReadsClock)); got != cfg.EffectSet(cfg.BlockingNet) {
+		t.Errorf("Minus = %v", got)
+	}
+	if got := s.Intersect(cfg.BlockingAny); got != cfg.EffectSet(cfg.BlockingNet) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if !cfg.NoEffects.Leq(s) || !s.Leq(cfg.AllEffects) || s.Leq(cfg.NoEffects) {
+		t.Error("Leq order is wrong")
+	}
+	effs := s.Effects()
+	if len(effs) != 2 || effs[0] != cfg.ReadsClock || effs[1] != cfg.BlockingNet {
+		t.Errorf("Effects() = %v, want canonical order", effs)
+	}
+}
+
+func TestSortEffects(t *testing.T) {
+	got := cfg.SortEffects([]cfg.Effect{cfg.Env, cfg.BlockingChan, cfg.ReadsClock})
+	want := []cfg.Effect{cfg.ReadsClock, cfg.BlockingChan, cfg.Env}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortEffects = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/cfg"
+)
+
+// GlobalMutAnalyzer flags exported APIs in library packages (under
+// internal/) whose inferred effect summary carries GlobalWrite: a
+// package-level write with no lexically-held mutex, outside init, not
+// through a sync/atomic value's own methods. An exported entry point
+// is callable from any goroutine — study shards call into corpus,
+// typogen and sanitize concurrently — so such a write is a static race
+// candidate long before -race happens to schedule it. The fix is a
+// mutex around the state, moving it into a receiver, or an atomic
+// (method calls on atomic types never classify as GlobalWrite).
+//
+// Unexported functions are not flagged directly: their writes surface
+// through the blame chain of whichever exported API reaches them.
+var GlobalMutAnalyzer = &Analyzer{
+	Name: "globalmut",
+	Doc:  "exported library APIs must not mutate unsynchronized package-level state",
+	Run:  runGlobalMut,
+}
+
+func runGlobalMut(pass *Pass) {
+	if !strings.Contains(pass.Pkg.Path, "/internal/") {
+		return // main packages own their process; only libraries are APIs
+	}
+	info := pass.Pkg.Info
+	var st *effectState
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !exportedAPI(info, fd) {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if st == nil {
+				st = effectsOf(pass.Prog)
+			}
+			fi := st.infos[fn]
+			if fi == nil || !fi.set.Has(cfg.GlobalWrite) {
+				continue
+			}
+			chain, detail := st.describe(fi, cfg.GlobalWrite)
+			pass.ReportfChain(fd.Name.Pos(), detail,
+				"exported %s mutates package-level state without synchronization (%s); guard it with a mutex or move it into a receiver",
+				fd.Name.Name, chain)
+		}
+	}
+}

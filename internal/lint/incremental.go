@@ -36,8 +36,12 @@ import (
 //
 // Entries are stored one JSON file per key with module-root-relative
 // finding paths, so the cache directory can be relocated or shared as a
-// CI cache artifact.
-const cacheSchema = "repolint-cache-v1"
+// CI cache artifact. Effect summaries (the L4 layer) also flow strictly
+// callee→caller, so the dep-key recursion already invalidates a caller
+// package when a callee's effects change.
+//
+// v2: findings gained the Detail field (interprocedural blame chains).
+const cacheSchema = "repolint-cache-v2"
 
 // CacheStats reports what an incremental run did.
 type CacheStats struct {
@@ -60,6 +64,7 @@ type cacheFinding struct {
 	Analyzer string `json:"analyzer"`
 	Symbol   string `json:"symbol,omitempty"`
 	Message  string `json:"message"`
+	Detail   string `json:"detail,omitempty"`
 }
 
 // pkgMeta is the no-typecheck view of one package used for keying:
@@ -404,6 +409,7 @@ func readCacheEntry(cacheDir string, m *pkgMeta, root string) ([]Finding, bool) 
 			Analyzer: cf.Analyzer,
 			Symbol:   cf.Symbol,
 			Message:  cf.Message,
+			Detail:   cf.Detail,
 		})
 	}
 	return out, true
@@ -430,6 +436,7 @@ func writeCacheEntry(cacheDir string, m *pkgMeta, root string, findings []Findin
 			Analyzer: f.Analyzer,
 			Symbol:   f.Symbol,
 			Message:  f.Message,
+			Detail:   f.Detail,
 		})
 	}
 	data, err := json.MarshalIndent(&e, "", "\t")

@@ -44,6 +44,11 @@ type Finding struct {
 	// at package level. Baseline entries key on it instead of the line
 	// number so they survive unrelated churn in the same file.
 	Symbol string
+	// Detail carries supplementary explanation that is too long for the
+	// one-line message — for effect findings, the interprocedural blame
+	// chain with a module-relative file:line per hop. It is surfaced by
+	// `repolint -why` and the JSON output, not the text format.
+	Detail string
 }
 
 // String formats the finding in the driver's canonical output format.
@@ -110,6 +115,18 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportfChain records a finding at pos with an attached detail string
+// (for effect findings, the blame chain shown by `repolint -why`).
+func (p *Pass) ReportfChain(pos token.Pos, detail, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+		Symbol:   enclosingSymbol(p.Pkg, pos),
+		Detail:   detail,
+	})
+}
+
 // Analyzer is one registered check.
 type Analyzer struct {
 	Name string
@@ -137,6 +154,9 @@ func Analyzers() []*Analyzer {
 		KeyLeakAnalyzer,
 		AllocHotAnalyzer,
 		CtxPropAnalyzer,
+		PureParAnalyzer,
+		LockBlockAnalyzer,
+		GlobalMutAnalyzer,
 	}
 }
 
@@ -250,7 +270,8 @@ func WriteJSON(w io.Writer, findings []Finding, rel func(string) string) error {
 			Analyzer string `json:"analyzer"`
 			Symbol   string `json:"symbol,omitempty"`
 			Message  string `json:"message"`
-		}{rel(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Symbol, f.Message}
+			Detail   string `json:"detail,omitempty"`
+		}{rel(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Symbol, f.Message, f.Detail}
 		if err := enc.Encode(rec); err != nil {
 			return err
 		}

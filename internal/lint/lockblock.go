@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/cfg"
+)
+
+// LockBlockAnalyzer flags blocking operations performed while a
+// trackable mutex (struct field or package-level sync.Mutex/RWMutex,
+// lockorder's identity rules) is lexically held: network I/O, channel
+// operations and sleeps stall every other goroutine queued on the lock
+// for the duration of the operation. In the collector that shape is
+// how one slow SMTP peer freezes the whole store — `go test -race`
+// only sees it if the schedule happens to execute the contention, this
+// proves it statically. Both direct operations in the critical section
+// and calls whose inferred effect summary carries a blocking effect
+// are flagged, the latter with the interprocedural blame chain.
+//
+// Deliberately out of scope: Blocking{lock} (nested acquisition order
+// is lockorder's job) and FS (fast local writes under a lock are the
+// vault's persistence model). Deferred statements are skipped, so
+// deferred unlocks keep the lock held through the body — same lexical
+// simulation as lockorder.
+var LockBlockAnalyzer = &Analyzer{
+	Name: "lockblock",
+	Doc:  "no network, channel or sleep blocking while a mutex is held",
+	Run:  runLockBlock,
+}
+
+// lockBlockForbidden is the blocking family that must not run under a
+// held lock.
+var lockBlockForbidden = cfg.EffectSet(cfg.BlockingNet | cfg.BlockingChan | cfg.BlockingSleep)
+
+func runLockBlock(pass *Pass) {
+	names := map[*types.Var]string{}
+	var st *effectState // built lazily: bodies that hold no lock never need it
+	for _, file := range pass.Pkg.Files {
+		forEachFuncBody(file, func(body *ast.BlockStmt) {
+			scanLockBlockBody(pass, &st, body, names)
+		})
+	}
+}
+
+func scanLockBlockBody(pass *Pass, st **effectState, body *ast.BlockStmt, names map[*types.Var]string) {
+	info := pass.Pkg.Info
+	var held []*types.Var
+	lockName := func() string {
+		return names[held[len(held)-1]]
+	}
+	report := func(pos token.Pos, op string) {
+		pass.Reportf(pos, "%s while %s is held; release the lock before blocking", op, lockName())
+	}
+	shallowInspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			return false
+		case *ast.SendStmt:
+			if len(held) > 0 {
+				report(n.Pos(), "channel send")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(held) > 0 {
+				report(n.Pos(), "channel receive")
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 && !selectHasDefault(n) {
+				report(n.Pos(), "blocking select")
+			}
+		case *ast.RangeStmt:
+			if len(held) > 0 {
+				if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						report(n.Pos(), "range over channel")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			v, method := lockMethodCall(info, n, names)
+			switch method {
+			case "Lock", "RLock":
+				held = append(held, v)
+			case "Unlock", "RUnlock":
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == v {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			default:
+				if len(held) == 0 {
+					return true
+				}
+				checkHeldCall(pass, st, n, lockName())
+			}
+		}
+		return true
+	})
+}
+
+// checkHeldCall classifies one call made inside a critical section:
+// direct blocking stdlib/conn operations, or module calls whose effect
+// summary (minus seam masks) carries a blocking effect.
+func checkHeldCall(pass *Pass, st **effectState, call *ast.CallExpr, lock string) {
+	info := pass.Pkg.Info
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && hasSetDeadline(sig.Recv().Type()) {
+		switch fn.Name() {
+		case "Read", "Write", "ReadFrom", "WriteTo", "Accept":
+			pass.Reportf(call.Pos(), "%s blocks on the network while %s is held; release the lock before blocking",
+				displayCallee(fn), lock)
+			return
+		}
+	}
+	if e, what, ok := classifyExternal(fn); ok {
+		if cfg.NoEffects.With(e).Intersect(lockBlockForbidden) != cfg.NoEffects {
+			pass.Reportf(call.Pos(), "%s (%s) while %s is held; release the lock before blocking", what, e, lock)
+		}
+		return
+	}
+	if fn.Pkg() == nil {
+		return
+	}
+	if _, inModule := pass.Prog.ByPath[fn.Pkg().Path()]; !inModule {
+		return
+	}
+	if *st == nil {
+		*st = effectsOf(pass.Prog)
+	}
+	fi := (*st).infos[fn]
+	if fi == nil {
+		return
+	}
+	mask := seamMask(pass.Prog.Module, fn.Pkg().Path(), pass.Pkg.Path)
+	bad := fi.set.Minus(mask).Intersect(lockBlockForbidden)
+	if bad == cfg.NoEffects {
+		return
+	}
+	e := bad.Effects()[0]
+	chain, detail := (*st).describe(fi, e)
+	pass.ReportfChain(call.Pos(), detail,
+		"call to %s carries %s (%s) while %s is held; release the lock before blocking",
+		displayCallee(fn), e, chain, lock)
+}
