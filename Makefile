@@ -63,6 +63,8 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz=FuzzRedact$$ -fuzztime=$(FUZZTIME) ./internal/sanitize/
 	$(GO) test -fuzz=FuzzRedactCorpus -fuzztime=$(FUZZTIME) ./internal/sanitize/
+	$(GO) test -fuzz=FuzzGateEquivalence -fuzztime=$(FUZZTIME) ./internal/sanitize/
+	$(GO) test -fuzz=FuzzMatchEquivalence -fuzztime=$(FUZZTIME) ./internal/match/
 	$(GO) test -fuzz=FuzzCFGBuild -fuzztime=$(FUZZTIME) ./internal/lint/cfg/
 	$(GO) test -fuzz=FuzzValueLattice -fuzztime=$(FUZZTIME) ./internal/lint/cfg/
 	$(GO) test -fuzz=FuzzEffectLattice -fuzztime=$(FUZZTIME) ./internal/lint/cfg/

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -53,6 +54,17 @@ func sharedSuite(b *testing.B) *experiments.Suite {
 func benchExperiment(b *testing.B, run func() (*experiments.Experiment, error)) {
 	b.Helper()
 	sharedSuite(b)
+	// One untimed run first: experiments lean on memoized inputs (corpus
+	// caches, lazy DFA states), and at -benchtime=1x the single timed
+	// iteration would otherwise measure cache construction, not analysis.
+	if _, err := run(); err != nil {
+		b.Fatal(err)
+	}
+	// Start the timed region GC-quiet: the shared suite keeps a large
+	// heap alive, and a collection cycle landing inside a -benchtime=1x
+	// iteration (milliseconds of assist against that heap) would swamp
+	// the few-millisecond experiments the baselines record.
+	runtime.GC()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -45,6 +45,7 @@ import (
 	"repro/internal/sanitize"
 	"repro/internal/smtpc"
 	"repro/internal/smtpd"
+	"repro/internal/spamfilter"
 	"repro/internal/vault"
 	"repro/internal/whois"
 )
@@ -94,7 +95,12 @@ type chaosResult struct {
 	WhoisOK      int
 	WhoisFail    int
 	DialFaults   int64 // dial-refused + dial-timeout across SMTP and probe nets
-	Trace        string
+	// EquivChecked/EquivMismatches account the in-soak differential: every
+	// delivered message is redacted and classified on both the engine and
+	// oracle regex paths; mismatches must stay zero at every fault rate.
+	EquivChecked    int64
+	EquivMismatches int64
+	Trace           string
 }
 
 func chaosSeed(t *testing.T) int64 {
@@ -152,7 +158,13 @@ func runChaos(t *testing.T, seed int64, rate float64) chaosResult {
 		t.Fatal(err)
 	}
 	var deliverMu sync.Mutex
-	var delivered int64
+	var delivered, equivChecked, equivMismatches int64
+	// In-soak differential: per-run engine and oracle classifiers (the
+	// oracle seam is per-instance Config, so both run under -race without
+	// touching shared toggles) fed the same delivery sequence.
+	ourDomains := map[string]bool{typoDomain: true}
+	clsEngine := spamfilter.NewClassifier(spamfilter.Config{OurDomains: ourDomains})
+	clsOracle := spamfilter.NewClassifier(spamfilter.Config{OurDomains: ourDomains, Oracle: true})
 	smtpSrv, err := smtpd.NewServer(smtpd.Config{
 		Hostname: typoDomain,
 		Timeout:  2 * time.Second,
@@ -161,6 +173,22 @@ func runChaos(t *testing.T, seed int64, rate float64) chaosResult {
 			clean, _ := sani.Redact(string(e.Data))
 			deliverMu.Lock()
 			defer deliverMu.Unlock()
+			// Redaction must be byte-identical on the oracle regex path,
+			// and both classifier paths must agree on the verdict.
+			equivChecked++
+			if cleanOracle, _ := sani.RedactOracle(string(e.Data)); cleanOracle != clean {
+				equivMismatches++
+			}
+			if msg, merr := mailmsg.Parse(e.Data); merr == nil {
+				mail := spamfilter.Email{
+					Msg: msg, ServerDomain: typoDomain,
+					RcptAddr: e.Rcpts[0], SenderAddr: e.MailFrom, Received: e.Received,
+				}
+				oMail := mail
+				if clsEngine.ClassifyOne(&mail).Verdict != clsOracle.ClassifyOne(&oMail).Verdict {
+					equivMismatches++
+				}
+			}
 			if _, perr := v.Put(typoDomain, "chaos", e.Received, []byte(clean)); perr != nil {
 				return perr
 			}
@@ -250,6 +278,16 @@ func runChaos(t *testing.T, seed int64, rate float64) chaosResult {
 	res.Quits, res.Aborts = smtpSrv.SessionStats()
 	if res.Delivered != delivered {
 		t.Errorf("server delivered %d, Deliver hook saw %d", res.Delivered, delivered)
+	}
+	res.EquivChecked, res.EquivMismatches = equivChecked, equivMismatches
+	// Invariant: the engine and oracle regex paths never disagree, on any
+	// delivery, at any fault rate.
+	if res.EquivMismatches != 0 {
+		t.Errorf("engine/oracle equivalence broke on %d of %d deliveries",
+			res.EquivMismatches, res.EquivChecked)
+	}
+	if res.Delivered > 0 && res.EquivChecked != delivered {
+		t.Errorf("equivalence checked %d deliveries, delivered %d", res.EquivChecked, delivered)
 	}
 	res.VaultLen = v.Len()
 	res.SMTPConns = cnetSMTP.Conns()

@@ -18,7 +18,22 @@
 // and makes the exit status 1. -metric restricts the judged metrics to
 // "ns", "allocs", or "both" — CI compares allocs only, since alloc
 // counts are deterministic while wall-clock on a shared runner is not.
-// Exit status: 0 clean, 1 regressions found, 2 usage or load errors.
+//
+// -require flips the gate's direction: instead of rejecting slowdowns
+// anywhere, it asserts specific speedups somewhere:
+//
+//	benchjson -compare -require 'BenchmarkTable2Sanitizer=5' old.json new.json
+//
+// Each comma-separated name=factor entry names one benchmark (matched
+// by base name, ignoring pkg and the -N GOMAXPROCS suffix) that must
+// have improved by at least factor× in BOTH ns/op and allocs/op from
+// old to new. With -require set, the blanket regression sweep is
+// skipped: the intended use is ratcheting one committed baseline
+// against the next (BENCH_<n>.json -> BENCH_<n+1>.json), where
+// unrelated benchmarks legitimately moved.
+//
+// Exit status, both modes: 0 clean, 1 regressions or shortfalls found,
+// 2 usage or load errors.
 package main
 
 import (
@@ -27,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -62,6 +78,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	compare := fs.Bool("compare", false, "compare two snapshot files (old.json new.json) instead of parsing stdin")
 	threshold := fs.Float64("threshold", 20, "regression threshold in percent for -compare")
 	metric := fs.String("metric", "both", "metrics judged by -compare: ns, allocs or both")
+	require := fs.String("require", "", "comma-separated name=factor improvement assertions for -compare (replaces the regression sweep)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -75,7 +92,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "benchjson: -compare wants exactly two snapshot files: old.json new.json")
 			return 2
 		}
+		if *require != "" {
+			reqs, err := parseRequire(*require)
+			if err != nil {
+				fmt.Fprintln(stderr, "benchjson:", err)
+				return 2
+			}
+			return runRequire(fs.Arg(0), fs.Arg(1), reqs, stdout, stderr)
+		}
 		return runCompare(fs.Arg(0), fs.Arg(1), *threshold, *metric, stdout, stderr)
+	}
+	if *require != "" {
+		fmt.Fprintln(stderr, "benchjson: -require is only meaningful with -compare")
+		return 2
 	}
 
 	snap, err := parse(bufio.NewScanner(stdin))
@@ -176,6 +205,140 @@ func runCompare(oldPath, newPath string, threshold float64, metric string, stdou
 		return 1
 	}
 	return 0
+}
+
+// requirement is one -require entry: the named benchmark must have
+// improved by at least factor× from the old snapshot to the new one.
+type requirement struct {
+	name   string
+	factor float64
+}
+
+func parseRequire(s string) ([]requirement, error) {
+	var reqs []requirement
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, factorStr, ok := strings.Cut(entry, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -require entry %q (want name=factor)", entry)
+		}
+		factor, err := strconv.ParseFloat(factorStr, 64)
+		if err != nil || factor <= 0 {
+			return nil, fmt.Errorf("bad -require factor in %q (want a positive number)", entry)
+		}
+		reqs = append(reqs, requirement{name: name, factor: factor})
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("empty -require list")
+	}
+	return reqs, nil
+}
+
+// findByBaseName locates the single benchmark whose name, stripped of
+// the -N GOMAXPROCS suffix, equals name. Ambiguity is an error: a
+// requirement that silently picked one of several matches could pass
+// on the wrong benchmark.
+func findByBaseName(snap *Snapshot, name string) (Benchmark, error) {
+	var found []Benchmark
+	for _, b := range snap.Benchmarks {
+		base := b.Name
+		if i := strings.LastIndex(base, "-"); i > 0 {
+			if _, err := strconv.Atoi(base[i+1:]); err == nil {
+				base = base[:i]
+			}
+		}
+		if base == name || b.Name == name {
+			found = append(found, b)
+		}
+	}
+	switch len(found) {
+	case 0:
+		return Benchmark{}, fmt.Errorf("benchmark %q not found", name)
+	case 1:
+		return found[0], nil
+	default:
+		return Benchmark{}, fmt.Errorf("benchmark %q matches %d entries", name, len(found))
+	}
+}
+
+// runRequire asserts the -require improvements between two snapshots.
+// Each requirement must hold in BOTH ns/op and allocs/op: a speedup
+// bought by allocating more (or the reverse) does not satisfy the
+// ratchet.
+func runRequire(oldPath, newPath string, reqs []requirement, stdout, stderr io.Writer) int {
+	oldSnap, err := readSnapshot(oldPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	newSnap, err := readSnapshot(newPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+
+	shortfalls := 0
+	for _, req := range reqs {
+		ob, oerr := findByBaseName(oldSnap, req.name)
+		nb, nerr := findByBaseName(newSnap, req.name)
+		if oerr != nil || nerr != nil {
+			shortfalls++
+			for _, e := range []error{oerr, nerr} {
+				if e != nil {
+					fmt.Fprintf(stdout, "SHORTFALL  %s: %v\n", req.name, e)
+				}
+			}
+			continue
+		}
+		for _, m := range []struct {
+			unit     string
+			old, cur float64
+		}{
+			{"ns/op", ob.NsPerOp, nb.NsPerOp},
+			{"allocs/op", float64(ob.AllocsPerOp), float64(nb.AllocsPerOp)},
+		} {
+			ratio, ok := improvement(m.old, m.cur)
+			verdict := "IMPROVED  "
+			if !ok || ratio < req.factor {
+				verdict = "SHORTFALL "
+				shortfalls++
+			}
+			fmt.Fprintf(stdout, "%s %s %s %s %.1f -> %.1f (%s, need %.1fx)\n",
+				verdict, nb.Pkg, nb.Name, m.unit, m.old, m.cur, ratioStr(ratio, ok), req.factor)
+		}
+	}
+	fmt.Fprintf(stderr, "benchjson: %d requirement(s), %d shortfall(s)\n", len(reqs), shortfalls)
+	if shortfalls > 0 {
+		return 1
+	}
+	return 0
+}
+
+// improvement returns old/cur — how many times better the new value is.
+// cur == 0 with old > 0 is an unbounded improvement (+Inf, satisfies
+// any factor); old == 0 cannot improve by any factor and reports
+// not-ok.
+func improvement(old, cur float64) (float64, bool) {
+	if old == 0 {
+		return 0, false
+	}
+	if cur == 0 {
+		return math.Inf(1), true
+	}
+	return old / cur, true
+}
+
+func ratioStr(ratio float64, ok bool) string {
+	if !ok {
+		return "was 0"
+	}
+	if math.IsInf(ratio, 1) {
+		return "now 0"
+	}
+	return fmt.Sprintf("%.1fx", ratio)
 }
 
 // regressed: cur exceeds old by more than threshold percent. A metric

@@ -181,6 +181,106 @@ func TestCompareRemovedFailsGate(t *testing.T) {
 	}
 }
 
+// --- -require improvement assertions ---
+
+func TestRequireMet(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json",
+		bench("repro", "BenchmarkTable2Sanitizer-8", 17000000, 31372),
+		bench("repro", "BenchmarkUnrelated-8", 100, 1))
+	cur := writeSnap(t, dir, "new.json",
+		bench("repro", "BenchmarkTable2Sanitizer-8", 3000000, 2737),
+		bench("repro", "BenchmarkUnrelated-8", 900, 9)) // 9x worse, but not required
+	code, out, errOut := runArgs(t, "-compare", "-require", "BenchmarkTable2Sanitizer=5", old, cur)
+	if code != 0 {
+		t.Fatalf("5.7x and 11.5x must satisfy =5: exit %d\n%s%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "IMPROVED   repro BenchmarkTable2Sanitizer-8 ns/op") ||
+		!strings.Contains(out, "IMPROVED   repro BenchmarkTable2Sanitizer-8 allocs/op") {
+		t.Fatalf("missing IMPROVED lines:\n%s", out)
+	}
+	if !strings.Contains(errOut, "1 requirement(s), 0 shortfall(s)") {
+		t.Fatalf("summary missing:\n%s", errOut)
+	}
+}
+
+func TestRequireBothMetricsMustImprove(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", bench("repro", "BenchmarkTable3SpamFilter-8", 350000000, 566069))
+	// ns improved 10x, allocs only 2x: a speedup bought without the
+	// allocation win must not satisfy the ratchet.
+	cur := writeSnap(t, dir, "new.json", bench("repro", "BenchmarkTable3SpamFilter-8", 35000000, 283034))
+	code, out, _ := runArgs(t, "-compare", "-require", "BenchmarkTable3SpamFilter=5", old, cur)
+	if code != 1 {
+		t.Fatalf("allocs at 2x must fail =5: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "IMPROVED   repro BenchmarkTable3SpamFilter-8 ns/op") ||
+		!strings.Contains(out, "SHORTFALL  repro BenchmarkTable3SpamFilter-8 allocs/op") {
+		t.Fatalf("want ns IMPROVED and allocs SHORTFALL:\n%s", out)
+	}
+}
+
+func TestRequireMultipleEntries(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json",
+		bench("repro", "BenchmarkA-8", 1000, 100),
+		bench("repro", "BenchmarkB-8", 1000, 100))
+	cur := writeSnap(t, dir, "new.json",
+		bench("repro", "BenchmarkA-8", 100, 10),
+		bench("repro", "BenchmarkB-8", 400, 40)) // only 2.5x
+	code, out, _ := runArgs(t, "-compare", "-require", "BenchmarkA=5,BenchmarkB=5", old, cur)
+	if code != 1 {
+		t.Fatalf("B at 2.5x must fail: exit %d\n%s", code, out)
+	}
+	if code, _, _ := runArgs(t, "-compare", "-require", "BenchmarkA=5,BenchmarkB=2", old, cur); code != 0 {
+		t.Fatal("B at 2.5x satisfies =2")
+	}
+}
+
+func TestRequireMissingBenchmarkFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", bench("repro", "BenchmarkA-8", 1000, 100))
+	cur := writeSnap(t, dir, "new.json", bench("repro", "BenchmarkA-8", 100, 10))
+	code, out, _ := runArgs(t, "-compare", "-require", "BenchmarkGone=5", old, cur)
+	if code != 1 {
+		t.Fatalf("missing benchmark must fail the gate: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, `SHORTFALL  BenchmarkGone: benchmark "BenchmarkGone" not found`) {
+		t.Fatalf("missing not-found shortfall:\n%s", out)
+	}
+}
+
+func TestRequireSkipsRegressionSweep(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json",
+		bench("repro", "BenchmarkA-8", 1000, 100),
+		bench("repro", "BenchmarkRemoved-8", 50, 5))
+	cur := writeSnap(t, dir, "new.json", bench("repro", "BenchmarkA-8", 100, 10))
+	// The sweep would flag BenchmarkRemoved; -require must not.
+	code, out, _ := runArgs(t, "-compare", "-require", "BenchmarkA=5", old, cur)
+	if code != 0 {
+		t.Fatalf("-require must ignore unrelated removals: exit %d\n%s", code, out)
+	}
+	if strings.Contains(out, "REMOVED") {
+		t.Fatalf("sweep output leaked into require mode:\n%s", out)
+	}
+}
+
+func TestRequireUsageErrors(t *testing.T) {
+	if code, _, _ := runArgs(t, "-require", "BenchmarkA=5"); code != 2 {
+		t.Fatal("-require without -compare must be a usage error")
+	}
+	if code, _, _ := runArgs(t, "-compare", "-require", "BenchmarkA", "a.json", "b.json"); code != 2 {
+		t.Fatal("entry without =factor must be a usage error")
+	}
+	if code, _, _ := runArgs(t, "-compare", "-require", "BenchmarkA=-3", "a.json", "b.json"); code != 2 {
+		t.Fatal("negative factor must be a usage error")
+	}
+	if code, _, _ := runArgs(t, "-compare", "-require", " , ", "a.json", "b.json"); code != 2 {
+		t.Fatal("empty require list must be a usage error")
+	}
+}
+
 func TestCompareUsageErrors(t *testing.T) {
 	if code, _, _ := runArgs(t, "-compare", "only-one.json"); code != 2 {
 		t.Fatal("one file must be a usage error")

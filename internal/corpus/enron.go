@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"repro/internal/par"
 	"repro/internal/sanitize"
@@ -39,8 +40,28 @@ func DefaultEnronOptions() EnronOptions {
 	return EnronOptions{Plain: 600, PerKind: 24, Seed: 2016}
 }
 
+// enronCache memoizes generated corpora by options: generation is
+// seeded, so equal options always yield the same documents. Callers get
+// a fresh top-level slice but share the Truth maps, which are read-only
+// by convention.
+var (
+	enronMu    sync.Mutex
+	enronCache = map[EnronOptions][]EnronDoc{}
+)
+
 // GenerateEnron produces the labeled corpus.
 func GenerateEnron(opts EnronOptions) []EnronDoc {
+	enronMu.Lock()
+	docs, ok := enronCache[opts]
+	if !ok {
+		docs = generateEnron(opts)
+		enronCache[opts] = docs
+	}
+	enronMu.Unlock()
+	return append([]EnronDoc(nil), docs...)
+}
+
+func generateEnron(opts EnronOptions) []EnronDoc {
 	rng := par.Rand(opts.Seed, 0)
 	docs := make([]EnronDoc, 0, opts.Plain)
 	for i := 0; i < opts.Plain; i++ {

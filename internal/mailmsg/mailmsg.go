@@ -61,6 +61,9 @@ func New() *Message {
 
 // canonicalKey normalizes header names ("reply-to" -> "Reply-To").
 func canonicalKey(k string) string {
+	if isCanonicalKey(k) {
+		return k
+	}
 	parts := strings.Split(strings.ToLower(strings.TrimSpace(k)), "-")
 	for i, p := range parts {
 		if p == "" {
@@ -69,6 +72,29 @@ func canonicalKey(k string) string {
 		parts[i] = strings.ToUpper(p[:1]) + p[1:]
 	}
 	return strings.Join(parts, "-")
+}
+
+// isCanonicalKey reports whether k is already in canonical form — the
+// case for every compile-time header key ("Subject", "Reply-To"), which
+// the accessors pass on every message read. Anything unusual (spaces,
+// non-ASCII) conservatively takes the allocating slow path.
+func isCanonicalKey(k string) bool {
+	start := true
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if c >= 0x80 || c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			return false
+		}
+		if c == '-' {
+			start = true
+			continue
+		}
+		if start && c >= 'a' && c <= 'z' || !start && c >= 'A' && c <= 'Z' {
+			return false
+		}
+		start = false
+	}
+	return true
 }
 
 // SetHeader replaces all values of key.
@@ -126,10 +152,30 @@ func Addr(field string) string {
 	if field == "" {
 		return ""
 	}
+	if bareLowerAddr(field) {
+		return field
+	}
 	if a, err := mail.ParseAddress(field); err == nil {
 		return strings.ToLower(a.Address)
 	}
 	return strings.ToLower(field)
+}
+
+// bareLowerAddr reports whether field contains only lower-case dot-atom
+// bytes (no display name, angle brackets, comments, or upper case) —
+// the common envelope form, for which the parse-then-lower pipeline is
+// the identity: ParseAddress either returns the field verbatim or fails
+// and falls back to ToLower, which changes nothing.
+func bareLowerAddr(field string) bool {
+	for i := 0; i < len(field); i++ {
+		switch c := field[i]; {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '%', c == '+', c == '-', c == '=', c == '@':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // AddrDomain returns the domain part of an address field, or "".

@@ -1,0 +1,111 @@
+package match
+
+// acAuto is a dense Aho–Corasick automaton over case-folded symbols.
+// The haystack is read through foldSym, so a literal spelled "sep"
+// also fires on "SEP" and on "ſep" (U+017F) — folding at scan time
+// keeps the literal set small and the candidate set a superset of
+// every spelling the oracle can match.
+type acAuto struct {
+	next      [][256]int32 // full goto function, failure links resolved
+	out       [][]int32    // literal IDs recognised at each state (suffixes merged)
+	litSymLen []int32      // length of each literal in symbols
+	ringSize  int          // power-of-two window covering the longest literal
+}
+
+type acNode struct {
+	child [256]int32
+	fail  int32
+	out   []int32
+}
+
+func newAcNode() *acNode {
+	n := &acNode{}
+	for i := range n.child {
+		n.child[i] = -1
+	}
+	return n
+}
+
+func buildAC(lits []string) *acAuto {
+	a := &acAuto{}
+	nodes := []*acNode{newAcNode()}
+	maxLen := 1
+	for id, lit := range lits {
+		a.litSymLen = append(a.litSymLen, int32(len(lit)))
+		if len(lit) > maxLen {
+			maxLen = len(lit)
+		}
+		st := int32(0)
+		for i := 0; i < len(lit); i++ {
+			c := lit[i]
+			if nodes[st].child[c] < 0 {
+				nodes = append(nodes, newAcNode())
+				nodes[st].child[c] = int32(len(nodes) - 1)
+			}
+			st = nodes[st].child[c]
+		}
+		nodes[st].out = append(nodes[st].out, int32(id))
+	}
+	a.ringSize = 1
+	for a.ringSize < maxLen+1 {
+		a.ringSize <<= 1
+	}
+
+	// BFS failure links, resolving the goto function to a total
+	// transition table and merging suffix outputs as we go.
+	queue := make([]int32, 0, len(nodes))
+	for c := 0; c < 256; c++ {
+		if ch := nodes[0].child[c]; ch >= 0 {
+			nodes[ch].fail = 0
+			queue = append(queue, ch)
+		} else {
+			nodes[0].child[c] = 0
+		}
+	}
+	for len(queue) > 0 {
+		st := queue[0]
+		queue = queue[1:]
+		f := nodes[st].fail
+		nodes[st].out = append(nodes[st].out, nodes[f].out...)
+		for c := 0; c < 256; c++ {
+			if ch := nodes[st].child[c]; ch >= 0 {
+				nodes[ch].fail = nodes[f].child[c]
+				queue = append(queue, ch)
+			} else {
+				nodes[st].child[c] = nodes[f].child[c]
+			}
+		}
+	}
+
+	a.next = make([][256]int32, len(nodes))
+	a.out = make([][]int32, len(nodes))
+	for i, n := range nodes {
+		a.next[i] = n.child
+		a.out[i] = n.out
+	}
+	return a
+}
+
+// scan runs the automaton once over text, reporting every literal
+// occurrence to s.emit with the byte offset of the literal's first
+// symbol. A ring buffer of recent symbol start offsets recovers the
+// start of multi-symbol literals even when folded symbols span 2–3
+// bytes (the U+017F / U+212A traps).
+func (a *acAuto) scan(text string, s *Scan) {
+	ring := s.ring
+	mask := int32(len(ring) - 1)
+	st := int32(0)
+	symIdx := int32(0)
+	for i := 0; i < len(text); {
+		sym, sz := foldSym(text, i)
+		ring[symIdx&mask] = int32(i)
+		st = a.next[st][sym]
+		if outs := a.out[st]; len(outs) > 0 {
+			for _, lit := range outs {
+				s.emit(lit, ring[(symIdx-a.litSymLen[lit]+1)&mask])
+			}
+		}
+		symIdx++
+		i += sz
+	}
+}

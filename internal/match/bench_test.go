@@ -1,0 +1,67 @@
+package match_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/match"
+)
+
+var benchText = strings.Repeat(
+	"Dear friend, your order #4411 shipped 12/14/2016 to jane.doe@example.com. "+
+		"Call (412) 268-3000 or visit https://example.com/track?id=99 for status. "+
+		"This is not spam; click here to unsubscribe, or reply STOP. "+
+		"Invoice total $129.99, account number is AC-277812, zip code 15213. ",
+	8)
+
+// BenchmarkMatchCompile measures full engine construction: parsing,
+// factor extraction, AC build, DFA alphabets and probe compilation for
+// the whole production pattern set.
+func BenchmarkMatchCompile(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := match.Compile(zooPatterns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatchScan measures one shared scan plus a Count query per
+// pattern. cold pays lazy-DFA state construction on a fresh engine
+// every iteration; warm reuses one engine whose DFA transitions and
+// pooled handles are already hot — the steady state the sanitizer and
+// spamfilter run in.
+func BenchmarkMatchScan(b *testing.B) {
+	// Query the production patterns (sanitizer + spamfilter) only: the
+	// adversarial zoo tail includes deliberate fallback shapes like z*
+	// whose oracle cost would swamp the engine's.
+	const numProd = 18
+	scanAll := func(e *match.Engine) int {
+		s := e.Scan(benchText)
+		n := 0
+		for id := 0; id < numProd; id++ {
+			n += s.Count(id, -1)
+		}
+		s.Release()
+		return n
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e, err := match.Compile(zooPatterns)
+			if err != nil {
+				b.Fatal(err)
+			}
+			scanAll(e)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		e := zooEngine(b)
+		scanAll(e)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			scanAll(e)
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package match_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// FuzzMatchEquivalence fuzzes arbitrary text against every zoo
+// pattern, asserting the engine's FindAll/Match/Count agree with the
+// stdlib oracle exactly. Seeds are the adversarial inputs plus real
+// corpus text, mirroring the sanitize corpus-fuzz harness.
+func FuzzMatchEquivalence(f *testing.F) {
+	for _, s := range adversarialInputs {
+		f.Add(s)
+	}
+	opts := corpus.DefaultEnronOptions()
+	opts.Plain, opts.PerKind = 6, 2
+	for _, d := range corpus.GenerateEnron(opts) {
+		f.Add(d.Text)
+	}
+	msgs := corpus.Generate(corpus.DatasetTREC)
+	for i := 0; i < 8 && i < len(msgs); i++ {
+		f.Add(msgs[i].Msg.Text())
+	}
+	e := zooEngine(f)
+	f.Fuzz(func(t *testing.T, text string) {
+		if len(text) > 1<<16 {
+			return
+		}
+		for id := range zooPatterns {
+			re := e.Oracle(id)
+			want := oracleFindAll(re, text)
+			got := allFindAll(e, id, text)
+			if len(got)+len(want) > 0 && !reflect.DeepEqual(got, want) {
+				t.Fatalf("pattern %q on %q:\n engine %v\n oracle %v", re.String(), text, got, want)
+			}
+			s := e.Scan(text)
+			if gm, wm := s.Match(id), re.MatchString(text); gm != wm {
+				t.Fatalf("pattern %q Match on %q: engine %v oracle %v", re.String(), text, gm, wm)
+			}
+			if gc, wc := s.Count(id, 3), len(re.FindAllString(text, 3)); gc != wc {
+				t.Fatalf("pattern %q Count on %q: engine %d oracle %d", re.String(), text, gc, wc)
+			}
+			s.Release()
+		}
+	})
+}

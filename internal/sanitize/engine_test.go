@@ -1,0 +1,155 @@
+package sanitize
+
+import (
+	"reflect"
+	"testing"
+)
+
+// engineCases extends gateCases with inputs aimed at the multi-pattern
+// engine specifically: literal-prefilter edges, backwalk anchors, fold
+// traps inside month and keyword literals, and byte soup the byte-class
+// DFA must classify exactly like the oracle.
+var engineCases = append([]string{
+	"@@@@a@b.cc@d.ee",
+	"joe@ex.com jane@ex.org bob@sub.domain.example.travel",
+	"\u212Aelvin kelvin KELVIN \u017F\u017F\u017Fn",
+	"de\u017F 14, 2016 and dec 14, 2016",
+	"pa\u017F\u017Fword is hunter2 and u\u017Fername is jdoe",
+	"\x80\xfe\xffpassword is \xc3\x28 bad utf8 4111 1111 1111 1111",
+	"a\x00b password\x00is\x00secret123",
+	"078-05-1120",
+	"x078-05-1120y 12-3456789z",
+	"(412) 268 3000 +1 412.268.3000 1-412-268-3000",
+	"zip 15213 , PA 15213 ,PA 15213",
+	"id = 12345678 account number is AB-9912 policy no. 7788",
+	"1HGCM82633A004352 and 1M8GDM9AXKP042788 back to back 1HGCM82633A0043521M8GDM9AXKP042788",
+}, gateCases...)
+
+// scanEngineUngated is the engine path with every engGate skipped, to
+// prove the gates themselves never drop a finding.
+func scanEngineUngated(text string) []Finding {
+	var out []Finding
+	var gbuf [4]string
+	s := engine.Scan(text)
+	for i := range detectors {
+		d := &detectors[i]
+		s.FindAll(i, func(idx []int) bool {
+			groups := submatchInto(gbuf[:0], text, idx)
+			label, ok := "", true
+			if d.validate != nil {
+				label, ok = d.validate(groups)
+			}
+			if ok {
+				gs, ge := idx[2*d.group], idx[2*d.group+1]
+				out = append(out, Finding{
+					Kind: d.kind, Match: text[gs:ge], Start: gs, End: ge, Label: label,
+				})
+			}
+			return true
+		})
+	}
+	s.Release()
+	sortFindings(out)
+	return out
+}
+
+func sameFindings(a, b []Finding) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// TestEngineOracleEquivalence is the sanitizer-level differential proof:
+// on every case the engine path, the engine path without engGates, the
+// gated oracle path, and the ungated oracle path return identical
+// findings.
+func TestEngineOracleEquivalence(t *testing.T) {
+	for _, text := range engineCases {
+		eng := Scan(text)
+		engUngated := scanEngineUngated(text)
+		oracle := ScanOracle(text)
+		oracleUngated := scanUngated(text)
+		if !sameFindings(eng, oracle) {
+			t.Errorf("engine differs from oracle on %q:\n engine: %v\n oracle: %v", text, eng, oracle)
+		}
+		if !sameFindings(eng, engUngated) {
+			t.Errorf("engGate drops findings on %q:\n gated:   %v\n ungated: %v", text, eng, engUngated)
+		}
+		if !sameFindings(oracle, oracleUngated) {
+			t.Errorf("oracle gate drops findings on %q", text)
+		}
+	}
+}
+
+// TestDisableEngineHook pins that the disableEngine seam actually
+// reroutes Scan/ScanKinds onto the oracle path.
+func TestDisableEngineHook(t *testing.T) {
+	disableEngine = true
+	defer func() { disableEngine = false }()
+	for _, text := range engineCases {
+		if !sameFindings(Scan(text), ScanOracle(text)) {
+			t.Fatalf("disableEngine Scan differs from ScanOracle on %q", text)
+		}
+	}
+}
+
+// TestRedactEquivalence requires byte-identical redaction output
+// between the engine and oracle paths — the end-to-end guarantee the
+// collection pipeline depends on.
+func TestRedactEquivalence(t *testing.T) {
+	s := New("differential-salt")
+	for _, text := range engineCases {
+		cleanEng, fEng := s.Redact(text)
+		cleanOra, fOra := s.RedactOracle(text)
+		if cleanEng != cleanOra {
+			t.Errorf("redacted output differs on %q:\n engine: %q\n oracle: %q", text, cleanEng, cleanOra)
+		}
+		if !sameFindings(fEng, fOra) {
+			t.Errorf("redact findings differ on %q", text)
+		}
+	}
+}
+
+// TestScanKindsEquivalence pins ScanKinds == the kind set of Scan, on
+// both the engine and oracle routes.
+func TestScanKindsEquivalence(t *testing.T) {
+	maskOf := func(fs []Finding) uint16 {
+		var m uint16
+		for _, f := range fs {
+			m |= KindBit(f.Kind)
+		}
+		return m
+	}
+	for _, text := range engineCases {
+		if got, want := ScanKinds(text), maskOf(Scan(text)); got != want {
+			t.Errorf("ScanKinds(%q) = %04x, Scan kinds %04x", text, got, want)
+		}
+	}
+	disableEngine = true
+	defer func() { disableEngine = false }()
+	for _, text := range engineCases {
+		if got, want := ScanKinds(text), maskOf(Scan(text)); got != want {
+			t.Errorf("oracle ScanKinds(%q) = %04x, want %04x", text, got, want)
+		}
+	}
+}
+
+// TestKindBit pins the bit layout: one distinct bit per kind, zero for
+// unknown kinds.
+func TestKindBit(t *testing.T) {
+	seen := map[uint16]Kind{}
+	for _, k := range AllKinds() {
+		b := KindBit(k)
+		if b == 0 {
+			t.Fatalf("KindBit(%s) = 0", k)
+		}
+		if prev, dup := seen[b]; dup {
+			t.Fatalf("KindBit collision: %s and %s", prev, k)
+		}
+		seen[b] = k
+	}
+	if KindBit(Kind("nosuch")) != 0 {
+		t.Fatal("KindBit of unknown kind should be 0")
+	}
+}

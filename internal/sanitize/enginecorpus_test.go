@@ -1,0 +1,44 @@
+// Corpus-driven engine/oracle differentials live in the external test
+// package: the corpus generator imports sanitize, so seeding from it
+// inside package sanitize would be an import cycle.
+package sanitize_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/sanitize"
+)
+
+// TestEngineOracleCorpus replays the engine/oracle differential over
+// realistic text: Table 2 Enron-style documents (every planted kind)
+// and messages from every Table 3 spam dataset. Scan findings and
+// Redact output must be identical on both paths.
+func TestEngineOracleCorpus(t *testing.T) {
+	var texts []string
+	opts := corpus.DefaultEnronOptions()
+	opts.Plain, opts.PerKind = 80, 8
+	for _, d := range corpus.GenerateEnron(opts) {
+		texts = append(texts, d.Text, d.Subject)
+	}
+	for _, ds := range corpus.AllDatasets() {
+		msgs := corpus.Generate(ds)
+		for i := 0; i < len(msgs) && i < 60; i++ {
+			texts = append(texts, msgs[i].Msg.Text(), msgs[i].Msg.Subject())
+		}
+	}
+	s := sanitize.New("corpus-differential-salt")
+	for _, text := range texts {
+		eng := sanitize.Scan(text)
+		ora := sanitize.ScanOracle(text)
+		if !(len(eng) == 0 && len(ora) == 0) && !reflect.DeepEqual(eng, ora) {
+			t.Fatalf("engine/oracle findings differ on %q:\n engine: %v\n oracle: %v", text, eng, ora)
+		}
+		cleanEng, _ := s.Redact(text)
+		cleanOra, _ := s.RedactOracle(text)
+		if cleanEng != cleanOra {
+			t.Fatalf("redaction differs on %q:\n engine: %q\n oracle: %q", text, cleanEng, cleanOra)
+		}
+	}
+}

@@ -33,24 +33,33 @@ func (s Score) String() string {
 // over the full corpus: a true positive is a document where the detector
 // fires and the kind is truly present. The paper argues these metrics —
 // not accuracy — are the right ones for such an imbalanced dataset.
+//
+// Scoring needs only per-document per-kind booleans, so it runs on the
+// ScanKinds bitmask: one shared engine pass per document, each detector
+// stopping at its first validated finding.
 func Evaluate(docs []LabeledDoc) map[Kind]Score {
+	masks := make([]uint16, len(docs))
+	for i, doc := range docs {
+		masks[i] = ScanKinds(doc.Text)
+	}
+	return scoreMasks(docs, masks)
+}
+
+func scoreMasks(docs []LabeledDoc, masks []uint16) map[Kind]Score {
 	scores := make(map[Kind]Score)
 	for _, k := range AllKinds() {
 		scores[k] = Score{Kind: k}
 	}
-	for _, doc := range docs {
-		detected := map[Kind]bool{}
-		for _, k := range Kinds(Scan(doc.Text)) {
-			detected[k] = true
-		}
+	for i, doc := range docs {
 		for _, k := range AllKinds() {
+			detected := masks[i]&KindBit(k) != 0
 			sc := scores[k]
 			switch {
-			case detected[k] && doc.Truth[k]:
+			case detected && doc.Truth[k]:
 				sc.TP++
-			case detected[k] && !doc.Truth[k]:
+			case detected && !doc.Truth[k]:
 				sc.FP++
-			case !detected[k] && doc.Truth[k]:
+			case !detected && doc.Truth[k]:
 				sc.FN++
 			}
 			scores[k] = sc
@@ -72,16 +81,19 @@ func Evaluate(docs []LabeledDoc) map[Kind]Score {
 // detector-biased sample the paper manually labeled), plus an equal
 // number where it did not, then score on that subset. With too few
 // firings (the paper had only 13 SSN examples) it uses what exists.
+//
+// Each document is scanned exactly once; the per-kind subsets are
+// scored from the cached ScanKinds masks instead of rescanning.
 func EvaluateSampled(docs []LabeledDoc, perKind int, rng *rand.Rand) map[Kind]Score {
+	masks := make([]uint16, len(docs))
+	for i, doc := range docs {
+		masks[i] = ScanKinds(doc.Text)
+	}
 	detectedBy := make(map[Kind][]int)
 	notDetectedBy := make(map[Kind][]int)
-	for i, doc := range docs {
-		det := map[Kind]bool{}
-		for _, k := range Kinds(Scan(doc.Text)) {
-			det[k] = true
-		}
+	for i := range docs {
 		for _, k := range AllKinds() {
-			if det[k] {
+			if masks[i]&KindBit(k) != 0 {
 				detectedBy[k] = append(detectedBy[k], i)
 			} else {
 				notDetectedBy[k] = append(notDetectedBy[k], i)
@@ -93,10 +105,12 @@ func EvaluateSampled(docs []LabeledDoc, perKind int, rng *rand.Rand) map[Kind]Sc
 		sample := sampleIdx(detectedBy[k], perKind, rng)
 		sample = append(sample, sampleIdx(notDetectedBy[k], perKind, rng)...)
 		sub := make([]LabeledDoc, len(sample))
+		subMasks := make([]uint16, len(sample))
 		for i, idx := range sample {
 			sub[i] = docs[idx]
+			subMasks[i] = masks[idx]
 		}
-		scores[k] = Evaluate(sub)[k]
+		scores[k] = scoreMasks(sub, subMasks)[k]
 	}
 	return scores
 }

@@ -16,6 +16,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"repro/internal/match"
 )
 
 // Kind identifies a category of sensitive information (Table 2 rows).
@@ -79,6 +81,11 @@ type detector struct {
 	// sees the true neighbor; anchored0 is `\A` + pattern for c == 0.
 	anchored  *regexp.Regexp
 	anchored0 *regexp.Regexp
+	// engGate is the engine-path gate: the structural (digit/byte-count)
+	// part of gate, without the keyword checks the engine's literal
+	// prefilter already subsumes. Like gate it may only return false
+	// when the pattern provably cannot match. nil means "always query".
+	engGate func(st *textStats) bool
 }
 
 // anchor compiles the candidate-position variants for a pattern.
@@ -243,11 +250,68 @@ func computeStats(text string) textStats {
 	return st
 }
 
+// computeSlimStats is computeStats without the lowered-copy buffer:
+// the engine path needs only the structural counters (its literal
+// prefilter replaces the keyword gates), so the one allocation of the
+// full pass is dropped.
+func computeSlimStats(text string) textStats {
+	st := textStats{ascii: true}
+	digRun, alnmRun := 0, 0
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		switch c {
+		case '@':
+			st.hasAt = true
+		case '-':
+			st.hasDash = true
+		case '/':
+			st.hasSlash = true
+		}
+		if c >= '0' && c <= '9' {
+			st.digits++
+			digRun++
+			if digRun > st.maxDigRun {
+				st.maxDigRun = digRun
+			}
+		} else {
+			digRun = 0
+		}
+		if c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+			alnmRun++
+			if alnmRun > st.maxAlnmRun {
+				st.maxAlnmRun = alnmRun
+			}
+		} else {
+			alnmRun = 0
+		}
+	}
+	return st
+}
+
 var detectors = buildDetectors()
+
+// engine compiles every detector pattern into one shared-prefilter
+// multi-pattern engine; pattern id i is detectors[i]. The stdlib
+// regexps on each detector stay alive as the differential oracle
+// behind ScanOracle/RedactOracle and the disableEngine hook.
+var engine = buildEngine()
+
+func buildEngine() *match.Engine {
+	pats := make([]string, len(detectors))
+	for i := range detectors {
+		pats[i] = detectors[i].pattern
+	}
+	return match.MustCompile(pats...)
+}
 
 // disableGates is a test hook: the gate-equivalence test re-runs Scan
 // with every gate ignored and asserts identical findings.
 var disableGates = false
+
+// disableEngine is a test hook mirroring disableGates: with it set, Scan
+// routes through the per-detector stdlib regexps (the oracle path) so
+// differential tests can compare the engine against them.
+var disableEngine = false
 
 func buildDetectors() []detector {
 	isDateSep := func(c byte) bool { return c == '/' || c == '-' }
@@ -262,6 +326,7 @@ func buildDetectors() []detector {
 			kind:    KindEmail,
 			pattern: (`[A-Za-z0-9._%+\-]+@[A-Za-z0-9.\-]+\.[A-Za-z]{2,}`),
 			gate:    func(st *textStats) bool { return st.hasAt },
+			engGate: func(st *textStats) bool { return st.hasAt },
 			validate: func([]string) (string, bool) {
 				return "email", true
 			},
@@ -270,6 +335,7 @@ func buildDetectors() []detector {
 			kind:    KindCreditCard,
 			pattern: (`\b(?:\d[ \-]?){13,19}\b`),
 			gate:    func(st *textStats) bool { return st.digits >= 13 },
+			engGate: func(st *textStats) bool { return st.digits >= 13 },
 			// A match starts with a digit right after \b.
 			trigger: mkTrigger("", isDigit),
 			cand:    startsAtBoundary,
@@ -290,6 +356,7 @@ func buildDetectors() []detector {
 			kind:    KindSSN,
 			pattern: (`\b(\d{3})-(\d{2})-(\d{4})\b`),
 			gate:    func(st *textStats) bool { return st.digits >= 9 && st.hasDash },
+			engGate: func(st *textStats) bool { return st.digits >= 9 && st.hasDash },
 			// \b then the fixed shape ddd-.
 			trigger: mkTrigger("", isDigit),
 			cand: func(text string, c int) bool {
@@ -311,6 +378,7 @@ func buildDetectors() []detector {
 			kind:    KindEIN,
 			pattern: (`\b(\d{2})-(\d{7})\b`),
 			gate:    func(st *textStats) bool { return st.digits >= 9 && st.hasDash },
+			engGate: func(st *textStats) bool { return st.digits >= 9 && st.hasDash },
 			// \b then the fixed shape dd-.
 			trigger: mkTrigger("", isDigit),
 			cand: func(text string, c int) bool {
@@ -344,7 +412,8 @@ func buildDetectors() []detector {
 			kind:    KindVIN,
 			pattern: (`\b[A-HJ-NPR-Za-hj-npr-z0-9]{17}\b`),
 			// A match is 17 consecutive ASCII alphanumerics.
-			gate: func(st *textStats) bool { return st.maxAlnmRun >= 17 },
+			gate:    func(st *textStats) bool { return st.maxAlnmRun >= 17 },
+			engGate: func(st *textStats) bool { return st.maxAlnmRun >= 17 },
 			validate: func(groups []string) (string, bool) {
 				if !vinValid(strings.ToUpper(groups[0])) {
 					return "", false
@@ -376,7 +445,8 @@ func buildDetectors() []detector {
 			pattern: (`(?i)(?:\bzip(?:\s*code)?\s*(?:is|:|=)?\s*|,\s*[A-Z]{2}\s+)(\d{5}(?:-\d{4})?)\b`),
 			group:   1,
 			// The capture group needs five consecutive digits.
-			gate: func(st *textStats) bool { return st.maxDigRun >= 5 },
+			gate:    func(st *textStats) bool { return st.maxDigRun >= 5 },
+			engGate: func(st *textStats) bool { return st.maxDigRun >= 5 },
 			// A match starts with "zip" (after \b) or with the comma of the
 			// ", ST " form.
 			trigger: mkTrigger("zZ,", nil),
@@ -407,6 +477,7 @@ func buildDetectors() []detector {
 			kind:    KindPhone,
 			pattern: (`(?:\+?1[\-. ]?)?(?:\(\d{3}\)\s?|\d{3}[\-. ])\d{3}[\-. ]\d{4}\b`),
 			gate:    func(st *textStats) bool { return st.digits >= 10 },
+			engGate: func(st *textStats) bool { return st.digits >= 10 },
 			// A match starts with '+', '(', the country prefix '1', or a
 			// digit opening the ddd-separator shape (no leading \b here).
 			trigger: mkTrigger("+(", isDigit),
@@ -436,6 +507,12 @@ func buildDetectors() []detector {
 				}
 				return st.digits >= 5 && st.keyword("jan", "feb", "mar", "apr", "may", "jun",
 					"jul", "aug", "sep", "oct", "nov", "dec")
+			},
+			// The engine's month-literal prefilter replaces the keyword
+			// check; the digit/separator conditions remain (a superset
+			// of gate, so still a sound necessary condition).
+			engGate: func(st *textStats) bool {
+				return st.digits >= 4 && (st.hasSlash || st.hasDash) || st.digits >= 5
 			},
 			// A match starts (after \b) with a digit leading into one of the
 			// numeric shapes, or with a month-name prefix pair. 0xC5 opens
@@ -492,12 +569,31 @@ func buildDetectors() []detector {
 // capture group's span lies inside its match's span — so group spans are
 // distinct across a detector's matches.
 //
+// All detectors share one multi-pattern engine pass (internal/match):
+// a single scan of the text collects candidate positions for every
+// pattern, and each detector then confirms its candidates. The engine is
+// proven match-for-match equivalent to the per-detector regexps, which
+// stay available behind ScanOracle for differential testing.
+func Scan(text string) []Finding {
+	if disableEngine || disableGates {
+		return scanOracle(text)
+	}
+	return scanEngine(text)
+}
+
+// ScanOracle is Scan on the pre-engine path: per-detector stdlib
+// regexps behind the detector gates. It is the reference the engine
+// path is differentially tested against.
+func ScanOracle(text string) []Finding { return scanOracle(text) }
+
+// scanOracle runs every detector through its own stdlib regexp.
+//
 // Before any regex runs, one pass over the text collects byte-class
 // statistics and each detector's gate checks a necessary condition
 // (a literal trigger byte, a mandatory digit count or run, a keyword
 // from a mandatory alternation). A gate only skips a regex that cannot
 // match, so gating never drops a finding.
-func Scan(text string) []Finding {
+func scanOracle(text string) []Finding {
 	st := computeStats(text)
 	var out []Finding
 	var gbuf [4]string // widest detector has 3 capture groups + whole
@@ -516,18 +612,106 @@ func Scan(text string) []Finding {
 				continue
 			}
 			gs, ge := idx[2*d.group], idx[2*d.group+1]
+			//repolint:allow allochot findings are rare; preallocating would charge the identifier-free common path an allocation
 			out = append(out, Finding{
 				Kind: d.kind, Match: text[gs:ge], Start: gs, End: ge, Label: label,
 			})
 		}
 	}
+	sortFindings(out)
+	return out
+}
+
+// scanEngine runs all detectors over one shared engine scan. Equal to
+// scanOracle by construction: the engine's FindAll is proven equivalent
+// to each detector regexp's FindAll (internal/match differential suite),
+// engGate is a weaker necessary condition than gate, and validation,
+// group selection and ordering are the same code.
+func scanEngine(text string) []Finding {
+	st := computeSlimStats(text)
+	var out []Finding
+	var gbuf [4]string // widest detector has 3 capture groups + whole
+	s := engine.Scan(text)
+	for i := range detectors {
+		d := &detectors[i]
+		if d.engGate != nil && !d.engGate(&st) {
+			continue
+		}
+		s.FindAll(i, func(idx []int) bool {
+			groups := submatchInto(gbuf[:0], text, idx)
+			label, ok := "", true
+			if d.validate != nil {
+				label, ok = d.validate(groups)
+			}
+			if ok {
+				gs, ge := idx[2*d.group], idx[2*d.group+1]
+				out = append(out, Finding{
+					Kind: d.kind, Match: text[gs:ge], Start: gs, End: ge, Label: label,
+				})
+			}
+			return true
+		})
+	}
+	s.Release()
+	sortFindings(out)
+	return out
+}
+
+// sortFindings orders findings by start offset then kind — the Scan
+// contract. Ties are impossible (one regex per kind, non-overlapping
+// matches per regex), so the order is total and deterministic.
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Start != out[j].Start {
 			return out[i].Start < out[j].Start
 		}
 		return out[i].Kind < out[j].Kind
 	})
-	return out
+}
+
+// KindBit returns ScanKinds' bit for kind k (detector index order).
+func KindBit(k Kind) uint16 {
+	for i := range detectors {
+		if detectors[i].kind == k {
+			return 1 << uint(i)
+		}
+	}
+	return 0
+}
+
+// ScanKinds is Scan reduced to per-kind presence booleans, returned as
+// a bitmask of KindBit values. Each detector stops at its first
+// validated finding, so presence queries (Table 2 scoring, Figure 6
+// tallies) do not pay for full enumeration.
+func ScanKinds(text string) uint16 {
+	if disableEngine || disableGates {
+		var mask uint16
+		for _, f := range scanOracle(text) {
+			mask |= KindBit(f.Kind)
+		}
+		return mask
+	}
+	st := computeSlimStats(text)
+	var mask uint16
+	var gbuf [4]string
+	s := engine.Scan(text)
+	for i := range detectors {
+		d := &detectors[i]
+		if d.engGate != nil && !d.engGate(&st) {
+			continue
+		}
+		s.FindAll(i, func(idx []int) bool {
+			if d.validate != nil {
+				if _, ok := d.validate(submatchInto(gbuf[:0], text, idx)); !ok {
+					return true // rejected; keep scanning this detector
+				}
+			}
+			mask |= 1 << uint(i)
+			return false // one validated finding proves presence
+		})
+	}
+	s.Release()
+	return mask
 }
 
 // Kinds returns the distinct kinds present in findings.
@@ -575,7 +759,16 @@ func (s *Sanitizer) hashToken(label, match string) string {
 // then zeroes all remaining digits — the two-step scrubbing of
 // Section 4.2.2. It returns the cleaned text and the findings.
 func (s *Sanitizer) Redact(text string) (string, []Finding) {
-	findings := Scan(text)
+	return s.redact(text, Scan(text))
+}
+
+// RedactOracle is Redact over ScanOracle's findings: the pre-engine
+// redaction path, kept for byte-for-byte differential comparison.
+func (s *Sanitizer) RedactOracle(text string) (string, []Finding) {
+	return s.redact(text, ScanOracle(text))
+}
+
+func (s *Sanitizer) redact(text string, findings []Finding) (string, []Finding) {
 	// Replace back-to-front so offsets stay valid; skip spans contained in
 	// an already-replaced region.
 	type span struct {

@@ -94,6 +94,12 @@ type Config struct {
 	RcptThreshold    int
 	SenderThreshold  int
 	ContentThreshold int
+	// Oracle routes every regex decision (Layer 2 content rules and the
+	// Layer 4 reflection patterns) through the original stdlib regexps
+	// instead of the shared multi-pattern engine — the reference path
+	// differential tests compare the engine against. Per-instance so
+	// engine and oracle classifiers can run concurrently.
+	Oracle bool
 }
 
 // Classifier runs the five-layer funnel. Layers 1–4 are streaming;
@@ -109,7 +115,11 @@ type Classifier struct {
 // NewClassifier creates a funnel over the given registered domains.
 func NewClassifier(cfg Config) *Classifier {
 	if cfg.Scorer == nil {
-		cfg.Scorer = NewScorer()
+		if cfg.Oracle {
+			cfg.Scorer = NewScorerOracle()
+		} else {
+			cfg.Scorer = NewScorer()
+		}
 	}
 	if cfg.RcptThreshold == 0 {
 		cfg.RcptThreshold = 20
@@ -188,11 +198,28 @@ func (c *Classifier) layer3(e *Email) bool {
 	return false
 }
 
+// The Layer 4 oracle regexps, sharing their patterns with ruleEngine.
 var (
-	reflectionBodyRe = regexp.MustCompile(`(?i)\b(unsubscribe|remove yourself|manage your (?:email )?preferences|update your subscription|you are receiving this|opt[ -]?out)\b`)
-	bounceSenderRe   = regexp.MustCompile(`(?i)\b(bounce|unsubscribe|no-?reply|donotreply|mailer-daemon|notifications?)\b`)
-	systemUserRe     = regexp.MustCompile(`(?i)^(postmaster|root|admin|administrator|mailer-daemon|daemon|nobody|www-data)@`)
+	reflectionBodyRe = regexp.MustCompile(reflectionBodyPat)
+	bounceSenderRe   = regexp.MustCompile(bounceSenderPat)
+	systemUserRe     = regexp.MustCompile(systemUserPat)
 )
+
+// matchPat answers one pattern Match on the classifier's configured
+// path: the shared engine, or the stdlib oracle under cfg.Oracle.
+func (c *Classifier) matchPat(pat int, text string) bool {
+	if c.cfg.Oracle {
+		switch pat {
+		case patReflectionBody:
+			return reflectionBodyRe.MatchString(text)
+		case patBounceSender:
+			return bounceSenderRe.MatchString(text)
+		case patSystemUser:
+			return systemUserRe.MatchString(text)
+		}
+	}
+	return matchOnce(pat, text)
+}
 
 // layer4 detects reflection typos — output of automated systems.
 func (c *Classifier) layer4(e *Email) bool {
@@ -200,29 +227,31 @@ func (c *Classifier) layer4(e *Email) bool {
 	if m.HasHeader("List-Unsubscribe") || m.HasHeader("List-Id") {
 		return true
 	}
-	for _, h := range []string{"Sender", "From", "Reply-To"} {
-		if bounceSenderRe.MatchString(m.Header(h)) {
+	for _, h := range [...]string{"Sender", "From", "Reply-To"} {
+		if c.matchPat(patBounceSender, m.Header(h)) {
 			return true
 		}
 	}
 	// Any two of From, Reply-To, Return-Path with different values.
-	vals := []string{}
-	for _, h := range []string{"From", "Reply-To", "Return-Path"} {
+	var vals [3]string
+	n := 0
+	for _, h := range [...]string{"From", "Reply-To", "Return-Path"} {
 		if v := mailmsg.Addr(m.Header(h)); v != "" {
-			vals = append(vals, v)
+			vals[n] = v
+			n++
 		}
 	}
-	for i := 0; i < len(vals); i++ {
-		for j := i + 1; j < len(vals); j++ {
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
 			if vals[i] != vals[j] {
 				return true
 			}
 		}
 	}
-	if reflectionBodyRe.MatchString(m.Text()) {
+	if c.matchPat(patReflectionBody, m.Text()) {
 		return true
 	}
-	if systemUserRe.MatchString(mailmsg.Addr(e.SenderAddr)) || systemUserRe.MatchString(mailmsg.Addr(m.From())) {
+	if c.matchPat(patSystemUser, mailmsg.Addr(e.SenderAddr)) || c.matchPat(patSystemUser, mailmsg.Addr(m.From())) {
 		return true
 	}
 	return false

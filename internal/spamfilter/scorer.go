@@ -11,17 +11,81 @@ import (
 	"strings"
 
 	"repro/internal/mailmsg"
+	"repro/internal/match"
 )
 
 // DefaultThreshold is the SpamAssassin default score threshold the paper
 // ran with ("local mode with the default thresholds").
 const DefaultThreshold = 5.0
 
+// RuleInput is one message prepared for scoring: the derived texts the
+// content rules scan, materialized once, plus lazily obtained engine
+// scan handles shared by every rule that reads the same text.
+type RuleInput struct {
+	m    *mailmsg.Message
+	text string // m.Text(), cached (HTML-only bodies strip per call)
+
+	textSubj, textScan, textHTML *match.Scan
+	phraseHits                   int // spam-phrase count in text+subject; -1 until computed
+}
+
+func newRuleInput(m *mailmsg.Message) RuleInput {
+	return RuleInput{m: m, text: m.Text(), phraseHits: -1}
+}
+
+// Msg returns the message being scored.
+func (in *RuleInput) Msg() *mailmsg.Message { return in.m }
+
+// Text is the cached m.Text().
+func (in *RuleInput) Text() string { return in.text }
+
+// scanTextSubj scans Text+" "+Subject — the spam-phrase haystack, built
+// once and shared by both PHRASES rules (a phrase may span the joint).
+func (in *RuleInput) scanTextSubj() *match.Scan {
+	if in.textSubj == nil {
+		in.textSubj = ruleEngine.Scan(in.text + " " + in.m.Subject())
+	}
+	return in.textSubj
+}
+
+func (in *RuleInput) scanText() *match.Scan {
+	if in.textScan == nil {
+		in.textScan = ruleEngine.Scan(in.text)
+	}
+	return in.textScan
+}
+
+func (in *RuleInput) scanTextHTML() *match.Scan {
+	if in.textHTML == nil {
+		in.textHTML = ruleEngine.Scan(in.text + " " + in.m.HTMLBody)
+	}
+	return in.textHTML
+}
+
+// spamPhrases counts spam phrases in text+subject (capped at 3, all the
+// rules need), computed once for both PHRASES rules.
+func (in *RuleInput) spamPhrases() int {
+	if in.phraseHits < 0 {
+		in.phraseHits = in.scanTextSubj().Count(patSpamPhrase, 3)
+	}
+	return in.phraseHits
+}
+
+// release returns the scan handles to the engine pool.
+func (in *RuleInput) release() {
+	for _, s := range [...]*match.Scan{in.textSubj, in.textScan, in.textHTML} {
+		if s != nil {
+			s.Release()
+		}
+	}
+	in.textSubj, in.textScan, in.textHTML = nil, nil, nil
+}
+
 // Rule is one scored heuristic of the Layer 2 scorer.
 type Rule struct {
 	Name  string
 	Score float64
-	Match func(m *mailmsg.Message) bool
+	Match func(in *RuleInput) bool
 }
 
 // Scorer is the rule-based Layer 2 engine (the SpamAssassin stand-in).
@@ -31,42 +95,179 @@ type Scorer struct {
 }
 
 // NewScorer returns a Scorer with the default rule set and threshold.
+// Its content rules run on the shared multi-pattern engine.
 func NewScorer() *Scorer {
-	return &Scorer{Threshold: DefaultThreshold, Rules: defaultRules()}
+	return &Scorer{Threshold: DefaultThreshold, Rules: defaultRules(false)}
+}
+
+// NewScorerOracle returns a Scorer whose content rules run the original
+// per-rule stdlib regexps — the reference the engine-backed scorer is
+// differentially tested against.
+func NewScorerOracle() *Scorer {
+	return &Scorer{Threshold: DefaultThreshold, Rules: defaultRules(true)}
 }
 
 // Score sums the scores of all matching rules and lists their names.
 func (s *Scorer) Score(m *mailmsg.Message) (float64, []string) {
+	in := newRuleInput(m)
 	var total float64
 	var hits []string
 	for _, r := range s.Rules {
-		if r.Match(m) {
+		if r.Match(&in) {
 			total += r.Score
 			hits = append(hits, r.Name)
 		}
 	}
+	in.release()
 	return total, hits
 }
 
 // IsSpam reports whether the message scores at or above the threshold.
+// Unlike Score it does not materialize the rule-name list.
 func (s *Scorer) IsSpam(m *mailmsg.Message) bool {
-	score, _ := s.Score(m)
-	return score >= s.Threshold
+	in := newRuleInput(m)
+	var total float64
+	for _, r := range s.Rules {
+		if r.Match(&in) {
+			total += r.Score
+		}
+	}
+	in.release()
+	return total >= s.Threshold
 }
 
-var (
-	spamPhraseRe = regexp.MustCompile(`(?i)\b(click here|limited time|act now|no obligation|100% free|risk free|money back|order now|this is not spam|dear friend|claim your prize|winner|lowest prices|online pharmacy|work from home|extra income|no experience|viagra|cheap meds|hot singles|no prescription|make \$\d+)\b`)
-	moneyRe      = regexp.MustCompile(`\$\d+(?:[.,]\d{2})?`)
-	urlRe        = regexp.MustCompile(`https?://[^\s]+`)
-	badTLDRe     = regexp.MustCompile(`(?i)(?:@|https?://)[^\s@/]*\.(?:ru|cn|biz|info)\b`)
+// The content-rule patterns, shared verbatim by the stdlib oracle
+// regexps and the multi-pattern engine.
+const (
+	spamPhrasePat     = `(?i)\b(click here|limited time|act now|no obligation|100% free|risk free|money back|order now|this is not spam|dear friend|claim your prize|winner|lowest prices|online pharmacy|work from home|extra income|no experience|viagra|cheap meds|hot singles|no prescription|make \$\d+)\b`
+	moneyPat          = `\$\d+(?:[.,]\d{2})?`
+	urlPat            = `https?://[^\s]+`
+	badTLDPat         = `(?i)(?:@|https?://)[^\s@/]*\.(?:ru|cn|biz|info)\b`
+	reflectionBodyPat = `(?i)\b(unsubscribe|remove yourself|manage your (?:email )?preferences|update your subscription|you are receiving this|opt[ -]?out)\b`
+	bounceSenderPat   = `(?i)\b(bounce|unsubscribe|no-?reply|donotreply|mailer-daemon|notifications?)\b`
+	systemUserPat     = `(?i)^(postmaster|root|admin|administrator|mailer-daemon|daemon|nobody|www-data)@`
 )
 
-func defaultRules() []Rule {
+// Engine pattern ids, in ruleEngine compile order.
+const (
+	patSpamPhrase = iota
+	patMoney
+	patURL
+	patBadTLD
+	patReflectionBody
+	patBounceSender
+	patSystemUser
+)
+
+// ruleEngine compiles every scorer and funnel pattern into one shared
+// multi-pattern engine (internal/match), proven match-for-match
+// equivalent to the oracle regexps below.
+var ruleEngine = match.MustCompile(
+	spamPhrasePat, moneyPat, urlPat, badTLDPat,
+	reflectionBodyPat, bounceSenderPat, systemUserPat,
+)
+
+var (
+	spamPhraseRe = regexp.MustCompile(spamPhrasePat)
+	moneyRe      = regexp.MustCompile(moneyPat)
+	urlRe        = regexp.MustCompile(urlPat)
+	badTLDRe     = regexp.MustCompile(badTLDPat)
+)
+
+// matchOnce answers a one-off engine Match on a (usually short) string.
+func matchOnce(pat int, text string) bool {
+	s := ruleEngine.Scan(text)
+	ok := s.Match(pat)
+	s.Release()
+	return ok
+}
+
+func defaultRules(oracle bool) []Rule {
+	content := engineContentRules()
+	if oracle {
+		content = oracleContentRules()
+	}
+	s := structuralRules()
+	rules := make([]Rule, 0, len(s)+len(content))
+	rules = append(rules, s[:2]...)   // SUBJ_*
+	rules = append(rules, content...) // regex-backed content rules
+	return append(rules, s[2:]...)    // header/body-shape rules
+}
+
+// engineContentRules are the regex-backed rules on the engine path.
+func engineContentRules() []Rule {
+	return []Rule{
+		{
+			Name: "BODY_SPAM_PHRASES_2", Score: 1.6,
+			Match: func(in *RuleInput) bool { return in.spamPhrases() >= 2 },
+		},
+		{
+			Name: "BODY_SPAM_PHRASES_3", Score: 1.6,
+			Match: func(in *RuleInput) bool { return in.spamPhrases() >= 3 },
+		},
+		{
+			Name: "BODY_MONEY", Score: 0.7,
+			Match: func(in *RuleInput) bool { return in.scanText().Match(patMoney) },
+		},
+		{
+			Name: "BODY_MANY_LINKS", Score: 1.0,
+			Match: func(in *RuleInput) bool { return in.scanTextHTML().Count(patURL, 3) >= 2 },
+		},
+		{
+			Name: "SUSPICIOUS_TLD", Score: 1.4,
+			Match: func(in *RuleInput) bool {
+				return matchOnce(patBadTLD, in.m.From()) || in.scanText().Match(patBadTLD) ||
+					matchOnce(patBadTLD, in.m.HTMLBody) || matchOnce(patBadTLD, in.m.Header("Reply-To"))
+			},
+		},
+	}
+}
+
+// oracleContentRules are the same rules over the stdlib regexps.
+func oracleContentRules() []Rule {
+	return []Rule{
+		{
+			Name: "BODY_SPAM_PHRASES_2", Score: 1.6,
+			Match: func(in *RuleInput) bool {
+				return len(spamPhraseRe.FindAllString(in.text+" "+in.m.Subject(), 3)) >= 2
+			},
+		},
+		{
+			Name: "BODY_SPAM_PHRASES_3", Score: 1.6,
+			Match: func(in *RuleInput) bool {
+				return len(spamPhraseRe.FindAllString(in.text+" "+in.m.Subject(), 3)) >= 3
+			},
+		},
+		{
+			Name: "BODY_MONEY", Score: 0.7,
+			Match: func(in *RuleInput) bool { return moneyRe.MatchString(in.text) },
+		},
+		{
+			Name: "BODY_MANY_LINKS", Score: 1.0,
+			Match: func(in *RuleInput) bool {
+				return len(urlRe.FindAllString(in.text+" "+in.m.HTMLBody, 3)) >= 2
+			},
+		},
+		{
+			Name: "SUSPICIOUS_TLD", Score: 1.4,
+			Match: func(in *RuleInput) bool {
+				return badTLDRe.MatchString(in.m.From()) || badTLDRe.MatchString(in.text) ||
+					badTLDRe.MatchString(in.m.HTMLBody) || badTLDRe.MatchString(in.m.Header("Reply-To"))
+			},
+		},
+	}
+}
+
+// structuralRules are the non-regex rules, identical on both paths.
+// Split as [0:2] = the subject rules that open the rule list and [2:] =
+// the header/body-shape rules that close it; defaultRules reassembles
+// the historical order with the content rules in between.
+func structuralRules() []Rule {
 	return []Rule{
 		{
 			Name: "SUBJ_ALL_CAPS", Score: 1.2,
-			Match: func(m *mailmsg.Message) bool {
-				s := m.Subject()
+			Match: func(in *RuleInput) bool {
+				s := in.m.Subject()
 				if len(s) < 8 {
 					return false
 				}
@@ -85,59 +286,32 @@ func defaultRules() []Rule {
 		},
 		{
 			Name: "SUBJ_EXCLAIM", Score: 0.8,
-			Match: func(m *mailmsg.Message) bool {
-				return strings.Contains(m.Subject(), "!!") || strings.Count(m.Subject(), "!") >= 2
-			},
-		},
-		{
-			Name: "BODY_SPAM_PHRASES_2", Score: 1.6,
-			Match: func(m *mailmsg.Message) bool {
-				return len(spamPhraseRe.FindAllString(m.Text()+" "+m.Subject(), 3)) >= 2
-			},
-		},
-		{
-			Name: "BODY_SPAM_PHRASES_3", Score: 1.6,
-			Match: func(m *mailmsg.Message) bool {
-				return len(spamPhraseRe.FindAllString(m.Text()+" "+m.Subject(), 3)) >= 3
-			},
-		},
-		{
-			Name: "BODY_MONEY", Score: 0.7,
-			Match: func(m *mailmsg.Message) bool { return moneyRe.MatchString(m.Text()) },
-		},
-		{
-			Name: "BODY_MANY_LINKS", Score: 1.0,
-			Match: func(m *mailmsg.Message) bool { return len(urlRe.FindAllString(m.Text()+" "+m.HTMLBody, 3)) >= 2 },
-		},
-		{
-			Name: "SUSPICIOUS_TLD", Score: 1.4,
-			Match: func(m *mailmsg.Message) bool {
-				return badTLDRe.MatchString(m.From()) || badTLDRe.MatchString(m.Text()) || badTLDRe.MatchString(m.HTMLBody) ||
-					badTLDRe.MatchString(m.Header("Reply-To"))
+			Match: func(in *RuleInput) bool {
+				return strings.Contains(in.m.Subject(), "!!") || strings.Count(in.m.Subject(), "!") >= 2
 			},
 		},
 		{
 			Name: "REPLYTO_DIFFERS", Score: 0.9,
-			Match: func(m *mailmsg.Message) bool {
-				rt := mailmsg.Addr(m.Header("Reply-To"))
-				return rt != "" && rt != mailmsg.Addr(m.From())
+			Match: func(in *RuleInput) bool {
+				rt := mailmsg.Addr(in.m.Header("Reply-To"))
+				return rt != "" && rt != mailmsg.Addr(in.m.From())
 			},
 		},
 		{
 			Name: "MISSING_MSGID", Score: 0.5,
-			Match: func(m *mailmsg.Message) bool { return !m.HasHeader("Message-Id") },
+			Match: func(in *RuleInput) bool { return !in.m.HasHeader("Message-Id") },
 		},
 		{
 			Name: "HTML_ONLY", Score: 0.6,
-			Match: func(m *mailmsg.Message) bool {
-				return strings.TrimSpace(m.Body) == "" && m.HTMLBody != ""
+			Match: func(in *RuleInput) bool {
+				return strings.TrimSpace(in.m.Body) == "" && in.m.HTMLBody != ""
 			},
 		},
 		{
 			Name: "SHOUTY_BODY", Score: 0.8,
-			Match: func(m *mailmsg.Message) bool {
+			Match: func(in *RuleInput) bool {
 				letters, caps := 0, 0
-				for _, r := range m.Text() {
+				for _, r := range in.text {
 					if r >= 'a' && r <= 'z' {
 						letters++
 					}
