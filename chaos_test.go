@@ -26,6 +26,7 @@ package repro
 // CHAOS_SEED=<seed> go test -race -run TestChaosSoak
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net"
@@ -36,6 +37,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dnsserve"
 	"repro/internal/dnswire"
 	"repro/internal/faultnet"
@@ -49,6 +51,19 @@ import (
 	"repro/internal/vault"
 	"repro/internal/whois"
 )
+
+// chaosVaultConfig selects the evidence store behind the soak's Deliver
+// hook. The zero value keeps the in-memory store; setting dir switches
+// to the log-structured segment vault, with segBytes shrunk so rotation
+// and compaction fire even on a dozen-send soak. reopen closes and
+// reopens the vault mid-soak — the crash-replay path: segment replay
+// must lose no records and every survivor must still decrypt and hold
+// the sanitize invariant.
+type chaosVaultConfig struct {
+	dir      string
+	segBytes int64
+	reopen   bool
+}
 
 // chaosClientPlan derives the client-side fault plan from one composite
 // rate. Read-op faults stay zero (see the determinism contract above).
@@ -117,7 +132,7 @@ func chaosSeed(t *testing.T) int64 {
 
 // runChaos drives one full pipeline pass at the given composite fault
 // rate and asserts the reconciliation invariants.
-func runChaos(t *testing.T, seed int64, rate float64) chaosResult {
+func runChaos(t *testing.T, seed int64, rate float64, vc chaosVaultConfig) chaosResult {
 	t.Helper()
 	baseGoroutines := runtime.NumGoroutine()
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
@@ -153,7 +168,14 @@ func runChaos(t *testing.T, seed int64, rate float64) chaosResult {
 	// SMTP behind the server-side fault listener; Deliver sanitizes
 	// before anything reaches the vault.
 	sani := sanitize.New("chaos-salt")
-	v, err := vault.Open(vault.DeriveKey("chaos-pass"))
+	key := vault.DeriveKey("chaos-pass")
+	openVault := func() (vault.Store, error) {
+		if vc.dir == "" {
+			return vault.Open(key)
+		}
+		return vault.OpenLog(key, vc.dir, vault.LogOptions{MaxSegmentBytes: vc.segBytes})
+	}
+	v, err := openVault()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,6 +251,33 @@ func runChaos(t *testing.T, seed int64, rate float64) chaosResult {
 		MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Seed: seed,
 	}
 	for i := 0; i < sends; i++ {
+		if vc.reopen && i == sends/2 {
+			// Crash-replay mid-soak: close the segment vault and reopen it
+			// from disk. Replay must restore exactly the records stored so
+			// far, each still decryptable. Deliver reads v under deliverMu,
+			// so the swap is invisible to in-flight sessions.
+			deliverMu.Lock()
+			wantLen := v.Len()
+			wantMeta := v.Meta()
+			if cerr := v.Close(); cerr != nil {
+				t.Errorf("mid-soak vault close: %v", cerr)
+			}
+			nv, oerr := openVault()
+			if oerr != nil {
+				deliverMu.Unlock()
+				t.Fatalf("mid-soak vault reopen: %v", oerr)
+			}
+			if nv.Len() != wantLen {
+				t.Errorf("crash-replay lost records: reopened with %d, had %d", nv.Len(), wantLen)
+			}
+			for _, rec := range wantMeta {
+				if _, _, gerr := nv.Get(rec.ID); gerr != nil {
+					t.Errorf("record %d unreadable after crash-replay: %v", rec.ID, gerr)
+				}
+			}
+			v = nv
+			deliverMu.Unlock()
+		}
 		if _, _, rerr := resolver.MailHosts(ctx, typoDomain); rerr == nil {
 			res.ResolveOK++
 		} else {
@@ -339,6 +388,38 @@ func runChaos(t *testing.T, seed int64, rate float64) chaosResult {
 			}
 		}
 	}
+	// Segment-vault extras: with tiny segments, rotation must actually
+	// have fired; a full compaction pass must preserve exactly the live
+	// record set (Export is byte-stable because the sealed payloads are
+	// persisted, not re-encrypted); and the files must close cleanly.
+	if vc.dir != "" {
+		lv := v.(*vault.LogVault)
+		if st := lv.Stats(); res.Delivered > 2 && st.Segments < 3 {
+			t.Errorf("tiny segments (%d bytes) never rotated: %d records in %d segment(s)",
+				vc.segBytes, res.Delivered, st.Segments)
+		}
+		var before, after bytes.Buffer
+		if eerr := lv.Export(&before); eerr != nil {
+			t.Errorf("pre-compaction export: %v", eerr)
+		}
+		if cerr := lv.Compact(); cerr != nil {
+			t.Errorf("compaction: %v", cerr)
+		}
+		if eerr := lv.Export(&after); eerr != nil {
+			t.Errorf("post-compaction export: %v", eerr)
+		}
+		if !bytes.Equal(before.Bytes(), after.Bytes()) {
+			t.Errorf("compaction changed the live record set (%d -> %d export bytes)",
+				before.Len(), after.Len())
+		}
+		if lv.Len() != res.VaultLen {
+			t.Errorf("compaction changed Len: %d -> %d", res.VaultLen, lv.Len())
+		}
+		if cerr := lv.Close(); cerr != nil {
+			t.Errorf("vault close: %v", cerr)
+		}
+	}
+
 	// Invariant 4: nothing we started is still running.
 	waitNoLeakedGoroutines(t, baseGoroutines)
 	return res
@@ -381,6 +462,101 @@ func waitNoLeakedGoroutines(t *testing.T, base int) {
 		runtime.NumGoroutine(), base, buf[:n])
 }
 
+// chaosStreamingSpill soaks the streaming collection path end-to-end
+// with everything shrunk to hostile sizes: a spill budget small enough
+// that pending-day traffic hits encrypted disk segments on nearly every
+// chunk, and vault segments small enough that rotation fires on nearly
+// every Put. It then crash-replays the vault (Close + OpenLog from the
+// segment files), compacts, and runs the differential against the
+// in-memory oracle: same seed, materialized path, record-by-record
+// metadata and plaintext equality.
+func chaosStreamingSpill(t *testing.T, seed int64) {
+	vaultDir := t.TempDir()
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Days = 40
+	cfg.Streaming = true
+	cfg.StreamChunkDays = 3
+	cfg.SpillDir = t.TempDir()
+	cfg.SpillBudgetBytes = 1 << 14
+	cfg.VaultDir = vaultDir
+	cfg.VaultSegmentBytes = 1 << 10
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := study.Run(); err != nil {
+		t.Fatal(err)
+	}
+	lv := study.Vault.(*vault.LogVault)
+	if st := lv.Stats(); st.Segments < 3 {
+		t.Errorf("tiny segments never rotated: %d segment(s) for %d records", st.Segments, lv.Len())
+	}
+	wantLen := lv.Len()
+	var before bytes.Buffer
+	if err := lv.Export(&before); err != nil {
+		t.Fatal(err)
+	}
+	if err := lv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash-replay: reopen from the segment files alone, then compact.
+	// Both must preserve exactly the live record set.
+	lv2, err := vault.OpenLog(vault.DeriveKey(cfg.VaultPassphrase), vaultDir, vault.LogOptions{})
+	if err != nil {
+		t.Fatalf("crash-replay reopen: %v", err)
+	}
+	defer lv2.Close()
+	if lv2.Len() != wantLen {
+		t.Errorf("crash-replay lost records: %d, had %d", lv2.Len(), wantLen)
+	}
+	if err := lv2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	var after bytes.Buffer
+	if err := lv2.Export(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Errorf("export diverged across crash-replay + compaction (%d -> %d bytes)",
+			before.Len(), after.Len())
+	}
+
+	// Differential oracle: the materialized in-memory run must hold the
+	// same records — IDs, metadata, and decrypted content.
+	ocfg := cfg
+	ocfg.Streaming = false
+	ocfg.SpillDir, ocfg.VaultDir = "", ""
+	ostudy, err := core.NewStudy(ocfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ostudy.Run(); err != nil {
+		t.Fatal(err)
+	}
+	oracle := ostudy.Vault
+	if oracle.Len() != wantLen {
+		t.Fatalf("oracle stored %d records, streaming vault %d", oracle.Len(), wantLen)
+	}
+	for _, orec := range oracle.Meta() {
+		otext, _, gerr := oracle.Get(orec.ID)
+		if gerr != nil {
+			t.Fatalf("oracle Get(%d): %v", orec.ID, gerr)
+		}
+		stext, srec, gerr := lv2.Get(orec.ID)
+		if gerr != nil {
+			t.Fatalf("streaming vault Get(%d): %v", orec.ID, gerr)
+		}
+		if srec.Domain != orec.Domain || srec.Verdict != orec.Verdict || !srec.Received.Equal(orec.Received) {
+			t.Errorf("record %d metadata diverged: %+v vs oracle %+v", orec.ID, srec, orec)
+		}
+		if !bytes.Equal(stext, otext) {
+			t.Errorf("record %d plaintext diverged from oracle", orec.ID)
+		}
+	}
+}
+
 // TestChaosSoak runs the pipeline at escalating composite fault rates.
 // The acceptance bar: at ≥20%% the accounting still reconciles with zero
 // leaked goroutines, and a fixed seed replays bit-for-bit.
@@ -390,7 +566,7 @@ func TestChaosSoak(t *testing.T) {
 	for _, rate := range []float64{0, 0.05, 0.1, 0.2, 0.35} {
 		rate := rate
 		t.Run(fmt.Sprintf("rate=%.2f", rate), func(t *testing.T) {
-			res := runChaos(t, seed+int64(rate*100), rate)
+			res := runChaos(t, seed+int64(rate*100), rate, chaosVaultConfig{})
 			t.Logf("attempts=%d ok=%d delivered=%d sessions=%d quits=%d aborts=%d dialFaults=%d",
 				res.SendAttempts, res.SendOK, res.Delivered, res.Sessions, res.Quits, res.Aborts, res.DialFaults)
 			if rate == 0 {
@@ -404,9 +580,27 @@ func TestChaosSoak(t *testing.T) {
 			}
 		})
 	}
+	// Escalating-fault pass against the log-structured vault: 256-byte
+	// segments force rotation on nearly every Put, and the mid-soak
+	// reopen exercises crash-replay while sessions are still coming.
+	t.Run("segment-vault", func(t *testing.T) {
+		for _, rate := range []float64{0, 0.1, 0.35} {
+			rate := rate
+			t.Run(fmt.Sprintf("rate=%.2f", rate), func(t *testing.T) {
+				res := runChaos(t, seed+int64(1000+rate*100), rate,
+					chaosVaultConfig{dir: t.TempDir(), segBytes: 256, reopen: true})
+				t.Logf("segment vault: delivered=%d vault=%d sessions=%d",
+					res.Delivered, res.VaultLen, res.Sessions)
+				if rate == 0 && res.Delivered != 12 {
+					t.Errorf("fault-free segment-vault run lost mail: %+v", res)
+				}
+			})
+		}
+	})
+	t.Run("streaming-spill", func(t *testing.T) { chaosStreamingSpill(t, seed) })
 	t.Run("replay-identical", func(t *testing.T) {
-		a := runChaos(t, seed, 0.2)
-		b := runChaos(t, seed, 0.2)
+		a := runChaos(t, seed, 0.2, chaosVaultConfig{})
+		b := runChaos(t, seed, 0.2, chaosVaultConfig{})
 		if a.Trace != b.Trace {
 			t.Errorf("fault traces diverged across replays:\n--- run A\n%s\n--- run B\n%s", a.Trace, b.Trace)
 		}

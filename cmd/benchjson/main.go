@@ -4,9 +4,11 @@
 // later change can be compared line-by-line against the numbers the
 // optimization PR recorded.
 //
-// Only the standard benchmark metrics are kept (iterations, ns/op,
-// B/op, allocs/op); custom ReportMetric columns are ignored. Header
-// lines (goos/goarch/cpu/pkg) become metadata on the enclosing object.
+// The standard benchmark metrics are kept as named fields (iterations,
+// ns/op, B/op, allocs/op); custom b.ReportMetric columns — e.g. the
+// throughput bench's emails/sec and peak_MB — land in a "metrics" map
+// keyed by unit. Header lines (goos/goarch/cpu/pkg) become metadata on
+// the enclosing object.
 //
 // With -compare the command stops being a filter and becomes the
 // regression gate:
@@ -18,6 +20,11 @@
 // and makes the exit status 1. -metric restricts the judged metrics to
 // "ns", "allocs", or "both" — CI compares allocs only, since alloc
 // counts are deterministic while wall-clock on a shared runner is not.
+// Any other -metric value names a custom unit from the metrics map
+// (e.g. -metric emails/sec): only benchmarks reporting that unit are
+// judged, and units containing "/sec" are throughput — a regression is
+// the value FALLING by more than the threshold, not rising. A custom
+// unit present in neither snapshot is a usage error.
 //
 // -require flips the gate's direction: instead of rejecting slowdowns
 // anywhere, it asserts specific speedups somewhere:
@@ -27,10 +34,16 @@
 // Each comma-separated name=factor entry names one benchmark (matched
 // by base name, ignoring pkg and the -N GOMAXPROCS suffix) that must
 // have improved by at least factor× in BOTH ns/op and allocs/op from
-// old to new. With -require set, the blanket regression sweep is
-// skipped: the intended use is ratcheting one committed baseline
-// against the next (BENCH_<n>.json -> BENCH_<n+1>.json), where
-// unrelated benchmarks legitimately moved.
+// old to new. A name:unit=factor entry instead asserts the ratio on
+// that single unit — standard (ns/op, B/op, allocs/op) or custom
+// (peak_MB, emails/sec). The ratio is direction-aware: old/new for
+// lower-is-better units, new/old for "/sec" throughput units. Factors
+// below 1 make a hold-the-line ratchet: peak_MB=0.75 tolerates peak
+// memory growing to at most 1/0.75 ≈ 1.33× the baseline. With -require
+// set, the blanket regression sweep is skipped: the intended use is
+// ratcheting one committed baseline against the next
+// (BENCH_<n>.json -> BENCH_<n+1>.json), where unrelated benchmarks
+// legitimately moved.
 //
 // Exit status, both modes: 0 clean, 1 regressions or shortfalls found,
 // 2 usage or load errors.
@@ -58,6 +71,34 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric columns keyed by unit, e.g.
+	// {"emails/sec": 150000, "peak_MB": 25.5}.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// metricValue returns the benchmark's value for unit — a standard
+// column or a custom metrics-map entry. ok is false when the benchmark
+// never reported that unit.
+func (b Benchmark) metricValue(unit string) (float64, bool) {
+	switch unit {
+	case "ns/op":
+		return b.NsPerOp, true
+	case "B/op":
+		return float64(b.BytesPerOp), true
+	case "allocs/op":
+		return float64(b.AllocsPerOp), true
+	}
+	v, ok := b.Metrics[unit]
+	return v, ok
+}
+
+// higherIsBetter reports whether unit is a throughput-style metric
+// where a larger value is an improvement. Rates (emails/sec, MB/s are
+// "/s" but go test prints SetBytes as MB/s — treat both) go up when
+// the code gets faster; everything else (ns/op, peak_MB, ...) is a
+// cost that goes down.
+func higherIsBetter(unit string) bool {
+	return strings.Contains(unit, "/sec") || strings.HasSuffix(unit, "/s")
 }
 
 // Snapshot is the whole parsed run.
@@ -84,10 +125,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	if *compare {
-		if *metric != "ns" && *metric != "allocs" && *metric != "both" {
-			fmt.Fprintf(stderr, "benchjson: unknown metric %q (want ns, allocs or both)\n", *metric)
-			return 2
-		}
+		// ns/allocs/both are the built-in modes; anything else is a
+		// custom unit, validated against the snapshots after loading.
 		if fs.NArg() != 2 {
 			fmt.Fprintln(stderr, "benchjson: -compare wants exactly two snapshot files: old.json new.json")
 			return 2
@@ -160,6 +199,12 @@ func runCompare(oldPath, newPath string, threshold float64, metric string, stdou
 		return 2
 	}
 
+	custom := metric != "ns" && metric != "allocs" && metric != "both"
+	if custom && !hasMetric(oldSnap, metric) && !hasMetric(newSnap, metric) {
+		fmt.Fprintf(stderr, "benchjson: metric %q not reported by any benchmark in either snapshot (want ns, allocs, both, or a custom unit)\n", metric)
+		return 2
+	}
+
 	olds := make(map[benchKey]Benchmark, len(oldSnap.Benchmarks))
 	for _, b := range oldSnap.Benchmarks {
 		olds[benchKey{b.Pkg, b.Name}] = b
@@ -173,6 +218,27 @@ func runCompare(oldPath, newPath string, threshold float64, metric string, stdou
 		ob, ok := olds[k]
 		if !ok {
 			fmt.Fprintf(stdout, "new        %s %s (no baseline entry)\n", nb.Pkg, nb.Name)
+			continue
+		}
+		if custom {
+			ov, oOK := ob.metricValue(metric)
+			if !oOK {
+				continue // baseline never recorded this unit here
+			}
+			nv, nOK := nb.metricValue(metric)
+			compared++
+			switch {
+			case !nOK:
+				// A unit the baseline had but the new run dropped is a
+				// regression for the same reason REMOVED is: silently
+				// un-reporting a gated metric must not pass the gate.
+				regressions++
+				fmt.Fprintf(stdout, "REGRESSION %s %s %s %.1f -> (not reported)\n", nb.Pkg, nb.Name, metric, ov)
+			case regressedUnit(metric, ov, nv, threshold):
+				regressions++
+				fmt.Fprintf(stdout, "REGRESSION %s %s %s %.1f -> %.1f (%s, threshold %.0f%%)\n",
+					nb.Pkg, nb.Name, metric, ov, nv, pctChange(ov, nv), threshold)
+			}
 			continue
 		}
 		compared++
@@ -209,8 +275,11 @@ func runCompare(oldPath, newPath string, threshold float64, metric string, stdou
 
 // requirement is one -require entry: the named benchmark must have
 // improved by at least factor× from the old snapshot to the new one.
+// An empty unit means the default pair (ns/op AND allocs/op); a set
+// unit judges that single metric, direction-aware.
 type requirement struct {
 	name   string
+	unit   string
 	factor float64
 }
 
@@ -223,13 +292,20 @@ func parseRequire(s string) ([]requirement, error) {
 		}
 		name, factorStr, ok := strings.Cut(entry, "=")
 		if !ok || name == "" {
-			return nil, fmt.Errorf("bad -require entry %q (want name=factor)", entry)
+			return nil, fmt.Errorf("bad -require entry %q (want name=factor or name:unit=factor)", entry)
 		}
 		factor, err := strconv.ParseFloat(factorStr, 64)
 		if err != nil || factor <= 0 {
 			return nil, fmt.Errorf("bad -require factor in %q (want a positive number)", entry)
 		}
-		reqs = append(reqs, requirement{name: name, factor: factor})
+		req := requirement{name: name, factor: factor}
+		if base, unit, hasUnit := strings.Cut(name, ":"); hasUnit {
+			if base == "" || unit == "" {
+				return nil, fmt.Errorf("bad -require entry %q (want name:unit=factor)", entry)
+			}
+			req.name, req.unit = base, unit
+		}
+		reqs = append(reqs, req)
 	}
 	if len(reqs) == 0 {
 		return nil, fmt.Errorf("empty -require list")
@@ -293,6 +369,30 @@ func runRequire(oldPath, newPath string, reqs []requirement, stdout, stderr io.W
 			}
 			continue
 		}
+		if req.unit != "" {
+			ov, oOK := ob.metricValue(req.unit)
+			nv, nOK := nb.metricValue(req.unit)
+			if !oOK || !nOK {
+				shortfalls++
+				fmt.Fprintf(stdout, "SHORTFALL  %s %s %s (metric not reported in %s)\n",
+					nb.Pkg, nb.Name, req.unit, missingSide(oOK, nOK))
+				continue
+			}
+			// Direction-aware ratio: new/old for throughput units,
+			// old/new for cost units — either way ≥1 means "better".
+			ratio, ok := improvement(ov, nv)
+			if higherIsBetter(req.unit) {
+				ratio, ok = improvement(nv, ov)
+			}
+			verdict := "IMPROVED  "
+			if !ok || ratio < req.factor {
+				verdict = "SHORTFALL "
+				shortfalls++
+			}
+			fmt.Fprintf(stdout, "%s %s %s %s %.1f -> %.1f (%s, need %.2fx)\n",
+				verdict, nb.Pkg, nb.Name, req.unit, ov, nv, ratioStr(ratio, ok), req.factor)
+			continue
+		}
 		for _, m := range []struct {
 			unit     string
 			old, cur float64
@@ -331,6 +431,17 @@ func improvement(old, cur float64) (float64, bool) {
 	return old / cur, true
 }
 
+func missingSide(oldOK, newOK bool) string {
+	switch {
+	case !oldOK && !newOK:
+		return "either snapshot"
+	case !oldOK:
+		return "baseline"
+	default:
+		return "new run"
+	}
+}
+
 func ratioStr(ratio float64, ok bool) string {
 	if !ok {
 		return "was 0"
@@ -349,6 +460,30 @@ func regressed(old, cur, threshold float64) bool {
 		return cur > 0
 	}
 	return cur > old*(1+threshold/100)
+}
+
+// regressedUnit is the direction-aware form of regressed: for
+// throughput units a regression is the value falling below the
+// baseline by more than threshold percent.
+func regressedUnit(unit string, old, cur, threshold float64) bool {
+	if higherIsBetter(unit) {
+		if old == 0 {
+			return false // no baseline rate to fall from
+		}
+		return cur < old*(1-threshold/100)
+	}
+	return regressed(old, cur, threshold)
+}
+
+// hasMetric reports whether any benchmark in the snapshot carries the
+// custom unit.
+func hasMetric(snap *Snapshot, unit string) bool {
+	for _, b := range snap.Benchmarks {
+		if _, ok := b.Metrics[unit]; ok {
+			return true
+		}
+	}
+	return false
 }
 
 func pctChange(old, cur float64) string {
@@ -411,7 +546,18 @@ func parseBench(line string) (Benchmark, bool, error) {
 		case "allocs/op":
 			b.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
 		default:
-			continue // custom ReportMetric units are ignored
+			// Custom b.ReportMetric column. A non-numeric token here is
+			// not a (value, unit) pair at all (e.g. trailing prose), so
+			// skip rather than fail.
+			f, ferr := strconv.ParseFloat(val, 64)
+			if ferr != nil {
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = f
+			continue
 		}
 		if err != nil {
 			return Benchmark{}, false, fmt.Errorf("bad %s value %q", unit, val)

@@ -51,6 +51,36 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseCustomMetrics(t *testing.T) {
+	const line = "pkg: repro\nBenchmarkStudyThroughput-8 	       3	 402000000 ns/op	       150321 emails/sec	        25.5 peak_MB	 61132122 B/op	  294775 allocs/op\n"
+	snap, err := parse(bufio.NewScanner(strings.NewReader(line)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 1 {
+		t.Fatalf("got %d benchmarks, want 1", len(snap.Benchmarks))
+	}
+	b := snap.Benchmarks[0]
+	if b.NsPerOp != 402000000 || b.BytesPerOp != 61132122 || b.AllocsPerOp != 294775 {
+		t.Errorf("standard columns mangled by custom units: %+v", b)
+	}
+	if b.Metrics["emails/sec"] != 150321 || b.Metrics["peak_MB"] != 25.5 {
+		t.Errorf("custom metrics not captured: %+v", b.Metrics)
+	}
+	// Round-trip: the metrics map must survive JSON encode/decode.
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Benchmarks[0].Metrics["peak_MB"] != 25.5 {
+		t.Errorf("metrics lost in round-trip: %s", data)
+	}
+}
+
 func TestParseEmpty(t *testing.T) {
 	snap, err := parse(bufio.NewScanner(strings.NewReader("no benchmarks here\n")))
 	if err != nil {
@@ -181,6 +211,73 @@ func TestCompareRemovedFailsGate(t *testing.T) {
 	}
 }
 
+func benchMetrics(pkg, name string, ns float64, metrics map[string]float64) Benchmark {
+	b := bench(pkg, name, ns, 10)
+	b.Metrics = metrics
+	return b
+}
+
+func TestCompareCustomMetricThroughput(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json",
+		benchMetrics("repro", "BenchmarkStudyThroughput-8", 1000, map[string]float64{"emails/sec": 100000}))
+	// Throughput FELL 40%: for a /sec unit that is the regression.
+	cur := writeSnap(t, dir, "new.json",
+		benchMetrics("repro", "BenchmarkStudyThroughput-8", 1000, map[string]float64{"emails/sec": 60000}))
+	code, out, _ := runArgs(t, "-compare", "-metric", "emails/sec", old, cur)
+	if code != 1 {
+		t.Fatalf("throughput drop must regress: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION repro BenchmarkStudyThroughput-8 emails/sec 100000.0 -> 60000.0") {
+		t.Fatalf("missing regression line:\n%s", out)
+	}
+	// The reverse direction — throughput RISING 40% — is an improvement.
+	if code, out, _ := runArgs(t, "-compare", "-metric", "emails/sec", cur, old); code != 0 {
+		t.Fatalf("throughput rise must pass: exit %d\n%s", code, out)
+	}
+}
+
+func TestCompareCustomMetricLowerIsBetter(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json",
+		benchMetrics("repro", "BenchmarkStudyThroughput-8", 1000, map[string]float64{"peak_MB": 10}))
+	cur := writeSnap(t, dir, "new.json",
+		benchMetrics("repro", "BenchmarkStudyThroughput-8", 1000, map[string]float64{"peak_MB": 15})) // +50%
+	if code, out, _ := runArgs(t, "-compare", "-metric", "peak_MB", old, cur); code != 1 {
+		t.Fatalf("peak_MB +50%% must regress: exit %d\n%s", code, out)
+	}
+	if code, _, _ := runArgs(t, "-compare", "-metric", "peak_MB", "-threshold", "60", old, cur); code != 0 {
+		t.Fatal("+50% within a 60% threshold must pass")
+	}
+}
+
+func TestCompareCustomMetricDroppedRegresses(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json",
+		benchMetrics("repro", "BenchmarkStudyThroughput-8", 1000, map[string]float64{"peak_MB": 10}))
+	cur := writeSnap(t, dir, "new.json", bench("repro", "BenchmarkStudyThroughput-8", 1000, 10))
+	code, out, _ := runArgs(t, "-compare", "-metric", "peak_MB", old, cur)
+	if code != 1 {
+		t.Fatalf("un-reporting a gated metric must fail: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "peak_MB 10.0 -> (not reported)") {
+		t.Fatalf("missing not-reported line:\n%s", out)
+	}
+}
+
+func TestCompareCustomMetricUnknownEverywhere(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", bench("repro", "BenchmarkA-8", 1000, 10))
+	cur := writeSnap(t, dir, "new.json", bench("repro", "BenchmarkA-8", 1000, 10))
+	code, _, errOut := runArgs(t, "-compare", "-metric", "bogus_unit", old, cur)
+	if code != 2 {
+		t.Fatalf("a unit no benchmark reports must be a usage error: exit %d\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, `metric "bogus_unit" not reported`) {
+		t.Fatalf("missing diagnostic:\n%s", errOut)
+	}
+}
+
 // --- -require improvement assertions ---
 
 func TestRequireMet(t *testing.T) {
@@ -263,6 +360,52 @@ func TestRequireSkipsRegressionSweep(t *testing.T) {
 	}
 	if strings.Contains(out, "REMOVED") {
 		t.Fatalf("sweep output leaked into require mode:\n%s", out)
+	}
+}
+
+func TestRequireUnitRatchet(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json",
+		benchMetrics("repro", "BenchmarkStudyThroughput-8", 1000, map[string]float64{"peak_MB": 10, "emails/sec": 100000}))
+
+	// peak_MB=0.75 is a hold-the-line ratchet: old/new ≥ 0.75, i.e. the
+	// peak may grow to at most 10/0.75 ≈ 13.3 MB.
+	ok13 := writeSnap(t, dir, "ok13.json",
+		benchMetrics("repro", "BenchmarkStudyThroughput-8", 1000, map[string]float64{"peak_MB": 13, "emails/sec": 100000}))
+	if code, out, _ := runArgs(t, "-compare", "-require", "BenchmarkStudyThroughput:peak_MB=0.75", old, ok13); code != 0 {
+		t.Fatalf("13MB within the 0.75 ratchet of 10MB must pass: exit %d\n%s", code, out)
+	}
+	bad20 := writeSnap(t, dir, "bad20.json",
+		benchMetrics("repro", "BenchmarkStudyThroughput-8", 1000, map[string]float64{"peak_MB": 20, "emails/sec": 100000}))
+	code, out, _ := runArgs(t, "-compare", "-require", "BenchmarkStudyThroughput:peak_MB=0.75", old, bad20)
+	if code != 1 {
+		t.Fatalf("20MB (0.5x) must fail the 0.75 ratchet: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "SHORTFALL  repro BenchmarkStudyThroughput-8 peak_MB 10.0 -> 20.0 (0.5x, need 0.75x)") {
+		t.Fatalf("missing unit shortfall line:\n%s", out)
+	}
+
+	// A /sec unit inverts the ratio: throughput doubling is 2.0x.
+	fast := writeSnap(t, dir, "fast.json",
+		benchMetrics("repro", "BenchmarkStudyThroughput-8", 1000, map[string]float64{"peak_MB": 10, "emails/sec": 200000}))
+	if code, out, _ := runArgs(t, "-compare", "-require", "BenchmarkStudyThroughput:emails/sec=2", old, fast); code != 0 {
+		t.Fatalf("2x throughput must satisfy =2: exit %d\n%s", code, out)
+	}
+	if code, _, _ := runArgs(t, "-compare", "-require", "BenchmarkStudyThroughput:emails/sec=2", fast, old); code != 1 {
+		t.Fatal("halved throughput must fail =2")
+	}
+}
+
+func TestRequireUnitMissingMetric(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnap(t, dir, "old.json", bench("repro", "BenchmarkA-8", 1000, 10))
+	cur := writeSnap(t, dir, "new.json", bench("repro", "BenchmarkA-8", 1000, 10))
+	code, out, _ := runArgs(t, "-compare", "-require", "BenchmarkA:peak_MB=1", old, cur)
+	if code != 1 {
+		t.Fatalf("requiring an unreported unit must fail: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "metric not reported in either snapshot") {
+		t.Fatalf("missing diagnostic:\n%s", out)
 	}
 }
 

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/mailmsg"
+	"repro/internal/spamfilter"
+)
+
+// pendEmail is one scheduled typo-candidate email waiting for its
+// landing day, carrying the metadata the materialized path keeps in
+// side maps (typoMeta, contaminant) — a spilled email loses pointer
+// identity, so the metadata must travel with it.
+type pendEmail struct {
+	e           *spamfilter.Email
+	di          int // index into Study.Domains
+	contaminant bool
+}
+
+// pendDay is one landing day's queue: an in-memory tail plus an
+// optional spill segment holding earlier arrivals. Drain order is
+// file frames first, then the tail — exactly append order.
+type pendDay struct {
+	mem      []pendEmail
+	memBytes int64
+	f        *os.File
+	size     int64 // bytes written to f
+	frames   int
+}
+
+// pendQueue holds scheduled future-day traffic for the streaming run.
+// When the resident estimate crosses the budget, whole days are spilled
+// to segment files — encrypted with an ephemeral in-process key, so the
+// §4.1 rule that no raw collected content rests on disk holds for the
+// working set too: after a crash the spill segments are noise, and a
+// clean run removes them as each day drains.
+type pendQueue struct {
+	dir     string // "" disables spilling
+	prefix  string
+	budget  int64
+	aead    cipher.AEAD
+	nonce   uint64
+	days    map[int]*pendDay
+	mem     int64
+	spills  int // spill events (for tests/ops)
+	spilled int // emails currently on disk
+}
+
+// newPendQueue builds a queue spilling into dir (after the budget) or a
+// purely in-memory one when dir is empty. The spill key is drawn fresh
+// from the OS and never leaves the process.
+func newPendQueue(dir, prefix string, budget int64) (*pendQueue, error) {
+	q := &pendQueue{dir: dir, prefix: prefix, budget: budget, days: make(map[int]*pendDay)}
+	if dir == "" {
+		return q, nil
+	}
+	if budget <= 0 {
+		q.budget = 64 << 20
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("core: spill dir: %w", err)
+	}
+	var key [32]byte
+	if _, err := rand.Read(key[:]); err != nil {
+		return nil, fmt.Errorf("core: spill key: %w", err)
+	}
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("core: spill cipher: %w", err)
+	}
+	if q.aead, err = cipher.NewGCM(block); err != nil {
+		return nil, fmt.Errorf("core: spill gcm: %w", err)
+	}
+	return q, nil
+}
+
+// estBytes approximates an email's resident footprint for the budget.
+func estBytes(e *spamfilter.Email) int64 {
+	n := int64(256 + len(e.Msg.Body) + len(e.Msg.HTMLBody))
+	for _, a := range e.Msg.Attachments {
+		n += int64(len(a.Data) + len(a.Filename))
+	}
+	return n
+}
+
+// add enqueues one scheduled email, spilling if over budget.
+func (q *pendQueue) add(day int, pe pendEmail) error {
+	d := q.days[day]
+	if d == nil {
+		d = &pendDay{}
+		q.days[day] = d
+	}
+	sz := estBytes(pe.e)
+	d.mem = append(d.mem, pe)
+	d.memBytes += sz
+	q.mem += sz
+	if q.aead != nil && q.mem > q.budget {
+		return q.spill()
+	}
+	return nil
+}
+
+// spill writes the heaviest days out until the resident estimate is
+// halved, so one breach doesn't cause a spill per subsequent add.
+func (q *pendQueue) spill() error {
+	type cand struct {
+		day int
+		sz  int64
+	}
+	cands := make([]cand, 0, len(q.days))
+	for day, d := range q.days {
+		if d.memBytes > 0 {
+			cands = append(cands, cand{day, d.memBytes})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sz != cands[j].sz {
+			return cands[i].sz > cands[j].sz
+		}
+		return cands[i].day > cands[j].day
+	})
+	for _, c := range cands {
+		if q.mem <= q.budget/2 {
+			break
+		}
+		if err := q.spillDay(c.day); err != nil {
+			return err
+		}
+	}
+	q.spills++
+	return nil
+}
+
+func (q *pendQueue) path(day int) string {
+	return filepath.Join(q.dir, fmt.Sprintf("%s-day%05d.spill", q.prefix, day))
+}
+
+// spillDay seals the day's in-memory tail into its segment file.
+func (q *pendQueue) spillDay(day int) error {
+	d := q.days[day]
+	if d.f == nil {
+		f, err := os.OpenFile(q.path(day), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+		if err != nil {
+			return fmt.Errorf("core: spill segment: %w", err)
+		}
+		d.f = f
+	}
+	var buf []byte
+	for i := range d.mem {
+		plain := encodePendEmail(nil, &d.mem[i])
+		nonce := make([]byte, q.aead.NonceSize())
+		binary.BigEndian.PutUint64(nonce[len(nonce)-8:], q.nonce)
+		q.nonce++
+		ct := q.aead.Seal(nil, nonce, plain, nil)
+		buf = append(buf, nonce...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(ct)))
+		buf = append(buf, ct...)
+	}
+	if _, err := d.f.WriteAt(buf, d.size); err != nil {
+		return fmt.Errorf("core: spill write: %w", err)
+	}
+	d.size += int64(len(buf))
+	d.frames += len(d.mem)
+	q.spilled += len(d.mem)
+	q.mem -= d.memBytes
+	d.mem, d.memBytes = nil, 0
+	return nil
+}
+
+// take removes and returns the day's queue in append order: spilled
+// frames first (they were appended first), then the resident tail. The
+// spill segment is deleted once read back.
+func (q *pendQueue) take(day int) ([]pendEmail, error) {
+	d := q.days[day]
+	if d == nil {
+		return nil, nil
+	}
+	out := make([]pendEmail, 0, d.frames+len(d.mem))
+	if d.f != nil {
+		data := make([]byte, d.size)
+		if _, err := d.f.ReadAt(data, 0); err != nil {
+			return nil, fmt.Errorf("core: spill read: %w", err)
+		}
+		nsz := q.aead.NonceSize()
+		for off := 0; off < len(data); {
+			if len(data)-off < nsz+4 {
+				return nil, fmt.Errorf("core: torn spill frame")
+			}
+			nonce := data[off : off+nsz]
+			n := int(binary.BigEndian.Uint32(data[off+nsz:]))
+			off += nsz + 4
+			if n > len(data)-off {
+				return nil, fmt.Errorf("core: torn spill frame")
+			}
+			plain, err := q.aead.Open(nil, nonce, data[off:off+n], nil)
+			if err != nil {
+				return nil, fmt.Errorf("core: spill frame: %w", err)
+			}
+			pe, err := decodePendEmail(plain)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pe)
+			off += n
+		}
+		q.spilled -= d.frames
+		q.removeFile(day, d)
+	}
+	out = append(out, d.mem...)
+	q.mem -= d.memBytes
+	delete(q.days, day)
+	return out, nil
+}
+
+// drop discards a day (outage: the downed infrastructure recorded
+// nothing), removing any spill segment unread.
+func (q *pendQueue) drop(day int) {
+	d := q.days[day]
+	if d == nil {
+		return
+	}
+	if d.f != nil {
+		q.spilled -= d.frames
+		q.removeFile(day, d)
+	}
+	q.mem -= d.memBytes
+	delete(q.days, day)
+}
+
+func (q *pendQueue) removeFile(day int, d *pendDay) {
+	d.f.Close()
+	os.Remove(q.path(day))
+	d.f, d.size, d.frames = nil, 0, 0
+}
+
+// close releases any remaining spill segments (normal runs drain every
+// day, so this only matters on early error returns).
+func (q *pendQueue) close() {
+	for day, d := range q.days {
+		if d.f != nil {
+			q.removeFile(day, d)
+		}
+	}
+	q.days = nil
+}
+
+// The pendEmail wire form: queue metadata, the envelope fields, then
+// the mailmsg wire codec for the message itself.
+func encodePendEmail(dst []byte, pe *pendEmail) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(pe.di))
+	dst = append(dst, boolByte(pe.contaminant), boolByte(pe.e.SMTPTypoDomain))
+	dst = appendSpillString(dst, pe.e.ServerDomain)
+	dst = appendSpillString(dst, pe.e.RcptAddr)
+	dst = appendSpillString(dst, pe.e.SenderAddr)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(pe.e.Received.UnixNano()))
+	return pe.e.Msg.AppendWire(dst)
+}
+
+func decodePendEmail(b []byte) (pendEmail, error) {
+	var pe pendEmail
+	bad := fmt.Errorf("core: malformed spill frame")
+	if len(b) < 6 {
+		return pe, bad
+	}
+	pe.di = int(binary.BigEndian.Uint32(b))
+	e := &spamfilter.Email{}
+	pe.contaminant, pe.e = b[4] != 0, e
+	e.SMTPTypoDomain = b[5] != 0
+	b = b[6:]
+	var err error
+	if e.ServerDomain, b, err = cutSpillString(b); err != nil {
+		return pe, err
+	}
+	if e.RcptAddr, b, err = cutSpillString(b); err != nil {
+		return pe, err
+	}
+	if e.SenderAddr, b, err = cutSpillString(b); err != nil {
+		return pe, err
+	}
+	if len(b) < 8 {
+		return pe, bad
+	}
+	e.Received = timeFromUnixNano(int64(binary.BigEndian.Uint64(b)))
+	msg, rest, err := mailmsg.DecodeWire(b[8:])
+	if err != nil {
+		return pe, err
+	}
+	if len(rest) != 0 {
+		return pe, bad
+	}
+	e.Msg = msg
+	return pe, nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func appendSpillString(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+func cutSpillString(b []byte) (string, []byte, error) {
+	if len(b) < 4 {
+		return "", nil, fmt.Errorf("core: malformed spill frame")
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	if n > 64<<20 || len(b) < 4+n {
+		return "", nil, fmt.Errorf("core: malformed spill frame")
+	}
+	return string(b[4 : 4+n]), b[4+n:], nil
+}

@@ -35,6 +35,30 @@ type Config struct {
 	// overwhelmed with spam, and crashing"). Each pair is [from, to) in
 	// day indices.
 	Outages [][2]int
+
+	// Streaming selects the chunked two-pass run (stream.go): generation
+	// proceeds chunk-at-a-time over the par seams with a bounded working
+	// set instead of materializing every day. Output is byte-identical
+	// to the materialized path at any worker count and chunk size.
+	Streaming bool
+	// StreamChunkDays is how many collection days each generation chunk
+	// covers in streaming mode (default 8).
+	StreamChunkDays int
+	// SpillDir, when set, lets the streaming run spill pending
+	// future-day traffic to encrypted segment files under this
+	// directory once the in-memory queue exceeds SpillBudgetBytes.
+	SpillDir string
+	// SpillBudgetBytes caps the pending queue's resident size before
+	// spilling (default 64 MiB; only meaningful with SpillDir).
+	SpillBudgetBytes int64
+
+	// VaultDir, when set, backs the evidence store with the
+	// log-structured on-disk vault (vault.OpenLog) instead of the
+	// in-memory one. The two are interchangeable byte-for-byte.
+	VaultDir string
+	// VaultSegmentBytes caps segment size for the on-disk vault
+	// (vault.LogOptions.MaxSegmentBytes; 0 = default).
+	VaultSegmentBytes int64
 }
 
 // DefaultConfig mirrors the paper's run.
@@ -55,7 +79,7 @@ type Study struct {
 	Universe  *alexa.Universe
 	Domains   []StudyDomain
 	Sanitizer *sanitize.Sanitizer
-	Vault     *vault.Vault
+	Vault     vault.Store
 }
 
 // NewStudy assembles a study over the 76-domain registration.
@@ -66,7 +90,14 @@ func NewStudy(cfg Config) (*Study, error) {
 	if cfg.SpamSampleDivisor <= 0 {
 		cfg.SpamSampleDivisor = 4000
 	}
-	v, err := vault.Open(vault.DeriveKey(cfg.VaultPassphrase))
+	var v vault.Store
+	var err error
+	if cfg.VaultDir != "" {
+		v, err = vault.OpenLog(vault.DeriveKey(cfg.VaultPassphrase), cfg.VaultDir,
+			vault.LogOptions{MaxSegmentBytes: cfg.VaultSegmentBytes})
+	} else {
+		v, err = vault.Open(vault.DeriveKey(cfg.VaultPassphrase))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: opening vault: %w", err)
 	}
@@ -139,6 +170,10 @@ type Result struct {
 	// of funnel survivors that really are misdirected email rather than
 	// escaped spam (the paper's one researcher found 80%).
 	AuditPrecision float64
+	// EmailsProcessed is how many materialized emails went through the
+	// funnel (spam samples + typo-candidate traffic) — the throughput
+	// benchmark's work unit. Identical across run modes.
+	EmailsProcessed int
 }
 
 // attractiveness scales a study domain's spam draw by its target's
@@ -301,19 +336,28 @@ func (s *Study) generateUnit(u genUnit, rng *rand.Rand, start time.Time) unitRes
 	return out
 }
 
-// Run executes the collection over virtual time and classifies
-// everything through the five-layer funnel. Generation is sharded into
-// per-(day, domain) units on par's worker pool; the merge below folds
-// unit outputs back in unit order, so the run is byte-identical to a
-// sequential (par.SetWorkers(1)) run at any parallelism.
-func (s *Study) Run() (*Result, error) {
+// ourDomainSet returns the registered-domain set the funnel checks
+// against.
+func (s *Study) ourDomainSet() map[string]bool {
 	ourDomains := map[string]bool{}
 	for _, d := range s.Domains {
 		ourDomains[d.Name] = true
 	}
-	classifier := spamfilter.NewClassifier(spamfilter.Config{OurDomains: ourDomains})
+	return ourDomains
+}
 
-	start := simclock.CollectionStart
+// inOutage reports whether a day falls in a collection gap.
+func (s *Study) inOutage(day int) bool {
+	for _, o := range s.Cfg.Outages {
+		if day >= o[0] && day < o[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// newResult builds the empty result frame both run modes fill in.
+func (s *Study) newResult(start time.Time) *Result {
 	res := &Result{
 		Days:                  s.Cfg.Days,
 		ReceiverSpamDaily:     simclock.NewDaySeries(start, s.Cfg.Days),
@@ -330,6 +374,25 @@ func (s *Study) Run() (*Result, error) {
 		d := s.Domains[i]
 		res.PerDomain[d.Name] = &DomainStats{Domain: d}
 	}
+	return res
+}
+
+// Run executes the collection over virtual time and classifies
+// everything through the five-layer funnel. Generation is sharded into
+// per-(day, domain) units on par's worker pool; the merge below folds
+// unit outputs back in unit order, so the run is byte-identical to a
+// sequential (par.SetWorkers(1)) run at any parallelism. With
+// Cfg.Streaming set, the equivalent chunked two-pass run (stream.go)
+// executes instead — same bytes out, bounded working set.
+func (s *Study) Run() (*Result, error) {
+	if s.Cfg.Streaming {
+		return s.runStreaming()
+	}
+	ourDomains := s.ourDomainSet()
+	classifier := spamfilter.NewClassifier(spamfilter.Config{OurDomains: ourDomains})
+
+	start := simclock.CollectionStart
+	res := s.newResult(start)
 
 	// Materialized spam samples, classified post hoc so Layer 5 frequency
 	// filtering sees the repeats; aggregate volumes recorded for later
@@ -358,21 +421,12 @@ func (s *Study) Run() (*Result, error) {
 	// analysis measured (~20% of survivors).
 	contaminant := make(map[*spamfilter.Email]bool)
 
-	inOutage := func(day int) bool {
-		for _, o := range s.Cfg.Outages {
-			if day >= o[0] && day < o[1] {
-				return true
-			}
-		}
-		return false
-	}
-
 	// ---- Parallel generation: one unit per (non-outage day, domain),
 	// day-major so the merge below reproduces the sequential loop's
 	// append order exactly.
 	units := make([]genUnit, 0, s.Cfg.Days*len(s.Domains))
 	for day := 0; day < s.Cfg.Days; day++ {
-		if inOutage(day) {
+		if s.inOutage(day) {
 			continue // the infrastructure was down; nothing recorded
 		}
 		for di := range s.Domains {
@@ -409,7 +463,7 @@ func (s *Study) Run() (*Result, error) {
 	// landing on outage days are dropped, as the downed infrastructure
 	// would have.
 	for day := 0; day < s.Cfg.Days; day++ {
-		if inOutage(day) {
+		if s.inOutage(day) {
 			continue
 		}
 		allTypoEmails = append(allTypoEmails, pending[day]...)
@@ -485,6 +539,7 @@ func (s *Study) Run() (*Result, error) {
 		s.recordTypoResult(res, r, d)
 	}
 
+	res.EmailsProcessed = len(spamSamples) + len(allTypoEmails)
 	s.annualize(res)
 	return res, nil
 }

@@ -169,6 +169,14 @@ type Config struct {
 	// BulkSquatters and SharedMailHosts control the concentration.
 	BulkSquatters   int
 	SharedMailHosts int
+
+	// ChunkTargets, when positive, generates the per-target work in
+	// chunks of that many targets, merging each chunk before generating
+	// the next — the working set holds one chunk's output instead of the
+	// whole universe's. Output is byte-identical at any chunk size and
+	// worker count (par.MapAt keeps each target on the same PRNG
+	// sub-stream the unchunked par.Map assigns it). Zero means one chunk.
+	ChunkTargets int
 }
 
 // DefaultConfig returns a laptop-scale ecosystem that preserves the
@@ -239,9 +247,12 @@ func Generate(cfg Config) *Ecosystem {
 	// Weighted ownership: bulk squatters grab most attractive typos, with
 	// a Zipf-ish skew among them; the long tail goes to small actors.
 	// Workers only read the registrant roster; the ownership append
-	// happens in the deterministic merge below.
+	// happens in the deterministic per-chunk merge — chunks stream in
+	// target order, so the insertion order (including the
+	// overwrite-and-double-append behavior when two targets generate the
+	// same typo domain) is identical to one big parallel map.
 	targets := uni.Top(cfg.Targets)
-	perTarget := par.Map(par.SubSeed(cfg.Seed, streamTargets), targets,
+	eco.generateChunked(par.SubSeed(cfg.Seed, streamTargets), targets,
 		func(i int, target alexa.Domain, rng *rand.Rand) []*DomainInfo {
 			var out []*DomainInfo
 			for _, typo := range typogen.GenerateAll(target.Name) {
@@ -258,7 +269,7 @@ func Generate(cfg Config) *Ecosystem {
 	// Deliberate service-prefix registrations (smtpgmail.com and friends,
 	// Section 5.2) by squatters, privately registered.
 	emailTargets := uni.EmailCategory()
-	perPrefix := par.Map(par.SubSeed(cfg.Seed, streamPrefixes), emailTargets,
+	eco.generateChunked(par.SubSeed(cfg.Seed, streamPrefixes), emailTargets,
 		func(i int, target alexa.Domain, rng *rand.Rand) []*DomainInfo {
 			var out []*DomainInfo
 			for _, typo := range typogen.ServicePrefixTypos(target.Name, []string{"smtp", "mail", "webmail"}) {
@@ -271,19 +282,32 @@ func Generate(cfg Config) *Ecosystem {
 			return out
 		})
 
-	// Ordered merge: identical to the sequential loops' insertion order,
-	// including the overwrite-and-double-append behavior when two targets
-	// generate the same typo domain.
-	for _, infos := range perTarget {
-		eco.merge(infos)
-	}
-	for _, infos := range perPrefix {
-		eco.merge(infos)
-	}
-
 	eco.Registrants = registrants
 	eco.assignNameServers(par.Rand(cfg.Seed, streamNameServers))
 	return eco
+}
+
+// generateChunked runs one per-target generation phase in ChunkTargets-
+// sized slices of the target list, merging each chunk's output before
+// the next chunk generates. par.MapAt hands target i the PRNG sub-stream
+// Rand(seed, i) regardless of which chunk it lands in, so the stream of
+// merged domains is byte-for-byte the one par.Map over the full list
+// produces — with only one chunk's []*DomainInfo resident at a time.
+func (e *Ecosystem) generateChunked(seed int64, targets []alexa.Domain,
+	fn func(i int, target alexa.Domain, rng *rand.Rand) []*DomainInfo) {
+	chunk := e.cfg.ChunkTargets
+	if chunk <= 0 {
+		chunk = len(targets)
+	}
+	for base := 0; base < len(targets); base += chunk {
+		end := base + chunk
+		if end > len(targets) {
+			end = len(targets)
+		}
+		for _, infos := range par.MapAt(seed, base, targets[base:end], fn) {
+			e.merge(infos)
+		}
+	}
 }
 
 // merge folds one worker's configured domains into the snapshot.

@@ -547,6 +547,8 @@ func TestEffectSummariesGolden(t *testing.T) {
 	}
 	const wantPar = `internal/par.Map: Blocking{chan,lock}
 internal/par.Map.func1: pure
+internal/par.MapAt: Blocking{chan,lock}
+internal/par.MapAt.func1: pure
 internal/par.MapErr: Blocking{chan,lock}
 internal/par.MapErr.func1: pure
 internal/par.NumWorkers: pure

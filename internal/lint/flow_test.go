@@ -500,6 +500,62 @@ func Connect(addr string) (net.Conn, error) {
 			count: 0,
 		},
 		{
+			name:     "closeleak flags a segment file abandoned when the header write fails",
+			analyzer: "closeleak",
+			files: map[string]string{
+				"internal/seg/s.go": `package seg
+
+import "os"
+
+type Log struct {
+	active *os.File
+}
+
+func (l *Log) Rotate(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("VLTSEG1\n")); err != nil {
+		return err
+	}
+	l.active = f
+	return nil
+}
+`,
+			},
+			want:  []string{"internal/seg/s.go:10: [closeleak]", "f (from OpenFile) is not closed on every path"},
+			count: 1,
+		},
+		{
+			name:     "closeleak accepts rotation that closes on the failed-header path",
+			analyzer: "closeleak",
+			files: map[string]string{
+				"internal/seg/s.go": `package seg
+
+import "os"
+
+type Log struct {
+	active *os.File
+}
+
+func (l *Log) Rotate(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("VLTSEG1\n")); err != nil {
+		f.Close()
+		return err
+	}
+	l.active = f
+	return nil
+}
+`,
+			},
+			count: 0,
+		},
+		{
 			name:     "deadlineflow flags a read with no deadline on some path",
 			analyzer: "deadlineflow",
 			files: map[string]string{
@@ -751,6 +807,65 @@ func Fingerprint(k vault.Key) {
 `,
 			},
 			count: 0,
+		},
+		{
+			name:     "keyleak flags the vault key formatted into a segment-open error",
+			analyzer: "keyleak",
+			files: map[string]string{
+				"internal/vault/vault.go": `package vault
+
+type Key []byte
+`,
+				"internal/seg/s.go": `package seg
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/vault"
+)
+
+func OpenSegment(path string, k vault.Key) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("segment %s key %x: %w", path, k, err)
+	}
+	return f, nil
+}
+`,
+			},
+			want:  []string{"internal/seg/s.go:13: [keyleak]", "vault key material", "fmt.Errorf"},
+			count: 1,
+		},
+		{
+			name:     "keyleak flags raw key bytes written to a segment file, not the digest",
+			analyzer: "keyleak",
+			files: map[string]string{
+				"internal/vault/vault.go": `package vault
+
+type Key []byte
+`,
+				"internal/seg/s.go": `package seg
+
+import (
+	"crypto/sha256"
+	"os"
+
+	"repro/internal/vault"
+)
+
+func WriteHeader(f *os.File, k vault.Key) error {
+	sum := sha256.Sum256(k)
+	if _, err := f.Write(sum[:]); err != nil {
+		return err
+	}
+	_, err := f.Write(k)
+	return err
+}
+`,
+			},
+			want:  []string{"internal/seg/s.go:15: [keyleak]", "vault key material"},
+			count: 1,
 		},
 		{
 			name:     "ctxprop flags an exported dialer with no context parameter",

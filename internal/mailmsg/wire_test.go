@@ -1,0 +1,101 @@
+package mailmsg
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// wireRoundTrip encodes m and decodes it back, failing on any loss.
+func wireRoundTrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	enc := m.AppendWire(nil)
+	got, rest, err := DecodeWire(enc)
+	if err != nil {
+		t.Fatalf("DecodeWire: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("DecodeWire left %d unconsumed bytes", len(rest))
+	}
+	return got
+}
+
+func TestWireRoundTripExact(t *testing.T) {
+	m := New()
+	m.SetHeader("From", "Alice <alice@gmail.com>")
+	m.SetHeader("To", "bob@gmial.com")
+	m.AddHeader("Received", "from a by b")
+	m.AddHeader("Received", "from b by c") // repeated values, order matters
+	m.SetHeader("Subject", "quarterly numbers")
+	m.Body = "see attached\r\nline two"
+	m.HTMLBody = "<p>see attached</p>"
+	m.Attachments = []Attachment{
+		{Filename: "report.pdf", ContentType: "application/pdf", Data: []byte{0x25, 0x50, 0x44, 0x46, 0x00, 0xff}},
+		{Filename: "notes.txt", Data: []byte("plain")},
+	}
+
+	got := wireRoundTrip(t, m)
+	if !reflect.DeepEqual(got.HeaderKeys(), m.HeaderKeys()) {
+		t.Fatalf("header key order: got %v want %v", got.HeaderKeys(), m.HeaderKeys())
+	}
+	for _, k := range m.HeaderKeys() {
+		if !reflect.DeepEqual(got.HeaderValues(k), m.HeaderValues(k)) {
+			t.Fatalf("header %q: got %v want %v", k, got.HeaderValues(k), m.HeaderValues(k))
+		}
+	}
+	if got.Body != m.Body || got.HTMLBody != m.HTMLBody {
+		t.Fatalf("bodies differ")
+	}
+	if !reflect.DeepEqual(got.Attachments, m.Attachments) {
+		t.Fatalf("attachments differ: got %+v want %+v", got.Attachments, m.Attachments)
+	}
+	// The decoded message must serialize to the same RFC 5322 bytes: the
+	// spill path feeds Bytes-derived views into the classifier.
+	if !bytes.Equal(got.Bytes(), m.Bytes()) {
+		t.Fatalf("Bytes() differ after wire round trip")
+	}
+}
+
+func TestWireRoundTripEmpty(t *testing.T) {
+	got := wireRoundTrip(t, New())
+	if len(got.HeaderKeys()) != 0 || got.Body != "" || got.HTMLBody != "" || len(got.Attachments) != 0 {
+		t.Fatalf("empty message round trip not empty: %+v", got)
+	}
+}
+
+func TestWireConcatenatedFrames(t *testing.T) {
+	a := New()
+	a.SetHeader("Subject", "first")
+	b := New()
+	b.SetHeader("Subject", "second")
+	enc := b.AppendWire(a.AppendWire(nil))
+
+	m1, rest, err := DecodeWire(enc)
+	if err != nil {
+		t.Fatalf("first decode: %v", err)
+	}
+	m2, rest, err := DecodeWire(rest)
+	if err != nil {
+		t.Fatalf("second decode: %v", err)
+	}
+	if len(rest) != 0 || m1.Subject() != "first" || m2.Subject() != "second" {
+		t.Fatalf("concatenated decode wrong: %q %q rest=%d", m1.Subject(), m2.Subject(), len(rest))
+	}
+}
+
+func TestWireDecodeTruncatedAndCorrupt(t *testing.T) {
+	m := New()
+	m.SetHeader("Subject", "x")
+	m.Body = "body"
+	enc := m.AppendWire(nil)
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := DecodeWire(enc[:i]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", i)
+		}
+	}
+	// A length prefix pointing past the sanity cap must error, not allocate.
+	huge := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, _, err := DecodeWire(huge); err == nil {
+		t.Fatal("oversized count decoded successfully")
+	}
+}

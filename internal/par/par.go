@@ -74,6 +74,21 @@ func Map[T, R any](seed int64, items []T, fn func(i int, item T, rng *rand.Rand)
 	return out
 }
 
+// MapAt is Map for a window of a larger logical item sequence: item i of
+// items is treated as global item base+i, and receives Rand(seed, base+i).
+// Streaming callers split one long run into chunks and call MapAt per
+// chunk; because each item's PRNG depends only on (seed, global index),
+// the concatenated chunk outputs are byte-identical to a single
+// Map(seed, all) over the whole sequence — at any chunk size and any
+// worker count. fn receives the GLOBAL index.
+func MapAt[T, R any](seed int64, base int, items []T, fn func(i int, item T, rng *rand.Rand) R) []R {
+	out := make([]R, len(items))
+	run(len(items), func(i int) {
+		out[i] = fn(base+i, items[i], Rand(seed, base+i))
+	})
+	return out
+}
+
 // MapErr is Map for fallible fn. Every item runs regardless of other
 // items' failures (items are independent by contract); the returned
 // error is the lowest-index one, so the failure surfaced is the same

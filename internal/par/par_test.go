@@ -130,3 +130,52 @@ func TestMapNoGoroutineLeak(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestMapAtChunkEquivalence is the streaming substrate's seed contract:
+// splitting one logical sequence into chunks and mapping each chunk with
+// MapAt at its global base offset reproduces Map over the whole sequence
+// byte-for-byte, at any chunk size and any worker count.
+func TestMapAtChunkEquivalence(t *testing.T) {
+	items := make([]int, 257)
+	for i := range items {
+		items[i] = i * 3
+	}
+	fn := func(i, item int, rng *rand.Rand) string {
+		return fmt.Sprintf("%d:%d:%d:%d", i, item, rng.Int63(), rng.Intn(97))
+	}
+	var ref []string
+	withWorkers(1, func() { ref = Map(99, items, fn) })
+	for _, chunk := range []int{1, 7, 64, 256, 1024} {
+		for _, w := range []int{1, 3, 8} {
+			var got []string
+			withWorkers(w, func() {
+				for base := 0; base < len(items); base += chunk {
+					end := base + chunk
+					if end > len(items) {
+						end = len(items)
+					}
+					got = append(got, MapAt(99, base, items[base:end], fn)...)
+				}
+			})
+			if len(got) != len(ref) {
+				t.Fatalf("chunk=%d workers=%d: %d results, want %d", chunk, w, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("chunk=%d workers=%d: item %d = %q, want %q", chunk, w, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMapAtGlobalIndex pins that fn observes the global index, not the
+// chunk-local one.
+func TestMapAtGlobalIndex(t *testing.T) {
+	out := MapAt(7, 100, []int{10, 20}, func(i, item int, rng *rand.Rand) int {
+		return i*1000 + item
+	})
+	if out[0] != 100010 || out[1] != 101020 {
+		t.Fatalf("MapAt global indexes wrong: %v", out)
+	}
+}

@@ -1,0 +1,95 @@
+package spamfilter
+
+import (
+	"hash/fnv"
+
+	"repro/internal/mailmsg"
+)
+
+// FreqKey is one Layer 5 frequency key in hashed form. The tables count
+// 64-bit FNV-1a digests of the normalized keys instead of the strings
+// themselves: a collection-scale corpus has hundreds of thousands of
+// unique keys, and content keys (normalized whole bodies) can run to
+// kilobytes each, so hashing keeps the corpus-wide tables a small flat
+// working set. A collision would merge two keys' counters — with 64-bit
+// digests the chance over even a million keys is ~1e-7, far below any
+// other source of model noise — and both run modes share this exact
+// code, so they stay byte-identical to each other regardless.
+type FreqKey uint64
+
+// FreqTables holds Layer 5's corpus-wide frequency state: how often each
+// recipient address, sender address and normalized body appeared among
+// the layer 1–4 survivors. Classify builds one internally; streaming
+// callers (core's chunked two-pass run) build one during their first
+// pass over the corpus and replay it against a fresh classifier in the
+// second, which is exactly the decomposition Classify performs in one
+// sweep — same keys, same thresholds, same verdicts.
+type FreqTables struct {
+	rcpt    map[FreqKey]int
+	sender  map[FreqKey]int
+	content map[FreqKey]int
+}
+
+// NewFreqTables returns empty Layer 5 frequency state.
+func NewFreqTables() *FreqTables {
+	return &FreqTables{
+		rcpt:    map[FreqKey]int{},
+		sender:  map[FreqKey]int{},
+		content: map[FreqKey]int{},
+	}
+}
+
+func hashKey(s string) FreqKey {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return FreqKey(h.Sum64())
+}
+
+// FreqKeys returns the three Layer 5 frequency keys of an email, hashed.
+// The content key normalizes the body the same way the collaborative
+// filter does, so repeated automated mail collides regardless of
+// whitespace.
+func FreqKeys(e *Email) (rcpt, sender, content FreqKey) {
+	return hashKey(mailmsg.Addr(e.RcptAddr)),
+		hashKey(mailmsg.Addr(e.SenderAddr)),
+		hashKey(contentKey(e.Msg.Text()))
+}
+
+// Add counts one layer 1–4 survivor into the tables.
+func (t *FreqTables) Add(e *Email) {
+	rcpt, sender, content := FreqKeys(e)
+	t.AddKeys(rcpt, sender, content)
+}
+
+// AddKeys counts pre-computed frequency keys — the form streaming
+// callers use when the email itself is no longer resident.
+func (t *FreqTables) AddKeys(rcpt, sender, content FreqKey) {
+	t.rcpt[rcpt]++
+	t.sender[sender]++
+	t.content[content]++
+}
+
+// KeysExceed reports whether any of the keys crosses the classifier's
+// Layer 5 threshold under the given tables.
+func (c *Classifier) KeysExceed(t *FreqTables, rcpt, sender, content FreqKey) bool {
+	return t.rcpt[rcpt] > c.cfg.RcptThreshold ||
+		t.sender[sender] > c.cfg.SenderThreshold ||
+		t.content[content] > c.cfg.ContentThreshold
+}
+
+// ApplyLayer5 reclassifies a layer 1–4 survivor as VerdictFrequency when
+// its keys exceed the thresholds under t; non-survivors pass through
+// untouched. Classify calls this for every result after building the
+// tables, so streaming replay through ApplyLayer5 is definitionally the
+// same filter.
+func (c *Classifier) ApplyLayer5(r *Result, t *FreqTables) {
+	if !r.Verdict.IsTrueTypo() {
+		return
+	}
+	rcpt, sender, content := FreqKeys(r.Email)
+	if c.KeysExceed(t, rcpt, sender, content) {
+		r.FreqOf = r.Verdict
+		r.Verdict = VerdictFrequency
+		r.Layer = 5
+	}
+}

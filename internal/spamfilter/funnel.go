@@ -300,29 +300,14 @@ func (c *Classifier) Classify(emails []*Email) []Result {
 	}
 
 	// Layer 5: corpus-wide frequencies over layer 1-4 survivors.
-	rcptFreq := map[string]int{}
-	senderFreq := map[string]int{}
-	contentFreq := map[string]int{}
+	freq := NewFreqTables()
 	for _, r := range results {
-		if !r.Verdict.IsTrueTypo() {
-			continue
+		if r.Verdict.IsTrueTypo() {
+			freq.Add(r.Email)
 		}
-		rcptFreq[mailmsg.Addr(r.Email.RcptAddr)]++
-		senderFreq[mailmsg.Addr(r.Email.SenderAddr)]++
-		contentFreq[contentKey(r.Email.Msg.Text())]++
 	}
 	for i := range results {
-		r := &results[i]
-		if !r.Verdict.IsTrueTypo() {
-			continue
-		}
-		if rcptFreq[mailmsg.Addr(r.Email.RcptAddr)] > c.cfg.RcptThreshold ||
-			senderFreq[mailmsg.Addr(r.Email.SenderAddr)] > c.cfg.SenderThreshold ||
-			contentFreq[contentKey(r.Email.Msg.Text())] > c.cfg.ContentThreshold {
-			r.FreqOf = r.Verdict
-			r.Verdict = VerdictFrequency
-			r.Layer = 5
-		}
+		c.ApplyLayer5(&results[i], freq)
 	}
 	return results
 }

@@ -1,0 +1,767 @@
+// The log-structured on-disk backend: append-only segment files of
+// length-prefixed encrypted records, sharded per domain, with inline
+// compaction and Export/Restore snapshots. It keeps the package's §4.1
+// contract intact — plaintext never touches disk (records are sealed
+// with the same AES-256-GCM + AAD construction as the in-memory Vault),
+// and Close models unmounting the removable key: the AEAD becomes
+// unreachable, the segment handles are released, and only clear
+// metadata stays readable.
+//
+// Determinism: given the same key, nonce source and call sequence, a
+// LogVault assigns the same IDs and produces an Export stream
+// byte-identical to the in-memory Vault's — the property the
+// differential-oracle tests pin. Compaction is synchronous and happens
+// inline on the calling goroutine (at segment rotation, or via
+// Compact), never on a background goroutine: a concurrent compactor
+// would make segment layout depend on scheduling, and the repository's
+// replay-from-seed contract forbids that.
+package vault
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LogOptions tunes the segment backend. The zero value gets sensible
+// defaults; tests shrink MaxSegmentBytes to force rotation.
+type LogOptions struct {
+	// Shards is the number of per-domain shard logs (default 4). Each
+	// domain's records land in hash(domain) mod Shards, so surrendering
+	// a domain dirties one shard, not all of them.
+	Shards int
+	// MaxSegmentBytes rotates a shard's active segment once it grows
+	// past this size (default 4 MiB).
+	MaxSegmentBytes int64
+	// CompactFraction triggers compaction at rotation when the shard's
+	// dead bytes exceed this fraction of its total bytes (default 0.5).
+	CompactFraction float64
+}
+
+func (o LogOptions) withDefaults() LogOptions {
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.MaxSegmentBytes <= 0 {
+		o.MaxSegmentBytes = 4 << 20
+	}
+	if o.CompactFraction <= 0 {
+		o.CompactFraction = 0.5
+	}
+	return o
+}
+
+// Segment wire format. Each file starts with a 20-byte header (magic,
+// shard index, segment sequence number), followed by frames of
+// [1-byte type][u32 payload length][payload]. Put payloads reuse the
+// Export field layout; a torn trailing frame (crash mid-append) is
+// truncated away on reopen.
+const (
+	segMagic      = "VLTSEG1\n"
+	segHeaderSize = len(segMagic) + 4 + 8
+
+	framePut     = 'P' // one sealed record
+	frameTomb    = 'T' // tombstone: the record id was surrendered
+	frameNextID  = 'N' // id high-water mark (written by compaction/restore)
+	frameHdrSize = 5
+)
+
+// logRecord is the in-memory index entry: clear metadata plus where the
+// sealed payload lives on disk.
+type logRecord struct {
+	meta  Record
+	shard int
+	seg   uint64
+	off   int64 // payload offset within the segment file
+	size  int64 // payload length
+}
+
+// logShard is one shard's segment chain. files holds an open handle per
+// segment (reads go through ReadAt; the active segment is appended to
+// with WriteAt at the tracked size, so one handle serves both).
+type logShard struct {
+	id     int
+	seq    uint64 // active segment sequence number
+	active *os.File
+	size   int64 // active segment size
+	files  map[uint64]*os.File
+	live   int64 // bytes of frames still reachable from the index
+	dead   int64 // bytes of surrendered/compacted-away frames
+}
+
+// LogVault is the append-only segment-backed Store.
+type LogVault struct {
+	dir  string
+	opts LogOptions
+
+	mu          sync.RWMutex
+	aead        cipher.AEAD
+	idx         map[uint64]*logRecord
+	nextID      uint64
+	closed      bool
+	shards      []*logShard
+	compactions int
+
+	// Entropy source; overridable for deterministic tests.
+	randRead func([]byte) (int, error)
+}
+
+// newAEAD builds the package's AES-256-GCM sealer for key.
+func newAEAD(key Key) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("vault: cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("vault: gcm: %w", err)
+	}
+	return aead, nil
+}
+
+// OpenLog opens (or creates) a log-structured vault in dir, sealed with
+// key. An existing directory is replayed: every segment's frames are
+// re-indexed, tombstones are applied, and a torn trailing frame — the
+// signature of a crash mid-append — is truncated away. Records written
+// by a previous process are fully recovered; the key itself is never
+// stored anywhere under dir.
+func OpenLog(key Key, dir string, opts LogOptions) (*LogVault, error) {
+	aead, err := newAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("vault: segment dir: %w", err)
+	}
+	v := &LogVault{
+		dir:      dir,
+		opts:     opts.withDefaults(),
+		aead:     aead,
+		idx:      make(map[uint64]*logRecord),
+		nextID:   1,
+		randRead: rand.Read,
+	}
+	if err := v.replay(); err != nil {
+		v.Close()
+		return nil, err
+	}
+	return v, nil
+}
+
+func segPath(dir string, shard int, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("shard%d-%08d.seg", shard, seq))
+}
+
+// parseSegName inverts segPath's naming.
+func parseSegName(name string) (shard int, seq uint64, ok bool) {
+	rest, found := strings.CutPrefix(name, "shard")
+	if !found {
+		return 0, 0, false
+	}
+	rest, found = strings.CutSuffix(rest, ".seg")
+	if !found {
+		return 0, 0, false
+	}
+	si, srest, found := strings.Cut(rest, "-")
+	if !found {
+		return 0, 0, false
+	}
+	s, err1 := strconv.Atoi(si)
+	q, err2 := strconv.ParseUint(srest, 10, 64)
+	if err1 != nil || err2 != nil || s < 0 || q == 0 {
+		return 0, 0, false
+	}
+	return s, q, true
+}
+
+// shardOf maps a domain to its shard by FNV-1a.
+func shardOf(domain string, shards int) int {
+	var h uint32 = 2166136261
+	for i := 0; i < len(domain); i++ {
+		h ^= uint32(domain[i])
+		h *= 16777619
+	}
+	return int(h % uint32(shards))
+}
+
+// replay scans dir, rebuilds the index and opens the shard chains.
+func (v *LogVault) replay() error {
+	entries, err := os.ReadDir(v.dir)
+	if err != nil {
+		return fmt.Errorf("vault: scanning segment dir: %w", err)
+	}
+	segs := map[int][]uint64{}
+	shardCount := v.opts.Shards
+	for _, e := range entries {
+		s, q, ok := parseSegName(e.Name())
+		if !ok {
+			continue
+		}
+		segs[s] = append(segs[s], q)
+		if s >= shardCount {
+			shardCount = s + 1
+		}
+	}
+	v.shards = make([]*logShard, shardCount)
+	for i := range v.shards {
+		v.shards[i] = &logShard{id: i, files: make(map[uint64]*os.File)}
+	}
+
+	// Tombstones are applied globally after all shards replay: within a
+	// shard frames are ordered, and a shard-count change between runs
+	// must still pair every tombstone with its put.
+	tombs := map[uint64]bool{}
+	maxID := uint64(0)
+	for s := 0; s < shardCount; s++ {
+		sh := v.shards[s]
+		seqs := segs[s]
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for k, q := range seqs {
+			last := k == len(seqs)-1
+			size, err := v.replaySegment(sh, q, last, tombs, &maxID)
+			if err != nil {
+				return err
+			}
+			if last {
+				sh.seq, sh.size = q, size
+			}
+		}
+		if len(seqs) == 0 {
+			if err := v.newSegment(sh, 1); err != nil {
+				return err
+			}
+		} else {
+			sh.active = sh.files[sh.seq]
+		}
+	}
+	for id := range tombs {
+		if lr, ok := v.idx[id]; ok {
+			delete(v.idx, id)
+			sh := v.shards[lr.shard]
+			sh.live -= frameHdrSize + lr.size
+			sh.dead += frameHdrSize + lr.size
+		}
+	}
+	if maxID >= v.nextID {
+		v.nextID = maxID + 1
+	}
+	return nil
+}
+
+// replaySegment reads one segment file, indexes its frames and opens a
+// read/append handle for it. A parse failure in the final segment of a
+// shard truncates the torn tail; anywhere else it is corruption.
+func (v *LogVault) replaySegment(sh *logShard, seq uint64, last bool, tombs map[uint64]bool, maxID *uint64) (int64, error) {
+	path := segPath(v.dir, sh.id, seq)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("vault: reading segment: %w", err)
+	}
+	if len(data) < segHeaderSize || string(data[:len(segMagic)]) != segMagic ||
+		binary.BigEndian.Uint32(data[len(segMagic):]) != uint32(sh.id) ||
+		binary.BigEndian.Uint64(data[len(segMagic)+4:]) != seq {
+		return 0, fmt.Errorf("vault: segment %s: bad header", filepath.Base(path))
+	}
+	off := int64(segHeaderSize)
+	valid := off
+	for int(off) < len(data) {
+		typ, payload, next, ok := parseFrame(data, off)
+		if !ok {
+			break
+		}
+		switch typ {
+		case framePut:
+			var rec Record
+			var nonce, ct []byte
+			if rec, nonce, ct, err = decodePutPayload(payload); err != nil {
+				return 0, fmt.Errorf("vault: segment %s: %w", filepath.Base(path), err)
+			}
+			_, _ = nonce, ct // stays on disk; the index keeps only clear metadata
+			v.idx[rec.ID] = &logRecord{
+				meta: rec, shard: sh.id, seg: seq,
+				off: off + frameHdrSize, size: int64(len(payload)),
+			}
+			sh.live += frameHdrSize + int64(len(payload))
+			if rec.ID > *maxID {
+				*maxID = rec.ID
+			}
+		case frameTomb:
+			if len(payload) != 8 {
+				return 0, fmt.Errorf("vault: segment %s: bad tombstone", filepath.Base(path))
+			}
+			tombs[binary.BigEndian.Uint64(payload)] = true
+			sh.dead += frameHdrSize + int64(len(payload))
+		case frameNextID:
+			if len(payload) != 8 {
+				return 0, fmt.Errorf("vault: segment %s: bad id marker", filepath.Base(path))
+			}
+			if n := binary.BigEndian.Uint64(payload); n > *maxID+1 {
+				*maxID = n - 1
+			}
+		default:
+			return 0, fmt.Errorf("vault: segment %s: unknown frame type %q", filepath.Base(path), typ)
+		}
+		off = next
+		valid = off
+	}
+	if int(valid) < len(data) {
+		if !last {
+			return 0, fmt.Errorf("vault: segment %s: torn frame in non-final segment", filepath.Base(path))
+		}
+		if err := os.Truncate(path, valid); err != nil {
+			return 0, fmt.Errorf("vault: truncating torn segment: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o600)
+	if err != nil {
+		return 0, fmt.Errorf("vault: opening segment: %w", err)
+	}
+	sh.files[seq] = f
+	return valid, nil
+}
+
+// parseFrame reads one frame at off; ok is false on a torn tail.
+func parseFrame(data []byte, off int64) (typ byte, payload []byte, next int64, ok bool) {
+	if int64(len(data)) < off+frameHdrSize {
+		return 0, nil, 0, false
+	}
+	typ = data[off]
+	n := int64(binary.BigEndian.Uint32(data[off+1:]))
+	if n > 64<<20 || int64(len(data)) < off+frameHdrSize+n {
+		return 0, nil, 0, false
+	}
+	start := off + frameHdrSize
+	return typ, data[start : start+n], start + n, true
+}
+
+// newSegment creates segment seq for sh and makes it active.
+func (v *LogVault) newSegment(sh *logShard, seq uint64) error {
+	f, err := os.OpenFile(segPath(v.dir, sh.id, seq), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return fmt.Errorf("vault: creating segment: %w", err)
+	}
+	// Track the handle before anything fallible: Close owns it from here.
+	sh.files[seq] = f
+	hdr := make([]byte, 0, segHeaderSize)
+	hdr = append(hdr, segMagic...)
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(sh.id))
+	hdr = binary.BigEndian.AppendUint64(hdr, seq)
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		return fmt.Errorf("vault: segment header: %w", err)
+	}
+	sh.seq, sh.active, sh.size = seq, f, int64(segHeaderSize)
+	return nil
+}
+
+// appendFrame writes one frame to sh's active segment and returns the
+// payload offset.
+func (sh *logShard) appendFrame(typ byte, payload []byte) (int64, error) {
+	buf := make([]byte, 0, frameHdrSize+len(payload))
+	buf = append(buf, typ)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	if _, err := sh.active.WriteAt(buf, sh.size); err != nil {
+		return 0, fmt.Errorf("vault: segment append: %w", err)
+	}
+	off := sh.size + frameHdrSize
+	sh.size += int64(len(buf))
+	return off, nil
+}
+
+func encodePutPayload(rec Record, nonce, ct []byte) []byte {
+	b := binary.BigEndian.AppendUint64(nil, rec.ID)
+	b = appendPrefixed(b, []byte(rec.Domain))
+	b = appendPrefixed(b, []byte(rec.Verdict))
+	b = binary.BigEndian.AppendUint64(b, uint64(rec.Received.UnixNano()))
+	b = appendPrefixed(b, nonce)
+	b = appendPrefixed(b, ct)
+	return b
+}
+
+func decodePutPayload(p []byte) (rec Record, nonce, ct []byte, err error) {
+	bad := fmt.Errorf("vault: malformed record frame")
+	if len(p) < 8 {
+		return rec, nil, nil, bad
+	}
+	rec.ID, p = binary.BigEndian.Uint64(p), p[8:]
+	var b []byte
+	if b, p, err = cutPrefixed(p); err != nil {
+		return rec, nil, nil, err
+	}
+	rec.Domain = string(b)
+	if b, p, err = cutPrefixed(p); err != nil {
+		return rec, nil, nil, err
+	}
+	rec.Verdict = string(b)
+	if len(p) < 8 {
+		return rec, nil, nil, bad
+	}
+	rec.Received = time.Unix(0, int64(binary.BigEndian.Uint64(p))).UTC()
+	p = p[8:]
+	if nonce, p, err = cutPrefixed(p); err != nil {
+		return rec, nil, nil, err
+	}
+	if ct, p, err = cutPrefixed(p); err != nil {
+		return rec, nil, nil, err
+	}
+	if len(p) != 0 {
+		return rec, nil, nil, bad
+	}
+	return rec, nonce, ct, nil
+}
+
+func appendPrefixed(dst, b []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+func cutPrefixed(p []byte) ([]byte, []byte, error) {
+	if len(p) < 4 {
+		return nil, nil, fmt.Errorf("vault: malformed record frame")
+	}
+	n := binary.BigEndian.Uint32(p)
+	if n > 64<<20 || len(p) < 4+int(n) {
+		return nil, nil, fmt.Errorf("vault: malformed record frame")
+	}
+	return p[4 : 4+n], p[4+int(n):], nil
+}
+
+// Put encrypts and appends plaintext to the domain's shard, returning
+// the record ID. Semantics match the in-memory Vault exactly.
+func (v *LogVault) Put(domain, verdict string, received time.Time, plaintext []byte) (uint64, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return 0, ErrClosed
+	}
+	nonce := make([]byte, v.aead.NonceSize())
+	if _, err := v.randRead(nonce); err != nil {
+		return 0, fmt.Errorf("vault: nonce: %w", err)
+	}
+	id := v.nextID
+	ct := v.aead.Seal(nil, nonce, plaintext, aad(id, domain))
+	rec := Record{ID: id, Domain: domain, Verdict: verdict, Received: received}
+	sh := v.shards[shardOf(domain, len(v.shards))]
+	payload := encodePutPayload(rec, nonce, ct)
+	off, err := sh.appendFrame(framePut, payload)
+	if err != nil {
+		return 0, err
+	}
+	v.nextID++
+	v.idx[id] = &logRecord{meta: rec, shard: sh.id, seg: sh.seq, off: off, size: int64(len(payload))}
+	sh.live += frameHdrSize + int64(len(payload))
+	if sh.size > v.opts.MaxSegmentBytes {
+		if err := v.rotate(sh); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// rotate seals sh's active segment and opens the next one, compacting
+// first when the shard has accumulated enough dead bytes.
+func (v *LogVault) rotate(sh *logShard) error {
+	if total := sh.live + sh.dead; sh.dead > 0 && float64(sh.dead) >= v.opts.CompactFraction*float64(total) {
+		return v.compactShard(sh)
+	}
+	return v.newSegment(sh, sh.seq+1)
+}
+
+// compactShard rewrites sh's live records (in ID order) into a fresh
+// segment and deletes every older one. The new segment leads with an
+// id high-water marker so replay never reuses a surrendered ID.
+func (v *LogVault) compactShard(sh *logShard) error {
+	ids := make([]uint64, 0, len(v.idx))
+	for id, lr := range v.idx {
+		if lr.shard == sh.id {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	oldFiles := sh.files
+	oldSeq := sh.seq
+	sh.files = make(map[uint64]*os.File)
+	if err := v.newSegment(sh, oldSeq+1); err != nil {
+		// Keep the old chain readable; the failed fresh segment (if
+		// created) is tracked in sh.files and will be closed with the rest.
+		for q, f := range oldFiles {
+			sh.files[q] = f
+		}
+		return err
+	}
+	marker := binary.BigEndian.AppendUint64(nil, v.nextID)
+	if _, err := sh.appendFrame(frameNextID, marker); err != nil {
+		for q, f := range oldFiles {
+			sh.files[q] = f
+		}
+		return err
+	}
+	live := int64(frameHdrSize + len(marker))
+	for _, id := range ids {
+		lr := v.idx[id]
+		payload := make([]byte, lr.size)
+		if _, err := oldFiles[lr.seg].ReadAt(payload, lr.off); err != nil {
+			for q, f := range oldFiles {
+				sh.files[q] = f
+			}
+			return fmt.Errorf("vault: compaction read: %w", err)
+		}
+		off, err := sh.appendFrame(framePut, payload)
+		if err != nil {
+			for q, f := range oldFiles {
+				sh.files[q] = f
+			}
+			return err
+		}
+		lr.seg, lr.off = sh.seq, off
+		live += frameHdrSize + lr.size
+	}
+	for q, f := range oldFiles {
+		f.Close()
+		os.Remove(segPath(v.dir, sh.id, q))
+	}
+	sh.live, sh.dead = live, 0
+	v.compactions++
+	return nil
+}
+
+// Compact synchronously compacts every shard, regardless of dead-byte
+// ratios — the explicit form of the rotation-time trigger.
+func (v *LogVault) Compact() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrClosed
+	}
+	for _, sh := range v.shards {
+		if err := v.compactShard(sh); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get decrypts record id, reading the sealed payload back from its
+// segment.
+func (v *LogVault) Get(id uint64) ([]byte, *Record, error) {
+	v.mu.RLock()
+	if v.closed {
+		v.mu.RUnlock()
+		return nil, nil, ErrClosed
+	}
+	aead := v.aead
+	lr, ok := v.idx[id]
+	if !ok {
+		v.mu.RUnlock()
+		return nil, nil, ErrNotFound
+	}
+	payload := make([]byte, lr.size)
+	_, err := v.shards[lr.shard].files[lr.seg].ReadAt(payload, lr.off)
+	v.mu.RUnlock()
+	if err != nil {
+		return nil, nil, fmt.Errorf("vault: segment read: %w", err)
+	}
+	rec, nonce, ct, err := decodePutPayload(payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	pt, err := aead.Open(nil, nonce, ct, aad(id, rec.Domain))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadKey, err)
+	}
+	out := Record{ID: rec.ID, Domain: rec.Domain, Verdict: rec.Verdict, Received: rec.Received}
+	return pt, &out, nil
+}
+
+// Len returns the number of live records.
+func (v *LogVault) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.idx)
+}
+
+// Meta returns the clear metadata of every live record in ID order —
+// readable after Close, like the in-memory Vault.
+func (v *LogVault) Meta() []Record {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]Record, 0, len(v.idx))
+	for id := uint64(1); id < v.nextID; id++ {
+		if lr, ok := v.idx[id]; ok {
+			m := lr.meta
+			out = append(out, Record{ID: m.ID, Domain: m.Domain, Verdict: m.Verdict, Received: m.Received})
+		}
+	}
+	return out
+}
+
+// Surrender appends tombstones for every record of domain and drops
+// them from the index; the bytes die in place until compaction. Unlike
+// the in-memory Vault, a closed LogVault cannot append tombstones, so
+// Surrender after Close is a no-op returning 0.
+func (v *LogVault) Surrender(domain string) int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return 0
+	}
+	ids := make([]uint64, 0, 8)
+	for id, lr := range v.idx {
+		if lr.meta.Domain == domain {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sh := v.shards[shardOf(domain, len(v.shards))]
+	n := 0
+	for _, id := range ids {
+		lr := v.idx[id]
+		tomb := binary.BigEndian.AppendUint64(nil, id)
+		if _, err := sh.appendFrame(frameTomb, tomb); err != nil {
+			break // records already dropped stay dropped; the rest survive
+		}
+		delete(v.idx, id)
+		owner := v.shards[lr.shard]
+		owner.live -= frameHdrSize + lr.size
+		owner.dead += frameHdrSize + lr.size
+		sh.dead += frameHdrSize + int64(len(tomb))
+		n++
+	}
+	return n
+}
+
+// Export writes the Store snapshot: identical bytes to the in-memory
+// Vault's Export for the same live content. Unlike the in-memory
+// backend it needs the segment files, so it fails with ErrClosed after
+// Close.
+func (v *LogVault) Export(w io.Writer) error {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if v.closed {
+		return ErrClosed
+	}
+	if err := binary.Write(w, binary.BigEndian, uint64(len(v.idx))); err != nil {
+		return err
+	}
+	for id := uint64(1); id < v.nextID; id++ {
+		lr, ok := v.idx[id]
+		if !ok {
+			continue
+		}
+		payload := make([]byte, lr.size)
+		if _, err := v.shards[lr.shard].files[lr.seg].ReadAt(payload, lr.off); err != nil {
+			return fmt.Errorf("vault: segment read: %w", err)
+		}
+		rec, nonce, ct, err := decodePutPayload(payload)
+		if err != nil {
+			return err
+		}
+		if err := writeExportRecord(w, &rec, nonce, ct); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreLog rebuilds a log-structured vault in dir from an Export
+// stream, preserving IDs, nonces and ciphertext byte-for-byte (records
+// are not re-encrypted; a wrong key surfaces at Get time, as with
+// Import). dir must not already contain segments.
+func RestoreLog(key Key, dir string, opts LogOptions, r io.Reader) (*LogVault, error) {
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if _, _, ok := parseSegName(e.Name()); ok {
+				return nil, fmt.Errorf("vault: restore target %s already holds segments", dir)
+			}
+		}
+	}
+	v, err := OpenLog(key, dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	restored := false
+	defer func() {
+		if !restored {
+			v.Close()
+		}
+	}()
+	err = decodeExportStream(r, func(rec Record) error {
+		sh := v.shards[shardOf(rec.Domain, len(v.shards))]
+		meta := Record{ID: rec.ID, Domain: rec.Domain, Verdict: rec.Verdict, Received: rec.Received}
+		payload := encodePutPayload(meta, rec.nonce, rec.ciphertext)
+		off, err := sh.appendFrame(framePut, payload)
+		if err != nil {
+			return err
+		}
+		v.idx[rec.ID] = &logRecord{meta: meta, shard: sh.id, seg: sh.seq, off: off, size: int64(len(payload))}
+		sh.live += frameHdrSize + int64(len(payload))
+		if rec.ID >= v.nextID {
+			v.nextID = rec.ID + 1
+		}
+		if sh.size > v.opts.MaxSegmentBytes {
+			return v.newSegment(sh, sh.seq+1)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	restored = true
+	return v, nil
+}
+
+// Close seals the handle: the AEAD becomes unreachable and every
+// segment file handle is released. Clear metadata (Len, Meta) stays
+// readable; data operations fail with ErrClosed. Idempotent.
+func (v *LogVault) Close() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return nil
+	}
+	v.closed = true
+	v.aead = nil
+	var firstErr error
+	for _, sh := range v.shards {
+		for _, f := range sh.files {
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		sh.files = nil
+		sh.active = nil
+	}
+	return firstErr
+}
+
+// LogStats describes the on-disk state, for tests and ops.
+type LogStats struct {
+	Segments    int // segment files currently on disk
+	Compactions int // compaction passes since open
+	LiveBytes   int64
+	DeadBytes   int64
+}
+
+// Stats reports segment/compaction counters.
+func (v *LogVault) Stats() LogStats {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	st := LogStats{Compactions: v.compactions}
+	for _, sh := range v.shards {
+		st.Segments += len(sh.files)
+		st.LiveBytes += sh.live
+		st.DeadBytes += sh.dead
+	}
+	return st
+}

@@ -1,0 +1,404 @@
+package vault
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// seqRand is a deterministic entropy source: byte i of the stream is
+// a keyed counter, so nonces (and therefore ciphertext and segment
+// bytes) are reproducible across runs and across backends.
+func seqRand() func([]byte) (int, error) {
+	ctr := byte(0)
+	return func(b []byte) (int, error) {
+		for i := range b {
+			b[i] = ctr
+			ctr++
+		}
+		return len(b), nil
+	}
+}
+
+func openLogT(t *testing.T, dir string, opts LogOptions) *LogVault {
+	t.Helper()
+	v, err := OpenLog(DeriveKey("log-pass"), dir, opts)
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	return v
+}
+
+// fillPair drives the same put sequence into both backends with the
+// same entropy stream.
+func fillPair(t *testing.T, lv *LogVault, mv *Vault, n int) {
+	t.Helper()
+	lv.randRead = seqRand()
+	mv.randRead = seqRand()
+	when := time.Date(2016, 6, 4, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		domain := fmt.Sprintf("dom%d.example", i%7)
+		pt := []byte(fmt.Sprintf("record %d body *_|R|_* redacted", i))
+		idL, errL := lv.Put(domain, "receiver-typo", when.Add(time.Duration(i)*time.Minute), pt)
+		idM, errM := mv.Put(domain, "receiver-typo", when.Add(time.Duration(i)*time.Minute), pt)
+		if errL != nil || errM != nil {
+			t.Fatalf("put %d: log=%v mem=%v", i, errL, errM)
+		}
+		if idL != idM {
+			t.Fatalf("put %d: id diverged log=%d mem=%d", i, idL, idM)
+		}
+	}
+}
+
+// sameMeta compares the clear-metadata fields of two records.
+func sameMeta(a, b Record) bool {
+	return a.ID == b.ID && a.Domain == b.Domain && a.Verdict == b.Verdict && a.Received.Equal(b.Received)
+}
+
+// exportString renders a store's Export bytes, for byte-level diffs.
+func exportString(t *testing.T, s Store) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := s.Export(&b); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	return hex.EncodeToString(b.Bytes())
+}
+
+// TestLogDifferentialOracle is the backbone: the same call sequence
+// against LogVault and the in-memory oracle must yield identical IDs,
+// metadata, plaintexts and byte-identical Export streams — through
+// rotation, surrender and compaction.
+func TestLogDifferentialOracle(t *testing.T) {
+	lv := openLogT(t, t.TempDir(), LogOptions{Shards: 3, MaxSegmentBytes: 512})
+	defer lv.Close()
+	mv, err := Open(DeriveKey("log-pass"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mv.Close()
+
+	fillPair(t, lv, mv, 60)
+	if st := lv.Stats(); st.Segments <= 3 {
+		t.Fatalf("MaxSegmentBytes=512 over 60 records should have rotated; segments=%d", st.Segments)
+	}
+	check := func(stage string) {
+		t.Helper()
+		if lv.Len() != mv.Len() {
+			t.Fatalf("%s: Len log=%d mem=%d", stage, lv.Len(), mv.Len())
+		}
+		lm, mm := lv.Meta(), mv.Meta()
+		for i := range lm {
+			if !sameMeta(lm[i], mm[i]) {
+				t.Fatalf("%s: Meta[%d] log=%+v mem=%+v", stage, i, lm[i], mm[i])
+			}
+		}
+		for _, rec := range lm {
+			ptL, _, errL := lv.Get(rec.ID)
+			ptM, _, errM := mv.Get(rec.ID)
+			if errL != nil || errM != nil {
+				t.Fatalf("%s: Get(%d) log=%v mem=%v", stage, rec.ID, errL, errM)
+			}
+			if !bytes.Equal(ptL, ptM) {
+				t.Fatalf("%s: Get(%d) plaintext diverged", stage, rec.ID)
+			}
+		}
+		if el, em := exportString(t, lv), exportString(t, mv); el != em {
+			t.Fatalf("%s: Export bytes diverged", stage)
+		}
+	}
+	check("after fill")
+
+	if nl, nm := lv.Surrender("dom3.example"), mv.Surrender("dom3.example"); nl != nm || nl == 0 {
+		t.Fatalf("Surrender log=%d mem=%d", nl, nm)
+	}
+	check("after surrender")
+
+	if err := lv.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if st := lv.Stats(); st.Compactions < 1 || st.DeadBytes != 0 {
+		t.Fatalf("compaction stats: %+v", st)
+	}
+	check("after compaction")
+}
+
+// TestLogCrashReplay abandons a LogVault without Close (the crash
+// model: every completed Put is a full frame on disk) and reopens the
+// directory: no record may be lost, and new puts must not reuse IDs.
+func TestLogCrashReplay(t *testing.T) {
+	dir := t.TempDir()
+	v1 := openLogT(t, dir, LogOptions{Shards: 2, MaxSegmentBytes: 256})
+	v1.randRead = seqRand()
+	when := time.Unix(0, 1465041600e9).UTC()
+	want := map[uint64]string{}
+	for i := 0; i < 25; i++ {
+		pt := fmt.Sprintf("crash-record-%d", i)
+		id, err := v1.Put(fmt.Sprintf("d%d.example", i%3), "receiver-typo", when, []byte(pt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[id] = pt
+	}
+	v1.Surrender("d1.example")
+	for id := range want {
+		if _, _, err := v1.Get(id); err != nil {
+			delete(want, id)
+		}
+	}
+	// No Close: the handle is simply abandoned, as a crash would.
+
+	v2 := openLogT(t, dir, LogOptions{Shards: 2, MaxSegmentBytes: 256})
+	defer v2.Close()
+	if v2.Len() != len(want) {
+		t.Fatalf("replayed %d records, want %d", v2.Len(), len(want))
+	}
+	for id, pt := range want {
+		got, rec, err := v2.Get(id)
+		if err != nil || string(got) != pt {
+			t.Fatalf("Get(%d) after replay: %q %v", id, got, err)
+		}
+		if rec.ID != id {
+			t.Fatalf("record id mismatch: %d vs %d", rec.ID, id)
+		}
+	}
+	// IDs keep climbing from the replayed high-water mark.
+	id, err := v2.Put("d0.example", "receiver-typo", when, []byte("after-replay"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 26 {
+		t.Fatalf("post-replay id = %d, want 26", id)
+	}
+}
+
+// TestLogTornFrameTruncated simulates a crash mid-append: a partial
+// frame at the tail of the active segment is truncated away on reopen
+// and every complete record survives.
+func TestLogTornFrameTruncated(t *testing.T) {
+	dir := t.TempDir()
+	v1 := openLogT(t, dir, LogOptions{Shards: 1})
+	v1.randRead = seqRand()
+	when := time.Unix(0, 1465041600e9).UTC()
+	for i := 0; i < 5; i++ {
+		if _, err := v1.Put("torn.example", "receiver-typo", when, []byte(fmt.Sprintf("rec%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v1.Close()
+
+	path := segPath(dir, 0, 1)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A frame header promising more payload than exists = torn write.
+	if _, err := f.Write([]byte{framePut, 0, 0, 1, 0, 'x', 'y'}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	v2 := openLogT(t, dir, LogOptions{Shards: 1})
+	defer v2.Close()
+	if v2.Len() != 5 {
+		t.Fatalf("after torn-frame replay Len=%d, want 5", v2.Len())
+	}
+	if _, err := v2.Put("torn.example", "receiver-typo", when, []byte("rec5")); err != nil {
+		t.Fatalf("put after truncation: %v", err)
+	}
+	if v2.Len() != 6 {
+		t.Fatalf("Len=%d after post-truncation put", v2.Len())
+	}
+}
+
+// TestLogGoldenSegmentBytes pins the segment wire format: with a fixed
+// key and entropy stream, the bytes on disk are stable. A change to
+// the format must consciously update this hash.
+func TestLogGoldenSegmentBytes(t *testing.T) {
+	dir := t.TempDir()
+	v := openLogT(t, dir, LogOptions{Shards: 2})
+	v.randRead = seqRand()
+	when := time.Unix(0, 1465041600e9).UTC()
+	for i := 0; i < 4; i++ {
+		if _, err := v.Put([]string{"a.example", "b.example"}[i%2], "receiver-typo",
+			when.Add(time.Duration(i)*time.Hour), []byte(fmt.Sprintf("golden %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v.Close()
+
+	h := sha256.New()
+	for shard := 0; shard < 2; shard++ {
+		data, err := os.ReadFile(segPath(dir, shard, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Write(data)
+	}
+	const wantHash = "862085873d5bbf5e39eeeefeb4111f2d7c461970f18ac320cc057d1460b195e8"
+	got := hex.EncodeToString(h.Sum(nil))
+	if got != wantHash {
+		t.Fatalf("segment bytes changed: sha256 = %s (update the golden value only for a deliberate format change)", got)
+	}
+}
+
+// TestLogSnapshotRestore round-trips Export→RestoreLog and checks the
+// restored vault serves identical data, then pins the Close semantics:
+// data operations fail with ErrClosed while metadata stays readable.
+func TestLogSnapshotRestore(t *testing.T) {
+	v := openLogT(t, t.TempDir(), LogOptions{Shards: 2, MaxSegmentBytes: 300})
+	defer v.Close()
+	v.randRead = seqRand()
+	when := time.Unix(0, 1465041600e9).UTC()
+	for i := 0; i < 12; i++ {
+		if _, err := v.Put(fmt.Sprintf("s%d.example", i%4), "receiver-typo", when, []byte(fmt.Sprintf("snap %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v.Surrender("s2.example")
+	var snap bytes.Buffer
+	if err := v.Export(&snap); err != nil {
+		t.Fatal(err)
+	}
+	snapBytes := append([]byte(nil), snap.Bytes()...)
+
+	r, err := RestoreLog(DeriveKey("log-pass"), t.TempDir(), LogOptions{Shards: 5, MaxSegmentBytes: 200}, &snap)
+	if err != nil {
+		t.Fatalf("RestoreLog: %v", err)
+	}
+	defer r.Close()
+	if r.Len() != v.Len() {
+		t.Fatalf("restored Len=%d want %d", r.Len(), v.Len())
+	}
+	vm, rm := v.Meta(), r.Meta()
+	for i := range vm {
+		if !sameMeta(vm[i], rm[i]) {
+			t.Fatalf("restored Meta[%d] = %+v, want %+v", i, rm[i], vm[i])
+		}
+	}
+	for _, rec := range vm {
+		a, _, err1 := v.Get(rec.ID)
+		b, _, err2 := r.Get(rec.ID)
+		if err1 != nil || err2 != nil || !bytes.Equal(a, b) {
+			t.Fatalf("restored Get(%d) diverged: %v %v", rec.ID, err1, err2)
+		}
+	}
+	// The restored vault's own snapshot is byte-identical to the source's.
+	var again bytes.Buffer
+	if err := r.Export(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), snapBytes) {
+		t.Fatal("restore→Export is not the identity on snapshot bytes")
+	}
+	// Restoring into a dir that already holds segments must refuse.
+	if _, err := RestoreLog(DeriveKey("log-pass"), r.dir, LogOptions{}, bytes.NewReader(snapBytes)); err == nil {
+		t.Fatal("RestoreLog into a populated dir succeeded")
+	}
+
+	// Close-unmounts-key semantics on the restored handle.
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, _, err := r.Get(vm[0].ID); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after Close = %v, want ErrClosed", err)
+	}
+	if _, err := r.Put("x.example", "receiver-typo", when, []byte("no")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close = %v, want ErrClosed", err)
+	}
+	if err := r.Export(io.Discard); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Export after Close = %v, want ErrClosed", err)
+	}
+	if r.Len() != v.Len() || len(r.Meta()) != v.Len() {
+		t.Fatal("metadata unreadable after Close")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestLogCompactionPreservesLiveSet: after heavy surrender churn,
+// compaction must keep exactly the live record set (differential vs the
+// in-memory oracle) and actually shrink the on-disk footprint.
+func TestLogCompactionPreservesLiveSet(t *testing.T) {
+	lv := openLogT(t, t.TempDir(), LogOptions{Shards: 2, MaxSegmentBytes: 400})
+	defer lv.Close()
+	mv, err := Open(DeriveKey("log-pass"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mv.Close()
+	fillPair(t, lv, mv, 40)
+	for _, d := range []string{"dom0.example", "dom2.example", "dom5.example"} {
+		lv.Surrender(d)
+		mv.Surrender(d)
+	}
+	before := lv.Stats()
+	var sizeBefore int64
+	filepath.WalkDir(lv.dir, func(_ string, d os.DirEntry, _ error) error {
+		if d != nil && !d.IsDir() {
+			if info, err := d.Info(); err == nil {
+				sizeBefore += info.Size()
+			}
+		}
+		return nil
+	})
+	if err := lv.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	var sizeAfter int64
+	filepath.WalkDir(lv.dir, func(_ string, d os.DirEntry, _ error) error {
+		if d != nil && !d.IsDir() {
+			if info, err := d.Info(); err == nil {
+				sizeAfter += info.Size()
+			}
+		}
+		return nil
+	})
+	if sizeAfter >= sizeBefore {
+		t.Fatalf("compaction did not shrink disk: %d -> %d (dead before: %d)", sizeBefore, sizeAfter, before.DeadBytes)
+	}
+	if el, em := exportString(t, lv), exportString(t, mv); el != em {
+		t.Fatal("live set diverged from oracle after compaction")
+	}
+	// And the compacted directory still replays.
+	lv.Close()
+	v2 := openLogT(t, lv.dir, LogOptions{Shards: 2, MaxSegmentBytes: 400})
+	defer v2.Close()
+	if v2.Len() != mv.Len() {
+		t.Fatalf("replay after compaction: Len=%d want %d", v2.Len(), mv.Len())
+	}
+}
+
+// TestLogNoPlaintextOnDisk greps every segment byte for the stored
+// plaintext — the §4.1 encrypted-at-rest guarantee, now on real files.
+func TestLogNoPlaintextOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	v := openLogT(t, dir, LogOptions{Shards: 1})
+	secret := []byte("SSN 123-45-6789 and password hunter2")
+	if _, err := v.Put("leak.example", "receiver-typo", time.Unix(0, 1465041600e9).UTC(), secret); err != nil {
+		t.Fatal(err)
+	}
+	v.Close()
+	data, err := os.ReadFile(segPath(dir, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range [][]byte{secret, []byte("hunter2"), []byte("123-45-6789")} {
+		if bytes.Contains(data, needle) {
+			t.Fatalf("plaintext %q found in segment file", needle)
+		}
+	}
+	// Clear metadata IS on disk by design (the paper's split); verify the
+	// frame still decodes to the right domain without the key.
+	if !bytes.Contains(data, []byte("leak.example")) {
+		t.Fatal("clear metadata missing from segment (format drift?)")
+	}
+}

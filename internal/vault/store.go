@@ -1,0 +1,28 @@
+package vault
+
+import (
+	"io"
+	"time"
+)
+
+// Store is the evidence-store contract the collection pipeline writes
+// through: encrypted puts, sealed reads, clear metadata, per-domain
+// surrender and encrypted export. Two implementations exist — the
+// original in-memory Vault (the differential oracle) and the
+// log-structured on-disk LogVault — and they are interchangeable:
+// given the same key, nonce source and call sequence they produce the
+// same IDs, the same metadata and byte-identical Export streams.
+type Store interface {
+	Put(domain, verdict string, received time.Time, plaintext []byte) (uint64, error)
+	Get(id uint64) ([]byte, *Record, error)
+	Len() int
+	Meta() []Record
+	Surrender(domain string) int
+	Export(w io.Writer) error
+	Close() error
+}
+
+var (
+	_ Store = (*Vault)(nil)
+	_ Store = (*LogVault)(nil)
+)

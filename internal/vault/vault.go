@@ -183,6 +183,25 @@ func (v *Vault) Surrender(domain string) int {
 func (v *Vault) Export(w io.Writer) error {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
+	if err := binary.Write(w, binary.BigEndian, uint64(len(v.records))); err != nil {
+		return err
+	}
+	for id := uint64(1); id < v.nextID; id++ {
+		rec, ok := v.records[id]
+		if !ok {
+			continue
+		}
+		if err := writeExportRecord(w, rec, rec.nonce, rec.ciphertext); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeExportRecord writes one record in Export wire form — shared by
+// the in-memory and log-structured backends so their snapshots are
+// byte-identical for the same content.
+func writeExportRecord(w io.Writer, rec *Record, nonce, ct []byte) error {
 	write := func(data any) error { return binary.Write(w, binary.BigEndian, data) }
 	writeBytes := func(b []byte) error {
 		if err := write(uint32(len(b))); err != nil {
@@ -191,34 +210,22 @@ func (v *Vault) Export(w io.Writer) error {
 		_, err := w.Write(b)
 		return err
 	}
-	if err := write(uint64(len(v.records))); err != nil {
+	if err := write(rec.ID); err != nil {
 		return err
 	}
-	for id := uint64(1); id < v.nextID; id++ {
-		rec, ok := v.records[id]
-		if !ok {
-			continue
-		}
-		if err := write(rec.ID); err != nil {
-			return err
-		}
-		if err := writeBytes([]byte(rec.Domain)); err != nil {
-			return err
-		}
-		if err := writeBytes([]byte(rec.Verdict)); err != nil {
-			return err
-		}
-		if err := write(rec.Received.UnixNano()); err != nil {
-			return err
-		}
-		if err := writeBytes(rec.nonce); err != nil {
-			return err
-		}
-		if err := writeBytes(rec.ciphertext); err != nil {
-			return err
-		}
+	if err := writeBytes([]byte(rec.Domain)); err != nil {
+		return err
 	}
-	return nil
+	if err := writeBytes([]byte(rec.Verdict)); err != nil {
+		return err
+	}
+	if err := write(rec.Received.UnixNano()); err != nil {
+		return err
+	}
+	if err := writeBytes(nonce); err != nil {
+		return err
+	}
+	return writeBytes(ct)
 }
 
 // Import loads an Export stream into a fresh vault sealed with key.
@@ -237,6 +244,25 @@ func Import(key Key, r io.Reader) (*Vault, error) {
 			v.Close()
 		}
 	}()
+	err = decodeExportStream(r, func(rec Record) error {
+		stored := rec
+		v.records[stored.ID] = &stored
+		if stored.ID >= v.nextID {
+			v.nextID = stored.ID + 1
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	imported = true
+	return v, nil
+}
+
+// decodeExportStream parses an Export stream, invoking emit once per
+// record (with nonce and ciphertext populated) — shared by Import and
+// the log-structured RestoreLog.
+func decodeExportStream(r io.Reader, emit func(rec Record) error) error {
 	read := func(data any) error { return binary.Read(r, binary.BigEndian, data) }
 	readBytes := func() ([]byte, error) {
 		var n uint32
@@ -254,43 +280,41 @@ func Import(key Key, r io.Reader) (*Vault, error) {
 	}
 	var count uint64
 	if err := read(&count); err != nil {
-		return nil, fmt.Errorf("vault: import header: %w", err)
+		return fmt.Errorf("vault: import header: %w", err)
 	}
 	for i := uint64(0); i < count; i++ {
 		var rec Record
 		if err := read(&rec.ID); err != nil {
-			return nil, fmt.Errorf("vault: import record %d: %w", i, err)
+			return fmt.Errorf("vault: import record %d: %w", i, err)
 		}
 		domain, err := readBytes()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		verdict, err := readBytes()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var ns int64
 		if err := read(&ns); err != nil {
-			return nil, err
+			return err
 		}
 		nonce, err := readBytes()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ct, err := readBytes()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rec.Domain, rec.Verdict = string(domain), string(verdict)
 		rec.Received = time.Unix(0, ns).UTC()
 		rec.nonce, rec.ciphertext = nonce, ct
-		v.records[rec.ID] = &rec
-		if rec.ID >= v.nextID {
-			v.nextID = rec.ID + 1
+		if err := emit(rec); err != nil {
+			return err
 		}
 	}
-	imported = true
-	return v, nil
+	return nil
 }
 
 func aad(id uint64, domain string) []byte {
