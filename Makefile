@@ -16,7 +16,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs the eighteen paper-invariant analyzers over the whole module
+# lint runs the twenty-one paper-invariant analyzers over the whole module
 # under the committed ratchet baseline: pre-existing findings recorded
 # in .repolint-baseline.json are suppressed, anything new fails. Exit 1
 # means a new finding, 3 means only a stale waiver, 2 a load failure.
@@ -68,6 +68,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzCFGBuild -fuzztime=$(FUZZTIME) ./internal/lint/cfg/
 	$(GO) test -fuzz=FuzzValueLattice -fuzztime=$(FUZZTIME) ./internal/lint/cfg/
 	$(GO) test -fuzz=FuzzEffectLattice -fuzztime=$(FUZZTIME) ./internal/lint/cfg/
+	$(GO) test -fuzz=FuzzTypestateLattice -fuzztime=$(FUZZTIME) ./internal/lint/cfg/
 	$(GO) test -fuzz=FuzzSMTPDSession -fuzztime=$(FUZZTIME) ./internal/smtpd/
 
 # chaos runs the end-to-end fault-injection soak (chaos_test.go) under

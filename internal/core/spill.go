@@ -41,6 +41,10 @@ type pendDay struct {
 // §4.1 rule that no raw collected content rests on disk holds for the
 // working set too: after a crash the spill segments are noise, and a
 // clean run removes them as each day drains.
+//
+// pendQueue shares the vault lifecycle protocol: add/take/drop/spill
+// only while open, close idempotent — vaultstate tracks it alongside
+// the vault.Store implementations.
 type pendQueue struct {
 	dir     string // "" disables spilling
 	prefix  string

@@ -1,0 +1,169 @@
+// Typestate machine: the fifth analysis layer. The four layers below
+// answer *where control can go* (cfg.go), *which definition reaches a
+// use* (defuse.go), *what a value can be* (valueprop.go) and *what a
+// function can do to the world* (effects.go); this one gives protocol
+// analyzers a vocabulary for *in what order* operations on one object
+// may happen. A protocol is a finite-state machine over abstract
+// states and events; the analysis domain is the powerset of states
+// ordered by inclusion, so a merge point joins by union and a tracked
+// object "is in" every state some path could have left it in.
+//
+// Step is the transfer function: feeding an event to a state set
+// partitions it into states that have a transition on that event
+// (which advance) and states that do not (which are *rejected* — a
+// protocol violation on some path). Step distributes over Join in
+// both components and is monotone, so any fixpoint over it terminates
+// in at most NumStates iterations per object — properties the package
+// fuzz target (FuzzTypestateLattice) enforces, mirroring
+// FuzzEffectLattice, FuzzValueLattice and FuzzCFGBuild.
+//
+// Like the layers below, this file is deliberately ignorant of go/ast
+// and go/types: which method calls raise which events, which types are
+// tracked, how parameters carry states across calls and what a
+// rejection means to a human is semantic knowledge the caller in
+// internal/lint supplies as a protocol table.
+package cfg
+
+import "fmt"
+
+// State is one abstract protocol state, an index in [0, MaxTypestates).
+type State uint8
+
+// Event is one abstract protocol event, an index given to NewMachine.
+type Event uint8
+
+// MaxTypestates bounds the number of states one machine may declare so
+// a state set fits a uint16 (same width as EffectSet).
+const MaxTypestates = 16
+
+// StateSet is one element of the typestate lattice: a set of abstract
+// states. The zero value is the bottom element (no states — dead code
+// or an untracked object).
+type StateSet uint16
+
+// NoStates is the bottom of the lattice.
+const NoStates StateSet = 0
+
+// SingleState returns the singleton set {s}.
+func SingleState(s State) StateSet { return 1 << s }
+
+// AllStates returns the top of a lattice with n declared states.
+func AllStates(n int) StateSet { return 1<<n - 1 }
+
+// Has reports whether s is in the set.
+func (ss StateSet) Has(s State) bool { return ss&SingleState(s) != 0 }
+
+// With returns the set with s added.
+func (ss StateSet) With(s State) StateSet { return ss | SingleState(s) }
+
+// Join is the lattice join: set union.
+func (ss StateSet) Join(t StateSet) StateSet { return ss | t }
+
+// Intersect returns the states in both sets.
+func (ss StateSet) Intersect(t StateSet) StateSet { return ss & t }
+
+// Leq reports the lattice order: ss ⊆ t.
+func (ss StateSet) Leq(t StateSet) bool { return ss&^t == 0 }
+
+// IsEmpty reports whether the set is the bottom element.
+func (ss StateSet) IsEmpty() bool { return ss == NoStates }
+
+// Count returns the number of states in the set.
+func (ss StateSet) Count() int {
+	n := 0
+	for ; ss != 0; ss &= ss - 1 {
+		n++
+	}
+	return n
+}
+
+// States returns the member states in increasing index order.
+func (ss StateSet) States() []State {
+	var out []State
+	for s := State(0); s < MaxTypestates; s++ {
+		if ss.Has(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Machine is one compiled protocol: a transition relation over
+// numStates × numEvents. Transitions are a relation, not a function —
+// a (state, event) pair may fan out to several successor states (used
+// for events whose outcome is path-dependent) or to none, which makes
+// the event a protocol violation in that state.
+type Machine struct {
+	numStates int
+	numEvents int
+	// next[s*numEvents+e] is the successor set of state s on event e;
+	// NoStates means the event is rejected in s.
+	next []StateSet
+}
+
+// NewMachine returns a machine with the given state and event counts
+// and no transitions. states must be in [1, MaxTypestates].
+func NewMachine(states, events int) *Machine {
+	if states < 1 || states > MaxTypestates {
+		panic(fmt.Sprintf("cfg: NewMachine: %d states (want 1..%d)", states, MaxTypestates))
+	}
+	if events < 0 {
+		panic("cfg: NewMachine: negative event count")
+	}
+	return &Machine{
+		numStates: states,
+		numEvents: events,
+		next:      make([]StateSet, states*events),
+	}
+}
+
+// NumStates returns the declared state count.
+func (m *Machine) NumStates() int { return m.numStates }
+
+// NumEvents returns the declared event count.
+func (m *Machine) NumEvents() int { return m.numEvents }
+
+// AddTransition declares from --ev--> to. Adding several transitions
+// for the same (from, ev) accumulates a successor set.
+func (m *Machine) AddTransition(from State, ev Event, to State) {
+	if int(from) >= m.numStates || int(to) >= m.numStates {
+		panic(fmt.Sprintf("cfg: AddTransition: state out of range (%d states)", m.numStates))
+	}
+	if int(ev) >= m.numEvents {
+		panic(fmt.Sprintf("cfg: AddTransition: event %d out of range (%d events)", ev, m.numEvents))
+	}
+	m.next[int(from)*m.numEvents+int(ev)] |= SingleState(to)
+}
+
+// Allows reports whether state from has any transition on ev.
+func (m *Machine) Allows(from State, ev Event) bool {
+	return m.next[int(from)*m.numEvents+int(ev)] != NoStates
+}
+
+// Step feeds one event to a state set. next is the union of successor
+// sets of the member states that allow ev; rejected is the subset of
+// ss whose states have no transition on ev. Both components distribute
+// over Join and are monotone in ss:
+//
+//	Step(a ∪ b, e) = Step(a, e) ∪ Step(b, e)   (componentwise)
+//
+// so the caller may run one abstract object per path or per merged
+// state set and report identical violations.
+func (m *Machine) Step(ss StateSet, ev Event) (next, rejected StateSet) {
+	if int(ev) >= m.numEvents {
+		panic(fmt.Sprintf("cfg: Step: event %d out of range (%d events)", ev, m.numEvents))
+	}
+	row := m.next[:]
+	for s := State(0); int(s) < m.numStates; s++ {
+		if !ss.Has(s) {
+			continue
+		}
+		succ := row[int(s)*m.numEvents+int(ev)]
+		if succ == NoStates {
+			rejected = rejected.With(s)
+			continue
+		}
+		next = next.Join(succ)
+	}
+	return next, rejected
+}

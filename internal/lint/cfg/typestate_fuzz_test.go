@@ -1,0 +1,132 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/cfg"
+)
+
+// FuzzTypestateLattice enforces the algebraic laws the typestate
+// drivers rely on, the way FuzzEffectLattice does for the effect
+// lattice: Join must be a total, commutative, associative, idempotent
+// least upper bound consistent with Leq; membership must agree across
+// Has, States and Count; and Step must distribute over Join in both
+// components and be monotone — those are exactly the properties that
+// make per-merged-set analysis report the same violations as
+// per-path analysis.
+func FuzzTypestateLattice(f *testing.F) {
+	f.Add(uint16(0), uint16(1), uint16(2), uint16(0xbeef), uint8(0))
+	f.Add(uint16(0xffff), uint16(0), uint16(0x5555), uint16(0x1234), uint8(3))
+	f.Add(uint16(1<<4|1<<7), uint16(1<<5), uint16(1<<6), uint16(0xffff), uint8(7))
+	f.Fuzz(func(t *testing.T, ra, rb, rc, rm uint16, rev uint8) {
+		const states, events = 8, 4
+		top := cfg.AllStates(states)
+		a := cfg.StateSet(ra) & top
+		b := cfg.StateSet(rb) & top
+		c := cfg.StateSet(rc) & top
+
+		if !a.Leq(a) {
+			t.Error("Leq is not reflexive")
+		}
+		if a.Join(b) != b.Join(a) {
+			t.Error("Join is not commutative")
+		}
+		if a.Join(b).Join(c) != a.Join(b.Join(c)) {
+			t.Error("Join is not associative")
+		}
+		if a.Join(a) != a {
+			t.Error("Join is not idempotent")
+		}
+		if a.Join(cfg.NoStates) != a {
+			t.Error("NoStates is not a Join identity")
+		}
+		j := a.Join(b)
+		if !a.Leq(j) || !b.Leq(j) {
+			t.Error("operands are not ≤ their join")
+		}
+		if a.Leq(c) && b.Leq(c) && !j.Leq(c) {
+			t.Error("Join is not the least upper bound")
+		}
+		if a.Leq(b) && !a.Join(c).Leq(b.Join(c)) {
+			t.Error("Join is not monotone")
+		}
+		if a.Leq(b) && b.Leq(c) && !a.Leq(c) {
+			t.Error("Leq is not transitive")
+		}
+		if a.Leq(b) && b.Leq(a) && a != b {
+			t.Error("Leq antisymmetry disagrees with equality")
+		}
+
+		// Membership must agree across Has, States, Count, With and
+		// Intersect, and SingleState must be the With of bottom.
+		sts := a.States()
+		if len(sts) != a.Count() {
+			t.Errorf("States() returned %d states, Count() = %d", len(sts), a.Count())
+		}
+		seen := cfg.NoStates
+		for _, s := range sts {
+			if !a.Has(s) {
+				t.Errorf("States() lists %d but Has is false", s)
+			}
+			if cfg.SingleState(s) != cfg.NoStates.With(s) {
+				t.Errorf("SingleState(%d) disagrees with NoStates.With", s)
+			}
+			seen = seen.With(s)
+		}
+		if seen != a {
+			t.Errorf("States() round-trip = %#x, want %#x", uint16(seen), uint16(a))
+		}
+		if a.Intersect(b) != b.Intersect(a) {
+			t.Error("Intersect is not commutative")
+		}
+		if !a.Intersect(b).Leq(a) {
+			t.Error("Intersect is not a lower bound")
+		}
+
+		// A machine whose transition table is drawn from the fuzz input:
+		// state s allows event e iff bit (s*events+e)%16 of rm is set,
+		// and then fans out to states s and (s+1)%states.
+		m := cfg.NewMachine(states, events)
+		for s := cfg.State(0); int(s) < states; s++ {
+			for e := cfg.Event(0); int(e) < events; e++ {
+				if rm&(1<<uint((int(s)*events+int(e))%16)) == 0 {
+					continue
+				}
+				m.AddTransition(s, e, s)
+				m.AddTransition(s, e, cfg.State((int(s)+1)%states))
+			}
+		}
+		ev := cfg.Event(rev % events)
+
+		// Step(∅) = (∅, ∅): no states, nothing advances or violates.
+		if n, r := m.Step(cfg.NoStates, ev); n != cfg.NoStates || r != cfg.NoStates {
+			t.Error("Step of bottom is not bottom")
+		}
+
+		// Step distributes over Join in both components.
+		an, ar := m.Step(a, ev)
+		bn, br := m.Step(b, ev)
+		jn, jr := m.Step(a.Join(b), ev)
+		if jn != an.Join(bn) || jr != ar.Join(br) {
+			t.Errorf("Step does not distribute over Join: (%#x,%#x) vs (%#x,%#x)",
+				uint16(jn), uint16(jr), uint16(an.Join(bn)), uint16(ar.Join(br)))
+		}
+
+		// Step is monotone in both components.
+		if a.Leq(b) && (!an.Leq(bn) || !ar.Leq(br)) {
+			t.Error("Step is not monotone")
+		}
+
+		// The two components partition the input's fate: every input
+		// state either allows the event (and is accepted) or is
+		// rejected, and rejected ⊆ input.
+		if !ar.Leq(a) {
+			t.Error("rejected states are not a subset of the input")
+		}
+		for _, s := range a.States() {
+			if m.Allows(s, ev) == ar.Has(s) {
+				t.Errorf("state %d: Allows and rejection disagree", s)
+			}
+		}
+	})
+}

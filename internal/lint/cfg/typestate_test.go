@@ -1,0 +1,92 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/cfg"
+)
+
+// TestTypestateMachine pins the concrete Step semantics on a small
+// open/closed lifecycle — the shape every shipped protocol follows.
+func TestTypestateMachine(t *testing.T) {
+	const (
+		open   cfg.State = 0
+		closed cfg.State = 1
+	)
+	const (
+		evUse   cfg.Event = 0
+		evClose cfg.Event = 1
+	)
+	m := cfg.NewMachine(2, 2)
+	m.AddTransition(open, evUse, open)
+	m.AddTransition(open, evClose, closed)
+	m.AddTransition(closed, evClose, closed) // idempotent close
+
+	start := cfg.SingleState(open)
+	next, rej := m.Step(start, evUse)
+	if next != cfg.SingleState(open) || !rej.IsEmpty() {
+		t.Fatalf("use in open: next=%#x rejected=%#x", uint16(next), uint16(rej))
+	}
+	next, rej = m.Step(start, evClose)
+	if next != cfg.SingleState(closed) || !rej.IsEmpty() {
+		t.Fatalf("close in open: next=%#x rejected=%#x", uint16(next), uint16(rej))
+	}
+	// Use after close is the canonical violation: closed rejects evUse.
+	next, rej = m.Step(cfg.SingleState(closed), evUse)
+	if !next.IsEmpty() || rej != cfg.SingleState(closed) {
+		t.Fatalf("use in closed: next=%#x rejected=%#x", uint16(next), uint16(rej))
+	}
+	// A merge of both branches (closed on one path only) keeps the
+	// open path alive and still reports the closed path's violation.
+	merged := cfg.SingleState(open).Join(cfg.SingleState(closed))
+	next, rej = m.Step(merged, evUse)
+	if next != cfg.SingleState(open) || rej != cfg.SingleState(closed) {
+		t.Fatalf("use in merged: next=%#x rejected=%#x", uint16(next), uint16(rej))
+	}
+	// Close from the merge is total: both states allow it.
+	next, rej = m.Step(merged, evClose)
+	if next != cfg.SingleState(closed) || !rej.IsEmpty() {
+		t.Fatalf("close in merged: next=%#x rejected=%#x", uint16(next), uint16(rej))
+	}
+}
+
+// TestTypestateFanOut pins the relational (non-deterministic) case: one
+// (state, event) pair may have several successors, and Step unions them.
+func TestTypestateFanOut(t *testing.T) {
+	m := cfg.NewMachine(3, 1)
+	m.AddTransition(0, 0, 1)
+	m.AddTransition(0, 0, 2)
+	next, rej := m.Step(cfg.SingleState(0), 0)
+	want := cfg.SingleState(1).Join(cfg.SingleState(2))
+	if next != want || !rej.IsEmpty() {
+		t.Fatalf("fan-out: next=%#x rejected=%#x, want next=%#x", uint16(next), uint16(rej), uint16(want))
+	}
+	if !m.Allows(0, 0) || m.Allows(1, 0) {
+		t.Fatal("Allows disagrees with the transition table")
+	}
+}
+
+// TestTypestateBounds pins the declared-size contract panics so a
+// malformed protocol table fails loudly at compile-the-table time, not
+// as a silent non-finding.
+func TestTypestateBounds(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("too many states", func() { cfg.NewMachine(cfg.MaxTypestates+1, 1) })
+	mustPanic("zero states", func() { cfg.NewMachine(0, 1) })
+	m := cfg.NewMachine(2, 2)
+	mustPanic("state out of range", func() { m.AddTransition(2, 0, 0) })
+	mustPanic("event out of range", func() { m.AddTransition(0, 2, 0) })
+	mustPanic("step event out of range", func() { m.Step(cfg.SingleState(0), 2) })
+
+	if top := cfg.AllStates(3); top != 0b111 {
+		t.Fatalf("AllStates(3) = %#x", uint16(top))
+	}
+}

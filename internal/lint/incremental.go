@@ -41,7 +41,12 @@ import (
 // package when a callee's effects change.
 //
 // v2: findings gained the Detail field (interprocedural blame chains).
-const cacheSchema = "repolint-cache-v2"
+// v3: typestate protocol tables became cache inputs — each package's
+// key folds in the digest of every protocol whose tracked types it
+// defines or directly imports (protocolDigestFor), so editing a table
+// invalidates exactly the packages the protocol can reach; transitive
+// importers inherit the change through the dep-key recursion.
+const cacheSchema = "repolint-cache-v3"
 
 // CacheStats reports what an incremental run did.
 type CacheStats struct {
@@ -61,6 +66,7 @@ type cacheFinding struct {
 	File     string `json:"file"` // module-root-relative, slash-separated
 	Line     int    `json:"line"`
 	Column   int    `json:"column"`
+	Offset   int    `json:"offset"` // v3: cached positions round-trip losslessly
 	Analyzer string `json:"analyzer"`
 	Symbol   string `json:"symbol,omitempty"`
 	Message  string `json:"message"`
@@ -98,7 +104,7 @@ func RunIncremental(dir string, patterns []string, analyzers []*Analyzer, cacheD
 	if err != nil {
 		return nil, stats, err
 	}
-	if err := computeKeys(metas, analyzers, testSurface); err != nil {
+	if err := computeKeys(metas, module, analyzers, testSurface); err != nil {
 		return nil, stats, err
 	}
 	targets, err := matchMeta(metas, root, module, dir, patterns)
@@ -278,9 +284,11 @@ func scanModule(root, module string) ([]*pkgMeta, string, error) {
 }
 
 // computeKeys fills every meta's key in dependency order: a package's
-// key folds in its own file contents and its module deps' keys, so any
-// change propagates to every (transitive) importer.
-func computeKeys(metas []*pkgMeta, analyzers []*Analyzer, testSurface string) error {
+// key folds in its own file contents, its module deps' keys, and (v3)
+// the digest of any typestate protocol whose tracked types the package
+// defines or directly imports, so any change — source or protocol
+// table — propagates to every (transitive) importer.
+func computeKeys(metas []*pkgMeta, module string, analyzers []*Analyzer, testSurface string) error {
 	byPath := make(map[string]*pkgMeta, len(metas))
 	for _, m := range metas {
 		byPath[m.path] = m
@@ -304,6 +312,14 @@ func computeKeys(metas []*pkgMeta, analyzers []*Analyzer, testSurface string) er
 		}
 		h := sha256.New()
 		fmt.Fprintf(h, "%s\n%s\n%s\n", cacheSchema, analyzerList, testSurface)
+		relPath := strings.TrimPrefix(m.path, module+"/")
+		relDeps := make([]string, len(m.deps))
+		for i, d := range m.deps {
+			relDeps[i] = strings.TrimPrefix(d, module+"/")
+		}
+		if pd := protocolDigestFor(relPath, relDeps); pd != "" {
+			fmt.Fprintf(h, "protocols %s\n", pd)
+		}
 		for _, fname := range m.files {
 			data, err := os.ReadFile(filepath.Join(m.dir, fname))
 			if err != nil {
@@ -405,6 +421,7 @@ func readCacheEntry(cacheDir string, m *pkgMeta, root string) ([]Finding, bool) 
 				Filename: filepath.Join(root, filepath.FromSlash(cf.File)),
 				Line:     cf.Line,
 				Column:   cf.Column,
+				Offset:   cf.Offset,
 			},
 			Analyzer: cf.Analyzer,
 			Symbol:   cf.Symbol,
@@ -433,6 +450,7 @@ func writeCacheEntry(cacheDir string, m *pkgMeta, root string, findings []Findin
 			File:     filepath.ToSlash(rel),
 			Line:     f.Pos.Line,
 			Column:   f.Pos.Column,
+			Offset:   f.Pos.Offset,
 			Analyzer: f.Analyzer,
 			Symbol:   f.Symbol,
 			Message:  f.Message,

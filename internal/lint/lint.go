@@ -157,6 +157,9 @@ func Analyzers() []*Analyzer {
 		PureParAnalyzer,
 		LockBlockAnalyzer,
 		GlobalMutAnalyzer,
+		VaultStateAnalyzer,
+		SessionProtoAnalyzer,
+		StreamIdxAnalyzer,
 	}
 }
 

@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/cfg"
+)
+
+// StreamIdxAnalyzer (L5) checks PRNG sub-stream disjointness: within
+// one function, two derivations from the same seed domain must not
+// claim the same stream index, or their outputs are the same stream —
+// correlated, not independent (the determinism contract, DESIGN §9).
+//
+// Sites: par.SubSeed/par.Rand claim their statically-known scalar
+// index; par.Map/par.MapErr claim window base 0; par.MapAt claims its
+// statically-known base. The seed domain is the def-use root set of
+// the seed argument, so `seed := cfg.Seed; par.Rand(seed, 0)` and
+// `par.Rand(cfg.Seed, 0)` land in the same domain. Each (domain, slot)
+// is an object of streamProtocol: the first claim transitions it to
+// claimed, a second claim is the Step rejection — unless both sites
+// spell the same named constant, which is one logical stream
+// re-derived on purpose (ecosys's streamTargets/streamPrefixes pattern
+// becomes a checked fact). Non-constant indexes and bases (chunked
+// MapAt windows advancing a variable) are ambient and skipped, as is
+// whether a scalar lands *inside* a window above its base — window
+// lengths are not statically known.
+var StreamIdxAnalyzer = &Analyzer{
+	Name: "streamidx",
+	Doc:  "two PRNG sub-stream derivations claim the same (seed domain, stream index) in one function",
+	Run:  runStreamIdx,
+}
+
+// streamClaim is one derivation site's claim on a (domain, slot).
+type streamClaim struct {
+	pos      token.Pos
+	call     string // "par.SubSeed", "par.MapAt", ...
+	domain   string
+	slot     int64
+	window   bool
+	constObj types.Object // named constant spelling the index, if any
+}
+
+func runStreamIdx(pass *Pass) {
+	rel := strings.TrimPrefix(pass.Pkg.Path, pass.Prog.Module+"/")
+	if rel == "internal/par" {
+		return // the seam's own implementation derives streams by design
+	}
+	if !protoPkgInScope(pass, streamProtocol) {
+		return
+	}
+	pm := compiledProtocol(pass.Prog, streamProtocol)
+	for _, file := range pass.Pkg.Files {
+		forEachFuncBody(file, func(body *ast.BlockStmt) {
+			if !mentionsParCall(pass, body) {
+				return
+			}
+			ff := newFuncFlow(pass.Pkg, body)
+			var claims []streamClaim
+			shallowNodesWithStmt(body, ff.g, func(stmt ast.Stmt, n ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || stmt == nil {
+					return
+				}
+				if c, ok := streamClaimOf(pass, ff, stmt, call); ok {
+					claims = append(claims, c)
+				}
+			})
+			reportStreamCollisions(pass, pm, claims)
+		})
+	}
+}
+
+// mentionsParCall is a cheap pre-filter so funcFlow graphs are only
+// built for bodies that derive streams at all.
+func mentionsParCall(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	shallowInspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(pass.Pkg.Info, call); fn != nil && streamParFunc(pass, fn) != "" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// streamParFunc names the par derivation entry point fn is, or "".
+func streamParFunc(pass *Pass, fn *types.Func) string {
+	if fn.Pkg() == nil || strings.TrimPrefix(fn.Pkg().Path(), pass.Prog.Module+"/") != "internal/par" {
+		return ""
+	}
+	switch fn.Name() {
+	case "SubSeed", "Rand", "Map", "MapErr", "MapAt":
+		return fn.Name()
+	}
+	return ""
+}
+
+// streamClaimOf classifies one call site. Claims need a statically
+// known index/base; everything else is ambient and skipped.
+func streamClaimOf(pass *Pass, ff *funcFlow, stmt ast.Stmt, call *ast.CallExpr) (streamClaim, bool) {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil {
+		return streamClaim{}, false
+	}
+	name := streamParFunc(pass, fn)
+	if name == "" || len(call.Args) == 0 {
+		return streamClaim{}, false
+	}
+	c := streamClaim{
+		pos:    call.Pos(),
+		call:   "par." + name,
+		domain: streamDomain(pass, ff, stmt, call.Args[0]),
+	}
+	switch name {
+	case "SubSeed", "Rand":
+		if len(call.Args) < 2 {
+			return streamClaim{}, false
+		}
+		idx, obj, ok := constIndex(pass.Pkg.Info, call.Args[1])
+		if !ok {
+			return streamClaim{}, false
+		}
+		c.slot, c.constObj = idx, obj
+	case "Map", "MapErr":
+		c.slot, c.window = 0, true
+	case "MapAt":
+		if len(call.Args) < 2 {
+			return streamClaim{}, false
+		}
+		base, obj, ok := constIndex(pass.Pkg.Info, call.Args[1])
+		if !ok {
+			return streamClaim{}, false
+		}
+		c.slot, c.window, c.constObj = base, true, obj
+	}
+	return c, true
+}
+
+// streamDomain canonicalizes the seed argument as the sorted rendering
+// of its def-use roots, so re-bound seeds compare equal to their
+// sources.
+func streamDomain(pass *Pass, ff *funcFlow, stmt ast.Stmt, seedArg ast.Expr) string {
+	roots := ff.sourcesOf(stmt, seedArg)
+	if len(roots) == 0 {
+		return types.ExprString(seedArg)
+	}
+	parts := make([]string, len(roots))
+	for i, r := range roots {
+		parts[i] = types.ExprString(r)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " | ")
+}
+
+// constIndex evaluates an index/base argument to a constant int, also
+// reporting the named constant object spelling it, if the argument is
+// a plain (possibly package-qualified) constant reference.
+func constIndex(info *types.Info, arg ast.Expr) (int64, types.Object, bool) {
+	tv, ok := info.Types[arg]
+	if !ok || tv.Value == nil {
+		return 0, nil, false
+	}
+	v := constant.ToInt(tv.Value)
+	n, exact := constant.Int64Val(v)
+	if !exact {
+		return 0, nil, false
+	}
+	var obj types.Object
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		if c, ok := info.Uses[e].(*types.Const); ok {
+			obj = c
+		}
+	case *ast.SelectorExpr:
+		if c, ok := info.Uses[e.Sel].(*types.Const); ok {
+			obj = c
+		}
+	}
+	return n, obj, true
+}
+
+// reportStreamCollisions replays the claims in source order against
+// one streamProtocol slot per (domain, slot index), reporting every
+// Step rejection with a two-hop chain naming both sites.
+func reportStreamCollisions(pass *Pass, pm *protoMachine, claims []streamClaim) {
+	if len(claims) < 2 {
+		return
+	}
+	sort.Slice(claims, func(i, j int) bool { return claims[i].pos < claims[j].pos })
+	claimEv := pm.eventIdx["claim"]
+	type slotKey struct {
+		domain string
+		slot   int64
+	}
+	type slotState struct {
+		ss    cfg.StateSet
+		first *streamClaim
+	}
+	slots := make(map[slotKey]*slotState)
+	for i := range claims {
+		c := &claims[i]
+		key := slotKey{c.domain, c.slot}
+		st := slots[key]
+		if st == nil {
+			st = &slotState{ss: cfg.SingleState(pm.init)}
+			slots[key] = st
+		}
+		if st.first != nil && c.constObj != nil && st.first.constObj == c.constObj {
+			continue // the same named constant: one logical stream, re-derived
+		}
+		next, rej := pm.m.Step(st.ss, claimEv)
+		if st.first == nil {
+			st.ss, st.first = next, c
+			continue
+		}
+		if !rej.IsEmpty() {
+			idx := strconv.FormatInt(c.slot, 10)
+			hops := []tsHop{
+				{st.first.call + " claims index " + idx, st.first.pos},
+				{c.call + " claims index " + idx, c.pos},
+			}
+			reportProtoViolation(pass, pm, "seed "+c.domain, "claim", rej, c.pos, hops)
+		}
+	}
+}

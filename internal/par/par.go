@@ -49,6 +49,9 @@ func NumWorkers() int {
 // splitmix64 finalizer over a golden-ratio stream. Distinct indexes land
 // in statistically independent streams, and the derivation is fixed
 // forever: changing it would silently change every seeded run.
+// Callers must keep their (seed, index) claims disjoint within a
+// function — repolint's streamidx analyzer flags two derivations that
+// claim the same statically-known index from the same seed.
 func SubSeed(seed int64, index int) int64 {
 	z := uint64(seed) + (uint64(index)+1)*0x9E3779B97F4A7C15
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9

@@ -305,6 +305,12 @@ func wrapNetErr(err error) error {
 	return fmt.Errorf("%w: %v", ErrNetwork, err)
 }
 
+// textConn drives the client half of the RFC 5321 exchange. Its method
+// order is the smtp-client typestate protocol — banner read, EHLO/HELO
+// (repeatable: the HELO fallback and the post-STARTTLS re-hello), MAIL,
+// RCPT*, DATA, payload, final read, QUIT — and every method sets a
+// phase deadline before touching the socket; repolint's sessionproto
+// analyzer checks both properties at every call site.
 type textConn struct {
 	conn    net.Conn
 	r       *bufio.Reader

@@ -521,6 +521,11 @@ func (s *Server) session(conn net.Conn) (graceful bool) {
 
 var errTooLarge = errors.New("smtpd: message too large")
 
+// sessionConn is the server half's line discipline. It follows the
+// smtp-server typestate protocol — the 220/421 banner reply precedes
+// the first client read — and every method sets a phase deadline;
+// repolint's sessionproto analyzer checks both (the tarpit path never
+// constructs one, so it is naturally out of protocol scope).
 type sessionConn struct {
 	conn        net.Conn
 	r           *bufio.Reader

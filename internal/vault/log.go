@@ -99,7 +99,10 @@ type logShard struct {
 	dead   int64 // bytes of surrendered/compacted-away frames
 }
 
-// LogVault is the append-only segment-backed Store.
+// LogVault is the append-only segment-backed Store. It follows the
+// vault lifecycle protocol (see Store): rotation and compaction are
+// open-state operations, and after Close the segments are sealed —
+// repolint's vaultstate analyzer enforces the ordering at call sites.
 type LogVault struct {
 	dir  string
 	opts LogOptions

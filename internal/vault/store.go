@@ -12,6 +12,11 @@ import (
 // log-structured on-disk LogVault — and they are interchangeable:
 // given the same key, nonce source and call sequence they produce the
 // same IDs, the same metadata and byte-identical Export streams.
+//
+// Store values follow the vault lifecycle protocol: Put/Get/Export/
+// Surrender only while open, Close idempotent, nothing after Close
+// (repolint's vaultstate analyzer checks call sites against the
+// declared state machine).
 type Store interface {
 	Put(domain, verdict string, received time.Time, plaintext []byte) (uint64, error)
 	Get(id uint64) ([]byte, *Record, error)

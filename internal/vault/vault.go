@@ -53,7 +53,9 @@ type Record struct {
 	ciphertext []byte
 }
 
-// Vault is an append-only encrypted store.
+// Vault is an append-only encrypted store. It follows the vault
+// lifecycle protocol (see Store): after Close the key is unmounted and
+// every operation but another Close is a vaultstate finding.
 type Vault struct {
 	aead cipher.AEAD
 
